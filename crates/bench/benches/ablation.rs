@@ -1,0 +1,75 @@
+//! Ablation of the §3 design choices (DESIGN.md §6): sensitivity-guided
+//! axis choice, Gaussian value selection, aging, and redundancy feedback,
+//! each switched off individually. The measured quantity is *search
+//! quality at fixed budget* — failures found in 250 samples of the real
+//! coreutils target — exposed as wall-time benches plus a printed quality
+//! table at bench start.
+
+use afex_core::{AgingPolicy, ExplorerConfig, FitnessExplorer, ImpactMetric, OutcomeEvaluator};
+use afex_targets::spaces::TargetSpace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn variants() -> Vec<(&'static str, ExplorerConfig)> {
+    let base = ExplorerConfig::default();
+    vec![
+        ("full", base.clone()),
+        (
+            "no_sensitivity",
+            ExplorerConfig {
+                use_sensitivity: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_gaussian",
+            ExplorerConfig {
+                use_gaussian: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_aging",
+            ExplorerConfig {
+                aging: AgingPolicy::disabled(),
+                ..base.clone()
+            },
+        ),
+        (
+            "with_feedback",
+            ExplorerConfig {
+                redundancy_feedback: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn failures_with(cfg: &ExplorerConfig, seed: u64) -> usize {
+    let space = TargetSpace::coreutils().space().clone();
+    let exec = TargetSpace::coreutils();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default());
+    FitnessExplorer::new(space, cfg.clone(), seed)
+        .run(&eval, 250)
+        .failures()
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the quality comparison once (averaged over 5 seeds).
+    println!("\nablation quality: failures found in 250 samples (mean of 5 seeds)");
+    for (name, cfg) in variants() {
+        let mean: f64 = (0..5).map(|s| failures_with(&cfg, s) as f64).sum::<f64>() / 5.0;
+        println!("  {name:<16} {mean:>6.1}");
+    }
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (name, cfg) in variants() {
+        g.bench_with_input(BenchmarkId::new("run_250", name), &cfg, |b, cfg| {
+            b.iter(|| failures_with(cfg, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

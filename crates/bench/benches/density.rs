@@ -1,0 +1,34 @@
+//! Cost of the §2 analysis primitives: relative linear density over
+//! D-vicinities and Manhattan-vicinity enumeration.
+
+use afex_space::{relative_linear_density_in_vicinity, Axis, FaultSpace, Point, Vicinity};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn space() -> FaultSpace {
+    FaultSpace::new(vec![
+        Axis::int_range("test", 0, 28),
+        Axis::int_range("func", 0, 18),
+        Axis::int_range("call", 0, 99),
+    ])
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let s = space();
+    let center = Point::new(vec![14, 9, 50]);
+    let impact = |p: &Point| if p[1] == 9 { 1.0 } else { 0.0 };
+
+    let mut g = c.benchmark_group("density");
+    for d in [2u64, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("vicinity_enumerate", d), &d, |b, &d| {
+            b.iter(|| Vicinity::new(&s, &center, d).count())
+        });
+        g.bench_with_input(BenchmarkId::new("rho_in_vicinity", d), &d, |b, &d| {
+            b.iter(|| relative_linear_density_in_vicinity(&s, &center, 1, d, impact))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of the §5 redundancy machinery: Levenshtein distance and
+//! cluster construction over realistic stack traces.
+
+use afex_core::{cluster_traces, levenshtein};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Synthesizes realistic `a>b>c` traces with controlled diversity.
+fn traces(n: usize) -> Vec<String> {
+    let modules = [
+        "main",
+        "parse",
+        "handle",
+        "net_recv",
+        "mi_create",
+        "wal_commit",
+    ];
+    (0..n)
+        .map(|i| {
+            format!(
+                "{}>{}>{}_{}",
+                modules[i % 3],
+                modules[3 + i % 3],
+                modules[i % 6],
+                i % 7
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levenshtein");
+    let a = "main>ap_read_config>ap_add_module>strdup";
+    let b = "main>ap_process_connection>cgi_handler>calloc";
+    g.bench_function("distance_40ch", |bench| {
+        bench.iter(|| levenshtein(std::hint::black_box(a), std::hint::black_box(b)))
+    });
+    for n in [50usize, 200] {
+        let ts = traces(n);
+        g.bench_with_input(BenchmarkId::new("cluster", n), &ts, |bench, ts| {
+            bench.iter(|| cluster_traces(ts, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Cost of the Fig. 3 descriptor-language parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn descriptor(subspaces: usize) -> String {
+    (0..subspaces)
+        .map(|i| {
+            format!(
+                "io_sub{i} function : {{ malloc, calloc, realloc, read, write }}\n\
+                 errno : {{ ENOMEM, EINTR, EIO }}\n\
+                 retval : {{ -1 }}\n\
+                 callNumber : [ 1 , 100 ] ;\n"
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    for n in [1usize, 16, 128] {
+        let text = descriptor(n);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", n), &text, |b, text| {
+            b.iter(|| afex_space::parse(text).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 3 as a benchmark: cost of 250-sample searches over the real
+//! coreutils target, per strategy.
+
+use afex_core::{
+    ExhaustiveExplorer, ExplorerConfig, FitnessExplorer, GeneticConfig, GeneticExplorer,
+    ImpactMetric, OutcomeEvaluator, RandomExplorer,
+};
+use afex_targets::spaces::TargetSpace;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn eval() -> OutcomeEvaluator<impl Fn(&afex_space::Point) -> afex_inject::TestOutcome> {
+    let exec = TargetSpace::coreutils();
+    OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default())
+}
+
+fn bench(c: &mut Criterion) {
+    let space = TargetSpace::coreutils().space().clone();
+    let mut g = c.benchmark_group("search_efficiency");
+    g.sample_size(10);
+    g.bench_function("fitness_250", |b| {
+        let e = eval();
+        b.iter(|| FitnessExplorer::new(space.clone(), ExplorerConfig::default(), 1).run(&e, 250))
+    });
+    g.bench_function("random_250", |b| {
+        let e = eval();
+        b.iter(|| RandomExplorer::new(space.clone(), 1).run(&e, 250))
+    });
+    g.bench_function("genetic_250", |b| {
+        let e = eval();
+        b.iter(|| GeneticExplorer::new(space.clone(), GeneticConfig::default(), 1).run(&e, 250))
+    });
+    g.bench_function("exhaustive_1653", |b| {
+        let e = eval();
+        b.iter(|| ExhaustiveExplorer::new(space.clone()).run(&e, 1_653))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

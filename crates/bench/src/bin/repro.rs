@@ -1,0 +1,76 @@
+//! `repro` — regenerates every table and figure of the AFEX paper.
+//!
+//! ```text
+//! repro <fig1|fig8|fig9|table1|table2|table3|table4|table5|table6|scaling|all> [--quick]
+//! ```
+//!
+//! `--quick` quarters the iteration budgets (CI-friendly); the default
+//! runs the paper-scale budgets. Output is the same rows/series the paper
+//! reports, plus the paper's numbers for side-by-side comparison.
+
+use afex_bench::experiments::{
+    fig1, fig8, fig9, scaling, table1, table2, table3, table4, table5, table6,
+};
+use afex_bench::ExperimentBudget;
+use std::time::Duration;
+
+const SEED: u64 = 20120410; // EuroSys 2012, April 10.
+
+fn run_one(name: &str, budget: ExperimentBudget) -> Option<String> {
+    let b = budget;
+    let text = match name {
+        "fig1" => fig1::compute().render(),
+        "fig8" => fig8::compute(b.scale(500), SEED).render(),
+        "fig9" => fig9::compute(b.scale(250), SEED).render(),
+        "table1" => table1::compute(b.scale(2000), SEED).render(),
+        "table2" => table2::compute(b.scale(1000), SEED).render(),
+        "table3" => table3::compute(250, SEED).render(),
+        "table4" => table4::compute(b.scale(1000), SEED).render(),
+        "table5" => table5::compute(b.scale(1000), SEED).render(),
+        "table6" => table6::compute(SEED).render(),
+        "scaling" => {
+            let workers = [1, 2, 4, 8, 14];
+            let pts = scaling::measure(&workers, b.scale(400), Duration::from_millis(5), SEED);
+            let rate = scaling::explorer_generation_rate(20_000, SEED);
+            scaling::render(&pts, rate)
+        }
+        _ => return None,
+    };
+    Some(text)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget = if quick {
+        ExperimentBudget::Quick
+    } else {
+        ExperimentBudget::Full
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let all = [
+        "fig1", "fig8", "fig9", "table1", "table2", "table3", "table4", "table5", "table6",
+        "scaling",
+    ];
+    let selected: Vec<&str> = if what == "all" {
+        all.to_vec()
+    } else {
+        vec![what.as_str()]
+    };
+    for name in selected {
+        match run_one(name, budget) {
+            Some(text) => {
+                println!("==================== {name} ====================");
+                println!("{text}");
+            }
+            None => {
+                eprintln!("unknown experiment `{name}`; expected one of {all:?} or `all`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

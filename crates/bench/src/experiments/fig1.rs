@@ -1,0 +1,109 @@
+//! Figure 1: the fault-space bitmap of the coreutils suite.
+//!
+//! The paper plots, for the `ls` utility, whether failing the *first*
+//! call to each libc function during each suite test leads to a test
+//! failure. We plot the same grid for the whole coreutils suite: rows are
+//! suite tests, columns the 19 fault-space functions; `#` marks "test
+//! fails", `.` marks "no error". The visible row/column banding is the
+//! structure the fitness-guided search exploits.
+
+use afex_inject::{FaultPlan, Func, TestStatus};
+use afex_targets::coreutils::{Coreutils, TEST_NAMES};
+use afex_targets::{run_test, Target};
+
+/// The computed grid: `grid[test][func]` is true when the injection made
+/// the test fail (a "black square").
+pub struct Fig1 {
+    /// Failure bitmap, indexed `[test][func]`.
+    pub grid: Vec<Vec<bool>>,
+    /// Functions along the horizontal axis.
+    pub funcs: Vec<Func>,
+}
+
+/// Computes the grid (first call to each function, every suite test).
+pub fn compute() -> Fig1 {
+    let target = Coreutils::new();
+    let funcs: Vec<Func> = Func::COREUTILS19.to_vec();
+    let grid = (0..target.num_tests())
+        .map(|test| {
+            funcs
+                .iter()
+                .map(|&f| {
+                    let errno = f.fault_profile().errnos[0];
+                    let o = run_test(&target, test, &FaultPlan::single(f, 1, errno));
+                    o.status != TestStatus::Passed
+                })
+                .collect()
+        })
+        .collect();
+    Fig1 { grid, funcs }
+}
+
+impl Fig1 {
+    /// Number of black squares (failure-inducing injections).
+    pub fn black_count(&self) -> usize {
+        self.grid.iter().flatten().filter(|&&b| b).count()
+    }
+
+    /// Renders the ASCII bitmap.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 1: coreutils fault-space bitmap (first call to each function)\n");
+        out.push_str("rows = suite tests, cols = libc functions; '#' = test failure\n\n");
+        // Column header (function names, vertical).
+        let width = self.funcs.iter().map(|f| f.name().len()).max().unwrap_or(0);
+        for row in 0..width {
+            out.push_str("                ");
+            for f in &self.funcs {
+                let name = f.name();
+                out.push(name.chars().nth(row).unwrap_or(' '));
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        for (t, row) in self.grid.iter().enumerate() {
+            out.push_str(&format!("{:>14}  ", TEST_NAMES[t]));
+            for &black in row {
+                out.push(if black { '#' } else { '.' });
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "\n{} failure-inducing injections of {} grid points\n",
+            self.black_count(),
+            self.grid.len() * self.funcs.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_visible_structure() {
+        let fig = compute();
+        assert_eq!(fig.grid.len(), 29);
+        assert_eq!(fig.funcs.len(), 19);
+        // Non-trivial density: some injections fail, most are tolerated
+        // or untriggered (the paper's grid is mostly gray).
+        let black = fig.black_count();
+        assert!(black > 30, "black = {black}");
+        assert!(black < 29 * 19 / 2, "black = {black}");
+        // Column structure: the malloc column (index 0) fails for every
+        // test that allocates — a vertical "battleship".
+        let malloc_hits = fig.grid.iter().filter(|row| row[0]).count();
+        assert!(malloc_hits >= 10, "malloc column = {malloc_hits}");
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let fig = compute();
+        let text = fig.render();
+        assert!(text.contains("ls_empty"));
+        assert!(text.contains("sort_large"));
+        assert!(text.contains('#'));
+    }
+}

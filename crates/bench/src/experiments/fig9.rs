@@ -1,0 +1,104 @@
+//! Figure 9: AFEX efficiency across development stages (MongoDB stand-in).
+//!
+//! 250 fault-space samples against v0.8 (pre-production) and v2.0
+//! (industrial strength), fitness-guided vs. random. The paper measures a
+//! 2.37× fitness/random advantage on v0.8 shrinking to 1.43× on v2.0,
+//! with *more* absolute failures on v2.0.
+
+use crate::util::{evaluator_for, ratio};
+use afex_core::{ExplorerConfig, FitnessExplorer, ImpactMetric, RandomExplorer};
+use afex_targets::docstore::Version;
+use afex_targets::spaces::TargetSpace;
+
+/// Failure counts for one version.
+pub struct VersionRow {
+    /// Fitness-guided failures.
+    pub fitness: usize,
+    /// Random failures.
+    pub random: usize,
+}
+
+/// The two-version comparison.
+pub struct Fig9 {
+    /// Pre-production results.
+    pub v08: VersionRow,
+    /// Production results.
+    pub v20: VersionRow,
+}
+
+fn row(version: Version, samples: usize, seed: u64) -> VersionRow {
+    let make_space = || TargetSpace::docstore(version);
+    let eval = evaluator_for(make_space(), ImpactMetric::default());
+    let fit = FitnessExplorer::new(
+        make_space().space().clone(),
+        ExplorerConfig::default(),
+        seed,
+    )
+    .run(&eval, samples);
+    let rnd = RandomExplorer::new(make_space().space().clone(), seed).run(&eval, samples);
+    VersionRow {
+        fitness: fit.failures(),
+        random: rnd.failures(),
+    }
+}
+
+/// Runs the experiment with `samples` per (version, strategy).
+pub fn compute(samples: usize, seed: u64) -> Fig9 {
+    Fig9 {
+        v08: row(Version::V0_8, samples, seed),
+        v20: row(Version::V2_0, samples, seed),
+    }
+}
+
+impl Fig9 {
+    /// Renders the bar-chart data.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 9: efficiency across development stages (docstore)\n\n\
+             version   fitness  random  ratio\n\
+             v0.8      {:>7}  {:>6}  {}\n\
+             v2.0      {:>7}  {:>6}  {}\n\n\
+             paper: 2.37x (v0.8) vs 1.43x (v2.0); more absolute failures in v2.0\n",
+            self.v08.fitness,
+            self.v08.random,
+            ratio(self.v08.fitness, self.v08.random),
+            self.v20.fitness,
+            self.v20.random,
+            ratio(self.v20.fitness, self.v20.random),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maturity_narrows_the_gap_and_raises_failures() {
+        let fig = compute(250, 7);
+        // Fitness wins on both versions.
+        assert!(
+            fig.v08.fitness > fig.v08.random,
+            "{} vs {}",
+            fig.v08.fitness,
+            fig.v08.random
+        );
+        assert!(
+            fig.v20.fitness >= fig.v20.random,
+            "{} vs {}",
+            fig.v20.fitness,
+            fig.v20.random
+        );
+        // The advantage shrinks with maturity.
+        let r08 = fig.v08.fitness as f64 / fig.v08.random.max(1) as f64;
+        let r20 = fig.v20.fitness as f64 / fig.v20.random.max(1) as f64;
+        assert!(r08 > r20, "ratios {r08:.2} vs {r20:.2}");
+        // More features, more absolute failures.
+        assert!(
+            fig.v20.fitness > fig.v08.fitness,
+            "{} vs {}",
+            fig.v20.fitness,
+            fig.v08.fitness
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper artifact.
+
+pub mod fig1;
+pub mod fig8;
+pub mod fig9;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each submodule of [`experiments`] reproduces one evaluation artifact
+//! (§7): it builds the same fault space, runs the same searches, and
+//! prints the same rows/series the paper reports. The `repro` binary
+//! dispatches to them (`repro fig8`, `repro table4`, `repro all`, ...).
+//!
+//! Absolute numbers differ from the paper's (the targets are simulated
+//! stand-ins, not the authors' testbed); the *shape* — who wins, by
+//! roughly what factor, where crossovers fall — is what each experiment
+//! asserts and what EXPERIMENTS.md records.
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{evaluator_for, ExperimentBudget};

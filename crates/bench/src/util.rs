@@ -1,0 +1,99 @@
+//! Shared wiring between target spaces and the core explorers.
+
+use afex_core::{ImpactMetric, OutcomeEvaluator};
+use afex_inject::TestOutcome;
+use afex_space::Point;
+use afex_targets::spaces::TargetSpace;
+
+/// Scales experiment sizes so the same code serves quick CI checks and
+/// full paper-scale reproductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentBudget {
+    /// Reduced iteration counts (seconds per experiment).
+    Quick,
+    /// The paper's iteration counts.
+    Full,
+}
+
+impl ExperimentBudget {
+    /// Scales an iteration count: `Full` keeps it, `Quick` quarters it
+    /// (minimum 50).
+    pub fn scale(self, full: usize) -> usize {
+        match self {
+            ExperimentBudget::Full => full,
+            ExperimentBudget::Quick => (full / 4).max(50),
+        }
+    }
+}
+
+/// Builds the standard evaluator for a target space: execute the test the
+/// point denotes and score it with the given metric.
+pub fn evaluator_for(
+    ts: TargetSpace,
+    metric: ImpactMetric,
+) -> OutcomeEvaluator<impl Fn(&Point) -> TestOutcome> {
+    OutcomeEvaluator::new(move |p: &Point| ts.execute(p), metric)
+}
+
+/// Like [`evaluator_for`], but additionally accumulates the *union* block
+/// coverage of every executed test into the returned handle — what gcov
+/// reports for a whole exploration session (Tables 1 and 3).
+pub fn evaluator_with_coverage(
+    ts: TargetSpace,
+    metric: ImpactMetric,
+) -> (
+    OutcomeEvaluator<impl Fn(&Point) -> TestOutcome>,
+    std::sync::Arc<std::sync::Mutex<afex_inject::Coverage>>,
+) {
+    let union = std::sync::Arc::new(std::sync::Mutex::new(afex_inject::Coverage::new()));
+    let handle = union.clone();
+    let eval = OutcomeEvaluator::new(
+        move |p: &Point| {
+            let outcome = ts.execute(p);
+            union
+                .lock()
+                .expect("coverage lock is never poisoned")
+                .merge(&outcome.coverage);
+            outcome
+        },
+        metric,
+    );
+    (eval, handle)
+}
+
+/// Formats a ratio like the paper does ("2.37x").
+pub fn ratio(a: usize, b: usize) -> String {
+    if b == 0 {
+        "inf".to_owned()
+    } else {
+        format!("{:.2}x", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scaling() {
+        assert_eq!(ExperimentBudget::Full.scale(1000), 1000);
+        assert_eq!(ExperimentBudget::Quick.scale(1000), 250);
+        assert_eq!(ExperimentBudget::Quick.scale(100), 50);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(237, 100), "2.37x");
+        assert_eq!(ratio(5, 0), "inf");
+    }
+
+    #[test]
+    fn evaluator_runs_tests() {
+        use afex_core::Evaluator;
+        let eval = evaluator_for(TargetSpace::coreutils(), ImpactMetric::default());
+        // No-injection point: passes, zero impact.
+        let e = eval.evaluate(&Point::new(vec![0, 0, 0]));
+        assert_eq!(e.impact, 0.0);
+        assert!(!e.failed);
+    }
+}

@@ -1,0 +1,34 @@
+//! AFEX prototype architecture: explorer + node managers (§6).
+//!
+//! "The core of AFEX consists of an explorer and a set of node managers
+//! [...]. One manager is in charge of all tests on one physical machine.
+//! [...] Since tests are independent of each other, AFEX enjoys
+//! 'embarrassing parallelism'. Node managers need not talk to each other,
+//! only the explorer communicates with node managers."
+//!
+//! In this reproduction a node manager is a worker thread owning its own
+//! evaluator (its own copy of the simulated target), connected to the
+//! explorer by crossbeam channels — preserving the coordination topology
+//! while substituting threads for EC2 instances (§7.7 only claims linear
+//! scaling from the embarrassing parallelism, which the thread topology
+//! reproduces).
+//!
+//! - [`messages`] — the explorer ⇄ manager wire protocol.
+//! - [`plugin`] — injector plugins converting AFEX-internal fault
+//!   descriptions into per-injector configuration (§6.1).
+//! - [`scripts`] — the user-provided startup/test/cleanup hooks (§6.1).
+//! - [`manager`] — the node-manager worker.
+//! - [`parallel`] — the parallel session driver pumping any
+//!   [`Explore`](afex_core::Explore) strategy through a manager pool.
+
+pub mod manager;
+pub mod messages;
+pub mod parallel;
+pub mod plugin;
+pub mod scripts;
+
+pub use manager::NodeManager;
+pub use messages::{ManagerMsg, Task, TaskResult};
+pub use parallel::ParallelSession;
+pub use plugin::{Fig5Plugin, InjectorPlugin};
+pub use scripts::{ScriptHooks, ScriptedEvaluator};

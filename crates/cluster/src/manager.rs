@@ -1,0 +1,122 @@
+//! The node-manager worker (§6.1).
+//!
+//! A node manager owns its own evaluator instance (its own copy of the
+//! system under test), receives [`Task`]s from the explorer, executes
+//! them, aggregates the sensors' measurements into an impact value, and
+//! reports a [`TaskResult`] back.
+
+use crate::messages::{ManagerMsg, Task, TaskResult};
+use afex_core::Evaluator;
+use crossbeam::channel::{Receiver, Sender};
+
+/// A node manager: the per-machine test executor.
+pub struct NodeManager {
+    id: usize,
+}
+
+impl NodeManager {
+    /// Creates a manager with an id (its "machine name").
+    pub fn new(id: usize) -> Self {
+        NodeManager { id }
+    }
+
+    /// The manager's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Runs the manager loop until the task channel closes: receive a
+    /// task, execute it, report the result. Returns the number of tests
+    /// executed; also announces it with a final [`ManagerMsg::Bye`].
+    pub fn serve<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        tasks: &Receiver<Task>,
+        results: &Sender<ManagerMsg>,
+    ) -> usize {
+        let mut executed = 0usize;
+        while let Ok(task) = tasks.recv() {
+            let evaluation = evaluator.evaluate(&task.point);
+            executed += 1;
+            let msg = ManagerMsg::Done(TaskResult {
+                id: task.id,
+                point: task.point,
+                mutated_axis: task.mutated_axis,
+                evaluation,
+                manager: self.id,
+            });
+            if results.send(msg).is_err() {
+                break; // The explorer went away.
+            }
+        }
+        let _ = results.send(ManagerMsg::Bye {
+            manager: self.id,
+            executed,
+        });
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_core::FnEvaluator;
+    use afex_space::Point;
+    use crossbeam::channel;
+
+    #[test]
+    fn serves_until_channel_closes() {
+        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        let (res_tx, res_rx) = channel::unbounded::<ManagerMsg>();
+        for i in 0..5 {
+            task_tx
+                .send(Task {
+                    id: i,
+                    point: Point::new(vec![i as usize]),
+                    mutated_axis: None,
+                })
+                .unwrap();
+        }
+        drop(task_tx);
+        let eval = FnEvaluator::new(|p: &Point| p[0] as f64);
+        let executed = NodeManager::new(3).serve(&eval, &task_rx, &res_tx);
+        assert_eq!(executed, 5);
+        let msgs: Vec<ManagerMsg> = res_rx.try_iter().collect();
+        assert_eq!(msgs.len(), 6); // 5 results + Bye.
+        match &msgs[4] {
+            ManagerMsg::Done(r) => {
+                assert_eq!(r.id, 4);
+                assert_eq!(r.evaluation.impact, 4.0);
+                assert_eq!(r.manager, 3);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        assert_eq!(
+            msgs[5],
+            ManagerMsg::Bye {
+                manager: 3,
+                executed: 5
+            }
+        );
+    }
+
+    #[test]
+    fn results_preserve_mutated_axis() {
+        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        let (res_tx, res_rx) = channel::unbounded::<ManagerMsg>();
+        task_tx
+            .send(Task {
+                id: 0,
+                point: Point::new(vec![1]),
+                mutated_axis: Some(0),
+            })
+            .unwrap();
+        drop(task_tx);
+        NodeManager::new(0).serve(&FnEvaluator::new(|_| 0.0), &task_rx, &res_tx);
+        if let ManagerMsg::Done(r) = res_rx.recv().unwrap() {
+            assert_eq!(r.mutated_axis, Some(0));
+        } else {
+            panic!("expected Done");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The explorer ⇄ node-manager protocol.
+//!
+//! The explorer sends [`Task`]s (fault scenarios to execute); managers
+//! reply with [`TaskResult`]s carrying the measured evaluation. Messages
+//! are serializable so the same protocol could cross machine boundaries.
+
+use afex_core::Evaluation;
+use afex_space::Point;
+use serde::{Deserialize, Serialize};
+
+/// A fault-injection test assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Monotonic task id assigned by the explorer.
+    pub id: u64,
+    /// The fault to inject.
+    pub point: Point,
+    /// Which axis the generating mutation changed (`None` for seeds).
+    pub mutated_axis: Option<usize>,
+}
+
+/// A completed test report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// The task id this result answers.
+    pub id: u64,
+    /// The executed fault.
+    pub point: Point,
+    /// Which axis the generating mutation changed.
+    pub mutated_axis: Option<usize>,
+    /// The sensors' measurements.
+    pub evaluation: Evaluation,
+    /// Which manager executed the test.
+    pub manager: usize,
+}
+
+/// Messages a manager sends the explorer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ManagerMsg {
+    /// A finished test.
+    Done(TaskResult),
+    /// The manager exited (channel closed / shutdown acknowledged).
+    Bye {
+        /// The manager's id.
+        manager: usize,
+        /// How many tests it executed in total.
+        executed: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Task {
+            id: 7,
+            point: Point::new(vec![1, 2, 3]),
+            mutated_axis: Some(1),
+        };
+        let back: Task = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+
+        let r = ManagerMsg::Done(TaskResult {
+            id: 7,
+            point: Point::new(vec![1, 2, 3]),
+            mutated_axis: None,
+            evaluation: Evaluation::from_impact(5.0),
+            manager: 2,
+        });
+        let back: ManagerMsg = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+}

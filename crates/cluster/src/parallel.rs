@@ -1,0 +1,211 @@
+//! The parallel session driver.
+//!
+//! Pumps any [`Explore`] strategy through a pool of node managers: the
+//! explorer keeps one outstanding candidate per manager and completes them
+//! in arrival order. "Given that the explorer's workload (selecting the
+//! next test) is significantly less than that of the managers (actually
+//! executing and evaluating the test), the system has no problematic
+//! bottleneck for clusters of dozens of nodes" (§6.1).
+
+use crate::manager::NodeManager;
+use crate::messages::{ManagerMsg, Task};
+use afex_core::queues::PendingTest;
+use afex_core::{Evaluator, Explore, SessionResult};
+use crossbeam::channel;
+
+/// A parallel exploration session over a manager pool.
+pub struct ParallelSession {
+    workers: usize,
+}
+
+impl ParallelSession {
+    /// Creates a session with `workers` node managers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one node manager");
+        ParallelSession { workers }
+    }
+
+    /// Number of node managers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `iterations` tests of `explorer`, executing them on the
+    /// manager pool. `make_evaluator` builds one evaluator per manager
+    /// (each manager owns its copy of the system under test).
+    ///
+    /// Results are completed in arrival order, so the search is *batch-
+    /// parallel*: up to `workers` candidates are generated before their
+    /// fitness is known — exactly the trade-off the real cluster makes.
+    pub fn run<X, E, F>(
+        &self,
+        explorer: &mut X,
+        make_evaluator: F,
+        iterations: usize,
+    ) -> SessionResult
+    where
+        X: Explore,
+        E: Evaluator,
+        F: Fn(usize) -> E + Sync,
+    {
+        let (task_tx, task_rx) = channel::bounded::<Task>(self.workers * 2);
+        let (res_tx, res_rx) = channel::unbounded::<ManagerMsg>();
+        let mut executed = Vec::with_capacity(iterations);
+        std::thread::scope(|scope| {
+            // Spawn the manager pool.
+            for m in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                let make_evaluator = &make_evaluator;
+                scope.spawn(move || {
+                    let evaluator = make_evaluator(m);
+                    NodeManager::new(m).serve(&evaluator, &task_rx, &res_tx);
+                });
+            }
+            drop(task_rx);
+            drop(res_tx);
+
+            // The explorer loop: keep the pool saturated.
+            let mut outstanding: std::collections::HashMap<u64, PendingTest> =
+                std::collections::HashMap::new();
+            let mut next_id = 0u64;
+            let mut issued = 0usize;
+            let mut completed = 0usize;
+            let mut exhausted = false;
+            while completed < iterations {
+                // Issue work while there is budget and capacity.
+                while !exhausted && issued < iterations && outstanding.len() < self.workers * 2 {
+                    match explorer.next_candidate() {
+                        Some(test) => {
+                            let task = Task {
+                                id: next_id,
+                                point: test.point.clone(),
+                                mutated_axis: test.mutated_axis,
+                            };
+                            outstanding.insert(next_id, test);
+                            next_id += 1;
+                            issued += 1;
+                            if task_tx.send(task).is_err() {
+                                exhausted = true;
+                            }
+                        }
+                        None => exhausted = true,
+                    }
+                }
+                if outstanding.is_empty() {
+                    break; // Space exhausted and everything completed.
+                }
+                // Absorb one result (blocking), then drain what's ready.
+                match res_rx.recv() {
+                    Ok(ManagerMsg::Done(r)) => {
+                        if let Some(test) = outstanding.remove(&r.id) {
+                            executed.push(explorer.complete(test, r.evaluation));
+                            completed += 1;
+                        }
+                    }
+                    Ok(ManagerMsg::Bye { .. }) => {}
+                    Err(_) => break,
+                }
+            }
+            drop(task_tx); // Managers drain and exit.
+                           // Absorb stragglers so their completions still teach the
+                           // explorer (they count toward the log too).
+            for msg in res_rx.iter() {
+                if let ManagerMsg::Done(r) = msg {
+                    if let Some(test) = outstanding.remove(&r.id) {
+                        executed.push(explorer.complete(test, r.evaluation));
+                    }
+                }
+            }
+        });
+        SessionResult::new(executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_core::{ExplorerConfig, FitnessExplorer, FnEvaluator, RandomExplorer};
+    use afex_space::{Axis, FaultSpace, Point};
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![
+            Axis::int_range("x", 0, 19),
+            Axis::int_range("y", 0, 19),
+        ])
+        .unwrap()
+    }
+
+    fn ridge(p: &Point) -> f64 {
+        if p[0] == 7 {
+            10.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn parallel_random_runs_exact_budget() {
+        let mut ex = RandomExplorer::new(space(), 1);
+        let session = ParallelSession::new(4);
+        let r = session.run(&mut ex, |_| FnEvaluator::new(ridge), 100);
+        assert_eq!(r.len(), 100);
+        let distinct: std::collections::HashSet<_> =
+            r.executed.iter().map(|t| t.point.clone()).collect();
+        assert_eq!(distinct.len(), 100, "no test executed twice");
+    }
+
+    #[test]
+    fn parallel_fitness_still_beats_uniform_expectation() {
+        let mut ex = FitnessExplorer::new(space(), ExplorerConfig::default(), 5);
+        let session = ParallelSession::new(4);
+        let r = session.run(&mut ex, |_| FnEvaluator::new(ridge), 200);
+        assert_eq!(r.len(), 200);
+        let hits = r
+            .executed
+            .iter()
+            .filter(|t| t.evaluation.impact > 0.0)
+            .count();
+        // Uniform expectation is 200/20 = 10.
+        assert!(hits > 15, "hits = {hits}");
+    }
+
+    #[test]
+    fn exhausts_small_space_without_hanging() {
+        let small = FaultSpace::new(vec![Axis::int_range("x", 0, 4)]).unwrap();
+        let mut ex = RandomExplorer::new(small, 2);
+        let session = ParallelSession::new(3);
+        let r = session.run(&mut ex, |_| FnEvaluator::new(|_| 0.0), 100);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn work_spreads_across_managers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let mut ex = RandomExplorer::new(space(), 3);
+        let session = ParallelSession::new(4);
+        let counts2 = counts.clone();
+        session.run(
+            &mut ex,
+            move |m| {
+                let counts = counts2.clone();
+                FnEvaluator::new(move |_p: &Point| {
+                    counts[m].fetch_add(1, Ordering::SeqCst);
+                    0.0
+                })
+            },
+            200,
+        );
+        let active = counts
+            .iter()
+            .filter(|c| c.load(Ordering::SeqCst) > 0)
+            .count();
+        assert!(active >= 2, "only {active} managers did work");
+    }
+}

@@ -1,0 +1,76 @@
+//! Injector plugins (§6.1).
+//!
+//! "The node manager contains a set of plugins that convert fault
+//! descriptions from the AFEX-internal representation to concrete
+//! configuration files and parameters for the injectors and sensors. Each
+//! plugin, in essence, adapts a subspace of the fault space to the
+//! particulars of its associated injector." (In the original these are
+//! ~150-line Java wrappers; here a plugin is a trait object.)
+
+use afex_space::{FaultSpace, Point};
+
+/// Converts AFEX-internal fault points into injector configuration.
+pub trait InjectorPlugin: Send + Sync {
+    /// The injector this plugin wraps (e.g. `"lfi"`).
+    fn injector(&self) -> &str;
+
+    /// Renders the configuration content that makes the wrapped injector
+    /// simulate the fault `point` denotes.
+    fn render_config(&self, point: &Point) -> String;
+}
+
+/// A plugin that renders points in the Fig. 5 scenario format using the
+/// fault space's axis names and values — what the LFI wrapper does.
+pub struct Fig5Plugin {
+    injector: String,
+    space: FaultSpace,
+}
+
+impl Fig5Plugin {
+    /// Creates a plugin rendering against `space`'s axes.
+    pub fn new(injector: impl Into<String>, space: FaultSpace) -> Self {
+        Fig5Plugin {
+            injector: injector.into(),
+            space,
+        }
+    }
+}
+
+impl InjectorPlugin for Fig5Plugin {
+    fn injector(&self) -> &str {
+        &self.injector
+    }
+
+    fn render_config(&self, point: &Point) -> String {
+        self.space.render(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_space::Axis;
+
+    #[test]
+    fn fig5_rendering_uses_axis_names() {
+        let space = FaultSpace::new(vec![
+            Axis::symbolic("function", ["malloc", "read"]),
+            Axis::symbolic("errno", ["ENOMEM"]),
+            Axis::int_range("callNumber", 1, 100),
+        ])
+        .unwrap();
+        let plugin = Fig5Plugin::new("lfi", space);
+        assert_eq!(plugin.injector(), "lfi");
+        assert_eq!(
+            plugin.render_config(&Point::new(vec![0, 0, 22])),
+            "function malloc errno ENOMEM callNumber 23"
+        );
+    }
+
+    #[test]
+    fn plugins_are_object_safe() {
+        let space = FaultSpace::new(vec![Axis::int_range("x", 0, 1)]).unwrap();
+        let plugin: Box<dyn InjectorPlugin> = Box::new(Fig5Plugin::new("lfi", space));
+        assert!(plugin.render_config(&Point::new(vec![1])).contains("x 1"));
+    }
+}

@@ -1,0 +1,93 @@
+//! User-provided test scripts (§6.1).
+//!
+//! "The actual execution of tests on the system S is done via three
+//! user-provided scripts: A startup script prepares the environment [...]
+//! A test script starts up S and signals the injectors and sensors to
+//! proceed [...] A cleanup script shuts S down after the test and removes
+//! all side effects." [`ScriptHooks`] models the three hooks;
+//! [`ScriptedEvaluator`] wraps an evaluator so every test execution runs
+//! between startup and cleanup.
+
+use afex_core::{Evaluation, Evaluator};
+use afex_space::Point;
+
+/// The three per-test hooks.
+pub struct ScriptHooks {
+    /// Prepares the environment (workload generators, env vars, ...).
+    pub startup: Box<dyn Fn(&Point) + Send + Sync>,
+    /// Shuts the target down and removes all side effects.
+    pub cleanup: Box<dyn Fn(&Point) + Send + Sync>,
+}
+
+impl ScriptHooks {
+    /// Hooks that do nothing (targets that self-contain their state, like
+    /// the in-process simulated targets).
+    pub fn noop() -> Self {
+        ScriptHooks {
+            startup: Box::new(|_| {}),
+            cleanup: Box::new(|_| {}),
+        }
+    }
+}
+
+/// An evaluator decorated with startup/cleanup hooks; the wrapped
+/// evaluator is the "test script".
+pub struct ScriptedEvaluator<E: Evaluator> {
+    inner: E,
+    hooks: ScriptHooks,
+}
+
+impl<E: Evaluator> ScriptedEvaluator<E> {
+    /// Wraps `inner` with `hooks`.
+    pub fn new(inner: E, hooks: ScriptHooks) -> Self {
+        ScriptedEvaluator { inner, hooks }
+    }
+}
+
+impl<E: Evaluator> Evaluator for ScriptedEvaluator<E> {
+    fn evaluate(&self, point: &Point) -> Evaluation {
+        (self.hooks.startup)(point);
+        let evaluation = self.inner.evaluate(point);
+        (self.hooks.cleanup)(point);
+        evaluation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_core::FnEvaluator;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hooks_bracket_every_test() {
+        let starts = Arc::new(AtomicUsize::new(0));
+        let cleans = Arc::new(AtomicUsize::new(0));
+        let (s, c) = (starts.clone(), cleans.clone());
+        let hooks = ScriptHooks {
+            startup: Box::new(move |_| {
+                s.fetch_add(1, Ordering::SeqCst);
+            }),
+            cleanup: Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        };
+        let eval = ScriptedEvaluator::new(FnEvaluator::new(|_| 1.0), hooks);
+        for i in 0..5 {
+            let e = eval.evaluate(&Point::new(vec![i]));
+            assert_eq!(e.impact, 1.0);
+        }
+        assert_eq!(starts.load(Ordering::SeqCst), 5);
+        assert_eq!(cleans.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn noop_hooks_pass_through() {
+        let eval = ScriptedEvaluator::new(
+            FnEvaluator::new(|p: &Point| p[0] as f64),
+            ScriptHooks::noop(),
+        );
+        assert_eq!(eval.evaluate(&Point::new(vec![7])).impact, 7.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Test aging (§3).
+//!
+//! "The fitness of a test is initially equal to its impact, but then
+//! decreases over time. Once the fitness of old tests drops below a
+//! threshold, they are retired and can never have offspring." Aging keeps
+//! the search from getting stuck exhaustively mining one high-impact
+//! vicinity — in the extreme, a massive-impact outlier with no serious
+//! neighbors would otherwise absorb the whole budget.
+
+use crate::queues::PriorityQueue;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative fitness decay with a retirement threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingPolicy {
+    /// Per-iteration fitness multiplier in `(0, 1]` (1 disables aging).
+    pub decay: f64,
+    /// Fitness below which a test retires from Qpriority.
+    pub retire_threshold: f64,
+}
+
+impl Default for AgingPolicy {
+    fn default() -> Self {
+        AgingPolicy {
+            decay: 0.97,
+            retire_threshold: 0.05,
+        }
+    }
+}
+
+impl AgingPolicy {
+    /// A policy that never ages (the ablation baseline).
+    pub fn disabled() -> Self {
+        AgingPolicy {
+            decay: 1.0,
+            retire_threshold: -1.0,
+        }
+    }
+
+    /// Whether this policy actually ages tests.
+    pub fn is_enabled(&self) -> bool {
+        self.decay < 1.0
+    }
+
+    /// Applies one iteration of aging to a priority queue and retires
+    /// entries that fell below the threshold. Returns how many retired.
+    pub fn sweep(&self, q: &mut PriorityQueue) -> usize {
+        if !self.is_enabled() {
+            return 0;
+        }
+        for e in q.entries_mut() {
+            e.fitness *= self.decay;
+        }
+        q.retire_below(self.retire_threshold).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::PrioEntry;
+    use afex_space::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn queue_with(fitness: &[f64]) -> PriorityQueue {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut q = PriorityQueue::new(16);
+        for (i, &f) in fitness.iter().enumerate() {
+            q.insert(
+                PrioEntry {
+                    point: Point::new(vec![i]),
+                    impact: f,
+                    fitness: f,
+                },
+                &mut rng,
+            );
+        }
+        q
+    }
+
+    #[test]
+    fn decay_reduces_fitness() {
+        let mut q = queue_with(&[10.0]);
+        let policy = AgingPolicy {
+            decay: 0.5,
+            retire_threshold: 0.01,
+        };
+        policy.sweep(&mut q);
+        assert!((q.entries()[0].fitness - 5.0).abs() < 1e-9);
+        // Impact is untouched.
+        assert_eq!(q.entries()[0].impact, 10.0);
+    }
+
+    #[test]
+    fn old_tests_eventually_retire() {
+        let mut q = queue_with(&[10.0, 0.2]);
+        let policy = AgingPolicy {
+            decay: 0.5,
+            retire_threshold: 0.15,
+        };
+        // First sweep: 0.2 → 0.1 < 0.15 retires; 10 → 5 stays.
+        assert_eq!(policy.sweep(&mut q), 1);
+        assert_eq!(q.len(), 1);
+        let mut sweeps = 0;
+        while q.len() > 0 {
+            policy.sweep(&mut q);
+            sweeps += 1;
+            assert!(sweeps < 64, "high-fitness test must also retire eventually");
+        }
+    }
+
+    #[test]
+    fn disabled_policy_is_noop() {
+        let mut q = queue_with(&[0.001]);
+        let policy = AgingPolicy::disabled();
+        assert_eq!(policy.sweep(&mut q), 0);
+        assert_eq!(q.entries()[0].fitness, 0.001);
+        assert!(!policy.is_enabled());
+    }
+
+    #[test]
+    fn default_is_enabled() {
+        assert!(AgingPolicy::default().is_enabled());
+    }
+}

@@ -1,0 +1,431 @@
+//! The fitness-guided exploration algorithm (§3, Algorithm 1).
+//!
+//! "In essence, a variation of stochastic beam search — parallel
+//! hill-climbing with a common pool of candidate states — enhanced with
+//! sensitivity analysis and Gaussian value selection."
+//!
+//! The loop: seed an initial random batch; then repeatedly pick a parent
+//! from Qpriority proportionally to fitness, pick the attribute to mutate
+//! proportionally to per-axis sensitivity, draw the new value from a
+//! discrete Gaussian around the old one, and execute the offspring unless
+//! it was already seen. Executed tests feed fitness back into the queue,
+//! the sensitivity windows, and (optionally) the redundancy feedback loop;
+//! aging retires stale parents so the search keeps moving.
+
+use crate::aging::AgingPolicy;
+use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
+use crate::explore::Explore;
+use crate::feedback::RedundancyFeedback;
+use crate::gaussian::DiscreteGaussian;
+use crate::queues::{History, PendingQueue, PendingTest, PrioEntry, PriorityQueue};
+use crate::sensitivity::Sensitivity;
+use crate::session::SessionResult;
+use afex_space::{FaultSpace, Point, UniformSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the fitness-guided search.
+///
+/// The ablation switches (`use_sensitivity`, `use_gaussian`) exist for the
+/// DESIGN.md ablation benches; both default to on, matching the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorerConfig {
+    /// Size of the initial random batch (step 1 of §3).
+    pub initial_batch: usize,
+    /// Capacity of Qpriority.
+    pub qpriority_cap: usize,
+    /// Sensitivity window length `n`.
+    pub sensitivity_window: usize,
+    /// Minimum normalized probability share per axis.
+    pub sensitivity_floor: f64,
+    /// Gaussian σ as a fraction of axis cardinality (paper: 1/5).
+    pub sigma_factor: f64,
+    /// Aging policy.
+    pub aging: AgingPolicy,
+    /// Whether to use the online redundancy feedback loop (§7.4).
+    pub redundancy_feedback: bool,
+    /// Ablation: choose the mutated axis by sensitivity (true) or
+    /// uniformly (false).
+    pub use_sensitivity: bool,
+    /// Ablation: choose the new value by Gaussian (true) or uniformly
+    /// (false).
+    pub use_gaussian: bool,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            initial_batch: 16,
+            qpriority_cap: 64,
+            sensitivity_window: 32,
+            sensitivity_floor: 0.05,
+            sigma_factor: DiscreteGaussian::PAPER_SIGMA_FACTOR,
+            aging: AgingPolicy::default(),
+            redundancy_feedback: false,
+            use_sensitivity: true,
+            use_gaussian: true,
+        }
+    }
+}
+
+/// The fitness-guided explorer.
+pub struct FitnessExplorer {
+    space: FaultSpace,
+    cfg: ExplorerConfig,
+    rng: StdRng,
+    qpriority: PriorityQueue,
+    qpending: PendingQueue,
+    history: History,
+    sensitivity: Sensitivity,
+    feedback: RedundancyFeedback,
+    gaussians: Vec<DiscreteGaussian>,
+    iteration: usize,
+    executed: Vec<ExecutedTest>,
+    /// Candidates handed out via [`Explore::next_candidate`] whose results
+    /// have not come back yet (parallel execution support).
+    issued: std::collections::HashSet<Point>,
+}
+
+/// How many Algorithm 1 attempts to make before falling back to a random
+/// unexplored point (keeps coverage growing when a vicinity is exhausted).
+const GENERATION_ATTEMPTS: usize = 24;
+
+impl FitnessExplorer {
+    /// Creates an explorer over `space` with a deterministic RNG seed.
+    pub fn new(space: FaultSpace, cfg: ExplorerConfig, seed: u64) -> Self {
+        let axes = space.arity();
+        let gaussians = space
+            .axes()
+            .iter()
+            .map(|a| DiscreteGaussian::new(a.len(), cfg.sigma_factor))
+            .collect();
+        FitnessExplorer {
+            qpriority: PriorityQueue::new(cfg.qpriority_cap),
+            qpending: PendingQueue::new(),
+            history: History::new(),
+            sensitivity: Sensitivity::new(axes, cfg.sensitivity_window, cfg.sensitivity_floor),
+            feedback: RedundancyFeedback::new(),
+            gaussians,
+            rng: StdRng::seed_from_u64(seed),
+            iteration: 0,
+            executed: Vec::new(),
+            issued: std::collections::HashSet::new(),
+            space,
+            cfg,
+        }
+    }
+
+    /// The fault space being explored.
+    pub fn space(&self) -> &FaultSpace {
+        &self.space
+    }
+
+    /// Seeds specific starting tests, e.g. candidates from a static
+    /// analyzer (§4: "AFEX can use the results of the static analysis in
+    /// the initial generation phase").
+    pub fn seed_tests<I: IntoIterator<Item = Point>>(&mut self, points: I) {
+        for p in points {
+            if self.space.is_valid(&p) && !self.history.contains(&p) {
+                self.qpending.push(PendingTest {
+                    point: p,
+                    mutated_axis: None,
+                });
+            }
+        }
+    }
+
+    /// Number of tests executed so far.
+    pub fn executed_count(&self) -> usize {
+        self.iteration
+    }
+
+    /// Current normalized per-axis sensitivities (diagnostics; §7.3
+    /// inspects these to see what structure the search inferred).
+    pub fn sensitivities(&self) -> Vec<f64> {
+        self.sensitivity.normalized()
+    }
+
+    /// Runs `iterations` tests and returns the session log.
+    pub fn run(&mut self, eval: &dyn Evaluator, iterations: usize) -> SessionResult {
+        for _ in 0..iterations {
+            if self.step(eval).is_none() {
+                break;
+            }
+        }
+        SessionResult::new(std::mem::take(&mut self.executed))
+    }
+
+    /// Refills Qpending: the initial random batch first, then Algorithm 1
+    /// offspring, then random fallback.
+    fn refill_pending(&mut self) {
+        if self.history.len() + self.issued.len() < self.cfg.initial_batch {
+            let sampler = UniformSampler::new(&self.space);
+            let want = self.cfg.initial_batch - self.history.len() - self.issued.len();
+            for p in sampler.sample_distinct(&mut self.rng, want) {
+                if !self.history.contains(&p) && !self.issued.contains(&p) {
+                    self.qpending.push(PendingTest {
+                        point: p,
+                        mutated_axis: None,
+                    });
+                }
+            }
+            if !self.qpending.is_empty() {
+                return;
+            }
+        }
+        for _ in 0..GENERATION_ATTEMPTS {
+            if self.generate_offspring() {
+                return;
+            }
+        }
+        // Vicinity exhausted (or Qpriority empty): random unexplored point.
+        self.push_random_unexplored();
+    }
+
+    /// One attempt at Algorithm 1 (lines 1–14). Returns whether a new test
+    /// was enqueued.
+    fn generate_offspring(&mut self) -> bool {
+        // Lines 1–4: sample the parent proportionally to fitness.
+        let Some(parent) = self.qpriority.sample_parent(&mut self.rng) else {
+            return false;
+        };
+        let parent_point = parent.point.clone();
+        // Lines 5–6: choose the attribute by normalized sensitivity.
+        let axis = if self.cfg.use_sensitivity {
+            self.sensitivity.sample_axis(&mut self.rng)
+        } else {
+            self.rng.gen_range(0..self.space.arity())
+        };
+        // Lines 7–9: choose the new value.
+        let old_value = parent_point[axis];
+        let new_value = if self.cfg.use_gaussian {
+            self.gaussians[axis].sample_distinct(old_value, &mut self.rng)
+        } else {
+            self.rng.gen_range(0..self.space.axis(axis).len())
+        };
+        // Lines 10–11: clone and mutate.
+        let offspring = parent_point.with_attr(axis, new_value);
+        // Lines 12–14: deduplicate and enqueue.
+        if self.history.contains(&offspring)
+            || self.issued.contains(&offspring)
+            || self.qpriority.contains(&offspring)
+            || self.qpending.contains(&offspring)
+            || !self.space.is_valid(&offspring)
+        {
+            return false;
+        }
+        self.qpending.push(PendingTest {
+            point: offspring,
+            mutated_axis: Some(axis),
+        })
+    }
+
+    /// Pushes a uniformly drawn point not yet executed (coverage keeps
+    /// increasing proportionally to the time budget, §3).
+    fn push_random_unexplored(&mut self) {
+        let sampler = UniformSampler::new(&self.space);
+        for _ in 0..UniformSampler::MAX_REJECTS {
+            let p = sampler.sample(&mut self.rng);
+            if self.space.is_valid(&p)
+                && !self.history.contains(&p)
+                && !self.issued.contains(&p)
+                && !self.qpending.contains(&p)
+            {
+                self.qpending.push(PendingTest {
+                    point: p,
+                    mutated_axis: None,
+                });
+                return;
+            }
+        }
+    }
+}
+
+impl Explore for FitnessExplorer {
+    fn next_candidate(&mut self) -> Option<PendingTest> {
+        if self.qpending.is_empty() {
+            self.refill_pending();
+        }
+        let test = self.qpending.pop()?;
+        self.issued.insert(test.point.clone());
+        Some(test)
+    }
+
+    fn complete(&mut self, test: PendingTest, evaluation: Evaluation) -> ExecutedTest {
+        self.issued.remove(&test.point);
+        // Fitness = impact, weighted by redundancy feedback when enabled.
+        let mut fitness = evaluation.impact;
+        if self.cfg.redundancy_feedback {
+            if let Some(trace) = &evaluation.trace {
+                fitness *= self.feedback.weight(trace);
+                self.feedback.record(trace);
+            }
+        }
+        self.history.record(test.point.clone());
+        if let Some(axis) = test.mutated_axis {
+            self.sensitivity.record(axis, fitness);
+        }
+        self.qpriority.insert(
+            PrioEntry {
+                point: test.point.clone(),
+                impact: evaluation.impact,
+                fitness,
+            },
+            &mut self.rng,
+        );
+        self.cfg.aging.sweep(&mut self.qpriority);
+        let record = ExecutedTest {
+            point: test.point,
+            evaluation,
+            iteration: self.iteration,
+        };
+        self.iteration += 1;
+        self.executed.push(record.clone());
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use crate::explore::Explore;
+    use afex_space::Axis;
+
+    fn grid(n: i64) -> FaultSpace {
+        FaultSpace::new(vec![
+            Axis::int_range("x", 0, n - 1),
+            Axis::int_range("y", 0, n - 1),
+        ])
+        .unwrap()
+    }
+
+    /// Impact 10 along the column x == 7 ("a vertical battleship").
+    fn ridge(p: &Point) -> f64 {
+        if p[0] == 7 {
+            10.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn finds_ridge_faster_than_uniform_expectation() {
+        let space = grid(40);
+        let eval = FnEvaluator::new(ridge);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 7);
+        let result = ex.run(&eval, 300);
+        let hits = result
+            .executed
+            .iter()
+            .filter(|t| t.evaluation.impact > 0.0)
+            .count();
+        // Uniform sampling would expect 300/40 = 7.5 hits; the guided
+        // search should do several times better.
+        assert!(hits > 20, "hits = {hits}");
+    }
+
+    #[test]
+    fn never_reexecutes_a_test() {
+        let space = grid(10);
+        let eval = FnEvaluator::new(ridge);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 3);
+        let result = ex.run(&eval, 100);
+        let mut seen = std::collections::HashSet::new();
+        for t in &result.executed {
+            assert!(seen.insert(t.point.clone()), "re-executed {}", t.point);
+        }
+    }
+
+    #[test]
+    fn exhausts_small_spaces_completely() {
+        let space = grid(5); // 25 points.
+        let eval = FnEvaluator::new(|_| 1.0);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 1);
+        let result = ex.run(&eval, 100);
+        assert_eq!(result.executed.len(), 25, "coverage grows with budget");
+    }
+
+    #[test]
+    fn sensitivity_learns_ridge_orientation() {
+        let space = grid(40);
+        let eval = FnEvaluator::new(ridge);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 11);
+        ex.run(&eval, 400);
+        let s = ex.sensitivities();
+        // Mutating y keeps x == 7 (fitness stays high); mutating x leaves
+        // the ridge. Axis 1 (y) must have learned higher sensitivity.
+        assert!(s[1] > s[0], "sensitivities = {s:?}");
+    }
+
+    #[test]
+    fn seeded_tests_run_first() {
+        let space = grid(10);
+        let eval = FnEvaluator::new(ridge);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 5);
+        ex.seed_tests([Point::new(vec![7, 3]), Point::new(vec![7, 4])]);
+        let first = ex.step(&eval).unwrap();
+        assert_eq!(first.point, Point::new(vec![7, 3]));
+        let second = ex.step(&eval).unwrap();
+        assert_eq!(second.point, Point::new(vec![7, 4]));
+    }
+
+    #[test]
+    fn invalid_seeds_are_dropped() {
+        let mut space = grid(10);
+        space.set_hole_predicate(|p| p[0] == 9);
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 5);
+        ex.seed_tests([Point::new(vec![9, 0]), Point::new(vec![1, 1])]);
+        let first = ex.step(&eval).unwrap();
+        assert_eq!(first.point, Point::new(vec![1, 1]));
+    }
+
+    #[test]
+    fn holes_are_never_executed() {
+        let mut space = grid(10);
+        space.set_hole_predicate(|p| (p[0] + p[1]) % 3 == 0);
+        let eval = FnEvaluator::new(|_| 1.0);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), 9);
+        let result = ex.run(&eval, 60);
+        for t in &result.executed {
+            assert_ne!((t.point[0] + t.point[1]) % 3, 0);
+        }
+    }
+
+    #[test]
+    fn feedback_suppresses_redundant_vicinities() {
+        // All ridge points share one trace; with feedback on, their
+        // fitness collapses after the first hit, freeing budget for the
+        // rest of the space. Compare distinct points explored off-ridge.
+        let space = grid(20);
+        let make_eval = || FnEvaluator::new(|p: &Point| if p[0] == 7 { 10.0 } else { 0.0 });
+        let cfg_on = ExplorerConfig {
+            redundancy_feedback: true,
+            ..ExplorerConfig::default()
+        };
+        let mut with_fb = FitnessExplorer::new(space.clone(), cfg_on, 13);
+        let r1 = with_fb.run(&make_eval(), 200);
+        let mut without_fb = FitnessExplorer::new(space, ExplorerConfig::default(), 13);
+        let r2 = without_fb.run(&make_eval(), 200);
+        // Note: FnEvaluator has no traces, so feedback is inert here — the
+        // run must still behave identically rather than crash.
+        assert_eq!(r1.executed.len(), r2.executed.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let eval = FnEvaluator::new(ridge);
+        let run = |seed| {
+            let mut ex = FitnessExplorer::new(grid(15), ExplorerConfig::default(), seed);
+            ex.run(&eval, 50)
+                .executed
+                .iter()
+                .map(|t| t.point.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+}

@@ -1,0 +1,137 @@
+//! Exhaustive exploration (§3) — the completeness baseline.
+//!
+//! "Exhaustive exploration iterates through every point in the fault space
+//! by generating all combinations of attribute values [...] complete, but
+//! inefficient and, thus, prohibitively slow for large fault spaces."
+
+use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
+use crate::explore::Explore;
+use crate::queues::PendingTest;
+use crate::session::SessionResult;
+use afex_space::FaultSpace;
+
+/// Row-major exhaustive scanner.
+pub struct ExhaustiveExplorer {
+    space: FaultSpace,
+    next_index: u64,
+    iteration: usize,
+    executed: Vec<ExecutedTest>,
+}
+
+impl ExhaustiveExplorer {
+    /// Creates the scanner.
+    pub fn new(space: FaultSpace) -> Self {
+        ExhaustiveExplorer {
+            space,
+            next_index: 0,
+            iteration: 0,
+            executed: Vec::new(),
+        }
+    }
+
+    /// Fraction of the space visited so far.
+    pub fn progress(&self) -> f64 {
+        self.next_index as f64 / self.space.len() as f64
+    }
+
+    /// Runs up to `iterations` tests (pass `u64::MAX as usize` or the
+    /// space size for a full sweep).
+    pub fn run(&mut self, eval: &dyn Evaluator, iterations: usize) -> SessionResult {
+        for _ in 0..iterations {
+            if self.step(eval).is_none() {
+                break;
+            }
+        }
+        SessionResult::new(std::mem::take(&mut self.executed))
+    }
+}
+
+impl Explore for ExhaustiveExplorer {
+    fn next_candidate(&mut self) -> Option<PendingTest> {
+        loop {
+            let point = self.space.point_at(self.next_index)?;
+            self.next_index += 1;
+            if self.space.is_valid(&point) {
+                return Some(PendingTest {
+                    point,
+                    mutated_axis: None,
+                });
+            }
+            // Holes are skipped, not executed.
+        }
+    }
+
+    fn complete(&mut self, test: PendingTest, evaluation: Evaluation) -> ExecutedTest {
+        let record = ExecutedTest {
+            point: test.point,
+            evaluation,
+            iteration: self.iteration,
+        };
+        self.iteration += 1;
+        self.executed.push(record.clone());
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use afex_space::{Axis, Point};
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("x", 0, 3), Axis::int_range("y", 0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn visits_everything_once_in_order() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = ExhaustiveExplorer::new(space());
+        let r = ex.run(&eval, 1000);
+        assert_eq!(r.executed.len(), 16);
+        assert_eq!(r.executed[0].point, Point::new(vec![0, 0]));
+        assert_eq!(r.executed[1].point, Point::new(vec![0, 1]));
+        assert_eq!(r.executed[15].point, Point::new(vec![3, 3]));
+    }
+
+    #[test]
+    fn finds_every_impact_point() {
+        let eval = FnEvaluator::new(|p: &Point| if p[0] == p[1] { 1.0 } else { 0.0 });
+        let mut ex = ExhaustiveExplorer::new(space());
+        let r = ex.run(&eval, 16);
+        assert_eq!(
+            r.executed
+                .iter()
+                .filter(|t| t.evaluation.impact > 0.0)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn skips_holes() {
+        let mut s = space();
+        s.set_hole_predicate(|p| p[0] == 2);
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = ExhaustiveExplorer::new(s);
+        let r = ex.run(&eval, 1000);
+        assert_eq!(r.executed.len(), 12);
+    }
+
+    #[test]
+    fn progress_tracks_scan() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = ExhaustiveExplorer::new(space());
+        assert_eq!(ex.progress(), 0.0);
+        ex.run(&eval, 8);
+        assert!((ex.progress() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_run_stops_early() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = ExhaustiveExplorer::new(space());
+        let r = ex.run(&eval, 5);
+        assert_eq!(r.executed.len(), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! The generate/complete exploration interface.
+//!
+//! The AFEX prototype separates *choosing* the next test (the explorer)
+//! from *executing* it (the node managers, §6.1). [`Explore`] captures
+//! that split: `next_candidate` emits a test to run, `complete` feeds the
+//! measured evaluation back into the search state. Sequential callers use
+//! the provided [`Explore::step`]; the parallel cluster driver keeps one
+//! outstanding candidate per node manager and completes them in whatever
+//! order results arrive.
+
+use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
+use crate::queues::PendingTest;
+
+/// A search algorithm that can run with decoupled generation/completion.
+pub trait Explore {
+    /// Produces the next test to execute, or `None` when the algorithm
+    /// has exhausted the space (given what is still outstanding).
+    fn next_candidate(&mut self) -> Option<PendingTest>;
+
+    /// Feeds back the evaluation of a previously issued candidate,
+    /// returning the finished record.
+    fn complete(&mut self, test: PendingTest, evaluation: Evaluation) -> ExecutedTest;
+
+    /// Sequential convenience: generate, evaluate, complete.
+    fn step(&mut self, eval: &dyn Evaluator) -> Option<ExecutedTest> {
+        let test = self.next_candidate()?;
+        let evaluation = eval.evaluate(&test.point);
+        Some(self.complete(test, evaluation))
+    }
+}

@@ -1,0 +1,118 @@
+//! Online redundancy feedback (§5, §7.4).
+//!
+//! "When evaluating the fitness of a candidate injection scenario, AFEX
+//! computes the edit distance between that scenario and all previous
+//! tests, and uses this value to weigh the fitness on a linear scale (100%
+//! similarity ends up zero-ing the fitness, while 0% similarity leaves the
+//! fitness unmodified)." This steers exploration away from repeated
+//! manifestations of the same underlying bug.
+
+use crate::quality::levenshtein::levenshtein;
+
+/// Online store of injection-point stack traces with similarity weighting.
+#[derive(Debug, Clone, Default)]
+pub struct RedundancyFeedback {
+    traces: Vec<String>,
+}
+
+impl RedundancyFeedback {
+    /// Creates an empty feedback store.
+    pub fn new() -> Self {
+        RedundancyFeedback::default()
+    }
+
+    /// Number of distinct traces recorded.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no traces are recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Similarity of two traces in `[0, 1]`: `1 - lev(a,b)/max(|a|,|b|)`.
+    pub fn similarity(a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(a, b) as f64 / max_len as f64
+    }
+
+    /// The maximum similarity of `trace` to any recorded trace (0 when the
+    /// store is empty).
+    pub fn max_similarity(&self, trace: &str) -> f64 {
+        // Identical-trace fast path: redundancy is usually literal.
+        if self.traces.iter().any(|t| t == trace) {
+            return 1.0;
+        }
+        self.traces
+            .iter()
+            .map(|t| Self::similarity(t, trace))
+            .fold(0.0, f64::max)
+    }
+
+    /// The linear fitness weight for a candidate with this trace:
+    /// `1 - max_similarity` (identical trace → 0, novel trace → 1).
+    pub fn weight(&self, trace: &str) -> f64 {
+        (1.0 - self.max_similarity(trace)).clamp(0.0, 1.0)
+    }
+
+    /// Records an executed test's trace (deduplicated).
+    pub fn record(&mut self, trace: &str) {
+        if !self.traces.iter().any(|t| t == trace) {
+            self.traces.push(trace.to_owned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_zero_the_weight() {
+        let mut fb = RedundancyFeedback::new();
+        fb.record("main>open_db>read_page");
+        assert_eq!(fb.weight("main>open_db>read_page"), 0.0);
+    }
+
+    #[test]
+    fn novel_traces_keep_full_weight() {
+        let mut fb = RedundancyFeedback::new();
+        fb.record("aaaaaaaaaa");
+        let w = fb.weight("zzzzzzzzzz");
+        assert!(w > 0.99, "w = {w}");
+    }
+
+    #[test]
+    fn similar_traces_are_partially_weighted() {
+        let mut fb = RedundancyFeedback::new();
+        fb.record("main>parse>handle_get");
+        let w = fb.weight("main>parse>handle_put");
+        assert!(w > 0.0 && w < 0.5, "w = {w}");
+    }
+
+    #[test]
+    fn empty_store_gives_full_weight() {
+        let fb = RedundancyFeedback::new();
+        assert_eq!(fb.weight("anything"), 1.0);
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn record_dedupes() {
+        let mut fb = RedundancyFeedback::new();
+        fb.record("x");
+        fb.record("x");
+        assert_eq!(fb.len(), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(RedundancyFeedback::similarity("abc", "abc"), 1.0);
+        assert_eq!(RedundancyFeedback::similarity("", ""), 1.0);
+        assert_eq!(RedundancyFeedback::similarity("abc", "xyz"), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Discrete Gaussian value selection (§3, Algorithm 1 lines 7–9).
+//!
+//! "We use a discrete approximation of a Gaussian probability distribution
+//! to choose a new value for the test attribute to be mutated. This
+//! distribution is centered at oldValue and has standard deviation σ [...]
+//! proportional to the number of values the αi attribute can take [...]
+//! for the evaluation in this paper, we chose σ = |Ai|/5."
+//!
+//! The Gaussian "favors φ's closest neighbors without completely
+//! dismissing points that are further away".
+
+use rand::Rng;
+
+/// A discrete Gaussian over the indices `0..n`, centered at a mutable
+/// point, with σ proportional to `n`.
+#[derive(Debug, Clone)]
+pub struct DiscreteGaussian {
+    n: usize,
+    sigma: f64,
+}
+
+impl DiscreteGaussian {
+    /// The paper's σ factor: `σ = |Ai| / 5`.
+    pub const PAPER_SIGMA_FACTOR: f64 = 0.2;
+
+    /// Creates a distribution over `0..n` with `σ = factor × n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `factor` is not positive and finite.
+    pub fn new(n: usize, factor: f64) -> Self {
+        assert!(n > 0, "axis must have at least one value");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "sigma factor must be positive and finite"
+        );
+        DiscreteGaussian {
+            n,
+            sigma: (factor * n as f64).max(0.5),
+        }
+    }
+
+    /// Creates the paper's σ = |Ai|/5 distribution.
+    pub fn paper(n: usize) -> Self {
+        DiscreteGaussian::new(n, Self::PAPER_SIGMA_FACTOR)
+    }
+
+    /// The axis cardinality.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The effective standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Unnormalized weight of value `v` when centered at `center`.
+    pub fn weight(&self, center: usize, v: usize) -> f64 {
+        let d = v as f64 - center as f64;
+        (-d * d / (2.0 * self.sigma * self.sigma)).exp()
+    }
+
+    /// Samples a value from `0..n` with probability proportional to the
+    /// Gaussian weight around `center`. The center itself can be drawn
+    /// (the caller's History check discards such no-op mutations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center >= n`.
+    pub fn sample<R: Rng + ?Sized>(&self, center: usize, rng: &mut R) -> usize {
+        assert!(center < self.n, "center out of range");
+        let total: f64 = (0..self.n).map(|v| self.weight(center, v)).sum();
+        let mut ticket = rng.gen_range(0.0..total);
+        for v in 0..self.n {
+            let w = self.weight(center, v);
+            if ticket < w {
+                return v;
+            }
+            ticket -= w;
+        }
+        self.n - 1 // Floating-point residue: fall back to the last value.
+    }
+
+    /// Samples a value different from `center`, retrying a bounded number
+    /// of times and falling back to a uniform non-center draw.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, center: usize, rng: &mut R) -> usize {
+        if self.n == 1 {
+            return center;
+        }
+        for _ in 0..32 {
+            let v = self.sample(center, rng);
+            if v != center {
+                return v;
+            }
+        }
+        // Degenerate σ or bad luck: uniform over the other values.
+        let v = rng.gen_range(0..self.n - 1);
+        if v >= center {
+            v + 1
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn favors_near_neighbors() {
+        let g = DiscreteGaussian::paper(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut near = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            let v = g.sample(50, &mut rng);
+            if (v as i64 - 50).abs() <= 20 {
+                near += 1;
+            }
+        }
+        // With σ = 20, |d| ≤ σ covers ≈68%; ≤ 20 here is exactly 1σ.
+        let frac = near as f64 / N as f64;
+        assert!(frac > 0.6, "frac = {frac}");
+    }
+
+    #[test]
+    fn does_not_dismiss_far_points() {
+        let g = DiscreteGaussian::paper(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let far = (0..20_000)
+            .filter(|_| (g.sample(50, &mut rng) as i64 - 50).abs() > 40)
+            .count();
+        assert!(far > 0, "far points must keep non-zero probability");
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let g = DiscreteGaussian::paper(7);
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in 0..7 {
+            for _ in 0..200 {
+                assert!(g.sample(c, &mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_centers_clip_correctly() {
+        let g = DiscreteGaussian::paper(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..5000).map(|_| g.sample(0, &mut rng) as f64).sum::<f64>() / 5000.0;
+        // Centered at 0, mass concentrates near 0.
+        assert!(mean < 2.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn sample_distinct_never_returns_center_when_possible() {
+        let g = DiscreteGaussian::paper(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            assert_ne!(g.sample_distinct(2, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn single_value_axis_returns_center() {
+        let g = DiscreteGaussian::paper(1);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(g.sample_distinct(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn sigma_matches_paper_factor() {
+        let g = DiscreteGaussian::paper(100);
+        assert!((g.sigma() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "center out of range")]
+    fn center_bounds_checked() {
+        let g = DiscreteGaussian::paper(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = g.sample(3, &mut rng);
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let g = DiscreteGaussian::paper(50);
+        assert!((g.weight(25, 20) - g.weight(25, 30)).abs() < 1e-12);
+        assert!(g.weight(25, 25) > g.weight(25, 24));
+    }
+}

@@ -1,0 +1,150 @@
+//! Impact metrics (§6.4, step 3).
+//!
+//! "The easiest way to design the metric is to allocate scores to each
+//! event of interest, such as 1 point for each newly covered basic block,
+//! 10 points for each hang bug found, 20 points for each crash" — the
+//! default weights below follow that recipe, with coverage contributing a
+//! small per-block term so that, as in §7's coreutils setup, the metric
+//! "encourages AFEX to both inject faults that cause the default test
+//! suite to fail and to cover as much code as possible".
+
+use afex_inject::{TestOutcome, TestStatus};
+use serde::{Deserialize, Serialize};
+
+/// A weighted-events impact metric over test outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactMetric {
+    /// Points per covered basic block.
+    pub per_block: f64,
+    /// Points for a failed test (non-zero exit).
+    pub per_failure: f64,
+    /// Points for a hang.
+    pub per_hang: f64,
+    /// Points for a crash.
+    pub per_crash: f64,
+    /// Whether untriggered plans score zero regardless of other terms
+    /// (an injection that never fired exercised nothing new).
+    pub zero_if_untriggered: bool,
+}
+
+impl Default for ImpactMetric {
+    fn default() -> Self {
+        ImpactMetric {
+            per_block: 0.02,
+            per_failure: 10.0,
+            per_hang: 15.0,
+            per_crash: 20.0,
+            zero_if_untriggered: true,
+        }
+    }
+}
+
+impl ImpactMetric {
+    /// The §6.4 example weights (1 block / 10 hang / 20 crash), with test
+    /// failures scoring like hangs do in the coreutils experiments.
+    pub fn paper_example() -> Self {
+        ImpactMetric {
+            per_block: 1.0,
+            per_failure: 10.0,
+            per_hang: 10.0,
+            per_crash: 20.0,
+            zero_if_untriggered: true,
+        }
+    }
+
+    /// A crash-focused metric (the "find faults that hang/crash the DBMS"
+    /// search-target style): failures score little, crashes dominate.
+    pub fn crash_hunter() -> Self {
+        ImpactMetric {
+            per_block: 0.0,
+            per_failure: 1.0,
+            per_hang: 10.0,
+            per_crash: 20.0,
+            zero_if_untriggered: true,
+        }
+    }
+
+    /// Scores one outcome.
+    pub fn score(&self, outcome: &TestOutcome) -> f64 {
+        if self.zero_if_untriggered && !outcome.triggered() && !outcome.status.is_failure() {
+            return 0.0;
+        }
+        let mut s = self.per_block * outcome.coverage.blocks() as f64;
+        match &outcome.status {
+            TestStatus::Passed => {}
+            TestStatus::Failed => s += self.per_failure,
+            TestStatus::Hung => s += self.per_hang,
+            TestStatus::Crashed(_) => s += self.per_crash,
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{AtomicFault, Coverage, Errno, Func, InjectionRecord};
+
+    fn outcome(status: TestStatus, blocks: usize, triggered: bool) -> TestOutcome {
+        let mut coverage = Coverage::new();
+        for i in 0..blocks {
+            coverage.mark("m", i as u32);
+        }
+        TestOutcome {
+            test_id: 0,
+            status,
+            coverage,
+            injections: if triggered {
+                vec![InjectionRecord {
+                    fault: AtomicFault::new(Func::Malloc, 1, Errno::ENOMEM),
+                    stack: vec!["main".into()],
+                }]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    #[test]
+    fn crash_outscores_failure_outscores_pass() {
+        let m = ImpactMetric::default();
+        let crash = m.score(&outcome(TestStatus::Crashed("x".into()), 5, true));
+        let hang = m.score(&outcome(TestStatus::Hung, 5, true));
+        let fail = m.score(&outcome(TestStatus::Failed, 5, true));
+        let pass = m.score(&outcome(TestStatus::Passed, 5, true));
+        assert!(crash > hang && hang > fail && fail > pass);
+    }
+
+    #[test]
+    fn untriggered_pass_scores_zero() {
+        let m = ImpactMetric::default();
+        assert_eq!(m.score(&outcome(TestStatus::Passed, 50, false)), 0.0);
+    }
+
+    #[test]
+    fn triggered_tolerated_fault_scores_coverage_only() {
+        let m = ImpactMetric::default();
+        let s = m.score(&outcome(TestStatus::Passed, 50, true));
+        assert!((s - 1.0).abs() < 1e-9); // 50 × 0.02.
+    }
+
+    #[test]
+    fn paper_example_weights() {
+        let m = ImpactMetric::paper_example();
+        assert_eq!(
+            m.score(&outcome(TestStatus::Crashed("x".into()), 3, true)),
+            23.0
+        );
+        assert_eq!(m.score(&outcome(TestStatus::Hung, 0, true)), 10.0);
+    }
+
+    #[test]
+    fn crash_hunter_ignores_coverage() {
+        let m = ImpactMetric::crash_hunter();
+        assert_eq!(m.score(&outcome(TestStatus::Failed, 100, true)), 1.0);
+        assert_eq!(
+            m.score(&outcome(TestStatus::Crashed("x".into()), 0, true)),
+            20.0
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Redundancy clusters (§5).
+//!
+//! "AFEX computes clusters (equivalence classes) of closely related faults
+//! \[by\] computing the edit distance between every pair of stack traces
+//! [...]. Any two faults for which the distance is below a threshold end
+//! up in the same cluster." The clustering is agglomerative by the
+//! transitive closure of the below-threshold relation (single linkage),
+//! and each cluster elects the representative test developers should look
+//! at first.
+
+use super::levenshtein::levenshtein;
+use serde::{Deserialize, Serialize};
+
+/// One redundancy cluster over the result set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Indices (into the input list) of the cluster's members.
+    pub members: Vec<usize>,
+    /// Index of the representative member (the first member, i.e. the
+    /// earliest-found test in the cluster).
+    pub representative: usize,
+}
+
+impl Cluster {
+    /// Number of member tests.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty (never produced by clustering).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Clusters stack traces: traces closer than `threshold` edits land in the
+/// same cluster (single linkage). Returns clusters ordered by first
+/// appearance.
+///
+/// # Examples
+///
+/// ```
+/// use afex_core::cluster_traces;
+///
+/// let traces = ["main>f>g", "main>f>h", "main>net>recv"];
+/// let clusters = cluster_traces(&traces, 3);
+/// assert_eq!(clusters.len(), 2);
+/// assert_eq!(clusters[0].members, vec![0, 1]);
+/// ```
+pub fn cluster_traces<S: AsRef<str>>(traces: &[S], threshold: usize) -> Vec<Cluster> {
+    let n = traces.len();
+    // Union-find over trace indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (traces[i].as_ref(), traces[j].as_ref());
+            // Cheap length bound before the quadratic distance.
+            let len_gap = a.chars().count().abs_diff(b.chars().count());
+            if len_gap >= threshold {
+                continue;
+            }
+            if levenshtein(a, b) < threshold {
+                let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                if ra != rb {
+                    parent[rb] = ra;
+                }
+            }
+        }
+    }
+    // Collect clusters in order of first appearance.
+    let mut order: Vec<usize> = Vec::new();
+    let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let entry = clusters.entry(r).or_default();
+        if entry.is_empty() {
+            order.push(r);
+        }
+        entry.push(i);
+    }
+    order
+        .into_iter()
+        .map(|r| {
+            let members = clusters.remove(&r).expect("cluster recorded");
+            Cluster {
+                representative: members[0],
+                members,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_form_one_cluster() {
+        let t = ["a>b>c", "a>b>c", "a>b>c"];
+        let c = cluster_traces(&t, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].members, vec![0, 1, 2]);
+        assert_eq!(c[0].representative, 0);
+    }
+
+    #[test]
+    fn distant_traces_stay_apart() {
+        let t = ["main>config>load", "main>network>accept"];
+        let c = cluster_traces(&t, 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn single_linkage_is_transitive() {
+        // a~b and b~c within threshold, a~c not: all three merge anyway.
+        let t = ["aaaa", "aaab", "aabb"];
+        let c = cluster_traces(&t, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_traces::<&str>(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_never_merges() {
+        let t = ["x", "x", "y"];
+        // Distance must be < 0 to merge: impossible.
+        let c = cluster_traces(&t, 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn clusters_ordered_by_first_appearance() {
+        let t = ["zzzz", "aaaa", "zzzz"];
+        let c = cluster_traces(&t, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].members, vec![0, 2]);
+        assert_eq!(c[1].members, vec![1]);
+    }
+
+    #[test]
+    fn representative_is_earliest_member() {
+        let t = ["b", "a", "b"];
+        let c = cluster_traces(&t, 1);
+        for cl in &c {
+            assert_eq!(cl.representative, cl.members[0]);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Levenshtein edit distance \[14\], the §5 stack-trace comparison metric.
+
+/// Levenshtein distance between two strings, by Unicode scalar values.
+///
+/// Uses the classic two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space.
+///
+/// # Examples
+///
+/// ```
+/// use afex_core::levenshtein;
+///
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("main>f>g", "main>f>h"), 1);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the inner row the shorter one.
+    let (outer, inner) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    if inner.is_empty() {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur = vec![0usize; inner.len() + 1];
+    for (i, oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("main>f>g", "main>f>h", "main>x");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn unicode_is_by_scalar_not_byte() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn stack_trace_distances_are_small_within_clusters() {
+        let t1 = "main>ap_read_config>ap_add_module";
+        let t2 = "main>ap_read_config>ap_add_module"; // Same path.
+        let t3 = "main>ap_process_connection>cgi_handler";
+        assert_eq!(levenshtein(t1, t2), 0);
+        assert!(levenshtein(t1, t3) > 10);
+    }
+}

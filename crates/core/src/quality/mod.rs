@@ -1,0 +1,11 @@
+//! Result-quality metrics (§5).
+//!
+//! "We consider three aspects of interest to practitioners: cutting
+//! through redundant tests, assessing the precision of our impact
+//! assessment, and identifying which faults are representative and
+//! practically relevant."
+
+pub mod cluster;
+pub mod levenshtein;
+pub mod precision;
+pub mod relevance;

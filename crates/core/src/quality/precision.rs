@@ -1,0 +1,110 @@
+//! Impact precision (§5).
+//!
+//! "AFEX runs the same test n times and computes the variance
+//! `Var(I_S(φ))` of φ's impact across the n trials. The impact precision
+//! is `1/Var(I_S(φ))` [...]. The higher the precision, the more likely it
+//! is that re-injecting φ will result in the same impact that AFEX
+//! measured" — i.e. high precision marks reproducible failure scenarios
+//! worth debugging first.
+
+use crate::evaluator::Evaluator;
+use afex_space::Point;
+
+/// Measured precision of one fault's impact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Precision {
+    /// Mean impact across the trials.
+    pub mean: f64,
+    /// Sample variance across the trials.
+    pub variance: f64,
+    /// `1/variance`; `f64::INFINITY` for perfectly deterministic impact.
+    pub precision: f64,
+}
+
+/// Re-runs `point` `n` times under `eval` and reports the precision.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (variance needs at least two trials).
+pub fn impact_precision(eval: &dyn Evaluator, point: &Point, n: usize) -> Precision {
+    assert!(n >= 2, "precision needs at least two trials");
+    let impacts: Vec<f64> = (0..n).map(|_| eval.evaluate(point).impact).collect();
+    let mean = impacts.iter().sum::<f64>() / n as f64;
+    let variance = impacts.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let precision = if variance == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / variance
+    };
+    Precision {
+        mean,
+        variance,
+        precision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Evaluation, Evaluator};
+    use std::cell::Cell;
+
+    struct Deterministic;
+    impl Evaluator for Deterministic {
+        fn evaluate(&self, _p: &Point) -> Evaluation {
+            Evaluation::from_impact(7.0)
+        }
+    }
+
+    struct Flaky {
+        toggle: Cell<bool>,
+    }
+    impl Evaluator for Flaky {
+        fn evaluate(&self, _p: &Point) -> Evaluation {
+            let t = self.toggle.get();
+            self.toggle.set(!t);
+            Evaluation::from_impact(if t { 10.0 } else { 0.0 })
+        }
+    }
+
+    #[test]
+    fn deterministic_impact_has_infinite_precision() {
+        let p = impact_precision(&Deterministic, &Point::new(vec![0]), 5);
+        assert_eq!(p.mean, 7.0);
+        assert_eq!(p.variance, 0.0);
+        assert!(p.precision.is_infinite());
+    }
+
+    #[test]
+    fn flaky_impact_has_low_precision() {
+        let p = impact_precision(
+            &Flaky {
+                toggle: Cell::new(false),
+            },
+            &Point::new(vec![0]),
+            10,
+        );
+        assert_eq!(p.mean, 5.0);
+        assert!(p.variance > 20.0);
+        assert!(p.precision < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two trials")]
+    fn rejects_single_trial() {
+        let _ = impact_precision(&Deterministic, &Point::new(vec![0]), 1);
+    }
+
+    #[test]
+    fn precision_orders_reproducibility() {
+        let stable = impact_precision(&Deterministic, &Point::new(vec![0]), 4);
+        let flaky = impact_precision(
+            &Flaky {
+                toggle: Cell::new(true),
+            },
+            &Point::new(vec![0]),
+            4,
+        );
+        assert!(stable.precision > flaky.precision);
+    }
+}

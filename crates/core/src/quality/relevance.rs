@@ -1,0 +1,171 @@
+//! Practical relevance via statistical environment models (§5, §7.5).
+//!
+//! "Using published studies or proprietary studies of the particular
+//! environments where a system will be deployed, developers can associate
+//! with each class of faults a probability of it occurring in practice."
+//! The §7.5 experiment attaches such a model to the coreutils space:
+//! malloc fails with relative probability 40%, file operations 50%
+//! combined, `opendir`/`chdir` 10% combined — and weighs each test's
+//! measured impact by the modelled likelihood.
+
+use afex_inject::Func;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A statistical fault-relevance model: relative weights per libc
+/// function, normalized over the functions it mentions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RelevanceModel {
+    weights: HashMap<Func, f64>,
+}
+
+impl RelevanceModel {
+    /// Creates an empty model (every function weighs the same).
+    pub fn new() -> Self {
+        RelevanceModel::default()
+    }
+
+    /// Sets the relative weight of one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite.
+    pub fn set(&mut self, func: Func, weight: f64) -> &mut Self {
+        assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
+        self.weights.insert(func, weight);
+        self
+    }
+
+    /// Distributes `total` weight uniformly over a class of functions
+    /// ("all file-related operations have a combined weight of 50%").
+    pub fn set_class(&mut self, funcs: &[Func], total: f64) -> &mut Self {
+        assert!(!funcs.is_empty(), "class must be non-empty");
+        let each = total / funcs.len() as f64;
+        for &f in funcs {
+            self.set(f, each);
+        }
+        self
+    }
+
+    /// The §7.5 coreutils environment model: malloc 40%, file operations
+    /// 50% combined, `opendir`/`chdir` 10% combined.
+    pub fn coreutils_example() -> Self {
+        let mut m = RelevanceModel::new();
+        m.set(Func::Malloc, 0.40);
+        m.set_class(
+            &[
+                Func::Fopen,
+                Func::Fclose,
+                Func::Open,
+                Func::Read,
+                Func::Write,
+                Func::Close,
+                Func::Stat,
+                Func::Unlink,
+                Func::Rename,
+            ],
+            0.50,
+        );
+        m.set_class(&[Func::Opendir, Func::Chdir], 0.10);
+        m
+    }
+
+    /// Whether the model has any entries.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized relevance of one function: its share of the total
+    /// weight. Functions absent from a non-empty model get 0; with an
+    /// empty model every function gets 1 (no information).
+    pub fn relevance(&self, func: Func) -> f64 {
+        if self.weights.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self.weights.values().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.weights.get(&func).copied().unwrap_or(0.0) / total
+    }
+
+    /// Weighs a measured impact by the fault's modelled likelihood. The
+    /// scale factor keeps magnitudes comparable to unweighted impact when
+    /// the model is close to uniform over its support.
+    pub fn weigh(&self, func: Func, impact: f64) -> f64 {
+        if self.weights.is_empty() {
+            return impact;
+        }
+        let n = self.weights.len() as f64;
+        impact * self.relevance(func) * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_model_is_neutral() {
+        let m = RelevanceModel::new();
+        assert_eq!(m.relevance(Func::Malloc), 1.0);
+        assert_eq!(m.weigh(Func::Malloc, 5.0), 5.0);
+    }
+
+    #[test]
+    fn relevances_normalize() {
+        let m = RelevanceModel::coreutils_example();
+        let malloc = m.relevance(Func::Malloc);
+        assert!((malloc - 0.40).abs() < 1e-9);
+        // File class: 50% split over 9 functions.
+        let read = m.relevance(Func::Read);
+        assert!((read - 0.50 / 9.0).abs() < 1e-9);
+        // Unmentioned functions are irrelevant.
+        assert_eq!(m.relevance(Func::Socket), 0.0);
+    }
+
+    #[test]
+    fn weighing_prefers_likely_faults() {
+        let m = RelevanceModel::coreutils_example();
+        let malloc_score = m.weigh(Func::Malloc, 10.0);
+        let read_score = m.weigh(Func::Read, 10.0);
+        assert!(malloc_score > read_score);
+        assert_eq!(m.weigh(Func::Socket, 10.0), 0.0);
+    }
+
+    #[test]
+    fn set_class_distributes_evenly() {
+        let mut m = RelevanceModel::new();
+        m.set_class(&[Func::Read, Func::Write], 1.0);
+        assert_eq!(m.relevance(Func::Read), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_negative_weights() {
+        RelevanceModel::new().set(Func::Read, -1.0);
+    }
+
+    #[test]
+    fn total_relevance_sums_to_one() {
+        let m = RelevanceModel::coreutils_example();
+        let total: f64 = [
+            Func::Malloc,
+            Func::Fopen,
+            Func::Fclose,
+            Func::Open,
+            Func::Read,
+            Func::Write,
+            Func::Close,
+            Func::Stat,
+            Func::Unlink,
+            Func::Rename,
+            Func::Opendir,
+            Func::Chdir,
+        ]
+        .iter()
+        .map(|&f| m.relevance(f))
+        .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,364 @@
+//! The three collections of Algorithm 1: Qpriority, Qpending, History.
+//!
+//! - **Qpriority** holds already-executed high-fitness tests; it has
+//!   bounded size, and "whenever the limit is reached, a test case is
+//!   dropped from the queue, sampled with a probability inversely
+//!   proportional to its fitness", so its average fitness rises over time.
+//! - **Qpending** holds generated-but-unexecuted tests (FIFO).
+//! - **History** holds every executed test, preventing re-execution.
+
+use afex_space::Point;
+use rand::Rng;
+use std::collections::{HashSet, VecDeque};
+
+/// One entry of the priority queue: an executed test with mutable fitness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrioEntry {
+    /// The executed fault.
+    pub point: Point,
+    /// The measured impact (immutable once measured).
+    pub impact: f64,
+    /// Current fitness: starts equal to impact, decays with age (§3).
+    pub fitness: f64,
+}
+
+/// The bounded priority queue of parent candidates.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityQueue {
+    entries: Vec<PrioEntry>,
+    cap: usize,
+}
+
+impl PriorityQueue {
+    /// Creates a queue bounded at `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "priority queue needs capacity");
+        PriorityQueue {
+            entries: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Current entries (unordered).
+    pub fn entries(&self) -> &[PrioEntry] {
+        &self.entries
+    }
+
+    /// Mutable access for aging sweeps.
+    pub fn entries_mut(&mut self) -> &mut Vec<PrioEntry> {
+        &mut self.entries
+    }
+
+    /// Number of queued tests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a point is present.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.entries.iter().any(|e| &e.point == p)
+    }
+
+    /// Mean fitness of the queue (0 when empty) — the quantity the §3
+    /// eviction rule drives upward.
+    pub fn mean_fitness(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.fitness).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Inserts an executed test; when full, first evicts one entry sampled
+    /// inversely proportionally to fitness. Returns the evicted entry.
+    pub fn insert<R: Rng + ?Sized>(&mut self, entry: PrioEntry, rng: &mut R) -> Option<PrioEntry> {
+        let evicted = if self.entries.len() == self.cap {
+            let idx = self.sample_eviction(rng);
+            Some(self.entries.swap_remove(idx))
+        } else {
+            None
+        };
+        self.entries.push(entry);
+        evicted
+    }
+
+    /// Samples a parent index proportionally to fitness (Algorithm 1
+    /// lines 1–4). Falls back to uniform when all fitness is zero.
+    /// Returns `None` on an empty queue.
+    pub fn sample_parent<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&PrioEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let total: f64 = self.entries.iter().map(|e| e.fitness.max(0.0)).sum();
+        if total <= 0.0 {
+            return self.entries.get(rng.gen_range(0..self.entries.len()));
+        }
+        let mut ticket = rng.gen_range(0.0..total);
+        for e in &self.entries {
+            let w = e.fitness.max(0.0);
+            if ticket < w {
+                return Some(e);
+            }
+            ticket -= w;
+        }
+        self.entries.last()
+    }
+
+    /// Removes entries whose fitness fell below `threshold`, returning
+    /// them (they retire into History — already there — and "can never
+    /// have offspring").
+    pub fn retire_below(&mut self, threshold: f64) -> Vec<PrioEntry> {
+        let mut retired = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].fitness < threshold {
+                retired.push(self.entries.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        retired
+    }
+
+    /// Eviction sampling: probability inversely proportional to fitness.
+    fn sample_eviction<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.entries.is_empty());
+        // Weight 1/(fitness + ε): low fitness → high eviction chance.
+        const EPS: f64 = 1e-3;
+        let weights: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|e| 1.0 / (e.fitness.max(0.0) + EPS))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut ticket = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if ticket < *w {
+                return i;
+            }
+            ticket -= w;
+        }
+        self.entries.len() - 1
+    }
+}
+
+/// The FIFO queue of generated-but-unexecuted tests.
+#[derive(Debug, Clone, Default)]
+pub struct PendingQueue {
+    queue: VecDeque<PendingTest>,
+    members: HashSet<Point>,
+}
+
+/// A pending test: the point plus which axis its mutation changed (used to
+/// update sensitivity once the impact is known; `None` for seed tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingTest {
+    /// The generated fault.
+    pub point: Point,
+    /// The mutated axis, if the test came from a mutation.
+    pub mutated_axis: Option<usize>,
+}
+
+impl PendingQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingQueue::default()
+    }
+
+    /// Number of pending tests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no tests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a point is already pending.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.members.contains(p)
+    }
+
+    /// Enqueues a test (Algorithm 1 lines 12–14). Duplicates are ignored;
+    /// returns whether the test was added.
+    pub fn push(&mut self, test: PendingTest) -> bool {
+        if !self.members.insert(test.point.clone()) {
+            return false;
+        }
+        self.queue.push_back(test);
+        true
+    }
+
+    /// Dequeues the oldest pending test.
+    pub fn pop(&mut self) -> Option<PendingTest> {
+        let t = self.queue.pop_front()?;
+        self.members.remove(&t.point);
+        Some(t)
+    }
+}
+
+/// The set of all executed tests.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    seen: HashSet<Point>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records an executed point; returns `false` if already present.
+    pub fn record(&mut self, p: Point) -> bool {
+        self.seen.insert(p)
+    }
+
+    /// Whether a point was ever executed.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.seen.contains(p)
+    }
+
+    /// Number of executed points.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has executed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entry(x: usize, fit: f64) -> PrioEntry {
+        PrioEntry {
+            point: Point::new(vec![x]),
+            impact: fit,
+            fitness: fit,
+        }
+    }
+
+    #[test]
+    fn insert_within_capacity_keeps_all() {
+        let mut q = PriorityQueue::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(q.insert(entry(1, 1.0), &mut rng).is_none());
+        assert!(q.insert(entry(2, 2.0), &mut rng).is_none());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn eviction_prefers_low_fitness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut evicted_low = 0;
+        for _ in 0..200 {
+            let mut q = PriorityQueue::new(2);
+            q.insert(entry(1, 0.01), &mut rng);
+            q.insert(entry(2, 100.0), &mut rng);
+            if let Some(e) = q.insert(entry(3, 50.0), &mut rng) {
+                if e.point == Point::new(vec![1]) {
+                    evicted_low += 1;
+                }
+            }
+        }
+        assert!(evicted_low > 190, "evicted_low = {evicted_low}");
+    }
+
+    #[test]
+    fn mean_fitness_rises_under_churn() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = PriorityQueue::new(10);
+        for i in 0..10 {
+            q.insert(entry(i, 1.0), &mut rng);
+        }
+        let before = q.mean_fitness();
+        for i in 10..200 {
+            q.insert(entry(i, (i % 30) as f64), &mut rng);
+        }
+        assert!(q.mean_fitness() > before);
+    }
+
+    #[test]
+    fn parent_sampling_prefers_high_fitness() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q = PriorityQueue::new(4);
+        q.insert(entry(0, 1.0), &mut rng);
+        q.insert(entry(1, 99.0), &mut rng);
+        let hits = (0..2000)
+            .filter(|_| q.sample_parent(&mut rng).unwrap().point == Point::new(vec![1]))
+            .count();
+        assert!(hits > 1900, "hits = {hits}");
+        // But the low-fitness test keeps a non-zero chance.
+        assert!(hits < 2000, "low-fitness parents must still be sampled");
+    }
+
+    #[test]
+    fn zero_fitness_queue_samples_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut q = PriorityQueue::new(4);
+        q.insert(entry(0, 0.0), &mut rng);
+        q.insert(entry(1, 0.0), &mut rng);
+        let hits = (0..2000)
+            .filter(|_| q.sample_parent(&mut rng).unwrap().point == Point::new(vec![0]))
+            .count();
+        assert!((hits as i64 - 1000).abs() < 200, "hits = {hits}");
+    }
+
+    #[test]
+    fn retirement_removes_aged_tests() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut q = PriorityQueue::new(4);
+        q.insert(entry(0, 0.05), &mut rng);
+        q.insert(entry(1, 5.0), &mut rng);
+        let retired = q.retire_below(0.1);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(&Point::new(vec![1])));
+    }
+
+    #[test]
+    fn pending_queue_is_fifo_and_deduped() {
+        let mut q = PendingQueue::new();
+        assert!(q.push(PendingTest {
+            point: Point::new(vec![1]),
+            mutated_axis: Some(0),
+        }));
+        assert!(!q.push(PendingTest {
+            point: Point::new(vec![1]),
+            mutated_axis: Some(1),
+        }));
+        assert!(q.push(PendingTest {
+            point: Point::new(vec![2]),
+            mutated_axis: None,
+        }));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().point, Point::new(vec![1]));
+        assert!(!q.contains(&Point::new(vec![1])));
+        assert_eq!(q.pop().unwrap().point, Point::new(vec![2]));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn history_dedups() {
+        let mut h = History::new();
+        assert!(h.record(Point::new(vec![1])));
+        assert!(!h.record(Point::new(vec![1])));
+        assert!(h.contains(&Point::new(vec![1])));
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Random exploration (§3) — the primary baseline.
+//!
+//! "Random exploration constructs random combinations of attribute values
+//! and evaluates the corresponding points in the fault space." Like the
+//! fitness-guided explorer it never re-executes a test, so on small spaces
+//! it eventually degenerates into a random-order exhaustive scan.
+
+use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
+use crate::explore::Explore;
+use crate::queues::{History, PendingTest};
+use crate::session::SessionResult;
+use afex_space::{FaultSpace, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform-without-replacement explorer.
+pub struct RandomExplorer {
+    space: FaultSpace,
+    rng: StdRng,
+    history: History,
+    iteration: usize,
+    executed: Vec<ExecutedTest>,
+    issued: std::collections::HashSet<afex_space::Point>,
+}
+
+impl RandomExplorer {
+    /// Creates a random explorer with a deterministic seed.
+    pub fn new(space: FaultSpace, seed: u64) -> Self {
+        RandomExplorer {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            history: History::new(),
+            iteration: 0,
+            executed: Vec::new(),
+            issued: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Runs up to `iterations` tests.
+    pub fn run(&mut self, eval: &dyn Evaluator, iterations: usize) -> SessionResult {
+        for _ in 0..iterations {
+            if self.step(eval).is_none() {
+                break;
+            }
+        }
+        SessionResult::new(std::mem::take(&mut self.executed))
+    }
+}
+
+impl Explore for RandomExplorer {
+    fn next_candidate(&mut self) -> Option<PendingTest> {
+        let sampler = UniformSampler::new(&self.space);
+        for _ in 0..UniformSampler::MAX_REJECTS {
+            let p = sampler.sample(&mut self.rng);
+            if self.space.is_valid(&p) && !self.history.contains(&p) && !self.issued.contains(&p) {
+                self.issued.insert(p.clone());
+                return Some(PendingTest {
+                    point: p,
+                    mutated_axis: None,
+                });
+            }
+        }
+        None
+    }
+
+    fn complete(&mut self, test: PendingTest, evaluation: Evaluation) -> ExecutedTest {
+        self.issued.remove(&test.point);
+        self.history.record(test.point.clone());
+        let record = ExecutedTest {
+            point: test.point,
+            evaluation,
+            iteration: self.iteration,
+        };
+        self.iteration += 1;
+        self.executed.push(record.clone());
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use afex_space::{Axis, Point};
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("x", 0, 9), Axis::int_range("y", 0, 9)]).unwrap()
+    }
+
+    #[test]
+    fn never_repeats() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = RandomExplorer::new(space(), 1);
+        let r = ex.run(&eval, 100);
+        assert_eq!(r.executed.len(), 100);
+        let set: std::collections::HashSet<_> =
+            r.executed.iter().map(|t| t.point.clone()).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn respects_holes() {
+        let mut s = space();
+        s.set_hole_predicate(|p| p[1] == 0);
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = RandomExplorer::new(s, 2);
+        let r = ex.run(&eval, 50);
+        assert!(r.executed.iter().all(|t| t.point[1] != 0));
+    }
+
+    #[test]
+    fn stops_when_exhausted() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let mut ex = RandomExplorer::new(space(), 3);
+        let r = ex.run(&eval, 10_000);
+        assert_eq!(r.executed.len(), 100);
+    }
+
+    #[test]
+    fn hit_rate_matches_density() {
+        // 10% of the space has impact; random should find ≈10% hits.
+        let eval = FnEvaluator::new(|p: &Point| if p[0] == 4 { 1.0 } else { 0.0 });
+        let mut ex = RandomExplorer::new(space(), 4);
+        let r = ex.run(&eval, 100); // The whole space.
+        let hits = r
+            .executed
+            .iter()
+            .filter(|t| t.evaluation.impact > 0.0)
+            .count();
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let eval = FnEvaluator::new(|_| 0.0);
+        let points = |seed| {
+            RandomExplorer::new(space(), seed)
+                .run(&eval, 20)
+                .executed
+                .iter()
+                .map(|t| t.point.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(points(9), points(9));
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-axis sensitivity (§3).
+//!
+//! "Given a value n, the sensitivity of Xi is computed by summing the
+//! fitness value of the previous n test cases in which attribute αi was
+//! mutated." Sensitivity captures the historical benefit of mutating each
+//! axis and biases future mutations toward high-density axes — the dynamic
+//! stand-in for the relative linear density the search cannot know a
+//! priori.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window sensitivity values, one per fault-space axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sensitivity {
+    windows: Vec<VecDeque<f64>>,
+    window_len: usize,
+    floor: f64,
+}
+
+impl Sensitivity {
+    /// Creates sensitivities for `axes` axes with window length `n`.
+    ///
+    /// `floor` is the minimum normalized probability share any axis keeps,
+    /// so no axis is ever starved (every direction remains explorable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes == 0` or `n == 0`.
+    pub fn new(axes: usize, n: usize, floor: f64) -> Self {
+        assert!(axes > 0, "need at least one axis");
+        assert!(n > 0, "window must be non-empty");
+        Sensitivity {
+            windows: vec![VecDeque::with_capacity(n); axes],
+            window_len: n,
+            floor,
+        }
+    }
+
+    /// Number of axes tracked.
+    pub fn axes(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Records the fitness of a test whose mutation changed `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn record(&mut self, axis: usize, fitness: f64) {
+        let w = &mut self.windows[axis];
+        if w.len() == self.window_len {
+            w.pop_front();
+        }
+        w.push_back(fitness.max(0.0));
+    }
+
+    /// The raw sensitivity of one axis: the sum of its window.
+    pub fn raw(&self, axis: usize) -> f64 {
+        self.windows[axis].iter().sum()
+    }
+
+    /// Normalized per-axis probabilities (Algorithm 1 line 5:
+    /// `attributeProbs := normalize(Sensitivity)`), floored so every axis
+    /// keeps at least `floor` share. With no history, uniform.
+    pub fn normalized(&self) -> Vec<f64> {
+        let k = self.axes();
+        let raws: Vec<f64> = (0..k).map(|i| self.raw(i)).collect();
+        let total: f64 = raws.iter().sum();
+        if total <= 0.0 {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut probs: Vec<f64> = raws.iter().map(|r| (r / total).max(self.floor)).collect();
+        let norm: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= norm;
+        }
+        probs
+    }
+
+    /// Samples an axis index proportionally to normalized sensitivity
+    /// (Algorithm 1 line 6).
+    pub fn sample_axis<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let probs = self.normalized();
+        let mut ticket: f64 = rng.gen_range(0.0..1.0);
+        for (i, p) in probs.iter().enumerate() {
+            if ticket < *p {
+                return i;
+            }
+            ticket -= p;
+        }
+        probs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_uniform() {
+        let s = Sensitivity::new(3, 10, 0.05);
+        let p = s.normalized();
+        for x in &p {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rewarded_axis_gains_probability() {
+        let mut s = Sensitivity::new(3, 10, 0.05);
+        for _ in 0..5 {
+            s.record(1, 10.0);
+            s.record(0, 1.0);
+        }
+        let p = s.normalized();
+        assert!(p[1] > p[0]);
+        assert!(p[0] > p[2]); // Axis 2 has only the floor.
+                              // The floor is applied before the final renormalization, so the
+                              // guaranteed share is approximate.
+        assert!(p[2] >= 0.04, "floor must hold approximately: {}", p[2]);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut s = Sensitivity::new(1, 3, 0.0);
+        for f in [1.0, 2.0, 3.0, 4.0] {
+            s.record(0, f);
+        }
+        // Window of 3 keeps [2, 3, 4].
+        assert!((s.raw(0) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_fitness_is_clamped() {
+        let mut s = Sensitivity::new(2, 4, 0.0);
+        s.record(0, -5.0);
+        assert_eq!(s.raw(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let mut s = Sensitivity::new(2, 8, 0.05);
+        for _ in 0..8 {
+            s.record(0, 9.0);
+            s.record(1, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits0 = (0..10_000).filter(|_| s.sample_axis(&mut rng) == 0).count();
+        let frac = hits0 as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut s = Sensitivity::new(4, 6, 0.1);
+        s.record(2, 100.0);
+        let total: f64 = s.normalized().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

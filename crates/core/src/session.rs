@@ -1,0 +1,364 @@
+//! Exploration sessions: strategy selection, stop conditions, analysis.
+//!
+//! §6: "The goal of a sequence of such injections — a fault exploration
+//! session — is to produce a set of faults that satisfy a given
+//! criterion", e.g. "find 3 disk faults that hang the DBMS", a time/test
+//! budget, or a coverage threshold. The explorer "can navigate the fault
+//! space in three ways: using the fitness-guided Algorithm 1, exhaustive
+//! search, or random search" (plus the abandoned GA, kept for ablation).
+
+use crate::algorithm::{ExplorerConfig, FitnessExplorer};
+use crate::evaluator::{Evaluator, ExecutedTest};
+use crate::exhaustive::ExhaustiveExplorer;
+use crate::explore::Explore;
+use crate::genetic::{GeneticConfig, GeneticExplorer};
+use crate::quality::cluster::{cluster_traces, Cluster};
+use crate::random::RandomExplorer;
+use afex_space::FaultSpace;
+use serde::{Deserialize, Serialize};
+
+/// Which search algorithm a session uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// The fitness-guided Algorithm 1.
+    Fitness(ExplorerConfig),
+    /// Uniform random without replacement.
+    Random,
+    /// Row-major exhaustive scan.
+    Exhaustive,
+    /// The abandoned genetic-algorithm baseline.
+    Genetic(GeneticConfig),
+}
+
+/// When a session stops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// After this many test executions.
+    Iterations(usize),
+    /// Once this many failure-inducing tests were found (or the iteration
+    /// cap hit — the cap keeps sessions finite on spaces with few faults).
+    Failures {
+        /// Target number of failure-inducing tests.
+        count: usize,
+        /// Hard iteration cap.
+        max_iterations: usize,
+    },
+    /// Once this many crashes were found (or the cap hit).
+    Crashes {
+        /// Target number of crash-inducing tests.
+        count: usize,
+        /// Hard iteration cap.
+        max_iterations: usize,
+    },
+}
+
+impl StopCondition {
+    fn max_iterations(&self) -> usize {
+        match *self {
+            StopCondition::Iterations(n) => n,
+            StopCondition::Failures { max_iterations, .. }
+            | StopCondition::Crashes { max_iterations, .. } => max_iterations,
+        }
+    }
+
+    fn satisfied(&self, failures: usize, crashes: usize) -> bool {
+        match *self {
+            StopCondition::Iterations(_) => false, // Only the cap stops it.
+            StopCondition::Failures { count, .. } => failures >= count,
+            StopCondition::Crashes { count, .. } => crashes >= count,
+        }
+    }
+}
+
+/// The log of one exploration session, with the analysis §7 reports on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Every executed test, in execution order.
+    pub executed: Vec<ExecutedTest>,
+}
+
+impl SessionResult {
+    /// Wraps an execution log.
+    pub fn new(executed: Vec<ExecutedTest>) -> Self {
+        SessionResult { executed }
+    }
+
+    /// Number of executed tests.
+    pub fn len(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Whether nothing ran.
+    pub fn is_empty(&self) -> bool {
+        self.executed.is_empty()
+    }
+
+    /// Tests that failed the target's suite (crashes and hangs included).
+    pub fn failures(&self) -> usize {
+        self.executed.iter().filter(|t| t.evaluation.failed).count()
+    }
+
+    /// Tests that crashed the target.
+    pub fn crashes(&self) -> usize {
+        self.executed
+            .iter()
+            .filter(|t| t.evaluation.crashed)
+            .count()
+    }
+
+    /// Tests that hung the target.
+    pub fn hangs(&self) -> usize {
+        self.executed.iter().filter(|t| t.evaluation.hung).count()
+    }
+
+    /// Total impact accumulated.
+    pub fn total_impact(&self) -> f64 {
+        self.executed.iter().map(|t| t.evaluation.impact).sum()
+    }
+
+    /// The cumulative failure curve: entry `i` is the number of failures
+    /// within the first `i+1` tests (the Fig. 8 series).
+    pub fn cumulative_failures(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.executed
+            .iter()
+            .map(|t| {
+                if t.evaluation.failed {
+                    acc += 1;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The injection-point traces of failing tests, in execution order.
+    pub fn failure_traces(&self) -> Vec<&str> {
+        self.executed
+            .iter()
+            .filter(|t| t.evaluation.failed)
+            .filter_map(|t| t.evaluation.trace.as_deref())
+            .collect()
+    }
+
+    /// Redundancy clusters over the failing tests' traces (§5), with the
+    /// given Levenshtein threshold.
+    pub fn failure_clusters(&self, threshold: usize) -> Vec<Cluster> {
+        cluster_traces(&self.failure_traces(), threshold)
+    }
+
+    /// Number of *unique* failures: distinct trace clusters (Table 5's
+    /// metric, with threshold 1 = exact distinctness).
+    pub fn unique_failures(&self, threshold: usize) -> usize {
+        self.failure_clusters(threshold).len()
+    }
+
+    /// Number of unique crashes: distinct traces among crashing tests.
+    pub fn unique_crashes(&self, threshold: usize) -> usize {
+        let traces: Vec<&str> = self
+            .executed
+            .iter()
+            .filter(|t| t.evaluation.crashed)
+            .filter_map(|t| t.evaluation.trace.as_deref())
+            .collect();
+        cluster_traces(&traces, threshold).len()
+    }
+
+    /// The `n` highest-impact tests, best first.
+    pub fn top_faults(&self, n: usize) -> Vec<&ExecutedTest> {
+        let mut v: Vec<&ExecutedTest> = self.executed.iter().collect();
+        v.sort_by(|a, b| b.evaluation.impact.total_cmp(&a.evaluation.impact));
+        v.truncate(n);
+        v
+    }
+
+    /// Merges two session logs (e.g. from parallel node managers).
+    pub fn merge(mut self, other: SessionResult) -> SessionResult {
+        self.executed.extend(other.executed);
+        self
+    }
+}
+
+/// A configured exploration session over one fault space.
+pub struct Session {
+    space: FaultSpace,
+    strategy: SearchStrategy,
+    seed: u64,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(space: FaultSpace, strategy: SearchStrategy, seed: u64) -> Self {
+        Session {
+            space,
+            strategy,
+            seed,
+        }
+    }
+
+    /// Runs the session until the stop condition is met.
+    pub fn run(&self, eval: &dyn Evaluator, stop: StopCondition) -> SessionResult {
+        let cap = stop.max_iterations();
+        match &self.strategy {
+            SearchStrategy::Fitness(cfg) => {
+                let mut ex = FitnessExplorer::new(self.space.clone(), cfg.clone(), self.seed);
+                run_stepper(cap, stop, |_| ex.step(eval))
+            }
+            SearchStrategy::Random => {
+                let mut ex = RandomExplorer::new(self.space.clone(), self.seed);
+                run_stepper(cap, stop, |_| ex.step(eval))
+            }
+            SearchStrategy::Exhaustive => {
+                let mut ex = ExhaustiveExplorer::new(self.space.clone());
+                run_stepper(cap, stop, |_| ex.step(eval))
+            }
+            SearchStrategy::Genetic(cfg) => {
+                // The GA runs generation-sized chunks between stop checks.
+                let mut ex = GeneticExplorer::new(self.space.clone(), *cfg, self.seed);
+                let mut all = Vec::new();
+                let (mut failures, mut crashes) = (0usize, 0usize);
+                while all.len() < cap && !stop.satisfied(failures, crashes) {
+                    let budget = (all.len() + cfg.population.max(1)).min(cap);
+                    let chunk = ex.run(eval, budget - all.len());
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for t in &chunk.executed {
+                        if t.evaluation.failed {
+                            failures += 1;
+                        }
+                        if t.evaluation.crashed {
+                            crashes += 1;
+                        }
+                    }
+                    all.extend(chunk.executed);
+                }
+                SessionResult::new(all)
+            }
+        }
+    }
+}
+
+fn run_stepper<F>(cap: usize, stop: StopCondition, mut step: F) -> SessionResult
+where
+    F: FnMut(usize) -> Option<ExecutedTest>,
+{
+    let mut executed = Vec::new();
+    let (mut failures, mut crashes) = (0usize, 0usize);
+    for i in 0..cap {
+        if stop.satisfied(failures, crashes) {
+            break;
+        }
+        let Some(t) = step(i) else { break };
+        if t.evaluation.failed {
+            failures += 1;
+        }
+        if t.evaluation.crashed {
+            crashes += 1;
+        }
+        executed.push(t);
+    }
+    SessionResult::new(executed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Evaluation, FnEvaluator};
+    use afex_space::{Axis, Point};
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("x", 0, 9), Axis::int_range("y", 0, 9)]).unwrap()
+    }
+
+    fn ridge_eval() -> FnEvaluator<impl Fn(&Point) -> f64> {
+        FnEvaluator::new(|p: &Point| if p[0] == 3 { 5.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn iteration_stop_runs_exactly_n() {
+        let s = Session::new(space(), SearchStrategy::Random, 1);
+        let r = s.run(&ridge_eval(), StopCondition::Iterations(30));
+        assert_eq!(r.len(), 30);
+    }
+
+    #[test]
+    fn failure_stop_halts_early() {
+        let s = Session::new(space(), SearchStrategy::Exhaustive, 0);
+        let r = s.run(
+            &ridge_eval(),
+            StopCondition::Failures {
+                count: 3,
+                max_iterations: 1000,
+            },
+        );
+        assert_eq!(r.failures(), 3);
+        assert!(r.len() < 100);
+    }
+
+    #[test]
+    fn all_strategies_execute() {
+        let strategies = [
+            SearchStrategy::Fitness(ExplorerConfig::default()),
+            SearchStrategy::Random,
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Genetic(GeneticConfig::default()),
+        ];
+        for st in strategies {
+            let s = Session::new(space(), st.clone(), 5);
+            let r = s.run(&ridge_eval(), StopCondition::Iterations(50));
+            assert!(!r.is_empty(), "{st:?} ran nothing");
+            assert!(r.len() <= 50, "{st:?} overran the budget: {}", r.len());
+        }
+    }
+
+    #[test]
+    fn cumulative_failures_is_monotone() {
+        let s = Session::new(space(), SearchStrategy::Random, 2);
+        let r = s.run(&ridge_eval(), StopCondition::Iterations(60));
+        let curve = r.cumulative_failures();
+        assert_eq!(curve.len(), 60);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*curve.last().unwrap(), r.failures());
+    }
+
+    #[test]
+    fn top_faults_sorted_by_impact() {
+        let r = SessionResult::new(vec![
+            ExecutedTest {
+                point: Point::new(vec![0, 0]),
+                evaluation: Evaluation::from_impact(1.0),
+                iteration: 0,
+            },
+            ExecutedTest {
+                point: Point::new(vec![1, 0]),
+                evaluation: Evaluation::from_impact(9.0),
+                iteration: 1,
+            },
+        ]);
+        let top = r.top_faults(1);
+        assert_eq!(top[0].point, Point::new(vec![1, 0]));
+    }
+
+    #[test]
+    fn unique_failures_cluster_traces() {
+        let mk = |trace: &str| ExecutedTest {
+            point: Point::new(vec![0, 0]),
+            evaluation: Evaluation {
+                trace: Some(trace.into()),
+                ..Evaluation::from_impact(5.0)
+            },
+            iteration: 0,
+        };
+        let r = SessionResult::new(vec![mk("a>b"), mk("a>b"), mk("x>y>z>w")]);
+        assert_eq!(r.failures(), 3);
+        assert_eq!(r.unique_failures(1), 2);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = SessionResult::new(vec![]);
+        let s = Session::new(space(), SearchStrategy::Random, 3);
+        let b = s.run(&ridge_eval(), StopCondition::Iterations(5));
+        assert_eq!(a.merge(b.clone()).len(), 5);
+    }
+}

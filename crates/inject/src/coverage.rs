@@ -1,0 +1,136 @@
+//! Basic-block coverage accounting.
+//!
+//! The paper measures code coverage with the targets' own tooling (gcov);
+//! our simulated targets mark explicit basic blocks instead. A block is a
+//! `(module, id)` pair; targets call [`Coverage::mark`] at each block entry,
+//! and the impact metric consumes block counts (§7: "we use a combination
+//! of code coverage and exit code of the test suite").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A set of covered basic blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    hit: HashSet<(String, u32)>,
+}
+
+impl Coverage {
+    /// Creates empty coverage.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Marks block `id` of `module` as covered.
+    pub fn mark(&mut self, module: &str, id: u32) {
+        self.hit.insert((module.to_owned(), id));
+    }
+
+    /// Whether a specific block was covered.
+    pub fn covers(&self, module: &str, id: u32) -> bool {
+        self.hit.contains(&(module.to_owned(), id))
+    }
+
+    /// Number of distinct blocks covered.
+    pub fn blocks(&self) -> usize {
+        self.hit.len()
+    }
+
+    /// Number of distinct blocks covered in one module.
+    pub fn blocks_in(&self, module: &str) -> usize {
+        self.hit.iter().filter(|(m, _)| m == module).count()
+    }
+
+    /// Coverage as a fraction of `total` declared blocks, in percent.
+    /// Returns 0 when `total` is 0.
+    pub fn percent_of(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.hit.len() as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Merges another coverage set into this one (suite-level accumulation).
+    pub fn merge(&mut self, other: &Coverage) {
+        for b in &other.hit {
+            self.hit.insert(b.clone());
+        }
+    }
+
+    /// Blocks covered by `self` but not `other` — used to quantify the
+    /// *recovery code* surplus that fault injection buys (§7.2).
+    pub fn difference(&self, other: &Coverage) -> usize {
+        self.hit.iter().filter(|b| !other.hit.contains(*b)).count()
+    }
+
+    /// Iterates over covered blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.hit.iter().map(|(m, i)| (m.as_str(), *i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_is_idempotent() {
+        let mut c = Coverage::new();
+        c.mark("m", 1);
+        c.mark("m", 1);
+        c.mark("m", 2);
+        assert_eq!(c.blocks(), 2);
+        assert!(c.covers("m", 1));
+        assert!(!c.covers("m", 3));
+    }
+
+    #[test]
+    fn modules_are_distinct() {
+        let mut c = Coverage::new();
+        c.mark("a", 1);
+        c.mark("b", 1);
+        assert_eq!(c.blocks(), 2);
+        assert_eq!(c.blocks_in("a"), 1);
+        assert_eq!(c.blocks_in("c"), 0);
+    }
+
+    #[test]
+    fn percent_of_total() {
+        let mut c = Coverage::new();
+        c.mark("m", 1);
+        c.mark("m", 2);
+        assert!((c.percent_of(8) - 25.0).abs() < 1e-9);
+        assert_eq!(c.percent_of(0), 0.0);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = Coverage::new();
+        a.mark("m", 1);
+        let mut b = Coverage::new();
+        b.mark("m", 2);
+        b.mark("m", 1);
+        a.merge(&b);
+        assert_eq!(a.blocks(), 2);
+    }
+
+    #[test]
+    fn difference_counts_surplus() {
+        let mut with_fi = Coverage::new();
+        with_fi.mark("m", 1);
+        with_fi.mark("m", 99); // Recovery block.
+        let mut without = Coverage::new();
+        without.mark("m", 1);
+        assert_eq!(with_fi.difference(&without), 1);
+        assert_eq!(without.difference(&with_fi), 0);
+    }
+
+    #[test]
+    fn iter_lists_blocks() {
+        let mut c = Coverage::new();
+        c.mark("m", 7);
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v, vec![("m", 7)]);
+    }
+}

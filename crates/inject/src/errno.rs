@@ -1,0 +1,202 @@
+//! The errno codes injectable at the application–library interface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An errno value a failed libc call can set.
+///
+/// The set covers the codes LFI's callsite analyzer reports for the
+/// functions in [`crate::libc_model`]; numeric values match Linux x86-64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM,
+    /// No such file or directory.
+    ENOENT,
+    /// Interrupted system call.
+    EINTR,
+    /// I/O error.
+    EIO,
+    /// Bad file descriptor.
+    EBADF,
+    /// Out of memory.
+    ENOMEM,
+    /// Permission denied.
+    EACCES,
+    /// Device or resource busy.
+    EBUSY,
+    /// File exists.
+    EEXIST,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files in system.
+    ENFILE,
+    /// Too many open files.
+    EMFILE,
+    /// No space left on device.
+    ENOSPC,
+    /// Read-only file system.
+    EROFS,
+    /// Broken pipe.
+    EPIPE,
+    /// Resource temporarily unavailable.
+    EAGAIN,
+    /// Name too long.
+    ENAMETOOLONG,
+    /// Too many symbolic links.
+    ELOOP,
+    /// Connection reset by peer.
+    ECONNRESET,
+    /// Connection refused.
+    ECONNREFUSED,
+    /// Operation timed out.
+    ETIMEDOUT,
+    /// Disk quota exceeded.
+    EDQUOT,
+    /// Value too large for data type.
+    EOVERFLOW,
+}
+
+impl Errno {
+    /// All errno codes, in numeric order.
+    pub const ALL: [Errno; 25] = [
+        Errno::EPERM,
+        Errno::ENOENT,
+        Errno::EINTR,
+        Errno::EIO,
+        Errno::EBADF,
+        Errno::ENOMEM,
+        Errno::EACCES,
+        Errno::EBUSY,
+        Errno::EEXIST,
+        Errno::ENOTDIR,
+        Errno::EISDIR,
+        Errno::EINVAL,
+        Errno::ENFILE,
+        Errno::EMFILE,
+        Errno::ENOSPC,
+        Errno::EROFS,
+        Errno::EPIPE,
+        Errno::EAGAIN,
+        Errno::ENAMETOOLONG,
+        Errno::ELOOP,
+        Errno::ECONNRESET,
+        Errno::ECONNREFUSED,
+        Errno::ETIMEDOUT,
+        Errno::EDQUOT,
+        Errno::EOVERFLOW,
+    ];
+
+    /// The Linux x86-64 numeric value.
+    pub fn code(self) -> i32 {
+        match self {
+            Errno::EPERM => 1,
+            Errno::ENOENT => 2,
+            Errno::EINTR => 4,
+            Errno::EIO => 5,
+            Errno::EBADF => 9,
+            Errno::ENOMEM => 12,
+            Errno::EACCES => 13,
+            Errno::EBUSY => 16,
+            Errno::EEXIST => 17,
+            Errno::ENOTDIR => 20,
+            Errno::EISDIR => 21,
+            Errno::EINVAL => 22,
+            Errno::ENFILE => 23,
+            Errno::EMFILE => 24,
+            Errno::ENOSPC => 28,
+            Errno::EROFS => 30,
+            Errno::EPIPE => 32,
+            Errno::EAGAIN => 11,
+            Errno::ENAMETOOLONG => 36,
+            Errno::ELOOP => 40,
+            Errno::ECONNRESET => 104,
+            Errno::ECONNREFUSED => 111,
+            Errno::ETIMEDOUT => 110,
+            Errno::EDQUOT => 122,
+            Errno::EOVERFLOW => 75,
+        }
+    }
+
+    /// The symbolic name, as written in fault-space descriptors.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EROFS => "EROFS",
+            Errno::EPIPE => "EPIPE",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ELOOP => "ELOOP",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::ETIMEDOUT => "ETIMEDOUT",
+            Errno::EDQUOT => "EDQUOT",
+            Errno::EOVERFLOW => "EOVERFLOW",
+        }
+    }
+
+    /// Parses a symbolic errno name.
+    pub fn from_name(s: &str) -> Option<Errno> {
+        Errno::ALL.iter().copied().find(|e| e.name() == s)
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for e in Errno::ALL {
+            assert_eq!(Errno::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Errno::from_name("EWHAT"), None);
+    }
+
+    #[test]
+    fn codes_are_unique_and_positive() {
+        let mut seen = std::collections::HashSet::new();
+        for e in Errno::ALL {
+            assert!(e.code() > 0);
+            assert!(seen.insert(e.code()), "duplicate code for {e}");
+        }
+    }
+
+    #[test]
+    fn linux_values_spot_check() {
+        assert_eq!(Errno::ENOMEM.code(), 12);
+        assert_eq!(Errno::EINTR.code(), 4);
+        assert_eq!(Errno::ENOSPC.code(), 28);
+        assert_eq!(Errno::EAGAIN.code(), 11);
+    }
+
+    #[test]
+    fn display_is_symbolic() {
+        assert_eq!(Errno::EIO.to_string(), "EIO");
+    }
+}

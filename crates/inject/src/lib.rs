@@ -1,0 +1,48 @@
+//! Library-level fault-injection substrate for AFEX.
+//!
+//! The paper evaluates AFEX with LFI, a library-level fault injector that
+//! intercepts an application's calls into `libc.so` and makes selected calls
+//! fail with chosen error returns and `errno` codes. This crate is the
+//! deterministic, in-process equivalent used by the simulated targets in
+//! `afex-targets`:
+//!
+//! - [`libc_model`] — the model of the application–library interface:
+//!   [`libc_model::Func`] enumerates intercepted libc functions, with
+//!   per-function *fault profiles* (possible error return / errno pairs), as
+//!   produced by LFI's callsite analyzer.
+//! - [`errno`] — the errno codes injectable at that interface.
+//! - [`plan`] — [`plan::FaultPlan`]: which call to which function
+//!   fails, with what return value and errno (a fault scenario broken into
+//!   atomic faults, §6).
+//! - [`mod@env`] — [`env::LibcEnv`]: the facade the simulated targets
+//!   call through. It counts calls per function, consults the active plan,
+//!   captures the stack trace at each injection point (for redundancy
+//!   clustering, §5) and collects basic-block coverage.
+//! - [`trace`] — explicit call-stack maintenance via RAII frame guards.
+//! - [`coverage`] — basic-block coverage accounting (the gcov substitute).
+//! - [`profile`] — the `ltrace`-style profiler used to define fault spaces
+//!   (§7, "Fault Space Definition Methodology").
+//! - [`outcome`] — what one fault-injection test observed: pass/fail/crash,
+//!   coverage, and the injection records.
+//!
+//! Determinism is the point of the substitution: the same
+//! [`plan::FaultPlan`] against the same workload yields the same
+//! outcome, which lets the test suite assert exact explorer behaviour.
+
+pub mod coverage;
+pub mod env;
+pub mod errno;
+pub mod libc_model;
+pub mod outcome;
+pub mod plan;
+pub mod profile;
+pub mod trace;
+
+pub use coverage::Coverage;
+pub use env::{CallResult, LibcEnv};
+pub use errno::Errno;
+pub use libc_model::{FaultProfile, Func, FuncCategory};
+pub use outcome::{InjectionRecord, TestOutcome, TestStatus};
+pub use plan::{AtomicFault, FaultPlan};
+pub use profile::{CallProfile, Profiler};
+pub use trace::{CallStack, FrameGuard};

@@ -1,0 +1,311 @@
+//! Model of the application–library interface.
+//!
+//! [`Func`] enumerates the libc functions intercepted by the injector —
+//! the 29 functions visible in Fig. 1 of the paper plus the additional ones
+//! the simulated servers (minidb, httpd, docstore) call. Each function has a
+//! [`FaultProfile`]: the error return value and the set of plausible errno
+//! codes, corresponding to what LFI's callsite analyzer extracts from the
+//! `libc.so` binary.
+
+use crate::errno::Errno;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional grouping of libc functions.
+///
+/// §3 notes that grouping "POSIX functions by functionality: file,
+/// networking, memory, etc." provides a convenient total order with
+/// locality — neighbors on the function axis tend to be implemented (and
+/// mishandled) similarly, which is the structure the explorer exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuncCategory {
+    /// Heap management: `malloc`, `calloc`, ...
+    Memory,
+    /// Buffered stream I/O: `fopen`, `fgets`, ...
+    Stream,
+    /// File-descriptor I/O: `open`, `read`, ...
+    FileDescriptor,
+    /// Directory traversal: `opendir`, `chdir`, ...
+    Directory,
+    /// Sockets: `socket`, `recv`, ...
+    Network,
+    /// Processes and resources: `wait`, `getrlimit64`, ...
+    Process,
+    /// Locale and message catalogs: `setlocale`, `textdomain`, ...
+    Locale,
+    /// Time: `clock_gettime`.
+    Time,
+    /// String utilities that can allocate or fail: `strtol`, `strdup`.
+    String,
+}
+
+/// The error return value and plausible errno codes of one libc function,
+/// as LFI's callsite analyzer would report them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// The value the function returns on failure (`-1`, `0` for NULL, ...).
+    pub error_retval: i64,
+    /// The errno codes the function can set on failure.
+    pub errnos: Vec<Errno>,
+}
+
+macro_rules! funcs {
+    ($( $variant:ident => ($name:literal, $cat:ident, $retval:literal, [$($e:ident),+ $(,)?]) ),+ $(,)?) => {
+        /// A libc function interceptable by the injector.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        pub enum Func {
+            $(
+                #[doc = concat!("The `", $name, "` libc function.")]
+                $variant,
+            )+
+        }
+
+        impl Func {
+            /// Every modelled function, in the canonical (category-grouped)
+            /// total order used for fault-space axes.
+            pub const ALL: &'static [Func] = &[ $(Func::$variant),+ ];
+
+            /// The C-level symbol name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Func::$variant => $name),+
+                }
+            }
+
+            /// The functional category (the basis of the axis order).
+            pub fn category(self) -> FuncCategory {
+                match self {
+                    $(Func::$variant => FuncCategory::$cat),+
+                }
+            }
+
+            /// The function's fault profile (callsite-analyzer output).
+            pub fn fault_profile(self) -> FaultProfile {
+                match self {
+                    $(Func::$variant => FaultProfile {
+                        error_retval: $retval,
+                        errnos: vec![$(Errno::$e),+],
+                    }),+
+                }
+            }
+        }
+    };
+}
+
+// The canonical order groups by category, mirroring the paper's
+// observation that a functionality-based order yields exploitable
+// locality. The first 29 entries are exactly the Fig. 1 function set.
+funcs! {
+    // Memory.
+    Malloc       => ("malloc", Memory, 0, [ENOMEM]),
+    Calloc       => ("calloc", Memory, 0, [ENOMEM]),
+    Realloc      => ("realloc", Memory, 0, [ENOMEM]),
+    // Buffered streams.
+    Fopen64      => ("fopen64", Stream, 0, [ENOENT, EACCES, EMFILE, ENFILE, ENOMEM, EINTR]),
+    Fopen        => ("fopen", Stream, 0, [ENOENT, EACCES, EMFILE, ENFILE, ENOMEM, EINTR]),
+    Fclose       => ("fclose", Stream, -1, [EIO, EBADF, ENOSPC, EINTR]),
+    Ferror       => ("ferror", Stream, 1, [EBADF]),
+    Fgets        => ("fgets", Stream, 0, [EIO, EINTR, EBADF]),
+    Putc         => ("putc", Stream, -1, [EIO, ENOSPC, EPIPE]),
+    IoPutc       => ("__IO_putc", Stream, -1, [EIO, ENOSPC, EPIPE]),
+    Fflush       => ("fflush", Stream, -1, [EIO, ENOSPC, EBADF, EPIPE]),
+    // File descriptors.
+    Open         => ("open", FileDescriptor, -1, [ENOENT, EACCES, EMFILE, ENFILE, ENOSPC, EINTR, EISDIR]),
+    Read         => ("read", FileDescriptor, -1, [EIO, EINTR, EBADF, EAGAIN]),
+    Write        => ("write", FileDescriptor, -1, [EIO, ENOSPC, EINTR, EBADF, EPIPE, EDQUOT]),
+    Close        => ("close", FileDescriptor, -1, [EIO, EINTR, EBADF]),
+    Lseek        => ("lseek", FileDescriptor, -1, [EBADF, EINVAL, EOVERFLOW]),
+    Fsync        => ("fsync", FileDescriptor, -1, [EIO, EBADF, EINVAL]),
+    Fcntl        => ("fcntl", FileDescriptor, -1, [EBADF, EINVAL, EMFILE]),
+    Stat         => ("stat", FileDescriptor, -1, [ENOENT, EACCES, ENOMEM, ENAMETOOLONG, ELOOP]),
+    Xstat64      => ("__xstat64", FileDescriptor, -1, [ENOENT, EACCES, ENOMEM, ENAMETOOLONG, ELOOP]),
+    Unlink       => ("unlink", FileDescriptor, -1, [ENOENT, EACCES, EBUSY, EROFS, EISDIR]),
+    Rename       => ("rename", FileDescriptor, -1, [ENOENT, EACCES, EBUSY, EINVAL, EROFS]),
+    Pipe         => ("pipe", FileDescriptor, -1, [EMFILE, ENFILE]),
+    // Directories.
+    Opendir      => ("opendir", Directory, 0, [ENOENT, EACCES, EMFILE, ENFILE, ENOMEM, ENOTDIR]),
+    Readdir      => ("readdir", Directory, 0, [EBADF]),
+    Closedir     => ("closedir", Directory, -1, [EBADF]),
+    Chdir        => ("chdir", Directory, -1, [ENOENT, EACCES, ENOTDIR]),
+    Mkdir        => ("mkdir", Directory, -1, [EEXIST, EACCES, ENOSPC, EROFS, ENOENT]),
+    Rmdir        => ("rmdir", Directory, -1, [ENOENT, EACCES, EBUSY, ENOTDIR]),
+    Getcwd       => ("getcwd", Directory, 0, [ENOMEM, EACCES]),
+    // Network.
+    Socket       => ("socket", Network, -1, [EMFILE, ENFILE, ENOMEM, EACCES]),
+    Bind         => ("bind", Network, -1, [EACCES, EINVAL]),
+    Listen       => ("listen", Network, -1, [EINVAL]),
+    Accept       => ("accept", Network, -1, [EMFILE, ENFILE, ENOMEM, EINTR, EAGAIN, ECONNRESET]),
+    Recv         => ("recv", Network, -1, [EINTR, EAGAIN, ECONNRESET, ETIMEDOUT]),
+    Send         => ("send", Network, -1, [EINTR, EAGAIN, ECONNRESET, EPIPE, ENOMEM]),
+    // Processes and resources.
+    Wait         => ("wait", Process, -1, [EINTR, EINVAL]),
+    Getrlimit64  => ("getrlimit64", Process, -1, [EINVAL]),
+    Setrlimit64  => ("setrlimit64", Process, -1, [EINVAL, EPERM]),
+    // Locale.
+    Setlocale    => ("setlocale", Locale, 0, [ENOMEM]),
+    Bindtextdomain => ("bindtextdomain", Locale, 0, [ENOMEM]),
+    Textdomain   => ("textdomain", Locale, 0, [ENOMEM]),
+    // Time.
+    ClockGettime => ("clock_gettime", Time, -1, [EINVAL]),
+    // Strings.
+    Strtol       => ("strtol", String, 0, [EINVAL]),
+    Strdup       => ("strdup", String, 0, [ENOMEM]),
+}
+
+// Note: `rename` across filesystems fails with EXDEV; our errno set folds
+// that case into EINVAL.
+
+impl Func {
+    /// The 29-function set of Fig. 1 (the `ls` fault-space excerpt),
+    /// in the paper's left-to-right order.
+    pub const FIG1: [Func; 29] = [
+        Func::Wait,
+        Func::Malloc,
+        Func::Calloc,
+        Func::Realloc,
+        Func::Fopen64,
+        Func::Fopen,
+        Func::Fclose,
+        Func::Stat,
+        Func::Xstat64,
+        Func::Ferror,
+        Func::Fcntl,
+        Func::Fgets,
+        Func::Putc,
+        Func::IoPutc,
+        Func::Read,
+        Func::Opendir,
+        Func::Closedir,
+        Func::Chdir,
+        Func::Pipe,
+        Func::Fflush,
+        Func::Close,
+        Func::Getrlimit64,
+        Func::Setrlimit64,
+        Func::Setlocale,
+        Func::ClockGettime,
+        Func::Getcwd,
+        Func::Bindtextdomain,
+        Func::Textdomain,
+        Func::Strtol,
+    ];
+
+    /// The 19-function subset spanning the coreutils fault space of §7.2
+    /// (`Xfunc = (1, ..., 19)`), in category-grouped order.
+    pub const COREUTILS19: [Func; 19] = [
+        Func::Malloc,
+        Func::Calloc,
+        Func::Realloc,
+        Func::Fopen,
+        Func::Fclose,
+        Func::Fgets,
+        Func::Putc,
+        Func::Fflush,
+        Func::Open,
+        Func::Read,
+        Func::Write,
+        Func::Close,
+        Func::Stat,
+        Func::Unlink,
+        Func::Rename,
+        Func::Opendir,
+        Func::Closedir,
+        Func::Chdir,
+        Func::Getcwd,
+    ];
+
+    /// Looks a function up by its C symbol name.
+    pub fn from_name(s: &str) -> Option<Func> {
+        Func::ALL.iter().copied().find(|f| f.name() == s)
+    }
+
+    /// Whether the function reports failure by returning NULL (`0`) rather
+    /// than `-1`. NULL-returning functions are where unchecked-return bugs
+    /// (like the Apache `strdup` one) live.
+    pub fn returns_null_on_error(self) -> bool {
+        self.fault_profile().error_retval == 0
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for &f in Func::ALL {
+            assert!(seen.insert(f.name()), "duplicate name {}", f.name());
+            assert_eq!(Func::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Func::from_name("nosuchfn"), None);
+    }
+
+    #[test]
+    fn fig1_has_29_functions() {
+        assert_eq!(Func::FIG1.len(), 29);
+        let set: std::collections::HashSet<_> = Func::FIG1.iter().collect();
+        assert_eq!(set.len(), 29);
+    }
+
+    #[test]
+    fn coreutils19_has_19_functions() {
+        assert_eq!(Func::COREUTILS19.len(), 19);
+        let set: std::collections::HashSet<_> = Func::COREUTILS19.iter().collect();
+        assert_eq!(set.len(), 19);
+    }
+
+    #[test]
+    fn canonical_order_groups_by_category() {
+        // Every category forms one contiguous run in Func::ALL.
+        let mut seen = std::collections::HashSet::new();
+        let mut last = None;
+        for &f in Func::ALL {
+            let c = f.category();
+            if last != Some(c) {
+                assert!(seen.insert(c), "category {c:?} appears in two runs");
+                last = Some(c);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for &f in Func::ALL {
+            let p = f.fault_profile();
+            assert!(!p.errnos.is_empty(), "{f} has no errnos");
+            assert!(
+                p.error_retval == 0 || p.error_retval == -1 || p.error_retval == 1,
+                "{f} has unusual error retval {}",
+                p.error_retval
+            );
+        }
+    }
+
+    #[test]
+    fn null_returning_functions() {
+        assert!(Func::Malloc.returns_null_on_error());
+        assert!(Func::Strdup.returns_null_on_error());
+        assert!(Func::Fopen.returns_null_on_error());
+        assert!(!Func::Close.returns_null_on_error());
+    }
+
+    #[test]
+    fn malloc_profile_matches_fig4() {
+        let p = Func::Malloc.fault_profile();
+        assert_eq!(p.error_retval, 0);
+        assert_eq!(p.errnos, vec![Errno::ENOMEM]);
+    }
+
+    #[test]
+    fn display_uses_c_name() {
+        assert_eq!(Func::Xstat64.to_string(), "__xstat64");
+        assert_eq!(Func::ClockGettime.to_string(), "clock_gettime");
+    }
+}

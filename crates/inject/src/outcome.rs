@@ -1,0 +1,160 @@
+//! Observations from one fault-injection test execution.
+
+use crate::coverage::Coverage;
+use crate::plan::AtomicFault;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One performed injection: the atomic fault plus the stack trace captured
+/// at the injection point (§5, redundancy clustering input).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// The injected atomic fault.
+    pub fault: AtomicFault,
+    /// Stack frames at the injection point, outermost first.
+    pub stack: Vec<String>,
+}
+
+impl InjectionRecord {
+    /// The flat `a>b>c>libcfn` rendering used for Levenshtein clustering.
+    ///
+    /// The innermost frame is the intercepted libc function itself, as in
+    /// a real LFI-captured stack trace (the interposition library is on
+    /// the stack at injection time).
+    pub fn stack_trace(&self) -> String {
+        let mut s = self.stack.join(">");
+        if !s.is_empty() {
+            s.push('>');
+        }
+        s.push_str(self.fault.func.name());
+        s
+    }
+}
+
+/// Terminal status of one test execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestStatus {
+    /// The test ran to completion and its assertions held.
+    Passed,
+    /// The test ran to completion but its assertions failed.
+    Failed,
+    /// The target crashed (panic / segfault analogue), with the message.
+    Crashed(String),
+    /// The target stopped making progress (watchdog expired).
+    Hung,
+}
+
+impl TestStatus {
+    /// Whether the run ended in a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, TestStatus::Crashed(_))
+    }
+
+    /// Whether the test did not pass (failed, crashed, or hung).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, TestStatus::Passed)
+    }
+}
+
+impl fmt::Display for TestStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestStatus::Passed => f.write_str("passed"),
+            TestStatus::Failed => f.write_str("failed"),
+            TestStatus::Crashed(m) => write!(f, "crashed: {m}"),
+            TestStatus::Hung => f.write_str("hung"),
+        }
+    }
+}
+
+/// Everything observed while executing one fault-injection test.
+///
+/// This is what a node manager's sensors report back to the explorer; the
+/// impact metric is computed from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestOutcome {
+    /// Identifier of the workload/test that ran (the `testID` axis).
+    pub test_id: usize,
+    /// Terminal status.
+    pub status: TestStatus,
+    /// Blocks covered during the run.
+    pub coverage: Coverage,
+    /// Faults actually injected (empty if the plan never triggered).
+    pub injections: Vec<InjectionRecord>,
+}
+
+impl TestOutcome {
+    /// Stack trace of the first injection, if any — the §5 clustering key.
+    /// Tests whose plan never triggered have no injection-point trace.
+    pub fn injection_trace(&self) -> Option<String> {
+        self.injections.first().map(InjectionRecord::stack_trace)
+    }
+
+    /// Whether the planned fault actually got injected. Plans that target
+    /// a call number beyond what the workload performs never trigger; such
+    /// tests exercise nothing and score zero impact.
+    pub fn triggered(&self) -> bool {
+        !self.injections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errno::Errno;
+    use crate::libc_model::Func;
+
+    fn rec(frames: &[&str]) -> InjectionRecord {
+        InjectionRecord {
+            fault: AtomicFault::new(Func::Malloc, 1, Errno::ENOMEM),
+            stack: frames.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn stack_trace_rendering() {
+        assert_eq!(rec(&["main", "f", "g"]).stack_trace(), "main>f>g>malloc");
+        assert_eq!(rec(&[]).stack_trace(), "malloc");
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(!TestStatus::Passed.is_failure());
+        assert!(TestStatus::Failed.is_failure());
+        assert!(TestStatus::Hung.is_failure());
+        let c = TestStatus::Crashed("segfault".into());
+        assert!(c.is_failure());
+        assert!(c.is_crash());
+        assert!(!TestStatus::Failed.is_crash());
+    }
+
+    #[test]
+    fn outcome_trace_and_trigger() {
+        let o = TestOutcome {
+            test_id: 3,
+            status: TestStatus::Failed,
+            coverage: Coverage::new(),
+            injections: vec![rec(&["main", "open_db"])],
+        };
+        assert!(o.triggered());
+        assert_eq!(o.injection_trace().unwrap(), "main>open_db>malloc");
+
+        let none = TestOutcome {
+            test_id: 3,
+            status: TestStatus::Passed,
+            coverage: Coverage::new(),
+            injections: vec![],
+        };
+        assert!(!none.triggered());
+        assert_eq!(none.injection_trace(), None);
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(TestStatus::Passed.to_string(), "passed");
+        assert_eq!(
+            TestStatus::Crashed("boom".into()).to_string(),
+            "crashed: boom"
+        );
+    }
+}

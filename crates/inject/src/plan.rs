@@ -1,0 +1,206 @@
+//! Fault plans: the atomic faults one test injects.
+//!
+//! §6: when a node manager receives a fault scenario ("inject an EINTR
+//! error in the third read socket call, and an ENOMEM error in the seventh
+//! malloc call"), it breaks the scenario down into *atomic faults* and
+//! instructs the corresponding injectors. A [`FaultPlan`] is that broken-
+//! down form; [`crate::env::LibcEnv`] consults it on every intercepted call.
+
+use crate::errno::Errno;
+use crate::libc_model::Func;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One atomic fault: fail the `call_number`-th call to `func` with the
+/// given errno (the return value comes from the function's fault profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtomicFault {
+    /// The libc function whose call fails.
+    pub func: Func,
+    /// 1-based cardinality of the failing call, as in the paper's
+    /// `<testID, functionName, callNumber>` injection points. `0` is never
+    /// matched (the paper uses 0 to mean "no injection").
+    pub call_number: u32,
+    /// The errno the failed call sets.
+    pub errno: Errno,
+}
+
+impl AtomicFault {
+    /// Creates an atomic fault.
+    pub fn new(func: Func, call_number: u32, errno: Errno) -> Self {
+        AtomicFault {
+            func,
+            call_number,
+            errno,
+        }
+    }
+
+    /// Whether this fault is a valid point of the injector's fault space:
+    /// the errno must be in the function's fault profile and the call
+    /// number non-zero. Invalid combinations are the fault-space "holes".
+    pub fn is_valid(&self) -> bool {
+        self.call_number > 0 && self.func.fault_profile().errnos.contains(&self.errno)
+    }
+}
+
+impl fmt::Display for AtomicFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "function {} errno {} retval {} callNumber {}",
+            self.func,
+            self.errno,
+            self.func.fault_profile().error_retval,
+            self.call_number
+        )
+    }
+}
+
+/// A fault plan: the set of atomic faults to inject during one test.
+///
+/// The paper's evaluation uses single-fault scenarios, but the plan
+/// supports arbitrarily many atomic faults (multi-fault scenarios, §6).
+/// An empty plan is the fault-free baseline run.
+///
+/// # Examples
+///
+/// ```
+/// use afex_inject::{AtomicFault, Errno, FaultPlan, Func};
+///
+/// let plan = FaultPlan::single(Func::Malloc, 23, Errno::ENOMEM);
+/// assert_eq!(plan.faults().len(), 1);
+/// assert_eq!(
+///     plan.to_string(),
+///     "function malloc errno ENOMEM retval 0 callNumber 23"
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<AtomicFault>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single-fault plan (the scenario shape of the paper's evaluation).
+    pub fn single(func: Func, call_number: u32, errno: Errno) -> Self {
+        FaultPlan {
+            faults: vec![AtomicFault::new(func, call_number, errno)],
+        }
+    }
+
+    /// A multi-fault plan.
+    pub fn multi(faults: Vec<AtomicFault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// The atomic faults of this plan.
+    pub fn faults(&self) -> &[AtomicFault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether every atomic fault is valid (see [`AtomicFault::is_valid`]).
+    pub fn is_valid(&self) -> bool {
+        self.faults.iter().all(AtomicFault::is_valid)
+    }
+
+    /// Returns the fault to inject for the `count`-th call to `func`
+    /// (1-based), if any.
+    pub fn matching(&self, func: Func, count: u32) -> Option<&AtomicFault> {
+        self.faults
+            .iter()
+            .find(|f| f.func == func && f.call_number == count)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return f.write_str("(no injection)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<AtomicFault> for FaultPlan {
+    fn from(f: AtomicFault) -> Self {
+        FaultPlan { faults: vec![f] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plan_matches_only_its_call() {
+        let p = FaultPlan::single(Func::Read, 3, Errno::EINTR);
+        assert!(p.matching(Func::Read, 3).is_some());
+        assert!(p.matching(Func::Read, 2).is_none());
+        assert!(p.matching(Func::Read, 4).is_none());
+        assert!(p.matching(Func::Malloc, 3).is_none());
+    }
+
+    #[test]
+    fn multi_plan_matches_each_fault() {
+        let p = FaultPlan::multi(vec![
+            AtomicFault::new(Func::Read, 3, Errno::EINTR),
+            AtomicFault::new(Func::Malloc, 7, Errno::ENOMEM),
+        ]);
+        assert!(p.matching(Func::Read, 3).is_some());
+        assert!(p.matching(Func::Malloc, 7).is_some());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_baseline() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.is_valid());
+        assert!(p.matching(Func::Malloc, 1).is_none());
+        assert_eq!(p.to_string(), "(no injection)");
+    }
+
+    #[test]
+    fn validity_follows_fault_profiles() {
+        // malloc can only fail with ENOMEM.
+        assert!(AtomicFault::new(Func::Malloc, 1, Errno::ENOMEM).is_valid());
+        assert!(!AtomicFault::new(Func::Malloc, 1, Errno::EIO).is_valid());
+        // Call number 0 means "no injection" and is a hole.
+        assert!(!AtomicFault::new(Func::Malloc, 0, Errno::ENOMEM).is_valid());
+    }
+
+    #[test]
+    fn display_matches_fig5_format() {
+        let p = FaultPlan::single(Func::Malloc, 23, Errno::ENOMEM);
+        assert_eq!(
+            p.to_string(),
+            "function malloc errno ENOMEM retval 0 callNumber 23"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = FaultPlan::multi(vec![
+            AtomicFault::new(Func::Fclose, 1, Errno::EIO),
+            AtomicFault::new(Func::Write, 2, Errno::ENOSPC),
+        ]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,195 @@
+//! `ltrace`-style profiling to define fault spaces.
+//!
+//! §7, Fault Space Definition Methodology: "we first run the default test
+//! suites that ship with our test targets, and use the ltrace library-call
+//! tracer to identify the calls that our target makes to libc and count how
+//! many times each libc function is called. We then use LFI's callsite
+//! analyzer [...] to obtain a fault profile for each libc function."
+//!
+//! [`Profiler`] runs a workload under a fault-free [`LibcEnv`], records the
+//! per-function call counts, and emits a fault-space descriptor (in the
+//! Fig. 3 language) restricted to the functions actually called.
+
+use crate::env::LibcEnv;
+use crate::libc_model::Func;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-function call counts observed while profiling a workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallProfile {
+    counts: BTreeMap<Func, u32>,
+}
+
+impl CallProfile {
+    /// Builds a profile from observed counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = (Func, u32)>) -> Self {
+        CallProfile {
+            counts: counts.into_iter().filter(|&(_, c)| c > 0).collect(),
+        }
+    }
+
+    /// Functions observed, in canonical order.
+    pub fn functions(&self) -> Vec<Func> {
+        let mut fns: Vec<Func> = self.counts.keys().copied().collect();
+        fns.sort_by_key(|f| Func::ALL.iter().position(|g| g == f));
+        fns
+    }
+
+    /// Calls observed for one function.
+    pub fn count(&self, f: Func) -> u32 {
+        self.counts.get(&f).copied().unwrap_or(0)
+    }
+
+    /// Total calls observed.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Merges another profile (e.g. across a whole test suite), keeping the
+    /// maximum per-function count — the deepest call number ever reachable.
+    pub fn merge_max(&mut self, other: &CallProfile) {
+        for (&f, &c) in &other.counts {
+            let e = self.counts.entry(f).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+
+    /// Renders a Fig. 3-language fault-space descriptor: one subspace per
+    /// observed function, with the function's profiled errnos and the call
+    /// numbers capped at `max_call` (0 = no cap).
+    pub fn to_descriptor(&self, max_call: u32) -> String {
+        let mut out = String::new();
+        for f in self.functions() {
+            let profile = f.fault_profile();
+            let calls = if max_call == 0 {
+                self.count(f)
+            } else {
+                self.count(f).min(max_call)
+            };
+            if calls == 0 {
+                continue;
+            }
+            let errnos: Vec<&str> = profile.errnos.iter().map(|e| e.name()).collect();
+            out.push_str(&format!(
+                "function : {{ {} }}\nerrno : {{ {} }}\nretval : {{ {} }}\ncallNumber : [ 1 , {} ] ;\n",
+                f.name(),
+                errnos.join(", "),
+                profile.error_retval,
+                calls
+            ));
+        }
+        out
+    }
+}
+
+/// Profiles workloads by running them against a fault-free environment.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    profile: CallProfile,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Runs one workload under a fresh fault-free environment and folds its
+    /// call counts into the profile (max per function across workloads).
+    pub fn run<W>(&mut self, workload: W)
+    where
+        W: FnOnce(&LibcEnv),
+    {
+        let env = LibcEnv::fault_free();
+        workload(&env);
+        let observed = CallProfile::from_counts(env.call_counts());
+        self.profile.merge_max(&observed);
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &CallProfile {
+        &self.profile
+    }
+
+    /// Consumes the profiler, returning the profile.
+    pub fn into_profile(self) -> CallProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libc_model::Func;
+
+    #[test]
+    fn profiler_counts_calls() {
+        let mut p = Profiler::new();
+        p.run(|env| {
+            env.call(Func::Open);
+            env.call(Func::Read);
+            env.call(Func::Read);
+            env.call(Func::Close);
+        });
+        let prof = p.profile();
+        assert_eq!(prof.count(Func::Read), 2);
+        assert_eq!(prof.count(Func::Open), 1);
+        assert_eq!(prof.count(Func::Malloc), 0);
+        assert_eq!(prof.total_calls(), 4);
+    }
+
+    #[test]
+    fn merge_max_takes_deepest_counts() {
+        let mut p = Profiler::new();
+        p.run(|env| {
+            env.call(Func::Malloc);
+            env.call(Func::Malloc);
+        });
+        p.run(|env| {
+            env.call(Func::Malloc);
+            env.call(Func::Read);
+        });
+        assert_eq!(p.profile().count(Func::Malloc), 2);
+        assert_eq!(p.profile().count(Func::Read), 1);
+    }
+
+    #[test]
+    fn descriptor_is_parseable_and_sized_right() {
+        let mut p = Profiler::new();
+        p.run(|env| {
+            for _ in 0..5 {
+                env.call(Func::Malloc);
+            }
+            env.call(Func::Read);
+        });
+        let desc_text = p.profile().to_descriptor(0);
+        let desc = afex_space::parse(&desc_text).expect("descriptor must parse");
+        // malloc: 1 errno × 5 calls; read: 4 errnos × 1 call.
+        assert_eq!(desc.total_points(), 5 + 4);
+    }
+
+    #[test]
+    fn descriptor_caps_call_numbers() {
+        let mut p = Profiler::new();
+        p.run(|env| {
+            for _ in 0..500 {
+                env.call(Func::Malloc);
+            }
+        });
+        let desc = afex_space::parse(&p.profile().to_descriptor(100)).unwrap();
+        assert_eq!(desc.total_points(), 100);
+    }
+
+    #[test]
+    fn functions_in_canonical_order() {
+        let prof = CallProfile::from_counts([(Func::Strtol, 1), (Func::Malloc, 1)]);
+        assert_eq!(prof.functions(), vec![Func::Malloc, Func::Strtol]);
+    }
+
+    #[test]
+    fn zero_counts_are_dropped() {
+        let prof = CallProfile::from_counts([(Func::Malloc, 0), (Func::Read, 2)]);
+        assert_eq!(prof.functions(), vec![Func::Read]);
+    }
+}

@@ -1,0 +1,104 @@
+//! A small victim program the preload shim is tested against.
+//!
+//! Modes (first argument):
+//!
+//! - `read-file <path>` — open/read/close via libc; on read error prints
+//!   a diagnostic and exits 1 (graceful recovery: the good case).
+//! - `alloc <n>` — `malloc(64)` n times, checking each result; on NULL
+//!   prints a diagnostic and exits 1 (graceful).
+//! - `alloc-unchecked <n>` — same but writes through the pointer without
+//!   a NULL check: under an injected malloc failure this segfaults, the
+//!   miniature of the Apache Fig. 7 bug on a real process.
+
+use std::ffi::{c_char, c_int, c_void};
+
+extern "C" {
+    fn open(path: *const c_char, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn malloc(size: usize) -> *mut c_void;
+    fn free(p: *mut c_void);
+    fn __errno_location() -> *mut c_int;
+}
+
+fn errno() -> i32 {
+    // SAFETY: glibc guarantees a valid per-thread errno location.
+    unsafe { *__errno_location() }
+}
+
+fn run_read_file(path: &str) -> i32 {
+    let cpath = format!("{path}\0");
+    // SAFETY: `cpath` is NUL-terminated; O_RDONLY == 0.
+    let fd = unsafe { open(cpath.as_ptr() as *const c_char, 0) };
+    if fd < 0 {
+        eprintln!("victim: cannot open {path}: errno {}", errno());
+        return 1;
+    }
+    let mut total = 0usize;
+    let mut buf = [0u8; 256];
+    loop {
+        // SAFETY: `buf` is a valid writable region of the given length.
+        let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+        match n {
+            0 => break,
+            n if n < 0 => {
+                eprintln!("victim: read failed: errno {}", errno());
+                // SAFETY: `fd` is open.
+                unsafe { close(fd) };
+                return 1;
+            }
+            n => total += n as usize,
+        }
+    }
+    // SAFETY: `fd` is open.
+    if unsafe { close(fd) } != 0 {
+        eprintln!("victim: close failed: errno {}", errno());
+        return 1;
+    }
+    println!("victim: read {total} bytes");
+    0
+}
+
+/// Distinctive allocation size so the shim's `AFEX_SIZE` predicate can
+/// target the victim's own allocations rather than the runtime's.
+const VICTIM_ALLOC_SIZE: usize = 4242;
+
+fn run_alloc(n: usize, checked: bool) -> i32 {
+    for i in 1..=n {
+        // SAFETY: plain allocation request.
+        let p = unsafe { malloc(VICTIM_ALLOC_SIZE) };
+        if checked {
+            if p.is_null() {
+                eprintln!("victim: malloc #{i} failed: errno {}", errno());
+                return 1;
+            }
+        }
+        // The unchecked path writes regardless — NULL here segfaults,
+        // which is the point of the `alloc-unchecked` mode.
+        // SAFETY (checked mode): `p` is non-null and at least 64 bytes.
+        unsafe {
+            *(p as *mut u8) = 0xAA;
+            free(p);
+        }
+    }
+    println!("victim: {n} allocations ok");
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let code = match args.get(1).map(String::as_str) {
+        Some("read-file") => {
+            run_read_file(args.get(2).map(String::as_str).unwrap_or("/etc/hostname"))
+        }
+        Some("alloc") => run_alloc(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4), true),
+        Some("alloc-unchecked") => {
+            run_alloc(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4), false)
+        }
+        _ => {
+            eprintln!("usage: victim <read-file|alloc|alloc-unchecked> [arg]");
+            2
+        }
+    };
+    std::process::exit(code);
+}

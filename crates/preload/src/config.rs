@@ -1,0 +1,43 @@
+//! Driver-side construction of the shim's environment protocol.
+
+/// One injection request, rendered as environment variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionEnv {
+    func: String,
+    call: u32,
+    errno: i32,
+}
+
+impl InjectionEnv {
+    /// Fail the `call`-th call to `func` with errno `errno`.
+    pub fn new(func: impl Into<String>, call: u32, errno: i32) -> Self {
+        InjectionEnv {
+            func: func.into(),
+            call,
+            errno,
+        }
+    }
+
+    /// The `(name, value)` pairs to set on the child process.
+    pub fn vars(&self) -> Vec<(String, String)> {
+        vec![
+            ("AFEX_FUNC".to_owned(), self.func.clone()),
+            ("AFEX_CALL".to_owned(), self.call.to_string()),
+            ("AFEX_ERRNO".to_owned(), self.errno.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_render_protocol() {
+        let e = InjectionEnv::new("malloc", 3, 12);
+        let vars = e.vars();
+        assert!(vars.contains(&("AFEX_FUNC".into(), "malloc".into())));
+        assert!(vars.contains(&("AFEX_CALL".into(), "3".into())));
+        assert!(vars.contains(&("AFEX_ERRNO".into(), "12".into())));
+    }
+}

@@ -1,0 +1,35 @@
+//! Real library-level fault injection via `LD_PRELOAD` (the LFI mechanism).
+//!
+//! The simulated targets in `afex-targets` exercise the search algorithm;
+//! this crate exercises the *injection mechanism itself* the way LFI does:
+//! a `cdylib` interposed with `LD_PRELOAD` that wraps selected libc
+//! functions, counts calls, and fails the configured call with a chosen
+//! errno. The driver side ([`config`]) builds the environment-variable
+//! protocol; the shim side ([`shim`], compiled into the `cdylib`) reads it
+//! at first interception.
+//!
+//! Protocol (all optional; the shim is inert without `AFEX_FUNC`):
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `AFEX_FUNC` | function to fail: `malloc`, `read`, `fopen`, `close` |
+//! | `AFEX_CALL` | 1-based call number to fail (default 1) |
+//! | `AFEX_ERRNO` | errno value to set (default: function-appropriate) |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use afex_preload::config::InjectionEnv;
+//! use std::process::Command;
+//!
+//! let env = InjectionEnv::new("read", 2, 5); // Fail 2nd read with EIO.
+//! let status = Command::new("./victim")
+//!     .env("LD_PRELOAD", "target/debug/libafex_preload.so")
+//!     .envs(env.vars())
+//!     .status()
+//!     .unwrap();
+//! assert!(!status.success());
+//! ```
+
+pub mod config;
+pub mod shim;

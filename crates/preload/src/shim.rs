@@ -1,0 +1,236 @@
+//! The interposition shim: `malloc`, `read`, `fopen`, `close` wrappers.
+//!
+//! Compiled into the crate's `cdylib` and activated with `LD_PRELOAD`.
+//! Each wrapper counts its calls; when the configured call number is
+//! reached, it returns the function's error value and sets the requested
+//! errno, without calling the real function — exactly LFI's behaviour for
+//! a "fail call N" plan.
+//!
+//! Interposing allocator functions is delicate: configuration parsing
+//! must not recurse into the wrapped `malloc` (reading environment
+//! variables allocates). A thread-local re-entrancy flag makes any
+//! allocation performed *during* configuration pass straight through.
+
+use std::cell::Cell;
+use std::ffi::{c_char, c_int, c_void};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// `RTLD_NEXT` on glibc: resolve the next occurrence of the symbol.
+const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
+
+extern "C" {
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn __errno_location() -> *mut c_int;
+}
+
+/// Which function the plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Malloc,
+    Read,
+    Fopen,
+    Close,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    target: Target,
+    call: u32,
+    errno: c_int,
+    /// Optional argument predicate: for `malloc`, only calls with exactly
+    /// this size count (LFI-style injection-point argument filters; lets
+    /// tests pinpoint application allocations amid runtime ones).
+    size: Option<usize>,
+}
+
+static CONFIG: OnceLock<Option<Config>> = OnceLock::new();
+
+thread_local! {
+    /// Set while parsing configuration: wrapped functions pass through.
+    static REENTRANT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn parse_config() -> Option<Config> {
+    let func = std::env::var("AFEX_FUNC").ok()?;
+    let target = match func.as_str() {
+        "malloc" => Target::Malloc,
+        "read" => Target::Read,
+        "fopen" => Target::Fopen,
+        "close" => Target::Close,
+        _ => return None,
+    };
+    let call = std::env::var("AFEX_CALL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let default_errno = match target {
+        Target::Malloc => 12, // ENOMEM.
+        Target::Read => 5,    // EIO.
+        Target::Fopen => 2,   // ENOENT.
+        Target::Close => 9,   // EBADF.
+    };
+    let errno = std::env::var("AFEX_ERRNO")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_errno);
+    let size = std::env::var("AFEX_SIZE").ok().and_then(|s| s.parse().ok());
+    Some(Config {
+        target,
+        call,
+        errno,
+        size,
+    })
+}
+
+/// Returns the active config, or `None` when inert or mid-initialization.
+fn config() -> Option<Config> {
+    if REENTRANT.with(Cell::get) {
+        return None;
+    }
+    REENTRANT.with(|r| r.set(true));
+    let c = *CONFIG.get_or_init(parse_config);
+    REENTRANT.with(|r| r.set(false));
+    c
+}
+
+/// Decides whether this call (1-based `count`) of `target` must fail; if
+/// so, sets errno and returns `true`. `arg_size` carries the size
+/// argument for allocator calls (`None` elsewhere).
+fn should_fail(target: Target, counter: &AtomicU32, arg_size: Option<usize>) -> bool {
+    let Some(cfg) = config() else { return false };
+    if cfg.target != target {
+        return false;
+    }
+    if let (Some(want), Some(got)) = (cfg.size, arg_size) {
+        if want != got {
+            return false;
+        }
+    }
+    let count = counter.fetch_add(1, Ordering::SeqCst) + 1;
+    if count != cfg.call {
+        return false;
+    }
+    // SAFETY: `__errno_location` returns the calling thread's valid errno
+    // slot for the thread's lifetime; writing a plain `c_int` is sound.
+    unsafe {
+        *__errno_location() = cfg.errno;
+    }
+    true
+}
+
+/// Resolves (and caches) the real `name` via `dlsym(RTLD_NEXT, ...)`.
+///
+/// Aborts the process if the symbol cannot be resolved — continuing with
+/// a null function pointer would be undefined behavior.
+///
+/// # Safety
+///
+/// `name` must be a NUL-terminated C string naming a symbol whose type
+/// matches how the caller transmutes the result.
+unsafe fn real(name: &'static str, cache: &std::sync::atomic::AtomicPtr<c_void>) -> *mut c_void {
+    debug_assert!(name.ends_with('\0'));
+    let cached = cache.load(Ordering::Acquire);
+    if !cached.is_null() {
+        return cached;
+    }
+    // SAFETY: `name` is NUL-terminated per the contract; RTLD_NEXT is a
+    // reserved pseudo-handle documented by glibc.
+    let resolved = unsafe { dlsym(RTLD_NEXT, name.as_ptr() as *const c_char) };
+    if resolved.is_null() {
+        std::process::abort();
+    }
+    cache.store(resolved, Ordering::Release);
+    resolved
+}
+
+static REAL_MALLOC: std::sync::atomic::AtomicPtr<c_void> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+static REAL_READ: std::sync::atomic::AtomicPtr<c_void> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+static REAL_FOPEN: std::sync::atomic::AtomicPtr<c_void> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+static REAL_CLOSE: std::sync::atomic::AtomicPtr<c_void> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+
+static MALLOC_CALLS: AtomicU32 = AtomicU32::new(0);
+static READ_CALLS: AtomicU32 = AtomicU32::new(0);
+static FOPEN_CALLS: AtomicU32 = AtomicU32::new(0);
+static CLOSE_CALLS: AtomicU32 = AtomicU32::new(0);
+
+/// Interposed `malloc`.
+///
+/// # Safety
+///
+/// Exported with the C ABI under the libc symbol name; called by
+/// arbitrary C code with `malloc`'s contract.
+#[no_mangle]
+pub unsafe extern "C" fn malloc(size: usize) -> *mut c_void {
+    if should_fail(Target::Malloc, &MALLOC_CALLS, Some(size)) {
+        return std::ptr::null_mut();
+    }
+    // SAFETY: the resolved symbol is glibc's real malloc, whose signature
+    // matches the transmute target.
+    unsafe {
+        let f: extern "C" fn(usize) -> *mut c_void =
+            std::mem::transmute(real("malloc\0", &REAL_MALLOC));
+        f(size)
+    }
+}
+
+/// Interposed `read`.
+///
+/// # Safety
+///
+/// Exported with the C ABI under the libc symbol name; called by
+/// arbitrary C code with `read`'s contract.
+#[no_mangle]
+pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize {
+    if should_fail(Target::Read, &READ_CALLS, None) {
+        return -1;
+    }
+    // SAFETY: the resolved symbol is glibc's real read; arguments are
+    // forwarded unchanged under the same contract the caller honours.
+    unsafe {
+        let f: extern "C" fn(c_int, *mut c_void, usize) -> isize =
+            std::mem::transmute(real("read\0", &REAL_READ));
+        f(fd, buf, count)
+    }
+}
+
+/// Interposed `fopen`.
+///
+/// # Safety
+///
+/// Exported with the C ABI under the libc symbol name; called by
+/// arbitrary C code with `fopen`'s contract.
+#[no_mangle]
+pub unsafe extern "C" fn fopen(path: *const c_char, mode: *const c_char) -> *mut c_void {
+    if should_fail(Target::Fopen, &FOPEN_CALLS, None) {
+        return std::ptr::null_mut();
+    }
+    // SAFETY: forwards to glibc's real fopen under the same contract.
+    unsafe {
+        let f: extern "C" fn(*const c_char, *const c_char) -> *mut c_void =
+            std::mem::transmute(real("fopen\0", &REAL_FOPEN));
+        f(path, mode)
+    }
+}
+
+/// Interposed `close`.
+///
+/// # Safety
+///
+/// Exported with the C ABI under the libc symbol name; called by
+/// arbitrary C code with `close`'s contract.
+#[no_mangle]
+pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+    if should_fail(Target::Close, &CLOSE_CALLS, None) {
+        return -1;
+    }
+    // SAFETY: forwards to glibc's real close under the same contract.
+    unsafe {
+        let f: extern "C" fn(c_int) -> c_int = std::mem::transmute(real("close\0", &REAL_CLOSE));
+        f(fd)
+    }
+}

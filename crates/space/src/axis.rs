@@ -1,0 +1,336 @@
+//! Totally-ordered fault-space axes.
+//!
+//! §2 of the paper: "a fault space Φ is spanned by axes X1, X2, ... XN,
+//! meaning Φ = X1 × X2 × .. × XN, where each axis Xi is a totally ordered
+//! set with elements from Ai and order ≺i". An [`Axis`] owns the value set
+//! `Ai` together with its order; attribute values are referred to by their
+//! index under that order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single attribute value on an axis.
+///
+/// Values are either symbolic (e.g. a libc function name, an errno mnemonic)
+/// or integral (e.g. a call number). The total order on an axis is the order
+/// in which values were listed when the axis was built, matching the paper's
+/// "if there is no intrinsic total order, then we can pick a convenient one".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A symbolic value, such as `close` or `ENOMEM`.
+    Sym(String),
+    /// An integral value, such as a call number.
+    Int(i64),
+}
+
+impl Value {
+    /// Returns the symbolic content, if this is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integral content, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Sym(_) => None,
+            Value::Int(n) => Some(*n),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => f.write_str(s),
+            Value::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Sym(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+/// How an axis was declared in the descriptor language (Fig. 3).
+///
+/// The distinction matters for fault selection: `[a, b]` intervals are
+/// sampled for a single number, while `<a, b>` intervals are sampled for
+/// entire sub-intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisKind {
+    /// An explicit `{ v1, v2, ... }` value set.
+    Set,
+    /// A `[lo, hi]` interval sampled for single numbers.
+    Interval,
+    /// A `<lo, hi>` interval sampled for sub-intervals.
+    SubInterval,
+}
+
+/// One totally-ordered axis `Xi` of a fault space.
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::Axis;
+///
+/// let func = Axis::symbolic("function", ["open", "close", "read"]);
+/// assert_eq!(func.len(), 3);
+/// assert_eq!(func.index_of_sym("close"), Some(1));
+///
+/// let call = Axis::int_range("callNumber", 1, 100);
+/// assert_eq!(call.len(), 100);
+/// assert_eq!(call.value(4).as_int(), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    name: String,
+    values: Vec<Value>,
+    kind: AxisKind,
+}
+
+impl Axis {
+    /// Creates an axis from an explicit ordered value list.
+    ///
+    /// The iteration order of `values` defines the total order `≺i`.
+    pub fn new(name: impl Into<String>, values: Vec<Value>, kind: AxisKind) -> Self {
+        Axis {
+            name: name.into(),
+            values,
+            kind,
+        }
+    }
+
+    /// Creates a symbolic set axis, e.g. libc function names.
+    pub fn symbolic<I, S>(name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Axis::new(
+            name,
+            values.into_iter().map(|s| Value::Sym(s.into())).collect(),
+            AxisKind::Set,
+        )
+    }
+
+    /// Creates an integral axis covering `lo..=hi` (interval kind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_range(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "interval bounds must satisfy lo <= hi");
+        Axis::new(
+            name,
+            (lo..=hi).map(Value::Int).collect(),
+            AxisKind::Interval,
+        )
+    }
+
+    /// Creates an integral axis covering `lo..=hi`, declared as a
+    /// sub-interval (`< >`) axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_subinterval(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "interval bounds must satisfy lo <= hi");
+        Axis::new(
+            name,
+            (lo..=hi).map(Value::Int).collect(),
+            AxisKind::SubInterval,
+        )
+    }
+
+    /// The axis name (attribute name in the descriptor language).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declaration kind of this axis.
+    pub fn kind(&self) -> AxisKind {
+        self.kind
+    }
+
+    /// Cardinality `|Ai|` of the axis.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the axis holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at the given index under the axis order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn value(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// All values in axis order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The index of a value under the axis order, if present.
+    pub fn index_of(&self, v: &Value) -> Option<usize> {
+        self.values.iter().position(|x| x == v)
+    }
+
+    /// The index of a symbolic value, if present.
+    pub fn index_of_sym(&self, s: &str) -> Option<usize> {
+        self.values.iter().position(|x| x.as_sym() == Some(s))
+    }
+
+    /// The index of an integral value, if present.
+    pub fn index_of_int(&self, n: i64) -> Option<usize> {
+        self.values.iter().position(|x| x.as_int() == Some(n))
+    }
+
+    /// Returns a copy of this axis with its values permuted by `perm`,
+    /// destroying any structure along the axis (Table 4 experiment).
+    ///
+    /// `perm[i]` gives the old index of the value placed at new index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..self.len()`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.len(), "permutation length mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        Axis {
+            name: self.name.clone(),
+            values: perm.iter().map(|&i| self.values[i].clone()).collect(),
+            kind: self.kind,
+        }
+    }
+
+    /// Restricts the axis to the values whose indices are in `keep`,
+    /// preserving order. Used for fault-space trimming (§7.5).
+    pub fn restricted(&self, keep: &[usize]) -> Self {
+        Axis {
+            name: self.name.clone(),
+            values: keep
+                .iter()
+                .filter_map(|&i| self.values.get(i).cloned())
+                .collect(),
+            kind: self.kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_axis_order_and_lookup() {
+        let a = Axis::symbolic("function", ["open", "close", "read"]);
+        assert_eq!(a.name(), "function");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.index_of_sym("open"), Some(0));
+        assert_eq!(a.index_of_sym("read"), Some(2));
+        assert_eq!(a.index_of_sym("write"), None);
+        assert_eq!(a.value(1), &Value::Sym("close".into()));
+        assert_eq!(a.kind(), AxisKind::Set);
+    }
+
+    #[test]
+    fn int_range_axis() {
+        let a = Axis::int_range("callNumber", 1, 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.index_of_int(1), Some(0));
+        assert_eq!(a.index_of_int(5), Some(4));
+        assert_eq!(a.index_of_int(6), None);
+        assert_eq!(a.kind(), AxisKind::Interval);
+    }
+
+    #[test]
+    fn subinterval_kind_is_tracked() {
+        let a = Axis::int_subinterval("window", 1, 50);
+        assert_eq!(a.kind(), AxisKind::SubInterval);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn int_range_rejects_inverted_bounds() {
+        let _ = Axis::int_range("x", 5, 1);
+    }
+
+    #[test]
+    fn index_of_generic_value() {
+        let a = Axis::new(
+            "mixed",
+            vec![Value::Sym("a".into()), Value::Int(7)],
+            AxisKind::Set,
+        );
+        assert_eq!(a.index_of(&Value::Int(7)), Some(1));
+        assert_eq!(a.index_of(&Value::Sym("b".into())), None);
+    }
+
+    #[test]
+    fn permuted_reorders_values() {
+        let a = Axis::symbolic("f", ["x", "y", "z"]);
+        let p = a.permuted(&[2, 0, 1]);
+        assert_eq!(p.value(0).as_sym(), Some("z"));
+        assert_eq!(p.value(1).as_sym(), Some("x"));
+        assert_eq!(p.value(2).as_sym(), Some("y"));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_duplicates() {
+        let a = Axis::symbolic("f", ["x", "y", "z"]);
+        let _ = a.permuted(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn restricted_keeps_subset_in_order() {
+        let a = Axis::int_range("n", 1, 10);
+        let r = a.restricted(&[0, 4, 9]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(1).as_int(), Some(5));
+        assert_eq!(r.value(2).as_int(), Some(10));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Sym("close".into()).to_string(), "close");
+        assert_eq!(Value::Int(-1).to_string(), "-1");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from("x"), Value::Sym("x".into()));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::Int(3).as_sym(), None);
+        assert_eq!(Value::Sym("x".into()).as_int(), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Relative linear density `ρ` (§2).
+//!
+//! Given a fault `φ` and an axis `Xk`, the relative linear density at `φ`
+//! along `Xk` is the average impact of the faults that agree with `φ` on
+//! every attribute except the k-th, scaled by the average impact of all
+//! faults in the considered region:
+//!
+//! ```text
+//! ρ_k(φ) = avg[ I(<α1,...,αk,...,αN>), αk ∈ Xk ] / avg[ I(φx), φx ∈ Φ ]
+//! ```
+//!
+//! `ρ_k(φ) > 1` means walking from `φ` along `Xk` encounters more
+//! high-impact faults than walking in a random direction. In practice the
+//! paper computes `ρ` over a small D-vicinity of `φ` rather than the entire
+//! space; both variants are provided.
+
+use crate::distance::Vicinity;
+use crate::point::Point;
+use crate::space::FaultSpace;
+
+/// Relative linear density at `phi` along axis `axis`, over the whole space.
+///
+/// `impact` maps each fault to its measured impact `I_S(φ)`. Returns `None`
+/// when the space-wide average impact is zero (the metric is undefined:
+/// there is nothing to scale by).
+///
+/// This evaluates `impact` over the entire product space, so it is only
+/// meant for small spaces (such as analysis of recorded experiments); the
+/// explorer itself uses the dynamic sensitivity mechanism instead.
+///
+/// # Panics
+///
+/// Panics if `phi` does not address `space` or `axis` is out of range.
+pub fn relative_linear_density<F>(
+    space: &FaultSpace,
+    phi: &Point,
+    axis: usize,
+    impact: F,
+) -> Option<f64>
+where
+    F: Fn(&Point) -> f64,
+{
+    space
+        .check(phi)
+        .expect("density point must address the space");
+    assert!(axis < space.arity(), "axis out of range");
+    let line_avg = line_average(space, phi, axis, &impact);
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for p in space.iter_points() {
+        total += impact(&p);
+        count += 1;
+    }
+    ratio(line_avg, total, count)
+}
+
+/// Relative linear density at `phi` along `axis`, computed over the
+/// D-vicinity of `phi` (radius `radius`), as recommended by §2 for large
+/// spaces. The line average is likewise restricted to the vicinity.
+///
+/// Returns `None` when the vicinity-wide average impact is zero.
+///
+/// # Panics
+///
+/// Panics if `phi` does not address `space` or `axis` is out of range.
+pub fn relative_linear_density_in_vicinity<F>(
+    space: &FaultSpace,
+    phi: &Point,
+    axis: usize,
+    radius: u64,
+    impact: F,
+) -> Option<f64>
+where
+    F: Fn(&Point) -> f64,
+{
+    space
+        .check(phi)
+        .expect("density point must address the space");
+    assert!(axis < space.arity(), "axis out of range");
+    let mut line_sum = 0.0;
+    let mut line_n = 0u64;
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for p in Vicinity::new(space, phi, radius) {
+        let i = impact(&p);
+        total += i;
+        count += 1;
+        if agrees_except(&p, phi, axis) {
+            line_sum += i;
+            line_n += 1;
+        }
+    }
+    if line_n == 0 {
+        return None;
+    }
+    ratio(line_sum / line_n as f64, total, count)
+}
+
+/// Average impact along the line through `phi` parallel to `axis`.
+fn line_average<F>(space: &FaultSpace, phi: &Point, axis: usize, impact: &F) -> f64
+where
+    F: Fn(&Point) -> f64,
+{
+    let n = space.axis(axis).len();
+    let sum: f64 = (0..n).map(|v| impact(&phi.with_attr(axis, v))).sum();
+    sum / n as f64
+}
+
+/// Whether `p` agrees with `phi` on every attribute except `axis`.
+fn agrees_except(p: &Point, phi: &Point, axis: usize) -> bool {
+    p.attrs()
+        .iter()
+        .zip(phi.attrs())
+        .enumerate()
+        .all(|(i, (&a, &b))| i == axis || a == b)
+}
+
+fn ratio(line_avg: f64, total: f64, count: u64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let space_avg = total / count as f64;
+    if space_avg == 0.0 {
+        None
+    } else {
+        Some(line_avg / space_avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    /// A 2D space where column 1 (x == 1) is all-impact ("a vertical ship").
+    fn ship_space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("x", 0, 4), Axis::int_range("y", 0, 4)]).unwrap()
+    }
+
+    fn ship_impact(p: &Point) -> f64 {
+        if p[0] == 1 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn density_detects_vertical_structure() {
+        let s = ship_space();
+        let phi = Point::new(vec![1, 2]);
+        // Along y (axis 1) every fault on the line has impact 1.
+        let rho_y = relative_linear_density(&s, &phi, 1, ship_impact).unwrap();
+        // Space average is 5/25 = 0.2, line average along y is 1.0.
+        assert!((rho_y - 5.0).abs() < 1e-9);
+        // Along x only 1 of 5 line members has impact.
+        let rho_x = relative_linear_density(&s, &phi, 0, ship_impact).unwrap();
+        assert!((rho_x - 1.0).abs() < 1e-9);
+        assert!(rho_y > rho_x);
+    }
+
+    #[test]
+    fn density_is_none_for_zero_impact_space() {
+        let s = ship_space();
+        let phi = Point::new(vec![0, 0]);
+        assert_eq!(relative_linear_density(&s, &phi, 0, |_| 0.0), None);
+    }
+
+    #[test]
+    fn fig1_fclose_vicinity_example() {
+        // Reproduces the §2 worked example: fault φ = <fclose, 7> with a
+        // 4-vicinity; impact 1 for a "black square". We lay out a space
+        // shaped like the Fig. 1 excerpt near fclose: the fclose column is
+        // error-prone across tests, neighboring columns mostly are not.
+        let s = FaultSpace::new(vec![
+            Axis::symbolic("function", ["fopen", "fclose", "stat", "ferror", "fcntl"]),
+            Axis::int_range("test", 1, 11),
+        ])
+        .unwrap();
+        // Black squares: the whole fclose column, plus sparse neighbors.
+        let impact = |p: &Point| -> f64 {
+            let black = p[0] == 1 || (p[0] == 0 && p[1] == 2) || (p[0] == 2 && p[1] == 9);
+            if black {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let phi = Point::new(vec![1, 6]);
+        let rho_test = relative_linear_density_in_vicinity(&s, &phi, 1, 4, impact).unwrap();
+        let rho_func = relative_linear_density_in_vicinity(&s, &phi, 0, 4, impact).unwrap();
+        // Walking vertically (along the test axis) stays on the fclose
+        // column and is denser than average; horizontally it is not.
+        assert!(rho_test > 1.5, "rho_test = {rho_test}");
+        assert!(rho_func < rho_test);
+    }
+
+    #[test]
+    fn vicinity_density_on_uniform_impact_is_one() {
+        let s = ship_space();
+        let phi = Point::new(vec![2, 2]);
+        let rho = relative_linear_density_in_vicinity(&s, &phi, 0, 2, |_| 3.5).unwrap();
+        assert!((rho - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn density_rejects_bad_axis() {
+        let s = ship_space();
+        let _ = relative_linear_density(&s, &Point::new(vec![0, 0]), 7, |_| 0.0);
+    }
+}

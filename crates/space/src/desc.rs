@@ -1,0 +1,320 @@
+//! Fault-space descriptions: unions of subspaces, and sampled scenarios.
+//!
+//! §6.2: "Fault spaces are described as a Cartesian product of sets,
+//! intervals, and unions of subspaces." A [`SpaceDesc`] is the parsed form
+//! of a descriptor file; each [`Subspace`] is one Cartesian product. A
+//! sampled fault is rendered as a [`Scenario`] in the Fig. 5 format and sent
+//! to a node manager for execution.
+
+use crate::axis::{Axis, AxisKind, Value};
+use crate::point::Point;
+use crate::space::{FaultSpace, SpaceError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One Cartesian-product subspace of a fault-space description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subspace {
+    subtypes: Vec<String>,
+    params: Vec<Axis>,
+}
+
+impl Subspace {
+    /// Creates a subspace from its subtype tags and parameter axes.
+    pub fn new(subtypes: Vec<String>, params: Vec<Axis>) -> Self {
+        Subspace { subtypes, params }
+    }
+
+    /// Subtype tags attached to this subspace (may be empty).
+    pub fn subtypes(&self) -> &[String] {
+        &self.subtypes
+    }
+
+    /// Parameter axes of this subspace.
+    pub fn params(&self) -> &[Axis] {
+        &self.params
+    }
+
+    /// Number of points in this subspace.
+    pub fn len(&self) -> u64 {
+        self.params.iter().map(|a| a.len() as u64).product()
+    }
+
+    /// Whether this subspace has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes this subspace as a [`FaultSpace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpaceError`] for degenerate axis sets.
+    pub fn to_fault_space(&self) -> Result<FaultSpace, SpaceError> {
+        FaultSpace::new(self.params.clone())
+    }
+}
+
+/// A parsed fault-space description: a union of subspaces (Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceDesc {
+    subspaces: Vec<Subspace>,
+}
+
+impl SpaceDesc {
+    /// Creates a description from its subspaces.
+    pub fn new(subspaces: Vec<Subspace>) -> Self {
+        SpaceDesc { subspaces }
+    }
+
+    /// The subspaces of the union.
+    pub fn subspaces(&self) -> &[Subspace] {
+        &self.subspaces
+    }
+
+    /// Total number of points across all subspaces.
+    pub fn total_points(&self) -> u64 {
+        self.subspaces.iter().map(Subspace::len).sum()
+    }
+
+    /// Uniformly samples one fault scenario across the union: a subspace is
+    /// picked with probability proportional to its size, then each axis is
+    /// sampled per its kind (`[ ]` → single value, `< >` → sub-interval).
+    ///
+    /// Returns `None` if the description is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Scenario> {
+        let total = self.total_points();
+        if total == 0 {
+            return None;
+        }
+        let mut ticket = rng.gen_range(0..total);
+        let (si, sub) = self.subspaces.iter().enumerate().find(|(_, s)| {
+            if ticket < s.len() {
+                true
+            } else {
+                ticket -= s.len();
+                false
+            }
+        })?;
+        let attrs = sub
+            .params
+            .iter()
+            .map(|axis| sample_axis(axis, rng))
+            .collect();
+        Some(Scenario {
+            subspace: si,
+            subtypes: sub.subtypes.clone(),
+            attrs,
+        })
+    }
+
+    /// Builds the scenario corresponding to a concrete point of one
+    /// subspace (used to render explorer-chosen faults for node managers).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `subspace` is out of range or `point` does not address it.
+    pub fn scenario_for(&self, subspace: usize, point: &Point) -> Result<Scenario, SpaceError> {
+        let sub = self.subspaces.get(subspace).ok_or(SpaceError::NoAxes)?;
+        let space = sub.to_fault_space()?;
+        space.check(point)?;
+        let attrs = sub
+            .params
+            .iter()
+            .zip(point.attrs())
+            .map(|(axis, &i)| ScenarioAttr {
+                name: axis.name().to_owned(),
+                value: ScenarioValue::Single(axis.value(i).clone()),
+            })
+            .collect();
+        Ok(Scenario {
+            subspace,
+            subtypes: sub.subtypes.clone(),
+            attrs,
+        })
+    }
+}
+
+fn sample_axis<R: Rng + ?Sized>(axis: &Axis, rng: &mut R) -> ScenarioAttr {
+    let value = match axis.kind() {
+        AxisKind::Set | AxisKind::Interval => {
+            let i = rng.gen_range(0..axis.len());
+            ScenarioValue::Single(axis.value(i).clone())
+        }
+        AxisKind::SubInterval => {
+            // Sample an entire sub-interval `<lo, hi>`: two indices, ordered.
+            let a = rng.gen_range(0..axis.len());
+            let b = rng.gen_range(0..axis.len());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let lo_v = axis.value(lo).as_int().unwrap_or(lo as i64);
+            let hi_v = axis.value(hi).as_int().unwrap_or(hi as i64);
+            ScenarioValue::Range(lo_v, hi_v)
+        }
+    };
+    ScenarioAttr {
+        name: axis.name().to_owned(),
+        value,
+    }
+}
+
+/// The value bound to one attribute of a sampled scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioValue {
+    /// A single sampled value (sets and `[ ]` intervals).
+    Single(Value),
+    /// A sampled sub-interval (`< >` intervals).
+    Range(i64, i64),
+}
+
+/// One attribute binding of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioAttr {
+    /// The attribute (axis) name.
+    pub name: String,
+    /// The sampled value.
+    pub value: ScenarioValue,
+}
+
+/// A concrete fault-injection scenario, renderable in the Fig. 5 format:
+/// `function malloc errno ENOMEM retval 0 callNumber 23`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Index of the subspace the scenario was drawn from.
+    pub subspace: usize,
+    /// Subtype tags of that subspace.
+    pub subtypes: Vec<String>,
+    /// Attribute bindings in axis order.
+    pub attrs: Vec<ScenarioAttr>,
+}
+
+impl Scenario {
+    /// Looks up an attribute binding by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioValue> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.attrs {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match &a.value {
+                ScenarioValue::Single(v) => write!(f, "{} {}", a.name, v)?,
+                ScenarioValue::Range(lo, hi) => write!(f, "{} <{},{}>", a.name, lo, hi)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig4() -> SpaceDesc {
+        parse(
+            "function : { malloc, calloc, realloc }
+             errno : { ENOMEM }
+             retval : { 0 }
+             callNumber : [ 1 , 100 ] ;
+             function : { read }
+             errno : { EINTR }
+             retVal : { -1 }
+             callNumber : [ 1 , 50 ] ;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn total_points_sums_subspaces() {
+        assert_eq!(fig4().total_points(), 350);
+    }
+
+    #[test]
+    fn sampling_respects_subspace_weights() {
+        let d = fig4();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut first = 0usize;
+        const N: usize = 4000;
+        for _ in 0..N {
+            let s = d.sample(&mut rng).unwrap();
+            if s.subspace == 0 {
+                first += 1;
+            }
+        }
+        // Subspace 0 holds 300/350 ≈ 85.7% of the mass.
+        let frac = first as f64 / N as f64;
+        assert!((frac - 300.0 / 350.0).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn sampled_scenario_is_well_formed() {
+        let d = fig4();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.sample(&mut rng).unwrap();
+        assert_eq!(s.attrs.len(), 4);
+        assert!(s.get("function").is_some());
+        match s.get("callNumber").unwrap() {
+            ScenarioValue::Single(Value::Int(n)) => assert!((1..=100).contains(n)),
+            other => panic!("unexpected callNumber value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig5_rendering() {
+        let d = fig4();
+        // function malloc errno ENOMEM retval 0 callNumber 23.
+        let p = Point::new(vec![0, 0, 0, 22]);
+        let s = d.scenario_for(0, &p).unwrap();
+        assert_eq!(
+            s.to_string(),
+            "function malloc errno ENOMEM retval 0 callNumber 23"
+        );
+    }
+
+    #[test]
+    fn scenario_for_checks_bounds() {
+        let d = fig4();
+        assert!(d.scenario_for(5, &Point::new(vec![0])).is_err());
+        assert!(d.scenario_for(0, &Point::new(vec![0, 0, 0, 999])).is_err());
+    }
+
+    #[test]
+    fn subinterval_axes_sample_ranges() {
+        let d = parse("window : < 1 , 50 >;").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng).unwrap();
+            match s.get("window").unwrap() {
+                ScenarioValue::Range(lo, hi) => {
+                    assert!(lo <= hi);
+                    assert!(*lo >= 1 && *hi <= 50);
+                }
+                other => panic!("expected range, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_desc_samples_none() {
+        let d = SpaceDesc::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(d.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = fig4();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: SpaceDesc = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

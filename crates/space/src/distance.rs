@@ -1,0 +1,232 @@
+//! Manhattan distance and D-vicinities (§2).
+//!
+//! The paper measures proximity of faults with the Manhattan (city-block)
+//! distance `δ`: the smallest number of attribute-index increments or
+//! decrements turning one fault into another. The *D-vicinity* of `φ` is
+//! the set of faults within distance `D` of `φ`.
+
+use crate::point::Point;
+use crate::space::FaultSpace;
+
+/// Manhattan distance `δ(φ, φ'')` between two faults.
+///
+/// # Panics
+///
+/// Panics if the points have different arities.
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::{manhattan, Point};
+///
+/// let a = Point::new(vec![2, 5, 1]);
+/// let b = Point::new(vec![2, 7, 0]);
+/// assert_eq!(manhattan(&a, &b), 3);
+/// ```
+pub fn manhattan(a: &Point, b: &Point) -> u64 {
+    assert_eq!(a.arity(), b.arity(), "points must have equal arity");
+    a.attrs()
+        .iter()
+        .zip(b.attrs())
+        .map(|(&x, &y)| x.abs_diff(y) as u64)
+        .sum()
+}
+
+/// Iterator over the D-vicinity of a center fault: every point of the space
+/// whose Manhattan distance to the center is at most `D`.
+///
+/// Enumeration is depth-first over axes, visiting each vicinity member
+/// exactly once, in lexicographic order of attribute indices. The center
+/// itself is included (distance 0).
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::{Axis, FaultSpace, Point, Vicinity};
+///
+/// let space = FaultSpace::new(vec![
+///     Axis::int_range("x", 0, 9),
+///     Axis::int_range("y", 0, 9),
+/// ])
+/// .unwrap();
+/// let center = Point::new(vec![5, 5]);
+/// let v: Vec<_> = Vicinity::new(&space, &center, 1).collect();
+/// // Center plus 4 axis-neighbors.
+/// assert_eq!(v.len(), 5);
+/// ```
+pub struct Vicinity<'s> {
+    space: &'s FaultSpace,
+    center: Point,
+    radius: u64,
+    stack: Vec<Frame>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+struct Frame {
+    axis: usize,
+    next_value: usize,
+    budget_before: u64,
+}
+
+impl<'s> Vicinity<'s> {
+    /// Creates the D-vicinity iterator for `center` with radius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` does not address `space`.
+    pub fn new(space: &'s FaultSpace, center: &Point, radius: u64) -> Self {
+        space
+            .check(center)
+            .expect("vicinity center must address the space");
+        Vicinity {
+            space,
+            center: center.clone(),
+            radius,
+            stack: Vec::new(),
+            current: vec![0; space.arity()],
+            done: false,
+        }
+    }
+
+    /// Remaining distance budget after fixing axes `0..axis` to the choices
+    /// in `self.current`.
+    fn spent(&self, upto_axis: usize) -> u64 {
+        self.current[..upto_axis]
+            .iter()
+            .zip(self.center.attrs())
+            .map(|(&v, &c)| v.abs_diff(c) as u64)
+            .sum()
+    }
+}
+
+impl Iterator for Vicinity<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        let arity = self.space.arity();
+        // Initialize: push the first frame.
+        if self.stack.is_empty() {
+            self.stack.push(Frame {
+                axis: 0,
+                next_value: 0,
+                budget_before: self.radius,
+            });
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.done = true;
+                return None;
+            };
+            let axis = frame.axis;
+            let axis_len = self.space.axis(axis).len();
+            let center_v = self.center[axis];
+            let budget = frame.budget_before;
+            // Advance to the next in-budget value on this axis.
+            let mut v = frame.next_value;
+            while v < axis_len && (v.abs_diff(center_v) as u64) > budget {
+                v += 1;
+            }
+            if v >= axis_len {
+                // Exhausted this axis; backtrack.
+                self.stack.pop();
+                continue;
+            }
+            frame.next_value = v + 1;
+            self.current[axis] = v;
+            let remaining = budget - v.abs_diff(center_v) as u64;
+            if axis + 1 == arity {
+                debug_assert_eq!(self.spent(arity), self.radius - remaining);
+                return Some(Point::new(self.current.clone()));
+            }
+            self.stack.push(Frame {
+                axis: axis + 1,
+                next_value: 0,
+                budget_before: remaining,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn grid(w: i64, h: i64) -> FaultSpace {
+        FaultSpace::new(vec![
+            Axis::int_range("x", 0, w - 1),
+            Axis::int_range("y", 0, h - 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn manhattan_basics() {
+        let a = Point::new(vec![0, 0, 0]);
+        let b = Point::new(vec![1, 2, 3]);
+        assert_eq!(manhattan(&a, &b), 6);
+        assert_eq!(manhattan(&a, &a), 0);
+        assert_eq!(manhattan(&b, &a), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn manhattan_rejects_arity_mismatch() {
+        let _ = manhattan(&Point::new(vec![0]), &Point::new(vec![0, 1]));
+    }
+
+    #[test]
+    fn vicinity_radius_zero_is_center_only() {
+        let s = grid(10, 10);
+        let c = Point::new(vec![4, 4]);
+        let v: Vec<_> = Vicinity::new(&s, &c, 0).collect();
+        assert_eq!(v, vec![c]);
+    }
+
+    #[test]
+    fn vicinity_counts_match_brute_force() {
+        let s = grid(8, 8);
+        let c = Point::new(vec![3, 5]);
+        for d in 0..6 {
+            let via_iter: std::collections::HashSet<_> = Vicinity::new(&s, &c, d).collect();
+            let brute: std::collections::HashSet<_> =
+                s.iter_points().filter(|p| manhattan(p, &c) <= d).collect();
+            assert_eq!(via_iter, brute, "radius {d}");
+        }
+    }
+
+    #[test]
+    fn vicinity_is_clipped_at_space_borders() {
+        let s = grid(3, 3);
+        let corner = Point::new(vec![0, 0]);
+        let v: Vec<_> = Vicinity::new(&s, &corner, 2).collect();
+        // Points with x+y <= 2 inside a 3x3 grid: (0,0),(0,1),(0,2),(1,0),(1,1),(2,0).
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn vicinity_no_duplicates_high_dim() {
+        let s = FaultSpace::new(vec![
+            Axis::int_range("a", 0, 4),
+            Axis::int_range("b", 0, 4),
+            Axis::int_range("c", 0, 4),
+        ])
+        .unwrap();
+        let c = Point::new(vec![2, 2, 2]);
+        let pts: Vec<_> = Vicinity::new(&s, &c, 3).collect();
+        let set: std::collections::HashSet<_> = pts.iter().cloned().collect();
+        assert_eq!(pts.len(), set.len());
+        assert!(pts.iter().all(|p| manhattan(p, &c) <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "vicinity center")]
+    fn vicinity_rejects_foreign_center() {
+        let s = grid(2, 2);
+        let _ = Vicinity::new(&s, &Point::new(vec![9, 9]), 1);
+    }
+}

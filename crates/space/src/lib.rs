@@ -1,0 +1,61 @@
+//! Fault-space model for AFEX (EuroSys 2012, §2).
+//!
+//! A *fault space* is a concise description of the failures a fault injector
+//! can simulate. This crate models a fault space as a hyperspace spanned by
+//! totally-ordered axes: a fault `φ = <α1, ..., αN>` is a point whose i-th
+//! coordinate is an index into the i-th axis. The crate provides:
+//!
+//! - [`Axis`] — one totally-ordered attribute (libc function, call number,
+//!   test id, errno, ...), with symbolic or numeric values.
+//! - [`FaultSpace`] — the Cartesian product of axes, with optional *holes*
+//!   (invalid attribute combinations) and linear index ↔ point conversion.
+//! - [`Point`] — a fault, i.e. a vector of attribute indices.
+//! - [`distance`] — the Manhattan (city-block) metric `δ` and D-vicinity
+//!   enumeration used by the relative-linear-density analysis.
+//! - [`density`] — the relative linear density `ρ` metric of §2 that
+//!   characterizes fault-space structure.
+//! - [`desc`] + [`parser`] — the fault-space description language of Fig. 3
+//!   (sets, intervals, sub-intervals, unions of subspaces) and scenario
+//!   rendering in the Fig. 5 format.
+//! - [`shuffle`] — axis permutations used by the structure-loss experiment
+//!   (Table 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use afex_space::{Axis, FaultSpace, Point};
+//!
+//! // The space of failed calls to POSIX functions from §2:
+//! let space = FaultSpace::new(vec![
+//!     Axis::symbolic("function", ["open", "close", "read", "write"]),
+//!     Axis::int_range("callNumber", 1, 10),
+//!     Axis::symbolic("retval", ["-1", "0"]),
+//! ])
+//! .unwrap();
+//!
+//! // Fault <close, 5, -1> expressed through attribute indices:
+//! let phi = Point::new(vec![1, 4, 0]);
+//! assert!(space.contains(&phi));
+//! assert_eq!(space.len(), 4 * 10 * 2);
+//! assert_eq!(space.render(&phi), "function close callNumber 5 retval -1");
+//! ```
+
+pub mod axis;
+pub mod density;
+pub mod desc;
+pub mod distance;
+pub mod parser;
+pub mod point;
+pub mod sample;
+pub mod shuffle;
+pub mod space;
+
+pub use axis::{Axis, AxisKind, Value};
+pub use density::{relative_linear_density, relative_linear_density_in_vicinity};
+pub use desc::{Scenario, SpaceDesc, Subspace};
+pub use distance::{manhattan, Vicinity};
+pub use parser::{parse, ParseError};
+pub use point::Point;
+pub use sample::UniformSampler;
+pub use shuffle::AxisShuffle;
+pub use space::{FaultSpace, SpaceError};

@@ -1,0 +1,488 @@
+//! Parser for the AFEX fault-space description language (Fig. 3).
+//!
+//! The grammar, verbatim from the paper:
+//!
+//! ```text
+//! syntax    = {space};
+//! space     = (subtype | parameter)+ ";";
+//! subtype   = identifier;
+//! parameter = identifier ":"
+//!             ( "{" identifier ("," identifier)+ "}" |
+//!               "[" number "," number "]" |
+//!               "<" number "," number ">" );
+//! identifier = letter (letter | digit | "_")*;
+//! number     = (digit)+;
+//! ```
+//!
+//! Two deliberate deviations, both required by the paper's own examples
+//! (Fig. 4 uses `errno : { ENOMEM }` and `retVal : { -1 }`):
+//!
+//! 1. Sets may contain a *single* element.
+//! 2. Set elements and interval bounds may be (possibly negative) integers
+//!    in addition to identifiers.
+
+use crate::axis::{Axis, AxisKind, Value};
+use crate::desc::{SpaceDesc, Subspace};
+use std::fmt;
+
+/// A parse error, with 1-based line/column of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending input position.
+    pub line: usize,
+    /// 1-based column of the offending input position.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    Colon,
+    Comma,
+    Semi,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LAngle,
+    RAngle,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'#' => {
+                    // Comment to end of line (a practical extension for
+                    // descriptor files shipped with test suites).
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b':' | b',' | b';' | b'{' | b'}' | b'[' | b']' | b'<' | b'>' => {
+                    self.bump();
+                    let tok = match c {
+                        b':' => Tok::Colon,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b'<' => Tok::LAngle,
+                        _ => Tok::RAngle,
+                    };
+                    out.push(Spanned { tok, line, col });
+                }
+                b'-' | b'0'..=b'9' => {
+                    let neg = c == b'-';
+                    if neg {
+                        self.bump();
+                        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                            return Err(self.err("expected digit after `-`"));
+                        }
+                    }
+                    let mut n: i64 = 0;
+                    while let Some(d @ b'0'..=b'9') = self.peek() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add((d - b'0') as i64))
+                            .ok_or_else(|| self.err("number literal overflows i64"))?;
+                        self.bump();
+                    }
+                    out.push(Spanned {
+                        tok: Tok::Number(if neg { -n } else { n }),
+                        line,
+                        col,
+                    });
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            s.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned {
+                        tok: Tok::Ident(s),
+                        line,
+                        col,
+                    });
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err_at(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1));
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err_at(format!("expected {what}"))),
+        }
+    }
+
+    /// `syntax = {space}` — zero or more `;`-terminated subspaces.
+    fn syntax(&mut self) -> Result<SpaceDesc, ParseError> {
+        let mut subspaces = Vec::new();
+        while self.peek().is_some() {
+            subspaces.push(self.space()?);
+        }
+        Ok(SpaceDesc::new(subspaces))
+    }
+
+    /// `space = (subtype | parameter)+ ";"`.
+    fn space(&mut self) -> Result<Subspace, ParseError> {
+        let mut subtypes = Vec::new();
+        let mut params: Vec<Axis> = Vec::new();
+        let mut saw_any = false;
+        loop {
+            match self.peek() {
+                Some(Tok::Semi) => {
+                    if !saw_any {
+                        return Err(self.err_at("empty subspace before `;`"));
+                    }
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = match self.bump() {
+                        Some(Tok::Ident(s)) => s,
+                        _ => unreachable!("peeked an identifier"),
+                    };
+                    saw_any = true;
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.bump();
+                        let axis = self.parameter_body(&name)?;
+                        if params.iter().any(|a| a.name() == axis.name()) {
+                            return Err(
+                                self.err_at(format!("duplicate parameter `{}`", axis.name()))
+                            );
+                        }
+                        params.push(axis);
+                    } else {
+                        subtypes.push(name);
+                    }
+                }
+                Some(_) => return Err(self.err_at("expected identifier or `;`")),
+                None => {
+                    return Err(self.err_at("unterminated subspace: missing `;`"));
+                }
+            }
+        }
+        if params.is_empty() {
+            return Err(self.err_at("subspace declares no parameters"));
+        }
+        Ok(Subspace::new(subtypes, params))
+    }
+
+    /// The part after `identifier ":"`.
+    fn parameter_body(&mut self, name: &str) -> Result<Axis, ParseError> {
+        match self.peek() {
+            Some(Tok::LBrace) => {
+                self.bump();
+                let mut values = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(s)) => values.push(Value::Sym(s)),
+                        Some(Tok::Number(n)) => values.push(Value::Int(n)),
+                        _ => return Err(self.err_at("expected set element")),
+                    }
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RBrace) => break,
+                        _ => return Err(self.err_at("expected `,` or `}` in set")),
+                    }
+                }
+                Ok(Axis::new(name, values, AxisKind::Set))
+            }
+            Some(Tok::LBracket) => {
+                let (lo, hi) = self.interval(Tok::RBracket, "]")?;
+                Ok(Axis::int_range(name, lo, hi))
+            }
+            Some(Tok::LAngle) => {
+                let (lo, hi) = self.interval(Tok::RAngle, ">")?;
+                Ok(Axis::int_subinterval(name, lo, hi))
+            }
+            _ => Err(self.err_at("expected `{`, `[` or `<` after `:`")),
+        }
+    }
+
+    fn interval(&mut self, close: Tok, close_name: &str) -> Result<(i64, i64), ParseError> {
+        self.bump(); // The opening bracket.
+        let lo = match self.bump() {
+            Some(Tok::Number(n)) => n,
+            _ => return Err(self.err_at("expected interval lower bound")),
+        };
+        self.expect(&Tok::Comma, "`,` between interval bounds")?;
+        let hi = match self.bump() {
+            Some(Tok::Number(n)) => n,
+            _ => return Err(self.err_at("expected interval upper bound")),
+        };
+        match self.bump() {
+            Some(t) if t == close => {}
+            _ => return Err(self.err_at(format!("expected `{close_name}`"))),
+        }
+        if lo > hi {
+            return Err(self.err_at(format!("interval bounds inverted: {lo} > {hi}")));
+        }
+        Ok((lo, hi))
+    }
+}
+
+/// Parses a fault-space description into a [`SpaceDesc`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on malformed input.
+///
+/// # Examples
+///
+/// The Fig. 4 descriptor from the paper:
+///
+/// ```
+/// let desc = afex_space::parse(
+///     "function : { malloc, calloc, realloc }
+///      errno : { ENOMEM }
+///      retval : { 0 }
+///      callNumber : [ 1 , 100 ] ;
+///      function : { read }
+///      errno : { EINTR }
+///      retVal : { -1 }
+///      callNumber : [ 1 , 50 ] ;",
+/// )
+/// .unwrap();
+/// assert_eq!(desc.subspaces().len(), 2);
+/// assert_eq!(desc.total_points(), 3 * 100 + 50);
+/// ```
+pub fn parse(input: &str) -> Result<SpaceDesc, ParseError> {
+    let toks = Lexer::new(input).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    p.syntax()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig4_example() {
+        let d = parse(
+            "function : { malloc, calloc, realloc }\n\
+             errno : { ENOMEM }\n\
+             retval : { 0 }\n\
+             callNumber : [ 1 , 100 ] ;\n\
+             function : { read }\n\
+             errno : { EINTR }\n\
+             retVal : { -1 }\n\
+             callNumber : [ 1 , 50 ] ;",
+        )
+        .unwrap();
+        assert_eq!(d.subspaces().len(), 2);
+        let s0 = &d.subspaces()[0];
+        assert_eq!(s0.params()[0].len(), 3);
+        assert_eq!(s0.params()[3].len(), 100);
+        assert_eq!(d.total_points(), 300 + 50);
+    }
+
+    #[test]
+    fn parses_subtypes() {
+        let d = parse("io_faults function : { read, write } callNumber : [1, 5];").unwrap();
+        assert_eq!(d.subspaces()[0].subtypes(), ["io_faults"]);
+        assert_eq!(d.subspaces()[0].params().len(), 2);
+    }
+
+    #[test]
+    fn parses_subinterval_axis() {
+        let d = parse("window : < 1 , 50 >;").unwrap();
+        assert_eq!(
+            d.subspaces()[0].params()[0].kind(),
+            crate::axis::AxisKind::SubInterval
+        );
+        assert_eq!(d.subspaces()[0].params()[0].len(), 50);
+    }
+
+    #[test]
+    fn single_element_set_is_allowed() {
+        // Fig. 4 itself relies on this.
+        let d = parse("errno : { ENOMEM };").unwrap();
+        assert_eq!(d.subspaces()[0].params()[0].len(), 1);
+    }
+
+    #[test]
+    fn negative_numbers_in_sets() {
+        let d = parse("retval : { -1, 0 };").unwrap();
+        let axis = &d.subspaces()[0].params()[0];
+        assert_eq!(axis.value(0).as_int(), Some(-1));
+        assert_eq!(axis.value(1).as_int(), Some(0));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let d = parse("# The malloc subspace.\nfunction : { malloc }; # trailing\n").unwrap();
+        assert_eq!(d.subspaces().len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_desc() {
+        let d = parse("").unwrap();
+        assert!(d.subspaces().is_empty());
+        assert_eq!(d.total_points(), 0);
+    }
+
+    #[test]
+    fn error_missing_semi() {
+        let e = parse("function : { read }").unwrap_err();
+        assert!(e.message.contains("missing `;`"), "{e}");
+    }
+
+    #[test]
+    fn error_empty_subspace() {
+        let e = parse(";").unwrap_err();
+        assert!(e.message.contains("empty subspace"), "{e}");
+    }
+
+    #[test]
+    fn error_inverted_interval() {
+        let e = parse("n : [ 9 , 3 ];").unwrap_err();
+        assert!(e.message.contains("inverted"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_parameter() {
+        let e = parse("n : [1,2] n : [3,4];").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn error_subspace_without_parameters() {
+        let e = parse("just_a_subtype;").unwrap_err();
+        assert!(e.message.contains("no parameters"), "{e}");
+    }
+
+    #[test]
+    fn error_bad_character_has_position() {
+        let e = parse("n : [1,\n  2%];").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('%'));
+    }
+
+    #[test]
+    fn error_dangling_minus() {
+        let e = parse("retval : { - };").unwrap_err();
+        assert!(e.message.contains("digit"), "{e}");
+    }
+
+    #[test]
+    fn number_overflow_is_an_error() {
+        let e = parse("n : [1, 99999999999999999999];").unwrap_err();
+        assert!(e.message.contains("overflow"), "{e}");
+    }
+}

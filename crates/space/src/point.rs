@@ -1,0 +1,150 @@
+//! Fault-space points (faults).
+//!
+//! A fault `φ ∈ Φ` is a vector of attribute *indices* `<α1, ..., αN>`, where
+//! `αi` indexes the i-th axis under its total order (§2). Storing indices —
+//! not values — keeps points cheap to clone, hash, and mutate, which matters
+//! because the explorer touches millions of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in a fault space: the attribute-index vector of one fault.
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::Point;
+///
+/// // `<close, 5, -1>` as `<2, 5, 1>` in the §2 example encoding
+/// // (1-based in the paper, 0-based here).
+/// let phi = Point::new(vec![1, 4, 0]);
+/// assert_eq!(phi.arity(), 3);
+/// assert_eq!(phi[1], 4);
+///
+/// let psi = phi.with_attr(1, 6);
+/// assert_eq!(psi[1], 6);
+/// assert_eq!(phi[1], 4); // The original is untouched.
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point(Vec<usize>);
+
+impl Point {
+    /// Creates a point from attribute indices.
+    pub fn new(attrs: Vec<usize>) -> Self {
+        Point(attrs)
+    }
+
+    /// The number of attributes (the dimensionality N of the space).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The attribute indices.
+    pub fn attrs(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns a clone with attribute `axis` replaced by `value` — the
+    /// mutation primitive of Algorithm 1 (lines 10–11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.arity()`.
+    pub fn with_attr(&self, axis: usize, value: usize) -> Self {
+        let mut p = self.clone();
+        p.0[axis] = value;
+        p
+    }
+
+    /// Mutates attribute `axis` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.arity()`.
+    pub fn set_attr(&mut self, axis: usize, value: usize) {
+        self.0[axis] = value;
+    }
+}
+
+impl std::ops::Index<usize> for Point {
+    type Output = usize;
+
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<usize>> for Point {
+    fn from(v: Vec<usize>) -> Self {
+        Point::new(v)
+    }
+}
+
+impl FromIterator<usize> for Point {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Point::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_indexing() {
+        let p = Point::new(vec![3, 1, 4]);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p[0], 3);
+        assert_eq!(p[2], 4);
+        assert_eq!(p.attrs(), &[3, 1, 4]);
+    }
+
+    #[test]
+    fn with_attr_is_pure() {
+        let p = Point::new(vec![0, 0]);
+        let q = p.with_attr(1, 9);
+        assert_eq!(p.attrs(), &[0, 0]);
+        assert_eq!(q.attrs(), &[0, 9]);
+    }
+
+    #[test]
+    fn set_attr_mutates() {
+        let mut p = Point::new(vec![1, 2, 3]);
+        p.set_attr(0, 7);
+        assert_eq!(p.attrs(), &[7, 2, 3]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = Point::new(vec![2, 5, 1]);
+        assert_eq!(p.to_string(), "<2,5,1>");
+    }
+
+    #[test]
+    fn hashes_as_value_type() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Point::new(vec![1, 2]));
+        assert!(s.contains(&Point::new(vec![1, 2])));
+        assert!(!s.contains(&Point::new(vec![2, 1])));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Point = (0..4).collect();
+        assert_eq!(p.attrs(), &[0, 1, 2, 3]);
+    }
+}

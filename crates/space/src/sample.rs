@@ -1,0 +1,167 @@
+//! Uniform fault-space sampling (the "random exploration" primitive, §3).
+
+use crate::point::Point;
+use crate::space::FaultSpace;
+use rand::Rng;
+
+/// Uniform sampler over a fault space, with optional rejection of holes.
+///
+/// Random exploration "constructs random combinations of attribute values
+/// and evaluates the corresponding points in the fault space" (§3). This
+/// sampler draws points uniformly from the product space; when the space
+/// has holes, [`UniformSampler::sample_valid`] rejects them (bounded
+/// retries, so a pathological all-hole space cannot loop forever).
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::{Axis, FaultSpace, UniformSampler};
+/// use rand::SeedableRng;
+///
+/// let space = FaultSpace::new(vec![
+///     Axis::symbolic("function", ["open", "close"]),
+///     Axis::int_range("callNumber", 1, 100),
+/// ])
+/// .unwrap();
+/// let sampler = UniformSampler::new(&space);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let p = sampler.sample(&mut rng);
+/// assert!(space.contains(&p));
+/// ```
+pub struct UniformSampler<'s> {
+    space: &'s FaultSpace,
+}
+
+impl<'s> UniformSampler<'s> {
+    /// Maximum rejection-sampling retries before giving up on a valid point.
+    pub const MAX_REJECTS: usize = 4096;
+
+    /// Creates a sampler over `space`.
+    pub fn new(space: &'s FaultSpace) -> Self {
+        UniformSampler { space }
+    }
+
+    /// Draws one point uniformly from the product space (holes included).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        self.space
+            .axes()
+            .iter()
+            .map(|a| rng.gen_range(0..a.len()))
+            .collect()
+    }
+
+    /// Draws one *valid* point (not a hole), or `None` after
+    /// [`UniformSampler::MAX_REJECTS`] consecutive rejections.
+    pub fn sample_valid<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Point> {
+        for _ in 0..Self::MAX_REJECTS {
+            let p = self.sample(rng);
+            if self.space.is_valid(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Draws `n` distinct points, uniformly without replacement (used for
+    /// the initial random batch of the fitness-guided search). If the space
+    /// holds fewer than `n` valid points, returns as many as were found
+    /// within the retry budget.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Point> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(n);
+        let mut rejects = 0usize;
+        while out.len() < n && rejects < Self::MAX_REJECTS {
+            let p = self.sample(rng);
+            if self.space.is_valid(&p) && seen.insert(p.clone()) {
+                out.push(p);
+                rejects = 0;
+            } else {
+                rejects += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("a", 0, 9), Axis::int_range("b", 0, 9)]).unwrap()
+    }
+
+    #[test]
+    fn samples_are_in_space() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sampler = UniformSampler::new(&s);
+        for _ in 0..1000 {
+            assert!(s.contains(&sampler.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sampler = UniformSampler::new(&s);
+        let mut counts = vec![0u32; 100];
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let p = sampler.sample(&mut rng);
+            counts[(s.linear_index(&p).unwrap()) as usize] += 1;
+        }
+        let expect = N as f64 / 100.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.5,
+                "cell {i} count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_valid_rejects_holes() {
+        let mut s = space();
+        s.set_hole_predicate(|p| p[0] != 3);
+        let sampler = UniformSampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = sampler.sample_valid(&mut rng).unwrap();
+            assert_eq!(p[0], 3);
+        }
+    }
+
+    #[test]
+    fn sample_valid_gives_up_on_all_hole_space() {
+        let mut s = space();
+        s.set_hole_predicate(|_| true);
+        let sampler = UniformSampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sampler.sample_valid(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let s = space();
+        let sampler = UniformSampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts = sampler.sample_distinct(&mut rng, 50);
+        assert_eq!(pts.len(), 50);
+        let set: std::collections::HashSet<_> = pts.iter().cloned().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn sample_distinct_saturates_small_space() {
+        let s = FaultSpace::new(vec![Axis::int_range("a", 0, 3)]).unwrap();
+        let sampler = UniformSampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = sampler.sample_distinct(&mut rng, 100);
+        assert_eq!(pts.len(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! Axis shuffles for the structure-loss experiment (Table 4).
+//!
+//! §7.3 evaluates how much AFEX leverages fault-space structure by
+//! randomizing one dimension at a time: "the values along that Xi are
+//! shuffled, thus eliminating any structure it had". An [`AxisShuffle`]
+//! is a bijection on one axis's indices; applying it to a space yields a
+//! view in which walking along the shuffled axis no longer correlates with
+//! the underlying system's modularity, while the set of reachable faults is
+//! unchanged.
+
+use crate::point::Point;
+use crate::space::FaultSpace;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A random permutation of one axis of a fault space.
+///
+/// The shuffle maps *presented* indices (what the search algorithm sees) to
+/// *actual* indices (what the injector receives). Because the map is a
+/// bijection, exhaustive and random exploration are unaffected — only
+/// locality-exploiting searches lose efficiency, which is exactly what
+/// Table 4 measures.
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::{Axis, AxisShuffle, FaultSpace, Point};
+/// use rand::SeedableRng;
+///
+/// let space = FaultSpace::new(vec![
+///     Axis::int_range("x", 0, 9),
+///     Axis::int_range("y", 0, 9),
+/// ])
+/// .unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let shuffle = AxisShuffle::random(&space, 0, &mut rng);
+/// let p = Point::new(vec![3, 4]);
+/// let q = shuffle.apply(&p);
+/// assert_eq!(q[1], 4); // Other axes pass through.
+/// assert_eq!(shuffle.unapply(&q), p); // Bijective.
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxisShuffle {
+    axis: usize,
+    /// `forward[presented] = actual`.
+    forward: Vec<usize>,
+    /// `inverse[actual] = presented`.
+    inverse: Vec<usize>,
+}
+
+impl AxisShuffle {
+    /// Creates the identity shuffle on `axis` (useful as a control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range for `space`.
+    pub fn identity(space: &FaultSpace, axis: usize) -> Self {
+        assert!(axis < space.arity(), "axis out of range");
+        let n = space.axis(axis).len();
+        AxisShuffle {
+            axis,
+            forward: (0..n).collect(),
+            inverse: (0..n).collect(),
+        }
+    }
+
+    /// Creates a uniformly random shuffle of `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range for `space`.
+    pub fn random<R: Rng + ?Sized>(space: &FaultSpace, axis: usize, rng: &mut R) -> Self {
+        let mut s = Self::identity(space, axis);
+        s.forward.shuffle(rng);
+        for (presented, &actual) in s.forward.iter().enumerate() {
+            s.inverse[actual] = presented;
+        }
+        s
+    }
+
+    /// Creates a shuffle from an explicit permutation (`forward[i]` is the
+    /// actual index presented as `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` is not a permutation of the axis's indices.
+    pub fn from_permutation(space: &FaultSpace, axis: usize, forward: Vec<usize>) -> Self {
+        assert!(axis < space.arity(), "axis out of range");
+        let n = space.axis(axis).len();
+        assert_eq!(forward.len(), n, "permutation length mismatch");
+        let mut inverse = vec![usize::MAX; n];
+        for (presented, &actual) in forward.iter().enumerate() {
+            assert!(actual < n, "index out of range");
+            assert_eq!(inverse[actual], usize::MAX, "not a permutation");
+            inverse[actual] = presented;
+        }
+        AxisShuffle {
+            axis,
+            forward,
+            inverse,
+        }
+    }
+
+    /// The shuffled axis position.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// Translates a presented point into the actual point to inject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's attribute on the shuffled axis is out of range.
+    pub fn apply(&self, presented: &Point) -> Point {
+        presented.with_attr(self.axis, self.forward[presented[self.axis]])
+    }
+
+    /// Translates an actual point back into its presented form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's attribute on the shuffled axis is out of range.
+    pub fn unapply(&self, actual: &Point) -> Point {
+        actual.with_attr(self.axis, self.inverse[actual[self.axis]])
+    }
+
+    /// Wraps an impact function so that it sees presented coordinates:
+    /// `shuffled_impact(p) = impact(apply(p))`. This is the Table 4 harness
+    /// primitive — the search runs against the wrapped function.
+    pub fn wrap<'f, F>(&'f self, impact: F) -> impl Fn(&Point) -> f64 + 'f
+    where
+        F: Fn(&Point) -> f64 + 'f,
+    {
+        move |p: &Point| impact(&self.apply(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![Axis::int_range("x", 0, 9), Axis::int_range("y", 0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let s = space();
+        let sh = AxisShuffle::identity(&s, 0);
+        let p = Point::new(vec![7, 2]);
+        assert_eq!(sh.apply(&p), p);
+        assert_eq!(sh.unapply(&p), p);
+    }
+
+    #[test]
+    fn random_shuffle_is_bijective() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(99);
+        let sh = AxisShuffle::random(&s, 0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10 {
+            let p = Point::new(vec![i, 0]);
+            let q = sh.apply(&p);
+            assert!(seen.insert(q[0]));
+            assert_eq!(sh.unapply(&q), p);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn other_axes_pass_through() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sh = AxisShuffle::random(&s, 0, &mut rng);
+        let p = Point::new(vec![5, 3]);
+        assert_eq!(sh.apply(&p)[1], 3);
+    }
+
+    #[test]
+    fn from_permutation_roundtrip() {
+        let s = space();
+        let sh = AxisShuffle::from_permutation(&s, 1, vec![4, 3, 2, 1, 0]);
+        let p = Point::new(vec![0, 0]);
+        assert_eq!(sh.apply(&p)[1], 4);
+        assert_eq!(sh.unapply(&sh.apply(&p)), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn from_permutation_rejects_duplicates() {
+        let s = space();
+        let _ = AxisShuffle::from_permutation(&s, 1, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wrap_translates_impact_queries() {
+        let s = space();
+        let sh = AxisShuffle::from_permutation(&s, 0, vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+        // Actual impact peaks at x == 0.
+        let impact = |p: &Point| if p[0] == 0 { 1.0 } else { 0.0 };
+        let wrapped = sh.wrap(impact);
+        // Presented x == 9 maps to actual x == 0.
+        assert_eq!(wrapped(&Point::new(vec![9, 0])), 1.0);
+        assert_eq!(wrapped(&Point::new(vec![0, 0])), 0.0);
+    }
+
+    #[test]
+    fn shuffle_preserves_reachable_set() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(17);
+        let sh = AxisShuffle::random(&s, 0, &mut rng);
+        let all: std::collections::HashSet<_> = s.iter_points().map(|p| sh.apply(&p)).collect();
+        assert_eq!(all.len() as u64, s.len());
+    }
+}

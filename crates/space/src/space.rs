@@ -1,0 +1,431 @@
+//! The fault-space hyperspace: Cartesian product of axes, with holes.
+
+use crate::axis::{Axis, Value};
+use crate::point::Point;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors constructing or addressing a [`FaultSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// A space must have at least one axis.
+    NoAxes,
+    /// An axis has no values, so the product space would be empty.
+    EmptyAxis(String),
+    /// A point's arity does not match the number of axes.
+    ArityMismatch {
+        /// Arity of the offending point.
+        got: usize,
+        /// Number of axes in the space.
+        want: usize,
+    },
+    /// An attribute index is out of range for its axis.
+    IndexOutOfRange {
+        /// The offending axis position.
+        axis: usize,
+        /// The offending attribute index.
+        index: usize,
+        /// Cardinality of that axis.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::NoAxes => write!(f, "fault space needs at least one axis"),
+            SpaceError::EmptyAxis(name) => write!(f, "axis `{name}` has no values"),
+            SpaceError::ArityMismatch { got, want } => {
+                write!(f, "point arity {got} does not match {want} axes")
+            }
+            SpaceError::IndexOutOfRange { axis, index, len } => {
+                write!(
+                    f,
+                    "attribute index {index} out of range for axis {axis} (len {len})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// Predicate marking invalid attribute combinations ("holes", §2).
+type HolePredicate = Arc<dyn Fn(&Point) -> bool + Send + Sync>;
+
+/// A fault space `Φ = X1 × X2 × .. × XN` (§2).
+///
+/// Points are addressed by attribute indices; a bijective linear index over
+/// the full product (row-major, axis 0 slowest) supports exhaustive and
+/// random exploration. Holes — invalid combinations, like `close` returning
+/// `1` — are modelled as an explicit set plus an optional predicate; holes
+/// stay inside the product for addressing purposes but are reported
+/// non-member by [`FaultSpace::is_valid`].
+///
+/// # Examples
+///
+/// ```
+/// use afex_space::{Axis, FaultSpace, Point};
+///
+/// let space = FaultSpace::new(vec![
+///     Axis::symbolic("function", ["open", "close"]),
+///     Axis::int_range("callNumber", 1, 3),
+/// ])
+/// .unwrap();
+/// assert_eq!(space.len(), 6);
+///
+/// let phi = Point::new(vec![1, 2]);
+/// let idx = space.linear_index(&phi).unwrap();
+/// assert_eq!(space.point_at(idx).unwrap(), phi);
+/// ```
+#[derive(Clone)]
+pub struct FaultSpace {
+    axes: Vec<Axis>,
+    holes: HashSet<Point>,
+    hole_pred: Option<HolePredicate>,
+}
+
+impl fmt::Debug for FaultSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultSpace")
+            .field("axes", &self.axes)
+            .field("holes", &self.holes.len())
+            .field("hole_pred", &self.hole_pred.is_some())
+            .finish()
+    }
+}
+
+impl FaultSpace {
+    /// Creates a fault space from its axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::NoAxes`] for an empty axis list and
+    /// [`SpaceError::EmptyAxis`] if any axis has no values.
+    pub fn new(axes: Vec<Axis>) -> Result<Self, SpaceError> {
+        if axes.is_empty() {
+            return Err(SpaceError::NoAxes);
+        }
+        if let Some(a) = axes.iter().find(|a| a.is_empty()) {
+            return Err(SpaceError::EmptyAxis(a.name().to_owned()));
+        }
+        Ok(FaultSpace {
+            axes,
+            holes: HashSet::new(),
+            hole_pred: None,
+        })
+    }
+
+    /// Registers an explicit hole (invalid fault).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the point is not inside the product space.
+    pub fn add_hole(&mut self, p: Point) -> Result<(), SpaceError> {
+        self.check(&p)?;
+        self.holes.insert(p);
+        Ok(())
+    }
+
+    /// Installs a predicate marking holes; `pred(p) == true` means `p` is
+    /// invalid. Composes with explicit holes (union).
+    pub fn set_hole_predicate<F>(&mut self, pred: F)
+    where
+        F: Fn(&Point) -> bool + Send + Sync + 'static,
+    {
+        self.hole_pred = Some(Arc::new(pred));
+    }
+
+    /// The axes spanning this space.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The i-th axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn axis(&self, i: usize) -> &Axis {
+        &self.axes[i]
+    }
+
+    /// Looks up an axis by name.
+    pub fn axis_by_name(&self, name: &str) -> Option<(usize, &Axis)> {
+        self.axes.iter().enumerate().find(|(_, a)| a.name() == name)
+    }
+
+    /// Dimensionality N of the space.
+    pub fn arity(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Total number of points in the product (including holes).
+    pub fn len(&self) -> u64 {
+        self.axes.iter().map(|a| a.len() as u64).product()
+    }
+
+    /// Whether the product is empty (never true for a constructed space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of explicitly registered holes.
+    pub fn explicit_hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// Whether `p` lies inside the product space (holes included).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.check(p).is_ok()
+    }
+
+    /// Whether `p` is a *valid* fault: inside the product and not a hole.
+    pub fn is_valid(&self, p: &Point) -> bool {
+        self.contains(p)
+            && !self.holes.contains(p)
+            && !self.hole_pred.as_ref().is_some_and(|f| f(p))
+    }
+
+    /// Validates that `p` addresses this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific arity or range violation.
+    pub fn check(&self, p: &Point) -> Result<(), SpaceError> {
+        if p.arity() != self.arity() {
+            return Err(SpaceError::ArityMismatch {
+                got: p.arity(),
+                want: self.arity(),
+            });
+        }
+        for (i, (&idx, axis)) in p.attrs().iter().zip(&self.axes).enumerate() {
+            if idx >= axis.len() {
+                return Err(SpaceError::IndexOutOfRange {
+                    axis: i,
+                    index: idx,
+                    len: axis.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The attribute values of `p`, axis by axis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` does not address this space.
+    pub fn values_of<'s>(&'s self, p: &Point) -> Result<Vec<&'s Value>, SpaceError> {
+        self.check(p)?;
+        Ok(p.attrs()
+            .iter()
+            .zip(&self.axes)
+            .map(|(&i, a)| a.value(i))
+            .collect())
+    }
+
+    /// Renders `p` in the Fig. 5 scenario format:
+    /// `function malloc errno ENOMEM retval 0 callNumber 23`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not address this space.
+    pub fn render(&self, p: &Point) -> String {
+        let vals = self
+            .values_of(p)
+            .expect("point must address this fault space");
+        let mut out = String::new();
+        for (axis, v) in self.axes.iter().zip(vals) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(axis.name());
+            out.push(' ');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+
+    /// Row-major linear index of `p` (axis 0 varies slowest).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` does not address this space.
+    pub fn linear_index(&self, p: &Point) -> Result<u64, SpaceError> {
+        self.check(p)?;
+        let mut idx: u64 = 0;
+        for (&a, axis) in p.attrs().iter().zip(&self.axes) {
+            idx = idx * axis.len() as u64 + a as u64;
+        }
+        Ok(idx)
+    }
+
+    /// The point at row-major linear index `idx`, inverse of
+    /// [`FaultSpace::linear_index`]. Returns `None` if out of range.
+    pub fn point_at(&self, idx: u64) -> Option<Point> {
+        if idx >= self.len() {
+            return None;
+        }
+        let mut rem = idx;
+        let mut attrs = vec![0usize; self.arity()];
+        for (slot, axis) in attrs.iter_mut().zip(&self.axes).rev() {
+            let n = axis.len() as u64;
+            *slot = (rem % n) as usize;
+            rem /= n;
+        }
+        Some(Point::new(attrs))
+    }
+
+    /// Iterates over every point of the product space in row-major order
+    /// (exhaustive exploration, §3). Holes are included; filter with
+    /// [`FaultSpace::is_valid`] if needed.
+    pub fn iter_points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len()).map(move |i| self.point_at(i).expect("index in range by construction"))
+    }
+
+    /// Returns a space with axis `axis_pos` restricted to the value indices
+    /// in `keep` (fault-space trimming, §7.5). Explicit holes that survive
+    /// the restriction are remapped; the hole predicate is dropped because
+    /// index remapping would silently change its meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis_pos` is out of range.
+    pub fn restricted(&self, axis_pos: usize, keep: &[usize]) -> Result<Self, SpaceError> {
+        assert!(axis_pos < self.arity(), "axis position out of range");
+        let mut axes = self.axes.clone();
+        axes[axis_pos] = axes[axis_pos].restricted(keep);
+        let mut out = FaultSpace::new(axes)?;
+        for h in &self.holes {
+            if let Some(new_idx) = keep.iter().position(|&k| k == h[axis_pos]) {
+                let remapped = h.with_attr(axis_pos, new_idx);
+                out.holes.insert(remapped);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FaultSpace {
+        FaultSpace::new(vec![
+            Axis::symbolic("function", ["open", "close", "read"]),
+            Axis::int_range("callNumber", 1, 4),
+            Axis::symbolic("retval", ["-1", "0"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(FaultSpace::new(vec![]).unwrap_err(), SpaceError::NoAxes);
+        let empty = Axis::symbolic("f", Vec::<String>::new());
+        assert_eq!(
+            FaultSpace::new(vec![empty]).unwrap_err(),
+            SpaceError::EmptyAxis("f".into())
+        );
+    }
+
+    #[test]
+    fn len_is_product_of_cardinalities() {
+        assert_eq!(small().len(), 3 * 4 * 2);
+    }
+
+    #[test]
+    fn contains_and_check() {
+        let s = small();
+        assert!(s.contains(&Point::new(vec![2, 3, 1])));
+        assert!(!s.contains(&Point::new(vec![3, 0, 0])));
+        assert!(!s.contains(&Point::new(vec![0, 0])));
+        assert_eq!(
+            s.check(&Point::new(vec![0, 9, 0])).unwrap_err(),
+            SpaceError::IndexOutOfRange {
+                axis: 1,
+                index: 9,
+                len: 4
+            }
+        );
+    }
+
+    #[test]
+    fn linear_index_roundtrip_all_points() {
+        let s = small();
+        for i in 0..s.len() {
+            let p = s.point_at(i).unwrap();
+            assert_eq!(s.linear_index(&p).unwrap(), i);
+        }
+        assert!(s.point_at(s.len()).is_none());
+    }
+
+    #[test]
+    fn iter_points_visits_everything_once() {
+        let s = small();
+        let pts: Vec<_> = s.iter_points().collect();
+        assert_eq!(pts.len() as u64, s.len());
+        let set: std::collections::HashSet<_> = pts.iter().cloned().collect();
+        assert_eq!(set.len() as u64, s.len());
+    }
+
+    #[test]
+    fn explicit_holes_invalidate_points() {
+        let mut s = small();
+        let hole = Point::new(vec![1, 0, 1]); // `close` returning 0.
+        s.add_hole(hole.clone()).unwrap();
+        assert!(s.contains(&hole));
+        assert!(!s.is_valid(&hole));
+        assert!(s.is_valid(&Point::new(vec![1, 0, 0])));
+        assert_eq!(s.explicit_hole_count(), 1);
+    }
+
+    #[test]
+    fn hole_predicate_composes() {
+        let mut s = small();
+        // All `read` faults are declared invalid.
+        s.set_hole_predicate(|p| p[0] == 2);
+        assert!(!s.is_valid(&Point::new(vec![2, 1, 0])));
+        assert!(s.is_valid(&Point::new(vec![0, 1, 0])));
+    }
+
+    #[test]
+    fn add_hole_rejects_foreign_points() {
+        let mut s = small();
+        assert!(s.add_hole(Point::new(vec![9, 9, 9])).is_err());
+    }
+
+    #[test]
+    fn values_and_render() {
+        let s = small();
+        let p = Point::new(vec![1, 2, 0]);
+        let vals = s.values_of(&p).unwrap();
+        assert_eq!(vals[0].as_sym(), Some("close"));
+        assert_eq!(vals[1].as_int(), Some(3));
+        assert_eq!(s.render(&p), "function close callNumber 3 retval -1");
+    }
+
+    #[test]
+    fn axis_by_name() {
+        let s = small();
+        let (i, a) = s.axis_by_name("callNumber").unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(a.len(), 4);
+        assert!(s.axis_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn restricted_trims_axis_and_remaps_holes() {
+        let mut s = small();
+        s.add_hole(Point::new(vec![0, 2, 0])).unwrap();
+        s.add_hole(Point::new(vec![0, 1, 0])).unwrap();
+        // Keep call numbers 3 and 4 (indices 2 and 3).
+        let t = s.restricted(1, &[2, 3]).unwrap();
+        assert_eq!(t.len(), 3 * 2 * 2);
+        // The hole at old index 2 survives at new index 0; old index 1 is gone.
+        assert!(!t.is_valid(&Point::new(vec![0, 0, 0])));
+        assert_eq!(t.explicit_hole_count(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! `cat` — concatenate files to standard output.
+
+use super::{emit, flush, startup, MODULE};
+use crate::harness::RunError;
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+
+/// Block id base for `cat` (ids 50–59).
+const B: u32 = 50;
+
+/// Concatenates `paths`, returning the assembled output.
+pub fn run(env: &LibcEnv, vfs: &Vfs, paths: &[&str]) -> Result<Vec<u8>, RunError> {
+    let _f = env.frame("cat_main");
+    startup(env);
+    env.block(MODULE, B);
+    let mut out = Vec::new();
+    for path in paths {
+        env.block(MODULE, B + 1);
+        let data = vfs.read_all(env, path).map_err(|e| {
+            env.block(MODULE, B + 2); // Recovery: per-file diagnostic.
+            RunError::Fault(e.errno())
+        })?;
+        emit(env, &String::from_utf8_lossy(&data))?;
+        out.extend_from_slice(&data);
+    }
+    flush(env)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan, Func};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_file("/a", b"one\n");
+        vfs.seed_file("/b", b"two\n");
+        vfs
+    }
+
+    #[test]
+    fn concatenates_in_order() {
+        let env = LibcEnv::fault_free();
+        let out = run(&env, &fixture(), &["/a", "/b"]).unwrap();
+        assert_eq!(out, b"one\ntwo\n");
+    }
+
+    #[test]
+    fn missing_file_is_graceful() {
+        let env = LibcEnv::fault_free();
+        assert_eq!(
+            run(&env, &fixture(), &["/ghost"]),
+            Err(RunError::Fault(Errno::ENOENT))
+        );
+    }
+
+    #[test]
+    fn read_fault_second_file() {
+        // First file: open(1)+read(1,2)+close(1). Second file read #3 fails.
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 3, Errno::EIO));
+        assert_eq!(
+            run(&env, &fixture(), &["/a", "/b"]),
+            Err(RunError::Fault(Errno::EIO))
+        );
+    }
+
+    #[test]
+    fn putc_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Putc, 1, Errno::EPIPE));
+        assert_eq!(
+            run(&env, &fixture(), &["/a"]),
+            Err(RunError::Fault(Errno::EPIPE))
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! `cp` — copy files, chunked read/write with fsync on request.
+
+use super::{alloc, startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Func, LibcEnv};
+
+/// Block id base for `cp` (ids 40–49).
+const B: u32 = 40;
+
+/// Copies `src` to `dst`; `sync` forces an `fsync` before close.
+pub fn run(env: &LibcEnv, vfs: &Vfs, src: &str, dst: &str, sync: bool) -> RunResult {
+    let _f = env.frame("cp_main");
+    startup(env);
+    env.block(MODULE, B);
+    alloc(env, Func::Malloc)?; // Copy buffer.
+    let sfd = vfs.open(env, src).map_err(|e| {
+        env.block(MODULE, B + 1); // Recovery: cannot open source.
+        RunError::Fault(e.errno())
+    })?;
+    let dfd = match vfs.create(env, dst) {
+        Ok(fd) => fd,
+        Err(e) => {
+            let _ = vfs.close(env, sfd);
+            env.block(MODULE, B + 2); // Recovery: cannot create destination.
+            return Err(RunError::Fault(e.errno()));
+        }
+    };
+    let result = copy_loop(env, vfs, sfd, dfd);
+    if result.is_ok() && sync {
+        env.block(MODULE, B + 3);
+        if let Err(e) = vfs.fsync(env, dfd) {
+            let _ = vfs.close(env, sfd);
+            let _ = vfs.close(env, dfd);
+            env.block(MODULE, B + 4); // Recovery: fsync diagnostic.
+            return Err(RunError::Fault(e.errno()));
+        }
+    }
+    let c1 = vfs.close(env, sfd);
+    let c2 = vfs.close(env, dfd);
+    result?;
+    c1.map_err(|e| RunError::Fault(e.errno()))?;
+    c2.map_err(|e| RunError::Fault(e.errno()))?;
+    Ok(())
+}
+
+fn copy_loop(env: &LibcEnv, vfs: &Vfs, sfd: u64, dfd: u64) -> RunResult {
+    let _f = env.frame("cp_copy_loop");
+    env.block(MODULE, B + 5);
+    loop {
+        let chunk = vfs.read(env, sfd, 1024).map_err(|e| {
+            env.block(MODULE, B + 6); // Recovery: read diagnostic.
+            RunError::Fault(e.errno())
+        })?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        vfs.write(env, dfd, &chunk).map_err(|e| {
+            env.block(MODULE, B + 7); // Recovery: write diagnostic.
+            RunError::Fault(e.errno())
+        })?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_file("/src", &vec![9u8; 3000]);
+        vfs
+    }
+
+    #[test]
+    fn copies_in_chunks() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(&env, &vfs, "/src", "/dst", false).unwrap();
+        assert_eq!(vfs.contents("/dst").unwrap().len(), 3000);
+        // 3000 bytes = 3 chunks + terminating empty read.
+        assert_eq!(env.call_count(Func::Read), 4);
+        assert_eq!(env.call_count(Func::Write), 3);
+    }
+
+    #[test]
+    fn sync_mode_fsyncs() {
+        let env = LibcEnv::fault_free();
+        run(&env, &fixture(), "/src", "/dst", true).unwrap();
+        assert_eq!(env.call_count(Func::Fsync), 1);
+    }
+
+    #[test]
+    fn write_fault_mid_copy_closes_fds() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Write, 2, Errno::ENOSPC));
+        let vfs = fixture();
+        assert_eq!(
+            run(&env, &vfs, "/src", "/dst", false),
+            Err(RunError::Fault(Errno::ENOSPC))
+        );
+        assert_eq!(vfs.open_handles(), 0);
+    }
+
+    #[test]
+    fn fsync_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Fsync, 1, Errno::EIO));
+        let vfs = fixture();
+        assert!(run(&env, &vfs, "/src", "/dst", true).is_err());
+        assert_eq!(vfs.open_handles(), 0);
+        assert!(env.coverage().covers(MODULE, B + 4));
+    }
+
+    #[test]
+    fn close_fault_is_reported() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Close, 2, Errno::EIO));
+        assert!(run(&env, &fixture(), "/src", "/dst", false).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! `ln` — make links between files.
+//!
+//! Allocation pattern (load-bearing for §7.5 / Table 6): every run performs
+//! exactly 2 `malloc`s, 2 `calloc`s and 1 `realloc` before any early exit,
+//! so each of the five allocation injection points (call numbers 1–2 for
+//! malloc/calloc, 1 for realloc) triggers in every `ln` test.
+
+use super::{alloc, startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Func, LibcEnv};
+
+/// Block id base for `ln` (ids 20–29).
+const B: u32 = 20;
+
+/// Options for [`run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LnOpts {
+    /// `-f`: remove an existing destination first.
+    pub force: bool,
+    /// `-s`: symbolic instead of hard link.
+    pub symbolic: bool,
+}
+
+/// Links `src` to `dst`.
+pub fn run(env: &LibcEnv, vfs: &Vfs, src: &str, dst: &str, opts: LnOpts) -> RunResult {
+    let _f = env.frame("ln_main");
+    startup(env);
+    env.block(MODULE, B);
+    // Argument canonicalization buffers (2 mallocs), option table (2
+    // callocs) and a grown path buffer (1 realloc) — all before first I/O.
+    alloc(env, Func::Malloc)?;
+    alloc(env, Func::Malloc)?;
+    alloc(env, Func::Calloc)?;
+    alloc(env, Func::Calloc)?;
+    alloc(env, Func::Realloc)?;
+    env.block(MODULE, B + 1);
+    // The source must exist.
+    vfs.stat(env, src).map_err(|e| {
+        env.block(MODULE, B + 2); // Recovery: missing source diagnostic.
+        RunError::Fault(e.errno())
+    })?;
+    if opts.force && vfs.file_exists(dst) {
+        env.block(MODULE, B + 3);
+        vfs.unlink(env, dst).map_err(|e| {
+            env.block(MODULE, B + 4); // Recovery: cannot remove destination.
+            RunError::Fault(e.errno())
+        })?;
+    }
+    env.block(MODULE, B + 5);
+    // Creating the directory entry: open(O_CREAT)+close models link()/
+    // symlink() at the libc-call level.
+    let fd = vfs.create(env, dst).map_err(|e| {
+        env.block(MODULE, B + 6); // Recovery: cannot create link.
+        RunError::Fault(e.errno())
+    })?;
+    if opts.symbolic {
+        env.block(MODULE, B + 7);
+        // A symlink stores the target path.
+        vfs.write(env, fd, src.as_bytes()).map_err(|e| {
+            let _ = vfs.close(env, fd);
+            env.block(MODULE, B + 8);
+            RunError::Fault(e.errno())
+        })?;
+    } else {
+        // A hard link shares content.
+        let data = vfs.contents(src).unwrap_or_default();
+        vfs.write(env, fd, &data).map_err(|e| {
+            let _ = vfs.close(env, fd);
+            env.block(MODULE, B + 8);
+            RunError::Fault(e.errno())
+        })?;
+    }
+    vfs.close(env, fd).map_err(|e| {
+        env.block(MODULE, B + 9); // Recovery: close failure diagnostic.
+        RunError::Fault(e.errno())
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_file("/src.txt", b"payload");
+        vfs.seed_file("/existing", b"old");
+        vfs
+    }
+
+    #[test]
+    fn hard_link_copies_content() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(&env, &vfs, "/src.txt", "/dst.txt", LnOpts::default()).unwrap();
+        assert_eq!(vfs.contents("/dst.txt").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn symlink_stores_target_path() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(
+            &env,
+            &vfs,
+            "/src.txt",
+            "/lnk",
+            LnOpts {
+                force: false,
+                symbolic: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(vfs.contents("/lnk").unwrap(), b"/src.txt");
+    }
+
+    #[test]
+    fn force_removes_destination() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(
+            &env,
+            &vfs,
+            "/src.txt",
+            "/existing",
+            LnOpts {
+                force: true,
+                symbolic: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(vfs.contents("/existing").unwrap(), b"payload");
+        assert_eq!(env.call_count(Func::Unlink), 1);
+    }
+
+    #[test]
+    fn allocation_call_pattern_is_exact() {
+        // The §7.5 invariant: 2 mallocs, 2 callocs, 1 realloc per run.
+        let env = LibcEnv::fault_free();
+        run(&env, &fixture(), "/src.txt", "/d1", LnOpts::default()).unwrap();
+        assert_eq!(env.call_count(Func::Malloc), 2);
+        assert_eq!(env.call_count(Func::Calloc), 2);
+        assert_eq!(env.call_count(Func::Realloc), 1);
+    }
+
+    #[test]
+    fn every_allocation_fault_fails_gracefully() {
+        for (f, n) in [
+            (Func::Malloc, 1),
+            (Func::Malloc, 2),
+            (Func::Calloc, 1),
+            (Func::Calloc, 2),
+            (Func::Realloc, 1),
+        ] {
+            let env = LibcEnv::new(FaultPlan::single(f, n, Errno::ENOMEM));
+            let r = run(&env, &fixture(), "/src.txt", "/d", LnOpts::default());
+            assert_eq!(r, Err(RunError::Fault(Errno::ENOMEM)), "{f} #{n}");
+        }
+    }
+
+    #[test]
+    fn missing_source_is_reported() {
+        let env = LibcEnv::fault_free();
+        let r = run(&env, &fixture(), "/ghost", "/d", LnOpts::default());
+        assert_eq!(r, Err(RunError::Fault(Errno::ENOENT)));
+    }
+
+    #[test]
+    fn open_fault_hits_recovery_block() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::ENOSPC));
+        let r = run(&env, &fixture(), "/src.txt", "/d", LnOpts::default());
+        assert!(r.is_err());
+        assert!(env.coverage().covers(MODULE, B + 6));
+    }
+}

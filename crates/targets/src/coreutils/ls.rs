@@ -1,0 +1,167 @@
+//! `ls` — list directory contents.
+//!
+//! The Fig. 1 subject: `ls` touches more of libc than any other utility
+//! here (locale, memory, directory traversal, `stat`, streams), which is
+//! what makes its fault-space excerpt visibly structured.
+
+use super::{alloc, emit, flush, startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Func, LibcEnv};
+
+/// Block id base for `ls` (ids 0–19 are shared startup + ls).
+const B: u32 = 1;
+
+/// Options for [`run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsOpts {
+    /// `-l`: stat every entry.
+    pub long: bool,
+    /// `-R`: recurse into sub-directories.
+    pub recursive: bool,
+}
+
+/// Lists `path`, returning the rendered lines.
+pub fn run(env: &LibcEnv, vfs: &Vfs, path: &str, opts: LsOpts) -> Result<Vec<String>, RunError> {
+    let _f = env.frame("ls_main");
+    startup(env);
+    env.block(MODULE, B);
+    // Scratch buffer for entry sorting.
+    alloc(env, Func::Malloc)?;
+    // Remember where we are for recursion.
+    if env.call(Func::Getcwd).failed() {
+        env.block(MODULE, B + 1); // Recovery: getcwd failure diagnostic.
+        return Err(RunError::Fault(afex_inject::Errno::ENOMEM));
+    }
+    let mut out = Vec::new();
+    list_one(env, vfs, path, opts, &mut out, 0)?;
+    flush(env)?;
+    Ok(out)
+}
+
+fn list_one(
+    env: &LibcEnv,
+    vfs: &Vfs,
+    path: &str,
+    opts: LsOpts,
+    out: &mut Vec<String>,
+    depth: u32,
+) -> RunResult {
+    let _f = env.frame("ls_list_dir");
+    env.block(MODULE, B + 2 + depth.min(2));
+    let entries = vfs.list_dir(env, path).map_err(|e| {
+        env.block(MODULE, B + 6); // Recovery: cannot open directory.
+        RunError::Fault(e.errno())
+    })?;
+    for name in &entries {
+        let full = if path == "/" {
+            format!("/{name}")
+        } else {
+            format!("{path}/{name}")
+        };
+        if opts.long {
+            env.block(MODULE, B + 7);
+            let size = vfs.stat(env, &full).map_err(|e| {
+                env.block(MODULE, B + 8); // Recovery: cannot stat entry.
+                RunError::Fault(e.errno())
+            })?;
+            emit(env, &format!("{size:>8} {name}"))?;
+            out.push(format!("{size:>8} {name}"));
+        } else {
+            emit(env, name)?;
+            out.push(name.clone());
+        }
+        if opts.recursive && vfs.dir_exists(&full) {
+            env.block(MODULE, B + 9);
+            list_one(env, vfs, &full, opts, out, depth + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_dir("/d");
+        vfs.seed_file("/d/alpha", b"12345");
+        vfs.seed_file("/d/beta", b"xy");
+        vfs.seed_dir("/d/sub");
+        vfs.seed_file("/d/sub/gamma", b"1");
+        vfs
+    }
+
+    #[test]
+    fn plain_listing() {
+        let env = LibcEnv::fault_free();
+        let out = run(&env, &fixture(), "/d", LsOpts::default()).unwrap();
+        assert_eq!(out, vec!["alpha", "beta", "sub"]);
+    }
+
+    #[test]
+    fn long_listing_stats_entries() {
+        let env = LibcEnv::fault_free();
+        let out = run(
+            &env,
+            &fixture(),
+            "/d",
+            LsOpts {
+                long: true,
+                recursive: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(out[0], "       5 alpha");
+        assert_eq!(env.call_count(Func::Stat), 3);
+    }
+
+    #[test]
+    fn recursive_descends() {
+        let env = LibcEnv::fault_free();
+        let out = run(
+            &env,
+            &fixture(),
+            "/d",
+            LsOpts {
+                long: false,
+                recursive: true,
+            },
+        )
+        .unwrap();
+        assert!(out.contains(&"gamma".to_owned()));
+    }
+
+    #[test]
+    fn opendir_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Opendir, 1, Errno::EACCES));
+        let err = run(&env, &fixture(), "/d", LsOpts::default()).unwrap_err();
+        assert_eq!(err, RunError::Fault(Errno::EACCES));
+        // The recovery block ran.
+        assert!(env.coverage().covers(MODULE, B + 6));
+    }
+
+    #[test]
+    fn malloc_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        assert!(run(&env, &fixture(), "/d", LsOpts::default()).is_err());
+    }
+
+    #[test]
+    fn stat_fault_in_long_mode() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Stat, 2, Errno::EIO));
+        let err = run(
+            &env,
+            &fixture(),
+            "/d",
+            LsOpts {
+                long: true,
+                recursive: false,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::Fault(Errno::EIO));
+    }
+}

@@ -1,0 +1,98 @@
+//! `mkdir` — make directories (with `-p` parents mode).
+
+use super::{startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Errno, LibcEnv};
+
+/// Block id base for `mkdir` (ids 70–79).
+const B: u32 = 70;
+
+/// Creates `path`; with `parents`, creates missing ancestors and ignores
+/// already-existing directories (like `mkdir -p`).
+pub fn run(env: &LibcEnv, vfs: &Vfs, path: &str, parents: bool) -> RunResult {
+    let _f = env.frame("mkdir_main");
+    startup(env);
+    env.block(MODULE, B);
+    if parents {
+        env.block(MODULE, B + 1);
+        let mut acc = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            acc.push('/');
+            acc.push_str(comp);
+            match vfs.mkdir(env, &acc) {
+                Ok(()) => {}
+                Err(e) if e.errno() == Errno::EEXIST => {
+                    env.block(MODULE, B + 2); // `-p`: exists is fine.
+                }
+                Err(e) => {
+                    env.block(MODULE, B + 3); // Recovery: diagnostic.
+                    return Err(RunError::Fault(e.errno()));
+                }
+            }
+        }
+        Ok(())
+    } else {
+        vfs.mkdir(env, path).map_err(|e| {
+            env.block(MODULE, B + 4); // Recovery: diagnostic.
+            RunError::Fault(e.errno())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{FaultPlan, Func};
+
+    #[test]
+    fn plain_mkdir() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        run(&env, &vfs, "/new", false).unwrap();
+        assert!(vfs.dir_exists("/new"));
+    }
+
+    #[test]
+    fn plain_mkdir_existing_fails() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_dir("/d");
+        assert_eq!(
+            run(&env, &vfs, "/d", false),
+            Err(RunError::Fault(Errno::EEXIST))
+        );
+    }
+
+    #[test]
+    fn parents_mode_builds_chain() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        run(&env, &vfs, "/a/b/c", true).unwrap();
+        assert!(vfs.dir_exists("/a"));
+        assert!(vfs.dir_exists("/a/b"));
+        assert!(vfs.dir_exists("/a/b/c"));
+        assert_eq!(env.call_count(Func::Mkdir), 3);
+    }
+
+    #[test]
+    fn parents_mode_tolerates_existing() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_dir("/a");
+        run(&env, &vfs, "/a/b", true).unwrap();
+        assert!(vfs.dir_exists("/a/b"));
+    }
+
+    #[test]
+    fn injected_mkdir_fault_mid_chain() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Mkdir, 2, Errno::ENOSPC));
+        let vfs = Vfs::new();
+        assert_eq!(
+            run(&env, &vfs, "/a/b/c", true),
+            Err(RunError::Fault(Errno::ENOSPC))
+        );
+        assert!(vfs.dir_exists("/a"));
+        assert!(!vfs.dir_exists("/a/b"));
+    }
+}

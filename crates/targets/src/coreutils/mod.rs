@@ -1,0 +1,107 @@
+//! The coreutils 8.1 stand-in: ten UNIX utilities with a 29-test suite.
+//!
+//! §7.2 builds `Φ_coreutils` from 29 suite tests × 19 libc functions × 3
+//! call numbers (0 = no injection) = 1,653 faults. The utilities here are
+//! small, modular programs over the in-memory VFS; like the real ones they
+//! initialize the locale machinery at startup (ignoring failures — which
+//! is why the locale columns of Fig. 1 are gray), allocate scratch buffers,
+//! and mostly handle I/O errors by printing a diagnostic and exiting
+//! non-zero (a graceful *test failure*, not a crash).
+//!
+//! Allocation-failure accounting is engineered to reproduce §7.5: across
+//! the `ln` and `mv` tests, exactly 28 memory-allocation faults (malloc /
+//! calloc / realloc × call numbers 1–2) trigger and cause test failures —
+//! the "28 scenarios" of Table 6. `ln` performs 2 mallocs, 2 callocs and
+//! 1 realloc per run (5 × 4 tests = 20); `mv` performs 2 mallocs
+//! (2 × 4 tests = 8).
+
+pub mod cat;
+pub mod cp;
+pub mod ln;
+pub mod ls;
+pub mod mkdir_util;
+pub mod mv;
+pub mod rm;
+pub mod sort_util;
+pub mod suite;
+pub mod touch;
+pub mod wc;
+
+pub use suite::{Coreutils, TEST_NAMES};
+
+use crate::harness::{RunError, RunResult};
+use afex_inject::{Errno, Func, LibcEnv};
+
+/// The module name under which coreutils blocks are recorded.
+pub const MODULE: &str = "coreutils";
+
+/// Total declared basic blocks across all ten utilities.
+pub const TOTAL_BLOCKS: usize = 176;
+
+/// Common startup sequence: locale initialization, as in real coreutils.
+/// Failures are deliberately ignored — `setlocale`/`textdomain` failing
+/// only degrades message translation (these columns are gray in Fig. 1).
+pub fn startup(env: &LibcEnv) {
+    env.block(MODULE, 0);
+    let _ = env.call(Func::Setlocale);
+    let _ = env.call(Func::Bindtextdomain);
+    let _ = env.call(Func::Textdomain);
+}
+
+/// Allocates a scratch buffer; on failure the utility prints a diagnostic
+/// and exits non-zero, like coreutils' `xalloc` wrappers do on ENOMEM.
+pub fn alloc(env: &LibcEnv, func: Func) -> RunResult {
+    if env.call(func).failed() {
+        return Err(RunError::Fault(Errno::ENOMEM));
+    }
+    Ok(())
+}
+
+/// Emits one line of output through the stream layer (`putc` + implicit
+/// buffering); an I/O error is a graceful non-zero exit.
+pub fn emit(env: &LibcEnv, _line: &str) -> RunResult {
+    if let afex_inject::CallResult::Fail(e) = env.call(Func::Putc) {
+        return Err(RunError::Fault(e));
+    }
+    Ok(())
+}
+
+/// Flushes output at exit; a flush error is a graceful non-zero exit.
+pub fn flush(env: &LibcEnv) -> RunResult {
+    if let afex_inject::CallResult::Fail(e) = env.call(Func::Fflush) {
+        return Err(RunError::Fault(e));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    #[test]
+    fn startup_ignores_locale_failures() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Setlocale, 1, Errno::ENOMEM));
+        startup(&env); // Must not panic or error.
+        assert_eq!(env.call_count(Func::Setlocale), 1);
+    }
+
+    #[test]
+    fn alloc_propagates_enomem() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        assert_eq!(
+            alloc(&env, Func::Malloc),
+            Err(RunError::Fault(Errno::ENOMEM))
+        );
+        assert!(alloc(&env, Func::Malloc).is_ok());
+    }
+
+    #[test]
+    fn emit_and_flush_propagate_io_errors() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Putc, 1, Errno::EIO));
+        assert!(emit(&env, "x").is_err());
+        assert!(flush(&env).is_ok());
+        let env2 = LibcEnv::new(FaultPlan::single(Func::Fflush, 1, Errno::ENOSPC));
+        assert!(flush(&env2).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! `mv` — move (rename) files.
+//!
+//! Allocation pattern (load-bearing for §7.5 / Table 6): exactly 2
+//! `malloc`s per run, no calloc/realloc, both before any early exit.
+//! `mv` falls back to copy-then-unlink when `rename` fails with the
+//! cross-device errno, exercising a two-stage recovery path.
+
+use super::{alloc, startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Errno, Func, LibcEnv};
+
+/// Block id base for `mv` (ids 30–39).
+const B: u32 = 30;
+
+/// Moves `src` to `dst`.
+pub fn run(env: &LibcEnv, vfs: &Vfs, src: &str, dst: &str) -> RunResult {
+    let _f = env.frame("mv_main");
+    startup(env);
+    env.block(MODULE, B);
+    // Source and destination path buffers.
+    alloc(env, Func::Malloc)?;
+    alloc(env, Func::Malloc)?;
+    env.block(MODULE, B + 1);
+    vfs.stat(env, src).map_err(|e| {
+        env.block(MODULE, B + 2); // Recovery: missing source.
+        RunError::Fault(e.errno())
+    })?;
+    match vfs.rename(env, src, dst) {
+        Ok(()) => {
+            env.block(MODULE, B + 3);
+            Ok(())
+        }
+        Err(e) if e.errno() == Errno::EINVAL => {
+            // EXDEV-like: cross-device move → copy then unlink.
+            env.block(MODULE, B + 4);
+            copy_fallback(env, vfs, src, dst)
+        }
+        Err(e) => {
+            env.block(MODULE, B + 5); // Recovery: rename diagnostic.
+            Err(RunError::Fault(e.errno()))
+        }
+    }
+}
+
+fn copy_fallback(env: &LibcEnv, vfs: &Vfs, src: &str, dst: &str) -> RunResult {
+    let _f = env.frame("mv_copy_fallback");
+    env.block(MODULE, B + 6);
+    let data = vfs.read_all(env, src).map_err(|e| {
+        env.block(MODULE, B + 7);
+        RunError::Fault(e.errno())
+    })?;
+    vfs.write_all(env, dst, &data).map_err(|e| {
+        env.block(MODULE, B + 8);
+        RunError::Fault(e.errno())
+    })?;
+    vfs.unlink(env, src).map_err(|e| {
+        env.block(MODULE, B + 9); // Recovery: source left behind.
+        RunError::Fault(e.errno())
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_file("/a", b"data");
+        vfs
+    }
+
+    #[test]
+    fn plain_rename() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(&env, &vfs, "/a", "/b").unwrap();
+        assert!(!vfs.file_exists("/a"));
+        assert_eq!(vfs.contents("/b").unwrap(), b"data");
+    }
+
+    #[test]
+    fn allocation_pattern_is_exact() {
+        let env = LibcEnv::fault_free();
+        run(&env, &fixture(), "/a", "/b").unwrap();
+        assert_eq!(env.call_count(Func::Malloc), 2);
+        assert_eq!(env.call_count(Func::Calloc), 0);
+        assert_eq!(env.call_count(Func::Realloc), 0);
+    }
+
+    #[test]
+    fn both_malloc_faults_fail_gracefully() {
+        for n in [1, 2] {
+            let env = LibcEnv::new(FaultPlan::single(Func::Malloc, n, Errno::ENOMEM));
+            assert_eq!(
+                run(&env, &fixture(), "/a", "/b"),
+                Err(RunError::Fault(Errno::ENOMEM))
+            );
+        }
+    }
+
+    #[test]
+    fn einval_rename_falls_back_to_copy() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Rename, 1, Errno::EINVAL));
+        let vfs = fixture();
+        run(&env, &vfs, "/a", "/b").unwrap();
+        assert!(!vfs.file_exists("/a"));
+        assert_eq!(vfs.contents("/b").unwrap(), b"data");
+        // The fallback actually copied.
+        assert!(env.call_count(Func::Read) >= 1);
+        assert_eq!(env.call_count(Func::Unlink), 1);
+        assert!(env.coverage().covers(MODULE, B + 4));
+    }
+
+    #[test]
+    fn non_exdev_rename_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Rename, 1, Errno::EACCES));
+        let vfs = fixture();
+        assert_eq!(
+            run(&env, &vfs, "/a", "/b"),
+            Err(RunError::Fault(Errno::EACCES))
+        );
+        // Nothing moved.
+        assert!(vfs.file_exists("/a"));
+    }
+
+    #[test]
+    fn fallback_unlink_fault_leaves_source() {
+        let env = LibcEnv::new(afex_inject::FaultPlan::multi(vec![
+            afex_inject::AtomicFault::new(Func::Rename, 1, Errno::EINVAL),
+            afex_inject::AtomicFault::new(Func::Unlink, 1, Errno::EBUSY),
+        ]));
+        let vfs = fixture();
+        let r = run(&env, &vfs, "/a", "/b");
+        assert_eq!(r, Err(RunError::Fault(Errno::EBUSY)));
+        // Copy happened but source not removed: both exist (the documented
+        // partial-failure state of a cross-device mv).
+        assert!(vfs.file_exists("/a"));
+        assert!(vfs.file_exists("/b"));
+        assert!(env.coverage().covers(MODULE, B + 9));
+    }
+
+    #[test]
+    fn missing_source() {
+        let env = LibcEnv::fault_free();
+        assert_eq!(
+            run(&env, &fixture(), "/ghost", "/b"),
+            Err(RunError::Fault(Errno::ENOENT))
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! `rm` — remove files.
+
+use super::{startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+
+/// Block id base for `rm` (ids 60–69).
+const B: u32 = 60;
+
+/// Removes each of `paths`; `force` suppresses missing-file errors.
+pub fn run(env: &LibcEnv, vfs: &Vfs, paths: &[&str], force: bool) -> RunResult {
+    let _f = env.frame("rm_main");
+    startup(env);
+    env.block(MODULE, B);
+    for path in paths {
+        env.block(MODULE, B + 1);
+        match vfs.stat(env, path) {
+            Ok(_) => {}
+            Err(e) if force => {
+                env.block(MODULE, B + 2); // `-f`: silently skip.
+                let _ = e;
+                continue;
+            }
+            Err(e) => {
+                env.block(MODULE, B + 3); // Recovery: cannot stat.
+                return Err(RunError::Fault(e.errno()));
+            }
+        }
+        vfs.unlink(env, path).map_err(|e| {
+            env.block(MODULE, B + 4); // Recovery: cannot remove.
+            RunError::Fault(e.errno())
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan, Func};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_file("/a", b"1");
+        vfs.seed_file("/b", b"2");
+        vfs
+    }
+
+    #[test]
+    fn removes_all() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(&env, &vfs, &["/a", "/b"], false).unwrap();
+        assert!(!vfs.file_exists("/a"));
+        assert!(!vfs.file_exists("/b"));
+    }
+
+    #[test]
+    fn missing_without_force_errors() {
+        let env = LibcEnv::fault_free();
+        assert_eq!(
+            run(&env, &fixture(), &["/ghost"], false),
+            Err(RunError::Fault(Errno::ENOENT))
+        );
+    }
+
+    #[test]
+    fn missing_with_force_is_fine() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        run(&env, &vfs, &["/ghost", "/a"], true).unwrap();
+        assert!(!vfs.file_exists("/a"));
+    }
+
+    #[test]
+    fn unlink_fault_stops_midway() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Unlink, 1, Errno::EBUSY));
+        let vfs = fixture();
+        assert!(run(&env, &vfs, &["/a", "/b"], false).is_err());
+        assert!(vfs.file_exists("/a")); // Injected failure left it in place.
+        assert!(vfs.file_exists("/b")); // Never reached.
+    }
+
+    #[test]
+    fn stat_fault_with_force_skips() {
+        // `-f` treats a stat failure like a missing file.
+        let env = LibcEnv::new(FaultPlan::single(Func::Stat, 1, Errno::EACCES));
+        let vfs = fixture();
+        run(&env, &vfs, &["/a", "/b"], true).unwrap();
+        assert!(vfs.file_exists("/a")); // Skipped.
+        assert!(!vfs.file_exists("/b"));
+    }
+}

@@ -1,0 +1,99 @@
+//! `sort` — sort lines of a text file.
+//!
+//! Grows its line table with `realloc` as input is consumed, so large
+//! inputs expose multiple realloc injection points.
+
+use super::{alloc, emit, flush, startup, MODULE};
+use crate::harness::RunError;
+use crate::vfs::Vfs;
+use afex_inject::{Func, LibcEnv};
+
+/// Block id base for `sort` (ids 100–109).
+const B: u32 = 100;
+
+/// Lines per line-table growth step (each step is one `realloc`).
+const GROW_STEP: usize = 4;
+
+/// Sorts `path`'s lines, returning them in order.
+pub fn run(env: &LibcEnv, vfs: &Vfs, path: &str) -> Result<Vec<String>, RunError> {
+    let _f = env.frame("sort_main");
+    startup(env);
+    env.block(MODULE, B);
+    alloc(env, Func::Malloc)?; // Initial line table.
+    let data = vfs.read_all(env, path).map_err(|e| {
+        env.block(MODULE, B + 1); // Recovery: diagnostic.
+        RunError::Fault(e.errno())
+    })?;
+    env.block(MODULE, B + 2);
+    let mut lines: Vec<String> = Vec::new();
+    for line in String::from_utf8_lossy(&data).lines() {
+        if lines.len() % GROW_STEP == GROW_STEP - 1 {
+            // Table full: grow it.
+            alloc(env, Func::Realloc)?;
+            env.block(MODULE, B + 3);
+        }
+        lines.push(line.to_owned());
+    }
+    lines.sort();
+    for l in &lines {
+        emit(env, l)?;
+    }
+    flush(env)?;
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    fn fixture(lines: usize) -> Vfs {
+        let vfs = Vfs::new();
+        let text: String = (0..lines).rev().map(|i| format!("line{i:03}\n")).collect();
+        vfs.seed_file("/in", text.as_bytes());
+        vfs
+    }
+
+    #[test]
+    fn sorts_lines() {
+        let env = LibcEnv::fault_free();
+        let out = run(&env, &fixture(5), "/in").unwrap();
+        assert_eq!(out[0], "line000");
+        assert_eq!(out[4], "line004");
+    }
+
+    #[test]
+    fn reallocs_scale_with_input() {
+        let env = LibcEnv::fault_free();
+        run(&env, &fixture(10), "/in").unwrap();
+        // 10 lines with GROW_STEP=4 → grows at lines 4 and 8.
+        assert_eq!(env.call_count(Func::Realloc), 2);
+    }
+
+    #[test]
+    fn second_realloc_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Realloc, 2, Errno::ENOMEM));
+        assert_eq!(
+            run(&env, &fixture(10), "/in"),
+            Err(RunError::Fault(Errno::ENOMEM))
+        );
+    }
+
+    #[test]
+    fn small_input_never_reallocs() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Realloc, 1, Errno::ENOMEM));
+        // 3 lines never grow the table, so the planned fault never fires.
+        let out = run(&env, &fixture(3), "/in").unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(env.injections().is_empty());
+    }
+
+    #[test]
+    fn putc_fault_mid_output() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Putc, 2, Errno::EIO));
+        assert_eq!(
+            run(&env, &fixture(5), "/in"),
+            Err(RunError::Fault(Errno::EIO))
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! The coreutils default test suite: 29 tests (the `Xtest` axis of §7.2).
+
+use super::{cat, cp, ln, ls, mkdir_util, mv, rm, sort_util, touch, wc};
+use crate::harness::{RunError, RunResult, Target};
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+
+/// Names of the 29 suite tests, in `Xtest` order.
+pub const TEST_NAMES: [&str; 29] = [
+    "ls_empty",
+    "ls_files",
+    "ls_long",
+    "ls_recursive",
+    "ln_hard",
+    "ln_symbolic",
+    "ln_force",
+    "ln_into_dir",
+    "mv_rename",
+    "mv_into_dir",
+    "mv_overwrite",
+    "mv_chain",
+    "cp_small",
+    "cp_large",
+    "cp_sync",
+    "cat_one",
+    "cat_two",
+    "cat_big",
+    "rm_one",
+    "rm_many",
+    "rm_force",
+    "mkdir_plain",
+    "mkdir_parents",
+    "touch_new",
+    "touch_existing",
+    "wc_small",
+    "wc_large",
+    "sort_small",
+    "sort_large",
+];
+
+/// The coreutils system under test.
+///
+/// # Examples
+///
+/// ```
+/// use afex_inject::FaultPlan;
+/// use afex_targets::coreutils::Coreutils;
+/// use afex_targets::{run_test, Target};
+///
+/// let cu = Coreutils::new();
+/// assert_eq!(cu.num_tests(), 29);
+/// let ok = run_test(&cu, 1, &FaultPlan::none());
+/// assert_eq!(ok.status, afex_inject::TestStatus::Passed);
+/// ```
+#[derive(Debug, Default)]
+pub struct Coreutils;
+
+impl Coreutils {
+    /// Creates the target.
+    pub fn new() -> Self {
+        Coreutils
+    }
+
+    /// The name of suite test `id`.
+    pub fn test_name(id: usize) -> &'static str {
+        TEST_NAMES[id]
+    }
+}
+
+fn check(cond: bool, what: &str) -> RunResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(RunError::Check(format!("assertion failed: {what}")))
+    }
+}
+
+/// A directory tree with a few files, shared by several fixtures.
+fn tree() -> Vfs {
+    let vfs = Vfs::new();
+    vfs.seed_dir("/d");
+    vfs.seed_file("/d/alpha", b"12345");
+    vfs.seed_file("/d/beta", b"xy");
+    vfs.seed_dir("/d/sub");
+    vfs.seed_file("/d/sub/gamma", b"g");
+    vfs.seed_file("/src.txt", b"payload");
+    vfs.seed_file("/other", b"old");
+    vfs
+}
+
+impl Target for Coreutils {
+    fn name(&self) -> &str {
+        "coreutils"
+    }
+
+    fn num_tests(&self) -> usize {
+        TEST_NAMES.len()
+    }
+
+    fn total_blocks(&self) -> usize {
+        super::TOTAL_BLOCKS
+    }
+
+    fn run(&self, test_id: usize, env: &LibcEnv) -> RunResult {
+        let vfs = tree();
+        match test_id {
+            // ls.
+            0 => {
+                vfs.seed_dir("/empty");
+                let out = ls::run(env, &vfs, "/empty", ls::LsOpts::default())?;
+                check(out.is_empty(), "empty dir lists nothing")
+            }
+            1 => {
+                let out = ls::run(env, &vfs, "/d", ls::LsOpts::default())?;
+                check(out == ["alpha", "beta", "sub"], "listing matches")
+            }
+            2 => {
+                let out = ls::run(
+                    env,
+                    &vfs,
+                    "/d",
+                    ls::LsOpts {
+                        long: true,
+                        recursive: false,
+                    },
+                )?;
+                check(out.len() == 3 && out[0].contains("alpha"), "long listing")
+            }
+            3 => {
+                let out = ls::run(
+                    env,
+                    &vfs,
+                    "/d",
+                    ls::LsOpts {
+                        long: false,
+                        recursive: true,
+                    },
+                )?;
+                check(out.contains(&"gamma".to_owned()), "recursive finds gamma")
+            }
+            // ln.
+            4 => {
+                ln::run(env, &vfs, "/src.txt", "/hard", ln::LnOpts::default())?;
+                check(
+                    vfs.contents("/hard").as_deref() == Some(b"payload"),
+                    "hard link content",
+                )
+            }
+            5 => {
+                ln::run(
+                    env,
+                    &vfs,
+                    "/src.txt",
+                    "/sym",
+                    ln::LnOpts {
+                        force: false,
+                        symbolic: true,
+                    },
+                )?;
+                check(
+                    vfs.contents("/sym").as_deref() == Some(b"/src.txt"),
+                    "symlink target",
+                )
+            }
+            6 => {
+                ln::run(
+                    env,
+                    &vfs,
+                    "/src.txt",
+                    "/other",
+                    ln::LnOpts {
+                        force: true,
+                        symbolic: false,
+                    },
+                )?;
+                check(
+                    vfs.contents("/other").as_deref() == Some(b"payload"),
+                    "forced link",
+                )
+            }
+            7 => {
+                ln::run(env, &vfs, "/src.txt", "/d/lnk", ln::LnOpts::default())?;
+                check(vfs.file_exists("/d/lnk"), "link in subdir")
+            }
+            // mv.
+            8 => {
+                mv::run(env, &vfs, "/src.txt", "/moved")?;
+                check(
+                    !vfs.file_exists("/src.txt") && vfs.file_exists("/moved"),
+                    "rename moved the file",
+                )
+            }
+            9 => {
+                mv::run(env, &vfs, "/src.txt", "/d/moved")?;
+                check(vfs.file_exists("/d/moved"), "moved into dir")
+            }
+            10 => {
+                mv::run(env, &vfs, "/src.txt", "/other")?;
+                check(
+                    vfs.contents("/other").as_deref() == Some(b"payload"),
+                    "overwrote",
+                )
+            }
+            11 => {
+                mv::run(env, &vfs, "/d/alpha", "/d/alpha2")?;
+                mv::run(env, &vfs, "/d/alpha2", "/d/alpha3")?;
+                check(vfs.file_exists("/d/alpha3"), "chained moves")
+            }
+            // cp.
+            12 => {
+                cp::run(env, &vfs, "/src.txt", "/copy", false)?;
+                check(
+                    vfs.contents("/copy").as_deref() == Some(b"payload"),
+                    "copied",
+                )
+            }
+            13 => {
+                vfs.seed_file("/big", &vec![7u8; 5000]);
+                cp::run(env, &vfs, "/big", "/bigcopy", false)?;
+                check(
+                    vfs.contents("/bigcopy").map(|c| c.len()) == Some(5000),
+                    "large copy size",
+                )
+            }
+            14 => {
+                cp::run(env, &vfs, "/src.txt", "/synced", true)?;
+                check(vfs.file_exists("/synced"), "synced copy")
+            }
+            // cat.
+            15 => {
+                let out = cat::run(env, &vfs, &["/src.txt"])?;
+                check(out == b"payload", "cat one")
+            }
+            16 => {
+                let out = cat::run(env, &vfs, &["/src.txt", "/other"])?;
+                check(out == b"payloadold", "cat two")
+            }
+            17 => {
+                vfs.seed_file("/big", &vec![b'a'; 9000]);
+                let out = cat::run(env, &vfs, &["/big"])?;
+                check(out.len() == 9000, "cat big")
+            }
+            // rm.
+            18 => {
+                rm::run(env, &vfs, &["/src.txt"], false)?;
+                check(!vfs.file_exists("/src.txt"), "removed one")
+            }
+            19 => {
+                rm::run(env, &vfs, &["/src.txt", "/other"], false)?;
+                check(
+                    !vfs.file_exists("/src.txt") && !vfs.file_exists("/other"),
+                    "removed many",
+                )
+            }
+            20 => {
+                rm::run(env, &vfs, &["/ghost", "/src.txt"], true)?;
+                check(!vfs.file_exists("/src.txt"), "force ignores missing")
+            }
+            // mkdir.
+            21 => {
+                mkdir_util::run(env, &vfs, "/newdir", false)?;
+                check(vfs.dir_exists("/newdir"), "made dir")
+            }
+            22 => {
+                mkdir_util::run(env, &vfs, "/p/q/r", true)?;
+                check(vfs.dir_exists("/p/q/r"), "made parents")
+            }
+            // touch.
+            23 => {
+                touch::run(env, &vfs, "/fresh")?;
+                check(vfs.file_exists("/fresh"), "touched new")
+            }
+            24 => {
+                touch::run(env, &vfs, "/src.txt")?;
+                check(
+                    vfs.contents("/src.txt").as_deref() == Some(b"payload"),
+                    "kept content",
+                )
+            }
+            // wc.
+            25 => {
+                vfs.seed_file("/text", b"one two\nthree\n");
+                let c = wc::run(env, &vfs, "/text")?;
+                check(c.lines == 2 && c.words == 3, "wc small")
+            }
+            26 => {
+                let text: String = (0..50).map(|i| format!("word{i}\n")).collect();
+                vfs.seed_file("/text", text.as_bytes());
+                let c = wc::run(env, &vfs, "/text")?;
+                check(c.lines == 50, "wc large")
+            }
+            // sort.
+            27 => {
+                vfs.seed_file("/in", b"b\na\nc\n");
+                let out = sort_util::run(env, &vfs, "/in")?;
+                check(out == ["a", "b", "c"], "sort small")
+            }
+            28 => {
+                let text: String = (0..12).rev().map(|i| format!("l{i:02}\n")).collect();
+                vfs.seed_file("/in", text.as_bytes());
+                let out = sort_util::run(env, &vfs, "/in")?;
+                check(out.first().map(String::as_str) == Some("l00"), "sort large")
+            }
+            other => Err(RunError::Check(format!("no such test {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{baseline_pass_count, run_test};
+    use afex_inject::{Errno, FaultPlan, Func, TestStatus};
+
+    #[test]
+    fn all_29_tests_pass_fault_free() {
+        assert_eq!(baseline_pass_count(&Coreutils::new()), 29);
+    }
+
+    #[test]
+    fn test_names_match_count() {
+        assert_eq!(TEST_NAMES.len(), Coreutils::new().num_tests());
+        assert_eq!(Coreutils::test_name(0), "ls_empty");
+    }
+
+    #[test]
+    fn ln_tests_fail_on_malloc_injection() {
+        let cu = Coreutils::new();
+        for t in 4..8 {
+            let o = run_test(&cu, t, &FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+            assert_eq!(o.status, TestStatus::Failed, "test {t}");
+            assert!(o.triggered());
+        }
+    }
+
+    #[test]
+    fn exactly_28_allocation_faults_break_ln_and_mv() {
+        // The §7.5 / Table 6 ground truth: count single-fault allocation
+        // scenarios (malloc/calloc/realloc × call 1–2) that fail the ln/mv
+        // tests (ids 4–11).
+        let cu = Coreutils::new();
+        let mut failing = 0;
+        for t in 4..12 {
+            for f in [Func::Malloc, Func::Calloc, Func::Realloc] {
+                for call in 1..=2u32 {
+                    let o = run_test(&cu, t, &FaultPlan::single(f, call, Errno::ENOMEM));
+                    if o.status.is_failure() && o.triggered() {
+                        failing += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(failing, 28, "Table 6 expects exactly 28 scenarios");
+    }
+
+    #[test]
+    fn untargeted_faults_leave_tests_passing() {
+        let cu = Coreutils::new();
+        // mkdir_plain performs no read; the fault never triggers.
+        let o = run_test(&cu, 21, &FaultPlan::single(Func::Read, 1, Errno::EIO));
+        assert_eq!(o.status, TestStatus::Passed);
+        assert!(!o.triggered());
+    }
+
+    #[test]
+    fn injection_trace_is_captured_for_clustering() {
+        let cu = Coreutils::new();
+        let o = run_test(&cu, 1, &FaultPlan::single(Func::Opendir, 1, Errno::EACCES));
+        assert_eq!(o.status, TestStatus::Failed);
+        let trace = o.injection_trace().unwrap();
+        assert!(trace.contains("ls_main"), "{trace}");
+        assert!(trace.contains("ls_list_dir"), "{trace}");
+    }
+
+    #[test]
+    fn coverage_grows_with_fault_injection() {
+        // Recovery blocks only run under injection (§7.2's 0.64% effect).
+        let cu = Coreutils::new();
+        let clean = run_test(&cu, 1, &FaultPlan::none());
+        let faulty = run_test(&cu, 1, &FaultPlan::single(Func::Opendir, 1, Errno::EACCES));
+        assert!(faulty.coverage.difference(&clean.coverage) > 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! `touch` — create files / update timestamps.
+//!
+//! Uses `clock_gettime` for the new timestamp; a clock failure is handled
+//! gracefully (fall back to epoch), matching the mostly-gray
+//! `clock_gettime` column of Fig. 1.
+
+use super::{startup, MODULE};
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Errno, Func, LibcEnv};
+
+/// Block id base for `touch` (ids 80–89).
+const B: u32 = 80;
+
+/// Touches `path`: creates it if missing.
+pub fn run(env: &LibcEnv, vfs: &Vfs, path: &str) -> RunResult {
+    let _f = env.frame("touch_main");
+    startup(env);
+    env.block(MODULE, B);
+    // Timestamp for the metadata update; failure falls back to epoch.
+    if env.call(Func::ClockGettime).failed() {
+        env.block(MODULE, B + 1); // Graceful: epoch fallback.
+    }
+    match vfs.stat(env, path) {
+        Ok(_) => {
+            env.block(MODULE, B + 2); // Exists: timestamp-only update.
+            Ok(())
+        }
+        Err(e) if e.errno() == Errno::ENOENT => {
+            env.block(MODULE, B + 3);
+            let fd = vfs.create(env, path).map_err(|e| {
+                env.block(MODULE, B + 4); // Recovery: cannot create.
+                RunError::Fault(e.errno())
+            })?;
+            vfs.close(env, fd).map_err(|e| {
+                env.block(MODULE, B + 5);
+                RunError::Fault(e.errno())
+            })
+        }
+        Err(e) => {
+            env.block(MODULE, B + 6); // Recovery: stat diagnostic.
+            Err(RunError::Fault(e.errno()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    #[test]
+    fn creates_missing_file() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        run(&env, &vfs, "/new").unwrap();
+        assert!(vfs.file_exists("/new"));
+    }
+
+    #[test]
+    fn existing_file_is_left_alone() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"keep");
+        run(&env, &vfs, "/f").unwrap();
+        assert_eq!(vfs.contents("/f").unwrap(), b"keep");
+        assert_eq!(env.call_count(Func::Open), 0);
+    }
+
+    #[test]
+    fn clock_fault_is_tolerated() {
+        let env = LibcEnv::new(FaultPlan::single(Func::ClockGettime, 1, Errno::EINVAL));
+        let vfs = Vfs::new();
+        run(&env, &vfs, "/new").unwrap();
+        assert!(vfs.file_exists("/new"));
+        assert!(env.coverage().covers(MODULE, B + 1));
+    }
+
+    #[test]
+    fn stat_io_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Stat, 1, Errno::EACCES));
+        let vfs = Vfs::new();
+        assert_eq!(run(&env, &vfs, "/x"), Err(RunError::Fault(Errno::EACCES)));
+    }
+
+    #[test]
+    fn create_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::EDQUOT));
+        let vfs = Vfs::new();
+        assert_eq!(run(&env, &vfs, "/x"), Err(RunError::Fault(Errno::EDQUOT)));
+    }
+}

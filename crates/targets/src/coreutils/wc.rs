@@ -1,0 +1,93 @@
+//! `wc` — count lines, words and bytes.
+
+use super::{alloc, emit, flush, startup, MODULE};
+use crate::harness::RunError;
+use crate::vfs::Vfs;
+use afex_inject::{Func, LibcEnv};
+
+/// Block id base for `wc` (ids 90–99).
+const B: u32 = 90;
+
+/// Counts of one `wc` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Newline count.
+    pub lines: usize,
+    /// Whitespace-separated word count.
+    pub words: usize,
+    /// Byte count.
+    pub bytes: usize,
+}
+
+/// Counts `path`'s contents.
+pub fn run(env: &LibcEnv, vfs: &Vfs, path: &str) -> Result<Counts, RunError> {
+    let _f = env.frame("wc_main");
+    startup(env);
+    env.block(MODULE, B);
+    alloc(env, Func::Malloc)?; // Read buffer.
+    let data = vfs.read_all(env, path).map_err(|e| {
+        env.block(MODULE, B + 1); // Recovery: diagnostic.
+        RunError::Fault(e.errno())
+    })?;
+    env.block(MODULE, B + 2);
+    let text = String::from_utf8_lossy(&data);
+    let counts = Counts {
+        lines: text.matches('\n').count(),
+        words: text.split_whitespace().count(),
+        bytes: data.len(),
+    };
+    emit(
+        env,
+        &format!("{} {} {} {path}", counts.lines, counts.words, counts.bytes),
+    )?;
+    flush(env)?;
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    #[test]
+    fn counts_are_correct() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"one two\nthree\n");
+        let c = run(&env, &vfs, "/f").unwrap();
+        assert_eq!(
+            c,
+            Counts {
+                lines: 2,
+                words: 3,
+                bytes: 14
+            }
+        );
+    }
+
+    #[test]
+    fn empty_file() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/e", b"");
+        let c = run(&env, &vfs, "/e").unwrap();
+        assert_eq!(c.bytes, 0);
+        assert_eq!(c.lines, 0);
+    }
+
+    #[test]
+    fn malloc_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"x");
+        assert_eq!(run(&env, &vfs, "/f"), Err(RunError::Fault(Errno::ENOMEM)));
+    }
+
+    #[test]
+    fn read_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 1, Errno::EIO));
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"x");
+        assert_eq!(run(&env, &vfs, "/f"), Err(RunError::Fault(Errno::EIO)));
+    }
+}

@@ -1,0 +1,25 @@
+//! The MongoDB stand-in: a document store at two maturity stages (§7.6).
+//!
+//! - **v0.8** (pre-production): few features, light environment
+//!   interaction — a save path writing one data file, no journal, no
+//!   network layer. Failure opportunities are few and *concentrated* in
+//!   the save path, which is why fitness-guided search beats random by a
+//!   wide margin (the paper measures 2.37×).
+//! - **v2.0** (industrial strength): journaling, a network protocol layer
+//!   and an aggregation feature. More features mean heavier interaction
+//!   with the environment and *more* total failure opportunities, spread
+//!   more uniformly over the fault space — the fitness/random gap narrows
+//!   (1.43×), and the new aggregation code carries the one crash scenario
+//!   AFEX found in v2.0 but not v0.8.
+
+pub mod store;
+pub mod suite;
+
+pub use store::{DocStore, Version};
+pub use suite::DocstoreTarget;
+
+/// The module name under which docstore blocks are recorded.
+pub const MODULE: &str = "docstore";
+
+/// Total declared basic blocks in the docstore.
+pub const TOTAL_BLOCKS: usize = 48;

@@ -1,0 +1,297 @@
+//! The document store engine, parameterized by development stage.
+
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{CallResult, Errno, Func, LibcEnv};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Development stage of the store (§7.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Pre-production (MongoDB 0.8 analogue).
+    V0_8,
+    /// Industrial-strength production release (MongoDB 2.0 analogue).
+    V2_0,
+}
+
+/// Path of the main data file.
+pub const DATA_PATH: &str = "/db/data.ns";
+
+/// Path of the journal (v2.0 only).
+pub const JOURNAL_PATH: &str = "/db/journal.0";
+
+/// A miniature document store.
+#[derive(Debug)]
+pub struct DocStore {
+    version: Version,
+    docs: RefCell<BTreeMap<u64, String>>,
+}
+
+impl DocStore {
+    /// Installs the data directory into a VFS.
+    pub fn install(vfs: &Vfs) {
+        vfs.seed_dir("/db");
+    }
+
+    /// Boots a store.
+    ///
+    /// v0.8 boots with a bare allocation; v2.0 additionally brings up the
+    /// network listener and replays the journal.
+    pub fn start(env: &LibcEnv, vfs: &Vfs, version: Version) -> Result<Self, RunError> {
+        let _f = env.frame("mongod_main");
+        env.block(MODULE, 0);
+        if env.call(Func::Malloc).failed() {
+            env.block(MODULE, 1); // Recovery: startup OOM diagnostic.
+            return Err(RunError::Fault(Errno::ENOMEM));
+        }
+        let store = DocStore {
+            version,
+            docs: RefCell::new(BTreeMap::new()),
+        };
+        if version == Version::V2_0 {
+            env.block(MODULE, 2);
+            // Network listener.
+            for (f, b) in [(Func::Socket, 3u32), (Func::Bind, 4), (Func::Listen, 5)] {
+                if let CallResult::Fail(e) = env.call(f) {
+                    env.block(MODULE, b); // Recovery: clean startup abort.
+                    return Err(RunError::Fault(e));
+                }
+            }
+            // Journal replay.
+            if vfs.file_exists(JOURNAL_PATH) {
+                env.block(MODULE, 6);
+                let data = vfs.read_all(env, JOURNAL_PATH).map_err(|e| {
+                    env.block(MODULE, 7); // Recovery: journal diagnostic.
+                    RunError::Fault(e.errno())
+                })?;
+                for line in String::from_utf8_lossy(&data).lines() {
+                    if let Some((k, v)) = line.split_once('=') {
+                        if let Ok(k) = k.parse() {
+                            store.docs.borrow_mut().insert(k, v.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The store's version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Inserts a document.
+    ///
+    /// v2.0 journals each insert (open/write/fsync/close per entry) and
+    /// receives the document over the network first; v0.8 only mutates
+    /// memory. All failures here are handled gracefully in both versions.
+    pub fn insert(&self, env: &LibcEnv, vfs: &Vfs, id: u64, doc: &str) -> RunResult {
+        let _f = env.frame("doc_insert");
+        env.block(MODULE, 10);
+        if self.version == Version::V2_0 {
+            // Wire receive.
+            if let CallResult::Fail(e) = env.call(Func::Recv) {
+                env.block(MODULE, 11); // Recovery: drop connection.
+                return Err(RunError::Fault(e));
+            }
+        }
+        if env.call(Func::Malloc).failed() {
+            env.block(MODULE, 12); // Recovery: OOM → operation fails.
+            return Err(RunError::Fault(Errno::ENOMEM));
+        }
+        if self.version == Version::V2_0 {
+            self.journal_append(env, vfs, id, doc)?;
+        }
+        self.docs.borrow_mut().insert(id, doc.to_owned());
+        Ok(())
+    }
+
+    fn journal_append(&self, env: &LibcEnv, vfs: &Vfs, id: u64, doc: &str) -> RunResult {
+        let _f = env.frame("journal_append");
+        env.block(MODULE, 13);
+        let mut contents = vfs.contents(JOURNAL_PATH).unwrap_or_default();
+        contents.extend_from_slice(format!("{id}={doc}\n").as_bytes());
+        let fd = vfs.create(env, JOURNAL_PATH).map_err(|e| {
+            env.block(MODULE, 14); // Recovery: journal open diagnostic.
+            RunError::Fault(e.errno())
+        })?;
+        let write = vfs.write(env, fd, &contents);
+        let sync = if write.is_ok() {
+            vfs.fsync(env, fd).map_err(Into::into)
+        } else {
+            Ok(())
+        };
+        let close = vfs.close(env, fd);
+        write.map_err(|e| {
+            env.block(MODULE, 15); // Recovery: journal write rollback.
+            RunError::Fault(e.errno())
+        })?;
+        sync.map_err(|e: RunError| {
+            env.block(MODULE, 16);
+            e
+        })?;
+        close.map_err(|e| {
+            env.block(MODULE, 17);
+            RunError::Fault(e.errno())
+        })?;
+        Ok(())
+    }
+
+    /// Finds a document by id.
+    pub fn find(&self, env: &LibcEnv, id: u64) -> Option<String> {
+        let _f = env.frame("doc_find");
+        env.block(MODULE, 18);
+        self.docs.borrow().get(&id).cloned()
+    }
+
+    /// Saves the whole store to the data file (both versions).
+    pub fn save(&self, env: &LibcEnv, vfs: &Vfs) -> RunResult {
+        let _f = env.frame("doc_save");
+        env.block(MODULE, 19);
+        let rendered: String = self
+            .docs
+            .borrow()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect();
+        vfs.write_all(env, DATA_PATH, rendered.as_bytes())
+            .map_err(|e| {
+                env.block(MODULE, 20); // Recovery: save diagnostic.
+                RunError::Fault(e.errno())
+            })
+    }
+
+    /// Aggregates document lengths (v2.0 feature).
+    ///
+    /// # Panics
+    ///
+    /// Carries v2.0's one crash scenario: the aggregation scratch buffer's
+    /// `malloc` result is used unchecked (the new-feature bug of §7.6 —
+    /// "more features appear to indeed come at the cost of reliability").
+    pub fn aggregate(&self, env: &LibcEnv) -> Result<usize, RunError> {
+        let _f = env.frame("doc_aggregate");
+        env.block(MODULE, 21);
+        assert_eq!(
+            self.version,
+            Version::V2_0,
+            "aggregate is a v2.0-only feature"
+        );
+        // UNCHECKED scratch allocation — the seeded v2.0 crash.
+        if env.call(Func::Malloc).failed() {
+            panic!("segfault: NULL scratch buffer in aggregation pipeline (pipeline.cpp:88)");
+        }
+        env.block(MODULE, 22);
+        Ok(self.docs.borrow().values().map(String::len).sum())
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.borrow().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    fn boot(v: Version) -> (LibcEnv, Vfs, DocStore) {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        DocStore::install(&vfs);
+        let s = DocStore::start(&env, &vfs, v).unwrap();
+        (env, vfs, s)
+    }
+
+    #[test]
+    fn v08_insert_find_save() {
+        let (env, vfs, s) = boot(Version::V0_8);
+        s.insert(&env, &vfs, 1, "doc-one").unwrap();
+        assert_eq!(s.find(&env, 1).as_deref(), Some("doc-one"));
+        s.save(&env, &vfs).unwrap();
+        assert!(vfs.file_exists(DATA_PATH));
+        // v0.8 never journals or touches the network.
+        assert_eq!(env.call_count(Func::Fsync), 0);
+        assert_eq!(env.call_count(Func::Recv), 0);
+    }
+
+    #[test]
+    fn v20_journals_every_insert() {
+        let (env, vfs, s) = boot(Version::V2_0);
+        s.insert(&env, &vfs, 1, "a").unwrap();
+        s.insert(&env, &vfs, 2, "b").unwrap();
+        assert_eq!(env.call_count(Func::Fsync), 2);
+        let j = vfs.contents(JOURNAL_PATH).unwrap();
+        assert_eq!(String::from_utf8_lossy(&j), "1=a\n2=b\n");
+    }
+
+    #[test]
+    fn v20_recovers_from_journal() {
+        let (env, vfs, s) = boot(Version::V2_0);
+        s.insert(&env, &vfs, 7, "persisted").unwrap();
+        drop(s);
+        let s2 = DocStore::start(&env, &vfs, Version::V2_0).unwrap();
+        assert_eq!(s2.find(&env, 7).as_deref(), Some("persisted"));
+    }
+
+    #[test]
+    fn v08_has_fewer_env_interactions_per_insert() {
+        let (env8, vfs8, s8) = boot(Version::V0_8);
+        s8.insert(&env8, &vfs8, 1, "x").unwrap();
+        let calls_v08: u32 = env8.call_counts().values().sum();
+        let (env2, vfs2, s2) = boot(Version::V2_0);
+        s2.insert(&env2, &vfs2, 1, "x").unwrap();
+        let calls_v20: u32 = env2.call_counts().values().sum();
+        assert!(calls_v20 > calls_v08 * 2, "{calls_v20} vs {calls_v08}");
+    }
+
+    #[test]
+    fn v20_journal_write_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::ENOSPC));
+        let vfs = Vfs::new();
+        DocStore::install(&vfs);
+        let s = DocStore::start(&env, &vfs, Version::V2_0).unwrap();
+        assert!(s.insert(&env, &vfs, 1, "x").is_err());
+        assert_eq!(s.len(), 0, "failed insert must not be visible");
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline.cpp:88")]
+    fn v20_aggregate_oom_crashes() {
+        let (.., s) = {
+            let env = LibcEnv::fault_free();
+            let vfs = Vfs::new();
+            DocStore::install(&vfs);
+            let s = DocStore::start(&env, &vfs, Version::V2_0).unwrap();
+            (env, vfs, s)
+        };
+        // Fresh env: the aggregation malloc is call #1.
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        let _ = s.aggregate(&env);
+    }
+
+    #[test]
+    fn v20_aggregate_works() {
+        let (env, vfs, s) = boot(Version::V2_0);
+        s.insert(&env, &vfs, 1, "ab").unwrap();
+        s.insert(&env, &vfs, 2, "cde").unwrap();
+        assert_eq!(s.aggregate(&env).unwrap(), 5);
+    }
+
+    #[test]
+    fn v08_insert_oom_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 2, Errno::ENOMEM));
+        let vfs = Vfs::new();
+        DocStore::install(&vfs);
+        let s = DocStore::start(&env, &vfs, Version::V0_8).unwrap();
+        assert!(s.insert(&env, &vfs, 1, "x").is_err());
+    }
+}

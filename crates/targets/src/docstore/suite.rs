@@ -1,0 +1,201 @@
+//! The docstore test suite: 30 tests per version (§7.6's workloads).
+//!
+//! Both versions are "exposed to identical setup and workloads": the same
+//! test list runs against either stage; features missing from v0.8 (the
+//! aggregation pipeline) degrade to the closest v0.8 behaviour, as the
+//! paper's shared-workload methodology requires.
+
+use super::store::{DocStore, Version, DATA_PATH};
+use super::MODULE;
+use crate::harness::{RunError, RunResult, Target};
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+
+/// Suite size per version.
+pub const NUM_TESTS: usize = 30;
+
+/// The docstore system under test, pinned to one version.
+#[derive(Debug)]
+pub struct DocstoreTarget {
+    version: Version,
+}
+
+impl DocstoreTarget {
+    /// Creates a target for the given development stage.
+    pub fn new(version: Version) -> Self {
+        DocstoreTarget { version }
+    }
+
+    /// The pinned version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+}
+
+fn check(cond: bool, what: &str) -> RunResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(RunError::Check(format!("assertion failed: {what}")))
+    }
+}
+
+impl Target for DocstoreTarget {
+    fn name(&self) -> &str {
+        match self.version {
+            Version::V0_8 => "docstore-v0.8",
+            Version::V2_0 => "docstore-v2.0",
+        }
+    }
+
+    fn num_tests(&self) -> usize {
+        NUM_TESTS
+    }
+
+    fn total_blocks(&self) -> usize {
+        super::TOTAL_BLOCKS
+    }
+
+    fn run(&self, test_id: usize, env: &LibcEnv) -> RunResult {
+        let vfs = Vfs::new();
+        DocStore::install(&vfs);
+        let s = DocStore::start(env, &vfs, self.version)?;
+        env.block(MODULE, 30 + (test_id % 10) as u32);
+        let family = test_id / 5; // 6 families × 5 scales.
+        let n = 1 + (test_id % 5) as u64; // 1..=5 documents.
+        match family {
+            // Insert-and-find.
+            0 => {
+                for i in 0..n {
+                    s.insert(env, &vfs, i, &format!("doc{i}"))?;
+                }
+                check(
+                    s.find(env, 0).as_deref() == Some("doc0"),
+                    "first doc readable",
+                )
+            }
+            // Missing lookups.
+            1 => {
+                s.insert(env, &vfs, 1, "only")?;
+                check(s.find(env, 99).is_none(), "missing id is none")
+            }
+            // Save path.
+            2 => {
+                for i in 0..n {
+                    s.insert(env, &vfs, i, "v")?;
+                }
+                s.save(env, &vfs)?;
+                check(vfs.file_exists(DATA_PATH), "data file written")
+            }
+            // Overwrites.
+            3 => {
+                s.insert(env, &vfs, 1, "old")?;
+                s.insert(env, &vfs, 1, "new")?;
+                check(s.find(env, 1).as_deref() == Some("new"), "overwrite wins")
+            }
+            // Aggregation (v2.0 feature; v0.8 runs the equivalent
+            // client-side sum over find()).
+            4 => {
+                for i in 0..n {
+                    s.insert(env, &vfs, i, "xy")?;
+                }
+                let total = if self.version == Version::V2_0 {
+                    s.aggregate(env)?
+                } else {
+                    (0..n).filter_map(|i| s.find(env, i)).map(|d| d.len()).sum()
+                };
+                check(total == 2 * n as usize, "aggregate sum")
+            }
+            // Restart durability (v2.0 journals; v0.8 relies on save).
+            _ => {
+                s.insert(env, &vfs, 42, "keep")?;
+                s.save(env, &vfs)?;
+                if self.version == Version::V2_0 {
+                    let s2 = DocStore::start(env, &vfs, self.version)?;
+                    check(s2.find(env, 42).as_deref() == Some("keep"), "journaled")
+                } else {
+                    check(vfs.file_exists(DATA_PATH), "saved before restart")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{baseline_pass_count, run_test};
+    use afex_inject::{Errno, FaultPlan, Func, TestStatus};
+
+    #[test]
+    fn both_versions_pass_fault_free() {
+        assert_eq!(
+            baseline_pass_count(&DocstoreTarget::new(Version::V0_8)),
+            NUM_TESTS
+        );
+        assert_eq!(
+            baseline_pass_count(&DocstoreTarget::new(Version::V2_0)),
+            NUM_TESTS
+        );
+    }
+
+    #[test]
+    fn v20_offers_more_failure_opportunities() {
+        // Count failing single-fault malloc scenarios in both versions:
+        // v2.0 must have strictly more (§7.6: more features, more failures).
+        let count = |v: Version| {
+            let t = DocstoreTarget::new(v);
+            let mut fails = 0;
+            for test in 0..NUM_TESTS {
+                for call in 1..=8u32 {
+                    let o = run_test(
+                        &t,
+                        test,
+                        &FaultPlan::single(Func::Malloc, call, Errno::ENOMEM),
+                    );
+                    if o.status.is_failure() && o.triggered() {
+                        fails += 1;
+                    }
+                }
+            }
+            fails
+        };
+        let v08 = count(Version::V0_8);
+        let v20 = count(Version::V2_0);
+        assert!(v20 > v08, "v2.0 {v20} vs v0.8 {v08}");
+    }
+
+    #[test]
+    fn only_v20_has_a_crash_scenario() {
+        // The aggregation crash exists in v2.0 only (§7.6: "AFEX found an
+        // injection scenario that crashes v2.0, but did not find any way
+        // to crash v0.8").
+        let crash_exists = |v: Version| {
+            let t = DocstoreTarget::new(v);
+            (0..NUM_TESTS).any(|test| {
+                (1..=8u32).any(|call| {
+                    run_test(
+                        &t,
+                        test,
+                        &FaultPlan::single(Func::Malloc, call, Errno::ENOMEM),
+                    )
+                    .status
+                    .is_crash()
+                })
+            })
+        };
+        assert!(!crash_exists(Version::V0_8));
+        assert!(crash_exists(Version::V2_0));
+    }
+
+    #[test]
+    fn v20_network_fault_fails_inserts() {
+        let t = DocstoreTarget::new(Version::V2_0);
+        let o = run_test(&t, 0, &FaultPlan::single(Func::Recv, 1, Errno::ECONNRESET));
+        assert_eq!(o.status, TestStatus::Failed);
+        // v0.8 has no network layer: the same fault never triggers.
+        let t8 = DocstoreTarget::new(Version::V0_8);
+        let o8 = run_test(&t8, 0, &FaultPlan::single(Func::Recv, 1, Errno::ECONNRESET));
+        assert_eq!(o8.status, TestStatus::Passed);
+    }
+}

@@ -1,0 +1,153 @@
+//! Configuration parsing, carrying the Fig. 7 unchecked-`strdup` bug.
+
+use super::modules::ModuleRegistry;
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{CallResult, Errno, Func, LibcEnv};
+
+/// Path of the server configuration file.
+pub const CONF_PATH: &str = "/etc/httpd.conf";
+
+/// Installs a default configuration into a VFS.
+pub fn install(vfs: &Vfs) {
+    vfs.seed_dir("/etc");
+    vfs.seed_dir("/www");
+    vfs.seed_file("/www/index.html", b"<html>hello</html>");
+    vfs.seed_file("/www/about.html", b"<html>about</html>");
+    vfs.seed_file(
+        CONF_PATH,
+        b"Listen 80\n\
+          LoadModule core\n\
+          LoadModule mime\n\
+          LoadModule log\n\
+          LoadModule cgi\n\
+          DocumentRoot /www\n",
+    );
+}
+
+/// Parses the configuration, registering modules as directives arrive.
+///
+/// Stream-level parse structure: `fopen` + one `fgets` per line + `fclose`.
+/// All allocations are checked *except* the `strdup` of each module's
+/// short name (the seeded Fig. 7 bug).
+///
+/// # Panics
+///
+/// Panics with a segfault message when an injected `strdup` failure makes
+/// `ap_module_short_names[...][len] = '\0'` dereference NULL
+/// (`config.c:579`).
+pub fn parse(env: &LibcEnv, vfs: &Vfs, registry: &ModuleRegistry) -> RunResult {
+    let _f = env.frame("ap_read_config");
+    env.block(MODULE, 0);
+    // fopen of the configuration file.
+    if let CallResult::Fail(e) = env.call(Func::Fopen) {
+        env.block(MODULE, 1); // Recovery: cannot open config, clean exit.
+        return Err(RunError::Fault(e));
+    }
+    let data = vfs
+        .contents(CONF_PATH)
+        .ok_or(RunError::Fault(Errno::ENOENT))?;
+    let text = String::from_utf8_lossy(&data).into_owned();
+    for line in text.lines() {
+        // One fgets per line.
+        if let CallResult::Fail(e) = env.call(Func::Fgets) {
+            env.block(MODULE, 2); // Recovery: read error diagnostic.
+            let _ = env.call(Func::Fclose);
+            return Err(RunError::Fault(e));
+        }
+        if let Some(name) = line.strip_prefix("LoadModule ") {
+            register_module(env, registry, name.trim())?;
+        } else if let Some(root) = line.strip_prefix("DocumentRoot ") {
+            env.block(MODULE, 3);
+            registry.set_document_root(root.trim());
+        }
+    }
+    if let CallResult::Fail(e) = env.call(Func::Fclose) {
+        env.block(MODULE, 4); // Recovery: close diagnostic.
+        return Err(RunError::Fault(e));
+    }
+    env.block(MODULE, 5);
+    Ok(())
+}
+
+/// `ap_add_module` + the Fig. 7 lines.
+fn register_module(env: &LibcEnv, registry: &ModuleRegistry, sym_name: &str) -> RunResult {
+    let _f = env.frame("ap_add_module");
+    env.block(MODULE, 6);
+    // Module structure allocation: CHECKED, graceful shutdown on OOM.
+    if env.call(Func::Calloc).failed() {
+        env.block(MODULE, 7); // Recovery: logged OOM, clean shutdown.
+        return Err(RunError::Fault(Errno::ENOMEM));
+    }
+    // config.c:578 — `ap_module_short_names[m->module_index] =
+    // strdup(sym_name);` — UNCHECKED.
+    let short_name = if env.call(Func::Strdup).failed() {
+        None // NULL.
+    } else {
+        Some(sym_name.to_owned())
+    };
+    // config.c:579 — `ap_module_short_names[...][len] = '\0';`
+    // THE BUG: dereferences the strdup result without a NULL check.
+    let Some(name) = short_name else {
+        panic!("segfault: NULL pointer dereference at config.c:579 (ap_module_short_names)");
+    };
+    registry.register(env, &name);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    #[test]
+    fn parses_default_config() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        install(&vfs);
+        let reg = ModuleRegistry::new();
+        parse(&env, &vfs, &reg).unwrap();
+        assert_eq!(reg.module_count(), 4);
+        assert_eq!(reg.document_root(), "/www");
+        // 6 lines → 6 fgets.
+        assert_eq!(env.call_count(Func::Fgets), 6);
+    }
+
+    #[test]
+    fn fopen_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Fopen, 1, Errno::EACCES));
+        let vfs = Vfs::new();
+        install(&vfs);
+        let r = parse(&env, &vfs, &ModuleRegistry::new());
+        assert_eq!(r, Err(RunError::Fault(Errno::EACCES)));
+    }
+
+    #[test]
+    fn fgets_fault_is_graceful_and_closes() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Fgets, 3, Errno::EIO));
+        let vfs = Vfs::new();
+        install(&vfs);
+        assert!(parse(&env, &vfs, &ModuleRegistry::new()).is_err());
+        assert_eq!(env.call_count(Func::Fclose), 1);
+    }
+
+    #[test]
+    fn checked_calloc_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Calloc, 2, Errno::ENOMEM));
+        let vfs = Vfs::new();
+        install(&vfs);
+        let r = parse(&env, &vfs, &ModuleRegistry::new());
+        assert_eq!(r, Err(RunError::Fault(Errno::ENOMEM)));
+    }
+
+    #[test]
+    #[should_panic(expected = "config.c:579")]
+    fn strdup_fault_segfaults() {
+        // The Fig. 7 bug: any of the 4 LoadModule strdups failing crashes.
+        let env = LibcEnv::new(FaultPlan::single(Func::Strdup, 3, Errno::ENOMEM));
+        let vfs = Vfs::new();
+        install(&vfs);
+        let _ = parse(&env, &vfs, &ModuleRegistry::new());
+    }
+}

@@ -1,0 +1,30 @@
+//! The Apache httpd 2.3.8 stand-in: a miniature web server.
+//!
+//! Apache "has extensive checking code for error conditions like NULL
+//! returns from malloc throughout its code base" (§7.1) — and so does this
+//! stand-in — except for the one place the paper's Fig. 7 shows: module
+//! registration `strdup`s the module's short name and writes a terminator
+//! through the unchecked result (`config.c:578-579`). An out-of-memory
+//! failure inside `strdup` therefore segfaults the server before its
+//! error-logging recovery code can run.
+//!
+//! - [`config`] — configuration parsing (streams) + the Fig. 7 bug.
+//! - [`modules`] — the module registry.
+//! - [`request`] — connection handling (network calls) and dispatch.
+//! - [`server`] — startup and the serving loop.
+//! - [`suite`] — the 58-test suite (`Xtest` of `Φ_Apache`).
+
+pub mod config;
+pub mod modules;
+pub mod request;
+pub mod server;
+pub mod suite;
+
+pub use server::Httpd;
+pub use suite::HttpdTarget;
+
+/// The module name under which httpd blocks are recorded.
+pub const MODULE: &str = "httpd";
+
+/// Total declared basic blocks in httpd.
+pub const TOTAL_BLOCKS: usize = 64;

@@ -1,0 +1,74 @@
+//! The server's module registry.
+
+use super::MODULE;
+use afex_inject::LibcEnv;
+use std::cell::RefCell;
+
+/// Registered modules and server-wide settings.
+#[derive(Debug, Default)]
+pub struct ModuleRegistry {
+    state: RefCell<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    modules: Vec<String>,
+    document_root: String,
+}
+
+impl ModuleRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModuleRegistry::default()
+    }
+
+    /// Registers a module by short name.
+    pub fn register(&self, env: &LibcEnv, name: &str) {
+        env.block(MODULE, 10);
+        self.state.borrow_mut().modules.push(name.to_owned());
+    }
+
+    /// Whether a module is loaded.
+    pub fn has_module(&self, name: &str) -> bool {
+        self.state.borrow().modules.iter().any(|m| m == name)
+    }
+
+    /// Number of loaded modules.
+    pub fn module_count(&self) -> usize {
+        self.state.borrow().modules.len()
+    }
+
+    /// Sets the document root.
+    pub fn set_document_root(&self, root: &str) {
+        self.state.borrow_mut().document_root = root.to_owned();
+    }
+
+    /// The configured document root.
+    pub fn document_root(&self) -> String {
+        self.state.borrow().document_root.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let env = LibcEnv::fault_free();
+        let r = ModuleRegistry::new();
+        r.register(&env, "mime");
+        r.register(&env, "log");
+        assert!(r.has_module("mime"));
+        assert!(!r.has_module("cgi"));
+        assert_eq!(r.module_count(), 2);
+    }
+
+    #[test]
+    fn document_root_roundtrip() {
+        let r = ModuleRegistry::new();
+        assert_eq!(r.document_root(), "");
+        r.set_document_root("/www");
+        assert_eq!(r.document_root(), "/www");
+    }
+}

@@ -1,0 +1,231 @@
+//! Connection handling and request dispatch.
+
+use super::modules::ModuleRegistry;
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{CallResult, Errno, Func, LibcEnv};
+
+/// An HTTP response (status + body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+/// Accepts and serves one connection for `path`.
+///
+/// Network shape per request: `accept`, `recv`, checked `malloc` for the
+/// request buffer (OOM → graceful 500), dispatch, `send`, `close`. `EINTR`
+/// on `accept`/`recv` is retried a bounded number of times (a genuine retry
+/// loop, fuel-limited so a stuck peer reads as a hang, §2's "when" axis).
+pub fn serve_one(
+    env: &LibcEnv,
+    vfs: &Vfs,
+    registry: &ModuleRegistry,
+    path: &str,
+) -> Result<Response, RunError> {
+    let _f = env.frame("ap_process_connection");
+    env.block(MODULE, 20);
+    // Accept with EINTR retry.
+    retry_eintr(env, Func::Accept)?;
+    // Receive the request line, EINTR-retried as well.
+    retry_eintr(env, Func::Recv)?;
+    // Request pool allocation: CHECKED (Apache's apr pools log and 500).
+    if env.call(Func::Malloc).failed() {
+        env.block(MODULE, 21); // Recovery: logged OOM, 500 response.
+        let _ = env.call(Func::Send);
+        return Ok(Response {
+            status: 500,
+            body: b"internal error".to_vec(),
+        });
+    }
+    let resp = dispatch(env, vfs, registry, path)?;
+    if let CallResult::Fail(e) = env.call(Func::Send) {
+        env.block(MODULE, 22); // Recovery: client gone, log and move on.
+        return Err(RunError::Fault(e));
+    }
+    env.block(MODULE, 23);
+    Ok(resp)
+}
+
+/// Retries a call while the injector reports `EINTR`; non-EINTR failures
+/// propagate, and fuel exhaustion reads as a hang.
+fn retry_eintr(env: &LibcEnv, func: Func) -> RunResult {
+    let _f = env.frame("net_retry_loop");
+    loop {
+        match env.call(func) {
+            CallResult::Ok => return Ok(()),
+            CallResult::Fail(Errno::EINTR) => {
+                env.block(MODULE, 24);
+                if !env.burn_fuel() {
+                    return Err(RunError::Hang);
+                }
+            }
+            CallResult::Fail(e) => {
+                env.block(MODULE, 25); // Recovery: connection error log.
+                return Err(RunError::Fault(e));
+            }
+        }
+    }
+}
+
+/// Routes the request to the static-file or CGI handler.
+fn dispatch(
+    env: &LibcEnv,
+    vfs: &Vfs,
+    registry: &ModuleRegistry,
+    path: &str,
+) -> Result<Response, RunError> {
+    let _f = env.frame("ap_invoke_handler");
+    env.block(MODULE, 26);
+    if let Some(script) = path.strip_prefix("/cgi/") {
+        return cgi_handler(env, registry, script);
+    }
+    let full = format!("{}{}", registry.document_root(), path);
+    match vfs.read_all(env, &full) {
+        Ok(body) => {
+            env.block(MODULE, 27);
+            Ok(Response { status: 200, body })
+        }
+        Err(e) if e.errno() == Errno::ENOENT => {
+            env.block(MODULE, 28);
+            Ok(Response {
+                status: 404,
+                body: b"not found".to_vec(),
+            })
+        }
+        Err(e) => {
+            env.block(MODULE, 29); // Recovery: I/O error → 500 + log.
+            let _ = e;
+            Ok(Response {
+                status: 500,
+                body: b"io error".to_vec(),
+            })
+        }
+    }
+}
+
+/// The CGI handler: present only when the `cgi` module is loaded.
+///
+/// # Panics
+///
+/// Carries a second, rarer unchecked allocation: the environment-block
+/// `calloc` result is used without a check (a deliberate deep-path bug —
+/// AFEX finds it only after learning the network/CGI region is fertile).
+fn cgi_handler(
+    env: &LibcEnv,
+    registry: &ModuleRegistry,
+    script: &str,
+) -> Result<Response, RunError> {
+    let _f = env.frame("cgi_handler");
+    env.block(MODULE, 30);
+    if !registry.has_module("cgi") {
+        return Ok(Response {
+            status: 404,
+            body: b"cgi disabled".to_vec(),
+        });
+    }
+    // The CGI environment block: UNCHECKED calloc (deep-path bug).
+    if env.call(Func::Calloc).failed() {
+        panic!("segfault: NULL environment block in cgi_handler (mod_cgi.c:221)");
+    }
+    env.block(MODULE, 31);
+    Ok(Response {
+        status: 200,
+        body: format!("cgi:{script}").into_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    fn fixture() -> (Vfs, ModuleRegistry) {
+        let vfs = Vfs::new();
+        super::super::config::install(&vfs);
+        let reg = ModuleRegistry::new();
+        reg.set_document_root("/www");
+        reg.register(&LibcEnv::fault_free(), "cgi");
+        (vfs, reg)
+    }
+
+    #[test]
+    fn serves_static_file() {
+        let env = LibcEnv::fault_free();
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/index.html").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"<html>hello</html>");
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let env = LibcEnv::fault_free();
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/ghost.html").unwrap();
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn read_io_fault_is_500_not_crash() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 1, Errno::EIO));
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/index.html").unwrap();
+        assert_eq!(r.status, 500);
+    }
+
+    #[test]
+    fn request_pool_oom_is_500() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/index.html").unwrap();
+        assert_eq!(r.status, 500);
+    }
+
+    #[test]
+    fn eintr_on_accept_is_retried() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Accept, 1, Errno::EINTR));
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/index.html").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(env.call_count(Func::Accept), 2);
+    }
+
+    #[test]
+    fn connreset_on_recv_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Recv, 1, Errno::ECONNRESET));
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/index.html");
+        assert_eq!(r, Err(RunError::Fault(Errno::ECONNRESET)));
+    }
+
+    #[test]
+    fn cgi_serves_when_module_loaded() {
+        let env = LibcEnv::fault_free();
+        let (vfs, reg) = fixture();
+        let r = serve_one(&env, &vfs, &reg, "/cgi/hello").unwrap();
+        assert_eq!(r.body, b"cgi:hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "mod_cgi.c:221")]
+    fn cgi_calloc_fault_segfaults() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Calloc, 1, Errno::ENOMEM));
+        let (vfs, reg) = fixture();
+        let _ = serve_one(&env, &vfs, &reg, "/cgi/hello");
+    }
+
+    #[test]
+    fn send_fault_is_logged_error() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Send, 1, Errno::EPIPE));
+        let (vfs, reg) = fixture();
+        assert_eq!(
+            serve_one(&env, &vfs, &reg, "/index.html"),
+            Err(RunError::Fault(Errno::EPIPE))
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Server startup and the serving loop.
+
+use super::config;
+use super::modules::ModuleRegistry;
+use super::request::{serve_one, Response};
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{CallResult, Func, LibcEnv};
+
+/// A running httpd instance.
+#[derive(Debug)]
+pub struct Httpd {
+    registry: ModuleRegistry,
+}
+
+impl Httpd {
+    /// Installs the default site into a VFS.
+    pub fn install(vfs: &Vfs) {
+        config::install(vfs);
+    }
+
+    /// Boots the server: parse config (where the Fig. 7 bug lives), then
+    /// bind/listen the accept socket.
+    pub fn start(env: &LibcEnv, vfs: &Vfs) -> Result<Self, RunError> {
+        let _f = env.frame("httpd_main");
+        env.block(MODULE, 40);
+        let registry = ModuleRegistry::new();
+        config::parse(env, vfs, &registry)?;
+        // socket / bind / listen, each checked with a clean-exit recovery.
+        for (func, block) in [(Func::Socket, 41u32), (Func::Bind, 42), (Func::Listen, 43)] {
+            if let CallResult::Fail(e) = env.call(func) {
+                env.block(MODULE, block); // Recovery: startup diagnostic.
+                return Err(RunError::Fault(e));
+            }
+        }
+        env.block(MODULE, 44);
+        Ok(Httpd { registry })
+    }
+
+    /// Serves one request for `path`.
+    pub fn serve(&self, env: &LibcEnv, vfs: &Vfs, path: &str) -> Result<Response, RunError> {
+        serve_one(env, vfs, &self.registry, path)
+    }
+
+    /// Graceful shutdown: flush logs.
+    pub fn shutdown(&self, env: &LibcEnv) -> RunResult {
+        let _f = env.frame("httpd_shutdown");
+        env.block(MODULE, 45);
+        if let CallResult::Fail(e) = env.call(Func::Fflush) {
+            env.block(MODULE, 46); // Recovery: log-flush diagnostic.
+            return Err(RunError::Fault(e));
+        }
+        Ok(())
+    }
+
+    /// The module registry (assertion access).
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan};
+
+    #[test]
+    fn boots_and_serves() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        Httpd::install(&vfs);
+        let h = Httpd::start(&env, &vfs).unwrap();
+        assert_eq!(h.registry().module_count(), 4);
+        let r = h.serve(&env, &vfs, "/index.html").unwrap();
+        assert_eq!(r.status, 200);
+        h.shutdown(&env).unwrap();
+    }
+
+    #[test]
+    fn socket_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Socket, 1, Errno::EMFILE));
+        let vfs = Vfs::new();
+        Httpd::install(&vfs);
+        assert!(matches!(
+            Httpd::start(&env, &vfs),
+            Err(RunError::Fault(Errno::EMFILE))
+        ));
+    }
+
+    #[test]
+    fn bind_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Bind, 1, Errno::EACCES));
+        let vfs = Vfs::new();
+        Httpd::install(&vfs);
+        assert!(Httpd::start(&env, &vfs).is_err());
+    }
+
+    #[test]
+    fn shutdown_flush_fault_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Fflush, 1, Errno::EIO));
+        let vfs = Vfs::new();
+        Httpd::install(&vfs);
+        let h = Httpd::start(&env, &vfs).unwrap();
+        assert!(h.shutdown(&env).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The httpd test suite: 58 tests (`Xtest` of `Φ_Apache`).
+//!
+//! Eight base workload families fanned out over request-mix parameters,
+//! clamped to 58 tests. Every test boots the server (so config-parse
+//! faults — including the Fig. 7 `strdup` bug — are reachable from every
+//! test), then drives a family-specific request mix.
+
+use super::server::Httpd;
+use super::MODULE;
+use crate::harness::{RunError, RunResult, Target};
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+
+/// Suite size: `Xtest = (1, ..., 58)`.
+pub const NUM_TESTS: usize = 58;
+
+/// Number of base workload families.
+pub const FAMILIES: usize = 8;
+
+/// The httpd system under test.
+#[derive(Debug, Default)]
+pub struct HttpdTarget;
+
+impl HttpdTarget {
+    /// Creates the target.
+    pub fn new() -> Self {
+        HttpdTarget
+    }
+
+    /// Decomposes a test id into (family, scale), with ids contiguous
+    /// within a family (locality along `Xtest`).
+    pub fn decompose(test_id: usize) -> (usize, usize) {
+        ((test_id / 8).min(FAMILIES - 1), test_id % 8)
+    }
+}
+
+fn check(cond: bool, what: &str) -> RunResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(RunError::Check(format!("assertion failed: {what}")))
+    }
+}
+
+impl Target for HttpdTarget {
+    fn name(&self) -> &str {
+        "httpd"
+    }
+
+    fn num_tests(&self) -> usize {
+        NUM_TESTS
+    }
+
+    fn total_blocks(&self) -> usize {
+        super::TOTAL_BLOCKS
+    }
+
+    fn run(&self, test_id: usize, env: &LibcEnv) -> RunResult {
+        let (family, scale) = Self::decompose(test_id);
+        let vfs = Vfs::new();
+        Httpd::install(&vfs);
+        let h = Httpd::start(env, &vfs)?;
+        env.block(MODULE, 50 + family as u32);
+        let n = 1 + scale % 4; // Requests per test, 1..=4.
+        match family {
+            // Static GETs.
+            0 => {
+                for _ in 0..n {
+                    let r = h.serve(env, &vfs, "/index.html")?;
+                    check(r.status == 200, "static 200")?;
+                }
+                h.shutdown(env)
+            }
+            // Second document.
+            1 => {
+                let r = h.serve(env, &vfs, "/about.html")?;
+                check(
+                    r.status == 200 && r.body.starts_with(b"<html>"),
+                    "about page",
+                )?;
+                h.shutdown(env)
+            }
+            // 404s.
+            2 => {
+                for i in 0..n {
+                    let r = h.serve(env, &vfs, &format!("/missing{i}.html"))?;
+                    check(r.status == 404, "missing is 404")?;
+                }
+                h.shutdown(env)
+            }
+            // CGI requests.
+            3 => {
+                for i in 0..n {
+                    let r = h.serve(env, &vfs, &format!("/cgi/script{i}"))?;
+                    check(r.status == 200, "cgi 200")?;
+                }
+                h.shutdown(env)
+            }
+            // Mixed static + 404.
+            4 => {
+                let ok = h.serve(env, &vfs, "/index.html")?;
+                let missing = h.serve(env, &vfs, "/nope")?;
+                check(ok.status == 200 && missing.status == 404, "mixed statuses")?;
+                h.shutdown(env)
+            }
+            // Mixed static + CGI.
+            5 => {
+                let s = h.serve(env, &vfs, "/about.html")?;
+                let c = h.serve(env, &vfs, "/cgi/x")?;
+                check(s.status == 200 && c.status == 200, "static+cgi")?;
+                h.shutdown(env)
+            }
+            // Config sanity (module presence).
+            6 => {
+                check(h.registry().module_count() == 4, "4 modules loaded")?;
+                check(h.registry().has_module("mime"), "mime loaded")?;
+                h.shutdown(env)
+            }
+            // Sustained serving (largest request counts).
+            _ => {
+                for i in 0..(n * 2) {
+                    let path = if i % 2 == 0 {
+                        "/index.html"
+                    } else {
+                        "/about.html"
+                    };
+                    let r = h.serve(env, &vfs, path)?;
+                    check(r.status == 200, "sustained 200")?;
+                }
+                h.shutdown(env)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{baseline_pass_count, run_test};
+    use afex_inject::{Errno, FaultPlan, Func, TestStatus};
+
+    #[test]
+    fn all_58_tests_pass_fault_free() {
+        assert_eq!(baseline_pass_count(&HttpdTarget::new()), NUM_TESTS);
+    }
+
+    #[test]
+    fn strdup_fault_crashes_every_test() {
+        // Config parsing runs in every test: the Fig. 7 bug is global.
+        let t = HttpdTarget::new();
+        for id in [0usize, 20, 57] {
+            let o = run_test(&t, id, &FaultPlan::single(Func::Strdup, 2, Errno::ENOMEM));
+            assert!(o.status.is_crash(), "test {id}: {:?}", o.status);
+            if let TestStatus::Crashed(m) = &o.status {
+                assert!(m.contains("config.c:579"), "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn cgi_calloc_fault_crashes_only_cgi_tests() {
+        let t = HttpdTarget::new();
+        // Config does 4 callocs (one per module); the CGI env block is #5.
+        let plan = FaultPlan::single(Func::Calloc, 5, Errno::ENOMEM);
+        let cgi = run_test(&t, 24, &plan); // Family 3 = CGI.
+        assert!(cgi.status.is_crash(), "{:?}", cgi.status);
+        let static_only = run_test(&t, 0, &plan);
+        assert_eq!(static_only.status, TestStatus::Passed); // Never triggers.
+    }
+
+    #[test]
+    fn request_oom_degrades_to_500_failure() {
+        let t = HttpdTarget::new();
+        // Request-pool malloc is checked → 500 response → assertion fails
+        // gracefully (the test expected 200).
+        let o = run_test(&t, 0, &FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        assert_eq!(o.status, TestStatus::Failed);
+    }
+
+    #[test]
+    fn eintr_storm_hangs() {
+        // Both accept calls in a 2-request test keep EINTR-ing: with the
+        // singleton plan only call #1 is hit once, so use a multi plan that
+        // also drains the fuel? A single EINTR is retried successfully —
+        // the hang needs persistent interruption, modelled by injecting
+        // EINTR into every retry via repeated atomic faults.
+        let faults: Vec<_> = (1..=12000)
+            .map(|n| afex_inject::AtomicFault::new(Func::Accept, n, Errno::EINTR))
+            .collect();
+        let t = HttpdTarget::new();
+        let o = run_test(&t, 0, &FaultPlan::multi(faults));
+        assert_eq!(o.status, TestStatus::Hung);
+    }
+
+    #[test]
+    fn decompose_is_contiguous() {
+        assert_eq!(HttpdTarget::decompose(0).0, 0);
+        assert_eq!(HttpdTarget::decompose(7).0, 0);
+        assert_eq!(HttpdTarget::decompose(8).0, 1);
+        assert_eq!(HttpdTarget::decompose(57).0, FAMILIES - 1);
+    }
+}

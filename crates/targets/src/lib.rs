@@ -1,0 +1,45 @@
+//! Simulated systems under test for AFEX.
+//!
+//! The paper evaluates AFEX on MySQL 5.1.44, Apache httpd 2.3.8, coreutils
+//! 8.1 and MongoDB 0.8/2.0. Those binaries are not available here, so this
+//! crate provides miniature, deterministic re-implementations that preserve
+//! the properties the evaluation depends on:
+//!
+//! - every environment interaction goes through the
+//!   [`LibcEnv`](afex_inject::LibcEnv) facade, so library-level faults can
+//!   be injected at precise `<testID, functionName, callNumber>` points;
+//! - each target ships a default test suite (the `Xtest` axis);
+//! - error handling is mostly correct, with the paper's actual bugs
+//!   re-seeded structurally (MySQL's double-unlock and errmsg-read bugs,
+//!   Apache's unchecked `strdup`), plus maturity-dependent robustness in
+//!   the document store;
+//! - the code is modular, which is precisely what gives fault spaces the
+//!   exploitable structure of Fig. 1.
+//!
+//! Modules:
+//!
+//! - [`vfs`] — an in-memory filesystem whose every operation announces the
+//!   corresponding libc call to the injection environment.
+//! - [`harness`] — the [`harness::Target`] trait plus the runner
+//!   that executes one test under a fault plan, catching crashes.
+//! - [`coreutils`] — ten UNIX utilities with a 29-test suite (§7.2's
+//!   1,653-point `Φ_coreutils`).
+//! - [`minidb`] — the MySQL stand-in (storage engine, WAL, message
+//!   catalog, table locks) with the two §7.1 bugs.
+//! - [`httpd`] — the Apache stand-in (config parser, module registry,
+//!   request pipeline) with the Fig. 7 `strdup` bug.
+//! - [`docstore`] — the MongoDB stand-in in two development stages (§7.6).
+//! - [`spaces`] — the canonical fault spaces of §7 built from these
+//!   targets (`Φ_coreutils`, `Φ_MySQL`, `Φ_Apache`, `Φ_docstore`).
+
+pub mod coreutils;
+pub mod docstore;
+pub mod harness;
+pub mod httpd;
+pub mod minidb;
+pub mod spaces;
+pub mod spaces_multi;
+pub mod vfs;
+
+pub use harness::{run_test, Target};
+pub use vfs::{Vfs, VfsError};

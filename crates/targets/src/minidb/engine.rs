@@ -1,0 +1,234 @@
+//! The minidb server engine: startup, SQL-ish statement execution.
+
+use super::errmsg::ErrMsg;
+use super::lock::ThrLock;
+use super::table::{mi_create, Table};
+use super::wal::Wal;
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::{Errno, Func, LibcEnv};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// The minidb server instance.
+///
+/// Startup mirrors `mysqld` initialization: read the configuration file
+/// (missing/unreadable config falls back to defaults — graceful), allocate
+/// session buffers (checked), load the error-message catalog (carrying bug
+/// #25097), emit the greeting (which *uses* the catalog — where the bug
+/// fires), then replay the WAL.
+#[derive(Debug)]
+pub struct MiniDb {
+    lock: ThrLock,
+    errmsg: ErrMsg,
+    wal: Wal,
+    tables: RefCell<BTreeMap<String, Table>>,
+}
+
+impl MiniDb {
+    /// Installs server data files into a fresh VFS.
+    pub fn install(vfs: &Vfs) {
+        vfs.seed_dir("/data");
+        vfs.seed_dir("/etc");
+        vfs.seed_file("/etc/my.cnf", b"buffer_pool=16\nlog=on\n");
+        ErrMsg::install(vfs);
+    }
+
+    /// Boots the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the errmsg catalog read failed (bug #25097 fires at the
+    /// greeting) — the crash AFEX rediscovers in §7.1.
+    pub fn start(env: &LibcEnv, vfs: &Vfs) -> Result<Self, RunError> {
+        let _f = env.frame("mysqld_main");
+        env.block(MODULE, 30);
+        // Configuration: unreadable config is survivable (defaults).
+        match vfs.read_all(env, "/etc/my.cnf") {
+            Ok(_) => env.block(MODULE, 31),
+            Err(_) => env.block(MODULE, 32), // Recovery: defaults.
+        }
+        // Session and buffer-pool allocations: checked, graceful.
+        for _ in 0..2 {
+            if env.call(Func::Malloc).failed() {
+                env.block(MODULE, 33); // Recovery: OOM diagnostic.
+                return Err(RunError::Fault(Errno::ENOMEM));
+            }
+        }
+        let db = MiniDb {
+            lock: ThrLock::new(),
+            errmsg: ErrMsg::new(),
+            wal: Wal::new(),
+            tables: RefCell::new(BTreeMap::new()),
+        };
+        // Load the message catalog (the bug is inside `load`).
+        db.errmsg.load(env, vfs);
+        // The greeting formats a catalog message: first catalog use.
+        env.block(MODULE, 34);
+        let _greeting = db.errmsg.message(env, 0);
+        // WAL replay.
+        let recovered = db.wal.recover(env, vfs)?;
+        if !recovered.is_empty() {
+            env.block(MODULE, 35);
+        }
+        Ok(db)
+    }
+
+    /// Creates a table (the `mi_create` path with the Fig. 6 bug).
+    pub fn create_table(&self, env: &LibcEnv, vfs: &Vfs, name: &str) -> RunResult {
+        let _f = env.frame("sql_create_table");
+        env.block(MODULE, 36);
+        let table = mi_create(env, vfs, &self.lock, name)?;
+        self.tables.borrow_mut().insert(name.to_owned(), table);
+        Ok(())
+    }
+
+    /// Inserts a row: WAL first, then the in-memory table.
+    pub fn insert(
+        &self,
+        env: &LibcEnv,
+        vfs: &Vfs,
+        table: &str,
+        key: u64,
+        value: &str,
+    ) -> RunResult {
+        let _f = env.frame("sql_insert");
+        env.block(MODULE, 37);
+        let tables = self.tables.borrow();
+        let Some(t) = tables.get(table) else {
+            env.block(MODULE, 38); // Error path: unknown table message.
+            let _msg = self.errmsg.message(env, 1);
+            return Err(RunError::Check(format!("unknown table {table}")));
+        };
+        self.wal.append(format!("insert {table} {key} {value}"));
+        self.wal.commit(env, vfs)?;
+        t.insert(env, key, value);
+        Ok(())
+    }
+
+    /// Reads a row.
+    pub fn select(
+        &self,
+        env: &LibcEnv,
+        _vfs: &Vfs,
+        table: &str,
+        key: u64,
+    ) -> Result<Option<String>, RunError> {
+        let _f = env.frame("sql_select");
+        env.block(MODULE, 39);
+        let tables = self.tables.borrow();
+        let Some(t) = tables.get(table) else {
+            env.block(MODULE, 38);
+            let _msg = self.errmsg.message(env, 1);
+            return Err(RunError::Check(format!("unknown table {table}")));
+        };
+        Ok(t.get(env, key))
+    }
+
+    /// Deletes a row, returning whether it existed.
+    pub fn delete(
+        &self,
+        env: &LibcEnv,
+        vfs: &Vfs,
+        table: &str,
+        key: u64,
+    ) -> Result<bool, RunError> {
+        let _f = env.frame("sql_delete");
+        env.block(MODULE, 40);
+        let tables = self.tables.borrow();
+        let Some(t) = tables.get(table) else {
+            env.block(MODULE, 38);
+            let _msg = self.errmsg.message(env, 1);
+            return Err(RunError::Check(format!("unknown table {table}")));
+        };
+        self.wal.append(format!("delete {table} {key}"));
+        self.wal.commit(env, vfs)?;
+        Ok(t.delete(env, key))
+    }
+
+    /// Checkpoints every table to its MYD file.
+    pub fn checkpoint(&self, env: &LibcEnv, vfs: &Vfs) -> RunResult {
+        let _f = env.frame("sql_checkpoint");
+        env.block(MODULE, 41);
+        for t in self.tables.borrow().values() {
+            t.flush(env, vfs)?;
+        }
+        Ok(())
+    }
+
+    /// Row count of a table (assertion helper; no libc calls).
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.tables.borrow().get(table).map(Table::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    fn booted() -> (LibcEnv, Vfs, MiniDb) {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        MiniDb::install(&vfs);
+        let db = MiniDb::start(&env, &vfs).unwrap();
+        (env, vfs, db)
+    }
+
+    #[test]
+    fn boot_and_basic_crud() {
+        let (env, vfs, db) = booted();
+        db.create_table(&env, &vfs, "t").unwrap();
+        db.insert(&env, &vfs, "t", 1, "a").unwrap();
+        db.insert(&env, &vfs, "t", 2, "b").unwrap();
+        assert_eq!(db.select(&env, &vfs, "t", 1).unwrap().as_deref(), Some("a"));
+        assert!(db.delete(&env, &vfs, "t", 1).unwrap());
+        assert_eq!(db.row_count("t"), Some(1));
+    }
+
+    #[test]
+    fn unreadable_config_uses_defaults() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::EACCES));
+        let vfs = Vfs::new();
+        MiniDb::install(&vfs);
+        assert!(MiniDb::start(&env, &vfs).is_ok());
+    }
+
+    #[test]
+    fn startup_oom_is_graceful() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Malloc, 1, Errno::ENOMEM));
+        let vfs = Vfs::new();
+        MiniDb::install(&vfs);
+        assert!(matches!(
+            MiniDb::start(&env, &vfs),
+            Err(RunError::Fault(Errno::ENOMEM))
+        ));
+    }
+
+    #[test]
+    fn errmsg_read_fault_crashes_startup() {
+        // my.cnf consumes read #1 (data) + #2 (EOF); errmsg.sys data is #3.
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 3, Errno::EIO));
+        let vfs = Vfs::new();
+        MiniDb::install(&vfs);
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| MiniDb::start(&env, &vfs)));
+        assert!(r.is_err(), "bug #25097 must crash the greeting");
+    }
+
+    #[test]
+    fn unknown_table_is_reported_not_crashed() {
+        let (env, vfs, db) = booted();
+        assert!(db.insert(&env, &vfs, "ghost", 1, "x").is_err());
+    }
+
+    #[test]
+    fn inserts_are_durable_via_wal() {
+        let (env, vfs, db) = booted();
+        db.create_table(&env, &vfs, "t").unwrap();
+        db.insert(&env, &vfs, "t", 5, "five").unwrap();
+        let wal = vfs.contents(super::super::wal::WAL_PATH).unwrap();
+        assert!(String::from_utf8_lossy(&wal).contains("insert t 5 five"));
+    }
+}

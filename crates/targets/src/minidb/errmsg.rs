@@ -1,0 +1,144 @@
+//! The `errmsg.sys` message catalog, with MySQL bug #25097 re-seeded.
+//!
+//! The original bug: MySQL checks whether the read from `errmsg.sys`
+//! succeeded and "correctly logs any encountered error if the read fails.
+//! However, after completing this recovery, regardless of whether the read
+//! succeeded or not, MySQL proceeds to use a data structure that should
+//! have been initialized by that read" (§7.1). [`ErrMsg::load`] reproduces
+//! that shape: the error is logged, the load is marked complete, and the
+//! entry table stays empty — the crash fires at first use.
+
+use super::MODULE;
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+use std::cell::RefCell;
+
+/// Path of the message catalog file.
+pub const ERRMSG_PATH: &str = "/share/errmsg.sys";
+
+/// The server's error-message catalog.
+#[derive(Debug, Default)]
+pub struct ErrMsg {
+    state: RefCell<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: Vec<String>,
+    loaded: bool,
+}
+
+impl ErrMsg {
+    /// Creates an unloaded catalog.
+    pub fn new() -> Self {
+        ErrMsg::default()
+    }
+
+    /// Seeds the catalog file into a VFS (server installation step).
+    pub fn install(vfs: &Vfs) {
+        vfs.seed_dir("/share");
+        vfs.seed_file(
+            ERRMSG_PATH,
+            b"access denied\nunknown table\nduplicate key\ndisk full\nlock wait timeout\n",
+        );
+    }
+
+    /// Loads the catalog from `errmsg.sys`.
+    ///
+    /// BUG #25097 (intentional): on a failed read the error is logged and
+    /// the function returns "successfully" with `loaded = true` but no
+    /// entries; the crash is deferred to the first [`ErrMsg::message`].
+    pub fn load(&self, env: &LibcEnv, vfs: &Vfs) {
+        let _f = env.frame("init_errmessage");
+        env.block(MODULE, 0);
+        let mut st = self.state.borrow_mut();
+        match vfs.read_all(env, ERRMSG_PATH) {
+            Ok(data) => {
+                env.block(MODULE, 1);
+                st.entries = String::from_utf8_lossy(&data)
+                    .lines()
+                    .map(str::to_owned)
+                    .collect();
+            }
+            Err(_e) => {
+                // Recovery: log the failed read — this part is correct.
+                env.block(MODULE, 2);
+                // ... but the entries stay uninitialized while the catalog
+                // is still marked loaded (the re-manifested bug).
+            }
+        }
+        st.loaded = true;
+    }
+
+    /// Whether [`ErrMsg::load`] has run.
+    pub fn is_loaded(&self) -> bool {
+        self.state.borrow().loaded
+    }
+
+    /// Fetches message `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (the bug #25097 crash) when the catalog was "loaded" but the
+    /// backing read had failed, or when `load` was never called.
+    pub fn message(&self, env: &LibcEnv, code: usize) -> String {
+        let _f = env.frame("errmsg_lookup");
+        env.block(MODULE, 3);
+        let st = self.state.borrow();
+        if st.entries.is_empty() {
+            panic!("segfault: errmsg catalog used but not initialized (bug #25097)");
+        }
+        st.entries[code % st.entries.len()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan, Func};
+
+    #[test]
+    fn load_and_lookup() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        ErrMsg::install(&vfs);
+        let em = ErrMsg::new();
+        em.load(&env, &vfs);
+        assert!(em.is_loaded());
+        assert_eq!(em.message(&env, 0), "access denied");
+        assert_eq!(em.message(&env, 1), "unknown table");
+    }
+
+    #[test]
+    fn failed_read_is_logged_but_marked_loaded() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 1, Errno::EIO));
+        let vfs = Vfs::new();
+        ErrMsg::install(&vfs);
+        let em = ErrMsg::new();
+        em.load(&env, &vfs);
+        // The recovery block ran and the catalog claims to be loaded.
+        assert!(env.coverage().covers(MODULE, 2));
+        assert!(em.is_loaded());
+    }
+
+    #[test]
+    #[should_panic(expected = "bug #25097")]
+    fn use_after_failed_load_crashes() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 1, Errno::EIO));
+        let vfs = Vfs::new();
+        ErrMsg::install(&vfs);
+        let em = ErrMsg::new();
+        em.load(&env, &vfs);
+        let _ = em.message(&env, 0);
+    }
+
+    #[test]
+    fn open_failure_takes_same_buggy_path() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::ENOENT));
+        let vfs = Vfs::new();
+        ErrMsg::install(&vfs);
+        let em = ErrMsg::new();
+        em.load(&env, &vfs);
+        assert!(em.is_loaded());
+    }
+}

@@ -1,0 +1,81 @@
+//! The `THR_LOCK_myisam` global lock model.
+//!
+//! A depth counter stands in for a pthreads mutex: locking increments,
+//! unlocking decrements, and unlocking a free lock aborts the process —
+//! which is exactly how MySQL bug #53268 manifests when `mi_create`'s
+//! recovery code unlocks a mutex its caller already released.
+
+use std::cell::Cell;
+
+/// A crash-on-misuse lock.
+#[derive(Debug, Default)]
+pub struct ThrLock {
+    depth: Cell<u32>,
+}
+
+impl ThrLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        ThrLock::default()
+    }
+
+    /// Acquires the lock (re-entrant for simplicity; MySQL's usage here is
+    /// effectively single-threaded per statement).
+    pub fn lock(&self) {
+        self.depth.set(self.depth.get() + 1);
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics — modelling the `pthread_mutex_unlock` abort — if the lock
+    /// is not held. This panic *is* the bug #53268 crash signature.
+    pub fn unlock(&self) {
+        let d = self.depth.get();
+        if d == 0 {
+            panic!("fatal: double unlock of THR_LOCK_myisam (mi_create.c:837)");
+        }
+        self.depth.set(d - 1);
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.depth.get() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_balance() {
+        let l = ThrLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        l.unlock();
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn reentrant_depth() {
+        let l = ThrLock::new();
+        l.lock();
+        l.lock();
+        l.unlock();
+        assert!(l.is_locked());
+        l.unlock();
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    #[should_panic(expected = "double unlock")]
+    fn double_unlock_aborts() {
+        let l = ThrLock::new();
+        l.lock();
+        l.unlock();
+        l.unlock();
+    }
+}

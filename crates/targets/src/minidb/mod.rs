@@ -1,0 +1,34 @@
+//! The MySQL 5.1.44 stand-in: a miniature storage engine.
+//!
+//! Components mirror the MySQL subsystems that §7.1's findings live in:
+//!
+//! - [`lock`] — the `THR_LOCK_myisam` global lock, modelled with a depth
+//!   counter that aborts on unlock-without-lock (what pthreads does with
+//!   error-checking mutexes, and what crashed MySQL in bug #53268).
+//! - [`errmsg`] — the `errmsg.sys` message catalog, with bug #25097's
+//!   re-manifestation: a failed read is logged correctly, but the catalog
+//!   is used afterwards regardless.
+//! - [`wal`] — a write-ahead log with an abort-on-corruption policy, the
+//!   source of the many "crashes" that are really deliberate aborts (§7.1:
+//!   "many of them result from MySQL aborting the current operation").
+//! - [`table`] — MyISAM-style table creation (`mi_create`) carrying the
+//!   double-unlock recovery bug of Fig. 6, plus row storage.
+//! - [`engine`] — the server tying it together.
+//! - [`suite`] — a 1,147-test suite (24 base workloads × parameters),
+//!   giving the `Xtest = (1, ..., 1147)` axis of `Φ_MySQL`.
+
+pub mod engine;
+pub mod errmsg;
+pub mod lock;
+pub mod suite;
+pub mod table;
+pub mod wal;
+
+pub use engine::MiniDb;
+pub use suite::MiniDbTarget;
+
+/// The module name under which minidb blocks are recorded.
+pub const MODULE: &str = "minidb";
+
+/// Total declared basic blocks in minidb.
+pub const TOTAL_BLOCKS: usize = 96;

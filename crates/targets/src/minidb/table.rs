@@ -1,0 +1,257 @@
+//! MyISAM-style tables, with the Fig. 6 double-unlock bug in `mi_create`.
+//!
+//! The original `mi_create.c` performs a series of file operations under
+//! `THR_LOCK_myisam`; every failure jumps to a single recovery label that
+//! unlocks the mutex. The bug: the `my_close` call happens *after* the
+//! function has already unlocked (line 830), so if it is `my_close` that
+//! fails, the recovery path at line 837 unlocks a second time and the
+//! process aborts. [`mi_create`] reproduces that control flow faithfully.
+
+use super::lock::ThrLock;
+use super::MODULE;
+use crate::harness::{RunError, RunResult};
+use crate::vfs::Vfs;
+use afex_inject::LibcEnv;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// In-memory table rows (the MYD file holds a rendered copy).
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: RefCell<BTreeMap<u64, String>>,
+    name: String,
+}
+
+/// Creates the on-disk files of a new table.
+///
+/// Mirrors `mi_create`: lock, create the `.frm`, `.MYD` and `.MYI` files,
+/// write headers, unlock, close — with a single recovery label. Any file
+/// operation failing before the unlock takes the correct recovery path;
+/// a failing *close* (after the unlock) takes the same label and double-
+/// unlocks (bug #53268).
+///
+/// # Panics
+///
+/// Panics via [`ThrLock::unlock`] when the close call fails — the seeded
+/// crash this module exists to carry.
+pub fn mi_create(env: &LibcEnv, vfs: &Vfs, lock: &ThrLock, name: &str) -> Result<Table, RunError> {
+    let _f = env.frame("mi_create");
+    env.block(MODULE, 20);
+    lock.lock();
+
+    // A tiny goto-style recovery label, as in the C original.
+    let err = |env: &LibcEnv, lock: &ThrLock, e: afex_inject::Errno| -> RunError {
+        // mi_create.c:836 `err:` — cleanup, unlock, propagate.
+        env.block(MODULE, 21);
+        lock.unlock(); // mi_create.c:837 — double-unlocks if already freed.
+        RunError::Fault(e)
+    };
+
+    let frm = format!("/data/{name}.frm");
+    let myd = format!("/data/{name}.MYD");
+    let myi = format!("/data/{name}.MYI");
+
+    // File creations and header writes, all before the unlock: their
+    // failures take the *correct* single-unlock recovery.
+    let fd_frm = match vfs.create(env, &frm) {
+        Ok(fd) => fd,
+        Err(e) => return Err(err(env, lock, e.errno())),
+    };
+    if let Err(e) = vfs.write(env, fd_frm, b"frm-header-v1") {
+        let _ = vfs.close(env, fd_frm);
+        return Err(err(env, lock, e.errno()));
+    }
+    if let Err(e) = vfs.close(env, fd_frm) {
+        return Err(err(env, lock, e.errno()));
+    }
+    let fd_myd = match vfs.create(env, &myd) {
+        Ok(fd) => fd,
+        Err(e) => return Err(err(env, lock, e.errno())),
+    };
+    if let Err(e) = vfs.write(env, fd_myd, b"myd-header-v1") {
+        let _ = vfs.close(env, fd_myd);
+        return Err(err(env, lock, e.errno()));
+    }
+    let fd_myi = match vfs.create(env, &myi) {
+        Ok(fd) => fd,
+        Err(e) => {
+            let _ = vfs.close(env, fd_myd);
+            return Err(err(env, lock, e.errno()));
+        }
+    };
+    if let Err(e) = vfs.write(env, fd_myi, b"myi-header-v1") {
+        let _ = vfs.close(env, fd_myd);
+        let _ = vfs.close(env, fd_myi);
+        return Err(err(env, lock, e.errno()));
+    }
+    if let Err(e) = vfs.close(env, fd_myi) {
+        let _ = vfs.close(env, fd_myd);
+        return Err(err(env, lock, e.errno()));
+    }
+
+    // mi_create.c:830 — unlock before the last close.
+    env.block(MODULE, 22);
+    lock.unlock();
+
+    // mi_create.c:831 — `if (my_close(file, MYF(0))) goto err;`
+    // THE BUG: this jump reaches the recovery label after the unlock.
+    if let Err(e) = vfs.close(env, fd_myd) {
+        return Err(err(env, lock, e.errno())); // Double unlock → abort.
+    }
+
+    env.block(MODULE, 23);
+    Ok(Table {
+        rows: RefCell::new(BTreeMap::new()),
+        name: name.to_owned(),
+    })
+}
+
+impl Table {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts a row (in-memory; durability comes from the WAL).
+    pub fn insert(&self, env: &LibcEnv, key: u64, value: impl Into<String>) {
+        env.block(MODULE, 24);
+        self.rows.borrow_mut().insert(key, value.into());
+    }
+
+    /// Reads a row.
+    pub fn get(&self, env: &LibcEnv, key: u64) -> Option<String> {
+        env.block(MODULE, 25);
+        self.rows.borrow().get(&key).cloned()
+    }
+
+    /// Deletes a row, reporting whether it existed.
+    pub fn delete(&self, env: &LibcEnv, key: u64) -> bool {
+        env.block(MODULE, 26);
+        self.rows.borrow_mut().remove(&key).is_some()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.borrow().len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes rows to the MYD file (checkpoint).
+    pub fn flush(&self, env: &LibcEnv, vfs: &Vfs) -> RunResult {
+        let _f = env.frame("mi_flush");
+        env.block(MODULE, 27);
+        let rendered: String = self
+            .rows
+            .borrow()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect();
+        vfs.write_all(
+            env,
+            &format!("/data/{}.MYD", self.name),
+            rendered.as_bytes(),
+        )
+        .map_err(|e| {
+            env.block(MODULE, 28); // Recovery: flush diagnostic.
+            RunError::Fault(e.errno())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::{Errno, FaultPlan, Func};
+
+    fn fixture() -> Vfs {
+        let vfs = Vfs::new();
+        vfs.seed_dir("/data");
+        vfs
+    }
+
+    #[test]
+    fn create_makes_three_files() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let lock = ThrLock::new();
+        let t = mi_create(&env, &vfs, &lock, "users").unwrap();
+        assert_eq!(t.name(), "users");
+        assert!(vfs.file_exists("/data/users.frm"));
+        assert!(vfs.file_exists("/data/users.MYD"));
+        assert!(vfs.file_exists("/data/users.MYI"));
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn early_failures_recover_correctly() {
+        // Failing the first create (frm) takes the single-unlock path.
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::ENOSPC));
+        let vfs = fixture();
+        let lock = ThrLock::new();
+        let r = mi_create(&env, &vfs, &lock, "t");
+        assert!(matches!(r, Err(RunError::Fault(Errno::ENOSPC))));
+        assert!(!lock.is_locked(), "recovery must release the lock");
+    }
+
+    #[test]
+    fn write_failures_recover_correctly() {
+        for n in 1..=3u32 {
+            let env = LibcEnv::new(FaultPlan::single(Func::Write, n, Errno::EIO));
+            let lock = ThrLock::new();
+            let r = mi_create(&env, &fixture(), &lock, "t");
+            assert!(r.is_err(), "write #{n}");
+            assert!(!lock.is_locked(), "write #{n} left the lock held");
+        }
+    }
+
+    #[test]
+    fn early_close_failures_recover_correctly() {
+        // close #1 (frm) and #2 (myi) are before the unlock.
+        for n in 1..=2u32 {
+            let env = LibcEnv::new(FaultPlan::single(Func::Close, n, Errno::EIO));
+            let lock = ThrLock::new();
+            let r = mi_create(&env, &fixture(), &lock, "t");
+            assert!(r.is_err(), "close #{n}");
+            assert!(!lock.is_locked());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double unlock")]
+    fn final_close_failure_double_unlocks() {
+        // close #3 is the my_close at mi_create.c:831 — the seeded bug.
+        let env = LibcEnv::new(FaultPlan::single(Func::Close, 3, Errno::EIO));
+        let lock = ThrLock::new();
+        let _ = mi_create(&env, &fixture(), &lock, "t");
+    }
+
+    #[test]
+    fn row_operations() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let lock = ThrLock::new();
+        let t = mi_create(&env, &vfs, &lock, "kv").unwrap();
+        t.insert(&env, 1, "one");
+        t.insert(&env, 2, "two");
+        assert_eq!(t.get(&env, 1).as_deref(), Some("one"));
+        assert!(t.delete(&env, 2));
+        assert!(!t.delete(&env, 2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn flush_writes_myd() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let lock = ThrLock::new();
+        let t = mi_create(&env, &vfs, &lock, "kv").unwrap();
+        t.insert(&env, 7, "seven");
+        t.flush(&env, &vfs).unwrap();
+        let myd = vfs.contents("/data/kv.MYD").unwrap();
+        assert_eq!(String::from_utf8_lossy(&myd), "7=seven\n");
+    }
+}

@@ -1,0 +1,295 @@
+//! The canonical fault spaces of §7, built from the simulated targets.
+//!
+//! Each space follows the paper's `<testID, functionName, callNumber>`
+//! injection-point definition: axis 0 is the test id, axis 1 the libc
+//! function, axis 2 the call number. Where the paper's `Xcall` includes 0
+//! ("no injection", coreutils), the adapter maps it to an empty plan.
+//!
+//! A [`TargetSpace`] bundles the [`FaultSpace`] with the execution adapter:
+//! [`TargetSpace::execute`] turns a point into a fault plan, runs the
+//! corresponding test, and returns the [`TestOutcome`] the sensors report.
+
+use crate::coreutils::Coreutils;
+use crate::docstore::{DocstoreTarget, Version};
+use crate::harness::{run_test, Target};
+use crate::httpd::HttpdTarget;
+use crate::minidb::MiniDbTarget;
+use afex_inject::{FaultPlan, Func, TestOutcome};
+use afex_space::{Axis, FaultSpace, Point};
+use std::sync::Arc;
+
+/// The 19-function axis of `Φ_MySQL` (minidb's libc usage).
+pub const MYSQL19: [Func; 19] = [
+    Func::Malloc,
+    Func::Calloc,
+    Func::Realloc,
+    Func::Fopen,
+    Func::Fclose,
+    Func::Fflush,
+    Func::Open,
+    Func::Read,
+    Func::Write,
+    Func::Close,
+    Func::Fsync,
+    Func::Lseek,
+    Func::Stat,
+    Func::Unlink,
+    Func::Rename,
+    Func::Opendir,
+    Func::Closedir,
+    Func::Chdir,
+    Func::Getcwd,
+];
+
+/// The 19-function axis of `Φ_Apache` (httpd's libc usage, including the
+/// `strdup` the Fig. 7 bug lives in).
+pub const APACHE19: [Func; 19] = [
+    Func::Malloc,
+    Func::Calloc,
+    Func::Strdup,
+    Func::Fopen,
+    Func::Fgets,
+    Func::Fclose,
+    Func::Fflush,
+    Func::Open,
+    Func::Read,
+    Func::Write,
+    Func::Close,
+    Func::Stat,
+    Func::Unlink,
+    Func::Socket,
+    Func::Bind,
+    Func::Listen,
+    Func::Accept,
+    Func::Recv,
+    Func::Send,
+];
+
+/// The 19-function axis of `Φ_docstore`.
+pub const DOCSTORE19: [Func; 19] = [
+    Func::Malloc,
+    Func::Calloc,
+    Func::Fflush,
+    Func::Open,
+    Func::Read,
+    Func::Write,
+    Func::Close,
+    Func::Fsync,
+    Func::Stat,
+    Func::Unlink,
+    Func::Rename,
+    Func::Opendir,
+    Func::Getcwd,
+    Func::Socket,
+    Func::Bind,
+    Func::Listen,
+    Func::Accept,
+    Func::Recv,
+    Func::Send,
+];
+
+/// A fault space bound to an executable target.
+#[derive(Clone)]
+pub struct TargetSpace {
+    space: FaultSpace,
+    funcs: Vec<Func>,
+    calls: Vec<u32>,
+    target: Arc<dyn Target>,
+}
+
+impl std::fmt::Debug for TargetSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetSpace")
+            .field("target", &self.target.name())
+            .field("points", &self.space.len())
+            .finish()
+    }
+}
+
+fn build(target: Arc<dyn Target>, funcs: &[Func], calls: Vec<u32>) -> TargetSpace {
+    let space = FaultSpace::new(vec![
+        Axis::int_range("testID", 0, target.num_tests() as i64 - 1),
+        Axis::symbolic("function", funcs.iter().map(|f| f.name().to_owned())),
+        Axis::new(
+            "callNumber",
+            calls
+                .iter()
+                .map(|&c| afex_space::Value::Int(c as i64))
+                .collect(),
+            afex_space::AxisKind::Set,
+        ),
+    ])
+    .expect("canonical axes are non-empty");
+    TargetSpace {
+        space,
+        funcs: funcs.to_vec(),
+        calls,
+        target,
+    }
+}
+
+impl TargetSpace {
+    /// `Φ_coreutils`: 29 tests × 19 functions × call numbers {0, 1, 2}
+    /// = 1,653 faults (§7.2). Call number 0 means "no injection".
+    pub fn coreutils() -> Self {
+        build(
+            Arc::new(Coreutils::new()),
+            &Func::COREUTILS19,
+            vec![0, 1, 2],
+        )
+    }
+
+    /// `Φ_MySQL`: 1,147 tests × 19 functions × call numbers 1–100
+    /// = 2,179,300 faults (§7).
+    pub fn mysql() -> Self {
+        build(Arc::new(MiniDbTarget::new()), &MYSQL19, (1..=100).collect())
+    }
+
+    /// `Φ_Apache`: 58 tests × 19 functions × call numbers 1–10
+    /// = 11,020 faults (§7).
+    pub fn apache() -> Self {
+        build(Arc::new(HttpdTarget::new()), &APACHE19, (1..=10).collect())
+    }
+
+    /// `Φ_docstore`: 30 tests × 19 functions × call numbers 1–8
+    /// = 4,560 faults per version (§7.6).
+    pub fn docstore(version: Version) -> Self {
+        build(
+            Arc::new(DocstoreTarget::new(version)),
+            &DOCSTORE19,
+            (1..=8).collect(),
+        )
+    }
+
+    /// The underlying fault space.
+    pub fn space(&self) -> &FaultSpace {
+        &self.space
+    }
+
+    /// The underlying target.
+    pub fn target(&self) -> &dyn Target {
+        self.target.as_ref()
+    }
+
+    /// The function-axis values.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// Decodes a point into (test id, fault plan).
+    ///
+    /// The injected errno is the first entry of the function's fault
+    /// profile — the same "most representative errno" choice the paper's
+    /// single-errno-per-function spaces make.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point does not address this space.
+    pub fn plan_for(&self, p: &Point) -> (usize, FaultPlan) {
+        self.space
+            .check(p)
+            .expect("point must address the target space");
+        let test_id = p[0];
+        let func = self.funcs[p[1]];
+        let call = self.calls[p[2]];
+        let plan = if call == 0 {
+            FaultPlan::none()
+        } else {
+            let errno = func.fault_profile().errnos[0];
+            FaultPlan::single(func, call, errno)
+        };
+        (test_id, plan)
+    }
+
+    /// Executes the fault-injection test a point denotes.
+    pub fn execute(&self, p: &Point) -> TestOutcome {
+        let (test_id, plan) = self.plan_for(p);
+        run_test(self.target.as_ref(), test_id, &plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::TestStatus;
+
+    #[test]
+    fn coreutils_space_is_1653_points() {
+        let ts = TargetSpace::coreutils();
+        assert_eq!(ts.space().len(), 1653);
+        assert_eq!(ts.space().arity(), 3);
+    }
+
+    #[test]
+    fn mysql_space_is_2179300_points() {
+        assert_eq!(TargetSpace::mysql().space().len(), 2_179_300);
+    }
+
+    #[test]
+    fn apache_space_is_11020_points() {
+        assert_eq!(TargetSpace::apache().space().len(), 11_020);
+    }
+
+    #[test]
+    fn docstore_space_is_4560_points() {
+        assert_eq!(TargetSpace::docstore(Version::V0_8).space().len(), 4_560);
+    }
+
+    #[test]
+    fn call_zero_is_no_injection() {
+        let ts = TargetSpace::coreutils();
+        let (test, plan) = ts.plan_for(&Point::new(vec![5, 3, 0]));
+        assert_eq!(test, 5);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn nonzero_call_builds_single_fault_plan() {
+        let ts = TargetSpace::coreutils();
+        let (_, plan) = ts.plan_for(&Point::new(vec![5, 0, 2]));
+        assert_eq!(plan.faults().len(), 1);
+        assert_eq!(plan.faults()[0].func, Func::Malloc);
+        assert_eq!(plan.faults()[0].call_number, 2);
+        assert_eq!(plan.faults()[0].errno, afex_inject::Errno::ENOMEM);
+    }
+
+    #[test]
+    fn execute_no_injection_passes() {
+        let ts = TargetSpace::coreutils();
+        for t in [0usize, 10, 28] {
+            let o = ts.execute(&Point::new(vec![t, 0, 0]));
+            assert_eq!(o.status, TestStatus::Passed, "test {t}");
+        }
+    }
+
+    #[test]
+    fn execute_malloc_fault_fails_ln_test() {
+        let ts = TargetSpace::coreutils();
+        // Test 4 = ln_hard, function 0 = malloc, call index 1 = call #1.
+        let o = ts.execute(&Point::new(vec![4, 0, 1]));
+        assert_eq!(o.status, TestStatus::Failed);
+        assert!(o.triggered());
+    }
+
+    #[test]
+    fn apache_strdup_point_crashes() {
+        let ts = TargetSpace::apache();
+        let (fi, _) = ts
+            .funcs()
+            .iter()
+            .enumerate()
+            .find(|(_, f)| **f == Func::Strdup)
+            .unwrap();
+        // Any test, strdup call #1.
+        let o = ts.execute(&Point::new(vec![0, fi, 0]));
+        assert!(o.status.is_crash(), "{:?}", o.status);
+    }
+
+    #[test]
+    fn function_axes_have_19_unique_entries() {
+        for set in [&MYSQL19[..], &APACHE19[..], &DOCSTORE19[..]] {
+            let uniq: std::collections::HashSet<_> = set.iter().collect();
+            assert_eq!(uniq.len(), 19);
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! In-memory filesystem substrate.
+//!
+//! Every operation announces the corresponding libc call to the
+//! [`LibcEnv`]; when the active fault plan targets that call, the operation
+//! fails with the injected errno exactly as a real LFI-intercepted call
+//! would. Targets therefore exercise genuine error-propagation paths while
+//! the underlying state stays deterministic and in-process.
+
+use afex_inject::{CallResult, Errno, Func, LibcEnv};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Errors surfaced by VFS operations.
+///
+/// [`VfsError::Injected`] carries faults coming from the injection plan;
+/// [`VfsError::Logic`] marks genuine misuse (e.g. reading a handle that was
+/// never opened), which indicates a bug in the *target*, not a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The operation failed because a fault was injected.
+    Injected(Errno),
+    /// The operation failed for a real (semantic) reason.
+    Logic(Errno),
+}
+
+impl VfsError {
+    /// The errno of the failure, whatever its origin.
+    pub fn errno(&self) -> Errno {
+        match self {
+            VfsError::Injected(e) | VfsError::Logic(e) => *e,
+        }
+    }
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::Injected(e) => write!(f, "injected {e}"),
+            VfsError::Logic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Result type of VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    offset: usize,
+    writable: bool,
+}
+
+/// An in-memory filesystem with libc-call announcement.
+///
+/// Paths are flat strings with `/` separators; directories must exist
+/// before files can be created in them (the root `/` always exists).
+///
+/// # Examples
+///
+/// ```
+/// use afex_inject::LibcEnv;
+/// use afex_targets::Vfs;
+///
+/// let env = LibcEnv::fault_free();
+/// let vfs = Vfs::new();
+/// let fd = vfs.create(&env, "/data.txt").unwrap();
+/// vfs.write(&env, fd, b"hello").unwrap();
+/// vfs.close(&env, fd).unwrap();
+/// assert_eq!(vfs.read_all(&env, "/data.txt").unwrap(), b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct Vfs {
+    state: RefCell<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    files: BTreeMap<String, Vec<u8>>,
+    dirs: BTreeMap<String, ()>,
+    handles: BTreeMap<u64, OpenFile>,
+    next_fd: u64,
+    cwd: String,
+}
+
+impl Vfs {
+    /// Creates an empty filesystem with only the root directory.
+    pub fn new() -> Self {
+        let vfs = Vfs::default();
+        {
+            let mut s = vfs.state.borrow_mut();
+            s.dirs.insert("/".to_owned(), ());
+            s.cwd = "/".to_owned();
+            s.next_fd = 3; // 0-2 are the standard descriptors.
+        }
+        vfs
+    }
+
+    /// Pre-populates a file without announcing libc calls (test setup).
+    pub fn seed_file(&self, path: &str, contents: &[u8]) {
+        let mut s = self.state.borrow_mut();
+        s.files.insert(path.to_owned(), contents.to_vec());
+    }
+
+    /// Pre-creates a directory without announcing libc calls (test setup).
+    pub fn seed_dir(&self, path: &str) {
+        self.state.borrow_mut().dirs.insert(path.to_owned(), ());
+    }
+
+    fn parent_of(path: &str) -> &str {
+        match path.rfind('/') {
+            Some(0) => "/",
+            Some(i) => &path[..i],
+            None => "/",
+        }
+    }
+
+    /// Opens an existing file for reading (`open`).
+    pub fn open(&self, env: &LibcEnv, path: &str) -> VfsResult<u64> {
+        if let CallResult::Fail(e) = env.call(Func::Open) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        if !s.files.contains_key(path) {
+            return Err(VfsError::Logic(Errno::ENOENT));
+        }
+        let fd = s.next_fd;
+        s.next_fd += 1;
+        s.handles.insert(
+            fd,
+            OpenFile {
+                path: path.to_owned(),
+                offset: 0,
+                writable: false,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Creates (or truncates) a file for writing (`open` with `O_CREAT`).
+    pub fn create(&self, env: &LibcEnv, path: &str) -> VfsResult<u64> {
+        if let CallResult::Fail(e) = env.call(Func::Open) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        let parent = Self::parent_of(path).to_owned();
+        if !s.dirs.contains_key(&parent) {
+            return Err(VfsError::Logic(Errno::ENOENT));
+        }
+        s.files.insert(path.to_owned(), Vec::new());
+        let fd = s.next_fd;
+        s.next_fd += 1;
+        s.handles.insert(
+            fd,
+            OpenFile {
+                path: path.to_owned(),
+                offset: 0,
+                writable: true,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Reads up to `len` bytes from an open handle (`read`).
+    pub fn read(&self, env: &LibcEnv, fd: u64, len: usize) -> VfsResult<Vec<u8>> {
+        if let CallResult::Fail(e) = env.call(Func::Read) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        let h = s.handles.get(&fd).cloned();
+        let Some(h) = h else {
+            return Err(VfsError::Logic(Errno::EBADF));
+        };
+        let data = s.files.get(&h.path).cloned().unwrap_or_default();
+        let end = (h.offset + len).min(data.len());
+        let chunk = data[h.offset.min(data.len())..end].to_vec();
+        if let Some(hm) = s.handles.get_mut(&fd) {
+            hm.offset = end;
+        }
+        Ok(chunk)
+    }
+
+    /// Writes bytes through an open handle (`write`).
+    pub fn write(&self, env: &LibcEnv, fd: u64, bytes: &[u8]) -> VfsResult<usize> {
+        if let CallResult::Fail(e) = env.call(Func::Write) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        let h = s.handles.get(&fd).cloned();
+        let Some(h) = h else {
+            return Err(VfsError::Logic(Errno::EBADF));
+        };
+        if !h.writable {
+            return Err(VfsError::Logic(Errno::EBADF));
+        }
+        let file = s.files.entry(h.path.clone()).or_default();
+        let off = h.offset.min(file.len());
+        file.truncate(off);
+        file.extend_from_slice(bytes);
+        let new_off = off + bytes.len();
+        if let Some(hm) = s.handles.get_mut(&fd) {
+            hm.offset = new_off;
+        }
+        Ok(bytes.len())
+    }
+
+    /// Flushes an open handle to "disk" (`fsync`).
+    pub fn fsync(&self, env: &LibcEnv, fd: u64) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Fsync) {
+            return Err(VfsError::Injected(e));
+        }
+        if !self.state.borrow().handles.contains_key(&fd) {
+            return Err(VfsError::Logic(Errno::EBADF));
+        }
+        Ok(())
+    }
+
+    /// Closes an open handle (`close`).
+    pub fn close(&self, env: &LibcEnv, fd: u64) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Close) {
+            // Even on failure, the descriptor is gone (POSIX semantics).
+            self.state.borrow_mut().handles.remove(&fd);
+            return Err(VfsError::Injected(e));
+        }
+        if self.state.borrow_mut().handles.remove(&fd).is_none() {
+            return Err(VfsError::Logic(Errno::EBADF));
+        }
+        Ok(())
+    }
+
+    /// Stats a path (`stat`): returns the file size, or directory marker.
+    pub fn stat(&self, env: &LibcEnv, path: &str) -> VfsResult<u64> {
+        if let CallResult::Fail(e) = env.call(Func::Stat) {
+            return Err(VfsError::Injected(e));
+        }
+        let s = self.state.borrow();
+        if let Some(f) = s.files.get(path) {
+            Ok(f.len() as u64)
+        } else if s.dirs.contains_key(path) {
+            Ok(0)
+        } else {
+            Err(VfsError::Logic(Errno::ENOENT))
+        }
+    }
+
+    /// Removes a file (`unlink`).
+    pub fn unlink(&self, env: &LibcEnv, path: &str) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Unlink) {
+            return Err(VfsError::Injected(e));
+        }
+        if self.state.borrow_mut().files.remove(path).is_none() {
+            return Err(VfsError::Logic(Errno::ENOENT));
+        }
+        Ok(())
+    }
+
+    /// Renames a file (`rename`).
+    pub fn rename(&self, env: &LibcEnv, from: &str, to: &str) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Rename) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        let Some(data) = s.files.remove(from) else {
+            return Err(VfsError::Logic(Errno::ENOENT));
+        };
+        s.files.insert(to.to_owned(), data);
+        Ok(())
+    }
+
+    /// Creates a directory (`mkdir`).
+    pub fn mkdir(&self, env: &LibcEnv, path: &str) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Mkdir) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        if s.dirs.contains_key(path) {
+            return Err(VfsError::Logic(Errno::EEXIST));
+        }
+        s.dirs.insert(path.to_owned(), ());
+        Ok(())
+    }
+
+    /// Lists directory entries (`opendir` + `readdir` + `closedir`).
+    pub fn list_dir(&self, env: &LibcEnv, path: &str) -> VfsResult<Vec<String>> {
+        if let CallResult::Fail(e) = env.call(Func::Opendir) {
+            return Err(VfsError::Injected(e));
+        }
+        let entries = {
+            let s = self.state.borrow();
+            if !s.dirs.contains_key(path) {
+                return Err(VfsError::Logic(Errno::ENOTDIR));
+            }
+            let prefix = if path == "/" {
+                "/".to_owned()
+            } else {
+                format!("{path}/")
+            };
+            let mut names: Vec<String> = s
+                .files
+                .keys()
+                .chain(s.dirs.keys())
+                .filter(|p| {
+                    p.starts_with(&prefix)
+                        && p.len() > prefix.len()
+                        && !p[prefix.len()..].contains('/')
+                })
+                .map(|p| p[prefix.len()..].to_owned())
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        // One `readdir` per entry, like a real traversal.
+        for _ in &entries {
+            if let CallResult::Fail(e) = env.call(Func::Readdir) {
+                let _ = env.call(Func::Closedir);
+                return Err(VfsError::Injected(e));
+            }
+        }
+        if let CallResult::Fail(e) = env.call(Func::Closedir) {
+            return Err(VfsError::Injected(e));
+        }
+        Ok(entries)
+    }
+
+    /// Changes the working directory (`chdir`).
+    pub fn chdir(&self, env: &LibcEnv, path: &str) -> VfsResult<()> {
+        if let CallResult::Fail(e) = env.call(Func::Chdir) {
+            return Err(VfsError::Injected(e));
+        }
+        let mut s = self.state.borrow_mut();
+        if !s.dirs.contains_key(path) {
+            return Err(VfsError::Logic(Errno::ENOENT));
+        }
+        s.cwd = path.to_owned();
+        Ok(())
+    }
+
+    /// Returns the working directory (`getcwd`).
+    pub fn getcwd(&self, env: &LibcEnv) -> VfsResult<String> {
+        if let CallResult::Fail(e) = env.call(Func::Getcwd) {
+            return Err(VfsError::Injected(e));
+        }
+        Ok(self.state.borrow().cwd.clone())
+    }
+
+    /// Convenience: reads a whole file via open/read/close.
+    pub fn read_all(&self, env: &LibcEnv, path: &str) -> VfsResult<Vec<u8>> {
+        let fd = self.open(env, path)?;
+        let mut out = Vec::new();
+        loop {
+            let chunk = match self.read(env, fd, 4096) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = self.close(env, fd);
+                    return Err(e);
+                }
+            };
+            if chunk.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&chunk);
+        }
+        self.close(env, fd)?;
+        Ok(out)
+    }
+
+    /// Convenience: writes a whole file via create/write/close.
+    pub fn write_all(&self, env: &LibcEnv, path: &str, bytes: &[u8]) -> VfsResult<()> {
+        let fd = self.create(env, path)?;
+        if let Err(e) = self.write(env, fd, bytes) {
+            let _ = self.close(env, fd);
+            return Err(e);
+        }
+        self.close(env, fd)
+    }
+
+    /// Whether a file exists (no libc call — inspection for assertions).
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.state.borrow().files.contains_key(path)
+    }
+
+    /// File contents (no libc call — inspection for assertions).
+    pub fn contents(&self, path: &str) -> Option<Vec<u8>> {
+        self.state.borrow().files.get(path).cloned()
+    }
+
+    /// Whether a directory exists (no libc call).
+    pub fn dir_exists(&self, path: &str) -> bool {
+        self.state.borrow().dirs.contains_key(path)
+    }
+
+    /// Number of open handles (leak detection in tests).
+    pub fn open_handles(&self) -> usize {
+        self.state.borrow().handles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_inject::FaultPlan;
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.write_all(&env, "/a.txt", b"abc").unwrap();
+        assert_eq!(vfs.read_all(&env, "/a.txt").unwrap(), b"abc");
+        assert_eq!(vfs.open_handles(), 0);
+    }
+
+    #[test]
+    fn open_missing_file_is_enoent() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        assert_eq!(
+            vfs.open(&env, "/nope").unwrap_err(),
+            VfsError::Logic(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn create_requires_parent_dir() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        assert!(vfs.create(&env, "/no/such/file").is_err());
+        vfs.seed_dir("/no");
+        vfs.seed_dir("/no/such");
+        assert!(vfs.create(&env, "/no/such/file").is_ok());
+    }
+
+    #[test]
+    fn injected_open_failure() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Open, 1, Errno::EMFILE));
+        let vfs = Vfs::new();
+        vfs.seed_file("/x", b"1");
+        assert_eq!(
+            vfs.open(&env, "/x").unwrap_err(),
+            VfsError::Injected(Errno::EMFILE)
+        );
+        // The second open succeeds: only call #1 was targeted.
+        assert!(vfs.open(&env, "/x").is_ok());
+    }
+
+    #[test]
+    fn injected_read_mid_stream() {
+        // read_all does open(1) then reads; fail the second read call.
+        let env = LibcEnv::new(FaultPlan::single(Func::Read, 2, Errno::EIO));
+        let vfs = Vfs::new();
+        vfs.seed_file("/big", &vec![7u8; 5000]);
+        assert_eq!(
+            vfs.read_all(&env, "/big").unwrap_err(),
+            VfsError::Injected(Errno::EIO)
+        );
+        // The handle was closed by the error path.
+        assert_eq!(vfs.open_handles(), 0);
+    }
+
+    #[test]
+    fn close_failure_still_releases_fd() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Close, 1, Errno::EINTR));
+        let vfs = Vfs::new();
+        vfs.seed_file("/x", b"1");
+        let fd = vfs.open(&env, "/x").unwrap();
+        assert!(vfs.close(&env, fd).is_err());
+        assert_eq!(vfs.open_handles(), 0);
+    }
+
+    #[test]
+    fn rename_and_unlink() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/a", b"data");
+        vfs.rename(&env, "/a", "/b").unwrap();
+        assert!(!vfs.file_exists("/a"));
+        assert_eq!(vfs.contents("/b").unwrap(), b"data");
+        vfs.unlink(&env, "/b").unwrap();
+        assert!(!vfs.file_exists("/b"));
+        assert!(vfs.unlink(&env, "/b").is_err());
+    }
+
+    #[test]
+    fn list_dir_counts_readdir_calls() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_dir("/d");
+        vfs.seed_file("/d/a", b"");
+        vfs.seed_file("/d/b", b"");
+        vfs.seed_dir("/d/sub");
+        vfs.seed_file("/d/sub/deep", b""); // Not a direct child.
+        let entries = vfs.list_dir(&env, "/d").unwrap();
+        assert_eq!(entries, vec!["a", "b", "sub"]);
+        assert_eq!(env.call_count(Func::Readdir), 3);
+        assert_eq!(env.call_count(Func::Opendir), 1);
+        assert_eq!(env.call_count(Func::Closedir), 1);
+    }
+
+    #[test]
+    fn list_root_dir() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/top", b"");
+        vfs.seed_dir("/d");
+        assert_eq!(vfs.list_dir(&env, "/").unwrap(), vec!["d", "top"]);
+    }
+
+    #[test]
+    fn readdir_failure_closes_dir() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Readdir, 1, Errno::EBADF));
+        let vfs = Vfs::new();
+        vfs.seed_dir("/d");
+        vfs.seed_file("/d/a", b"");
+        assert!(vfs.list_dir(&env, "/d").is_err());
+        assert_eq!(env.call_count(Func::Closedir), 1);
+    }
+
+    #[test]
+    fn chdir_and_getcwd() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_dir("/home");
+        vfs.chdir(&env, "/home").unwrap();
+        assert_eq!(vfs.getcwd(&env).unwrap(), "/home");
+        assert!(vfs.chdir(&env, "/missing").is_err());
+    }
+
+    #[test]
+    fn stat_files_and_dirs() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"12345");
+        vfs.seed_dir("/d");
+        assert_eq!(vfs.stat(&env, "/f").unwrap(), 5);
+        assert_eq!(vfs.stat(&env, "/d").unwrap(), 0);
+        assert!(vfs.stat(&env, "/x").is_err());
+    }
+
+    #[test]
+    fn mkdir_semantics() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.mkdir(&env, "/new").unwrap();
+        assert!(vfs.dir_exists("/new"));
+        assert_eq!(
+            vfs.mkdir(&env, "/new").unwrap_err(),
+            VfsError::Logic(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn write_at_offset_truncates_tail() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        let fd = vfs.create(&env, "/f").unwrap();
+        vfs.write(&env, fd, b"hello world").unwrap();
+        vfs.close(&env, fd).unwrap();
+        let fd2 = vfs.create(&env, "/f").unwrap(); // Truncating create.
+        vfs.write(&env, fd2, b"bye").unwrap();
+        vfs.close(&env, fd2).unwrap();
+        assert_eq!(vfs.contents("/f").unwrap(), b"bye");
+    }
+
+    #[test]
+    fn read_from_write_only_state() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        vfs.seed_file("/f", b"abc");
+        let fd = vfs.open(&env, "/f").unwrap();
+        assert!(vfs.write(&env, fd, b"x").is_err());
+        vfs.close(&env, fd).unwrap();
+    }
+
+    #[test]
+    fn injected_errno_is_preserved() {
+        let env = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::ENOSPC));
+        let vfs = Vfs::new();
+        let fd = vfs.create(&env, "/f").unwrap();
+        assert_eq!(
+            vfs.write(&env, fd, b"x").unwrap_err().errno(),
+            Errno::ENOSPC
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Leveraging domain knowledge (the §7.5 scenario).
+//!
+//! Finds all 28 allocation faults that break `ln`/`mv`, at three levels
+//! of system-specific knowledge: pure black box, a trimmed fault space,
+//! and a statistical environment model — the Table 6 experiment as a
+//! library walkthrough. Also demonstrates the Fig. 3 descriptor language
+//! and the `ltrace`-style profiler used to define spaces.
+//!
+//! ```sh
+//! cargo run --release --example coreutils_knowledge
+//! ```
+
+use afex::inject::{Func, LibcEnv, Profiler};
+use afex::targets::coreutils::ln;
+use afex::targets::Vfs;
+use afex_bench::experiments::table6;
+
+fn main() {
+    // Step 2 of §6.4: define the fault space. The profiler runs a
+    // workload fault-free and emits a descriptor in the Fig. 3 language.
+    let mut profiler = Profiler::new();
+    profiler.run(|env: &LibcEnv| {
+        let vfs = Vfs::new();
+        vfs.seed_file("/src", b"x");
+        let _ = ln::run(env, &vfs, "/src", "/dst", ln::LnOpts::default());
+    });
+    println!(
+        "profiled ln: {} total libc calls",
+        profiler.profile().total_calls()
+    );
+    println!("fault-space descriptor for ln's allocation calls:\n");
+    let desc_text = profiler.profile().to_descriptor(2);
+    for line in desc_text.lines().take(8) {
+        println!("  {line}");
+    }
+    let desc = afex::space::parse(&desc_text).expect("the profiler emits valid descriptors");
+    println!(
+        "\nparsed: {} subspaces, {} points",
+        desc.subspaces().len(),
+        desc.total_points()
+    );
+    assert!(profiler.profile().count(Func::Malloc) >= 2);
+
+    // The Table 6 experiment proper.
+    println!("\nrunning the three knowledge levels (this executes a few thousand tests)...\n");
+    let table = table6::compute(20120410);
+    print!("{}", table.render());
+}

@@ -1,0 +1,45 @@
+//! Testing across development stages (the §7.6 MongoDB scenario).
+//!
+//! Runs the same fault-exploration budget against the document store at
+//! two maturity levels and reports how the fitness/random advantage and
+//! the absolute failure counts change — Fig. 9 as a library walkthrough.
+//!
+//! ```sh
+//! cargo run --release --example docstore_maturity
+//! ```
+
+use afex::core::{ExplorerConfig, FitnessExplorer, ImpactMetric, OutcomeEvaluator, RandomExplorer};
+use afex::targets::docstore::Version;
+use afex::targets::spaces::TargetSpace;
+
+fn failures(version: Version, fitness: bool) -> usize {
+    let ts = TargetSpace::docstore(version);
+    let exec = TargetSpace::docstore(version);
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default());
+    let result = if fitness {
+        FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 9).run(&eval, 250)
+    } else {
+        RandomExplorer::new(ts.space().clone(), 9).run(&eval, 250)
+    };
+    result.failures()
+}
+
+fn main() {
+    println!("document store, 250 fault samples per (version, strategy)\n");
+    println!("version  fitness  random  ratio");
+    for v in [Version::V0_8, Version::V2_0] {
+        let fit = failures(v, true);
+        let rnd = failures(v, false);
+        println!(
+            "{:<7}  {:>7}  {:>6}  {:.2}x",
+            if v == Version::V0_8 { "v0.8" } else { "v2.0" },
+            fit,
+            rnd,
+            fit as f64 / rnd.max(1) as f64
+        );
+    }
+    println!(
+        "\npaper: the advantage shrinks with maturity (2.37x -> 1.43x) while\n\
+         absolute failures rise — 'more features come at the cost of reliability'"
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: explore a fault space and print a ranked fault report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use afex::core::{ExplorerConfig, FaultReport, FitnessExplorer, ImpactMetric, OutcomeEvaluator};
+use afex::targets::spaces::TargetSpace;
+
+fn main() {
+    // 1. Pick a system under test and its fault space (§7.2's coreutils:
+    //    29 tests x 19 libc functions x call numbers {0,1,2}).
+    let ts = TargetSpace::coreutils();
+    println!(
+        "exploring {} ({} faults, {} axes)",
+        ts.target().name(),
+        ts.space().len(),
+        ts.space().arity()
+    );
+
+    // 2. Wire the evaluator: execute the test a point denotes, score the
+    //    outcome with the default impact metric (§6.4 step 3).
+    let exec = TargetSpace::coreutils();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default());
+
+    // 3. Run the fitness-guided search (Algorithm 1) for 300 tests.
+    let mut explorer = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 42);
+    let result = explorer.run(&eval, 300);
+    println!(
+        "{} tests executed: {} failures, {} crashes, {} hangs",
+        result.len(),
+        result.failures(),
+        result.crashes(),
+        result.hangs()
+    );
+
+    // 4. Cluster and rank the findings (§5), then print the report and a
+    //    generated replay script for the top fault.
+    let report = FaultReport::from_session(&result, 4);
+    println!("\n{}", report.summary());
+    if let Some(top) = report.entries.first() {
+        println!(
+            "replay script for the top fault:\n{}",
+            report.replay_script(top, |p| ts.space().render(p))
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! `afex-cli` — run fault-exploration sessions from the command line.
+//!
+//! ```text
+//! afex-cli describe --target <name>
+//! afex-cli explore  --target <name> [--strategy fitness|random|exhaustive|genetic]
+//!                   [--iterations N] [--seed S] [--metric default|paper|crash]
+//!                   [--feedback] [--json]
+//! afex-cli render   --target <name> --point i,j,k
+//! ```
+//!
+//! Targets: `coreutils`, `mysql`, `apache`, `docstore-0.8`, `docstore-2.0`.
+
+use afex::core::{
+    ExplorerConfig, FaultReport, GeneticConfig, ImpactMetric, OutcomeEvaluator, SearchStrategy,
+    Session, StopCondition,
+};
+use afex::space::Point;
+use afex::targets::docstore::Version;
+use afex::targets::spaces::TargetSpace;
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: afex-cli <describe|explore|render> --target <name> [options]\n\
+         targets: coreutils | mysql | apache | docstore-0.8 | docstore-2.0\n\
+         explore options: --strategy fitness|random|exhaustive|genetic\n\
+                          --iterations N --seed S --metric default|paper|crash\n\
+                          --feedback --json\n\
+         render options:  --point i,j,k"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_owned()
+            };
+            out.insert(key.to_owned(), value);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn target_space(name: &str) -> TargetSpace {
+    match name {
+        "coreutils" => TargetSpace::coreutils(),
+        "mysql" | "minidb" => TargetSpace::mysql(),
+        "apache" | "httpd" => TargetSpace::apache(),
+        "docstore-0.8" => TargetSpace::docstore(Version::V0_8),
+        "docstore-2.0" => TargetSpace::docstore(Version::V2_0),
+        other => {
+            eprintln!("unknown target `{other}`");
+            usage()
+        }
+    }
+}
+
+fn metric(name: &str) -> ImpactMetric {
+    match name {
+        "default" => ImpactMetric::default(),
+        "paper" => ImpactMetric::paper_example(),
+        "crash" => ImpactMetric::crash_hunter(),
+        other => {
+            eprintln!("unknown metric `{other}`");
+            usage()
+        }
+    }
+}
+
+fn cmd_describe(opts: &HashMap<String, String>) {
+    let name = opts
+        .get("target")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let ts = target_space(name);
+    println!("target: {}", ts.target().name());
+    println!("tests in suite: {}", ts.target().num_tests());
+    println!("declared blocks: {}", ts.target().total_blocks());
+    println!("fault space: {} points", ts.space().len());
+    for (i, axis) in ts.space().axes().iter().enumerate() {
+        println!("  axis {i}: {} ({} values)", axis.name(), axis.len());
+    }
+}
+
+fn cmd_render(opts: &HashMap<String, String>) {
+    let name = opts
+        .get("target")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let ts = target_space(name);
+    let point_str = opts
+        .get("point")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let attrs: Result<Vec<usize>, _> = point_str.split(',').map(str::parse).collect();
+    let Ok(attrs) = attrs else {
+        eprintln!("bad --point `{point_str}`: expected i,j,k");
+        std::process::exit(2);
+    };
+    let p = Point::new(attrs);
+    match ts.space().check(&p) {
+        Ok(()) => {
+            let (test, plan) = ts.plan_for(&p);
+            println!("test id:  {test}");
+            println!("scenario: {plan}");
+            println!("fig5:     {}", ts.space().render(&p));
+        }
+        Err(e) => {
+            eprintln!("point does not address the space: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_explore(opts: &HashMap<String, String>) {
+    let name = opts
+        .get("target")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let ts = target_space(name);
+    let iterations: usize = opts
+        .get("iterations")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(500);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+    let m = metric(opts.get("metric").map(String::as_str).unwrap_or("default"));
+    let strategy = match opts
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("fitness")
+    {
+        "fitness" => SearchStrategy::Fitness(ExplorerConfig {
+            redundancy_feedback: opts.contains_key("feedback"),
+            ..ExplorerConfig::default()
+        }),
+        "random" => SearchStrategy::Random,
+        "exhaustive" => SearchStrategy::Exhaustive,
+        "genetic" => SearchStrategy::Genetic(GeneticConfig::default()),
+        other => {
+            eprintln!("unknown strategy `{other}`");
+            usage()
+        }
+    };
+    let exec = target_space(name);
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
+    let session = Session::new(ts.space().clone(), strategy, seed);
+    let result = session.run(&eval, StopCondition::Iterations(iterations));
+    let report = FaultReport::from_session(&result, 4);
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{} tests: {} failures ({} unique), {} crashes ({} unique)\n",
+            result.len(),
+            result.failures(),
+            result.unique_failures(4),
+            result.crashes(),
+            result.unique_crashes(4)
+        );
+        println!("{}", report.summary());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_args(&args[1..]);
+    match cmd.as_str() {
+        "describe" => cmd_describe(&opts),
+        "render" => cmd_render(&opts),
+        "explore" => cmd_explore(&opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the `afex-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_afex-cli"))
+}
+
+#[test]
+fn describe_lists_axes() {
+    let out = cli()
+        .args(["describe", "--target", "coreutils"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fault space: 1653 points"), "{text}");
+    assert!(text.contains("axis 1: function (19 values)"), "{text}");
+}
+
+#[test]
+fn render_prints_fig5_scenario() {
+    let out = cli()
+        .args(["render", "--target", "coreutils", "--point", "4,0,1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("function malloc errno ENOMEM retval 0 callNumber 1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn render_rejects_out_of_range_points() {
+    let out = cli()
+        .args(["render", "--target", "coreutils", "--point", "99,0,0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("does not address"), "{err}");
+}
+
+#[test]
+fn explore_reports_failures() {
+    let out = cli()
+        .args([
+            "explore",
+            "--target",
+            "coreutils",
+            "--iterations",
+            "150",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("150 tests:"), "{text}");
+    assert!(text.contains("failing faults"), "{text}");
+}
+
+#[test]
+fn explore_json_output_parses() {
+    let out = cli()
+        .args([
+            "explore",
+            "--target",
+            "apache",
+            "--iterations",
+            "80",
+            "--strategy",
+            "random",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert_eq!(v["tests_executed"], 80);
+    assert!(v["entries"].is_array());
+}
+
+#[test]
+fn unknown_target_exits_with_usage() {
+    let out = cli()
+        .args(["describe", "--target", "nosuch"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn no_args_exits_with_usage() {
+    let out = cli().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

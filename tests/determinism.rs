@@ -1,0 +1,59 @@
+//! Determinism guarantees: identical seeds reproduce identical sessions.
+//!
+//! Reproducibility is what makes AFEX's generated test cases usable as
+//! regression tests (§6.3): a replayed scenario must inject the same
+//! fault at the same point and observe the same outcome.
+
+use afex::core::{
+    ExplorerConfig, FaultReport, FitnessExplorer, ImpactMetric, OutcomeEvaluator, SessionResult,
+};
+use afex::targets::spaces::TargetSpace;
+
+fn run_session(seed: u64, iterations: usize) -> SessionResult {
+    let ts = TargetSpace::apache();
+    let exec = TargetSpace::apache();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default());
+    FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), seed).run(&eval, iterations)
+}
+
+#[test]
+fn same_seed_same_session() {
+    let a = run_session(77, 150);
+    let b = run_session(77, 150);
+    assert_eq!(a, b, "sessions must be bit-identical given a seed");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_session(77, 150);
+    let b = run_session(78, 150);
+    let points_a: Vec<_> = a.executed.iter().map(|t| t.point.clone()).collect();
+    let points_b: Vec<_> = b.executed.iter().map(|t| t.point.clone()).collect();
+    assert_ne!(points_a, points_b);
+}
+
+#[test]
+fn outcomes_are_replayable() {
+    // Re-executing each fault of a session individually reproduces the
+    // recorded evaluation: the generated replay scripts are faithful.
+    let session = run_session(5, 60);
+    let ts = TargetSpace::apache();
+    let exec = TargetSpace::apache();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default());
+    for t in &session.executed {
+        use afex::core::Evaluator;
+        let replayed = eval.evaluate(&t.point);
+        assert_eq!(
+            replayed, t.evaluation,
+            "replaying {} diverged",
+            ts.space().render(&t.point)
+        );
+    }
+}
+
+#[test]
+fn reports_serialize_deterministically() {
+    let a = FaultReport::from_session(&run_session(3, 100), 4);
+    let b = FaultReport::from_session(&run_session(3, 100), 4);
+    assert_eq!(a.to_json(), b.to_json());
+}

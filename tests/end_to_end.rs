@@ -1,0 +1,148 @@
+//! Cross-crate integration: the full AFEX pipeline on real targets.
+
+use afex::core::{
+    ExplorerConfig, FaultReport, FitnessExplorer, ImpactMetric, OutcomeEvaluator, SearchStrategy,
+    Session, StopCondition,
+};
+use afex::inject::Func;
+use afex::targets::spaces::TargetSpace;
+use afex_cluster::ParallelSession;
+
+fn coreutils_eval() -> OutcomeEvaluator<impl Fn(&afex::space::Point) -> afex::inject::TestOutcome> {
+    let exec = TargetSpace::coreutils();
+    OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default())
+}
+
+#[test]
+fn descriptor_language_roundtrips_through_real_profiles() {
+    // Profile a real target workload, emit a Fig. 3 descriptor, parse it,
+    // and sample scenarios from it.
+    use afex::inject::Profiler;
+    use afex::targets::coreutils::ls;
+    use afex::targets::Vfs;
+    use rand::SeedableRng;
+
+    let mut profiler = Profiler::new();
+    profiler.run(|env| {
+        let vfs = Vfs::new();
+        vfs.seed_dir("/d");
+        vfs.seed_file("/d/a", b"1");
+        let _ = ls::run(env, &vfs, "/d", ls::LsOpts::default());
+    });
+    let desc = afex::space::parse(&profiler.profile().to_descriptor(0)).unwrap();
+    assert!(desc.total_points() > 0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let scenario = desc.sample(&mut rng).unwrap();
+    assert!(scenario.get("function").is_some());
+    assert!(scenario.get("errno").is_some());
+}
+
+#[test]
+fn full_pipeline_explore_cluster_report() {
+    let ts = TargetSpace::coreutils();
+    let eval = coreutils_eval();
+    let mut explorer = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 1);
+    let result = explorer.run(&eval, 200);
+    assert_eq!(result.len(), 200);
+    assert!(result.failures() > 10, "failures = {}", result.failures());
+
+    let report = FaultReport::from_session(&result, 4);
+    assert_eq!(
+        report.entries.len(),
+        result.failures(),
+        "every failing test appears in the report"
+    );
+    assert!(report.clusters >= 2, "clusters = {}", report.clusters);
+    assert!(report.clusters <= report.entries.len());
+    // Entries are sorted by impact and representatives cover clusters.
+    assert!(report
+        .entries
+        .windows(2)
+        .all(|w| w[0].impact >= w[1].impact));
+    assert_eq!(report.representatives().len(), report.clusters);
+}
+
+#[test]
+fn session_stop_conditions_work_on_real_targets() {
+    let ts = TargetSpace::apache();
+    let exec = TargetSpace::apache();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::crash_hunter());
+    let session = Session::new(
+        ts.space().clone(),
+        SearchStrategy::Fitness(ExplorerConfig::default()),
+        5,
+    );
+    let result = session.run(
+        &eval,
+        StopCondition::Crashes {
+            count: 3,
+            max_iterations: 2_000,
+        },
+    );
+    assert!(result.crashes() >= 3, "crashes = {}", result.crashes());
+    assert!(result.len() < 2_000, "stopped early at {}", result.len());
+}
+
+#[test]
+fn parallel_and_sequential_find_comparable_failures() {
+    let ts = TargetSpace::coreutils();
+    let mut seq = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 9);
+    let seq_result = seq.run(&coreutils_eval(), 300);
+
+    let mut par_explorer = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 9);
+    let session = ParallelSession::new(4);
+    let par_result = session.run(
+        &mut par_explorer,
+        |_| {
+            let exec = TargetSpace::coreutils();
+            OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default())
+        },
+        300,
+    );
+    assert_eq!(par_result.len(), 300);
+    // Batch parallelism changes the exact trajectory but not the order of
+    // magnitude of findings.
+    let (s, p) = (seq_result.failures(), par_result.failures());
+    assert!(p as f64 > s as f64 * 0.4, "parallel {p} vs sequential {s}");
+}
+
+#[test]
+fn afex_rediscovers_the_apache_strdup_bug() {
+    // §7.1: "AFEX found a malloc failure scenario that is incorrectly
+    // handled by Apache" — the strdup NULL dereference of Fig. 7.
+    let ts = TargetSpace::apache();
+    let exec = TargetSpace::apache();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::crash_hunter());
+    let mut explorer = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 2);
+    let result = explorer.run(&eval, 800);
+    let strdup_idx = ts.funcs().iter().position(|&f| f == Func::Strdup).unwrap();
+    let found = result
+        .executed
+        .iter()
+        .any(|t| t.evaluation.crashed && t.point[1] == strdup_idx);
+    assert!(
+        found,
+        "the Fig. 7 bug must be rediscovered within 800 tests"
+    );
+}
+
+#[test]
+fn afex_rediscovers_the_mysql_double_unlock() {
+    // §7.1's first MySQL bug: the double unlock in mi_create's recovery.
+    let ts = TargetSpace::mysql();
+    let exec = TargetSpace::mysql();
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::crash_hunter());
+    let mut explorer = FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 4);
+    let result = explorer.run(&eval, 1_500);
+    let found = result.executed.iter().any(|t| {
+        t.evaluation.crashed
+            && t.evaluation
+                .trace
+                .as_deref()
+                .is_some_and(|tr| tr.contains("mi_create"))
+    });
+    assert!(
+        found,
+        "the double-unlock crash must be rediscovered within 1500 tests"
+    );
+}

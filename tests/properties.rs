@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and invariants.
+
+use afex::core::{levenshtein, DiscreteGaussian};
+use afex::space::{manhattan, Axis, FaultSpace, Point, Vicinity};
+use proptest::prelude::*;
+
+/// Strategy: a small fault space (1–4 axes, 1–8 values each) plus one
+/// valid point inside it.
+fn space_and_point() -> impl Strategy<Value = (FaultSpace, Point)> {
+    prop::collection::vec(1usize..8, 1..4).prop_flat_map(|lens| {
+        let axes: Vec<Axis> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Axis::int_range(format!("a{i}"), 0, n as i64 - 1))
+            .collect();
+        let point_strategy: Vec<BoxedStrategy<usize>> =
+            lens.iter().map(|&n| (0..n).boxed()).collect();
+        (Just(FaultSpace::new(axes).unwrap()), point_strategy)
+            .prop_map(|(s, attrs)| (s, Point::new(attrs)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn linear_index_roundtrips((space, point) in space_and_point()) {
+        let idx = space.linear_index(&point).unwrap();
+        prop_assert!(idx < space.len());
+        prop_assert_eq!(space.point_at(idx).unwrap(), point);
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(
+        a in prop::collection::vec(0usize..50, 3),
+        b in prop::collection::vec(0usize..50, 3),
+        c in prop::collection::vec(0usize..50, 3),
+    ) {
+        let (pa, pb, pc) = (Point::new(a), Point::new(b), Point::new(c));
+        // Identity.
+        prop_assert_eq!(manhattan(&pa, &pa), 0);
+        // Symmetry.
+        prop_assert_eq!(manhattan(&pa, &pb), manhattan(&pb, &pa));
+        // Triangle inequality.
+        prop_assert!(manhattan(&pa, &pc) <= manhattan(&pa, &pb) + manhattan(&pb, &pc));
+        // Zero distance implies equality.
+        if manhattan(&pa, &pb) == 0 {
+            prop_assert_eq!(pa.clone(), pb.clone());
+        }
+    }
+
+    #[test]
+    fn vicinity_matches_brute_force((space, point) in space_and_point(), d in 0u64..6) {
+        let via_iter: std::collections::HashSet<Point> =
+            Vicinity::new(&space, &point, d).collect();
+        let brute: std::collections::HashSet<Point> = space
+            .iter_points()
+            .filter(|p| manhattan(p, &point) <= d)
+            .collect();
+        prop_assert_eq!(via_iter, brute);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in ".{0,12}", b in ".{0,12}", c in ".{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
+        );
+        // Bounds: |len(a) - len(b)| <= d <= max(len).
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        let d = levenshtein(&a, &b);
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    #[test]
+    fn gaussian_samples_stay_in_range(n in 1usize..200, center_frac in 0.0f64..1.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let center = ((n - 1) as f64 * center_frac) as usize;
+        let g = DiscreteGaussian::paper(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(g.sample(center, &mut rng) < n);
+        }
+        let distinct = g.sample_distinct(center, &mut rng);
+        prop_assert!(distinct < n);
+        if n > 1 {
+            prop_assert_ne!(distinct, center);
+        }
+    }
+
+    #[test]
+    fn parser_accepts_generated_descriptors(
+        nsets in 1usize..4,
+        lo in 1i64..50,
+        span in 0i64..50,
+    ) {
+        let mut text = String::new();
+        for i in 0..nsets {
+            text.push_str(&format!(
+                "function : {{ f{i}, g{i} }}\ncallNumber : [ {lo} , {} ] ;\n",
+                lo + span
+            ));
+        }
+        let desc = afex::space::parse(&text).unwrap();
+        prop_assert_eq!(desc.subspaces().len(), nsets);
+        prop_assert_eq!(
+            desc.total_points(),
+            nsets as u64 * 2 * (span as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_bijection(n in 2usize..30, seed in 0u64..500) {
+        use afex::space::AxisShuffle;
+        use rand::SeedableRng;
+        let space = FaultSpace::new(vec![Axis::int_range("x", 0, n as i64 - 1)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sh = AxisShuffle::random(&space, 0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let q = sh.apply(&Point::new(vec![i]));
+            prop_assert!(q[0] < n);
+            prop_assert!(seen.insert(q[0]));
+            prop_assert_eq!(sh.unapply(&q), Point::new(vec![i]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn explorers_never_repeat_and_respect_budget(
+        w in 2usize..12,
+        h in 2usize..12,
+        budget in 1usize..80,
+        seed in 0u64..100,
+    ) {
+        use afex::core::{ExplorerConfig, FitnessExplorer, FnEvaluator};
+        let space = FaultSpace::new(vec![
+            Axis::int_range("x", 0, w as i64 - 1),
+            Axis::int_range("y", 0, h as i64 - 1),
+        ])
+        .unwrap();
+        let eval = FnEvaluator::new(|p: &Point| (p[0] % 3) as f64);
+        let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), seed);
+        let r = ex.run(&eval, budget);
+        prop_assert!(r.len() <= budget);
+        prop_assert_eq!(r.len(), budget.min(w * h));
+        let distinct: std::collections::HashSet<_> =
+            r.executed.iter().map(|t| t.point.clone()).collect();
+        prop_assert_eq!(distinct.len(), r.len());
+    }
+
+    #[test]
+    fn priority_queue_never_exceeds_capacity(
+        cap in 1usize..20,
+        fitnesses in prop::collection::vec(0.0f64..100.0, 1..100),
+    ) {
+        use afex::core::queues::{PrioEntry, PriorityQueue};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut q = PriorityQueue::new(cap);
+        for (i, f) in fitnesses.iter().enumerate() {
+            q.insert(
+                PrioEntry {
+                    point: Point::new(vec![i]),
+                    impact: *f,
+                    fitness: *f,
+                },
+                &mut rng,
+            );
+            prop_assert!(q.len() <= cap);
+        }
+    }
+}
