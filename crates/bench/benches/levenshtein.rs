@@ -1,10 +1,17 @@
 //! Cost of the §5 redundancy machinery: Levenshtein distance and
 //! cluster construction over realistic stack traces.
+//!
+//! `cluster/*` benches compare the indexed incremental clusterer
+//! (`cluster_traces`) against the seed all-pairs dynamic program
+//! (`cluster_naive/*`); the acceptance bar is ≥5× at n=1000.
 
-use afex_core::{cluster_traces, levenshtein};
+use afex_core::{
+    cluster_traces, cluster_traces_naive, levenshtein, levenshtein_bounded, levenshtein_reference,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-/// Synthesizes realistic `a>b>c` traces with controlled diversity.
+/// Synthesizes realistic `a>b>c` traces with controlled diversity
+/// (~42 distinct shapes, like real redundancy-heavy result sets).
 fn traces(n: usize) -> Vec<String> {
     let modules = [
         "main",
@@ -27,6 +34,21 @@ fn traces(n: usize) -> Vec<String> {
         .collect()
 }
 
+/// All-distinct traces: the adversarial case with no duplicate shortcut,
+/// exercising the length bands and the banded bounded distance.
+fn distinct_traces(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "main>mod_{:02}>fn_{:03}>{}",
+                i % 17,
+                i % 113,
+                "x".repeat(i % 23)
+            )
+        })
+        .collect()
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("levenshtein");
     let a = "main>ap_read_config>ap_add_module>strdup";
@@ -34,11 +56,41 @@ fn bench(c: &mut Criterion) {
     g.bench_function("distance_40ch", |bench| {
         bench.iter(|| levenshtein(std::hint::black_box(a), std::hint::black_box(b)))
     });
-    for n in [50usize, 200] {
+    g.bench_function("distance_40ch_reference_dp", |bench| {
+        bench.iter(|| levenshtein_reference(std::hint::black_box(a), std::hint::black_box(b)))
+    });
+    let long_a = a.repeat(5); // 200 scalars: multi-block bit-parallel.
+    let long_b = b.repeat(5);
+    g.bench_function("distance_200ch", |bench| {
+        bench.iter(|| levenshtein(std::hint::black_box(&long_a), std::hint::black_box(&long_b)))
+    });
+    g.bench_function("distance_200ch_reference_dp", |bench| {
+        bench.iter(|| {
+            levenshtein_reference(std::hint::black_box(&long_a), std::hint::black_box(&long_b))
+        })
+    });
+    g.bench_function("bounded_k4_200ch", |bench| {
+        bench.iter(|| {
+            levenshtein_bounded(std::hint::black_box(&long_a), std::hint::black_box(&long_b), 4)
+        })
+    });
+    for n in [50usize, 200, 1000] {
         let ts = traces(n);
         g.bench_with_input(BenchmarkId::new("cluster", n), &ts, |bench, ts| {
             bench.iter(|| cluster_traces(ts, 4))
         });
+        g.bench_with_input(BenchmarkId::new("cluster_naive", n), &ts, |bench, ts| {
+            bench.iter(|| cluster_traces_naive(ts, 4))
+        });
+        let ds = distinct_traces(n);
+        g.bench_with_input(BenchmarkId::new("cluster_distinct", n), &ds, |bench, ds| {
+            bench.iter(|| cluster_traces(ds, 4))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("cluster_distinct_naive", n),
+            &ds,
+            |bench, ds| bench.iter(|| cluster_traces_naive(ds, 4)),
+        );
     }
     g.finish();
 }

@@ -73,7 +73,7 @@ pub fn compute(iterations: usize, seed: u64) -> Table4 {
     });
     // One shuffled axis at a time.
     for (axis, label) in [(0usize, "rand Xtest"), (1, "rand Xfunc"), (2, "rand Xcall")] {
-        let mut rng = StdRng::seed_from_u64(seed ^ (axis as u64 + 1) * 0x9e37);
+        let mut rng = StdRng::seed_from_u64(seed ^ (((axis as u64) + 1) * 0x9e37));
         let shuffle = AxisShuffle::random(ts.space(), axis, &mut rng);
         let eval = Shuffled {
             inner: evaluator_for(TargetSpace::apache(), ImpactMetric::default()),

@@ -99,15 +99,28 @@ impl ParallelSession {
                 if outstanding.is_empty() {
                     break; // Space exhausted and everything completed.
                 }
-                // Absorb one result (blocking), then drain what's ready.
+                // Absorb one result (blocking), then drain what's ready so
+                // one wake-up completes a whole batch before the explorer
+                // generates again.
                 match res_rx.recv() {
-                    Ok(ManagerMsg::Done(r)) => {
-                        if let Some(test) = outstanding.remove(&r.id) {
-                            executed.push(explorer.complete(test, r.evaluation));
-                            completed += 1;
+                    Ok(msg) => {
+                        let mut msg = Some(msg);
+                        loop {
+                            if let Some(ManagerMsg::Done(r)) = msg {
+                                if let Some(test) = outstanding.remove(&r.id) {
+                                    executed.push(explorer.complete(test, r.evaluation));
+                                    completed += 1;
+                                }
+                            }
+                            if completed >= iterations {
+                                break;
+                            }
+                            msg = res_rx.try_recv().ok();
+                            if msg.is_none() {
+                                break;
+                            }
                         }
                     }
-                    Ok(ManagerMsg::Bye { .. }) => {}
                     Err(_) => break,
                 }
             }

@@ -48,9 +48,7 @@ impl AgingPolicy {
         if !self.is_enabled() {
             return 0;
         }
-        for e in q.entries_mut() {
-            e.fitness *= self.decay;
-        }
+        q.scale_fitness(self.decay);
         q.retire_below(self.retire_threshold).len()
     }
 }
@@ -103,7 +101,7 @@ mod tests {
         assert_eq!(policy.sweep(&mut q), 1);
         assert_eq!(q.len(), 1);
         let mut sweeps = 0;
-        while q.len() > 0 {
+        while !q.is_empty() {
             policy.sweep(&mut q);
             sweeps += 1;
             assert!(sweeps < 64, "high-fitness test must also retire eventually");

@@ -17,7 +17,7 @@ use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
 use crate::explore::Explore;
 use crate::feedback::RedundancyFeedback;
 use crate::gaussian::DiscreteGaussian;
-use crate::queues::{History, PendingQueue, PendingTest, PrioEntry, PriorityQueue};
+use crate::queues::{History, PendingQueue, PendingTest, PointSet, PrioEntry, PriorityQueue};
 use crate::sensitivity::Sensitivity;
 use crate::session::SessionResult;
 use afex_space::{FaultSpace, Point, UniformSampler};
@@ -84,7 +84,7 @@ pub struct FitnessExplorer {
     executed: Vec<ExecutedTest>,
     /// Candidates handed out via [`Explore::next_candidate`] whose results
     /// have not come back yet (parallel execution support).
-    issued: std::collections::HashSet<Point>,
+    issued: PointSet,
 }
 
 /// How many Algorithm 1 attempts to make before falling back to a random
@@ -101,16 +101,16 @@ impl FitnessExplorer {
             .map(|a| DiscreteGaussian::new(a.len(), cfg.sigma_factor))
             .collect();
         FitnessExplorer {
-            qpriority: PriorityQueue::new(cfg.qpriority_cap),
-            qpending: PendingQueue::new(),
-            history: History::new(),
+            qpriority: PriorityQueue::for_space(cfg.qpriority_cap, &space),
+            qpending: PendingQueue::for_space(&space),
+            history: History::for_space(&space),
             sensitivity: Sensitivity::new(axes, cfg.sensitivity_window, cfg.sensitivity_floor),
             feedback: RedundancyFeedback::new(),
             gaussians,
             rng: StdRng::seed_from_u64(seed),
             iteration: 0,
             executed: Vec::new(),
-            issued: std::collections::HashSet::new(),
+            issued: PointSet::for_space(&space),
             space,
             cfg,
         }
@@ -248,7 +248,7 @@ impl Explore for FitnessExplorer {
             self.refill_pending();
         }
         let test = self.qpending.pop()?;
-        self.issued.insert(test.point.clone());
+        self.issued.insert(&test.point);
         Some(test)
     }
 

@@ -6,13 +6,26 @@
 //! similarity ends up zero-ing the fitness, while 0% similarity leaves the
 //! fitness unmodified)." This steers exploration away from repeated
 //! manifestations of the same underlying bug.
+//!
+//! This sits on the explorer's completion path, so it uses the same
+//! machinery as the clusterer: an exact-duplicate hash hit answers the
+//! common case in O(1), length bounds prune candidates that cannot beat
+//! the best similarity seen so far, and surviving candidates run the
+//! banded [`levenshtein_bounded_chars`] capped at the smallest distance
+//! that could still improve the maximum. The computed weight is bit-for-
+//! bit the one the full scan produces.
 
-use crate::quality::levenshtein::levenshtein;
+use crate::quality::levenshtein::{levenshtein, levenshtein_bounded_chars};
+use std::collections::HashSet;
 
 /// Online store of injection-point stack traces with similarity weighting.
 #[derive(Debug, Clone, Default)]
 pub struct RedundancyFeedback {
-    traces: Vec<String>,
+    /// Distinct traces as cached Unicode-scalar splits (the text itself
+    /// lives only in `texts`).
+    traces: Vec<Vec<char>>,
+    /// Exact-text membership for the O(1) identical-trace path.
+    texts: HashSet<String>,
 }
 
 impl RedundancyFeedback {
@@ -44,13 +57,35 @@ impl RedundancyFeedback {
     /// store is empty).
     pub fn max_similarity(&self, trace: &str) -> f64 {
         // Identical-trace fast path: redundancy is usually literal.
-        if self.traces.iter().any(|t| t == trace) {
+        if self.texts.contains(trace) {
             return 1.0;
         }
-        self.traces
-            .iter()
-            .map(|t| Self::similarity(t, trace))
-            .fold(0.0, f64::max)
+        let chars: Vec<char> = trace.chars().collect();
+        let len = chars.len();
+        let mut best = 0.0f64;
+        for other in &self.traces {
+            let max_len = len.max(other.len());
+            if max_len == 0 {
+                return 1.0; // Both empty: identical.
+            }
+            // Length bound: distance >= |len difference|, so similarity
+            // cannot exceed 1 - diff/max_len. Skip hopeless candidates.
+            let diff = len.abs_diff(other.len());
+            let bound = 1.0 - diff as f64 / max_len as f64;
+            if bound <= best {
+                continue;
+            }
+            // To beat `best`, the distance must be < (1 - best) * max_len;
+            // cap the banded scan there and let it bail out early.
+            let k = ((1.0 - best) * max_len as f64).ceil() as usize;
+            if let Some(d) = levenshtein_bounded_chars(&chars, other, k.min(max_len)) {
+                best = best.max(1.0 - d as f64 / max_len as f64);
+                if best >= 1.0 {
+                    return 1.0;
+                }
+            }
+        }
+        best
     }
 
     /// The linear fitness weight for a candidate with this trace:
@@ -61,8 +96,8 @@ impl RedundancyFeedback {
 
     /// Records an executed test's trace (deduplicated).
     pub fn record(&mut self, trace: &str) {
-        if !self.traces.iter().any(|t| t == trace) {
-            self.traces.push(trace.to_owned());
+        if self.texts.insert(trace.to_owned()) {
+            self.traces.push(trace.chars().collect());
         }
     }
 }
@@ -114,5 +149,41 @@ mod tests {
         assert_eq!(RedundancyFeedback::similarity("abc", "abc"), 1.0);
         assert_eq!(RedundancyFeedback::similarity("", ""), 1.0);
         assert_eq!(RedundancyFeedback::similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn pruned_max_matches_full_scan() {
+        let store = [
+            "main>parse>handle_get",
+            "main>net>accept",
+            "boot",
+            "main>parse>handle_post",
+            "a>very>long>path>through>many>modules>ending>here",
+        ];
+        let mut fb = RedundancyFeedback::new();
+        for t in store {
+            fb.record(t);
+        }
+        for probe in [
+            "main>parse>handle_put",
+            "boot",
+            "zzz",
+            "",
+            "a>very>long>path>through>many>modules>ending>her",
+        ] {
+            let full = store
+                .iter()
+                .map(|t| RedundancyFeedback::similarity(t, probe))
+                .fold(0.0, f64::max);
+            assert_eq!(fb.max_similarity(probe), full, "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_against_empty_store_entry() {
+        let mut fb = RedundancyFeedback::new();
+        fb.record("");
+        assert_eq!(fb.max_similarity(""), 1.0);
+        assert_eq!(fb.weight(""), 0.0);
     }
 }

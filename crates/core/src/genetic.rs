@@ -58,10 +58,10 @@ impl GeneticExplorer {
     /// Creates a GA explorer with a deterministic seed.
     pub fn new(space: FaultSpace, cfg: GeneticConfig, seed: u64) -> Self {
         GeneticExplorer {
-            space,
             cfg,
             rng: StdRng::seed_from_u64(seed),
-            history: History::new(),
+            history: History::for_space(&space),
+            space,
             population: Vec::new(),
             iteration: 0,
             executed: Vec::new(),

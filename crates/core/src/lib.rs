@@ -74,11 +74,14 @@ pub use feedback::RedundancyFeedback;
 pub use gaussian::DiscreteGaussian;
 pub use genetic::{GeneticConfig, GeneticExplorer};
 pub use impact::ImpactMetric;
-pub use quality::cluster::{cluster_traces, Cluster};
-pub use quality::levenshtein::levenshtein;
+pub use quality::cluster::{cluster_traces, cluster_traces_naive, Cluster, ClusterIndex};
+pub use quality::levenshtein::{
+    levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_chars,
+    levenshtein_reference,
+};
 pub use quality::precision::impact_precision;
 pub use quality::relevance::RelevanceModel;
-pub use queues::{History, PendingQueue, PriorityQueue};
+pub use queues::{History, PendingQueue, PointSet, PriorityQueue};
 pub use random::RandomExplorer;
 pub use report::{FaultReport, ReportEntry};
 pub use sensitivity::Sensitivity;

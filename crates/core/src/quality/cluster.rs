@@ -7,9 +7,22 @@
 //! transitive closure of the below-threshold relation (single linkage),
 //! and each cluster elects the representative test developers should look
 //! at first.
+//!
+//! The batch entry point is [`cluster_traces`]; it is backed by
+//! [`ClusterIndex`], an online index that clusters traces *incrementally*
+//! — each inserted trace is compared only against traces whose length is
+//! close enough to possibly merge (the length band), cluster
+//! representatives first, with remaining members of an already-merged
+//! cluster skipped, and each comparison runs the banded
+//! [`levenshtein_bounded_chars`] instead of the full dynamic program.
+//! Identical traces (the common case for redundant faults) merge via a
+//! hash lookup without any distance computation. The naive all-pairs
+//! construction survives as [`cluster_traces_naive`], the benchmark
+//! baseline and property-test oracle.
 
-use super::levenshtein::levenshtein;
+use super::levenshtein::{levenshtein_bounded_chars, levenshtein_reference};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
 
 /// One redundancy cluster over the result set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,9 +46,190 @@ impl Cluster {
     }
 }
 
+/// Union-find `find` with path compression.
+pub(crate) fn find(parent: &mut [usize], x: usize) -> usize {
+    let mut root = x;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    // Path compression.
+    let mut cur = x;
+    while parent[cur] != root {
+        let next = parent[cur];
+        parent[cur] = root;
+        cur = next;
+    }
+    root
+}
+
+/// Union-find `find` without compression, for shared-reference walks.
+fn find_imm(parent: &[usize], x: usize) -> usize {
+    let mut root = x;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    root
+}
+
+/// Union by rank; returns the surviving root.
+pub(crate) fn union(parent: &mut [usize], rank: &mut [u8], a: usize, b: usize) -> usize {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra == rb {
+        return ra;
+    }
+    let (hi, lo) = if rank[ra] >= rank[rb] {
+        (ra, rb)
+    } else {
+        (rb, ra)
+    };
+    parent[lo] = hi;
+    if rank[hi] == rank[lo] {
+        rank[hi] += 1;
+    }
+    hi
+}
+
+/// An online single-linkage clustering index over stack traces.
+///
+/// Traces are inserted one at a time; at any point [`ClusterIndex::clusters`]
+/// yields exactly the clusters batch [`cluster_traces`] would produce on
+/// the same input (the property suite enforces the equivalence). This is
+/// what lets the redundancy feedback loop and the fig9/table6 experiments
+/// cluster as results stream in instead of re-running all pairs per round.
+///
+/// # Examples
+///
+/// ```
+/// use afex_core::ClusterIndex;
+///
+/// let mut idx = ClusterIndex::new(3);
+/// idx.insert("main>f>g");
+/// idx.insert("main>f>h");
+/// idx.insert("main>net>recv");
+/// assert_eq!(idx.clusters().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterIndex {
+    threshold: usize,
+    /// Cached Unicode-scalar split of every inserted trace.
+    chars: Vec<Vec<char>>,
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Scalar length → trace ids, for length-band candidate lookup.
+    by_len: BTreeMap<usize, Vec<usize>>,
+    /// Exact trace text → first id carrying it (identical-trace fast path).
+    first_by_text: HashMap<String, usize>,
+}
+
+impl ClusterIndex {
+    /// Creates an empty index merging traces at edit distance
+    /// `< threshold`.
+    pub fn new(threshold: usize) -> Self {
+        ClusterIndex {
+            threshold,
+            ..ClusterIndex::default()
+        }
+    }
+
+    /// The merge threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of traces inserted.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no traces were inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Inserts a trace, merging it into every cluster containing a trace
+    /// within the threshold; returns the trace's id (insertion order).
+    pub fn insert(&mut self, trace: &str) -> usize {
+        let id = self.parent.len();
+        let chars: Vec<char> = trace.chars().collect();
+        let len = chars.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.chars.push(chars);
+        if self.threshold == 0 {
+            // Distance can never be `< 0`: every trace is its own cluster.
+            self.by_len.entry(len).or_default().push(id);
+            return id;
+        }
+        if let Some(&twin) = self.first_by_text.get(trace) {
+            // Identical text: the twin's cluster already absorbed every
+            // cluster within range, so one union restores the closure.
+            union(&mut self.parent, &mut self.rank, id, twin);
+            self.by_len.entry(len).or_default().push(id);
+            return id;
+        }
+        // Candidates: only traces whose length differs by < threshold can
+        // be within the threshold at all (|len(a)-len(b)| <= distance).
+        let band_lo = len.saturating_sub(self.threshold - 1);
+        let band_hi = len + self.threshold - 1;
+        // Group band members by their current cluster root.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for ids in self.by_len.range(band_lo..=band_hi).map(|(_, v)| v) {
+            for &other in ids {
+                let root = find_imm(&self.parent, other);
+                groups.entry(root).or_default().push(other);
+            }
+        }
+        let k = self.threshold - 1; // Merge iff distance <= threshold - 1.
+        for (_, mut members) in groups {
+            // Representative first: the earliest member is the likeliest
+            // hit (clusters grow around it), and one hit skips the rest.
+            members.sort_unstable();
+            for other in members {
+                if levenshtein_bounded_chars(&self.chars[id], &self.chars[other], k).is_some() {
+                    union(&mut self.parent, &mut self.rank, id, other);
+                    break; // Pairs already unioned: skip remaining members.
+                }
+            }
+        }
+        self.by_len.entry(len).or_default().push(id);
+        self.first_by_text.insert(trace.to_owned(), id);
+        id
+    }
+
+    /// The current clusters, ordered by first appearance; members are in
+    /// insertion order and the representative is the earliest member.
+    pub fn clusters(&self) -> Vec<Cluster> {
+        let n = self.parent.len();
+        let mut order: Vec<usize> = Vec::new();
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find_imm(&self.parent, i);
+            let entry = by_root.entry(r).or_default();
+            if entry.is_empty() {
+                order.push(r);
+            }
+            entry.push(i);
+        }
+        order
+            .into_iter()
+            .map(|r| {
+                let members = by_root.remove(&r).expect("cluster recorded");
+                Cluster {
+                    representative: members[0],
+                    members,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Clusters stack traces: traces closer than `threshold` edits land in the
 /// same cluster (single linkage). Returns clusters ordered by first
 /// appearance.
+///
+/// Backed by [`ClusterIndex`]: expected near-linear time on trace sets
+/// with many duplicates and tight length bands, versus the all-pairs
+/// quadratic baseline kept as [`cluster_traces_naive`].
 ///
 /// # Examples
 ///
@@ -48,23 +242,20 @@ impl Cluster {
 /// assert_eq!(clusters[0].members, vec![0, 1]);
 /// ```
 pub fn cluster_traces<S: AsRef<str>>(traces: &[S], threshold: usize) -> Vec<Cluster> {
-    let n = traces.len();
-    // Union-find over trace indices.
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        let mut root = x;
-        while parent[root] != root {
-            root = parent[root];
-        }
-        // Path compression.
-        let mut cur = x;
-        while parent[cur] != root {
-            let next = parent[cur];
-            parent[cur] = root;
-            cur = next;
-        }
-        root
+    let mut index = ClusterIndex::new(threshold);
+    for t in traces {
+        index.insert(t.as_ref());
     }
+    index.clusters()
+}
+
+/// The seed implementation: all-pairs full Levenshtein with union-find.
+/// Kept as the benchmark baseline and the oracle the property tests run
+/// [`cluster_traces`] / [`ClusterIndex`] against.
+pub fn cluster_traces_naive<S: AsRef<str>>(traces: &[S], threshold: usize) -> Vec<Cluster> {
+    let n = traces.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut rank = vec![0u8; n];
     for i in 0..n {
         for j in (i + 1)..n {
             let (a, b) = (traces[i].as_ref(), traces[j].as_ref());
@@ -73,18 +264,14 @@ pub fn cluster_traces<S: AsRef<str>>(traces: &[S], threshold: usize) -> Vec<Clus
             if len_gap >= threshold {
                 continue;
             }
-            if levenshtein(a, b) < threshold {
-                let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
-                if ra != rb {
-                    parent[rb] = ra;
-                }
+            if levenshtein_reference(a, b) < threshold {
+                union(&mut parent, &mut rank, i, j);
             }
         }
     }
     // Collect clusters in order of first appearance.
     let mut order: Vec<usize> = Vec::new();
-    let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut clusters: HashMap<usize, Vec<usize>> = HashMap::new();
     for i in 0..n {
         let r = find(&mut parent, i);
         let entry = clusters.entry(r).or_default();
@@ -162,6 +349,73 @@ mod tests {
         let c = cluster_traces(&t, 1);
         for cl in &c {
             assert_eq!(cl.representative, cl.members[0]);
+        }
+    }
+
+    #[test]
+    fn online_insertion_matches_batch() {
+        let traces = [
+            "main>f>g",
+            "main>f>h",
+            "main>net>recv",
+            "main>f>g",
+            "main>net>send",
+            "boot>init",
+        ];
+        let mut idx = ClusterIndex::new(4);
+        for t in &traces {
+            idx.insert(t);
+        }
+        assert_eq!(idx.clusters(), cluster_traces_naive(&traces, 4));
+        assert_eq!(idx.len(), traces.len());
+    }
+
+    #[test]
+    fn new_trace_bridges_existing_clusters() {
+        // "ac" is far from nothing: with threshold 2, "aa" and "cc" are
+        // distance 2 apart (not merged), but "ac" is distance 1 from both.
+        let mut idx = ClusterIndex::new(2);
+        idx.insert("aa");
+        idx.insert("cc");
+        assert_eq!(idx.clusters().len(), 2);
+        idx.insert("ac");
+        let c = idx.clusters();
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn naive_and_indexed_agree_on_mixed_lengths() {
+        let traces = [
+            "main",
+            "main>a",
+            "main>ab",
+            "main>abc",
+            "x",
+            "xy",
+            "completely>different>path>entirely",
+        ];
+        for threshold in 0..6 {
+            assert_eq!(
+                cluster_traces(&traces, threshold),
+                cluster_traces_naive(&traces, threshold),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_by_rank_keeps_trees_shallow() {
+        let mut parent: Vec<usize> = (0..8).collect();
+        let mut rank = vec![0u8; 8];
+        for i in 1..8 {
+            union(&mut parent, &mut rank, 0, i);
+        }
+        let root = find(&mut parent, 0);
+        // After one find, every node points at the root directly.
+        for i in 0..8 {
+            assert_eq!(find(&mut parent, i), root);
+            assert_eq!(parent[i], root);
         }
     }
 }

@@ -1,9 +1,24 @@
 //! Levenshtein edit distance \[14\], the §5 stack-trace comparison metric.
+//!
+//! Three implementations, fastest first:
+//!
+//! - [`levenshtein`] — Myers' 1999 bit-parallel algorithm with 64-bit
+//!   blocks: `O(⌈m/64⌉·n)` time, a ~64× constant-factor win over the
+//!   classic dynamic program on the trace lengths the clusterer sees.
+//! - [`levenshtein_bounded`] — Ukkonen's banded dynamic program for the
+//!   "is the distance below threshold k?" question the clusterer actually
+//!   asks: `O(k·min(m,n))` time with early exit, returning `None` as soon
+//!   as the distance provably exceeds `k`.
+//! - [`levenshtein_reference`] — the classic two-row dynamic program,
+//!   kept as the oracle the property tests check the fast paths against.
+
+use std::collections::HashMap;
 
 /// Levenshtein distance between two strings, by Unicode scalar values.
 ///
-/// Uses the classic two-row dynamic program: `O(|a|·|b|)` time,
-/// `O(min(|a|,|b|))` space.
+/// Backed by Myers' bit-parallel algorithm (multi-block for inputs longer
+/// than 64 scalars). Equivalent to [`levenshtein_reference`] on all
+/// inputs — the property suite enforces this.
 ///
 /// # Examples
 ///
@@ -14,6 +29,306 @@
 /// assert_eq!(levenshtein("main>f>g", "main>f>h"), 1);
 /// ```
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        // ASCII fast path (the overwhelmingly common case for stack
+        // traces): bytes are scalars, and the pattern's bit masks live
+        // in a stack table indexed by byte — no per-call HashMap, no
+        // per-character hashing in the inner loop.
+        let (pattern, text) = if a.len() <= b.len() {
+            (a.as_bytes(), b.as_bytes())
+        } else {
+            (b.as_bytes(), a.as_bytes())
+        };
+        if pattern.is_empty() {
+            return text.len();
+        }
+        if pattern.len() <= 64 {
+            return myers_single_ascii(pattern, text);
+        }
+        return myers_blocks_ascii(pattern, text);
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// Single-word Myers over ASCII bytes: pattern length `m <= 64`, match
+/// masks in a 128-slot stack table.
+fn myers_single_ascii(pattern: &[u8], text: &[u8]) -> usize {
+    let m = pattern.len();
+    debug_assert!((1..=64).contains(&m));
+    let mut peq = [0u64; 128];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1u64 << i;
+    }
+    let mask = 1u64 << (m - 1);
+    let mut vp: u64 = !0;
+    let mut vn: u64 = 0;
+    let mut score = m;
+    for &c in text {
+        let eq = peq[c as usize];
+        let xv = eq | vn;
+        let xh = (((eq & vp).wrapping_add(vp)) ^ vp) | eq;
+        let mut hp = vn | !(xh | vp);
+        let mut hn = vp & xh;
+        if hp & mask != 0 {
+            score += 1;
+        }
+        if hn & mask != 0 {
+            score -= 1;
+        }
+        hp = (hp << 1) | 1;
+        hn <<= 1;
+        vp = hn | !(xv | hp);
+        vn = hp & xv;
+    }
+    score
+}
+
+/// Multi-block Myers over ASCII bytes: match masks in one flat
+/// `128 × ⌈m/64⌉` table (`peq[c*w + k]`).
+fn myers_blocks_ascii(pattern: &[u8], text: &[u8]) -> usize {
+    let m = pattern.len();
+    let w = m.div_ceil(64);
+    let mut peq = vec![0u64; 128 * w];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize * w + i / 64] |= 1u64 << (i % 64);
+    }
+    let top_mask = 1u64 << ((m - 1) % 64);
+    let mut vp = vec![!0u64; w];
+    let mut vn = vec![0u64; w];
+    let mut score = m;
+    for &c in text {
+        let eqs = &peq[c as usize * w..c as usize * w + w];
+        let mut add_carry = false;
+        let mut hp_carry = 1u64; // Column boundary: row 0 always inserts.
+        let mut hn_carry = 0u64;
+        for k in 0..w {
+            let eq = eqs[k];
+            let xv = eq | vn[k];
+            let t = eq & vp[k];
+            let (s1, c1) = t.overflowing_add(vp[k]);
+            let (sum, c2) = s1.overflowing_add(u64::from(add_carry));
+            add_carry = c1 | c2;
+            let xh = (sum ^ vp[k]) | eq;
+            let mut hp = vn[k] | !(xh | vp[k]);
+            let mut hn = vp[k] & xh;
+            if k == w - 1 {
+                if hp & top_mask != 0 {
+                    score += 1;
+                }
+                if hn & top_mask != 0 {
+                    score -= 1;
+                }
+            }
+            let hp_out = hp >> 63;
+            let hn_out = hn >> 63;
+            hp = (hp << 1) | hp_carry;
+            hn = (hn << 1) | hn_carry;
+            hp_carry = hp_out;
+            hn_carry = hn_out;
+            vp[k] = hn | !(xv | hp);
+            vn[k] = hp & xv;
+        }
+    }
+    score
+}
+
+/// [`levenshtein`] over pre-split scalar slices (the clusterer caches the
+/// split so repeated comparisons skip UTF-8 decoding).
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    // The pattern (bit-vector side) is the shorter string.
+    let (pattern, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if pattern.is_empty() {
+        return text.len();
+    }
+    if pattern.len() <= 64 {
+        myers_single(pattern, text)
+    } else {
+        myers_blocks(pattern, text)
+    }
+}
+
+/// Single-word Myers: pattern length `m <= 64`.
+fn myers_single(pattern: &[char], text: &[char]) -> usize {
+    let m = pattern.len();
+    debug_assert!((1..=64).contains(&m));
+    let mut peq: HashMap<char, u64> = HashMap::with_capacity(m);
+    for (i, &c) in pattern.iter().enumerate() {
+        *peq.entry(c).or_insert(0) |= 1u64 << i;
+    }
+    let mask = 1u64 << (m - 1);
+    let mut vp: u64 = !0;
+    let mut vn: u64 = 0;
+    let mut score = m;
+    for c in text {
+        let eq = peq.get(c).copied().unwrap_or(0);
+        let xv = eq | vn;
+        let xh = (((eq & vp).wrapping_add(vp)) ^ vp) | eq;
+        let mut hp = vn | !(xh | vp);
+        let mut hn = vp & xh;
+        if hp & mask != 0 {
+            score += 1;
+        }
+        if hn & mask != 0 {
+            score -= 1;
+        }
+        hp = (hp << 1) | 1;
+        hn <<= 1;
+        vp = hn | !(xv | hp);
+        vn = hp & xv;
+    }
+    score
+}
+
+/// Multi-block Myers: pattern split across `⌈m/64⌉` words, with carry
+/// propagation for the add and the shifts.
+fn myers_blocks(pattern: &[char], text: &[char]) -> usize {
+    let m = pattern.len();
+    let w = m.div_ceil(64);
+    let mut peq: HashMap<char, Vec<u64>> = HashMap::new();
+    for (i, &c) in pattern.iter().enumerate() {
+        peq.entry(c).or_insert_with(|| vec![0; w])[i / 64] |= 1u64 << (i % 64);
+    }
+    let top_mask = 1u64 << ((m - 1) % 64);
+    let mut vp = vec![!0u64; w];
+    let mut vn = vec![0u64; w];
+    let mut score = m;
+    for c in text {
+        let eqs = peq.get(c);
+        let mut add_carry = false;
+        let mut hp_carry = 1u64; // Column boundary: row 0 always inserts.
+        let mut hn_carry = 0u64;
+        for k in 0..w {
+            let eq = eqs.map_or(0, |v| v[k]);
+            let xv = eq | vn[k];
+            // Multi-word (eq & vp) + vp with carry.
+            let t = eq & vp[k];
+            let (s1, c1) = t.overflowing_add(vp[k]);
+            let (sum, c2) = s1.overflowing_add(u64::from(add_carry));
+            add_carry = c1 | c2;
+            let xh = (sum ^ vp[k]) | eq;
+            let mut hp = vn[k] | !(xh | vp[k]);
+            let mut hn = vp[k] & xh;
+            if k == w - 1 {
+                if hp & top_mask != 0 {
+                    score += 1;
+                }
+                if hn & top_mask != 0 {
+                    score -= 1;
+                }
+            }
+            let hp_out = hp >> 63;
+            let hn_out = hn >> 63;
+            hp = (hp << 1) | hp_carry;
+            hn = (hn << 1) | hn_carry;
+            hp_carry = hp_out;
+            hn_carry = hn_out;
+            vp[k] = hn | !(xv | hp);
+            vn[k] = hp & xv;
+        }
+    }
+    score
+}
+
+/// Bounded Levenshtein distance: `Some(d)` when `d <= k`, `None` once the
+/// distance provably exceeds `k`.
+///
+/// Ukkonen's banded dynamic program: only the `2k+1` diagonals that could
+/// still yield a distance within `k` are evaluated, and the scan aborts
+/// as soon as the whole band exceeds `k`. This is the clusterer's fast
+/// path — traces are merged when `distance < threshold`, so it asks
+/// `levenshtein_bounded(a, b, threshold - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use afex_core::levenshtein_bounded;
+///
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_bounded("", "", 0), Some(0));
+/// ```
+pub fn levenshtein_bounded(a: &str, b: &str, k: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_bounded_chars(&a, &b, k)
+}
+
+/// [`levenshtein_bounded`] over pre-split scalar slices.
+pub fn levenshtein_bounded_chars(a: &[char], b: &[char], k: usize) -> Option<usize> {
+    // Rows iterate the shorter string: the band is at most 2k+1 wide and
+    // at most min(m, n)+1 rows tall.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (outer.len(), inner.len());
+    if n - m > k {
+        return None; // Length gap alone exceeds the bound.
+    }
+    if m == 0 {
+        return Some(n); // n - 0 <= k established above.
+    }
+    let cap = k + 1; // Sentinel meaning "already above k".
+    // Band over outer positions for inner row i: j in [i - lo, i + hi].
+    let hi = k.min(n); // Allowed insertions into `inner`.
+    let lo = k.min(m); // Allowed deletions.
+    // prev[d] = D[i-1][i-1 + d - lo] for d in 0..=lo+hi.
+    let width = lo + hi + 1;
+    let mut prev = vec![cap; width];
+    let mut cur = vec![cap; width];
+    // Row 0: D[0][j] = j for j <= k.
+    for (d, cell) in prev.iter_mut().enumerate() {
+        // j = d - lo; valid when j >= 0 and j <= n.
+        if let Some(j) = d.checked_sub(lo) {
+            if j <= n && j <= k {
+                *cell = j;
+            }
+        }
+    }
+    for i in 1..=m {
+        let ic = inner[i - 1];
+        let mut row_min = cap;
+        for d in 0..width {
+            let j = match (i + d).checked_sub(lo) {
+                Some(j) if j <= n => j,
+                _ => {
+                    cur[d] = cap;
+                    continue;
+                }
+            };
+            let mut best = cap;
+            if j == 0 {
+                best = i.min(cap);
+            } else {
+                // Substitution / match: D[i-1][j-1] is prev[d].
+                let sub = prev[d].saturating_add(usize::from(outer[j - 1] != ic));
+                best = best.min(sub);
+                // Deletion from inner: D[i-1][j] is prev[d+1].
+                if d + 1 < width {
+                    best = best.min(prev[d + 1].saturating_add(1));
+                }
+                // Insertion: D[i][j-1] is cur[d-1].
+                if d > 0 {
+                    best = best.min(cur[d - 1].saturating_add(1));
+                }
+                best = best.min(cap);
+            }
+            cur[d] = best;
+            row_min = row_min.min(best);
+        }
+        if row_min >= cap {
+            return None; // The whole band exceeded k: no path back under it.
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // D[m][n] sits at diagonal offset d = n - m + lo.
+    let final_d = n - m + lo;
+    let dist = prev.get(final_d).copied().unwrap_or(cap);
+    (dist <= k).then_some(dist)
+}
+
+/// The classic two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space. The reference oracle for the fast paths.
+pub fn levenshtein_reference(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the inner row the shorter one.
@@ -78,5 +393,57 @@ mod tests {
         let t3 = "main>ap_process_connection>cgi_handler";
         assert_eq!(levenshtein(t1, t2), 0);
         assert!(levenshtein(t1, t3) > 10);
+    }
+
+    #[test]
+    fn bit_parallel_matches_reference_past_one_block() {
+        // Pattern longer than 64 scalars exercises the multi-block path.
+        let a = "main>".repeat(20) + "alloc_failed";
+        let b = "main>".repeat(19) + "ap_core>alloc_failed";
+        assert_eq!(levenshtein(&a, &b), levenshtein_reference(&a, &b));
+        let long_a = "x".repeat(200);
+        let long_b = "xy".repeat(100);
+        assert_eq!(
+            levenshtein(&long_a, &long_b),
+            levenshtein_reference(&long_a, &long_b)
+        );
+    }
+
+    #[test]
+    fn bounded_agrees_with_reference_within_k() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("abc", ""),
+            ("same", "same"),
+            ("main>f>g", "main>net>recv"),
+            ("café", "cafe"),
+        ];
+        for (a, b) in cases {
+            let d = levenshtein_reference(a, b);
+            for k in 0..=d + 2 {
+                let got = levenshtein_bounded(a, b, k);
+                if k >= d {
+                    assert_eq!(got, Some(d), "{a} vs {b} k={k}");
+                } else {
+                    assert_eq!(got, None, "{a} vs {b} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_zero_k_is_equality_test() {
+        assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+        assert_eq!(levenshtein_bounded("abc", "abd", 0), None);
+    }
+
+    #[test]
+    fn bounded_handles_long_inputs_cheaply() {
+        // Big length gap: rejected before any DP work.
+        let a = "a".repeat(10_000);
+        assert_eq!(levenshtein_bounded(&a, "abc", 5), None);
+        // Equal long strings within a tiny band.
+        assert_eq!(levenshtein_bounded(&a, &a, 2), Some(0));
     }
 }

@@ -6,10 +6,229 @@
 //!   proportional to its fitness", so its average fitness rises over time.
 //! - **Qpending** holds generated-but-unexecuted tests (FIFO).
 //! - **History** holds every executed test, preventing re-execution.
+//!
+//! Throughput notes (§6.1 demands the explorer stay far cheaper than test
+//! execution): parent sampling, eviction sampling and membership tests
+//! are the explorer's hottest operations, so Qpriority keeps two Fenwick
+//! (binary-indexed) trees over the entry weights — one on fitness for
+//! parent selection, one on inverse fitness for eviction — making
+//! [`PriorityQueue::sample_parent`] and the eviction inside
+//! [`PriorityQueue::insert`] `O(log n)` with cached totals instead of a
+//! fresh `O(n)` weight scan. Membership checks go through [`PointSet`],
+//! which packs points into mixed-radix `u64` codes
+//! ([`afex_space::PointCodec`]) whenever the space fits, replacing
+//! per-lookup `Vec<usize>` hashing and key cloning with an inlined
+//! integer in an identity-hashed set.
 
-use afex_space::Point;
+use afex_space::{FaultSpace, Point, PointCodec};
 use rand::Rng;
 use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identity hasher for point codes: a mixed-radix code is already a
+/// well-mixed index, so feeding it through SipHash is pure overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only for u64 keys");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Finalizer of SplitMix64: cheap, and spreads consecutive codes
+        // across the table so clustered linear indices do not collide.
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type CodeSet = HashSet<u64, BuildHasherDefault<IdentityHasher>>;
+
+/// A set of points, packed into `u64` codes when the space allows it.
+#[derive(Debug, Clone)]
+pub enum PointSet {
+    /// Mixed-radix packed codes (fast path).
+    Coded {
+        /// The space's point⇄code bijection.
+        codec: PointCodec,
+        /// The packed members.
+        set: CodeSet,
+    },
+    /// Whole-point hashing (spaces whose product overflows `u64`).
+    Raw(HashSet<Point>),
+}
+
+impl Default for PointSet {
+    fn default() -> Self {
+        PointSet::Raw(HashSet::new())
+    }
+}
+
+impl PointSet {
+    /// An empty set hashing whole points.
+    pub fn new() -> Self {
+        PointSet::default()
+    }
+
+    /// An empty set using the packed-code fast path when `space`'s
+    /// product fits in a `u64` (true for all the paper's spaces).
+    pub fn for_space(space: &FaultSpace) -> Self {
+        match PointCodec::for_space(space) {
+            Some(codec) => PointSet::Coded {
+                codec,
+                set: CodeSet::default(),
+            },
+            None => PointSet::Raw(HashSet::new()),
+        }
+    }
+
+    /// Inserts a point; returns whether it was new.
+    pub fn insert(&mut self, p: &Point) -> bool {
+        match self {
+            PointSet::Coded { codec, set } => set.insert(codec.encode(p)),
+            PointSet::Raw(set) => {
+                if set.contains(p) {
+                    false
+                } else {
+                    set.insert(p.clone())
+                }
+            }
+        }
+    }
+
+    /// Whether a point is present.
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            PointSet::Coded { codec, set } => set.contains(&codec.encode(p)),
+            PointSet::Raw(set) => set.contains(p),
+        }
+    }
+
+    /// Removes a point; returns whether it was present.
+    pub fn remove(&mut self, p: &Point) -> bool {
+        match self {
+            PointSet::Coded { codec, set } => set.remove(&codec.encode(p)),
+            PointSet::Raw(set) => set.remove(p),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            PointSet::Coded { set, .. } => set.len(),
+            PointSet::Raw(set) => set.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A Fenwick (binary-indexed) tree over non-negative `f64` weights,
+/// supporting `O(log n)` point update, cached total, and inverse-CDF
+/// descent for weighted sampling.
+#[derive(Debug, Clone, Default)]
+struct WeightTree {
+    /// 1-indexed partial sums; `tree[i]` covers `i - lowbit(i) + 1 ..= i`.
+    tree: Vec<f64>,
+    /// Current per-leaf weights (source of truth for updates/rebuilds).
+    weights: Vec<f64>,
+}
+
+impl WeightTree {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Appends a leaf with the given weight.
+    fn push(&mut self, w: f64) {
+        self.weights.push(w);
+        let i = self.weights.len(); // 1-indexed position of the new leaf.
+        // The new node covers `i - lowbit(i) + 1 ..= i`; seed it from the
+        // already-correct child nodes it swallows, then add the leaf.
+        let mut node = w;
+        let lsb = i & i.wrapping_neg();
+        let mut child = i - 1;
+        while child > i - lsb {
+            node += self.tree[child - 1];
+            child -= child & child.wrapping_neg();
+        }
+        self.tree.push(node);
+    }
+
+    /// Removes the last leaf.
+    fn pop(&mut self) {
+        self.weights.pop();
+        self.tree.pop();
+    }
+
+    /// Sets leaf `i` (0-indexed) to weight `w`.
+    fn set(&mut self, i: usize, w: f64) {
+        let delta = w - self.weights[i];
+        self.weights[i] = w;
+        let mut node = i + 1;
+        while node <= self.tree.len() {
+            self.tree[node - 1] += delta;
+            node += node & node.wrapping_neg();
+        }
+    }
+
+    /// Recomputes every node from the leaf weights in O(n) (used after
+    /// bulk rescales, and to shed accumulated floating-point drift):
+    /// each node is seeded with its leaf and propagated once to its
+    /// parent, instead of walking every leaf's ancestor chain.
+    fn rebuild(&mut self) {
+        let n = self.weights.len();
+        self.tree.copy_from_slice(&self.weights);
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                self.tree[parent - 1] += self.tree[i - 1];
+            }
+        }
+    }
+
+    /// Total weight (root-path sum, O(log n)).
+    fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut node = self.tree.len();
+        while node > 0 {
+            sum += self.tree[node - 1];
+            node -= node & node.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The leaf index whose cumulative-weight interval contains `ticket`
+    /// (standard binary-indexed descent). `ticket` must be in
+    /// `[0, total)`; floating drift is clamped to the last leaf.
+    fn sample(&self, mut ticket: f64) -> usize {
+        let n = self.len();
+        debug_assert!(n > 0);
+        let mut pos = 0usize; // 1-indexed prefix end.
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next - 1] <= ticket {
+                ticket -= self.tree[next - 1];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // pos is the count of leaves whose cumulative sum is <= ticket:
+        // the sampled leaf. Clamp for fp edge cases at the far end.
+        pos.min(n - 1)
+    }
+}
 
 /// One entry of the priority queue: an executed test with mutable fitness.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,11 +241,31 @@ pub struct PrioEntry {
     pub fitness: f64,
 }
 
+/// Eviction weight floor: 1/(fitness + ε) keeps zero-fitness entries
+/// evictable with finite weight.
+const EVICT_EPS: f64 = 1e-3;
+
+#[inline]
+fn fit_weight(fitness: f64) -> f64 {
+    fitness.max(0.0)
+}
+
+#[inline]
+fn evict_weight(fitness: f64) -> f64 {
+    1.0 / (fitness.max(0.0) + EVICT_EPS)
+}
+
 /// The bounded priority queue of parent candidates.
 #[derive(Debug, Clone, Default)]
 pub struct PriorityQueue {
     entries: Vec<PrioEntry>,
     cap: usize,
+    /// O(1) membership alongside the dense entry vector.
+    members: PointSet,
+    /// Fenwick tree on `max(fitness, 0)`: parent sampling.
+    fit_tree: WeightTree,
+    /// Fenwick tree on `1/(max(fitness, 0) + ε)`: eviction sampling.
+    evict_tree: WeightTree,
 }
 
 impl PriorityQueue {
@@ -40,17 +279,27 @@ impl PriorityQueue {
         PriorityQueue {
             entries: Vec::with_capacity(cap),
             cap,
+            members: PointSet::new(),
+            fit_tree: WeightTree::default(),
+            evict_tree: WeightTree::default(),
         }
+    }
+
+    /// Creates a queue bounded at `cap` entries whose membership set uses
+    /// the packed point-code fast path for `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn for_space(cap: usize, space: &FaultSpace) -> Self {
+        let mut q = PriorityQueue::new(cap);
+        q.members = PointSet::for_space(space);
+        q
     }
 
     /// Current entries (unordered).
     pub fn entries(&self) -> &[PrioEntry] {
         &self.entries
-    }
-
-    /// Mutable access for aging sweeps.
-    pub fn entries_mut(&mut self) -> &mut Vec<PrioEntry> {
-        &mut self.entries
     }
 
     /// Number of queued tests.
@@ -63,9 +312,15 @@ impl PriorityQueue {
         self.entries.is_empty()
     }
 
-    /// Whether a point is present.
+    /// Whether a point is present (O(1) via the membership set).
     pub fn contains(&self, p: &Point) -> bool {
-        self.entries.iter().any(|e| &e.point == p)
+        self.members.contains(p)
+    }
+
+    /// Sum of non-negative fitness over the queue — the parent-sampling
+    /// normalizer, served from the tree's cached totals.
+    pub fn total_fitness(&self) -> f64 {
+        self.fit_tree.total()
     }
 
     /// Mean fitness of the queue (0 when empty) — the quantity the §3
@@ -79,37 +334,52 @@ impl PriorityQueue {
 
     /// Inserts an executed test; when full, first evicts one entry sampled
     /// inversely proportionally to fitness. Returns the evicted entry.
+    ///
+    /// Points must be unique across live entries (the explorer guarantees
+    /// this via History and its pre-enqueue `contains` checks): the O(1)
+    /// membership set stores each point once, so a duplicate would desync
+    /// [`PriorityQueue::contains`] after one copy is evicted.
     pub fn insert<R: Rng + ?Sized>(&mut self, entry: PrioEntry, rng: &mut R) -> Option<PrioEntry> {
         let evicted = if self.entries.len() == self.cap {
             let idx = self.sample_eviction(rng);
-            Some(self.entries.swap_remove(idx))
+            Some(self.swap_remove(idx))
         } else {
             None
         };
+        let fresh = self.members.insert(&entry.point);
+        debug_assert!(fresh, "duplicate point {} inserted into Qpriority", entry.point);
+        self.fit_tree.push(fit_weight(entry.fitness));
+        self.evict_tree.push(evict_weight(entry.fitness));
         self.entries.push(entry);
         evicted
     }
 
     /// Samples a parent index proportionally to fitness (Algorithm 1
-    /// lines 1–4). Falls back to uniform when all fitness is zero.
-    /// Returns `None` on an empty queue.
+    /// lines 1–4), in O(log n). Falls back to uniform when all fitness is
+    /// zero. Returns `None` on an empty queue.
     pub fn sample_parent<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&PrioEntry> {
         if self.entries.is_empty() {
             return None;
         }
-        let total: f64 = self.entries.iter().map(|e| e.fitness.max(0.0)).sum();
+        let total = self.fit_tree.total();
         if total <= 0.0 {
             return self.entries.get(rng.gen_range(0..self.entries.len()));
         }
-        let mut ticket = rng.gen_range(0.0..total);
-        for e in &self.entries {
-            let w = e.fitness.max(0.0);
-            if ticket < w {
-                return Some(e);
-            }
-            ticket -= w;
+        let ticket = rng.gen_range(0.0..total);
+        Some(&self.entries[self.fit_tree.sample(ticket)])
+    }
+
+    /// Multiplies every fitness by `factor` (aging decay). Weight trees
+    /// are rebuilt in O(n) — same order as touching each entry, and it
+    /// sheds any accumulated floating-point drift.
+    pub fn scale_fitness(&mut self, factor: f64) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            e.fitness *= factor;
+            self.fit_tree.weights[i] = fit_weight(e.fitness);
+            self.evict_tree.weights[i] = evict_weight(e.fitness);
         }
-        self.entries.last()
+        self.fit_tree.rebuild();
+        self.evict_tree.rebuild();
     }
 
     /// Removes entries whose fitness fell below `threshold`, returning
@@ -120,7 +390,7 @@ impl PriorityQueue {
         let mut i = 0;
         while i < self.entries.len() {
             if self.entries[i].fitness < threshold {
-                retired.push(self.entries.swap_remove(i));
+                retired.push(self.swap_remove(i));
             } else {
                 i += 1;
             }
@@ -128,25 +398,29 @@ impl PriorityQueue {
         retired
     }
 
-    /// Eviction sampling: probability inversely proportional to fitness.
+    /// Removes entry `i` in O(log n), keeping trees and members in sync.
+    fn swap_remove(&mut self, i: usize) -> PrioEntry {
+        let last = self.entries.len() - 1;
+        if i != last {
+            let w_fit = self.fit_tree.weights[last];
+            let w_evict = self.evict_tree.weights[last];
+            self.fit_tree.set(i, w_fit);
+            self.evict_tree.set(i, w_evict);
+        }
+        self.fit_tree.pop();
+        self.evict_tree.pop();
+        let e = self.entries.swap_remove(i);
+        self.members.remove(&e.point);
+        e
+    }
+
+    /// Eviction sampling: probability inversely proportional to fitness,
+    /// in O(log n) via the inverse-weight tree.
     fn sample_eviction<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         debug_assert!(!self.entries.is_empty());
-        // Weight 1/(fitness + ε): low fitness → high eviction chance.
-        const EPS: f64 = 1e-3;
-        let weights: Vec<f64> = self
-            .entries
-            .iter()
-            .map(|e| 1.0 / (e.fitness.max(0.0) + EPS))
-            .collect();
-        let total: f64 = weights.iter().sum();
-        let mut ticket = rng.gen_range(0.0..total);
-        for (i, w) in weights.iter().enumerate() {
-            if ticket < *w {
-                return i;
-            }
-            ticket -= w;
-        }
-        self.entries.len() - 1
+        let total = self.evict_tree.total();
+        let ticket = rng.gen_range(0.0..total);
+        self.evict_tree.sample(ticket)
     }
 }
 
@@ -154,7 +428,7 @@ impl PriorityQueue {
 #[derive(Debug, Clone, Default)]
 pub struct PendingQueue {
     queue: VecDeque<PendingTest>,
-    members: HashSet<Point>,
+    members: PointSet,
 }
 
 /// A pending test: the point plus which axis its mutation changed (used to
@@ -171,6 +445,15 @@ impl PendingQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         PendingQueue::default()
+    }
+
+    /// Creates an empty queue using the packed point-code membership fast
+    /// path for `space`.
+    pub fn for_space(space: &FaultSpace) -> Self {
+        PendingQueue {
+            queue: VecDeque::new(),
+            members: PointSet::for_space(space),
+        }
     }
 
     /// Number of pending tests.
@@ -191,7 +474,7 @@ impl PendingQueue {
     /// Enqueues a test (Algorithm 1 lines 12–14). Duplicates are ignored;
     /// returns whether the test was added.
     pub fn push(&mut self, test: PendingTest) -> bool {
-        if !self.members.insert(test.point.clone()) {
+        if !self.members.insert(&test.point) {
             return false;
         }
         self.queue.push_back(test);
@@ -209,7 +492,7 @@ impl PendingQueue {
 /// The set of all executed tests.
 #[derive(Debug, Clone, Default)]
 pub struct History {
-    seen: HashSet<Point>,
+    seen: PointSet,
 }
 
 impl History {
@@ -218,9 +501,17 @@ impl History {
         History::default()
     }
 
+    /// Creates an empty history using the packed point-code fast path for
+    /// `space`.
+    pub fn for_space(space: &FaultSpace) -> Self {
+        History {
+            seen: PointSet::for_space(space),
+        }
+    }
+
     /// Records an executed point; returns `false` if already present.
     pub fn record(&mut self, p: Point) -> bool {
-        self.seen.insert(p)
+        self.seen.insert(&p)
     }
 
     /// Whether a point was ever executed.
@@ -242,6 +533,7 @@ impl History {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use afex_space::Axis;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -329,6 +621,77 @@ mod tests {
         assert_eq!(retired.len(), 1);
         assert_eq!(q.len(), 1);
         assert!(q.contains(&Point::new(vec![1])));
+        assert!(!q.contains(&Point::new(vec![0])));
+    }
+
+    #[test]
+    fn tree_total_tracks_entry_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut q = PriorityQueue::new(8);
+        for i in 0..8 {
+            q.insert(entry(i, i as f64), &mut rng);
+        }
+        let expect: f64 = (0..8).map(|i| i as f64).sum();
+        assert!((q.total_fitness() - expect).abs() < 1e-9);
+        q.scale_fitness(0.5);
+        assert!((q.total_fitness() - expect * 0.5).abs() < 1e-9);
+        q.retire_below(1.0); // Drops scaled fitness 0.0, 0.5.
+        let expect: f64 = (2..8).map(|i| i as f64 * 0.5).sum();
+        assert!((q.total_fitness() - expect).abs() < 1e-9, "{}", q.total_fitness());
+    }
+
+    #[test]
+    fn sampling_distribution_is_proportional_to_fitness() {
+        // The Fenwick-backed sampler must match the linear-scan law:
+        // P(entry) = fitness / total.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = PriorityQueue::new(8);
+        let weights = [1.0, 2.0, 3.0, 10.0];
+        for (i, &w) in weights.iter().enumerate() {
+            q.insert(entry(i, w), &mut rng);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut counts = [0usize; 4];
+        const N: usize = 40_000;
+        for _ in 0..N {
+            let p = q.sample_parent(&mut rng).unwrap();
+            counts[p.point[0]] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = N as f64 * w / total;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.15 + 30.0,
+                "entry {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn coded_membership_matches_raw() {
+        let space = FaultSpace::new(vec![
+            Axis::int_range("x", 0, 9),
+            Axis::int_range("y", 0, 9),
+        ])
+        .unwrap();
+        let mut coded = PointSet::for_space(&space);
+        let mut raw = PointSet::new();
+        assert!(matches!(coded, PointSet::Coded { .. }));
+        for p in space.iter_points() {
+            if (p[0] + p[1]) % 3 == 0 {
+                assert!(coded.insert(&p));
+                assert!(raw.insert(&p));
+                assert!(!coded.insert(&p), "double insert at {p}");
+            }
+        }
+        assert_eq!(coded.len(), raw.len());
+        for p in space.iter_points() {
+            assert_eq!(coded.contains(&p), raw.contains(&p), "{p}");
+        }
+        let gone = Point::new(vec![0, 0]);
+        assert!(coded.remove(&gone));
+        assert!(!coded.contains(&gone));
+        assert!(!coded.remove(&gone));
     }
 
     #[test]
@@ -360,5 +723,48 @@ mod tests {
         assert!(!h.record(Point::new(vec![1])));
         assert!(h.contains(&Point::new(vec![1])));
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn coded_history_dedups_like_raw() {
+        let space = FaultSpace::new(vec![Axis::int_range("x", 0, 99)]).unwrap();
+        let mut h = History::for_space(&space);
+        assert!(h.record(Point::new(vec![42])));
+        assert!(!h.record(Point::new(vec![42])));
+        assert!(h.contains(&Point::new(vec![42])));
+        assert!(!h.contains(&Point::new(vec![41])));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn weight_tree_push_set_pop_stay_consistent() {
+        let mut t = WeightTree::default();
+        let mut model: Vec<f64> = Vec::new();
+        for i in 0..37 {
+            let w = ((i * 7) % 11) as f64;
+            t.push(w);
+            model.push(w);
+        }
+        let sum: f64 = model.iter().sum();
+        assert!((t.total() - sum).abs() < 1e-9);
+        t.set(5, 100.0);
+        model[5] = 100.0;
+        let sum: f64 = model.iter().sum();
+        assert!((t.total() - sum).abs() < 1e-9);
+        for _ in 0..10 {
+            t.pop();
+            model.pop();
+        }
+        let sum: f64 = model.iter().sum();
+        assert!((t.total() - sum).abs() < 1e-9);
+        // Descent lands on the right leaf for exact boundary tickets.
+        let mut acc = 0.0;
+        for (i, &w) in model.iter().enumerate() {
+            if w > 0.0 {
+                assert_eq!(t.sample(acc), i, "ticket at leaf {i} start");
+                assert_eq!(t.sample(acc + w * 0.5), i, "ticket mid leaf {i}");
+            }
+            acc += w;
+        }
     }
 }

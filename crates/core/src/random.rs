@@ -7,7 +7,7 @@
 
 use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
 use crate::explore::Explore;
-use crate::queues::{History, PendingTest};
+use crate::queues::{History, PendingTest, PointSet};
 use crate::session::SessionResult;
 use afex_space::{FaultSpace, UniformSampler};
 use rand::rngs::StdRng;
@@ -20,19 +20,19 @@ pub struct RandomExplorer {
     history: History,
     iteration: usize,
     executed: Vec<ExecutedTest>,
-    issued: std::collections::HashSet<afex_space::Point>,
+    issued: PointSet,
 }
 
 impl RandomExplorer {
     /// Creates a random explorer with a deterministic seed.
     pub fn new(space: FaultSpace, seed: u64) -> Self {
         RandomExplorer {
-            space,
             rng: StdRng::seed_from_u64(seed),
-            history: History::new(),
+            history: History::for_space(&space),
             iteration: 0,
             executed: Vec::new(),
-            issued: std::collections::HashSet::new(),
+            issued: PointSet::for_space(&space),
+            space,
         }
     }
 
@@ -53,7 +53,7 @@ impl Explore for RandomExplorer {
         for _ in 0..UniformSampler::MAX_REJECTS {
             let p = sampler.sample(&mut self.rng);
             if self.space.is_valid(&p) && !self.history.contains(&p) && !self.issued.contains(&p) {
-                self.issued.insert(p.clone());
+                self.issued.insert(&p);
                 return Some(PendingTest {
                     point: p,
                     mutated_axis: None,

@@ -67,11 +67,9 @@ fn run_alloc(n: usize, checked: bool) -> i32 {
     for i in 1..=n {
         // SAFETY: plain allocation request.
         let p = unsafe { malloc(VICTIM_ALLOC_SIZE) };
-        if checked {
-            if p.is_null() {
-                eprintln!("victim: malloc #{i} failed: errno {}", errno());
-                return 1;
-            }
+        if checked && p.is_null() {
+            eprintln!("victim: malloc #{i} failed: errno {}", errno());
+            return 1;
         }
         // The unchecked path writes regardless — NULL here segfaults,
         // which is the point of the `alloc-unchecked` mode.

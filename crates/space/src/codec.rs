@@ -1,0 +1,124 @@
+//! Packed point codes: mixed-radix encoding of points into `u64`.
+//!
+//! The explorer's hot loops (History membership, Qpending dedup, Qpriority
+//! `contains`) hash points on every lookup. A [`Point`] is a `Vec<usize>`,
+//! so each hash walks a heap allocation and each stored key clones one.
+//! For every space whose product fits in a `u64` — all the paper's spaces
+//! by far — a point is equivalently its row-major linear index, and a
+//! `u64` code hashes in a couple of cycles and stores inline.
+//!
+//! The encoding is the same mixed-radix scheme as
+//! [`FaultSpace::linear_index`](crate::FaultSpace::linear_index): axis 0
+//! is the most significant digit. [`PointCodec::for_space`] returns `None`
+//! when the product overflows `u64`, and callers fall back to hashing
+//! whole points.
+
+use crate::point::Point;
+use crate::space::FaultSpace;
+
+/// A bijection between a space's points and `0..space.len()` codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointCodec {
+    /// Cardinality of each axis (the radix of each digit).
+    radices: Vec<u64>,
+}
+
+impl PointCodec {
+    /// Builds the codec for `space`, or `None` if the product of axis
+    /// cardinalities overflows `u64` (no compact code exists).
+    pub fn for_space(space: &FaultSpace) -> Option<Self> {
+        let mut total: u64 = 1;
+        let mut radices = Vec::with_capacity(space.arity());
+        for axis in space.axes() {
+            let n = axis.len() as u64;
+            total = total.checked_mul(n)?;
+            radices.push(n);
+        }
+        Some(PointCodec { radices })
+    }
+
+    /// Number of axes the codec encodes.
+    pub fn arity(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Encodes a point as its mixed-radix code.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts arity and per-axis range; out-of-space points are a
+    /// caller bug (everything inserted into the queues is validated by
+    /// the space first).
+    #[inline]
+    pub fn encode(&self, p: &Point) -> u64 {
+        debug_assert_eq!(p.arity(), self.radices.len(), "codec arity mismatch");
+        let mut code: u64 = 0;
+        for (&a, &radix) in p.attrs().iter().zip(&self.radices) {
+            debug_assert!((a as u64) < radix, "attribute {a} out of radix {radix}");
+            code = code * radix + a as u64;
+        }
+        code
+    }
+
+    /// Decodes a code back into its point (inverse of [`Self::encode`]).
+    pub fn decode(&self, mut code: u64) -> Point {
+        let mut attrs = vec![0usize; self.radices.len()];
+        for (slot, &radix) in attrs.iter_mut().zip(&self.radices).rev() {
+            *slot = (code % radix) as usize;
+            code /= radix;
+        }
+        Point::new(attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(vec![
+            Axis::symbolic("function", ["open", "close", "read"]),
+            Axis::int_range("callNumber", 1, 4),
+            Axis::symbolic("retval", ["-1", "0"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn codes_match_linear_index() {
+        let s = space();
+        let codec = PointCodec::for_space(&s).unwrap();
+        for p in s.iter_points() {
+            assert_eq!(codec.encode(&p), s.linear_index(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_point() {
+        let s = space();
+        let codec = PointCodec::for_space(&s).unwrap();
+        for p in s.iter_points() {
+            assert_eq!(codec.decode(codec.encode(&p)), p);
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let s = space();
+        let codec = PointCodec::for_space(&s).unwrap();
+        let codes: std::collections::HashSet<u64> =
+            s.iter_points().map(|p| codec.encode(&p)).collect();
+        assert_eq!(codes.len() as u64, s.len());
+    }
+
+    #[test]
+    fn overflowing_product_has_no_codec() {
+        // 100^10 = 1e20 > u64::MAX ≈ 1.8e19: no compact code exists.
+        let axes: Vec<Axis> = (0..10)
+            .map(|i| Axis::int_range(format!("a{i}"), 0, 99))
+            .collect();
+        let s = FaultSpace::new(axes).unwrap();
+        assert!(PointCodec::for_space(&s).is_none());
+    }
+}

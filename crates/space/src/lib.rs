@@ -41,6 +41,7 @@
 //! ```
 
 pub mod axis;
+pub mod codec;
 pub mod density;
 pub mod desc;
 pub mod distance;
@@ -51,6 +52,7 @@ pub mod shuffle;
 pub mod space;
 
 pub use axis::{Axis, AxisKind, Value};
+pub use codec::PointCodec;
 pub use density::{relative_linear_density, relative_linear_density_in_vicinity};
 pub use desc::{Scenario, SpaceDesc, Subspace};
 pub use distance::{manhattan, Vicinity};

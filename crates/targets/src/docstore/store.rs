@@ -129,9 +129,8 @@ impl DocStore {
             env.block(MODULE, 15); // Recovery: journal write rollback.
             RunError::Fault(e.errno())
         })?;
-        sync.map_err(|e: RunError| {
+        sync.inspect_err(|_: &RunError| {
             env.block(MODULE, 16);
-            e
         })?;
         close.map_err(|e| {
             env.block(MODULE, 17);

@@ -87,7 +87,7 @@ impl Target for MiniDbTarget {
                 Ok(())
             }
             // Insert families.
-            3 | 4 | 5 => {
+            3..=5 => {
                 db.create_table(env, &vfs, "t")?;
                 for i in 0..(n as u64 * (base as u64 - 2)) {
                     db.insert(env, &vfs, "t", i, "v")?;
@@ -149,7 +149,7 @@ impl Target for MiniDbTarget {
                 check(r.is_err(), "unknown table rejected")
             }
             // Mixed workloads.
-            18 | 19 | 20 => {
+            18..=20 => {
                 db.create_table(env, &vfs, "m")?;
                 for i in 0..n as u64 {
                     db.insert(env, &vfs, "m", i, "x")?;

@@ -1,0 +1,344 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! A plain wall-clock micro-benchmark harness: warm up, run timed batches
+//! until a time budget is met, report the per-iteration mean and the
+//! derived throughput. No statistics machinery, no HTML reports — just
+//! stable numbers on stdout, which is all the workspace's benches need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark batch sizing (only the variants the workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Create inputs and time the routine in batches of exactly `n`.
+    NumIterations(u64),
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+}
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id: function name plus parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's display convention.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement handle passed to bench closures.
+pub struct Bencher {
+    /// (total duration, iterations) accumulated by the routine.
+    measured: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // costs at least ~1ms so timer overhead is negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (inputs created
+    /// outside the timed region), mutating each input in place.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        let per_round = match size {
+            BatchSize::NumIterations(n) => n.max(1),
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput => 1,
+        };
+        // Bound the number of live inputs per allocation chunk so huge
+        // NumIterations values do not exhaust memory.
+        let chunk = per_round.min(64) as usize;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut done_this_round: u64 = 0;
+        while total < self.budget || iters == 0 {
+            let mut inputs: Vec<I> = (0..chunk).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in &mut inputs {
+                std::hint::black_box(routine(input));
+            }
+            total += start.elapsed();
+            iters += chunk as u64;
+            done_this_round += chunk as u64;
+            if done_this_round >= per_round && total >= self.budget {
+                break;
+            }
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(group: Option<&str>, id: &str, measured: Option<(Duration, u64)>, thr: Option<Throughput>) {
+    let Some((total, iters)) = measured else {
+        return;
+    };
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    let nanos = total.as_nanos() as f64 / iters.max(1) as f64;
+    let mut line = format!("{full:<48} time: [{}/iter]", human_time(nanos));
+    match thr {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / nanos;
+            line.push_str(&format!("  thrpt: {per_sec:.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / nanos;
+            line.push_str(&format!("  thrpt: {:.2} MiB/s", per_sec / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// One named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.criterion.matches(&self.name, &id.id) {
+            return self;
+        }
+        let mut b = Bencher {
+            measured: None,
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, b.measured, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if !self.criterion.matches(&self.name, &id.id) {
+            return self;
+        }
+        let mut b = Bencher {
+            measured: None,
+            budget: self.criterion.budget,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.measured, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` narrows which benches run; flags from
+        // cargo's harness protocol (`--bench`) are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let budget = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Criterion { budget, filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{id}").contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches("", id) {
+            let mut b = Bencher {
+                measured: None,
+                budget: self.budget,
+            };
+            f(&mut b);
+            report(None, id, b.measured, None);
+        }
+        self
+    }
+}
+
+/// Groups bench functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measured: None,
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        let (total, iters) = b.measured.unwrap();
+        assert!(iters > 0);
+        assert!(total >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn batched_ref_gives_fresh_inputs() {
+        let mut b = Bencher {
+            measured: None,
+            budget: Duration::from_millis(2),
+        };
+        b.iter_batched_ref(
+            || 0u64,
+            |x| {
+                assert_eq!(*x, 0, "input must be fresh");
+                *x += 1;
+            },
+            BatchSize::NumIterations(128),
+        );
+        assert!(b.measured.unwrap().1 >= 128);
+    }
+}

@@ -1,0 +1,285 @@
+//! Vendored, API-compatible subset of `crossbeam` (channels only).
+//!
+//! Multi-producer **multi-consumer** channels built on
+//! `std::sync::mpsc` plus a mutex on the receiving side. Semantics match
+//! what the workspace relies on: cloneable receivers pulling from one
+//! queue, send failing once every receiver is gone, and receive failing
+//! once every sender is gone and the queue drained.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when the channel is closed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Capacity bound (`None` = unbounded).
+        cap: Option<usize>,
+        /// Signalled when a message arrives or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        writable: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if every receiver was dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if let Some(cap) = self.shared.cap {
+                while st.queue.len() >= cap && st.receivers > 0 {
+                    st = self
+                        .shared
+                        .writable
+                        .wait(st)
+                        .expect("channel poisoned");
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    /// The receiving half; cloneable (clones share one queue).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake senders blocked on a full queue so they can
+                // observe the disconnect.
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives. The lock is
+        /// released while waiting, so `try_recv` on clones stays
+        /// non-blocking.
+        ///
+        /// # Errors
+        ///
+        /// Fails once every sender is gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .readable
+                    .wait(st)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Receives a message if one is queued.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when the queue is momentarily empty,
+        /// [`TryRecvError::Disconnected`] when the channel closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            match st.queue.pop_front() {
+                Some(t) => {
+                    self.shared.writable.notify_one();
+                    Ok(t)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over messages until the channel closes.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+    }
+
+    /// Blocking message iterator (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Non-blocking message iterator (see [`Receiver::try_iter`]).
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    fn channel_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(None)
+    }
+
+    /// A bounded MPMC channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(Some(cap))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_out_across_cloned_receivers() {
+            let (tx, rx) = unbounded::<usize>();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h = std::thread::spawn(move || rx2.iter().count());
+            let a = rx.iter().count();
+            let b = h.join().unwrap();
+            assert_eq!(a + b, 100);
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            drop(rx);
+            drop(rx2);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn try_recv_stays_nonblocking_while_a_clone_blocks_in_recv() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            let blocker = std::thread::spawn(move || rx2.recv());
+            // Give the blocked receiver time to park inside recv().
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(9).unwrap();
+            assert_eq!(blocker.join().unwrap(), Ok(9));
+        }
+
+        #[test]
+        fn bounded_blocks_then_drains() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let h = std::thread::spawn(move || tx.send(3));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(h.join().unwrap().is_ok());
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,99 +1,234 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Hand-rolled randomized properties (the build is offline, so no
+//! proptest): each property runs a few hundred seeded-deterministic
+//! random cases and asserts the invariant with the failing case in the
+//! panic message.
 
-use afex::core::{levenshtein, DiscreteGaussian};
-use afex::space::{manhattan, Axis, FaultSpace, Point, Vicinity};
-use proptest::prelude::*;
+use afex::core::queues::{PrioEntry, PriorityQueue};
+use afex::core::{
+    cluster_traces, cluster_traces_naive, levenshtein, levenshtein_bounded, levenshtein_reference,
+    ClusterIndex, DiscreteGaussian,
+};
+use afex::space::{manhattan, Axis, FaultSpace, Point, PointCodec, Vicinity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small fault space (1–4 axes, 1–8 values each) plus one
-/// valid point inside it.
-fn space_and_point() -> impl Strategy<Value = (FaultSpace, Point)> {
-    prop::collection::vec(1usize..8, 1..4).prop_flat_map(|lens| {
-        let axes: Vec<Axis> = lens
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| Axis::int_range(format!("a{i}"), 0, n as i64 - 1))
-            .collect();
-        let point_strategy: Vec<BoxedStrategy<usize>> =
-            lens.iter().map(|&n| (0..n).boxed()).collect();
-        (Just(FaultSpace::new(axes).unwrap()), point_strategy)
-            .prop_map(|(s, attrs)| (s, Point::new(attrs)))
-    })
+/// Runs `cases` deterministic random cases of a property.
+fn check(cases: usize, seed: u64, mut prop: impl FnMut(&mut StdRng, usize)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        prop(&mut rng, case);
+    }
 }
 
-proptest! {
-    #[test]
-    fn linear_index_roundtrips((space, point) in space_and_point()) {
-        let idx = space.linear_index(&point).unwrap();
-        prop_assert!(idx < space.len());
-        prop_assert_eq!(space.point_at(idx).unwrap(), point);
-    }
+/// A small random fault space (1–4 axes, 1–8 values each) and one valid
+/// point inside it.
+fn space_and_point(rng: &mut StdRng) -> (FaultSpace, Point) {
+    let arity = rng.gen_range(1..4usize);
+    let lens: Vec<usize> = (0..arity).map(|_| rng.gen_range(1..8usize)).collect();
+    let axes: Vec<Axis> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| Axis::int_range(format!("a{i}"), 0, n as i64 - 1))
+        .collect();
+    let attrs: Vec<usize> = lens.iter().map(|&n| rng.gen_range(0..n)).collect();
+    (FaultSpace::new(axes).unwrap(), Point::new(attrs))
+}
 
-    #[test]
-    fn manhattan_is_a_metric(
-        a in prop::collection::vec(0usize..50, 3),
-        b in prop::collection::vec(0usize..50, 3),
-        c in prop::collection::vec(0usize..50, 3),
-    ) {
-        let (pa, pb, pc) = (Point::new(a), Point::new(b), Point::new(c));
+/// A random string over `alphabet`, up to `max_len` scalars.
+fn rand_string(rng: &mut StdRng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+const ASCII: &[char] = &['a', 'b', 'c', 'd', '>', '_', 'x', '0'];
+const UNICODE: &[char] = &['a', 'é', '→', '日', '本', '😀', '>', 'ß'];
+
+#[test]
+fn linear_index_roundtrips() {
+    check(300, 1, |rng, _| {
+        let (space, point) = space_and_point(rng);
+        let idx = space.linear_index(&point).unwrap();
+        assert!(idx < space.len());
+        assert_eq!(space.point_at(idx).unwrap(), point);
+    });
+}
+
+#[test]
+fn point_codec_matches_linear_index() {
+    check(300, 2, |rng, _| {
+        let (space, point) = space_and_point(rng);
+        let codec = PointCodec::for_space(&space).expect("small spaces always fit u64");
+        let code = codec.encode(&point);
+        assert_eq!(code, space.linear_index(&point).unwrap());
+        assert_eq!(codec.decode(code), point);
+    });
+}
+
+#[test]
+fn manhattan_is_a_metric() {
+    check(500, 3, |rng, _| {
+        let v = |rng: &mut StdRng| -> Point {
+            Point::new((0..3).map(|_| rng.gen_range(0..50usize)).collect())
+        };
+        let (pa, pb, pc) = (v(rng), v(rng), v(rng));
         // Identity.
-        prop_assert_eq!(manhattan(&pa, &pa), 0);
+        assert_eq!(manhattan(&pa, &pa), 0);
         // Symmetry.
-        prop_assert_eq!(manhattan(&pa, &pb), manhattan(&pb, &pa));
+        assert_eq!(manhattan(&pa, &pb), manhattan(&pb, &pa));
         // Triangle inequality.
-        prop_assert!(manhattan(&pa, &pc) <= manhattan(&pa, &pb) + manhattan(&pb, &pc));
+        assert!(manhattan(&pa, &pc) <= manhattan(&pa, &pb) + manhattan(&pb, &pc));
         // Zero distance implies equality.
         if manhattan(&pa, &pb) == 0 {
-            prop_assert_eq!(pa.clone(), pb.clone());
+            assert_eq!(pa, pb);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vicinity_matches_brute_force((space, point) in space_and_point(), d in 0u64..6) {
+#[test]
+fn vicinity_matches_brute_force() {
+    check(150, 4, |rng, _| {
+        let (space, point) = space_and_point(rng);
+        let d = rng.gen_range(0..6u64);
         let via_iter: std::collections::HashSet<Point> =
             Vicinity::new(&space, &point, d).collect();
         let brute: std::collections::HashSet<Point> = space
             .iter_points()
             .filter(|p| manhattan(p, &point) <= d)
             .collect();
-        prop_assert_eq!(via_iter, brute);
-    }
+        assert_eq!(via_iter, brute);
+    });
+}
 
-    #[test]
-    fn levenshtein_is_a_metric(a in ".{0,12}", b in ".{0,12}", c in ".{0,12}") {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert!(
-            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
-        );
+#[test]
+fn levenshtein_is_a_metric() {
+    check(400, 5, |rng, _| {
+        let alphabet = if rng.gen_bool(0.5) { ASCII } else { UNICODE };
+        let a = rand_string(rng, alphabet, 12);
+        let b = rand_string(rng, alphabet, 12);
+        let c = rand_string(rng, alphabet, 12);
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
         // Bounds: |len(a) - len(b)| <= d <= max(len).
         let (la, lb) = (a.chars().count(), b.chars().count());
         let d = levenshtein(&a, &b);
-        prop_assert!(d >= la.abs_diff(lb));
-        prop_assert!(d <= la.max(lb));
-    }
+        assert!(d >= la.abs_diff(lb));
+        assert!(d <= la.max(lb));
+    });
+}
 
-    #[test]
-    fn gaussian_samples_stay_in_range(n in 1usize..200, center_frac in 0.0f64..1.0, seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let center = ((n - 1) as f64 * center_frac) as usize;
+#[test]
+fn bit_parallel_levenshtein_matches_reference_dp() {
+    // ASCII and multi-byte Unicode, short and past the 64-scalar block
+    // boundary (the multi-block carry path).
+    check(400, 6, |rng, case| {
+        let alphabet = if case % 2 == 0 { ASCII } else { UNICODE };
+        let max = if case % 5 == 0 { 150 } else { 40 };
+        let a = rand_string(rng, alphabet, max);
+        let b = rand_string(rng, alphabet, max);
+        assert_eq!(
+            levenshtein(&a, &b),
+            levenshtein_reference(&a, &b),
+            "a={a:?} b={b:?}"
+        );
+    });
+}
+
+#[test]
+fn bounded_levenshtein_honors_the_k_contract() {
+    // Some(d) with d == reference iff reference <= k; None otherwise.
+    check(400, 7, |rng, case| {
+        let alphabet = if case % 2 == 0 { ASCII } else { UNICODE };
+        let a = rand_string(rng, alphabet, 30);
+        let b = rand_string(rng, alphabet, 30);
+        let d = levenshtein_reference(&a, &b);
+        let k = rng.gen_range(0..=32usize);
+        let got = levenshtein_bounded(&a, &b, k);
+        if d <= k {
+            assert_eq!(got, Some(d), "a={a:?} b={b:?} k={k}");
+        } else {
+            assert_eq!(got, None, "a={a:?} b={b:?} d={d} k={k}");
+        }
+    });
+}
+
+/// Random trace corpus mixing duplicates, near-duplicates, and unrelated
+/// paths — the shapes redundancy clustering actually sees.
+fn rand_traces(rng: &mut StdRng) -> Vec<String> {
+    let n = rng.gen_range(0..40usize);
+    let stems = ["main>f>g", "main>net>recv", "boot>init", "a>b"];
+    (0..n)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => stems[rng.gen_range(0..stems.len())].to_string(),
+            1 => {
+                let mut s = stems[rng.gen_range(0..stems.len())].to_string();
+                for _ in 0..rng.gen_range(1..4usize) {
+                    s.push(['x', 'y', 'z'][rng.gen_range(0..3usize)]);
+                }
+                s
+            }
+            _ => rand_string(rng, ASCII, 16),
+        })
+        .collect()
+}
+
+#[test]
+fn indexed_clustering_matches_naive_all_pairs() {
+    check(250, 8, |rng, _| {
+        let traces = rand_traces(rng);
+        let threshold = rng.gen_range(0..7usize);
+        assert_eq!(
+            cluster_traces(&traces, threshold),
+            cluster_traces_naive(&traces, threshold),
+            "traces={traces:?} threshold={threshold}"
+        );
+    });
+}
+
+#[test]
+fn online_insertion_matches_batch_clustering() {
+    check(250, 9, |rng, _| {
+        let traces = rand_traces(rng);
+        let threshold = rng.gen_range(0..7usize);
+        let mut idx = ClusterIndex::new(threshold);
+        for t in &traces {
+            idx.insert(t);
+        }
+        assert_eq!(
+            idx.clusters(),
+            cluster_traces_naive(&traces, threshold),
+            "traces={traces:?} threshold={threshold}"
+        );
+    });
+}
+
+#[test]
+fn gaussian_samples_stay_in_range() {
+    check(300, 10, |rng, _| {
+        let n = rng.gen_range(1..200usize);
+        let center = rng.gen_range(0..n);
         let g = DiscreteGaussian::paper(n);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..32 {
-            prop_assert!(g.sample(center, &mut rng) < n);
+            assert!(g.sample(center, rng) < n);
         }
-        let distinct = g.sample_distinct(center, &mut rng);
-        prop_assert!(distinct < n);
+        let distinct = g.sample_distinct(center, rng);
+        assert!(distinct < n);
         if n > 1 {
-            prop_assert_ne!(distinct, center);
+            assert_ne!(distinct, center);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_accepts_generated_descriptors(
-        nsets in 1usize..4,
-        lo in 1i64..50,
-        span in 0i64..50,
-    ) {
+#[test]
+fn parser_accepts_generated_descriptors() {
+    check(200, 11, |rng, _| {
+        let nsets = rng.gen_range(1..4usize);
+        let lo = rng.gen_range(1..50i64);
+        let span = rng.gen_range(0..50i64);
         let mut text = String::new();
         for i in 0..nsets {
             text.push_str(&format!(
@@ -102,41 +237,36 @@ proptest! {
             ));
         }
         let desc = afex::space::parse(&text).unwrap();
-        prop_assert_eq!(desc.subspaces().len(), nsets);
-        prop_assert_eq!(
-            desc.total_points(),
-            nsets as u64 * 2 * (span as u64 + 1)
-        );
-    }
+        assert_eq!(desc.subspaces().len(), nsets);
+        assert_eq!(desc.total_points(), nsets as u64 * 2 * (span as u64 + 1));
+    });
+}
 
-    #[test]
-    fn shuffle_is_a_bijection(n in 2usize..30, seed in 0u64..500) {
-        use afex::space::AxisShuffle;
-        use rand::SeedableRng;
+#[test]
+fn shuffle_is_a_bijection() {
+    use afex::space::AxisShuffle;
+    check(300, 12, |rng, _| {
+        let n = rng.gen_range(2..30usize);
         let space = FaultSpace::new(vec![Axis::int_range("x", 0, n as i64 - 1)]).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let sh = AxisShuffle::random(&space, 0, &mut rng);
+        let sh = AxisShuffle::random(&space, 0, rng);
         let mut seen = std::collections::HashSet::new();
         for i in 0..n {
             let q = sh.apply(&Point::new(vec![i]));
-            prop_assert!(q[0] < n);
-            prop_assert!(seen.insert(q[0]));
-            prop_assert_eq!(sh.unapply(&q), Point::new(vec![i]));
+            assert!(q[0] < n);
+            assert!(seen.insert(q[0]));
+            assert_eq!(sh.unapply(&q), Point::new(vec![i]));
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn explorers_never_repeat_and_respect_budget(
-        w in 2usize..12,
-        h in 2usize..12,
-        budget in 1usize..80,
-        seed in 0u64..100,
-    ) {
-        use afex::core::{ExplorerConfig, FitnessExplorer, FnEvaluator};
+#[test]
+fn explorers_never_repeat_and_respect_budget() {
+    use afex::core::{ExplorerConfig, FitnessExplorer, FnEvaluator};
+    check(32, 13, |rng, _| {
+        let w = rng.gen_range(2..12usize);
+        let h = rng.gen_range(2..12usize);
+        let budget = rng.gen_range(1..80usize);
+        let seed = rng.gen_range(0..100u64);
         let space = FaultSpace::new(vec![
             Axis::int_range("x", 0, w as i64 - 1),
             Axis::int_range("y", 0, h as i64 - 1),
@@ -145,32 +275,101 @@ proptest! {
         let eval = FnEvaluator::new(|p: &Point| (p[0] % 3) as f64);
         let mut ex = FitnessExplorer::new(space, ExplorerConfig::default(), seed);
         let r = ex.run(&eval, budget);
-        prop_assert!(r.len() <= budget);
-        prop_assert_eq!(r.len(), budget.min(w * h));
+        assert!(r.len() <= budget);
+        assert_eq!(r.len(), budget.min(w * h));
         let distinct: std::collections::HashSet<_> =
             r.executed.iter().map(|t| t.point.clone()).collect();
-        prop_assert_eq!(distinct.len(), r.len());
-    }
+        assert_eq!(distinct.len(), r.len());
+    });
+}
 
-    #[test]
-    fn priority_queue_never_exceeds_capacity(
-        cap in 1usize..20,
-        fitnesses in prop::collection::vec(0.0f64..100.0, 1..100),
-    ) {
-        use afex::core::queues::{PrioEntry, PriorityQueue};
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+#[test]
+fn priority_queue_never_exceeds_capacity() {
+    check(100, 14, |rng, _| {
+        let cap = rng.gen_range(1..20usize);
+        let count = rng.gen_range(1..100usize);
         let mut q = PriorityQueue::new(cap);
-        for (i, f) in fitnesses.iter().enumerate() {
+        for i in 0..count {
+            let f = rng.gen_range(0.0..100.0f64);
             q.insert(
                 PrioEntry {
                     point: Point::new(vec![i]),
-                    impact: *f,
-                    fitness: *f,
+                    impact: f,
+                    fitness: f,
                 },
-                &mut rng,
+                rng,
             );
-            prop_assert!(q.len() <= cap);
+            assert!(q.len() <= cap);
         }
+    });
+}
+
+#[test]
+fn priority_queue_membership_tracks_entries_under_churn() {
+    // The O(1) contains-set must agree with a linear scan through every
+    // insert/evict/retire/decay sequence.
+    check(60, 15, |rng, _| {
+        let cap = rng.gen_range(1..12usize);
+        let mut q = PriorityQueue::new(cap);
+        for i in 0..rng.gen_range(1..60usize) {
+            let f = rng.gen_range(0.0..10.0f64);
+            q.insert(
+                PrioEntry {
+                    point: Point::new(vec![i]),
+                    impact: f,
+                    fitness: f,
+                },
+                rng,
+            );
+            if rng.gen_bool(0.2) {
+                q.scale_fitness(0.5);
+                q.retire_below(0.3);
+            }
+            for j in 0..=i {
+                let p = Point::new(vec![j]);
+                let scanned = q.entries().iter().any(|e| e.point == p);
+                assert_eq!(q.contains(&p), scanned, "point {j} after insert {i}");
+            }
+            let total: f64 = q.entries().iter().map(|e| e.fitness.max(0.0)).sum();
+            assert!(
+                (q.total_fitness() - total).abs() < 1e-6,
+                "tree total {} vs scan {total}",
+                q.total_fitness()
+            );
+        }
+    });
+}
+
+#[test]
+fn fenwick_sampling_matches_fitness_proportions() {
+    // Statistical identity with the seed's linear-scan sampler: the
+    // sampled-parent distribution must be proportional to fitness.
+    let mut rng = StdRng::seed_from_u64(16);
+    let weights = [0.5, 4.0, 0.0, 2.5, 8.0, 1.0];
+    let mut q = PriorityQueue::new(weights.len());
+    for (i, &w) in weights.iter().enumerate() {
+        q.insert(
+            PrioEntry {
+                point: Point::new(vec![i]),
+                impact: w,
+                fitness: w,
+            },
+            &mut rng,
+        );
+    }
+    let total: f64 = weights.iter().sum();
+    let mut counts = vec![0usize; weights.len()];
+    const N: usize = 60_000;
+    for _ in 0..N {
+        counts[q.sample_parent(&mut rng).unwrap().point[0]] += 1;
+    }
+    assert_eq!(counts[2], 0, "zero-fitness entries are never sampled");
+    for (i, &w) in weights.iter().enumerate() {
+        let expect = N as f64 * w / total;
+        assert!(
+            (counts[i] as f64 - expect).abs() < expect * 0.1 + 40.0,
+            "entry {i}: got {}, expected {expect:.0}",
+            counts[i]
+        );
     }
 }
