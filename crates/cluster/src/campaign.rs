@@ -1,0 +1,191 @@
+//! Sharded multi-cell scheduling over the manager pool.
+//!
+//! [`ParallelSession`](crate::ParallelSession) pumps **one** explorer
+//! through the pool; a campaign has a whole matrix of independent cells
+//! (`target × strategy × seed`). Since cells are exploration sessions —
+//! and tests within them are already "embarrassingly parallel" (§6.1) —
+//! the scheduler parallelizes at cell granularity: every worker of the
+//! pool owns a sharded queue of cells, runs each cell's session to
+//! completion, and steals from its neighbours' queues when its own shard
+//! drains. Cell-level scheduling keeps each session sequential and
+//! therefore bit-deterministic in its own seed, which is what lets an
+//! interrupted campaign resume to an identical corpus no matter how many
+//! workers the pool has or how they interleave.
+//!
+//! The scheduler is generic over the cell type and the cell runner so it
+//! stays target-agnostic (`afex-targets` wiring lives in the `afex`
+//! facade crate).
+
+use crossbeam::channel;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A pool of workers draining sharded per-worker cell queues.
+pub struct CampaignScheduler {
+    workers: usize,
+}
+
+impl CampaignScheduler {
+    /// Creates a scheduler with `workers` pool workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one campaign worker");
+        CampaignScheduler { workers }
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every cell through `run_cell` on the pool, streaming each
+    /// owned outcome to `on_complete` on the calling thread in
+    /// wall-clock completion order — the campaign driver uses it to
+    /// checkpoint snapshots after every cell without copying outcomes.
+    ///
+    /// Cells are dealt round-robin into one shard per worker; a worker
+    /// pops from the front of its own shard and steals from the back of
+    /// the fullest other shard once its own is empty.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `run_cell` (the scope joins all workers).
+    pub fn run_with<C, O, F, G>(&self, cells: Vec<C>, run_cell: F, mut on_complete: G)
+    where
+        C: Send,
+        O: Send,
+        F: Fn(usize, &C) -> O + Sync,
+        G: FnMut(usize, O),
+    {
+        let shards: Vec<Mutex<VecDeque<(usize, C)>>> =
+            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, cell) in cells.into_iter().enumerate() {
+            shards[i % self.workers]
+                .lock()
+                .expect("shard poisoned")
+                .push_back((i, cell));
+        }
+        let (res_tx, res_rx) = channel::unbounded::<(usize, O)>();
+        std::thread::scope(|scope| {
+            for me in 0..self.workers {
+                let shards = &shards;
+                let run_cell = &run_cell;
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Some((index, cell)) = next_cell(shards, me) {
+                        let outcome = run_cell(index, &cell);
+                        if res_tx.send((index, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for (index, outcome) in res_rx.iter() {
+                on_complete(index, outcome);
+            }
+        });
+    }
+
+    /// Like [`Self::run_with`], but collects the outcomes and returns
+    /// them **in cell order** (index `i` of the result is cell `i`).
+    pub fn run<C, O, F>(&self, cells: Vec<C>, run_cell: F) -> Vec<O>
+    where
+        C: Send,
+        O: Send,
+        F: Fn(usize, &C) -> O + Sync,
+    {
+        let mut slots: Vec<Option<O>> = (0..cells.len()).map(|_| None).collect();
+        self.run_with(cells, run_cell, |index, outcome| {
+            slots[index] = Some(outcome);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell completes"))
+            .collect()
+    }
+}
+
+/// Pops the next cell for worker `me`: front of its own shard, else a
+/// steal from the back of the fullest other shard. All cells are enqueued
+/// before the workers start, so empty-everywhere means the pool is done.
+fn next_cell<C>(shards: &[Mutex<VecDeque<(usize, C)>>], me: usize) -> Option<(usize, C)> {
+    if let Some(task) = shards[me].lock().expect("shard poisoned").pop_front() {
+        return Some(task);
+    }
+    let victim = (0..shards.len())
+        .filter(|&s| s != me)
+        .max_by_key(|&s| shards[s].lock().expect("shard poisoned").len())?;
+    shards[victim].lock().expect("shard poisoned").pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_return_in_cell_order() {
+        let sched = CampaignScheduler::new(4);
+        let cells: Vec<usize> = (0..23).collect();
+        let out = sched.run(cells, |i, c| (i, c * 10));
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, i * 10);
+        }
+    }
+
+    #[test]
+    fn on_complete_owns_every_cell_once() {
+        let sched = CampaignScheduler::new(3);
+        let mut seen = vec![0usize; 10];
+        sched.run_with(
+            (0..10).collect::<Vec<usize>>(),
+            |_, c| c.to_string(),
+            |i, s: String| {
+                assert_eq!(s, i.to_string());
+                seen[i] += 1;
+            },
+        );
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn stealing_spreads_unbalanced_work() {
+        // Cell 0 is long; with round-robin sharding it lands on worker 0
+        // whose shard also holds cells 4 and 8 — the other workers must
+        // steal them for the pool to finish promptly.
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let sched = CampaignScheduler::new(4);
+        sched.run(
+            (0..12).collect::<Vec<usize>>(),
+            |_, &c| {
+                if c == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                }
+                ids.lock().unwrap().insert(std::thread::current().id());
+                c
+            },
+        );
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "work never spread beyond one worker"
+        );
+    }
+
+    #[test]
+    fn single_worker_drains_everything() {
+        let sched = CampaignScheduler::new(1);
+        let out = sched.run((0..7).collect::<Vec<usize>>(), |_, &c| c + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn empty_campaign_is_a_no_op() {
+        let sched = CampaignScheduler::new(2);
+        let out: Vec<usize> = sched.run(Vec::<usize>::new(), |_, &c| c);
+        assert!(out.is_empty());
+    }
+}

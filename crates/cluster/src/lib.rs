@@ -20,13 +20,17 @@
 //! - [`manager`] — the node-manager worker.
 //! - [`parallel`] — the parallel session driver pumping any
 //!   [`Explore`](afex_core::Explore) strategy through a manager pool.
+//! - [`campaign`] — the sharded scheduler fanning a campaign's matrix of
+//!   cells (whole sessions) across the pool with work stealing.
 
+pub mod campaign;
 pub mod manager;
 pub mod messages;
 pub mod parallel;
 pub mod plugin;
 pub mod scripts;
 
+pub use campaign::CampaignScheduler;
 pub use manager::NodeManager;
 pub use messages::{ManagerMsg, Task, TaskResult};
 pub use parallel::ParallelSession;

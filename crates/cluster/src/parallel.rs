@@ -2,7 +2,9 @@
 //!
 //! Pumps any [`Explore`] strategy through a pool of node managers: the
 //! explorer keeps one outstanding candidate per manager and completes them
-//! in arrival order. "Given that the explorer's workload (selecting the
+//! in issue order (buffering out-of-order arrivals), which makes a run
+//! reproducible for a fixed worker count. "Given that the explorer's
+//! workload (selecting the
 //! next test) is significantly less than that of the managers (actually
 //! executing and evaluating the test), the system has no problematic
 //! bottleneck for clusters of dozens of nodes" (§6.1).
@@ -38,9 +40,15 @@ impl ParallelSession {
     /// manager pool. `make_evaluator` builds one evaluator per manager
     /// (each manager owns its copy of the system under test).
     ///
-    /// Results are completed in arrival order, so the search is *batch-
-    /// parallel*: up to `workers` candidates are generated before their
-    /// fitness is known — exactly the trade-off the real cluster makes.
+    /// The search is *batch-parallel*: up to `workers` candidates are
+    /// generated before their fitness is known — exactly the trade-off
+    /// the real cluster makes. Results are completed strictly in **issue
+    /// order** (out-of-order arrivals are buffered), so the sequence of
+    /// explorer generate/complete calls — and therefore the whole session
+    /// — is deterministic for a fixed worker count and seed, no matter
+    /// how the managers' timings interleave. Different worker counts
+    /// still legitimately diverge: the window of candidates in flight
+    /// (the fitness-feedback lag) is the worker count itself.
     pub fn run<X, E, F>(
         &self,
         explorer: &mut X,
@@ -69,71 +77,62 @@ impl ParallelSession {
             drop(task_rx);
             drop(res_tx);
 
-            // The explorer loop: keep the pool saturated.
             let mut outstanding: std::collections::HashMap<u64, PendingTest> =
                 std::collections::HashMap::new();
+            let mut ready: std::collections::BTreeMap<u64, crate::messages::TaskResult> =
+                std::collections::BTreeMap::new();
             let mut next_id = 0u64;
-            let mut issued = 0usize;
-            let mut completed = 0usize;
+            let mut next_complete = 0u64;
             let mut exhausted = false;
-            while completed < iterations {
-                // Issue work while there is budget and capacity.
-                while !exhausted && issued < iterations && outstanding.len() < self.workers * 2 {
+            // The deterministic schedule: keep exactly `workers` tests in
+            // flight, and after each head-of-line completion refill the
+            // freed slot — the explorer call sequence is
+            // [G0..G(w-1), C0, Gw, C1, G(w+1), ...] regardless of timing.
+            let issue = |explorer: &mut X,
+                             outstanding: &mut std::collections::HashMap<u64, PendingTest>,
+                             exhausted: &mut bool,
+                             next_id: &mut u64| {
+                while !*exhausted
+                    && (*next_id as usize) < iterations
+                    && outstanding.len() < self.workers
+                {
                     match explorer.next_candidate() {
                         Some(test) => {
                             let task = Task {
-                                id: next_id,
+                                id: *next_id,
                                 point: test.point.clone(),
                                 mutated_axis: test.mutated_axis,
                             };
-                            outstanding.insert(next_id, test);
-                            next_id += 1;
-                            issued += 1;
+                            outstanding.insert(*next_id, test);
+                            *next_id += 1;
                             if task_tx.send(task).is_err() {
-                                exhausted = true;
+                                *exhausted = true;
                             }
                         }
-                        None => exhausted = true,
+                        None => *exhausted = true,
                     }
                 }
-                if outstanding.is_empty() {
-                    break; // Space exhausted and everything completed.
-                }
-                // Absorb one result (blocking), then drain what's ready so
-                // one wake-up completes a whole batch before the explorer
-                // generates again.
-                match res_rx.recv() {
-                    Ok(msg) => {
-                        let mut msg = Some(msg);
-                        loop {
-                            if let Some(ManagerMsg::Done(r)) = msg {
-                                if let Some(test) = outstanding.remove(&r.id) {
-                                    executed.push(explorer.complete(test, r.evaluation));
-                                    completed += 1;
-                                }
-                            }
-                            if completed >= iterations {
-                                break;
-                            }
-                            msg = res_rx.try_recv().ok();
-                            if msg.is_none() {
-                                break;
-                            }
+            };
+            issue(explorer, &mut outstanding, &mut exhausted, &mut next_id);
+            'drive: while !outstanding.is_empty() {
+                // Wait specifically for the head-of-line result; buffer
+                // whatever else arrives meanwhile.
+                while !ready.contains_key(&next_complete) {
+                    match res_rx.recv() {
+                        Ok(ManagerMsg::Done(r)) => {
+                            ready.insert(r.id, r);
                         }
+                        Ok(ManagerMsg::Bye { .. }) => {}
+                        Err(_) => break 'drive, // Pool died (manager panic).
                     }
-                    Err(_) => break,
                 }
+                let r = ready.remove(&next_complete).expect("head result buffered");
+                let test = outstanding.remove(&r.id).expect("result matches a task");
+                executed.push(explorer.complete(test, r.evaluation));
+                next_complete += 1;
+                issue(explorer, &mut outstanding, &mut exhausted, &mut next_id);
             }
             drop(task_tx); // Managers drain and exit.
-                           // Absorb stragglers so their completions still teach the
-                           // explorer (they count toward the log too).
-            for msg in res_rx.iter() {
-                if let ManagerMsg::Done(r) = msg {
-                    if let Some(test) = outstanding.remove(&r.id) {
-                        executed.push(explorer.complete(test, r.evaluation));
-                    }
-                }
-            }
         });
         SessionResult::new(executed)
     }

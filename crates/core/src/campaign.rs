@@ -1,0 +1,830 @@
+//! Campaigns: matrices of exploration sessions with durable progress.
+//!
+//! The paper's unit of work is one *fault exploration session* (§6): one
+//! target, one strategy, one seed, one stop criterion. A real deployment
+//! runs many of those — per target, per strategy, per seed — against a
+//! shared cluster, and wants the union of everything found, deduplicated,
+//! and safe against the orchestrator dying halfway through.
+//!
+//! This module is the data model and bookkeeping for such a **campaign**:
+//!
+//! - [`CampaignSpec`] — the `{target} × {strategy} × {seed}` matrix plus
+//!   the per-cell iteration budget.
+//! - [`CampaignCell`] — one session of the matrix, identified by its
+//!   index in the deterministic cell order.
+//! - [`CellOutcome`] — the distilled result of one finished cell: summary
+//!   counters plus the failing faults as [`FailureRecord`]s keyed by
+//!   packed point codes ([`PointCodec`]).
+//! - [`ResultStore`] — the shared, deduplicating failure corpus. Keys are
+//!   `(target, code)`; the first discovery *in cell order* wins, so the
+//!   store is independent of the order in which cells physically finish.
+//! - [`CampaignSnapshot`] — the durable state: spec, per-cell progress,
+//!   and the store, serializable to JSON and back to **identical bytes**.
+//!   Cells are the checkpoint granularity: a cell re-runs from its own
+//!   seed deterministically, so an interrupted campaign resumed from a
+//!   snapshot converges to the same final corpus as an uninterrupted run.
+//! - [`CampaignReport`] — the summary emitted when a campaign completes.
+//!
+//! Executing cells against real targets lives above this crate (the
+//! `afex` facade wires `afex-targets` spaces in; `afex-cluster` provides
+//! the sharded scheduler that fans cells across the manager pool).
+
+use crate::algorithm::ExplorerConfig;
+use crate::genetic::GeneticConfig;
+use crate::impact::ImpactMetric;
+use crate::session::{SearchStrategy, SessionResult};
+use afex_space::{Point, PointCodec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps a strategy name (as spelled in specs and on the CLI) to the
+/// search strategy it denotes, with default configurations.
+pub fn strategy_from_name(name: &str) -> Option<SearchStrategy> {
+    match name {
+        "fitness" => Some(SearchStrategy::Fitness(ExplorerConfig::default())),
+        "random" => Some(SearchStrategy::Random),
+        "exhaustive" => Some(SearchStrategy::Exhaustive),
+        "genetic" => Some(SearchStrategy::Genetic(GeneticConfig::default())),
+        _ => None,
+    }
+}
+
+/// Maps a metric name (as spelled in specs and on the CLI) to the impact
+/// metric it denotes. The name lives in the spec — and therefore in the
+/// snapshot — so a resumed campaign always scores with the same metric
+/// as the original run.
+pub fn metric_from_name(name: &str) -> Option<ImpactMetric> {
+    match name {
+        "default" => Some(ImpactMetric::default()),
+        "paper" => Some(ImpactMetric::paper_example()),
+        "crash" => Some(ImpactMetric::crash_hunter()),
+        _ => None,
+    }
+}
+
+/// The `{target} × {strategy} × {seed}` matrix a campaign runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Target names, in matrix order.
+    pub targets: Vec<String>,
+    /// Strategy names (see [`strategy_from_name`]), in matrix order.
+    pub strategies: Vec<String>,
+    /// Seeds per `(target, strategy)` pair.
+    pub seeds: usize,
+    /// Base seed; cell `k` of a pair uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Iteration budget per cell.
+    pub iterations: usize,
+    /// Impact-metric name (see [`metric_from_name`]) applied to every
+    /// cell; `None` means each target's own default.
+    pub metric: Option<String>,
+}
+
+impl CampaignSpec {
+    /// Checks the spec is runnable: non-empty matrix axes, known
+    /// strategies, known targets (per the caller's registry), and a
+    /// positive budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn validate<F: Fn(&str) -> bool>(&self, known_target: F) -> Result<(), String> {
+        if self.targets.is_empty() {
+            return Err("campaign needs at least one target".into());
+        }
+        if self.strategies.is_empty() {
+            return Err("campaign needs at least one strategy".into());
+        }
+        if self.seeds == 0 {
+            return Err("campaign needs at least one seed".into());
+        }
+        if self.iterations == 0 {
+            return Err("campaign needs a positive per-cell iteration budget".into());
+        }
+        for (i, t) in self.targets.iter().enumerate() {
+            if !known_target(t) {
+                return Err(format!("unknown target `{t}`"));
+            }
+            if self.targets[..i].contains(t) {
+                return Err(format!("duplicate target `{t}`"));
+            }
+        }
+        for (i, s) in self.strategies.iter().enumerate() {
+            if strategy_from_name(s).is_none() {
+                return Err(format!("unknown strategy `{s}`"));
+            }
+            if self.strategies[..i].contains(s) {
+                return Err(format!("duplicate strategy `{s}`"));
+            }
+        }
+        if let Some(m) = &self.metric {
+            if metric_from_name(m).is_none() {
+                return Err(format!("unknown metric `{m}`"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of cells in the matrix.
+    pub fn num_cells(&self) -> usize {
+        self.targets.len() * self.strategies.len() * self.seeds
+    }
+
+    /// The cells in their canonical deterministic order: target-major,
+    /// then strategy, then seed. Cell indices are positions in this
+    /// order, and every dedup tie-break follows it.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut out = Vec::with_capacity(self.num_cells());
+        for target in &self.targets {
+            for strategy in &self.strategies {
+                for k in 0..self.seeds {
+                    out.push(CampaignCell {
+                        index: out.len(),
+                        target: target.clone(),
+                        strategy: strategy.clone(),
+                        seed: self.base_seed + k as u64,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One session of the campaign matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Position in [`CampaignSpec::cells`] order.
+    pub index: usize,
+    /// Target name.
+    pub target: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Session seed.
+    pub seed: u64,
+}
+
+/// One failing fault, as stored in the shared corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Packed point code ([`PointCodec`] / row-major linear index) — the
+    /// dedup key within a target.
+    pub code: u64,
+    /// The fault point, kept unpacked for readability of snapshots.
+    pub point: Point,
+    /// Measured impact.
+    pub impact: f64,
+    /// Whether the target crashed.
+    pub crashed: bool,
+    /// Whether the target hung.
+    pub hung: bool,
+    /// Injection-point stack trace, if the fault triggered.
+    pub trace: Option<String>,
+    /// Index of the cell that discovered this fault (first in cell
+    /// order, not in wall-clock completion order).
+    pub cell: usize,
+}
+
+/// The distilled result of one finished cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Tests the session executed.
+    pub tests: usize,
+    /// Tests that failed the target's suite.
+    pub failures: usize,
+    /// Tests that crashed the target.
+    pub crashes: usize,
+    /// Tests that hung the target.
+    pub hangs: usize,
+    /// The failing faults, in execution order.
+    pub records: Vec<FailureRecord>,
+}
+
+impl CellOutcome {
+    /// Distills a session log into an outcome, packing each failing
+    /// fault's point through `codec`.
+    pub fn from_session(cell: usize, result: &SessionResult, codec: &PointCodec) -> Self {
+        let records = result
+            .executed
+            .iter()
+            .filter(|t| t.evaluation.failed)
+            .map(|t| FailureRecord {
+                code: codec.encode(&t.point),
+                point: t.point.clone(),
+                impact: t.evaluation.impact,
+                crashed: t.evaluation.crashed,
+                hung: t.evaluation.hung,
+                trace: t.evaluation.trace.clone(),
+                cell,
+            })
+            .collect();
+        CellOutcome {
+            tests: result.len(),
+            failures: result.failures(),
+            crashes: result.crashes(),
+            hangs: result.hangs(),
+            records,
+        }
+    }
+}
+
+/// The shared, deduplicating failure corpus of a campaign.
+///
+/// Keys are `(target, packed point code)`: cells exploring the same
+/// target with different strategies or seeds frequently rediscover the
+/// same fault, and the corpus keeps exactly one record per fault. Backed
+/// by a `BTreeMap` so iteration (and serialization) order is the sorted
+/// key order — independent of insertion order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResultStore {
+    entries: BTreeMap<(String, u64), FailureRecord>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unique failing faults across all targets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a fault is already recorded.
+    pub fn contains(&self, target: &str, code: u64) -> bool {
+        self.entries.contains_key(&(target.to_owned(), code))
+    }
+
+    /// The record for a fault, if present.
+    pub fn get(&self, target: &str, code: u64) -> Option<&FailureRecord> {
+        self.entries.get(&(target.to_owned(), code))
+    }
+
+    /// Inserts a record; on a collision the record from the *earliest*
+    /// cell (smallest [`FailureRecord::cell`]) wins. That tie-break makes
+    /// the store a join-semilattice over merges: any merge order — cell
+    /// order, wall-clock completion order, a resume replay — converges
+    /// to the same corpus. Returns whether the fault was previously
+    /// absent.
+    pub fn insert_earliest(&mut self, target: &str, record: FailureRecord) -> bool {
+        match self.entries.entry((target.to_owned(), record.code)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(record);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if record.cell < e.get().cell {
+                    e.insert(record);
+                }
+                false
+            }
+        }
+    }
+
+    /// Merges one cell's records. Returns how many faults were new.
+    pub fn merge_cell(&mut self, target: &str, outcome: &CellOutcome) -> usize {
+        outcome
+            .records
+            .iter()
+            .filter(|r| self.insert_earliest(target, (*r).clone()))
+            .count()
+    }
+
+    /// Iterates `((target, code), record)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, u64), &FailureRecord)> {
+        self.entries.iter()
+    }
+
+    /// Unique failing faults recorded for one target.
+    pub fn unique_failures_for(&self, target: &str) -> usize {
+        self.entries.keys().filter(|(t, _)| t == target).count()
+    }
+
+    /// Unique crashing faults recorded for one target.
+    pub fn unique_crashes_for(&self, target: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|((t, _), r)| t == target && r.crashed)
+            .count()
+    }
+
+    /// Unique crashing faults across all targets.
+    pub fn crash_count(&self) -> usize {
+        self.entries.values().filter(|r| r.crashed).count()
+    }
+}
+
+/// Progress of one cell inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellState {
+    /// The cell.
+    pub cell: CampaignCell,
+    /// The cell's result, present once the cell has completed.
+    pub outcome: Option<CellOutcome>,
+}
+
+impl CellState {
+    /// Whether the cell has completed.
+    pub fn done(&self) -> bool {
+        self.outcome.is_some()
+    }
+}
+
+/// The durable state of a campaign.
+///
+/// Serialization is canonical: `to_json` of a deserialized snapshot
+/// reproduces the input byte-for-byte (ordered struct fields, `BTreeMap`
+/// store, shortest-roundtrip float formatting), which is what makes
+/// "resumed campaign == uninterrupted campaign" checkable as bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    /// The matrix being run.
+    pub spec: CampaignSpec,
+    /// Per-cell progress, in cell order.
+    pub cells: Vec<CellState>,
+    /// The deduplicated corpus over all completed cells, rebuilt in cell
+    /// order on every [`CampaignSnapshot::record`].
+    pub store: ResultStore,
+}
+
+impl CampaignSnapshot {
+    /// A fresh snapshot with no progress.
+    pub fn new(spec: CampaignSpec) -> Self {
+        let cells = spec
+            .cells()
+            .into_iter()
+            .map(|cell| CellState {
+                cell,
+                outcome: None,
+            })
+            .collect();
+        CampaignSnapshot {
+            spec,
+            cells,
+            store: ResultStore::new(),
+        }
+    }
+
+    /// Records a finished cell and merges its records into the store.
+    /// The merge is incremental — earliest-cell-wins collisions make the
+    /// result independent of recording order, so this equals a full
+    /// [`Self::rebuild_store`] at a fraction of the cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record(&mut self, index: usize, outcome: CellOutcome) {
+        let state = &mut self.cells[index];
+        state.outcome = Some(outcome);
+        let state = &self.cells[index];
+        self.store
+            .merge_cell(&state.cell.target, state.outcome.as_ref().expect("just set"));
+    }
+
+    /// Rebuilds the store from scratch over all completed cells. The
+    /// incremental merges in [`Self::record`] keep the store correct on
+    /// their own; this exists for callers that mutate cell states
+    /// directly (tests rolling a snapshot back to "interrupted").
+    pub fn rebuild_store(&mut self) {
+        let mut store = ResultStore::new();
+        for state in &self.cells {
+            if let Some(outcome) = state.outcome.as_ref() {
+                store.merge_cell(&state.cell.target, outcome);
+            }
+        }
+        self.store = store;
+    }
+
+    /// Checks a deserialized snapshot is internally consistent: its cell
+    /// list must be exactly the spec's matrix, so a hand-edited or
+    /// truncated snapshot fails here instead of deep inside a cell run.
+    /// Callers should additionally [`CampaignSpec::validate`] the spec
+    /// against their target registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        let expected = self.spec.cells();
+        if self.cells.len() != expected.len() {
+            return Err(format!(
+                "snapshot has {} cells but the spec matrix has {}",
+                self.cells.len(),
+                expected.len()
+            ));
+        }
+        for (state, exp) in self.cells.iter().zip(&expected) {
+            if state.cell != *exp {
+                return Err(format!(
+                    "snapshot cell {} does not match the spec matrix",
+                    exp.index
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cells still to run.
+    pub fn pending(&self) -> Vec<CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|s| !s.done())
+            .map(|s| s.cell.clone())
+            .collect()
+    }
+
+    /// Number of completed cells.
+    pub fn done_count(&self) -> usize {
+        self.cells.iter().filter(|s| s.done()).count()
+    }
+
+    /// Whether every cell has completed.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|s| s.done())
+    }
+
+    /// Canonical pretty-JSON serialization.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot back from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse or shape-mismatch error.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// Per-cell row of the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Cell index.
+    pub index: usize,
+    /// Target name.
+    pub target: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Session seed.
+    pub seed: u64,
+    /// Tests executed.
+    pub tests: usize,
+    /// Failing tests.
+    pub failures: usize,
+    /// Crashing tests.
+    pub crashes: usize,
+    /// Faults this cell contributed first to the corpus.
+    pub new_failures: usize,
+}
+
+/// Per-target row of the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetSummary {
+    /// Target name.
+    pub target: String,
+    /// Unique failing faults in the corpus.
+    pub unique_failures: usize,
+    /// Unique crashing faults in the corpus.
+    pub unique_crashes: usize,
+}
+
+/// The summary a completed (or partially completed) campaign reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Cells completed / total.
+    pub cells_done: usize,
+    /// Total cells in the matrix.
+    pub cells_total: usize,
+    /// Tests executed across completed cells.
+    pub tests_executed: usize,
+    /// Unique failing faults in the corpus.
+    pub unique_failures: usize,
+    /// Unique crashing faults in the corpus.
+    pub unique_crashes: usize,
+    /// Per-cell rows, in cell order.
+    pub cells: Vec<CellSummary>,
+    /// Per-target rows, in spec order.
+    pub targets: Vec<TargetSummary>,
+}
+
+impl CampaignReport {
+    /// Builds the report for a snapshot.
+    pub fn from_snapshot(snap: &CampaignSnapshot) -> Self {
+        let mut contributed = vec![0usize; snap.cells.len()];
+        for (_, r) in snap.store.iter() {
+            if let Some(slot) = contributed.get_mut(r.cell) {
+                *slot += 1;
+            }
+        }
+        let cells: Vec<CellSummary> = snap
+            .cells
+            .iter()
+            .filter_map(|s| {
+                let o = s.outcome.as_ref()?;
+                Some(CellSummary {
+                    index: s.cell.index,
+                    target: s.cell.target.clone(),
+                    strategy: s.cell.strategy.clone(),
+                    seed: s.cell.seed,
+                    tests: o.tests,
+                    failures: o.failures,
+                    crashes: o.crashes,
+                    new_failures: contributed[s.cell.index],
+                })
+            })
+            .collect();
+        let targets = snap
+            .spec
+            .targets
+            .iter()
+            .map(|t| TargetSummary {
+                target: t.clone(),
+                unique_failures: snap.store.unique_failures_for(t),
+                unique_crashes: snap.store.unique_crashes_for(t),
+            })
+            .collect();
+        CampaignReport {
+            cells_done: snap.done_count(),
+            cells_total: snap.cells.len(),
+            tests_executed: cells.iter().map(|c| c.tests).sum(),
+            unique_failures: snap.store.len(),
+            unique_crashes: snap.store.crash_count(),
+            cells,
+            targets,
+        }
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {}/{} cells, {} tests, {} unique failures ({} crashes)",
+            self.cells_done,
+            self.cells_total,
+            self.tests_executed,
+            self.unique_failures,
+            self.unique_crashes
+        );
+        for t in &self.targets {
+            let _ = writeln!(
+                out,
+                "  target {:<14} {} unique failures, {} unique crashes",
+                t.target, t.unique_failures, t.unique_crashes
+            );
+        }
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "  cell {:>3} {:<14} {:<10} seed={:<4} {} tests, {} failures ({} new), {} crashes",
+                c.index, c.target, c.strategy, c.seed, c.tests, c.failures, c.new_failures, c.crashes
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Evaluation, ExecutedTest};
+    use afex_space::{Axis, FaultSpace};
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            targets: vec!["alpha".into(), "beta".into()],
+            strategies: vec!["fitness".into(), "random".into()],
+            seeds: 2,
+            base_seed: 40,
+            iterations: 10,
+            metric: None,
+        }
+    }
+
+    fn record(code: u64, cell: usize, crashed: bool) -> FailureRecord {
+        FailureRecord {
+            code,
+            point: Point::new(vec![code as usize]),
+            impact: 1.5,
+            crashed,
+            hung: false,
+            trace: Some(format!("t{code}")),
+            cell,
+        }
+    }
+
+    fn outcome(codes: &[u64], cell: usize) -> CellOutcome {
+        CellOutcome {
+            tests: 10,
+            failures: codes.len(),
+            crashes: 0,
+            hangs: 0,
+            records: codes.iter().map(|&c| record(c, cell, false)).collect(),
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_target_major() {
+        let cells = spec().cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].target, "alpha");
+        assert_eq!(cells[0].strategy, "fitness");
+        assert_eq!(cells[0].seed, 40);
+        assert_eq!(cells[1].seed, 41);
+        assert_eq!(cells[2].strategy, "random");
+        assert_eq!(cells[4].target, "beta");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_specs() {
+        let ok = spec();
+        assert!(ok.validate(|_| true).is_ok());
+        assert!(ok.validate(|t| t == "alpha").is_err());
+        let mut bad = spec();
+        bad.strategies.push("quantum".into());
+        assert!(bad.validate(|_| true).unwrap_err().contains("quantum"));
+        bad = spec();
+        bad.seeds = 0;
+        assert!(bad.validate(|_| true).is_err());
+        bad = spec();
+        bad.targets.push("alpha".into());
+        assert!(bad.validate(|_| true).unwrap_err().contains("duplicate target"));
+        bad = spec();
+        bad.strategies.push("random".into());
+        assert!(bad
+            .validate(|_| true)
+            .unwrap_err()
+            .contains("duplicate strategy"));
+        bad = spec();
+        bad.metric = Some("vibes".into());
+        assert!(bad.validate(|_| true).unwrap_err().contains("vibes"));
+        bad.metric = Some("crash".into());
+        assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn strategy_names_cover_all_four() {
+        for name in ["fitness", "random", "exhaustive", "genetic"] {
+            assert!(strategy_from_name(name).is_some(), "{name}");
+        }
+        assert!(strategy_from_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn metric_names_resolve() {
+        assert_eq!(
+            metric_from_name("crash"),
+            Some(crate::impact::ImpactMetric::crash_hunter())
+        );
+        assert!(metric_from_name("default").is_some());
+        assert!(metric_from_name("paper").is_some());
+        assert!(metric_from_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn store_dedups_earliest_cell_wins() {
+        let mut store = ResultStore::new();
+        assert!(store.insert_earliest("a", record(7, 2, false)));
+        // A later cell never displaces an earlier one...
+        assert!(!store.insert_earliest("a", record(7, 3, true)));
+        assert_eq!(store.get("a", 7).unwrap().cell, 2);
+        // ...but an earlier cell arriving late takes the credit over.
+        assert!(!store.insert_earliest("a", record(7, 0, false)));
+        assert_eq!(store.get("a", 7).unwrap().cell, 0);
+        assert!(store.insert_earliest("b", record(7, 1, true)));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.unique_failures_for("a"), 1);
+        assert_eq!(store.unique_crashes_for("a"), 0);
+        assert_eq!(store.unique_crashes_for("b"), 1);
+        assert_eq!(store.crash_count(), 1);
+    }
+
+    #[test]
+    fn rebuild_store_is_completion_order_independent() {
+        // Cells 0 and 5 both find fault 9 on "alpha". Whichever finishes
+        // first on the wall clock, the corpus credits cell 0.
+        let mut early = CampaignSnapshot::new(spec());
+        early.record(0, outcome(&[9, 4], 0));
+        early.record(5, outcome(&[9], 5));
+        let mut late = CampaignSnapshot::new(spec());
+        late.record(5, outcome(&[9], 5));
+        late.record(0, outcome(&[9, 4], 0));
+        assert_eq!(early, late);
+        // Cell 5 runs target "beta" per the matrix... index 5 = beta ×
+        // fitness × seed 41; fault 9 on beta is distinct from alpha's.
+        assert_eq!(early.store.get("alpha", 9).unwrap().cell, 0);
+        assert_eq!(early.store.get("beta", 9).unwrap().cell, 5);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_to_identical_bytes() {
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(2, outcome(&[1, 2, 3], 2));
+        snap.record(7, outcome(&[2], 7));
+        let json = snap.to_json();
+        let back = CampaignSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn incremental_record_equals_full_rebuild() {
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(5, outcome(&[9, 2], 5));
+        snap.record(0, outcome(&[9, 4], 0));
+        snap.record(7, outcome(&[4], 7));
+        let incremental = snap.store.clone();
+        snap.rebuild_store();
+        assert_eq!(snap.store, incremental);
+    }
+
+    #[test]
+    fn check_consistent_rejects_tampered_snapshots() {
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(1, outcome(&[3], 1));
+        assert!(snap.check_consistent().is_ok());
+        let mut truncated = snap.clone();
+        truncated.cells.pop();
+        assert!(truncated.check_consistent().unwrap_err().contains("cells"));
+        let mut renamed = snap.clone();
+        renamed.cells[0].cell.target = "gamma".into();
+        assert!(renamed.check_consistent().is_err());
+        let mut reseeded = snap.clone();
+        reseeded.cells[1].cell.seed = 999;
+        assert!(reseeded.check_consistent().is_err());
+    }
+
+    #[test]
+    fn pending_and_completion_track_cells() {
+        let mut snap = CampaignSnapshot::new(spec());
+        assert_eq!(snap.pending().len(), 8);
+        assert!(!snap.is_complete());
+        for i in 0..8 {
+            snap.record(i, outcome(&[], i));
+        }
+        assert!(snap.is_complete());
+        assert_eq!(snap.done_count(), 8);
+        assert!(snap.pending().is_empty());
+    }
+
+    #[test]
+    fn outcome_from_session_packs_failures() {
+        let space =
+            FaultSpace::new(vec![Axis::int_range("x", 0, 4), Axis::int_range("y", 0, 4)]).unwrap();
+        let codec = PointCodec::for_space(&space).unwrap();
+        let result = SessionResult::new(vec![
+            ExecutedTest {
+                point: Point::new(vec![1, 2]),
+                evaluation: Evaluation::from_impact(3.0),
+                iteration: 0,
+            },
+            ExecutedTest {
+                point: Point::new(vec![0, 0]),
+                evaluation: Evaluation::from_impact(0.0),
+                iteration: 1,
+            },
+        ]);
+        let o = CellOutcome::from_session(4, &result, &codec);
+        assert_eq!(o.tests, 2);
+        assert_eq!(o.failures, 1);
+        assert_eq!(o.records.len(), 1);
+        assert_eq!(o.records[0].code, 7); // 1*5 + 2.
+        assert_eq!(o.records[0].cell, 4);
+    }
+
+    #[test]
+    fn report_counts_contributions() {
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(0, outcome(&[1, 2], 0));
+        snap.record(2, outcome(&[2, 3], 2)); // Fault 2 already credited to cell 0.
+        let report = CampaignReport::from_snapshot(&snap);
+        assert_eq!(report.cells_done, 2);
+        assert_eq!(report.cells_total, 8);
+        assert_eq!(report.unique_failures, 3);
+        assert_eq!(report.tests_executed, 20);
+        let row0 = report.cells.iter().find(|c| c.index == 0).unwrap();
+        let row2 = report.cells.iter().find(|c| c.index == 2).unwrap();
+        assert_eq!(row0.new_failures, 2);
+        assert_eq!(row2.new_failures, 1);
+        assert!(report.summary().contains("3 unique failures"));
+        let back: CampaignReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -23,6 +23,7 @@
 //! | §6.4 step 3 impact-metric design | [`impact`] |
 //! | §7.4 online redundancy feedback loop | [`feedback`] |
 //! | §6 exploration sessions, targets, result sets | [`session`], [`report`] |
+//! | multi-session campaigns (repo extension over §6) | [`campaign`] |
 //!
 //! # Examples
 //!
@@ -51,6 +52,7 @@
 
 pub mod aging;
 pub mod algorithm;
+pub mod campaign;
 pub mod evaluator;
 pub mod exhaustive;
 pub mod explore;
@@ -67,6 +69,10 @@ pub mod session;
 
 pub use aging::AgingPolicy;
 pub use algorithm::{ExplorerConfig, FitnessExplorer};
+pub use campaign::{
+    metric_from_name, strategy_from_name, CampaignCell, CampaignReport, CampaignSnapshot,
+    CampaignSpec, CellOutcome, CellState, FailureRecord, ResultStore,
+};
 pub use evaluator::{Evaluation, Evaluator, ExecutedTest, FnEvaluator, OutcomeEvaluator};
 pub use exhaustive::ExhaustiveExplorer;
 pub use explore::Explore;

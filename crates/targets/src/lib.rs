@@ -41,5 +41,5 @@ pub mod spaces;
 pub mod spaces_multi;
 pub mod vfs;
 
-pub use harness::{run_test, Target};
+pub use harness::{baseline_pass_count, run_test, Target};
 pub use vfs::{Vfs, VfsError};

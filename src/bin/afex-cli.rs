@@ -6,27 +6,38 @@
 //!                   [--iterations N] [--seed S] [--metric default|paper|crash]
 //!                   [--feedback] [--json]
 //! afex-cli render   --target <name> --point i,j,k
+//! afex-cli campaign --targets a,b,c --out dir/
+//!                   [--strategies fitness,random] [--seeds N] [--seed S]
+//!                   [--iterations M] [--workers W] [--metric ...]
+//!                   [--resume] [--json]
 //! ```
 //!
-//! Targets: `coreutils`, `mysql`, `apache`, `docstore-0.8`, `docstore-2.0`.
+//! Targets: `coreutils`, `minidb` (alias `mysql`), `httpd` (alias
+//! `apache`), `docstore-0.8`, `docstore-2.0`.
 
+use afex::campaign::{known_target, run_pending};
+use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec};
 use afex::core::{
     ExplorerConfig, FaultReport, GeneticConfig, ImpactMetric, OutcomeEvaluator, SearchStrategy,
     Session, StopCondition,
 };
 use afex::space::Point;
-use afex::targets::docstore::Version;
 use afex::targets::spaces::TargetSpace;
 use std::collections::HashMap;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: afex-cli <describe|explore|render> --target <name> [options]\n\
-         targets: coreutils | mysql | apache | docstore-0.8 | docstore-2.0\n\
-         explore options: --strategy fitness|random|exhaustive|genetic\n\
-                          --iterations N --seed S --metric default|paper|crash\n\
-                          --feedback --json\n\
-         render options:  --point i,j,k"
+        "usage: afex-cli <describe|explore|render|campaign> [options]\n\
+         targets: coreutils | minidb (mysql) | httpd (apache) | docstore-0.8 | docstore-2.0\n\
+         explore options:  --target <name> --strategy fitness|random|exhaustive|genetic\n\
+                           --iterations N --seed S --metric default|paper|crash\n\
+                           --feedback --json\n\
+         render options:   --target <name> --point i,j,k\n\
+         campaign options: --targets a,b,c --out dir/\n\
+                           --strategies fitness,random --seeds N --seed S\n\
+                           --iterations M --workers W --metric default|paper|crash\n\
+                           --resume --json"
     );
     std::process::exit(2);
 }
@@ -51,29 +62,17 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
 }
 
 fn target_space(name: &str) -> TargetSpace {
-    match name {
-        "coreutils" => TargetSpace::coreutils(),
-        "mysql" | "minidb" => TargetSpace::mysql(),
-        "apache" | "httpd" => TargetSpace::apache(),
-        "docstore-0.8" => TargetSpace::docstore(Version::V0_8),
-        "docstore-2.0" => TargetSpace::docstore(Version::V2_0),
-        other => {
-            eprintln!("unknown target `{other}`");
-            usage()
-        }
-    }
+    afex::campaign::target_space(name).unwrap_or_else(|| {
+        eprintln!("unknown target `{name}`");
+        usage()
+    })
 }
 
 fn metric(name: &str) -> ImpactMetric {
-    match name {
-        "default" => ImpactMetric::default(),
-        "paper" => ImpactMetric::paper_example(),
-        "crash" => ImpactMetric::crash_hunter(),
-        other => {
-            eprintln!("unknown metric `{other}`");
-            usage()
-        }
-    }
+    afex::core::campaign::metric_from_name(name).unwrap_or_else(|| {
+        eprintln!("unknown metric `{name}`");
+        usage()
+    })
 }
 
 fn cmd_describe(opts: &HashMap<String, String>) {
@@ -173,6 +172,146 @@ fn cmd_explore(opts: &HashMap<String, String>) {
     }
 }
 
+fn parse_num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(default)
+}
+
+fn comma_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Builds and validates the campaign spec from CLI flags; exits with the
+/// usual code 2 on an unknown target/strategy/metric, a duplicated
+/// target, or a missing `--targets`. Target aliases are canonicalized
+/// (`mysql`→`minidb`, `apache`→`httpd`) so the same target can never be
+/// scheduled twice under two spellings.
+fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
+    let raw_targets =
+        comma_list(opts.get("targets").map(String::as_str).unwrap_or_else(|| usage()));
+    let targets = afex::campaign::canonicalize_targets(&raw_targets).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let strategies = comma_list(
+        opts.get("strategies")
+            .map(String::as_str)
+            .unwrap_or("fitness,random"),
+    );
+    let spec = CampaignSpec {
+        targets,
+        strategies,
+        seeds: parse_num(opts, "seeds", 1),
+        base_seed: parse_num(opts, "seed", 42),
+        iterations: parse_num(opts, "iterations", 200),
+        metric: opts.get("metric").cloned(),
+    };
+    if let Err(e) = spec.validate(known_target) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    spec
+}
+
+/// Writes the snapshot atomically (temp file + rename) so an interrupt
+/// mid-write never corrupts the resumable state.
+fn write_snapshot(snap: &CampaignSnapshot, path: &Path) {
+    let tmp = path.with_extension("tmp");
+    let body = snap.to_json() + "\n";
+    if let Err(e) = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path)) {
+        eprintln!("cannot write snapshot {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn cmd_campaign(opts: &HashMap<String, String>) {
+    let out_dir = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let workers: usize = parse_num(opts, "workers", 4);
+    if workers == 0 {
+        eprintln!("--workers must be positive");
+        std::process::exit(2);
+    }
+    let snap_path = Path::new(out_dir).join("campaign.json");
+    let mut snap = if opts.contains_key("resume") {
+        // The snapshot's spec is the single source of truth on resume —
+        // a changed matrix (or metric) would be a different campaign, so
+        // matrix flags are rejected outright rather than silently
+        // ignored or compared against unrelated defaults.
+        for flag in ["targets", "strategies", "seeds", "seed", "iterations", "metric"] {
+            if opts.contains_key(flag) {
+                eprintln!(
+                    "cannot combine --resume with --{flag}: the snapshot's spec is used as-is"
+                );
+                std::process::exit(2);
+            }
+        }
+        let text = std::fs::read_to_string(&snap_path).unwrap_or_else(|e| {
+            eprintln!("cannot resume from {}: {e}", snap_path.display());
+            std::process::exit(2);
+        });
+        let snap = CampaignSnapshot::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot resume from {}: {e}", snap_path.display());
+            std::process::exit(2);
+        });
+        // A hand-edited or foreign snapshot must fail here with exit 2,
+        // not deep inside a cell run. Targets must also be in canonical,
+        // alias-free form — a spec listing `mysql` and `minidb` would
+        // double-run one target and double-count its corpus.
+        if let Err(e) = snap
+            .spec
+            .validate(known_target)
+            .and_then(|()| match afex::campaign::canonicalize_targets(&snap.spec.targets) {
+                Ok(canon) if canon == snap.spec.targets => Ok(()),
+                Ok(_) => Err("snapshot targets are not in canonical form".to_owned()),
+                Err(e) => Err(e),
+            })
+            .and_then(|()| snap.check_consistent())
+        {
+            eprintln!("cannot resume from {}: {e}", snap_path.display());
+            std::process::exit(2);
+        }
+        snap
+    } else {
+        CampaignSnapshot::new(spec_from_opts(opts))
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let resumed_from = snap.done_count();
+    run_pending(&mut snap, workers, |s| {
+        write_snapshot(s, &snap_path);
+    });
+    write_snapshot(&snap, &snap_path); // Also covers the nothing-pending case.
+    let report = CampaignReport::from_snapshot(&snap);
+    let summary_path = Path::new(out_dir).join("summary.json");
+    if let Err(e) = std::fs::write(&summary_path, report.to_json() + "\n") {
+        eprintln!("cannot write summary {}: {e}", summary_path.display());
+        std::process::exit(1);
+    }
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        if resumed_from > 0 {
+            println!(
+                "resumed: {resumed_from}/{} cells were already complete",
+                snap.cells.len()
+            );
+        }
+        print!("{}", report.summary());
+        println!("snapshot: {}", snap_path.display());
+        println!("summary:  {}", summary_path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -181,6 +320,7 @@ fn main() {
         "describe" => cmd_describe(&opts),
         "render" => cmd_render(&opts),
         "explore" => cmd_explore(&opts),
+        "campaign" => cmd_campaign(&opts),
         _ => usage(),
     }
 }

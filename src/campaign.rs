@@ -1,0 +1,225 @@
+//! Campaign execution: the campaign data model wired to real targets.
+//!
+//! [`afex_core::campaign`](crate::core::campaign) defines the matrix,
+//! snapshot, and corpus; [`afex_cluster::CampaignScheduler`] fans cells
+//! across the manager pool. This module supplies the missing piece — how
+//! one [`CampaignCell`] actually runs against a named target — and the
+//! driver loop the CLI and the integration tests share.
+//!
+//! Determinism contract: a cell's outcome depends only on its `(target,
+//! strategy, seed, iterations)` tuple, never on worker count or
+//! scheduling order. [`run_pending`] therefore produces the same final
+//! snapshot whether the campaign runs in one go, is interrupted and
+//! resumed, or runs on pools of different sizes.
+
+use crate::core::campaign::{
+    metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CellOutcome,
+};
+use crate::core::{ImpactMetric, OutcomeEvaluator, Session, StopCondition};
+use crate::targets::docstore::Version;
+use crate::targets::spaces::TargetSpace;
+use afex_cluster::CampaignScheduler;
+use afex_space::PointCodec;
+
+/// The canonical campaign-runnable target names.
+pub const TARGETS: [&str; 5] = [
+    "coreutils",
+    "minidb",
+    "httpd",
+    "docstore-0.8",
+    "docstore-2.0",
+];
+
+/// The canonical spelling of a target name, if known. `mysql` and
+/// `apache` (the paper's names) are aliases of `minidb` and `httpd`
+/// (the stand-ins), matching `explore`.
+pub fn canonical_target(name: &str) -> Option<&'static str> {
+    match name {
+        "coreutils" => Some("coreutils"),
+        "mysql" | "minidb" => Some("minidb"),
+        "apache" | "httpd" => Some("httpd"),
+        "docstore-0.8" => Some("docstore-0.8"),
+        "docstore-2.0" => Some("docstore-2.0"),
+        _ => None,
+    }
+}
+
+/// Canonicalizes a target list for a campaign spec: aliases collapse to
+/// their canonical names, and duplicates — including a target listed
+/// under two spellings, which would double-run and double-count it —
+/// are rejected.
+///
+/// # Errors
+///
+/// Returns a description of the first unknown or duplicated target.
+pub fn canonicalize_targets(names: &[String]) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::with_capacity(names.len());
+    for name in names {
+        let canon = canonical_target(name).ok_or_else(|| format!("unknown target `{name}`"))?;
+        if out.iter().any(|c| c == canon) {
+            return Err(format!("duplicate target `{canon}` (from `{name}`)"));
+        }
+        out.push(canon.to_owned());
+    }
+    Ok(out)
+}
+
+/// Builds the fault space + execution adapter for a target name, if known.
+pub fn target_space(name: &str) -> Option<TargetSpace> {
+    match canonical_target(name)? {
+        "coreutils" => Some(TargetSpace::coreutils()),
+        "minidb" => Some(TargetSpace::mysql()),
+        "httpd" => Some(TargetSpace::apache()),
+        "docstore-0.8" => Some(TargetSpace::docstore(Version::V0_8)),
+        "docstore-2.0" => Some(TargetSpace::docstore(Version::V2_0)),
+        _ => unreachable!("canonical names are exhaustive"),
+    }
+}
+
+/// Whether a name denotes a campaign-runnable target.
+pub fn known_target(name: &str) -> bool {
+    canonical_target(name).is_some()
+}
+
+/// The default impact metric for a target. The database stand-in runs
+/// the crash-hunt path (the §7.1 "find faults that crash the DBMS"
+/// scenario, as in `examples/hunt_minidb.rs`); everything else uses the
+/// coverage-and-failure default.
+pub fn default_metric(target: &str) -> ImpactMetric {
+    match target {
+        "mysql" | "minidb" => ImpactMetric::crash_hunter(),
+        _ => ImpactMetric::default(),
+    }
+}
+
+/// Runs one cell to completion: a sequential session over the cell's
+/// target with the cell's strategy and seed, distilled into a
+/// [`CellOutcome`] keyed by packed point codes. `metric_name` is the
+/// spec's campaign-wide metric override (see
+/// [`metric_from_name`]); `None` uses the target's default.
+///
+/// # Panics
+///
+/// Panics on an unknown target, strategy, or metric name — validate the
+/// spec with [`crate::core::campaign::CampaignSpec::validate`] first.
+pub fn run_cell(cell: &CampaignCell, iterations: usize, metric_name: Option<&str>) -> CellOutcome {
+    let ts = target_space(&cell.target).expect("validated target");
+    let exec = ts.clone();
+    let m = metric_name
+        .map(|n| metric_from_name(n).expect("validated metric"))
+        .unwrap_or_else(|| default_metric(&cell.target));
+    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
+    let strategy = strategy_from_name(&cell.strategy).expect("validated strategy");
+    let session = Session::new(ts.space().clone(), strategy, cell.seed);
+    let result = session.run(&eval, StopCondition::Iterations(iterations));
+    let codec = PointCodec::for_space(ts.space())
+        .expect("all campaign target spaces fit u64 point codes");
+    CellOutcome::from_session(cell.index, &result, &codec)
+}
+
+/// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
+/// recording each outcome into the snapshot as it completes. The metric
+/// comes from the snapshot's own spec, so a resumed campaign scores
+/// exactly like the original run. `on_cell` runs on the calling thread
+/// after every recorded cell (wall-clock completion order) — the CLI
+/// checkpoints the snapshot file there.
+pub fn run_pending<G>(snap: &mut CampaignSnapshot, workers: usize, mut on_cell: G)
+where
+    G: FnMut(&CampaignSnapshot),
+{
+    let iterations = snap.spec.iterations;
+    let metric_name = snap.spec.metric.clone();
+    let pending = snap.pending();
+    if pending.is_empty() {
+        return;
+    }
+    let scheduler = CampaignScheduler::new(workers);
+    scheduler.run_with(
+        pending,
+        |_, cell| (cell.index, run_cell(cell, iterations, metric_name.as_deref())),
+        |_, (index, outcome): (usize, CellOutcome)| {
+            snap.record(index, outcome);
+            on_cell(snap);
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::campaign::CampaignSpec;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            targets: vec!["coreutils".into()],
+            strategies: vec!["random".into()],
+            seeds: 1,
+            base_seed: 3,
+            iterations: 25,
+            metric: None,
+        }
+    }
+
+    #[test]
+    fn known_targets_resolve_spaces() {
+        for t in TARGETS {
+            assert!(known_target(t), "{t}");
+            assert!(target_space(t).is_some(), "{t}");
+        }
+        assert!(!known_target("nosuch"));
+    }
+
+    #[test]
+    fn aliases_canonicalize_and_duplicates_are_rejected() {
+        let ok = canonicalize_targets(&["mysql".into(), "apache".into(), "coreutils".into()])
+            .unwrap();
+        assert_eq!(ok, vec!["minidb", "httpd", "coreutils"]);
+        // The same target under two spellings would double-run and
+        // double-count it.
+        let dup = canonicalize_targets(&["mysql".into(), "minidb".into()]).unwrap_err();
+        assert!(dup.contains("duplicate target `minidb`"), "{dup}");
+        let unknown = canonicalize_targets(&["nosuch".into()]).unwrap_err();
+        assert!(unknown.contains("unknown target `nosuch`"), "{unknown}");
+    }
+
+    #[test]
+    fn minidb_defaults_to_the_hunt_metric() {
+        assert_eq!(default_metric("minidb"), ImpactMetric::crash_hunter());
+        assert_eq!(default_metric("coreutils"), ImpactMetric::default());
+    }
+
+    #[test]
+    fn run_cell_is_deterministic() {
+        let cell = tiny_spec().cells().remove(0);
+        let a = run_cell(&cell, 25, None);
+        let b = run_cell(&cell, 25, None);
+        assert_eq!(a, b);
+        assert_eq!(a.tests, 25);
+    }
+
+    #[test]
+    fn run_pending_completes_a_snapshot() {
+        let mut snap = CampaignSnapshot::new(tiny_spec());
+        let mut checkpoints = 0;
+        run_pending(&mut snap, 2, |_| checkpoints += 1);
+        assert!(snap.is_complete());
+        assert_eq!(checkpoints, 1);
+        assert_eq!(snap.cells[0].outcome.as_ref().unwrap().tests, 25);
+    }
+
+    #[test]
+    fn spec_metric_overrides_target_default() {
+        let mut spec = tiny_spec();
+        spec.metric = Some("crash".into());
+        let cell = spec.cells().remove(0);
+        let with_crash = run_cell(&cell, 200, spec.metric.as_deref());
+        let with_default = run_cell(&cell, 200, None);
+        // Same strategy/seed, different metric: same points visited by
+        // the random strategy, differently scored.
+        assert_eq!(with_crash.tests, with_default.tests);
+        assert!(!with_default.records.is_empty(), "no failures to compare");
+        let crash_impacts: Vec<f64> = with_crash.records.iter().map(|r| r.impact).collect();
+        let default_impacts: Vec<f64> = with_default.records.iter().map(|r| r.impact).collect();
+        assert_ne!(crash_impacts, default_impacts);
+    }
+}

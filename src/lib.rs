@@ -17,6 +17,9 @@
 //!   (random / exhaustive / genetic), redundancy clustering, impact
 //!   precision, relevance models, sessions and reports.
 //! - [`cluster`] — the explorer / node-manager parallel architecture.
+//! - [`campaign`] — campaign execution: fans a `{target} × {strategy} ×
+//!   {seed}` matrix of sessions across the manager pool with durable
+//!   snapshot/resume (the `afex-cli campaign` engine).
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,8 @@
 //! );
 //! assert_eq!(result.len(), 100);
 //! ```
+
+pub mod campaign;
 
 pub use afex_cluster as cluster;
 pub use afex_core as core;

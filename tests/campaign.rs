@@ -1,0 +1,148 @@
+//! Integration tests for the campaign engine: the matrix runs on the
+//! scheduler pool, snapshots are durable, and an interrupted campaign
+//! resumed from a snapshot converges to the same corpus as an
+//! uninterrupted one.
+
+use afex::campaign::{run_cell, run_pending};
+use afex::core::campaign::{CampaignSnapshot, CampaignSpec};
+
+/// The acceptance matrix: 3 targets × 2 strategies on the manager pool.
+fn matrix_spec() -> CampaignSpec {
+    CampaignSpec {
+        targets: vec!["coreutils".into(), "httpd".into(), "docstore-0.8".into()],
+        strategies: vec!["fitness".into(), "random".into()],
+        seeds: 1,
+        base_seed: 7,
+        iterations: 60,
+        metric: None,
+    }
+}
+
+#[test]
+fn matrix_campaign_completes_on_the_pool() {
+    let mut snap = CampaignSnapshot::new(matrix_spec());
+    let mut checkpoints = 0;
+    run_pending(&mut snap, 4, |_| checkpoints += 1);
+    assert!(snap.is_complete());
+    assert_eq!(checkpoints, 6, "one checkpoint per cell");
+    assert_eq!(snap.done_count(), 6);
+    for s in &snap.cells {
+        assert_eq!(s.outcome.as_ref().unwrap().tests, 60, "cell {}", s.cell.index);
+    }
+    // The matrix finds real faults (httpd's strdup crash is reachable in
+    // 60 fitness-guided tests; docstore 0.8 fails readily).
+    assert!(!snap.store.is_empty());
+}
+
+#[test]
+fn campaign_is_deterministic_across_worker_counts() {
+    // Cells are whole sequential sessions, so the corpus depends only on
+    // the spec — not on pool width or cell completion order.
+    let run = |workers: usize| {
+        let mut snap = CampaignSnapshot::new(matrix_spec());
+        run_pending(&mut snap, workers, |_| {});
+        snap
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four);
+    assert_eq!(one.to_json(), four.to_json());
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_identical_corpus() {
+    // Uninterrupted reference run.
+    let mut full = CampaignSnapshot::new(matrix_spec());
+    run_pending(&mut full, 3, |_| {});
+
+    // "Kill" a run after two cells: build the snapshot a dying process
+    // would have left behind (two recorded cells, serialized to JSON),
+    // reload it from the bytes, and finish the rest on a different-width
+    // pool.
+    let mut interrupted = CampaignSnapshot::new(matrix_spec());
+    for index in [0usize, 3] {
+        let cell = interrupted.cells[index].cell.clone();
+        let outcome = run_cell(&cell, interrupted.spec.iterations, None);
+        interrupted.record(index, outcome);
+    }
+    let bytes_at_death = interrupted.to_json();
+    let mut resumed = CampaignSnapshot::from_json(&bytes_at_death).expect("snapshot parses");
+    assert_eq!(resumed.done_count(), 2);
+    assert_eq!(resumed.pending().len(), 4);
+    run_pending(&mut resumed, 2, |_| {});
+
+    assert!(resumed.is_complete());
+    assert_eq!(resumed, full, "resumed corpus must equal uninterrupted run");
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "snapshots must be byte-identical"
+    );
+}
+
+#[test]
+fn store_dedups_across_strategies_and_seeds() {
+    // Two seeds of two strategies over one small target rediscover many
+    // of the same faults; the corpus must count each fault once, credited
+    // to the first cell in matrix order that found it.
+    let spec = CampaignSpec {
+        targets: vec!["coreutils".into()],
+        strategies: vec!["fitness".into(), "random".into()],
+        seeds: 2,
+        base_seed: 11,
+        iterations: 120,
+        metric: None,
+    };
+    let mut snap = CampaignSnapshot::new(spec);
+    run_pending(&mut snap, 4, |_| {});
+    let total_failures: usize = snap
+        .cells
+        .iter()
+        .map(|s| s.outcome.as_ref().unwrap().failures)
+        .sum();
+    assert!(
+        snap.store.len() < total_failures,
+        "dedup must collapse rediscoveries: {} unique vs {} raw",
+        snap.store.len(),
+        total_failures
+    );
+    for ((target, code), record) in snap.store.iter() {
+        assert_eq!(target, "coreutils");
+        assert_eq!(*code, record.code);
+        // First-in-cell-order credit: no earlier done cell may also have
+        // recorded this code.
+        for s in snap.cells.iter().take(record.cell) {
+            assert!(
+                !s.outcome
+                    .as_ref()
+                    .unwrap()
+                    .records
+                    .iter()
+                    .any(|r| r.code == *code),
+                "fault {code} credited to cell {} but found earlier",
+                record.cell
+            );
+        }
+    }
+}
+
+#[test]
+fn minidb_cells_run_the_hunt_path() {
+    // The DBMS stand-in runs with the crash-hunter metric by default (the
+    // §7.1 "find faults that crash the DBMS" scenario): zero-coverage
+    // passing tests must score zero impact.
+    let spec = CampaignSpec {
+        targets: vec!["minidb".into()],
+        strategies: vec!["random".into()],
+        seeds: 1,
+        base_seed: 5,
+        iterations: 30,
+        metric: None,
+    };
+    let cell = spec.cells().remove(0);
+    let outcome = run_cell(&cell, spec.iterations, None);
+    assert_eq!(outcome.tests, 30);
+    for r in &outcome.records {
+        assert!(r.impact > 0.0);
+    }
+}

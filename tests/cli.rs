@@ -1,9 +1,42 @@
 //! Integration tests for the `afex-cli` binary.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_afex-cli"))
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afex-cli-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The small campaign matrix the CLI tests run (2 targets × 2 strategies).
+fn campaign_args(out: &std::path::Path) -> Vec<String> {
+    [
+        "campaign",
+        "--targets",
+        "coreutils,httpd",
+        "--strategies",
+        "fitness,random",
+        "--seeds",
+        "1",
+        "--seed",
+        "9",
+        "--iterations",
+        "40",
+        "--workers",
+        "2",
+        "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .chain([out.to_str().unwrap().to_owned()])
+    .collect()
 }
 
 #[test]
@@ -82,6 +115,139 @@ fn explore_json_output_parses() {
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
     assert_eq!(v["tests_executed"], 80);
     assert!(v["entries"].is_array());
+}
+
+#[test]
+fn campaign_happy_path_writes_snapshot_and_summary() {
+    let out = scratch("campaign-happy");
+    let run = cli().args(campaign_args(&out)).output().unwrap();
+    assert!(run.status.success(), "{run:?}");
+    let text = String::from_utf8_lossy(&run.stdout);
+    assert!(text.contains("campaign: 4/4 cells"), "{text}");
+
+    let snap: afex::core::CampaignSnapshot = serde_json::from_str(
+        &std::fs::read_to_string(out.join("campaign.json")).unwrap(),
+    )
+    .expect("snapshot parses");
+    assert!(snap.is_complete());
+    assert_eq!(snap.cells.len(), 4);
+
+    let summary: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(out.join("summary.json")).unwrap(),
+    )
+    .expect("summary parses");
+    assert_eq!(summary["cells_done"], 4);
+    assert_eq!(summary["tests_executed"], 160);
+    assert!(summary["cells"].is_array());
+}
+
+#[test]
+fn campaign_resume_completes_an_interrupted_run_identically() {
+    // Reference: an uninterrupted run.
+    let full = scratch("campaign-full");
+    assert!(cli().args(campaign_args(&full)).output().unwrap().status.success());
+    let full_bytes = std::fs::read(full.join("campaign.json")).unwrap();
+
+    // Interrupted: the same campaign, killed after two cells. Reconstruct
+    // the on-disk state a dying orchestrator leaves behind by rolling two
+    // cells of the finished snapshot back to "not run yet".
+    let cut = scratch("campaign-cut");
+    let mut snap: afex::core::CampaignSnapshot =
+        serde_json::from_str(std::str::from_utf8(&full_bytes).unwrap()).unwrap();
+    for index in [1usize, 3] {
+        snap.cells[index].outcome = None;
+    }
+    snap.rebuild_store();
+    std::fs::write(cut.join("campaign.json"), snap.to_json() + "\n").unwrap();
+
+    // Matrix flags stay home on resume: the snapshot's spec is the
+    // single source of truth.
+    let resumed = cli()
+        .args(["campaign", "--resume", "--workers", "3", "--out", cut.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "{resumed:?}");
+    let text = String::from_utf8_lossy(&resumed.stdout);
+    assert!(text.contains("resumed: 2/4 cells"), "{text}");
+
+    let cut_bytes = std::fs::read(cut.join("campaign.json")).unwrap();
+    assert_eq!(
+        cut_bytes, full_bytes,
+        "resumed snapshot must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn campaign_rejects_unknown_target_with_exit_2() {
+    let out = scratch("campaign-bad-target");
+    let run = cli()
+        .args([
+            "campaign",
+            "--targets",
+            "coreutils,nosuch",
+            "--iterations",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("unknown target `nosuch`"), "{err}");
+}
+
+#[test]
+fn campaign_resume_without_snapshot_exits_2() {
+    let out = scratch("campaign-no-snap");
+    let run = cli()
+        .args(["campaign", "--resume", "--out", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&run.stderr).contains("cannot resume"));
+}
+
+#[test]
+fn campaign_resume_rejects_matrix_flags() {
+    // A changed matrix (or metric) is a different campaign; silently
+    // ignoring the flag — or running half the cells under a different
+    // metric — would break the byte-identical resume contract.
+    let out = scratch("campaign-resume-flags");
+    let run = cli()
+        .args([
+            "campaign",
+            "--resume",
+            "--iterations",
+            "999",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("cannot combine --resume with --iterations"), "{err}");
+}
+
+#[test]
+fn campaign_rejects_aliased_duplicate_targets() {
+    // `mysql` and `minidb` are the same target under two spellings;
+    // scheduling both would double-count every unique failure.
+    let out = scratch("campaign-dup-alias");
+    let run = cli()
+        .args([
+            "campaign",
+            "--targets",
+            "mysql,minidb",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("duplicate target `minidb`"), "{err}");
 }
 
 #[test]

@@ -51,6 +51,38 @@ fn outcomes_are_replayable() {
     }
 }
 
+/// For a fixed worker count and seed, two parallel runs are bit-identical.
+///
+/// `ParallelSession` completes results strictly in issue order (buffering
+/// out-of-order arrivals), so the explorer's generate/complete call
+/// sequence — [G0..G(w-1), C0, Gw, C1, ...] — depends only on the worker
+/// count `w`, never on manager timing. Different worker counts may still
+/// legitimately diverge: the search is *batch-parallel*, so `w` candidates
+/// are generated before the first fitness value feeds back, and that
+/// feedback lag changes which parents the fitness-guided mutation picks
+/// (see PERF.md, "Campaign engine and parallel determinism").
+#[test]
+fn parallel_sessions_are_deterministic_for_fixed_worker_count() {
+    use afex::cluster::ParallelSession;
+    use afex::core::OutcomeEvaluator;
+
+    let run = |workers: usize| {
+        let ts = TargetSpace::apache();
+        let mut ex =
+            FitnessExplorer::new(ts.space().clone(), ExplorerConfig::default(), 21);
+        ParallelSession::new(workers).run(
+            &mut ex,
+            |_| {
+                let exec = TargetSpace::apache();
+                OutcomeEvaluator::new(move |p| exec.execute(p), ImpactMetric::default())
+            },
+            150,
+        )
+    };
+    assert_eq!(run(4), run(4), "4-worker sessions must be bit-identical");
+    assert_eq!(run(1), run(1), "1-worker sessions must be bit-identical");
+}
+
 #[test]
 fn reports_serialize_deterministically() {
     let a = FaultReport::from_session(&run_session(3, 100), 4);

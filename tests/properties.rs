@@ -283,6 +283,104 @@ fn explorers_never_repeat_and_respect_budget() {
     });
 }
 
+/// A randomized campaign snapshot: random matrix shape, a random subset
+/// of cells completed with synthetic outcomes (codes, impacts, traces).
+fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
+    use afex::core::{CampaignSnapshot, CampaignSpec, CellOutcome, FailureRecord};
+    let names = ["coreutils", "minidb", "httpd", "docstore-0.8", "docstore-2.0"];
+    let strategies = ["fitness", "random", "exhaustive", "genetic"];
+    let spec = CampaignSpec {
+        targets: (0..rng.gen_range(1..4usize))
+            .map(|i| names[(i * 2 + rng.gen_range(0..2usize)) % names.len()].to_owned())
+            .collect(),
+        strategies: (0..rng.gen_range(1..3usize))
+            .map(|i| strategies[i].to_owned())
+            .collect(),
+        seeds: rng.gen_range(1..3usize),
+        base_seed: rng.gen_range(0..1000u64),
+        iterations: rng.gen_range(1..500usize),
+        metric: if rng.gen_bool(0.5) {
+            Some(["default", "paper", "crash"][rng.gen_range(0..3usize)].to_owned())
+        } else {
+            None
+        },
+    };
+    let mut snap = CampaignSnapshot::new(spec);
+    for i in 0..snap.cells.len() {
+        if rng.gen_bool(0.6) {
+            let records: Vec<FailureRecord> = (0..rng.gen_range(0..6usize))
+                .map(|_| {
+                    let code = rng.gen_range(0..40u64);
+                    FailureRecord {
+                        code,
+                        point: Point::new(vec![code as usize, rng.gen_range(0..19usize)]),
+                        impact: rng.gen_range(0.0..30.0f64),
+                        crashed: rng.gen_bool(0.3),
+                        hung: rng.gen_bool(0.1),
+                        trace: if rng.gen_bool(0.8) {
+                            Some(rand_string(rng, ASCII, 12))
+                        } else {
+                            None
+                        },
+                        cell: i,
+                    }
+                })
+                .collect();
+            let outcome = CellOutcome {
+                tests: rng.gen_range(0..500usize),
+                failures: records.len(),
+                crashes: records.iter().filter(|r| r.crashed).count(),
+                hangs: records.iter().filter(|r| r.hung).count(),
+                records,
+            };
+            snap.record(i, outcome);
+        }
+    }
+    snap
+}
+
+#[test]
+fn campaign_snapshot_roundtrips_to_identical_bytes() {
+    // serialize -> deserialize -> re-serialize must be byte-identical:
+    // the resume-equals-uninterrupted guarantee is checked as bytes, so
+    // the snapshot encoding itself has to be canonical.
+    use afex::core::CampaignSnapshot;
+    check(150, 17, |rng, _| {
+        let snap = rand_snapshot(rng);
+        let json = snap.to_json();
+        let back = CampaignSnapshot::from_json(&json).expect("snapshot parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json, "re-serialization must be identical");
+    });
+}
+
+#[test]
+fn campaign_store_rebuild_is_completion_order_independent() {
+    // Recording the same outcomes in any wall-clock order must converge
+    // to the same store (dedup ties break in cell order, not arrival
+    // order) — the property that makes parallel campaigns deterministic.
+    use afex::core::CampaignSnapshot;
+    check(100, 18, |rng, _| {
+        let snap = rand_snapshot(rng);
+        let outcomes: Vec<(usize, afex::core::CellOutcome)> = snap
+            .cells
+            .iter()
+            .filter_map(|s| Some((s.cell.index, s.outcome.clone()?)))
+            .collect();
+        let mut shuffled = CampaignSnapshot::new(snap.spec.clone());
+        // A seeded Fisher–Yates over the replay order.
+        let mut order: Vec<usize> = (0..outcomes.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &k in &order {
+            let (index, outcome) = &outcomes[k];
+            shuffled.record(*index, outcome.clone());
+        }
+        assert_eq!(shuffled, snap);
+    });
+}
+
 #[test]
 fn priority_queue_never_exceeds_capacity() {
     check(100, 14, |rng, _| {

@@ -1,0 +1,52 @@
+//! No-fault smoke tests: every target suite is green under the empty
+//! fault plan.
+//!
+//! AFEX counts a test as "found a fault" when the target's own suite
+//! fails under injection — which is only meaningful if the suite passes
+//! *without* injection. A target whose baseline regresses would make
+//! ordinary suite bugs masquerade as discovered recovery faults and
+//! silently corrupt every campaign corpus built on top, so each suite's
+//! fault-free baseline is pinned here at 100%.
+
+use afex::targets::baseline_pass_count;
+use afex::targets::coreutils::Coreutils;
+use afex::targets::docstore::{DocstoreTarget, Version};
+use afex::targets::httpd::HttpdTarget;
+use afex::targets::minidb::MiniDbTarget;
+use afex::targets::Target;
+
+fn assert_suite_green(target: &dyn Target) {
+    let total = target.num_tests();
+    let passed = baseline_pass_count(target);
+    assert_eq!(
+        passed,
+        total,
+        "{}: {passed}/{total} tests pass under the empty fault plan",
+        target.name()
+    );
+}
+
+#[test]
+fn coreutils_suite_green_without_faults() {
+    assert_suite_green(&Coreutils::new());
+}
+
+#[test]
+fn minidb_suite_green_without_faults() {
+    assert_suite_green(&MiniDbTarget::new());
+}
+
+#[test]
+fn httpd_suite_green_without_faults() {
+    assert_suite_green(&HttpdTarget::new());
+}
+
+#[test]
+fn docstore_v0_8_suite_green_without_faults() {
+    assert_suite_green(&DocstoreTarget::new(Version::V0_8));
+}
+
+#[test]
+fn docstore_v2_0_suite_green_without_faults() {
+    assert_suite_green(&DocstoreTarget::new(Version::V2_0));
+}
