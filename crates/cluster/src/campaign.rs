@@ -5,14 +5,24 @@
 //! (`target × strategy × seed`). Since cells are exploration sessions —
 //! and tests within them are already "embarrassingly parallel" (§6.1) —
 //! the scheduler parallelizes at cell granularity: every worker of the
-//! pool owns a sharded queue of cells, runs each cell's session to
+//! pool owns a sharded queue of work, runs each cell's session to
 //! completion, and steals from its neighbours' queues when its own shard
 //! drains. Cell-level scheduling keeps each session sequential and
 //! therefore bit-deterministic in its own seed, which is what lets an
 //! interrupted campaign resume to an identical corpus no matter how many
 //! workers the pool has or how they interleave.
 //!
-//! The scheduler is generic over the cell type and the cell runner so it
+//! The unit of dispatch is a [`CellChain`]: cells that must run
+//! serialized, in order, each seeing state folded from its predecessors
+//! (cross-cell redundancy chaining seeds cell *k*'s feedback from the
+//! traces of same-target cells `0..k`). Independent cells are simply
+//! singleton chains — [`CampaignScheduler::run_with`] wraps them so the
+//! fully-parallel case keeps its old API. Chains serialize their own
+//! cells but fan out against each other, and because a chain's outcomes
+//! depend only on its own cell order and initial state, the schedule is
+//! deterministic in the spec regardless of pool width.
+//!
+//! The scheduler is generic over the cell, state, and outcome types so it
 //! stays target-agnostic (`afex-targets` wiring lives in the `afex`
 //! facade crate).
 
@@ -20,7 +30,17 @@ use crossbeam::channel;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// A pool of workers draining sharded per-worker cell queues.
+/// A dependency chain of cells: they run serialized, in order, on one
+/// worker, threading `state` from each finished cell into the next.
+pub struct CellChain<S, C> {
+    /// State visible to every cell of the chain, updated after each cell
+    /// completes (e.g. the deduped failure traces found so far).
+    pub state: S,
+    /// The chain's cells, in dependency order.
+    pub cells: Vec<C>,
+}
+
+/// A pool of workers draining sharded per-worker chain queues.
 pub struct CampaignScheduler {
     workers: usize,
 }
@@ -41,14 +61,77 @@ impl CampaignScheduler {
         self.workers
     }
 
-    /// Runs every cell through `run_cell` on the pool, streaming each
-    /// owned outcome to `on_complete` on the calling thread in
-    /// wall-clock completion order — the campaign driver uses it to
-    /// checkpoint snapshots after every cell without copying outcomes.
+    /// Runs every chain on the pool. A worker owns a chain end to end:
+    /// it runs the chain's cells in order, calling `run_cell(cell,
+    /// &state)` for each and folding the outcome back into the chain
+    /// state with `update(&mut state, &cell, &outcome)` before the next
+    /// cell starts. Outcomes stream to `on_complete` on the calling
+    /// thread in wall-clock completion order — the campaign driver uses
+    /// it to checkpoint snapshots after every cell without copying
+    /// outcomes.
     ///
-    /// Cells are dealt round-robin into one shard per worker; a worker
+    /// Chains are dealt round-robin into one shard per worker; a worker
     /// pops from the front of its own shard and steals from the back of
-    /// the fullest other shard once its own is empty.
+    /// the fullest other shard once its own is empty. Since state never
+    /// crosses chains, every outcome is a pure function of its chain's
+    /// initial state and cell order — independent of pool width and of
+    /// how chains interleave on the wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `run_cell` (the scope joins all workers).
+    pub fn run_chains<S, C, O, F, U, G>(
+        &self,
+        chains: Vec<CellChain<S, C>>,
+        run_cell: F,
+        update: U,
+        mut on_complete: G,
+    ) where
+        S: Send,
+        C: Send,
+        O: Send,
+        F: Fn(&C, &S) -> O + Sync,
+        U: Fn(&mut S, &C, &O) + Sync,
+        G: FnMut(O),
+    {
+        let shards: Vec<Mutex<VecDeque<CellChain<S, C>>>> =
+            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, chain) in chains.into_iter().enumerate() {
+            shards[i % self.workers]
+                .lock()
+                .expect("shard poisoned")
+                .push_back(chain);
+        }
+        let (res_tx, res_rx) = channel::unbounded::<O>();
+        std::thread::scope(|scope| {
+            for me in 0..self.workers {
+                let shards = &shards;
+                let run_cell = &run_cell;
+                let update = &update;
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    'chains: while let Some(mut chain) = next_chain(shards, me) {
+                        for cell in &chain.cells {
+                            let outcome = run_cell(cell, &chain.state);
+                            update(&mut chain.state, cell, &outcome);
+                            if res_tx.send(outcome).is_err() {
+                                break 'chains;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for outcome in res_rx.iter() {
+                on_complete(outcome);
+            }
+        });
+    }
+
+    /// Runs independent cells through `run_cell` on the pool, streaming
+    /// each owned outcome to `on_complete` on the calling thread in
+    /// wall-clock completion order. Each cell is a singleton
+    /// [`CellChain`], so all cells fan out freely.
     ///
     /// # Panics
     ///
@@ -60,34 +143,20 @@ impl CampaignScheduler {
         F: Fn(usize, &C) -> O + Sync,
         G: FnMut(usize, O),
     {
-        let shards: Vec<Mutex<VecDeque<(usize, C)>>> =
-            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, cell) in cells.into_iter().enumerate() {
-            shards[i % self.workers]
-                .lock()
-                .expect("shard poisoned")
-                .push_back((i, cell));
-        }
-        let (res_tx, res_rx) = channel::unbounded::<(usize, O)>();
-        std::thread::scope(|scope| {
-            for me in 0..self.workers {
-                let shards = &shards;
-                let run_cell = &run_cell;
-                let res_tx = res_tx.clone();
-                scope.spawn(move || {
-                    while let Some((index, cell)) = next_cell(shards, me) {
-                        let outcome = run_cell(index, &cell);
-                        if res_tx.send((index, outcome)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(res_tx);
-            for (index, outcome) in res_rx.iter() {
-                on_complete(index, outcome);
-            }
-        });
+        let chains = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| CellChain {
+                state: (),
+                cells: vec![(i, cell)],
+            })
+            .collect();
+        self.run_chains(
+            chains,
+            |(i, cell), ()| (*i, run_cell(*i, cell)),
+            |(), _, _| {},
+            |(i, outcome)| on_complete(i, outcome),
+        );
     }
 
     /// Like [`Self::run_with`], but collects the outcomes and returns
@@ -109,12 +178,16 @@ impl CampaignScheduler {
     }
 }
 
-/// Pops the next cell for worker `me`: front of its own shard, else a
-/// steal from the back of the fullest other shard. All cells are enqueued
-/// before the workers start, so empty-everywhere means the pool is done.
-fn next_cell<C>(shards: &[Mutex<VecDeque<(usize, C)>>], me: usize) -> Option<(usize, C)> {
-    if let Some(task) = shards[me].lock().expect("shard poisoned").pop_front() {
-        return Some(task);
+/// Pops the next chain for worker `me`: front of its own shard, else a
+/// steal from the back of the fullest other shard. All chains are
+/// enqueued before the workers start, so empty-everywhere means the pool
+/// is done.
+fn next_chain<S, C>(
+    shards: &[Mutex<VecDeque<CellChain<S, C>>>],
+    me: usize,
+) -> Option<CellChain<S, C>> {
+    if let Some(chain) = shards[me].lock().expect("shard poisoned").pop_front() {
+        return Some(chain);
     }
     let victim = (0..shards.len())
         .filter(|&s| s != me)
@@ -187,5 +260,133 @@ mod tests {
         let sched = CampaignScheduler::new(2);
         let out: Vec<usize> = sched.run(Vec::<usize>::new(), |_, &c| c);
         assert!(out.is_empty());
+    }
+
+    /// Runs two synthetic chains and returns each completed cell's id
+    /// with the state it saw, in wall-clock completion order.
+    fn run_two_chains(workers: usize, delays: bool) -> Vec<(u32, Vec<u32>)> {
+        let sched = CampaignScheduler::new(workers);
+        let chains = vec![
+            CellChain {
+                state: Vec::<u32>::new(),
+                cells: vec![10, 11, 12],
+            },
+            CellChain {
+                state: vec![99],
+                cells: vec![20, 21],
+            },
+        ];
+        let mut done = Vec::new();
+        sched.run_chains(
+            chains,
+            |&cell, state: &Vec<u32>| {
+                if delays && cell % 2 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                (cell, state.clone())
+            },
+            |state, &cell, _| state.push(cell),
+            |out| done.push(out),
+        );
+        done
+    }
+
+    #[test]
+    fn chains_serialize_their_cells_and_thread_state() {
+        for workers in [1, 2, 4] {
+            for delays in [false, true] {
+                let mut done = run_two_chains(workers, delays);
+                // Wall-clock order varies; the per-chain view must not.
+                done.sort_by_key(|(cell, _)| *cell);
+                assert_eq!(
+                    done,
+                    vec![
+                        (10, vec![]),
+                        (11, vec![10]),
+                        (12, vec![10, 11]),
+                        (20, vec![99]),
+                        (21, vec![99, 20]),
+                    ],
+                    "workers={workers} delays={delays}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chains_fan_out_across_workers() {
+        // Two chains on two workers must genuinely overlap: chain 0's
+        // first cell blocks until chain 1's first cell runs. If chains
+        // serialized, the rendezvous would never complete — the timeout
+        // is a generous failure bound, not a scheduling assumption.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let rx = Mutex::new(rx);
+        let sched = CampaignScheduler::new(2);
+        let chains: Vec<CellChain<(), u32>> = (0..2)
+            .map(|k| CellChain {
+                state: (),
+                cells: vec![k * 10, k * 10 + 1],
+            })
+            .collect();
+        let mut done = Vec::new();
+        sched.run_chains(
+            chains,
+            |&c, ()| {
+                if c == 0 {
+                    rx.lock()
+                        .unwrap()
+                        .recv_timeout(std::time::Duration::from_secs(10))
+                        .expect("chain 1 never ran while chain 0 was mid-cell");
+                } else if c == 10 {
+                    tx.send(()).unwrap();
+                }
+                c
+            },
+            |(), _, _| {},
+            |c| done.push(c),
+        );
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn chain_stealing_moves_whole_chains() {
+        // Three chains, two workers: worker 0's shard holds chains 0 and
+        // 2; while chain 0 blocks, worker 1 must steal chain 2 — but the
+        // cells of each chain still run in order.
+        let ids = Mutex::new(std::collections::HashMap::new());
+        let sched = CampaignScheduler::new(2);
+        let chains: Vec<CellChain<u32, u32>> = (0..3)
+            .map(|k| CellChain {
+                state: 0,
+                cells: vec![k * 10, k * 10 + 1],
+            })
+            .collect();
+        let mut order = Vec::new();
+        sched.run_chains(
+            chains,
+            |&c, &prev| {
+                if c == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                ids.lock()
+                    .unwrap()
+                    .entry(c / 10)
+                    .or_insert_with(Vec::new)
+                    .push(std::thread::current().id());
+                (c, prev)
+            },
+            |state, _, &(c, _)| *state = c,
+            |(c, prev)| order.push((c, prev)),
+        );
+        // Each chain's second cell saw its first cell's update.
+        for k in [0u32, 1, 2] {
+            assert!(order.contains(&(k * 10, 0)));
+            assert!(order.contains(&(k * 10 + 1, k * 10)));
+        }
+        // Both cells of any one chain ran on the same worker.
+        for (chain, workers) in ids.lock().unwrap().iter() {
+            assert_eq!(workers[0], workers[1], "chain {chain} split across workers");
+        }
     }
 }

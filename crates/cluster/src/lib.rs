@@ -30,7 +30,7 @@ pub mod parallel;
 pub mod plugin;
 pub mod scripts;
 
-pub use campaign::CampaignScheduler;
+pub use campaign::{CampaignScheduler, CellChain};
 pub use manager::NodeManager;
 pub use messages::{ManagerMsg, Task, TaskResult};
 pub use parallel::ParallelSession;

@@ -135,6 +135,18 @@ impl FitnessExplorer {
         }
     }
 
+    /// Seeds the redundancy-feedback store with failure traces observed
+    /// by earlier sessions (§5 across cells: a campaign chains the
+    /// deduped traces of completed same-target cells into the next one).
+    /// Candidates reproducing a seeded trace get zero fitness weight, so
+    /// the search spends its budget on bugs the campaign has not seen.
+    /// Inert unless [`ExplorerConfig::redundancy_feedback`] is on.
+    pub fn seed_feedback<'a, I: IntoIterator<Item = &'a str>>(&mut self, traces: I) {
+        for trace in traces {
+            self.feedback.record(trace);
+        }
+    }
+
     /// Number of tests executed so far.
     pub fn executed_count(&self) -> usize {
         self.iteration
@@ -412,6 +424,39 @@ mod tests {
         // Note: FnEvaluator has no traces, so feedback is inert here — the
         // run must still behave identically rather than crash.
         assert_eq!(r1.executed.len(), r2.executed.len());
+    }
+
+    #[test]
+    fn seeded_feedback_suppresses_known_traces() {
+        // A tracing evaluator: every ridge hit reports the same trace.
+        struct Traced;
+        impl crate::evaluator::Evaluator for Traced {
+            fn evaluate(&self, p: &Point) -> crate::evaluator::Evaluation {
+                let mut e = crate::evaluator::Evaluation::from_impact(ridge(p));
+                if e.impact > 0.0 {
+                    e.trace = Some("main>ridge>fail".into());
+                }
+                e
+            }
+        }
+        let cfg = ExplorerConfig {
+            redundancy_feedback: true,
+            ..ExplorerConfig::default()
+        };
+        let run = |seed_traces: &[&str]| {
+            let mut ex = FitnessExplorer::new(grid(20), cfg.clone(), 17);
+            ex.seed_feedback(seed_traces.iter().copied());
+            ex.run(&Traced, 150)
+                .executed
+                .iter()
+                .map(|t| t.point.clone())
+                .collect::<Vec<_>>()
+        };
+        let fresh = run(&[]);
+        let seeded = run(&["main>ridge>fail"]);
+        // With the ridge's trace pre-seeded, every ridge hit weighs zero
+        // from the first test on, so the search trajectory diverges.
+        assert_ne!(fresh, seeded);
     }
 
     #[test]

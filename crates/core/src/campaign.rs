@@ -32,10 +32,11 @@
 use crate::algorithm::ExplorerConfig;
 use crate::genetic::GeneticConfig;
 use crate::impact::ImpactMetric;
-use crate::session::{SearchStrategy, SessionResult};
+use crate::session::{SearchStrategy, SessionResult, StopCondition};
 use afex_space::{Point, PointCodec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Maps a strategy name (as spelled in specs and on the CLI) to the
@@ -63,6 +64,107 @@ pub fn metric_from_name(name: &str) -> Option<ImpactMetric> {
     }
 }
 
+/// When a campaign cell stops, beyond its iteration budget.
+///
+/// The paper's sessions stop on richer criteria than a raw test budget
+/// (§6: "find 3 disk faults that hang the DBMS"). A campaign applies one
+/// policy to every cell; the spec's iteration budget always remains the
+/// hard backstop that keeps cells finite on spaces with few faults. The
+/// policy maps onto [`StopCondition`] via [`StopPolicy::to_condition`].
+///
+/// The policy is spelled identically in specs, snapshots, and on the CLI
+/// (`iterations`, `failures:N`, `crashes:N`), and it lives in the spec —
+/// and therefore in the snapshot — so a resumed campaign stops exactly
+/// like the original run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopPolicy {
+    /// Run the full iteration budget.
+    #[default]
+    Iterations,
+    /// Stop a cell once it found this many failure-inducing tests.
+    Failures(usize),
+    /// Stop a cell once it found this many crash-inducing tests.
+    Crashes(usize),
+}
+
+impl StopPolicy {
+    /// Parses the spec/CLI spelling: `iterations`, `failures:N`, or
+    /// `crashes:N` (`N` a positive integer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of why `text` is not a
+    /// stop policy.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text == "iterations" {
+            return Ok(StopPolicy::Iterations);
+        }
+        let err = || {
+            format!("bad stop policy `{text}`: expected iterations, failures:N, or crashes:N")
+        };
+        let (kind, count) = text.split_once(':').ok_or_else(err)?;
+        let count: usize = count.parse().map_err(|_| err())?;
+        if count == 0 {
+            return Err(format!("bad stop policy `{text}`: the target count must be positive"));
+        }
+        match kind {
+            "failures" => Ok(StopPolicy::Failures(count)),
+            "crashes" => Ok(StopPolicy::Crashes(count)),
+            _ => Err(err()),
+        }
+    }
+
+    /// The session stop condition this policy denotes, with `iterations`
+    /// as the hard cap.
+    pub fn to_condition(self, iterations: usize) -> StopCondition {
+        match self {
+            StopPolicy::Iterations => StopCondition::Iterations(iterations),
+            StopPolicy::Failures(count) => StopCondition::Failures {
+                count,
+                max_iterations: iterations,
+            },
+            StopPolicy::Crashes(count) => StopCondition::Crashes {
+                count,
+                max_iterations: iterations,
+            },
+        }
+    }
+}
+
+impl fmt::Display for StopPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StopPolicy::Iterations => write!(f, "iterations"),
+            StopPolicy::Failures(n) => write!(f, "failures:{n}"),
+            StopPolicy::Crashes(n) => write!(f, "crashes:{n}"),
+        }
+    }
+}
+
+/// Snapshots spell the policy exactly like the CLI (`"failures:3"`), so
+/// the encoding is trivially canonical: one string per policy.
+impl Serialize for StopPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for StopPolicy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::msg("expected stop-policy string"))?;
+        StopPolicy::parse(s).map_err(serde::Error::msg)
+    }
+
+    /// Snapshots written before stop policies existed simply ran every
+    /// cell to its iteration budget; they keep resuming under that
+    /// policy instead of failing to parse.
+    fn from_missing(_field: &str) -> Result<Self, serde::Error> {
+        Ok(StopPolicy::Iterations)
+    }
+}
+
 /// The `{target} × {strategy} × {seed}` matrix a campaign runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
@@ -76,6 +178,8 @@ pub struct CampaignSpec {
     pub base_seed: u64,
     /// Iteration budget per cell.
     pub iterations: usize,
+    /// When each cell stops, beyond the iteration budget.
+    pub stop: StopPolicy,
     /// Impact-metric name (see [`metric_from_name`]) applied to every
     /// cell; `None` means each target's own default.
     pub metric: Option<String>,
@@ -101,6 +205,15 @@ impl CampaignSpec {
         }
         if self.iterations == 0 {
             return Err("campaign needs a positive per-cell iteration budget".into());
+        }
+        if self.base_seed.checked_add(self.seeds as u64 - 1).is_none() {
+            return Err(format!(
+                "base seed {} + {} seeds overflows the u64 seed range",
+                self.base_seed, self.seeds
+            ));
+        }
+        if let StopPolicy::Failures(0) | StopPolicy::Crashes(0) = self.stop {
+            return Err("stop policy needs a positive target count".into());
         }
         for (i, t) in self.targets.iter().enumerate() {
             if !known_target(t) {
@@ -184,6 +297,34 @@ pub struct FailureRecord {
     /// Index of the cell that discovered this fault (first in cell
     /// order, not in wall-clock completion order).
     pub cell: usize,
+}
+
+/// One line of the streaming corpus export (`--export`): a deduplicated
+/// failure record paired with the target it was found on, serialized as
+/// one compact JSON object per line so very long campaigns can be tailed
+/// without loading the snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportRecord {
+    /// Target name (the corpus dedup key is `(target, record.code)`).
+    pub target: String,
+    /// The failure record, exactly as stored in the corpus.
+    pub record: FailureRecord,
+}
+
+impl ExportRecord {
+    /// Serializes this record as one compact JSONL line (no newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("export record serializes")
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse or shape-mismatch error.
+    pub fn from_jsonl(line: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(line)
+    }
 }
 
 /// The distilled result of one finished cell.
@@ -431,6 +572,35 @@ impl CampaignSnapshot {
         Ok(())
     }
 
+    /// Checks the snapshot is resumable under cross-cell redundancy
+    /// chaining: within each target, the completed cells must form a
+    /// prefix of that target's cells in cell order. Same-target cells
+    /// run serialized — cell *k* seeds its redundancy feedback from the
+    /// traces of completed same-target cells `0..k` — so a legitimately
+    /// interrupted run can never leave a later same-target cell done
+    /// while an earlier one is pending. A snapshot that does (hand-edited
+    /// or foreign) cannot replay the chain identically and is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-order completion.
+    pub fn check_chain_consistent(&self) -> Result<(), String> {
+        let mut first_pending: BTreeMap<&str, usize> = BTreeMap::new();
+        for state in &self.cells {
+            let target = state.cell.target.as_str();
+            if !state.done() {
+                first_pending.entry(target).or_insert(state.cell.index);
+            } else if let Some(&pending) = first_pending.get(target) {
+                return Err(format!(
+                    "cell {} is complete but earlier same-target cell {} is not — \
+                     the chained redundancy feedback cannot be replayed",
+                    state.cell.index, pending
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The cells still to run.
     pub fn pending(&self) -> Vec<CampaignCell> {
         self.cells
@@ -611,6 +781,7 @@ mod tests {
             seeds: 2,
             base_seed: 40,
             iterations: 10,
+            stop: StopPolicy::Iterations,
             metric: None,
         }
     }
@@ -677,6 +848,113 @@ mod tests {
         assert!(bad.validate(|_| true).unwrap_err().contains("vibes"));
         bad.metric = Some("crash".into());
         assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_seed_overflow() {
+        // `cells()` computes `base_seed + k`; near u64::MAX that addition
+        // would panic in debug builds, so the spec is rejected up front.
+        let mut bad = spec();
+        bad.base_seed = u64::MAX;
+        assert!(bad.validate(|_| true).unwrap_err().contains("overflows"));
+        bad.base_seed = u64::MAX - 1; // Seeds 2: MAX-1 and MAX both fit.
+        assert!(bad.validate(|_| true).is_ok());
+        assert_eq!(bad.cells().last().unwrap().seed, u64::MAX);
+        bad.seeds = 3;
+        assert!(bad.validate(|_| true).is_err());
+    }
+
+    #[test]
+    fn validate_catches_zero_count_stop_policies() {
+        let mut bad = spec();
+        bad.stop = StopPolicy::Crashes(0);
+        assert!(bad.validate(|_| true).unwrap_err().contains("positive"));
+        bad.stop = StopPolicy::Crashes(1);
+        assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn stop_policy_parses_and_displays_roundtrip() {
+        for (text, policy) in [
+            ("iterations", StopPolicy::Iterations),
+            ("failures:3", StopPolicy::Failures(3)),
+            ("crashes:1", StopPolicy::Crashes(1)),
+        ] {
+            assert_eq!(StopPolicy::parse(text).unwrap(), policy, "{text}");
+            assert_eq!(policy.to_string(), text);
+        }
+        for bad in ["", "nope", "failures", "failures:", "failures:x", "failures:0", "crashes:-1", "iterations:5"] {
+            assert!(StopPolicy::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn stop_policy_maps_onto_session_stop_conditions() {
+        assert_eq!(
+            StopPolicy::Iterations.to_condition(40),
+            StopCondition::Iterations(40)
+        );
+        assert_eq!(
+            StopPolicy::Failures(3).to_condition(40),
+            StopCondition::Failures {
+                count: 3,
+                max_iterations: 40
+            }
+        );
+        assert_eq!(
+            StopPolicy::Crashes(2).to_condition(40),
+            StopCondition::Crashes {
+                count: 2,
+                max_iterations: 40
+            }
+        );
+    }
+
+    #[test]
+    fn pre_policy_snapshots_still_parse() {
+        // Snapshots written before stop policies existed have no `stop`
+        // field; they must keep resuming under the iteration-cap policy.
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(1, outcome(&[3], 1));
+        let json = snap.to_json();
+        assert!(json.contains("\"stop\": \"iterations\""));
+        let old_style: String = json
+            .lines()
+            .filter(|l| !l.contains("\"stop\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = CampaignSnapshot::from_json(&old_style).expect("pre-policy snapshot parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn export_records_roundtrip_as_jsonl() {
+        let rec = ExportRecord {
+            target: "alpha".into(),
+            record: record(7, 2, true),
+        };
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        assert_eq!(ExportRecord::from_jsonl(&line).unwrap(), rec);
+        assert!(ExportRecord::from_jsonl("{\"target\":3}").is_err());
+    }
+
+    #[test]
+    fn chain_consistency_requires_per_target_prefixes() {
+        // Matrix order: cells 0-3 are alpha, 4-7 beta.
+        let mut snap = CampaignSnapshot::new(spec());
+        assert!(snap.check_chain_consistent().is_ok());
+        snap.record(0, outcome(&[1], 0));
+        snap.record(4, outcome(&[2], 4));
+        assert!(snap.check_chain_consistent().is_ok(), "per-target prefixes are fine");
+        // Beta finishing cell 6 with cell 5 pending breaks the chain...
+        snap.record(6, outcome(&[3], 6));
+        let err = snap.check_chain_consistent().unwrap_err();
+        assert!(err.contains("cell 6"), "{err}");
+        assert!(err.contains("cell 5"), "{err}");
+        // ...and completing the gap repairs it.
+        snap.record(5, outcome(&[4], 5));
+        assert!(snap.check_chain_consistent().is_ok());
     }
 
     #[test]

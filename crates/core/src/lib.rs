@@ -71,7 +71,7 @@ pub use aging::AgingPolicy;
 pub use algorithm::{ExplorerConfig, FitnessExplorer};
 pub use campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignReport, CampaignSnapshot,
-    CampaignSpec, CellOutcome, CellState, FailureRecord, ResultStore,
+    CampaignSpec, CellOutcome, CellState, ExportRecord, FailureRecord, ResultStore, StopPolicy,
 };
 pub use evaluator::{Evaluation, Evaluator, ExecutedTest, FnEvaluator, OutcomeEvaluator};
 pub use exhaustive::ExhaustiveExplorer;

@@ -183,6 +183,7 @@ pub struct Session {
     space: FaultSpace,
     strategy: SearchStrategy,
     seed: u64,
+    feedback_seeds: Vec<String>,
 }
 
 impl Session {
@@ -192,7 +193,21 @@ impl Session {
             space,
             strategy,
             seed,
+            feedback_seeds: Vec::new(),
         }
+    }
+
+    /// Pre-seeds the redundancy-feedback store with failure traces from
+    /// earlier sessions (cross-cell campaign chaining): a candidate that
+    /// reproduces an already-known trace starts with zero fitness weight
+    /// instead of being rediscovered. Only the fitness strategy consults
+    /// the feedback store (and only with
+    /// [`ExplorerConfig::redundancy_feedback`] on); other strategies
+    /// ignore the seeds.
+    #[must_use]
+    pub fn with_feedback_seeds(mut self, traces: Vec<String>) -> Self {
+        self.feedback_seeds = traces;
+        self
     }
 
     /// Runs the session until the stop condition is met.
@@ -201,6 +216,7 @@ impl Session {
         match &self.strategy {
             SearchStrategy::Fitness(cfg) => {
                 let mut ex = FitnessExplorer::new(self.space.clone(), cfg.clone(), self.seed);
+                ex.seed_feedback(self.feedback_seeds.iter().map(String::as_str));
                 run_stepper(cap, stop, |_| ex.step(eval))
             }
             SearchStrategy::Random => {
@@ -352,6 +368,35 @@ mod tests {
         let r = SessionResult::new(vec![mk("a>b"), mk("a>b"), mk("x>y>z>w")]);
         assert_eq!(r.failures(), 3);
         assert_eq!(r.unique_failures(1), 2);
+    }
+
+    #[test]
+    fn feedback_seeds_reach_the_fitness_explorer() {
+        // A tracing evaluator over the ridge; all hits share one trace.
+        struct Traced;
+        impl crate::evaluator::Evaluator for Traced {
+            fn evaluate(&self, p: &Point) -> Evaluation {
+                let mut e = Evaluation::from_impact(if p[0] == 3 { 5.0 } else { 0.0 });
+                if e.impact > 0.0 {
+                    e.trace = Some("ridge>trace".into());
+                }
+                e
+            }
+        }
+        let strategy = SearchStrategy::Fitness(ExplorerConfig {
+            redundancy_feedback: true,
+            ..ExplorerConfig::default()
+        });
+        let points = |seeds: Vec<String>| {
+            Session::new(space(), strategy.clone(), 8)
+                .with_feedback_seeds(seeds)
+                .run(&Traced, StopCondition::Iterations(80))
+                .executed
+                .iter()
+                .map(|t| t.point.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(points(vec![]), points(vec!["ridge>trace".into()]));
     }
 
     #[test]

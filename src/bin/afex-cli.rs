@@ -9,14 +9,15 @@
 //! afex-cli campaign --targets a,b,c --out dir/
 //!                   [--strategies fitness,random] [--seeds N] [--seed S]
 //!                   [--iterations M] [--workers W] [--metric ...]
-//!                   [--resume] [--json]
+//!                   [--stop iterations|failures:N|crashes:N]
+//!                   [--export corpus.jsonl] [--resume] [--json]
 //! ```
 //!
 //! Targets: `coreutils`, `minidb` (alias `mysql`), `httpd` (alias
 //! `apache`), `docstore-0.8`, `docstore-2.0`.
 
-use afex::campaign::{known_target, run_pending};
-use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec};
+use afex::campaign::{known_target, run_pending, CorpusExporter};
+use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec, StopPolicy};
 use afex::core::{
     ExplorerConfig, FaultReport, GeneticConfig, ImpactMetric, OutcomeEvaluator, SearchStrategy,
     Session, StopCondition,
@@ -37,7 +38,8 @@ fn usage() -> ! {
          campaign options: --targets a,b,c --out dir/\n\
                            --strategies fitness,random --seeds N --seed S\n\
                            --iterations M --workers W --metric default|paper|crash\n\
-                           --resume --json"
+                           --stop iterations|failures:N|crashes:N\n\
+                           --export corpus.jsonl --resume --json"
     );
     std::process::exit(2);
 }
@@ -203,12 +205,22 @@ fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
             .map(String::as_str)
             .unwrap_or("fitness,random"),
     );
+    let stop = opts
+        .get("stop")
+        .map(|s| {
+            StopPolicy::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
     let spec = CampaignSpec {
         targets,
         strategies,
         seeds: parse_num(opts, "seeds", 1),
         base_seed: parse_num(opts, "seed", 42),
         iterations: parse_num(opts, "iterations", 200),
+        stop,
         metric: opts.get("metric").cloned(),
     };
     if let Err(e) = spec.validate(known_target) {
@@ -219,13 +231,36 @@ fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
 }
 
 /// Writes the snapshot atomically (temp file + rename) so an interrupt
-/// mid-write never corrupts the resumable state.
-fn write_snapshot(snap: &CampaignSnapshot, path: &Path) {
-    let tmp = path.with_extension("tmp");
+/// mid-write never corrupts the resumable state. The temp file is the
+/// snapshot path plus a `.tmp` *suffix* — `with_extension` would make
+/// outputs differing only in extension collide on one temp file.
+///
+/// # Errors
+///
+/// Returns the I/O error of the write or rename; the campaign driver
+/// turns it into a nonzero exit (a run whose checkpoint failed is not
+/// resumable, and exiting 0 would hide that).
+fn write_snapshot(snap: &CampaignSnapshot, path: &Path) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
     let body = snap.to_json() + "\n";
-    if let Err(e) = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path)) {
+    std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path))
+}
+
+/// Checkpoints the snapshot (and the streaming export, if any), exiting
+/// nonzero on the first failure — the run is not resumable past a
+/// checkpoint that did not land on disk.
+fn checkpoint(snap: &CampaignSnapshot, path: &Path, exporter: &mut Option<CorpusExporter>) {
+    if let Err(e) = write_snapshot(snap, path) {
         eprintln!("cannot write snapshot {}: {e}", path.display());
         std::process::exit(1);
+    }
+    if let Some(ex) = exporter.as_mut() {
+        if let Err(e) = ex.sync(snap) {
+            eprintln!("cannot append corpus export: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -245,7 +280,15 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
         // a changed matrix (or metric) would be a different campaign, so
         // matrix flags are rejected outright rather than silently
         // ignored or compared against unrelated defaults.
-        for flag in ["targets", "strategies", "seeds", "seed", "iterations", "metric"] {
+        for flag in [
+            "targets",
+            "strategies",
+            "seeds",
+            "seed",
+            "iterations",
+            "metric",
+            "stop",
+        ] {
             if opts.contains_key(flag) {
                 eprintln!(
                     "cannot combine --resume with --{flag}: the snapshot's spec is used as-is"
@@ -264,7 +307,9 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
         // A hand-edited or foreign snapshot must fail here with exit 2,
         // not deep inside a cell run. Targets must also be in canonical,
         // alias-free form — a spec listing `mysql` and `minidb` would
-        // double-run one target and double-count its corpus.
+        // double-run one target and double-count its corpus — and the
+        // completed cells must form per-target prefixes, or the chained
+        // redundancy feedback cannot be replayed identically.
         if let Err(e) = snap
             .spec
             .validate(known_target)
@@ -274,6 +319,7 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
                 Err(e) => Err(e),
             })
             .and_then(|()| snap.check_consistent())
+            .and_then(|()| snap.check_chain_consistent())
         {
             eprintln!("cannot resume from {}: {e}", snap_path.display());
             std::process::exit(2);
@@ -286,11 +332,29 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
         eprintln!("cannot create {out_dir}: {e}");
         std::process::exit(1);
     }
+    // A resumed campaign appends to (and reconciles) its existing export;
+    // a fresh campaign truncates the path — inheriting records from an
+    // unrelated earlier run would both pollute the file and suppress this
+    // campaign's colliding records.
+    let mut exporter = opts.get("export").map(|p| {
+        let path = Path::new(p);
+        let opened = if opts.contains_key("resume") {
+            CorpusExporter::open(path)
+        } else {
+            CorpusExporter::create(path)
+        };
+        opened.unwrap_or_else(|e| {
+            eprintln!("cannot open corpus export {p}: {e}");
+            std::process::exit(1);
+        })
+    });
     let resumed_from = snap.done_count();
     run_pending(&mut snap, workers, |s| {
-        write_snapshot(s, &snap_path);
+        checkpoint(s, &snap_path, &mut exporter);
     });
-    write_snapshot(&snap, &snap_path); // Also covers the nothing-pending case.
+    // Also covers the nothing-pending case, and reconciles a resumed
+    // export file with the resumed snapshot's store.
+    checkpoint(&snap, &snap_path, &mut exporter);
     let report = CampaignReport::from_snapshot(&snap);
     let summary_path = Path::new(out_dir).join("summary.json");
     if let Err(e) = std::fs::write(&summary_path, report.to_json() + "\n") {

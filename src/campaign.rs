@@ -2,24 +2,34 @@
 //!
 //! [`afex_core::campaign`](crate::core::campaign) defines the matrix,
 //! snapshot, and corpus; [`afex_cluster::CampaignScheduler`] fans cells
-//! across the manager pool. This module supplies the missing piece — how
-//! one [`CampaignCell`] actually runs against a named target — and the
-//! driver loop the CLI and the integration tests share.
+//! across the manager pool. This module supplies the missing pieces —
+//! how one [`CampaignCell`] actually runs against a named target, how
+//! same-target cells chain their redundancy feedback, and the driver
+//! loop the CLI and the integration tests share — plus the streaming
+//! corpus exporter behind `afex-cli campaign --export`.
 //!
 //! Determinism contract: a cell's outcome depends only on its `(target,
-//! strategy, seed, iterations)` tuple, never on worker count or
-//! scheduling order. [`run_pending`] therefore produces the same final
+//! strategy, seed)` tuple, the spec's budget/stop policy/metric, and the
+//! outcomes of *earlier same-target cells* (whose deduped failure traces
+//! seed its redundancy feedback). Same-target cells therefore run
+//! serialized in cell order on one worker ([`CellChain`]), while cells
+//! of different targets still fan out across the pool. Earlier cells are
+//! themselves deterministic, so [`run_pending`] produces the same final
 //! snapshot whether the campaign runs in one go, is interrupted and
 //! resumed, or runs on pools of different sizes.
 
 use crate::core::campaign::{
-    metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CellOutcome,
+    metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CampaignSpec,
+    CellOutcome, ExportRecord,
 };
-use crate::core::{ImpactMetric, OutcomeEvaluator, Session, StopCondition};
+use crate::core::{ImpactMetric, OutcomeEvaluator, SearchStrategy, Session};
 use crate::targets::docstore::Version;
 use crate::targets::spaces::TargetSpace;
-use afex_cluster::CampaignScheduler;
+use afex_cluster::{CampaignScheduler, CellChain};
 use afex_space::PointCodec;
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::Path;
 
 /// The canonical campaign-runnable target names.
 pub const TARGETS: [&str; 5] = [
@@ -92,62 +102,304 @@ pub fn default_metric(target: &str) -> ImpactMetric {
     }
 }
 
+/// Ordered, deduplicated failure traces — the state a target's cell
+/// chain threads from each completed cell into the next.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSeeds {
+    traces: Vec<String>,
+    seen: HashSet<String>,
+}
+
+impl TraceSeeds {
+    /// An empty seed set.
+    pub fn new() -> Self {
+        TraceSeeds::default()
+    }
+
+    /// The deduped traces, in first-seen order.
+    pub fn traces(&self) -> &[String] {
+        &self.traces
+    }
+
+    /// Number of distinct traces collected.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no traces were collected.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Adds every failure trace of a completed cell's outcome.
+    pub fn absorb(&mut self, outcome: &CellOutcome) {
+        for record in &outcome.records {
+            if let Some(trace) = &record.trace {
+                if self.seen.insert(trace.clone()) {
+                    self.traces.push(trace.clone());
+                }
+            }
+        }
+    }
+}
+
+/// The redundancy-feedback seeds for a target's next pending cell: the
+/// deduped failure traces of the target's completed *prefix* of cells,
+/// in cell order. Chained runs always complete same-target cells in
+/// order, so the prefix is normally just "the completed cells"; on a
+/// tampered snapshot that completed a later cell while an earlier one is
+/// pending (see [`CampaignSnapshot::check_chain_consistent`]) the
+/// out-of-order outcomes are ignored, since a cell's predecessors could
+/// never have produced them.
+pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
+    let mut seeds = TraceSeeds::new();
+    for state in snap.cells.iter().filter(|s| s.cell.target == target) {
+        match &state.outcome {
+            Some(outcome) => seeds.absorb(outcome),
+            None => break,
+        }
+    }
+    seeds
+}
+
 /// Runs one cell to completion: a sequential session over the cell's
-/// target with the cell's strategy and seed, distilled into a
-/// [`CellOutcome`] keyed by packed point codes. `metric_name` is the
-/// spec's campaign-wide metric override (see
-/// [`metric_from_name`]); `None` uses the target's default.
+/// target with the cell's strategy and seed, stopping on the spec's
+/// [`StopPolicy`](crate::core::campaign::StopPolicy) (iteration budget
+/// as the backstop), distilled into a [`CellOutcome`] keyed by packed
+/// point codes. The spec also supplies the campaign-wide metric override
+/// (see [`metric_from_name`]; `None` uses the target's default).
+///
+/// `seed_traces` are the deduped failure traces of earlier same-target
+/// cells ([`chain_seeds`]); fitness cells run with the §5 redundancy-
+/// feedback loop on and those traces pre-recorded, so the search skips
+/// bugs the campaign already knows. Other strategies ignore the seeds.
 ///
 /// # Panics
 ///
 /// Panics on an unknown target, strategy, or metric name — validate the
-/// spec with [`crate::core::campaign::CampaignSpec::validate`] first.
-pub fn run_cell(cell: &CampaignCell, iterations: usize, metric_name: Option<&str>) -> CellOutcome {
+/// spec with [`CampaignSpec::validate`] first.
+pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seed_traces: &[String]) -> CellOutcome {
     let ts = target_space(&cell.target).expect("validated target");
     let exec = ts.clone();
-    let m = metric_name
+    let m = spec
+        .metric
+        .as_deref()
         .map(|n| metric_from_name(n).expect("validated metric"))
         .unwrap_or_else(|| default_metric(&cell.target));
     let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
-    let strategy = strategy_from_name(&cell.strategy).expect("validated strategy");
-    let session = Session::new(ts.space().clone(), strategy, cell.seed);
-    let result = session.run(&eval, StopCondition::Iterations(iterations));
+    // Campaign fitness cells always run the redundancy-feedback loop:
+    // chained seeds need the loop on to bite, and a uniform setting
+    // keeps every cell's outcome a function of the spec alone.
+    let strategy = match strategy_from_name(&cell.strategy).expect("validated strategy") {
+        SearchStrategy::Fitness(cfg) => SearchStrategy::Fitness(crate::core::ExplorerConfig {
+            redundancy_feedback: true,
+            ..cfg
+        }),
+        other => other,
+    };
+    let session = Session::new(ts.space().clone(), strategy, cell.seed)
+        .with_feedback_seeds(seed_traces.to_vec());
+    let result = session.run(&eval, spec.stop.to_condition(spec.iterations));
     let codec = PointCodec::for_space(ts.space())
         .expect("all campaign target spaces fit u64 point codes");
     CellOutcome::from_session(cell.index, &result, &codec)
 }
 
 /// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
-/// recording each outcome into the snapshot as it completes. The metric
-/// comes from the snapshot's own spec, so a resumed campaign scores
+/// recording each outcome into the snapshot as it completes. Pending
+/// cells are grouped into one [`CellChain`] per target — same-target
+/// cells run serialized in cell order, seeding each cell's redundancy
+/// feedback from its predecessors' deduped traces ([`chain_seeds`]
+/// covers the cells already completed in the snapshot), while different
+/// targets fan out across the pool. The stop policy and metric come from
+/// the snapshot's own spec, so a resumed campaign scores and stops
 /// exactly like the original run. `on_cell` runs on the calling thread
 /// after every recorded cell (wall-clock completion order) — the CLI
-/// checkpoints the snapshot file there.
+/// checkpoints the snapshot file and the corpus export there.
 pub fn run_pending<G>(snap: &mut CampaignSnapshot, workers: usize, mut on_cell: G)
 where
     G: FnMut(&CampaignSnapshot),
 {
-    let iterations = snap.spec.iterations;
-    let metric_name = snap.spec.metric.clone();
+    let spec = snap.spec.clone();
     let pending = snap.pending();
     if pending.is_empty() {
         return;
     }
+    let chains: Vec<CellChain<TraceSeeds, CampaignCell>> = spec
+        .targets
+        .iter()
+        .filter_map(|target| {
+            let cells: Vec<CampaignCell> = pending
+                .iter()
+                .filter(|c| &c.target == target)
+                .cloned()
+                .collect();
+            if cells.is_empty() {
+                return None;
+            }
+            Some(CellChain {
+                state: chain_seeds(snap, target),
+                cells,
+            })
+        })
+        .collect();
     let scheduler = CampaignScheduler::new(workers);
-    scheduler.run_with(
-        pending,
-        |_, cell| (cell.index, run_cell(cell, iterations, metric_name.as_deref())),
-        |_, (index, outcome): (usize, CellOutcome)| {
+    scheduler.run_chains(
+        chains,
+        |cell, seeds: &TraceSeeds| (cell.index, run_cell(cell, &spec, seeds.traces())),
+        |seeds, _cell, (_, outcome)| seeds.absorb(outcome),
+        |(index, outcome)| {
             snap.record(index, outcome);
             on_cell(snap);
         },
     );
 }
 
+/// Streaming corpus export: an append-only JSONL file mirroring the
+/// campaign's deduplicated failure corpus, one [`ExportRecord`] per
+/// line, so very long campaigns can be tailed without loading the
+/// snapshot.
+///
+/// [`CorpusExporter::sync`] appends every store record whose
+/// `(target, code)` key is not yet in the file; the driver calls it at
+/// each checkpoint, keeping the file's record set equal to the snapshot
+/// store's. Appended records are final: same-target cells complete in
+/// cell order (the chain contract), so a record's earliest-cell credit
+/// never changes after it is written. Re-opening the file reconciles it
+/// against the snapshot — a kill between the snapshot write and the
+/// export append, or a torn final line, heals on the next `sync`.
+pub struct CorpusExporter {
+    file: std::fs::File,
+    /// `(target, code)` keys already in the file, target-keyed so `sync`
+    /// probes with a borrowed `&str` instead of cloning per record.
+    seen: std::collections::HashMap<String, HashSet<u64>>,
+}
+
+impl CorpusExporter {
+    /// Creates a fresh export file, truncating whatever was there: a new
+    /// campaign must not inherit records from an unrelated earlier run
+    /// (which would both pollute the file and suppress this campaign's
+    /// colliding records). Resumed campaigns use [`Self::open`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of the create.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(CorpusExporter {
+            file,
+            seen: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Opens (or creates) an export file for appending — the resume
+    /// path. Existing complete lines are indexed so `sync` never
+    /// duplicates a record; a torn trailing line without a newline (the
+    /// mark of a kill mid-append) is truncated away and re-appended by
+    /// the next `sync`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or an `InvalidData` error if an existing
+    /// complete line is not a valid export record.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let complete = existing.rfind('\n').map_or(0, |i| i + 1);
+        let mut seen: std::collections::HashMap<String, HashSet<u64>> =
+            std::collections::HashMap::new();
+        for line in existing[..complete].lines() {
+            let record = ExportRecord::from_jsonl(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt export line in {}: {e}", path.display()),
+                )
+            })?;
+            seen.entry(record.target).or_default().insert(record.record.code);
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.set_len(complete as u64)?;
+        Ok(CorpusExporter { file, seen })
+    }
+
+    /// Number of records in the file.
+    pub fn len(&self) -> usize {
+        self.seen.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.seen.values().all(HashSet::is_empty)
+    }
+
+    /// Appends every store record not yet in the file, leaving the
+    /// file's record set equal to the snapshot store's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of the append.
+    pub fn sync(&mut self, snap: &CampaignSnapshot) -> std::io::Result<()> {
+        let mut batch = String::new();
+        for ((target, code), record) in snap.store.iter() {
+            if self
+                .seen
+                .get(target.as_str())
+                .is_some_and(|codes| codes.contains(code))
+            {
+                continue;
+            }
+            let line = ExportRecord {
+                target: target.clone(),
+                record: record.clone(),
+            }
+            .to_jsonl();
+            batch.push_str(&line);
+            batch.push('\n');
+            self.seen.entry(target.clone()).or_default().insert(*code);
+        }
+        if !batch.is_empty() {
+            self.file.write_all(batch.as_bytes())?;
+            self.file.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads an export file back into its records (test and tooling
+/// support; the write path is [`CorpusExporter`]).
+///
+/// # Errors
+///
+/// Returns the I/O error, or an `InvalidData` error for a malformed
+/// line.
+pub fn read_export(path: &Path) -> std::io::Result<Vec<ExportRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .map(|line| {
+            ExportRecord::from_jsonl(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt export line in {}: {e}", path.display()),
+                )
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::core::campaign::CampaignSpec;
+    use crate::core::campaign::{CampaignSpec, StopPolicy};
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {
@@ -156,6 +408,7 @@ mod tests {
             seeds: 1,
             base_seed: 3,
             iterations: 25,
+            stop: StopPolicy::Iterations,
             metric: None,
         }
     }
@@ -190,9 +443,10 @@ mod tests {
 
     #[test]
     fn run_cell_is_deterministic() {
-        let cell = tiny_spec().cells().remove(0);
-        let a = run_cell(&cell, 25, None);
-        let b = run_cell(&cell, 25, None);
+        let spec = tiny_spec();
+        let cell = spec.cells().remove(0);
+        let a = run_cell(&cell, &spec, &[]);
+        let b = run_cell(&cell, &spec, &[]);
         assert_eq!(a, b);
         assert_eq!(a.tests, 25);
     }
@@ -210,10 +464,13 @@ mod tests {
     #[test]
     fn spec_metric_overrides_target_default() {
         let mut spec = tiny_spec();
+        spec.iterations = 200;
         spec.metric = Some("crash".into());
         let cell = spec.cells().remove(0);
-        let with_crash = run_cell(&cell, 200, spec.metric.as_deref());
-        let with_default = run_cell(&cell, 200, None);
+        let with_crash = run_cell(&cell, &spec, &[]);
+        let mut default_spec = tiny_spec();
+        default_spec.iterations = 200;
+        let with_default = run_cell(&cell, &default_spec, &[]);
         // Same strategy/seed, different metric: same points visited by
         // the random strategy, differently scored.
         assert_eq!(with_crash.tests, with_default.tests);
@@ -221,5 +478,126 @@ mod tests {
         let crash_impacts: Vec<f64> = with_crash.records.iter().map(|r| r.impact).collect();
         let default_impacts: Vec<f64> = with_default.records.iter().map(|r| r.impact).collect();
         assert_ne!(crash_impacts, default_impacts);
+    }
+
+    #[test]
+    fn stop_policy_halts_cells_early() {
+        let mut spec = tiny_spec();
+        spec.iterations = 400;
+        spec.stop = StopPolicy::Failures(1);
+        let cell = spec.cells().remove(0);
+        let outcome = run_cell(&cell, &spec, &[]);
+        assert_eq!(outcome.failures, 1, "stopped at the first failure");
+        assert!(outcome.tests < 400, "budget cap should not be the stopper");
+    }
+
+    #[test]
+    fn chain_seeds_collect_the_completed_prefix() {
+        let mut spec = tiny_spec();
+        spec.strategies = vec!["fitness".into(), "random".into()];
+        spec.seeds = 2; // 4 same-target cells.
+        let mut snap = CampaignSnapshot::new(spec.clone());
+        assert!(chain_seeds(&snap, "coreutils").is_empty());
+        let o0 = run_cell(&snap.cells[0].cell.clone(), &spec, &[]);
+        snap.record(0, o0.clone());
+        let seeds_after_0 = chain_seeds(&snap, "coreutils");
+        let distinct: HashSet<&str> = o0
+            .records
+            .iter()
+            .filter_map(|r| r.trace.as_deref())
+            .collect();
+        assert_eq!(seeds_after_0.len(), distinct.len(), "deduped trace count");
+        // An out-of-order completion (cell 2 done, cell 1 pending) is
+        // not part of any replayable prefix and must be ignored.
+        let mut tampered = snap.clone();
+        let o2 = run_cell(&tampered.cells[2].cell.clone(), &spec, &[]);
+        tampered.record(2, o2);
+        assert_eq!(
+            chain_seeds(&tampered, "coreutils").traces(),
+            seeds_after_0.traces()
+        );
+    }
+
+    #[test]
+    fn chained_seeds_change_later_fitness_cells() {
+        // docstore-0.8 fails readily with traces; a second fitness cell
+        // seeded with the first cell's traces must explore differently
+        // than an unseeded replay of the same (strategy, seed).
+        let spec = CampaignSpec {
+            targets: vec!["docstore-0.8".into()],
+            strategies: vec!["fitness".into()],
+            seeds: 2,
+            base_seed: 11,
+            iterations: 120,
+            stop: StopPolicy::Iterations,
+            metric: None,
+        };
+        let cells = spec.cells();
+        let first = run_cell(&cells[0], &spec, &[]);
+        let mut seeds = TraceSeeds::new();
+        seeds.absorb(&first);
+        assert!(!seeds.is_empty(), "first cell found no traces to chain");
+        let chained = run_cell(&cells[1], &spec, seeds.traces());
+        let unchained = run_cell(&cells[1], &spec, &[]);
+        assert_ne!(chained, unchained, "seeded traces must steer the search");
+    }
+
+    #[test]
+    fn exporter_mirrors_the_store_across_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("afex-export-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.jsonl");
+
+        let mut spec = tiny_spec();
+        spec.strategies = vec!["fitness".into(), "random".into()];
+        spec.iterations = 60;
+        let mut snap = CampaignSnapshot::new(spec);
+        let mut exporter = CorpusExporter::open(&path).unwrap();
+        run_pending(&mut snap, 2, |s| exporter.sync(s).unwrap());
+        assert!(!exporter.is_empty(), "campaign found nothing to export");
+        assert_eq!(exporter.len(), snap.store.len());
+
+        let records = read_export(&path).unwrap();
+        assert_eq!(records.len(), snap.store.len());
+        for rec in &records {
+            assert_eq!(
+                snap.store.get(&rec.target, rec.record.code),
+                Some(&rec.record),
+                "exported record must match the store"
+            );
+        }
+
+        // Re-opening and re-syncing appends nothing new...
+        let before = std::fs::read(&path).unwrap();
+        let mut reopened = CorpusExporter::open(&path).unwrap();
+        reopened.sync(&snap).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+
+        // ...and a torn trailing line heals: the truncated record is
+        // re-appended by the next sync, restoring set equality.
+        let mut torn = before.clone();
+        let keep = torn.len() - 10;
+        torn.truncate(keep);
+        std::fs::write(&path, &torn).unwrap();
+        let mut healed = CorpusExporter::open(&path).unwrap();
+        healed.sync(&snap).unwrap();
+        let records = read_export(&path).unwrap();
+        assert_eq!(records.len(), snap.store.len());
+
+        // A fresh campaign truncates a stale export: `create` must not
+        // inherit (or be suppressed by) an unrelated earlier run's
+        // records — the file must mirror the new store exactly.
+        let mut other = CampaignSnapshot::new(tiny_spec());
+        run_pending(&mut other, 1, |_| {});
+        let mut fresh = CorpusExporter::create(&path).unwrap();
+        assert!(fresh.is_empty(), "create must truncate stale records");
+        fresh.sync(&other).unwrap();
+        let records = read_export(&path).unwrap();
+        assert_eq!(records.len(), other.store.len());
+        for rec in &records {
+            assert_eq!(other.store.get(&rec.target, rec.record.code), Some(&rec.record));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

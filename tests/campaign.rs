@@ -1,10 +1,11 @@
 //! Integration tests for the campaign engine: the matrix runs on the
-//! scheduler pool, snapshots are durable, and an interrupted campaign
-//! resumed from a snapshot converges to the same corpus as an
-//! uninterrupted one.
+//! scheduler pool, snapshots are durable, stop policies halt cells
+//! early, same-target cells chain their redundancy feedback, and an
+//! interrupted campaign resumed from a snapshot converges to the same
+//! corpus as an uninterrupted one.
 
-use afex::campaign::{run_cell, run_pending};
-use afex::core::campaign::{CampaignSnapshot, CampaignSpec};
+use afex::campaign::{chain_seeds, run_cell, run_pending};
+use afex::core::campaign::{CampaignSnapshot, CampaignSpec, StopPolicy};
 
 /// The acceptance matrix: 3 targets × 2 strategies on the manager pool.
 fn matrix_spec() -> CampaignSpec {
@@ -14,6 +15,20 @@ fn matrix_spec() -> CampaignSpec {
         seeds: 1,
         base_seed: 7,
         iterations: 60,
+        stop: StopPolicy::Iterations,
+        metric: None,
+    }
+}
+
+/// A single-target chain: 4 same-target cells that must serialize.
+fn chain_spec() -> CampaignSpec {
+    CampaignSpec {
+        targets: vec!["docstore-0.8".into()],
+        strategies: vec!["fitness".into(), "random".into()],
+        seeds: 2,
+        base_seed: 11,
+        iterations: 80,
+        stop: StopPolicy::Iterations,
         metric: None,
     }
 }
@@ -36,17 +51,23 @@ fn matrix_campaign_completes_on_the_pool() {
 
 #[test]
 fn campaign_is_deterministic_across_worker_counts() {
-    // Cells are whole sequential sessions, so the corpus depends only on
-    // the spec — not on pool width or cell completion order.
-    let run = |workers: usize| {
-        let mut snap = CampaignSnapshot::new(matrix_spec());
+    // Cells are whole sequential sessions chained per target, so the
+    // corpus depends only on the spec — not on pool width or wall-clock
+    // completion order.
+    let run = |spec: CampaignSpec, workers: usize| {
+        let mut snap = CampaignSnapshot::new(spec);
         run_pending(&mut snap, workers, |_| {});
         snap
     };
-    let one = run(1);
-    let four = run(4);
+    let one = run(matrix_spec(), 1);
+    let four = run(matrix_spec(), 4);
     assert_eq!(one, four);
     assert_eq!(one.to_json(), four.to_json());
+    // Same with a nontrivial same-target chain: cell k's feedback seeds
+    // come from cells 0..k whichever worker owns the chain.
+    let chain_one = run(chain_spec(), 1);
+    let chain_four = run(chain_spec(), 4);
+    assert_eq!(chain_one.to_json(), chain_four.to_json());
 }
 
 #[test]
@@ -56,13 +77,14 @@ fn interrupted_campaign_resumes_to_identical_corpus() {
     run_pending(&mut full, 3, |_| {});
 
     // "Kill" a run after two cells: build the snapshot a dying process
-    // would have left behind (two recorded cells, serialized to JSON),
-    // reload it from the bytes, and finish the rest on a different-width
-    // pool.
+    // would have left behind (the first cells of two target chains —
+    // same-target cells complete in order, so interruptions always leave
+    // per-target prefixes), reload it from the bytes, and finish the
+    // rest on a different-width pool.
     let mut interrupted = CampaignSnapshot::new(matrix_spec());
-    for index in [0usize, 3] {
+    for index in [0usize, 2] {
         let cell = interrupted.cells[index].cell.clone();
-        let outcome = run_cell(&cell, interrupted.spec.iterations, None);
+        let outcome = run_cell(&cell, &interrupted.spec, &[]);
         interrupted.record(index, outcome);
     }
     let bytes_at_death = interrupted.to_json();
@@ -81,6 +103,103 @@ fn interrupted_campaign_resumes_to_identical_corpus() {
 }
 
 #[test]
+fn interrupted_chain_resumes_to_identical_corpus() {
+    // The chained case: all four cells share one target, so cell k's
+    // outcome depends on the traces of cells 0..k. Kill after the first
+    // two chain cells and resume on a wider pool.
+    let mut full = CampaignSnapshot::new(chain_spec());
+    run_pending(&mut full, 2, |_| {});
+
+    let mut interrupted = CampaignSnapshot::new(chain_spec());
+    run_pending(&mut interrupted, 1, |_| {});
+    for index in [2usize, 3] {
+        interrupted.cells[index].outcome = None;
+    }
+    interrupted.rebuild_store();
+    let mut resumed =
+        CampaignSnapshot::from_json(&interrupted.to_json()).expect("snapshot parses");
+    assert_eq!(resumed.done_count(), 2);
+    run_pending(&mut resumed, 4, |_| {});
+
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "chained resume must be byte-identical"
+    );
+}
+
+#[test]
+fn stop_policy_campaign_resumes_byte_identically() {
+    // A crashes:1 policy stops each cell at its first crash (budget as
+    // backstop); the policy lives in the spec, so a resumed campaign
+    // stops identically and converges to the same bytes.
+    let spec = CampaignSpec {
+        targets: vec!["httpd".into(), "docstore-0.8".into()],
+        strategies: vec!["fitness".into()],
+        seeds: 2,
+        base_seed: 5,
+        iterations: 300,
+        stop: StopPolicy::Crashes(1),
+        metric: None,
+    };
+    let mut full = CampaignSnapshot::new(spec.clone());
+    run_pending(&mut full, 3, |_| {});
+    // The policy actually bit somewhere: at least one cell stopped
+    // before its budget with exactly one crash.
+    assert!(
+        full.cells.iter().any(|s| {
+            let o = s.outcome.as_ref().unwrap();
+            o.tests < 300 && o.crashes == 1
+        }),
+        "no cell stopped early — weak test parameters"
+    );
+
+    let mut interrupted = CampaignSnapshot::from_json(&full.to_json()).unwrap();
+    for index in [1usize, 3] {
+        interrupted.cells[index].outcome = None;
+    }
+    interrupted.rebuild_store();
+    let mut resumed =
+        CampaignSnapshot::from_json(&interrupted.to_json()).expect("snapshot parses");
+    run_pending(&mut resumed, 2, |_| {});
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "stop-policy resume must be byte-identical"
+    );
+}
+
+#[test]
+fn chained_cells_see_their_predecessors_traces() {
+    // Replaying cell k by hand with chain_seeds of the completed prefix
+    // must reproduce the campaign's own outcome for cell k — and differ
+    // from an unseeded replay (the chain is real, not a no-op).
+    let spec = chain_spec();
+    let mut snap = CampaignSnapshot::new(spec.clone());
+    run_pending(&mut snap, 3, |_| {});
+
+    // Cell 1 is the second fitness cell of the target's chain (cell 2
+    // is random, which ignores feedback): replay it with the seeds of
+    // the completed prefix {cell 0}.
+    let mut prefix = CampaignSnapshot::new(spec.clone());
+    prefix.record(0, snap.cells[0].outcome.clone().unwrap());
+    let seeds = chain_seeds(&prefix, "docstore-0.8");
+    assert!(!seeds.is_empty(), "chain found no traces — weak parameters");
+    let replay = run_cell(&snap.cells[1].cell.clone(), &spec, seeds.traces());
+    assert_eq!(
+        Some(&replay),
+        snap.cells[1].outcome.as_ref(),
+        "chained replay must match the campaign's own cell outcome"
+    );
+    let unseeded = run_cell(&snap.cells[1].cell.clone(), &spec, &[]);
+    assert_ne!(
+        Some(&unseeded),
+        snap.cells[1].outcome.as_ref(),
+        "chaining changed nothing — weak parameters"
+    );
+}
+
+#[test]
 fn store_dedups_across_strategies_and_seeds() {
     // Two seeds of two strategies over one small target rediscover many
     // of the same faults; the corpus must count each fault once, credited
@@ -91,6 +210,7 @@ fn store_dedups_across_strategies_and_seeds() {
         seeds: 2,
         base_seed: 11,
         iterations: 120,
+        stop: StopPolicy::Iterations,
         metric: None,
     };
     let mut snap = CampaignSnapshot::new(spec);
@@ -137,10 +257,11 @@ fn minidb_cells_run_the_hunt_path() {
         seeds: 1,
         base_seed: 5,
         iterations: 30,
+        stop: StopPolicy::Iterations,
         metric: None,
     };
     let cell = spec.cells().remove(0);
-    let outcome = run_cell(&cell, spec.iterations, None);
+    let outcome = run_cell(&cell, &spec, &[]);
     assert_eq!(outcome.tests, 30);
     for r in &outcome.records {
         assert!(r.impact > 0.0);

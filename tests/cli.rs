@@ -178,6 +178,167 @@ fn campaign_resume_completes_an_interrupted_run_identically() {
 }
 
 #[test]
+fn campaign_stop_policy_export_and_resume() {
+    // A crashes:1 campaign with a streaming export, killed after two
+    // cells and resumed: the resumed snapshot must be byte-identical to
+    // the uninterrupted run, and the export's record set must equal the
+    // snapshot store's.
+    let stop_args = |out: &std::path::Path, export: &std::path::Path| {
+        let mut args = campaign_args(out);
+        for extra in ["--stop", "crashes:1", "--export", export.to_str().unwrap()] {
+            args.push(extra.to_owned());
+        }
+        args
+    };
+    let full = scratch("campaign-stop-full");
+    let full_export = full.join("corpus.jsonl");
+    let run = cli().args(stop_args(&full, &full_export)).output().unwrap();
+    assert!(run.status.success(), "{run:?}");
+    let full_bytes = std::fs::read(full.join("campaign.json")).unwrap();
+
+    let snap: afex::core::CampaignSnapshot =
+        serde_json::from_str(std::str::from_utf8(&full_bytes).unwrap()).unwrap();
+    assert_eq!(snap.spec.stop, afex::core::StopPolicy::Crashes(1));
+    assert!(
+        snap.cells.iter().any(|s| {
+            let o = s.outcome.as_ref().unwrap();
+            o.tests < 40 && o.crashes == 1
+        }),
+        "no cell stopped early under crashes:1"
+    );
+
+    // The export mirrors the store exactly.
+    let records = afex::campaign::read_export(&full_export).unwrap();
+    assert_eq!(records.len(), snap.store.len());
+    for rec in &records {
+        assert_eq!(snap.store.get(&rec.target, rec.record.code), Some(&rec.record));
+    }
+
+    // Kill-then-resume: per-target prefixes (cells 1 and 3 are the
+    // second cells of the two target chains), with the export truncated
+    // to what had been appended by then.
+    let cut = scratch("campaign-stop-cut");
+    let cut_export = cut.join("corpus.jsonl");
+    let mut rolled = snap.clone();
+    for index in [1usize, 3] {
+        rolled.cells[index].outcome = None;
+    }
+    rolled.rebuild_store();
+    std::fs::write(cut.join("campaign.json"), rolled.to_json() + "\n").unwrap();
+    let resumed = cli()
+        .args([
+            "campaign",
+            "--resume",
+            "--workers",
+            "3",
+            "--export",
+            cut_export.to_str().unwrap(),
+            "--out",
+            cut.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(
+        std::fs::read(cut.join("campaign.json")).unwrap(),
+        full_bytes,
+        "stop-policy resume must converge to identical bytes"
+    );
+    let resumed_records = afex::campaign::read_export(&cut_export).unwrap();
+    assert_eq!(resumed_records.len(), snap.store.len());
+    for rec in &resumed_records {
+        assert_eq!(snap.store.get(&rec.target, rec.record.code), Some(&rec.record));
+    }
+}
+
+#[test]
+fn campaign_rejects_zero_workers_with_exit_2() {
+    // `CampaignScheduler::new` asserts on 0 workers; the CLI must turn
+    // the bad flag into the usual exit-2 path instead of a panic.
+    let out = scratch("campaign-zero-workers");
+    let mut args = campaign_args(&out);
+    let w = args.iter().position(|a| a == "--workers").unwrap();
+    args[w + 1] = "0".into();
+    let run = cli().args(args).output().unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("--workers must be positive"), "{err}");
+}
+
+#[test]
+fn campaign_rejects_bad_stop_policies_with_exit_2() {
+    for bad in ["sometimes", "crashes", "failures:0", "crashes:x"] {
+        let out = scratch("campaign-bad-stop");
+        let mut args = campaign_args(&out);
+        args.push("--stop".into());
+        args.push(bad.into());
+        let run = cli().args(args).output().unwrap();
+        assert_eq!(run.status.code(), Some(2), "--stop {bad}");
+        let err = String::from_utf8_lossy(&run.stderr);
+        assert!(err.contains("bad stop policy"), "--stop {bad}: {err}");
+    }
+}
+
+#[test]
+fn campaign_rejects_seed_overflow_with_exit_2() {
+    // base_seed + seeds - 1 must fit in u64, or `cells()` would overflow
+    // (a panic in debug builds, silent wraparound in release).
+    let out = scratch("campaign-seed-overflow");
+    let mut args = campaign_args(&out);
+    let s = args.iter().position(|a| a == "--seed").unwrap();
+    args[s + 1] = u64::MAX.to_string();
+    let seeds = args.iter().position(|a| a == "--seeds").unwrap();
+    args[seeds + 1] = "2".into();
+    let run = cli().args(args).output().unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("overflows"), "{err}");
+}
+
+#[test]
+fn campaign_resume_rejects_stop_flag() {
+    let out = scratch("campaign-resume-stop");
+    let run = cli()
+        .args([
+            "campaign",
+            "--resume",
+            "--stop",
+            "crashes:1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("cannot combine --resume with --stop"), "{err}");
+}
+
+#[test]
+fn campaign_resume_rejects_chain_inconsistent_snapshots() {
+    // A snapshot whose later same-target cell is done while an earlier
+    // one is pending cannot replay the chained feedback; resume must
+    // reject it instead of silently diverging.
+    let out = scratch("campaign-chain-gap");
+    assert!(cli().args(campaign_args(&out)).output().unwrap().status.success());
+    let mut snap: afex::core::CampaignSnapshot = serde_json::from_str(
+        &std::fs::read_to_string(out.join("campaign.json")).unwrap(),
+    )
+    .unwrap();
+    // Cells 0,1 are the coreutils chain: hollow out cell 0 only.
+    snap.cells[0].outcome = None;
+    snap.rebuild_store();
+    std::fs::write(out.join("campaign.json"), snap.to_json() + "\n").unwrap();
+    let run = cli()
+        .args(["campaign", "--resume", "--out", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("cell 1 is complete"), "{err}");
+}
+
+#[test]
 fn campaign_rejects_unknown_target_with_exit_2() {
     let out = scratch("campaign-bad-target");
     let run = cli()

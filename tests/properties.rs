@@ -286,7 +286,7 @@ fn explorers_never_repeat_and_respect_budget() {
 /// A randomized campaign snapshot: random matrix shape, a random subset
 /// of cells completed with synthetic outcomes (codes, impacts, traces).
 fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
-    use afex::core::{CampaignSnapshot, CampaignSpec, CellOutcome, FailureRecord};
+    use afex::core::{CampaignSnapshot, CampaignSpec, CellOutcome, FailureRecord, StopPolicy};
     let names = ["coreutils", "minidb", "httpd", "docstore-0.8", "docstore-2.0"];
     let strategies = ["fitness", "random", "exhaustive", "genetic"];
     let spec = CampaignSpec {
@@ -299,6 +299,11 @@ fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
         seeds: rng.gen_range(1..3usize),
         base_seed: rng.gen_range(0..1000u64),
         iterations: rng.gen_range(1..500usize),
+        stop: match rng.gen_range(0..3u32) {
+            0 => StopPolicy::Iterations,
+            1 => StopPolicy::Failures(rng.gen_range(1..9usize)),
+            _ => StopPolicy::Crashes(rng.gen_range(1..9usize)),
+        },
         metric: if rng.gen_bool(0.5) {
             Some(["default", "paper", "crash"][rng.gen_range(0..3usize)].to_owned())
         } else {
@@ -378,6 +383,93 @@ fn campaign_store_rebuild_is_completion_order_independent() {
             shuffled.record(*index, outcome.clone());
         }
         assert_eq!(shuffled, snap);
+    });
+}
+
+#[test]
+fn chained_feedback_is_completion_order_independent() {
+    // The chain contract at the scheduler level: outcomes depend only on
+    // each chain's initial state and cell order, never on how chains
+    // interleave on the wall clock. Random chain shapes, random delays,
+    // random pool widths — the folded state every cell observes must be
+    // identical run to run.
+    use afex::cluster::{CampaignScheduler, CellChain};
+    check(40, 19, |rng, _| {
+        let num_chains = rng.gen_range(1..4usize);
+        let shapes: Vec<(u64, Vec<u64>)> = (0..num_chains)
+            .map(|k| {
+                let init = rng.gen_range(0..100u64);
+                let cells: Vec<u64> = (0..rng.gen_range(1..5usize))
+                    .map(|i| (k as u64) * 1000 + i as u64)
+                    .collect();
+                (init, cells)
+            })
+            .collect();
+        let delays: Vec<u64> = (0..16).map(|_| rng.gen_range(0..3u64)).collect();
+        let run = |workers: usize| {
+            let chains: Vec<CellChain<Vec<u64>, u64>> = shapes
+                .iter()
+                .map(|(init, cells)| CellChain {
+                    state: vec![*init],
+                    cells: cells.clone(),
+                })
+                .collect();
+            let sched = CampaignScheduler::new(workers);
+            let mut seen: Vec<(u64, Vec<u64>)> = Vec::new();
+            sched.run_chains(
+                chains,
+                |&cell, state: &Vec<u64>| {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        delays[cell as usize % delays.len()],
+                    ));
+                    (cell, state.clone())
+                },
+                |state, &cell, _| state.push(cell),
+                |out| seen.push(out),
+            );
+            // Wall-clock arrival order is nondeterministic; the per-cell
+            // observation is not.
+            seen.sort_unstable();
+            seen
+        };
+        let narrow = run(1);
+        let wide = run(4);
+        assert_eq!(narrow, wide, "shapes={shapes:?}");
+    });
+}
+
+#[test]
+fn chained_campaigns_are_pool_width_independent() {
+    // End to end over real targets: random small matrices with
+    // nontrivial same-target chains produce byte-identical snapshots on
+    // pools of different widths.
+    use afex::core::{CampaignSnapshot, CampaignSpec, StopPolicy};
+    check(6, 20, |rng, _| {
+        let all_targets = ["coreutils", "httpd", "docstore-0.8"];
+        let spec = CampaignSpec {
+            targets: all_targets[..rng.gen_range(1..3usize)]
+                .iter()
+                .map(|t| (*t).to_owned())
+                .collect(),
+            strategies: vec!["fitness".into(), "random".into()],
+            seeds: rng.gen_range(1..3usize),
+            base_seed: rng.gen_range(0..50u64),
+            iterations: rng.gen_range(10..40usize),
+            stop: match rng.gen_range(0..3u32) {
+                0 => StopPolicy::Iterations,
+                1 => StopPolicy::Failures(rng.gen_range(1..4usize)),
+                _ => StopPolicy::Crashes(1),
+            },
+            metric: None,
+        };
+        let run = |workers: usize| {
+            let mut snap = CampaignSnapshot::new(spec.clone());
+            afex::campaign::run_pending(&mut snap, workers, |_| {});
+            snap.to_json()
+        };
+        let narrow = run(1);
+        let wide = run(3 + rng.gen_range(0..3usize));
+        assert_eq!(narrow, wide, "spec={spec:?}");
     });
 }
 
