@@ -1,0 +1,121 @@
+//! Cost of the §7.4 redundancy-feedback weight on the explorer's
+//! completion path: `weight()` against stores of 64 / 1k / 10k traces.
+//!
+//! `weight/*` rows run the indexed best-first band traversal
+//! (`RedundancyFeedback::max_similarity` over the shared `TraceStore`);
+//! `weight_naive/*` rows run the retained seed linear scan on the *same*
+//! store, so the before/after comparison lands in one invocation. The
+//! acceptance bar is ≥25× at n=10k on the clustered mix.
+//!
+//! Two corpus shapes:
+//!
+//! - `clustered` — traces concentrate in well-separated length tiers
+//!   (the shapes redundancy-heavy campaigns accumulate: many variants of
+//!   a few distinct call paths). Probes are near-duplicates of stored
+//!   traces, inserted late in scan order — the regime where the naive
+//!   scan burns wide-banded distance computations on low-similarity
+//!   candidates before its running best tightens, while the best-first
+//!   traversal starts in the probe's own band and then prunes every
+//!   other tier outright.
+//! - `distinct` — lengths spread near-uniformly with no tier structure,
+//!   the adversarial case where banding prunes least.
+
+use afex_core::RedundancyFeedback;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Number of length tiers in the clustered mix.
+const TIERS: usize = 16;
+
+/// Length-clustered distinct traces, ordered far-to-near from the probe
+/// tier (tier 0 shortest first; probes target the last, longest tier).
+fn clustered(n: usize) -> Vec<String> {
+    let modules = ["parse", "net_recv", "wal_commit", "mi_create", "cgi", "stat"];
+    (0..n)
+        .map(|i| {
+            let tier = (i * TIERS) / n; // Contiguous tiers, short to long.
+            format!(
+                "main>{}{}>fn_{:05}",
+                "frame>".repeat(2 + tier * 2), // ~12 scalars of gap per tier.
+                modules[i % modules.len()],
+                i
+            )
+        })
+        .collect()
+}
+
+/// All-distinct traces with near-uniform length spread (no tier gaps).
+fn distinct(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "main>mod_{:02}>fn_{:04}>{}",
+                i % 17,
+                i % 1013,
+                "x".repeat(i % 97)
+            )
+        })
+        .collect()
+}
+
+/// Probes for a corpus: mostly near-duplicates of late-inserted traces
+/// (one trailing edit), plus an exact duplicate and a novel trace — the
+/// mix the completion path sees on a redundancy-heavy target, where
+/// rediscovering known bugs is the common case (§7.4: that redundancy
+/// is exactly what the feedback loop exists to suppress).
+fn probes(corpus: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let n = corpus.len();
+    for k in 1..=10usize {
+        let mut near = corpus[n - (k % n.max(1)) - 1].clone();
+        near.pop();
+        near.push('!');
+        out.push(near); // Near-duplicate: high similarity, not exact.
+    }
+    out.push(corpus[n - 1].clone()); // Exact duplicate (O(1) in both).
+    out.push("completely>different>signal>path".to_owned()); // Novel.
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feedback");
+    for n in [64usize, 1_000, 10_000] {
+        for (mix, corpus) in [("clustered", clustered(n)), ("distinct", distinct(n))] {
+            let mut fb = RedundancyFeedback::new();
+            for t in &corpus {
+                fb.record(t);
+            }
+            let ps = probes(&corpus);
+            // Sanity: indexed and naive weights agree bit-for-bit on the
+            // bench inputs (the property suite covers this exhaustively).
+            for p in &ps {
+                assert_eq!(fb.weight(p).to_bits(), fb.weight_naive(p).to_bits());
+            }
+            let mut i = 0usize;
+            g.bench_with_input(
+                BenchmarkId::new(format!("weight/{mix}"), n),
+                &ps,
+                |bench, ps| {
+                    bench.iter(|| {
+                        i += 1;
+                        fb.weight(std::hint::black_box(&ps[i % ps.len()]))
+                    })
+                },
+            );
+            let mut i = 0usize;
+            g.bench_with_input(
+                BenchmarkId::new(format!("weight_naive/{mix}"), n),
+                &ps,
+                |bench, ps| {
+                    bench.iter(|| {
+                        i += 1;
+                        fb.weight_naive(std::hint::black_box(&ps[i % ps.len()]))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

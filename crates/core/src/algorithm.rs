@@ -17,6 +17,7 @@ use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
 use crate::explore::Explore;
 use crate::feedback::RedundancyFeedback;
 use crate::gaussian::DiscreteGaussian;
+use crate::quality::store::TraceStore;
 use crate::queues::{History, PendingQueue, PendingTest, PointSet, PrioEntry, PriorityQueue};
 use crate::sensitivity::Sensitivity;
 use crate::session::SessionResult;
@@ -24,6 +25,7 @@ use afex_space::{FaultSpace, Point, UniformSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Tunables of the fitness-guided search.
 ///
@@ -71,7 +73,7 @@ impl Default for ExplorerConfig {
 
 /// The fitness-guided explorer.
 pub struct FitnessExplorer {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     cfg: ExplorerConfig,
     rng: StdRng,
     qpriority: PriorityQueue,
@@ -93,7 +95,10 @@ const GENERATION_ATTEMPTS: usize = 24;
 
 impl FitnessExplorer {
     /// Creates an explorer over `space` with a deterministic RNG seed.
-    pub fn new(space: FaultSpace, cfg: ExplorerConfig, seed: u64) -> Self {
+    /// Accepts an owned space or a shared `Arc` (a session runs several
+    /// strategies over one space without cloning it per explorer).
+    pub fn new(space: impl Into<Arc<FaultSpace>>, cfg: ExplorerConfig, seed: u64) -> Self {
+        let space = space.into();
         let axes = space.arity();
         let gaussians = space
             .axes()
@@ -145,6 +150,16 @@ impl FitnessExplorer {
         for trace in traces {
             self.feedback.record(trace);
         }
+    }
+
+    /// Seeds the redundancy feedback from a prebuilt [`TraceStore`] —
+    /// the campaign chaining path: the traces of earlier same-target
+    /// cells arrive already interned, split, and banded, so seeding is
+    /// reference-passing instead of re-recording the prefix corpus.
+    /// Replaces anything previously seeded. Inert unless
+    /// [`ExplorerConfig::redundancy_feedback`] is on.
+    pub fn seed_feedback_store(&mut self, store: TraceStore) {
+        self.feedback = RedundancyFeedback::from_store(store);
     }
 
     /// Number of tests executed so far.
@@ -271,7 +286,7 @@ impl Explore for FitnessExplorer {
         if self.cfg.redundancy_feedback {
             if let Some(trace) = &evaluation.trace {
                 fitness *= self.feedback.weight(trace);
-                self.feedback.record(trace);
+                self.feedback.record_arc(trace);
             }
         }
         self.history.record(test.point.clone());

@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Maps a strategy name (as spelled in specs and on the CLI) to the
 /// search strategy it denotes, with default configurations.
@@ -292,8 +293,11 @@ pub struct FailureRecord {
     pub crashed: bool,
     /// Whether the target hung.
     pub hung: bool,
-    /// Injection-point stack trace, if the fault triggered.
-    pub trace: Option<String>,
+    /// Injection-point stack trace, if the fault triggered. Shares the
+    /// evaluation's allocation (`Arc<str>`), and the campaign chain's
+    /// trace store interns the same handle — one allocation per distinct
+    /// trace per campaign.
+    pub trace: Option<Arc<str>>,
     /// Index of the cell that discovered this fault (first in cell
     /// order, not in wall-clock completion order).
     pub cell: usize,
@@ -793,7 +797,7 @@ mod tests {
             impact: 1.5,
             crashed,
             hung: false,
-            trace: Some(format!("t{code}")),
+            trace: Some(format!("t{code}").into()),
             cell,
         }
     }

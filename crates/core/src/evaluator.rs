@@ -10,6 +10,7 @@ use crate::impact::ImpactMetric;
 use afex_inject::{TestOutcome, TestStatus};
 use afex_space::Point;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything measured about one fault-injection test.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,7 +26,9 @@ pub struct Evaluation {
     /// Whether the planned fault actually triggered.
     pub triggered: bool,
     /// Stack trace at the injection point (redundancy-clustering key).
-    pub trace: Option<String>,
+    /// Shared (`Arc<str>`): the feedback store, cell outcomes, campaign
+    /// corpus, and exporter all hold handles to the one allocation.
+    pub trace: Option<Arc<str>>,
     /// Distinct basic blocks covered.
     pub blocks: usize,
 }
@@ -65,7 +68,7 @@ impl Evaluation {
             failed: outcome.status.is_failure(),
             hung: outcome.status == TestStatus::Hung,
             triggered: outcome.triggered(),
-            trace: outcome.injection_trace(),
+            trace: outcome.injection_trace().map(Arc::from),
             blocks: outcome.coverage.blocks(),
         }
     }

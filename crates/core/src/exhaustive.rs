@@ -9,20 +9,21 @@ use crate::explore::Explore;
 use crate::queues::PendingTest;
 use crate::session::SessionResult;
 use afex_space::FaultSpace;
+use std::sync::Arc;
 
 /// Row-major exhaustive scanner.
 pub struct ExhaustiveExplorer {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     next_index: u64,
     iteration: usize,
     executed: Vec<ExecutedTest>,
 }
 
 impl ExhaustiveExplorer {
-    /// Creates the scanner.
-    pub fn new(space: FaultSpace) -> Self {
+    /// Creates the scanner. Accepts an owned space or a shared `Arc`.
+    pub fn new(space: impl Into<Arc<FaultSpace>>) -> Self {
         ExhaustiveExplorer {
-            space,
+            space: space.into(),
             next_index: 0,
             iteration: 0,
             executed: Vec::new(),

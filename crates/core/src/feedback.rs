@@ -7,25 +7,31 @@
 //! fitness unmodified)." This steers exploration away from repeated
 //! manifestations of the same underlying bug.
 //!
-//! This sits on the explorer's completion path, so it uses the same
-//! machinery as the clusterer: an exact-duplicate hash hit answers the
-//! common case in O(1), length bounds prune candidates that cannot beat
-//! the best similarity seen so far, and surviving candidates run the
-//! banded [`levenshtein_bounded_chars`] capped at the smallest distance
-//! that could still improve the maximum. The computed weight is bit-for-
-//! bit the one the full scan produces.
+//! This sits on the explorer's completion path, so it runs on the shared
+//! [`TraceStore`]: an exact-duplicate hash hit answers the common case in
+//! O(1), and [`RedundancyFeedback::max_similarity`] is a best-first
+//! traversal of the store's length bands — bands are visited in
+//! decreasing order of their similarity upper bound and the scan stops
+//! the moment no remaining band can beat the best similarity seen, with
+//! each surviving candidate running the banded
+//! [`levenshtein_bounded_chars`](crate::levenshtein_bounded_chars) capped
+//! at the smallest distance that could still improve the maximum. The
+//! computed weight is bit-for-bit the one the full scan produces (the
+//! scan survives as [`RedundancyFeedback::max_similarity_naive`], the
+//! benchmark baseline and property-test oracle).
+//!
+//! Campaigns chain the store across same-target cells: the feedback of
+//! cell *k* starts from the interned traces of cells `0..k`
+//! ([`RedundancyFeedback::from_store`]) instead of re-splitting the
+//! whole prefix corpus.
 
-use crate::quality::levenshtein::{levenshtein, levenshtein_bounded_chars};
-use std::collections::HashSet;
+use crate::quality::store::TraceStore;
+use std::sync::Arc;
 
 /// Online store of injection-point stack traces with similarity weighting.
 #[derive(Debug, Clone, Default)]
 pub struct RedundancyFeedback {
-    /// Distinct traces as cached Unicode-scalar splits (the text itself
-    /// lives only in `texts`).
-    traces: Vec<Vec<char>>,
-    /// Exact-text membership for the O(1) identical-trace path.
-    texts: HashSet<String>,
+    store: TraceStore,
 }
 
 impl RedundancyFeedback {
@@ -34,58 +40,44 @@ impl RedundancyFeedback {
         RedundancyFeedback::default()
     }
 
+    /// Wraps a prebuilt trace store (campaign chaining: the deduped
+    /// traces of earlier same-target cells arrive already interned and
+    /// banded, shared by reference count instead of re-split).
+    pub fn from_store(store: TraceStore) -> Self {
+        RedundancyFeedback { store }
+    }
+
+    /// The underlying trace store.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
     /// Number of distinct traces recorded.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.store.len()
     }
 
     /// Whether no traces are recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.store.is_empty()
     }
 
     /// Similarity of two traces in `[0, 1]`: `1 - lev(a,b)/max(|a|,|b|)`.
     pub fn similarity(a: &str, b: &str) -> f64 {
-        let max_len = a.chars().count().max(b.chars().count());
-        if max_len == 0 {
-            return 1.0;
-        }
-        1.0 - levenshtein(a, b) as f64 / max_len as f64
+        TraceStore::similarity(a, b)
     }
 
     /// The maximum similarity of `trace` to any recorded trace (0 when the
-    /// store is empty).
+    /// store is empty). Best-first over the store's length bands; see
+    /// [`TraceStore::max_similarity`].
     pub fn max_similarity(&self, trace: &str) -> f64 {
-        // Identical-trace fast path: redundancy is usually literal.
-        if self.texts.contains(trace) {
-            return 1.0;
-        }
-        let chars: Vec<char> = trace.chars().collect();
-        let len = chars.len();
-        let mut best = 0.0f64;
-        for other in &self.traces {
-            let max_len = len.max(other.len());
-            if max_len == 0 {
-                return 1.0; // Both empty: identical.
-            }
-            // Length bound: distance >= |len difference|, so similarity
-            // cannot exceed 1 - diff/max_len. Skip hopeless candidates.
-            let diff = len.abs_diff(other.len());
-            let bound = 1.0 - diff as f64 / max_len as f64;
-            if bound <= best {
-                continue;
-            }
-            // To beat `best`, the distance must be < (1 - best) * max_len;
-            // cap the banded scan there and let it bail out early.
-            let k = ((1.0 - best) * max_len as f64).ceil() as usize;
-            if let Some(d) = levenshtein_bounded_chars(&chars, other, k.min(max_len)) {
-                best = best.max(1.0 - d as f64 / max_len as f64);
-                if best >= 1.0 {
-                    return 1.0;
-                }
-            }
-        }
-        best
+        self.store.max_similarity(trace)
+    }
+
+    /// The seed linear scan, kept as the benchmark baseline and the
+    /// oracle [`Self::max_similarity`] is property-tested against.
+    pub fn max_similarity_naive(&self, trace: &str) -> f64 {
+        self.store.max_similarity_naive(trace)
     }
 
     /// The linear fitness weight for a candidate with this trace:
@@ -94,11 +86,20 @@ impl RedundancyFeedback {
         (1.0 - self.max_similarity(trace)).clamp(0.0, 1.0)
     }
 
+    /// [`Self::weight`] through the naive scan (bench/oracle support).
+    pub fn weight_naive(&self, trace: &str) -> f64 {
+        (1.0 - self.max_similarity_naive(trace)).clamp(0.0, 1.0)
+    }
+
     /// Records an executed test's trace (deduplicated).
     pub fn record(&mut self, trace: &str) {
-        if self.texts.insert(trace.to_owned()) {
-            self.traces.push(trace.chars().collect());
-        }
+        self.store.intern(trace);
+    }
+
+    /// Records a trace already behind an `Arc`, sharing the allocation
+    /// (the completion path hands the evaluation's own handle over).
+    pub fn record_arc(&mut self, trace: &Arc<str>) {
+        self.store.intern_arc(trace);
     }
 }
 
@@ -141,6 +142,7 @@ mod tests {
         let mut fb = RedundancyFeedback::new();
         fb.record("x");
         fb.record("x");
+        fb.record_arc(&Arc::from("x"));
         assert_eq!(fb.len(), 1);
     }
 
@@ -152,7 +154,7 @@ mod tests {
     }
 
     #[test]
-    fn pruned_max_matches_full_scan() {
+    fn indexed_max_matches_full_scan() {
         let store = [
             "main>parse>handle_get",
             "main>net>accept",
@@ -176,6 +178,11 @@ mod tests {
                 .map(|t| RedundancyFeedback::similarity(t, probe))
                 .fold(0.0, f64::max);
             assert_eq!(fb.max_similarity(probe), full, "probe {probe:?}");
+            assert_eq!(
+                fb.max_similarity(probe).to_bits(),
+                fb.max_similarity_naive(probe).to_bits(),
+                "probe {probe:?}"
+            );
         }
     }
 
@@ -185,5 +192,14 @@ mod tests {
         fb.record("");
         assert_eq!(fb.max_similarity(""), 1.0);
         assert_eq!(fb.weight(""), 0.0);
+    }
+
+    #[test]
+    fn prebuilt_store_seeds_the_feedback() {
+        let store: TraceStore = ["main>ridge>fail", "boot"].into_iter().collect();
+        let fb = RedundancyFeedback::from_store(store);
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb.weight("main>ridge>fail"), 0.0);
+        assert_eq!(fb.store().len(), 2);
     }
 }

@@ -16,6 +16,7 @@ use afex_space::{FaultSpace, Point, UniformSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Genetic-algorithm tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,7 +46,7 @@ impl Default for GeneticConfig {
 /// previously executed points are looked up rather than re-run, so the
 /// test budget counts *executions*, as in the other explorers.
 pub struct GeneticExplorer {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     cfg: GeneticConfig,
     rng: StdRng,
     history: History,
@@ -55,8 +56,10 @@ pub struct GeneticExplorer {
 }
 
 impl GeneticExplorer {
-    /// Creates a GA explorer with a deterministic seed.
-    pub fn new(space: FaultSpace, cfg: GeneticConfig, seed: u64) -> Self {
+    /// Creates a GA explorer with a deterministic seed. Accepts an owned
+    /// space or a shared `Arc`.
+    pub fn new(space: impl Into<Arc<FaultSpace>>, cfg: GeneticConfig, seed: u64) -> Self {
+        let space = space.into();
         GeneticExplorer {
             cfg,
             rng: StdRng::seed_from_u64(seed),

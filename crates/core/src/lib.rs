@@ -87,6 +87,7 @@ pub use quality::levenshtein::{
 };
 pub use quality::precision::impact_precision;
 pub use quality::relevance::RelevanceModel;
+pub use quality::store::TraceStore;
 pub use queues::{History, PendingQueue, PointSet, PriorityQueue};
 pub use random::RandomExplorer;
 pub use report::{FaultReport, ReportEntry};

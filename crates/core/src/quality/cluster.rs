@@ -16,11 +16,16 @@
 //! cluster skipped, and each comparison runs the banded
 //! [`levenshtein_bounded_chars`] instead of the full dynamic program.
 //! Identical traces (the common case for redundant faults) merge via a
-//! hash lookup without any distance computation. The naive all-pairs
-//! construction survives as [`cluster_traces_naive`], the benchmark
-//! baseline and property-test oracle.
+//! hash lookup without any distance computation. The interning, splits,
+//! and length bands live in the shared [`TraceStore`] — the same index
+//! the redundancy feedback's best-first similarity runs on — so the
+//! machinery exists once; distance is only ever computed between
+//! *distinct* trace texts. The naive all-pairs construction survives as
+//! [`cluster_traces_naive`], the benchmark baseline and property-test
+//! oracle.
 
 use super::levenshtein::{levenshtein_bounded_chars, levenshtein_reference};
+use super::store::TraceStore;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -111,14 +116,13 @@ pub(crate) fn union(parent: &mut [usize], rank: &mut [u8], a: usize, b: usize) -
 #[derive(Debug, Clone, Default)]
 pub struct ClusterIndex {
     threshold: usize,
-    /// Cached Unicode-scalar split of every inserted trace.
-    chars: Vec<Vec<char>>,
+    /// Distinct trace texts, splits, and length bands (shared machinery
+    /// with the redundancy feedback).
+    store: TraceStore,
+    /// Store entry id → earliest insertion id carrying that text.
+    first_insert: Vec<usize>,
     parent: Vec<usize>,
     rank: Vec<u8>,
-    /// Scalar length → trace ids, for length-band candidate lookup.
-    by_len: BTreeMap<usize, Vec<usize>>,
-    /// Exact trace text → first id carrying it (identical-trace fast path).
-    first_by_text: HashMap<String, usize>,
 }
 
 impl ClusterIndex {
@@ -150,32 +154,38 @@ impl ClusterIndex {
     /// within the threshold; returns the trace's id (insertion order).
     pub fn insert(&mut self, trace: &str) -> usize {
         let id = self.parent.len();
-        let chars: Vec<char> = trace.chars().collect();
-        let len = chars.len();
         self.parent.push(id);
         self.rank.push(0);
-        self.chars.push(chars);
+        let (entry, new_text) = self.store.intern(trace);
+        if new_text {
+            self.first_insert.push(id);
+        }
         if self.threshold == 0 {
             // Distance can never be `< 0`: every trace is its own cluster.
-            self.by_len.entry(len).or_default().push(id);
             return id;
         }
-        if let Some(&twin) = self.first_by_text.get(trace) {
+        if !new_text {
             // Identical text: the twin's cluster already absorbed every
             // cluster within range, so one union restores the closure.
+            let twin = self.first_insert[entry];
             union(&mut self.parent, &mut self.rank, id, twin);
-            self.by_len.entry(len).or_default().push(id);
             return id;
         }
         // Candidates: only traces whose length differs by < threshold can
         // be within the threshold at all (|len(a)-len(b)| <= distance).
+        // The store's bands hold distinct texts only, so duplicate
+        // insertions never cost a second distance computation.
+        let len = self.store.chars(entry).len();
         let band_lo = len.saturating_sub(self.threshold - 1);
         let band_hi = len + self.threshold - 1;
-        // Group band members by their current cluster root.
+        // Group band entries by their current cluster root.
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for ids in self.by_len.range(band_lo..=band_hi).map(|(_, v)| v) {
-            for &other in ids {
-                let root = find_imm(&self.parent, other);
+        for entries in self.store.bands().range(band_lo..=band_hi).map(|(_, v)| v) {
+            for &other in entries {
+                if other == entry {
+                    continue; // The entry just interned for `trace` itself.
+                }
+                let root = find_imm(&self.parent, self.first_insert[other]);
                 groups.entry(root).or_default().push(other);
             }
         }
@@ -183,16 +193,17 @@ impl ClusterIndex {
         for (_, mut members) in groups {
             // Representative first: the earliest member is the likeliest
             // hit (clusters grow around it), and one hit skips the rest.
-            members.sort_unstable();
+            members.sort_unstable_by_key(|&e| self.first_insert[e]);
             for other in members {
-                if levenshtein_bounded_chars(&self.chars[id], &self.chars[other], k).is_some() {
-                    union(&mut self.parent, &mut self.rank, id, other);
+                if levenshtein_bounded_chars(self.store.chars(entry), self.store.chars(other), k)
+                    .is_some()
+                {
+                    let target = self.first_insert[other];
+                    union(&mut self.parent, &mut self.rank, id, target);
                     break; // Pairs already unioned: skip remaining members.
                 }
             }
         }
-        self.by_len.entry(len).or_default().push(id);
-        self.first_by_text.insert(trace.to_owned(), id);
         id
     }
 

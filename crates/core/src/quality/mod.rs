@@ -9,3 +9,4 @@ pub mod cluster;
 pub mod levenshtein;
 pub mod precision;
 pub mod relevance;
+pub mod store;

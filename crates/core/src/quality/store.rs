@@ -1,0 +1,404 @@
+//! The shared trace store: an interning, length-banded metric index.
+//!
+//! Every §5 consumer of injection-point stack traces — the redundancy
+//! feedback loop on the explorer's completion path, the clusterer, the
+//! campaign's cross-cell chaining — needs the same three things: the
+//! trace text, its cached Unicode-scalar split, and a way to find the
+//! stored traces close to a probe without scanning everything. The seed
+//! kept a private copy of each (`Vec<String>` here, `Vec<Vec<char>>`
+//! there, re-split at every layer boundary); [`TraceStore`] owns them
+//! once:
+//!
+//! - **Interning.** Each distinct trace is one [`Arc<str>`] plus one
+//!   cached scalar split. Re-inserting a known trace is a hash hit; the
+//!   campaign layers pass records' `Arc<str>` handles around instead of
+//!   cloning byte buffers, so a trace's bytes are allocated once per
+//!   campaign.
+//! - **Length bands.** A `BTreeMap<usize, Vec<EntryId>>` keyed by scalar
+//!   length. Since `lev(a, b) >= |len(a) − len(b)|`, a band's length gap
+//!   to a probe upper-bounds the similarity of everything in it — the
+//!   index the clusterer already used, now shared.
+//! - **Best-first similarity.** [`TraceStore::max_similarity`] visits
+//!   bands in decreasing order of that upper bound and stops the moment
+//!   the next band cannot beat the best similarity found, running the
+//!   banded [`levenshtein_bounded_chars`] capped at the smallest
+//!   distance that could still improve the maximum. The weights are
+//!   bit-for-bit those of the retained linear scan
+//!   ([`TraceStore::max_similarity_naive`], the property-test oracle).
+//!
+//! The store is cheap to clone — texts and splits are shared through
+//! `Arc`, only the index structures are copied — which is what lets a
+//! campaign chain extend one store across its cells and hand each
+//! session a snapshot by reference-counting instead of re-splitting the
+//! whole prefix corpus.
+
+use super::levenshtein::{levenshtein, levenshtein_bounded_chars};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Interned store of distinct stack traces with a length-banded
+/// similarity index. See the [module docs](self) for the design.
+///
+/// # Examples
+///
+/// ```
+/// use afex_core::TraceStore;
+///
+/// let mut store = TraceStore::new();
+/// store.intern("main>parse>handle_get");
+/// store.intern("boot");
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.max_similarity("main>parse>handle_get"), 1.0);
+/// assert!(store.max_similarity("boot_") > 0.7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStore {
+    /// Distinct trace texts, in first-insertion order.
+    texts: Vec<Arc<str>>,
+    /// Cached Unicode-scalar split of each entry (same index as `texts`).
+    chars: Vec<Arc<[char]>>,
+    /// Exact text → entry id, the O(1) identical-trace path.
+    by_text: HashMap<Arc<str>, usize>,
+    /// Scalar length → entry ids in insertion order (the length bands).
+    by_len: BTreeMap<usize, Vec<usize>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Number of distinct traces interned.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether no traces are interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Whether this exact trace text is interned.
+    pub fn contains(&self, trace: &str) -> bool {
+        self.by_text.contains_key(trace)
+    }
+
+    /// The entry id of an interned trace, if present.
+    pub fn get(&self, trace: &str) -> Option<usize> {
+        self.by_text.get(trace).copied()
+    }
+
+    /// The interned text of an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn text(&self, id: usize) -> &Arc<str> {
+        &self.texts[id]
+    }
+
+    /// The cached scalar split of an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn chars(&self, id: usize) -> &[char] {
+        &self.chars[id]
+    }
+
+    /// All interned texts, in first-insertion order.
+    pub fn texts(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.texts.iter()
+    }
+
+    /// The length bands: scalar length → entry ids in insertion order.
+    pub fn bands(&self) -> &BTreeMap<usize, Vec<usize>> {
+        &self.by_len
+    }
+
+    /// Interns a trace: returns its entry id and whether it was new.
+    pub fn intern(&mut self, trace: &str) -> (usize, bool) {
+        if let Some(&id) = self.by_text.get(trace) {
+            return (id, false);
+        }
+        self.insert_new(Arc::from(trace))
+    }
+
+    /// Interns a trace already behind an `Arc`, sharing the allocation
+    /// instead of copying the bytes (the campaign chaining path: outcome
+    /// records hand their `Arc<str>` straight to the next cell's store).
+    pub fn intern_arc(&mut self, trace: &Arc<str>) -> (usize, bool) {
+        if let Some(&id) = self.by_text.get(trace.as_ref()) {
+            return (id, false);
+        }
+        self.insert_new(Arc::clone(trace))
+    }
+
+    fn insert_new(&mut self, text: Arc<str>) -> (usize, bool) {
+        let id = self.texts.len();
+        let chars: Arc<[char]> = text.chars().collect();
+        self.by_len.entry(chars.len()).or_default().push(id);
+        self.by_text.insert(Arc::clone(&text), id);
+        self.texts.push(text);
+        self.chars.push(chars);
+        (id, true)
+    }
+
+    /// Similarity upper bound for a probe of length `len` against any
+    /// trace of length `band`: `1 − |len − band| / max(len, band)`.
+    /// Monotone non-increasing in the length gap on either side of
+    /// `len`, which is what makes the best-first traversal sound.
+    fn band_bound(len: usize, band: usize) -> f64 {
+        let max_len = len.max(band);
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - len.abs_diff(band) as f64 / max_len as f64
+    }
+
+    /// The maximum similarity of `trace` to any interned trace (0 when
+    /// the store is empty), where similarity is
+    /// `1 − lev(a, b) / max(|a|, |b|)` over Unicode scalars.
+    ///
+    /// Best-first band traversal: after the O(1) exact-duplicate check,
+    /// bands are visited in decreasing order of their similarity upper
+    /// bound (merging the two `BTreeMap` cursors walking away from the
+    /// probe's length), each candidate runs the banded
+    /// [`levenshtein_bounded_chars`] capped at the smallest distance
+    /// that could still improve the running best, and the traversal
+    /// terminates the moment the next band's bound cannot beat that
+    /// best. The result is bit-for-bit
+    /// [`TraceStore::max_similarity_naive`]: every candidate's
+    /// similarity is the same pure function of its exact distance, the
+    /// bounds only skip candidates that provably cannot raise the
+    /// maximum, and `f64::max` is order-independent.
+    pub fn max_similarity(&self, trace: &str) -> f64 {
+        // Identical-trace fast path: redundancy is usually literal.
+        if self.by_text.contains_key(trace) {
+            return 1.0;
+        }
+        let probe: Vec<char> = trace.chars().collect();
+        let len = probe.len();
+        let mut best = 0.0f64;
+        // Two cursors walking outward from the probe's length: bounds
+        // decay monotonically along each, so the larger head is always
+        // the best unvisited band overall.
+        let mut below = self.by_len.range(..=len).rev().peekable();
+        let mut above = self.by_len.range(len + 1..).peekable();
+        loop {
+            let lo = below.peek().map(|&(&l, _)| Self::band_bound(len, l));
+            let hi = above.peek().map(|&(&l, _)| Self::band_bound(len, l));
+            let (bound, ids) = match (lo, hi) {
+                (None, None) => break,
+                (Some(bl), Some(bh)) if bl >= bh => (bl, below.next().expect("peeked").1),
+                (Some(bl), None) => (bl, below.next().expect("peeked").1),
+                (_, Some(bh)) => (bh, above.next().expect("peeked").1),
+            };
+            if bound <= best {
+                break; // No remaining band can beat the running best.
+            }
+            for &id in ids {
+                let other = &self.chars[id];
+                let max_len = len.max(other.len());
+                if max_len == 0 {
+                    return 1.0; // Both empty: identical.
+                }
+                if bound <= best {
+                    break; // Best improved mid-band; the band's bound is shared.
+                }
+                // To beat `best`, the distance must be < (1 - best) * max_len;
+                // cap the banded scan there and let it bail out early.
+                let k = ((1.0 - best) * max_len as f64).ceil() as usize;
+                if let Some(d) = levenshtein_bounded_chars(&probe, other, k.min(max_len)) {
+                    best = best.max(1.0 - d as f64 / max_len as f64);
+                    if best >= 1.0 {
+                        return 1.0;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The seed linear scan over all entries in insertion order, kept as
+    /// the benchmark baseline and the oracle the property tests run
+    /// [`TraceStore::max_similarity`] against.
+    pub fn max_similarity_naive(&self, trace: &str) -> f64 {
+        if self.by_text.contains_key(trace) {
+            return 1.0;
+        }
+        let probe: Vec<char> = trace.chars().collect();
+        let len = probe.len();
+        let mut best = 0.0f64;
+        for other in &self.chars {
+            let max_len = len.max(other.len());
+            if max_len == 0 {
+                return 1.0; // Both empty: identical.
+            }
+            // Length bound: distance >= |len difference|, so similarity
+            // cannot exceed 1 - diff/max_len. Skip hopeless candidates.
+            let diff = len.abs_diff(other.len());
+            let bound = 1.0 - diff as f64 / max_len as f64;
+            if bound <= best {
+                continue;
+            }
+            let k = ((1.0 - best) * max_len as f64).ceil() as usize;
+            if let Some(d) = levenshtein_bounded_chars(&probe, other, k.min(max_len)) {
+                best = best.max(1.0 - d as f64 / max_len as f64);
+                if best >= 1.0 {
+                    return 1.0;
+                }
+            }
+        }
+        best
+    }
+
+    /// Similarity of two traces in `[0, 1]`: `1 - lev(a,b)/max(|a|,|b|)`.
+    pub fn similarity(a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(a, b) as f64 / max_len as f64
+    }
+}
+
+impl From<Vec<String>> for TraceStore {
+    fn from(traces: Vec<String>) -> Self {
+        let mut store = TraceStore::new();
+        for t in &traces {
+            store.intern(t);
+        }
+        store
+    }
+}
+
+impl<'a> FromIterator<&'a str> for TraceStore {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        let mut store = TraceStore::new();
+        for t in iter {
+            store.intern(t);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_of(traces: &[&str]) -> TraceStore {
+        traces.iter().copied().collect()
+    }
+
+    #[test]
+    fn interning_dedupes_and_orders() {
+        let mut s = TraceStore::new();
+        assert_eq!(s.intern("a>b"), (0, true));
+        assert_eq!(s.intern("c"), (1, true));
+        assert_eq!(s.intern("a>b"), (0, false));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.text(0).as_ref(), "a>b");
+        assert_eq!(s.chars(1), &['c']);
+        let texts: Vec<&str> = s.texts().map(|t| t.as_ref()).collect();
+        assert_eq!(texts, vec!["a>b", "c"]);
+    }
+
+    #[test]
+    fn intern_arc_shares_the_allocation() {
+        let mut s = TraceStore::new();
+        let t: Arc<str> = Arc::from("main>f");
+        let (id, new) = s.intern_arc(&t);
+        assert!(new);
+        assert!(Arc::ptr_eq(s.text(id), &t));
+        assert_eq!(s.intern_arc(&Arc::from("main>f")), (id, false));
+    }
+
+    #[test]
+    fn bands_key_by_scalar_length() {
+        let s = store_of(&["ab", "cd", "xyz", "café"]);
+        assert_eq!(s.bands().get(&2), Some(&vec![0, 1]));
+        assert_eq!(s.bands().get(&3), Some(&vec![2]));
+        // "café" is 4 scalars, not 5 bytes.
+        assert_eq!(s.bands().get(&4), Some(&vec![3]));
+    }
+
+    #[test]
+    fn best_first_matches_naive_on_small_corpora() {
+        let s = store_of(&[
+            "main>parse>handle_get",
+            "main>net>accept",
+            "boot",
+            "main>parse>handle_post",
+            "a>very>long>path>through>many>modules>ending>here",
+            "",
+        ]);
+        for probe in [
+            "main>parse>handle_put",
+            "boot",
+            "boots",
+            "zzz",
+            "",
+            "a>very>long>path>through>many>modules>ending>her",
+            "日本語>trace",
+        ] {
+            let fast = s.max_similarity(probe);
+            let slow = s.max_similarity_naive(probe);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn empty_store_scores_zero() {
+        let s = TraceStore::new();
+        assert_eq!(s.max_similarity("anything"), 0.0);
+        assert_eq!(s.max_similarity(""), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_edges() {
+        let s = store_of(&[""]);
+        assert_eq!(s.max_similarity(""), 1.0);
+        // Against a nonempty probe, "" bounds to zero similarity.
+        assert_eq!(s.max_similarity("ab"), 0.0);
+        let s = store_of(&["ab"]);
+        assert_eq!(s.max_similarity(""), 0.0);
+    }
+
+    #[test]
+    fn exact_duplicate_is_unit_similarity() {
+        let s = store_of(&["main>f>g"]);
+        assert_eq!(s.max_similarity("main>f>g"), 1.0);
+    }
+
+    #[test]
+    fn traversal_prunes_far_bands_but_not_results() {
+        // A near-duplicate in the probe's own band plus distant bands on
+        // both sides: the traversal must still return the exact maximum.
+        let s = store_of(&[
+            "x".repeat(200).as_str(),
+            "main>f>g",
+            "m",
+            "main>f>h",
+        ]);
+        let fast = s.max_similarity("main>f>x");
+        let slow = s.max_similarity_naive("main>f>x");
+        assert_eq!(fast.to_bits(), slow.to_bits());
+        assert!(fast > 0.8, "fast = {fast}");
+    }
+
+    #[test]
+    fn clone_shares_text_allocations() {
+        let mut s = TraceStore::new();
+        s.intern("main>f");
+        let c = s.clone();
+        assert!(Arc::ptr_eq(s.text(0), c.text(0)));
+    }
+
+    #[test]
+    fn from_vec_of_strings_dedupes() {
+        let s = TraceStore::from(vec!["a".to_owned(), "b".to_owned(), "a".to_owned()]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -12,10 +12,11 @@ use crate::session::SessionResult;
 use afex_space::{FaultSpace, UniformSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Uniform-without-replacement explorer.
 pub struct RandomExplorer {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     rng: StdRng,
     history: History,
     iteration: usize,
@@ -24,8 +25,10 @@ pub struct RandomExplorer {
 }
 
 impl RandomExplorer {
-    /// Creates a random explorer with a deterministic seed.
-    pub fn new(space: FaultSpace, seed: u64) -> Self {
+    /// Creates a random explorer with a deterministic seed. Accepts an
+    /// owned space or a shared `Arc`.
+    pub fn new(space: impl Into<Arc<FaultSpace>>, seed: u64) -> Self {
+        let space = space.into();
         RandomExplorer {
             rng: StdRng::seed_from_u64(seed),
             history: History::for_space(&space),

@@ -13,9 +13,11 @@ use crate::exhaustive::ExhaustiveExplorer;
 use crate::explore::Explore;
 use crate::genetic::{GeneticConfig, GeneticExplorer};
 use crate::quality::cluster::{cluster_traces, Cluster};
+use crate::quality::store::TraceStore;
 use crate::random::RandomExplorer;
 use afex_space::FaultSpace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which search algorithm a session uses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,11 +165,22 @@ impl SessionResult {
         cluster_traces(&traces, threshold).len()
     }
 
-    /// The `n` highest-impact tests, best first.
+    /// The `n` highest-impact tests, best first. O(len + n log n): the
+    /// top `n` are selected with `select_nth_unstable_by` and only that
+    /// prefix is sorted, instead of sorting the whole execution log.
     pub fn top_faults(&self, n: usize) -> Vec<&ExecutedTest> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let by_impact_desc = |a: &&ExecutedTest, b: &&ExecutedTest| {
+            b.evaluation.impact.total_cmp(&a.evaluation.impact)
+        };
         let mut v: Vec<&ExecutedTest> = self.executed.iter().collect();
-        v.sort_by(|a, b| b.evaluation.impact.total_cmp(&a.evaluation.impact));
-        v.truncate(n);
+        if n < v.len() {
+            v.select_nth_unstable_by(n - 1, by_impact_desc);
+            v.truncate(n);
+        }
+        v.sort_unstable_by(by_impact_desc);
         v
     }
 
@@ -180,33 +193,38 @@ impl SessionResult {
 
 /// A configured exploration session over one fault space.
 pub struct Session {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     strategy: SearchStrategy,
     seed: u64,
-    feedback_seeds: Vec<String>,
+    feedback_seeds: TraceStore,
 }
 
 impl Session {
-    /// Creates a session.
-    pub fn new(space: FaultSpace, strategy: SearchStrategy, seed: u64) -> Self {
+    /// Creates a session. Accepts an owned space or a shared `Arc` —
+    /// [`Session::run`] hands the same `Arc` to whichever explorer the
+    /// strategy selects instead of cloning the space per run.
+    pub fn new(space: impl Into<Arc<FaultSpace>>, strategy: SearchStrategy, seed: u64) -> Self {
         Session {
-            space,
+            space: space.into(),
             strategy,
             seed,
-            feedback_seeds: Vec::new(),
+            feedback_seeds: TraceStore::new(),
         }
     }
 
     /// Pre-seeds the redundancy-feedback store with failure traces from
     /// earlier sessions (cross-cell campaign chaining): a candidate that
     /// reproduces an already-known trace starts with zero fitness weight
-    /// instead of being rediscovered. Only the fitness strategy consults
-    /// the feedback store (and only with
+    /// instead of being rediscovered. Accepts a prebuilt [`TraceStore`]
+    /// (the chaining path — seeding is then reference-passing, the
+    /// traces arrive already interned and banded) or anything that
+    /// converts into one, e.g. a `Vec<String>`. Only the fitness
+    /// strategy consults the feedback store (and only with
     /// [`ExplorerConfig::redundancy_feedback`] on); other strategies
     /// ignore the seeds.
     #[must_use]
-    pub fn with_feedback_seeds(mut self, traces: Vec<String>) -> Self {
-        self.feedback_seeds = traces;
+    pub fn with_feedback_seeds(mut self, seeds: impl Into<TraceStore>) -> Self {
+        self.feedback_seeds = seeds.into();
         self
     }
 
@@ -215,21 +233,22 @@ impl Session {
         let cap = stop.max_iterations();
         match &self.strategy {
             SearchStrategy::Fitness(cfg) => {
-                let mut ex = FitnessExplorer::new(self.space.clone(), cfg.clone(), self.seed);
-                ex.seed_feedback(self.feedback_seeds.iter().map(String::as_str));
+                let mut ex =
+                    FitnessExplorer::new(Arc::clone(&self.space), cfg.clone(), self.seed);
+                ex.seed_feedback_store(self.feedback_seeds.clone());
                 run_stepper(cap, stop, |_| ex.step(eval))
             }
             SearchStrategy::Random => {
-                let mut ex = RandomExplorer::new(self.space.clone(), self.seed);
+                let mut ex = RandomExplorer::new(Arc::clone(&self.space), self.seed);
                 run_stepper(cap, stop, |_| ex.step(eval))
             }
             SearchStrategy::Exhaustive => {
-                let mut ex = ExhaustiveExplorer::new(self.space.clone());
+                let mut ex = ExhaustiveExplorer::new(Arc::clone(&self.space));
                 run_stepper(cap, stop, |_| ex.step(eval))
             }
             SearchStrategy::Genetic(cfg) => {
                 // The GA runs generation-sized chunks between stop checks.
-                let mut ex = GeneticExplorer::new(self.space.clone(), *cfg, self.seed);
+                let mut ex = GeneticExplorer::new(Arc::clone(&self.space), *cfg, self.seed);
                 let mut all = Vec::new();
                 let (mut failures, mut crashes) = (0usize, 0usize);
                 while all.len() < cap && !stop.satisfied(failures, crashes) {

@@ -88,10 +88,12 @@ pub const DOCSTORE19: [Func; 19] = [
     Func::Send,
 ];
 
-/// A fault space bound to an executable target.
+/// A fault space bound to an executable target. Clones are cheap: the
+/// space and target are behind `Arc`s, so the campaign runner's per-cell
+/// executor clone shares one space allocation per target.
 #[derive(Clone)]
 pub struct TargetSpace {
-    space: FaultSpace,
+    space: Arc<FaultSpace>,
     funcs: Vec<Func>,
     calls: Vec<u32>,
     target: Arc<dyn Target>,
@@ -121,7 +123,7 @@ fn build(target: Arc<dyn Target>, funcs: &[Func], calls: Vec<u32>) -> TargetSpac
     ])
     .expect("canonical axes are non-empty");
     TargetSpace {
-        space,
+        space: Arc::new(space),
         funcs: funcs.to_vec(),
         calls,
         target,
@@ -164,6 +166,13 @@ impl TargetSpace {
     /// The underlying fault space.
     pub fn space(&self) -> &FaultSpace {
         &self.space
+    }
+
+    /// A shared handle to the fault space — sessions and explorers take
+    /// `impl Into<Arc<FaultSpace>>`, so this avoids cloning the space
+    /// per session/cell.
+    pub fn space_arc(&self) -> Arc<FaultSpace> {
+        Arc::clone(&self.space)
     }
 
     /// The underlying target.

@@ -337,6 +337,22 @@ impl Serialize for str {
     }
 }
 
+/// Shared immutable strings serialize exactly like `String`; the Arc is
+/// rebuilt (one allocation per distinct parse) on deserialization.
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

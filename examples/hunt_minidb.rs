@@ -46,11 +46,11 @@ fn main() {
     );
 
     // Distinct crash signatures via their injection-point stack traces.
-    let signatures: BTreeSet<String> = result
+    let signatures: BTreeSet<&str> = result
         .executed
         .iter()
         .filter(|t| t.evaluation.crashed)
-        .filter_map(|t| t.evaluation.trace.clone())
+        .filter_map(|t| t.evaluation.trace.as_deref())
         .collect();
     println!("\ndistinct crash signatures ({}):", signatures.len());
     for s in &signatures {

@@ -156,7 +156,7 @@ fn cmd_explore(opts: &HashMap<String, String>) {
     };
     let exec = target_space(name);
     let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
-    let session = Session::new(ts.space().clone(), strategy, seed);
+    let session = Session::new(ts.space_arc(), strategy, seed);
     let result = session.run(&eval, StopCondition::Iterations(iterations));
     let report = FaultReport::from_session(&result, 4);
     if opts.contains_key("json") {

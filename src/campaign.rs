@@ -22,7 +22,7 @@ use crate::core::campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CampaignSpec,
     CellOutcome, ExportRecord,
 };
-use crate::core::{ImpactMetric, OutcomeEvaluator, SearchStrategy, Session};
+use crate::core::{ImpactMetric, OutcomeEvaluator, SearchStrategy, Session, TraceStore};
 use crate::targets::docstore::Version;
 use crate::targets::spaces::TargetSpace;
 use afex_cluster::{CampaignScheduler, CellChain};
@@ -103,11 +103,15 @@ pub fn default_metric(target: &str) -> ImpactMetric {
 }
 
 /// Ordered, deduplicated failure traces — the state a target's cell
-/// chain threads from each completed cell into the next.
+/// chain threads from each completed cell into the next. Backed by the
+/// shared [`TraceStore`]: each cell *extends* its predecessor's store
+/// (interning only the traces it discovered) instead of re-splitting the
+/// whole prefix corpus, and the records' `Arc<str>` handles are shared
+/// rather than copied, so a trace's bytes are allocated once per
+/// campaign.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSeeds {
-    traces: Vec<String>,
-    seen: HashSet<String>,
+    store: TraceStore,
 }
 
 impl TraceSeeds {
@@ -116,28 +120,32 @@ impl TraceSeeds {
         TraceSeeds::default()
     }
 
+    /// The underlying interned, length-banded trace store.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
     /// The deduped traces, in first-seen order.
-    pub fn traces(&self) -> &[String] {
-        &self.traces
+    pub fn traces(&self) -> impl Iterator<Item = &str> {
+        self.store.texts().map(|t| t.as_ref())
     }
 
     /// Number of distinct traces collected.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.store.len()
     }
 
     /// Whether no traces were collected.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.store.is_empty()
     }
 
-    /// Adds every failure trace of a completed cell's outcome.
+    /// Adds every failure trace of a completed cell's outcome, sharing
+    /// the records' `Arc<str>` handles.
     pub fn absorb(&mut self, outcome: &CellOutcome) {
         for record in &outcome.records {
             if let Some(trace) = &record.trace {
-                if self.seen.insert(trace.clone()) {
-                    self.traces.push(trace.clone());
-                }
+                self.store.intern_arc(trace);
             }
         }
     }
@@ -169,16 +177,18 @@ pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
 /// point codes. The spec also supplies the campaign-wide metric override
 /// (see [`metric_from_name`]; `None` uses the target's default).
 ///
-/// `seed_traces` are the deduped failure traces of earlier same-target
-/// cells ([`chain_seeds`]); fitness cells run with the §5 redundancy-
-/// feedback loop on and those traces pre-recorded, so the search skips
-/// bugs the campaign already knows. Other strategies ignore the seeds.
+/// `seeds` are the deduped failure traces of earlier same-target cells
+/// ([`chain_seeds`]); fitness cells run with the §5 redundancy-feedback
+/// loop on and the seeds' prebuilt [`TraceStore`] passed through by
+/// reference count (interned texts and splits shared, never re-split),
+/// so the search skips bugs the campaign already knows. Other strategies
+/// ignore the seeds.
 ///
 /// # Panics
 ///
 /// Panics on an unknown target, strategy, or metric name — validate the
 /// spec with [`CampaignSpec::validate`] first.
-pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seed_traces: &[String]) -> CellOutcome {
+pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) -> CellOutcome {
     let ts = target_space(&cell.target).expect("validated target");
     let exec = ts.clone();
     let m = spec
@@ -197,8 +207,8 @@ pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seed_traces: &[String]
         }),
         other => other,
     };
-    let session = Session::new(ts.space().clone(), strategy, cell.seed)
-        .with_feedback_seeds(seed_traces.to_vec());
+    let session = Session::new(ts.space_arc(), strategy, cell.seed)
+        .with_feedback_seeds(seeds.store().clone());
     let result = session.run(&eval, spec.stop.to_condition(spec.iterations));
     let codec = PointCodec::for_space(ts.space())
         .expect("all campaign target spaces fit u64 point codes");
@@ -246,7 +256,7 @@ where
     let scheduler = CampaignScheduler::new(workers);
     scheduler.run_chains(
         chains,
-        |cell, seeds: &TraceSeeds| (cell.index, run_cell(cell, &spec, seeds.traces())),
+        |cell, seeds: &TraceSeeds| (cell.index, run_cell(cell, &spec, seeds)),
         |seeds, _cell, (_, outcome)| seeds.absorb(outcome),
         |(index, outcome)| {
             snap.record(index, outcome);
@@ -445,8 +455,8 @@ mod tests {
     fn run_cell_is_deterministic() {
         let spec = tiny_spec();
         let cell = spec.cells().remove(0);
-        let a = run_cell(&cell, &spec, &[]);
-        let b = run_cell(&cell, &spec, &[]);
+        let a = run_cell(&cell, &spec, &TraceSeeds::new());
+        let b = run_cell(&cell, &spec, &TraceSeeds::new());
         assert_eq!(a, b);
         assert_eq!(a.tests, 25);
     }
@@ -467,10 +477,10 @@ mod tests {
         spec.iterations = 200;
         spec.metric = Some("crash".into());
         let cell = spec.cells().remove(0);
-        let with_crash = run_cell(&cell, &spec, &[]);
+        let with_crash = run_cell(&cell, &spec, &TraceSeeds::new());
         let mut default_spec = tiny_spec();
         default_spec.iterations = 200;
-        let with_default = run_cell(&cell, &default_spec, &[]);
+        let with_default = run_cell(&cell, &default_spec, &TraceSeeds::new());
         // Same strategy/seed, different metric: same points visited by
         // the random strategy, differently scored.
         assert_eq!(with_crash.tests, with_default.tests);
@@ -486,7 +496,7 @@ mod tests {
         spec.iterations = 400;
         spec.stop = StopPolicy::Failures(1);
         let cell = spec.cells().remove(0);
-        let outcome = run_cell(&cell, &spec, &[]);
+        let outcome = run_cell(&cell, &spec, &TraceSeeds::new());
         assert_eq!(outcome.failures, 1, "stopped at the first failure");
         assert!(outcome.tests < 400, "budget cap should not be the stopper");
     }
@@ -498,7 +508,7 @@ mod tests {
         spec.seeds = 2; // 4 same-target cells.
         let mut snap = CampaignSnapshot::new(spec.clone());
         assert!(chain_seeds(&snap, "coreutils").is_empty());
-        let o0 = run_cell(&snap.cells[0].cell.clone(), &spec, &[]);
+        let o0 = run_cell(&snap.cells[0].cell.clone(), &spec, &TraceSeeds::new());
         snap.record(0, o0.clone());
         let seeds_after_0 = chain_seeds(&snap, "coreutils");
         let distinct: HashSet<&str> = o0
@@ -510,11 +520,12 @@ mod tests {
         // An out-of-order completion (cell 2 done, cell 1 pending) is
         // not part of any replayable prefix and must be ignored.
         let mut tampered = snap.clone();
-        let o2 = run_cell(&tampered.cells[2].cell.clone(), &spec, &[]);
+        let o2 = run_cell(&tampered.cells[2].cell.clone(), &spec, &TraceSeeds::new());
         tampered.record(2, o2);
+        let tampered_seeds = chain_seeds(&tampered, "coreutils");
         assert_eq!(
-            chain_seeds(&tampered, "coreutils").traces(),
-            seeds_after_0.traces()
+            tampered_seeds.traces().collect::<Vec<_>>(),
+            seeds_after_0.traces().collect::<Vec<_>>()
         );
     }
 
@@ -533,12 +544,12 @@ mod tests {
             metric: None,
         };
         let cells = spec.cells();
-        let first = run_cell(&cells[0], &spec, &[]);
+        let first = run_cell(&cells[0], &spec, &TraceSeeds::new());
         let mut seeds = TraceSeeds::new();
         seeds.absorb(&first);
         assert!(!seeds.is_empty(), "first cell found no traces to chain");
-        let chained = run_cell(&cells[1], &spec, seeds.traces());
-        let unchained = run_cell(&cells[1], &spec, &[]);
+        let chained = run_cell(&cells[1], &spec, &seeds);
+        let unchained = run_cell(&cells[1], &spec, &TraceSeeds::new());
         assert_ne!(chained, unchained, "seeded traces must steer the search");
     }
 

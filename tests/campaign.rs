@@ -4,7 +4,7 @@
 //! interrupted campaign resumed from a snapshot converges to the same
 //! corpus as an uninterrupted one.
 
-use afex::campaign::{chain_seeds, run_cell, run_pending};
+use afex::campaign::{chain_seeds, run_cell, run_pending, TraceSeeds};
 use afex::core::campaign::{CampaignSnapshot, CampaignSpec, StopPolicy};
 
 /// The acceptance matrix: 3 targets × 2 strategies on the manager pool.
@@ -84,7 +84,7 @@ fn interrupted_campaign_resumes_to_identical_corpus() {
     let mut interrupted = CampaignSnapshot::new(matrix_spec());
     for index in [0usize, 2] {
         let cell = interrupted.cells[index].cell.clone();
-        let outcome = run_cell(&cell, &interrupted.spec, &[]);
+        let outcome = run_cell(&cell, &interrupted.spec, &TraceSeeds::new());
         interrupted.record(index, outcome);
     }
     let bytes_at_death = interrupted.to_json();
@@ -185,18 +185,75 @@ fn chained_cells_see_their_predecessors_traces() {
     prefix.record(0, snap.cells[0].outcome.clone().unwrap());
     let seeds = chain_seeds(&prefix, "docstore-0.8");
     assert!(!seeds.is_empty(), "chain found no traces — weak parameters");
-    let replay = run_cell(&snap.cells[1].cell.clone(), &spec, seeds.traces());
+    let replay = run_cell(&snap.cells[1].cell.clone(), &spec, &seeds);
     assert_eq!(
         Some(&replay),
         snap.cells[1].outcome.as_ref(),
         "chained replay must match the campaign's own cell outcome"
     );
-    let unseeded = run_cell(&snap.cells[1].cell.clone(), &spec, &[]);
+    let unseeded = run_cell(&snap.cells[1].cell.clone(), &spec, &TraceSeeds::new());
     assert_ne!(
         Some(&unseeded),
         snap.cells[1].outcome.as_ref(),
         "chaining changed nothing — weak parameters"
     );
+}
+
+#[test]
+fn chained_campaign_snapshot_and_export_are_byte_identical_on_resume() {
+    // The regime where the shared trace store grows: one target, one
+    // fitness strategy, three chained seeds. An interrupted run resumed
+    // mid-chain must converge to a snapshot AND a streaming export
+    // byte-identical to the uninterrupted run's.
+    use afex::campaign::CorpusExporter;
+    let spec = CampaignSpec {
+        targets: vec!["docstore-0.8".into()],
+        strategies: vec!["fitness".into()],
+        seeds: 3,
+        base_seed: 11,
+        iterations: 80,
+        stop: StopPolicy::Iterations,
+        metric: None,
+    };
+    let dir = std::env::temp_dir().join(format!("afex-chain3-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let full_export = dir.join("full.jsonl");
+    let mut full = CampaignSnapshot::new(spec.clone());
+    let mut exporter = CorpusExporter::create(&full_export).unwrap();
+    run_pending(&mut full, 2, |s| exporter.sync(s).unwrap());
+    assert!(
+        full.store.len() > 1,
+        "chain found too few faults — weak parameters"
+    );
+
+    // Kill after the first chain cell; resume finishes cells 1 and 2,
+    // whose feedback stores must replay the chain identically.
+    let resumed_export = dir.join("resumed.jsonl");
+    let mut interrupted = CampaignSnapshot::new(spec);
+    let mut exporter = CorpusExporter::create(&resumed_export).unwrap();
+    let first = run_cell(&interrupted.cells[0].cell.clone(), &interrupted.spec, &TraceSeeds::new());
+    interrupted.record(0, first);
+    exporter.sync(&interrupted).unwrap();
+    drop(exporter);
+    let mut resumed =
+        CampaignSnapshot::from_json(&interrupted.to_json()).expect("snapshot parses");
+    let mut exporter = CorpusExporter::open(&resumed_export).unwrap();
+    run_pending(&mut resumed, 3, |s| exporter.sync(s).unwrap());
+    drop(exporter);
+
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "chained snapshot must be byte-identical after resume"
+    );
+    assert_eq!(
+        std::fs::read(&resumed_export).unwrap(),
+        std::fs::read(&full_export).unwrap(),
+        "chained export must be byte-identical after resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -261,7 +318,7 @@ fn minidb_cells_run_the_hunt_path() {
         metric: None,
     };
     let cell = spec.cells().remove(0);
-    let outcome = run_cell(&cell, &spec, &[]);
+    let outcome = run_cell(&cell, &spec, &TraceSeeds::new());
     assert_eq!(outcome.tests, 30);
     for r in &outcome.records {
         assert!(r.impact > 0.0);

@@ -177,6 +177,143 @@ fn rand_traces(rng: &mut StdRng) -> Vec<String> {
 }
 
 #[test]
+fn indexed_max_similarity_matches_naive_bitwise() {
+    // The best-first band traversal must produce weights bit-for-bit
+    // identical to the retained linear scan, on ASCII and multi-byte
+    // corpora, probes drawn from the store and novel, and empty traces.
+    use afex::core::RedundancyFeedback;
+    check(250, 21, |rng, case| {
+        let alphabet = if case % 2 == 0 { ASCII } else { UNICODE };
+        let mut fb = RedundancyFeedback::new();
+        let corpus: Vec<String> = rand_traces(rng)
+            .into_iter()
+            .chain((0..rng.gen_range(0..10usize)).map(|_| rand_string(rng, alphabet, 24)))
+            .collect();
+        for t in &corpus {
+            fb.record(t);
+        }
+        let mut probes: Vec<String> = (0..8).map(|_| rand_string(rng, alphabet, 24)).collect();
+        probes.push(String::new());
+        if let Some(t) = corpus.first() {
+            probes.push(t.clone()); // Exact-duplicate path.
+        }
+        for probe in &probes {
+            let fast = fb.max_similarity(probe);
+            let slow = fb.max_similarity_naive(probe);
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "probe={probe:?} corpus={corpus:?}"
+            );
+            assert_eq!(fb.weight(probe).to_bits(), fb.weight_naive(probe).to_bits());
+        }
+    });
+}
+
+#[test]
+fn indexed_max_similarity_matches_naive_on_large_seeded_stores() {
+    // The campaign regime: a store pre-seeded with thousands of traces
+    // (mixed length clusters plus all-distinct tails), probed by near
+    // duplicates and novel traces. Bit-for-bit against the linear scan.
+    use afex::core::{RedundancyFeedback, TraceStore};
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut store = TraceStore::new();
+    for i in 0..3_000usize {
+        let t = match i % 3 {
+            0 => format!("main>mod_{:02}>fn_{:03}", i % 23, i % 151),
+            1 => format!("boot>init>{}{}", "x".repeat(i % 37), i % 11),
+            _ => rand_string(&mut rng, if i % 6 == 2 { UNICODE } else { ASCII }, 40),
+        };
+        store.intern(&t);
+    }
+    let fb = RedundancyFeedback::from_store(store);
+    for case in 0..300 {
+        let probe = match case % 4 {
+            // Near-duplicate of a stored shape.
+            0 => format!("main>mod_{:02}>fn_{:03}x", case % 23, case % 151),
+            // Exactly a stored shape.
+            1 => format!("boot>init>{}{}", "x".repeat(case % 37), case % 11),
+            2 => rand_string(&mut rng, UNICODE, 60),
+            _ => rand_string(&mut rng, ASCII, 60),
+        };
+        assert_eq!(
+            fb.max_similarity(&probe).to_bits(),
+            fb.max_similarity_naive(&probe).to_bits(),
+            "probe={probe:?}"
+        );
+    }
+    // Empty-probe edge against the large store.
+    assert_eq!(
+        fb.max_similarity("").to_bits(),
+        fb.max_similarity_naive("").to_bits()
+    );
+}
+
+#[test]
+fn chain_store_extension_is_incremental() {
+    // A chain's TraceSeeds store extended outcome-by-outcome must equal
+    // the store rebuilt from scratch over the same prefix — same texts,
+    // same first-seen order — and interning must share the records'
+    // allocations instead of copying bytes.
+    use afex::campaign::TraceSeeds;
+    use afex::core::{CellOutcome, FailureRecord};
+    check(150, 23, |rng, _| {
+        let outcomes: Vec<CellOutcome> = (0..rng.gen_range(1..5usize))
+            .map(|cell| {
+                let records: Vec<FailureRecord> = (0..rng.gen_range(0..8usize))
+                    .map(|k| FailureRecord {
+                        code: k as u64,
+                        point: Point::new(vec![k]),
+                        impact: 1.0,
+                        crashed: false,
+                        hung: false,
+                        trace: if rng.gen_bool(0.8) {
+                            Some(rand_string(rng, ASCII, 10).into())
+                        } else {
+                            None
+                        },
+                        cell,
+                    })
+                    .collect();
+                CellOutcome {
+                    tests: records.len(),
+                    failures: records.len(),
+                    crashes: 0,
+                    hangs: 0,
+                    records,
+                }
+            })
+            .collect();
+        // The chain path: each cell extends a clone of its predecessor's
+        // store (clones share interned texts by refcount).
+        let mut incremental = TraceSeeds::new();
+        for o in &outcomes {
+            incremental = incremental.clone();
+            incremental.absorb(o);
+        }
+        // The resume path: one fresh store absorbs the whole prefix.
+        let mut batch = TraceSeeds::new();
+        for o in &outcomes {
+            batch.absorb(o);
+        }
+        assert_eq!(
+            incremental.traces().collect::<Vec<_>>(),
+            batch.traces().collect::<Vec<_>>()
+        );
+        // Shared allocations: every interned text is pointer-equal to
+        // some record's Arc handle.
+        for text in incremental.store().texts() {
+            let shared = outcomes.iter().flat_map(|o| &o.records).any(|r| {
+                r.trace
+                    .as_ref()
+                    .is_some_and(|t| std::sync::Arc::ptr_eq(t, text))
+            });
+            assert!(shared, "trace {text:?} was copied, not shared");
+        }
+    });
+}
+
+#[test]
 fn indexed_clustering_matches_naive_all_pairs() {
     check(250, 8, |rng, _| {
         let traces = rand_traces(rng);
@@ -323,7 +460,7 @@ fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
                         crashed: rng.gen_bool(0.3),
                         hung: rng.gen_bool(0.1),
                         trace: if rng.gen_bool(0.8) {
-                            Some(rand_string(rng, ASCII, 12))
+                            Some(rand_string(rng, ASCII, 12).into())
                         } else {
                             None
                         },
