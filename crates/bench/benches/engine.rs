@@ -1,0 +1,108 @@
+//! The strategy-agnostic session engine: driver overhead and intra-cell
+//! fan-out.
+//!
+//! Two questions the engine's refactor raises, answered with numbers:
+//!
+//! 1. **Overhead** — driving an explorer through `Engine::sequential`
+//!    (boxed explorer, executor indirection, stop bookkeeping) must cost
+//!    nothing measurable against stepping the explorer directly.
+//! 2. **Scaling** — a campaign cell run batch-parallel
+//!    (`ParallelSession` with W managers) on a non-trivial per-test cost
+//!    must approach W× the sequential cell throughput; that is the
+//!    intra-cell fan-out `--cell-workers` buys on a chained 1-target ×
+//!    N-seed matrix.
+
+use afex_core::{
+    Engine, Evaluator, ExplorerConfig, FnEvaluator, SearchStrategy, StopCondition, TraceStore,
+};
+use afex_space::{Axis, FaultSpace, Point};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn space() -> FaultSpace {
+    FaultSpace::new(vec![
+        Axis::int_range("x", 0, 199),
+        Axis::int_range("y", 0, 199),
+    ])
+    .unwrap()
+}
+
+fn ridge(p: &Point) -> f64 {
+    if p[0] == 7 {
+        10.0
+    } else {
+        0.0
+    }
+}
+
+/// An evaluator that burns a deterministic amount of CPU per test —
+/// stands in for a real target execution, so pool scaling is visible.
+struct BusyEvaluator {
+    spins: usize,
+}
+
+impl Evaluator for BusyEvaluator {
+    fn evaluate(&self, point: &Point) -> afex_core::Evaluation {
+        // A loop-carried data dependency (the multiplier is the
+        // accumulator itself), so the chain cannot be vectorized or
+        // strength-reduced away — every spin costs real cycles.
+        let mut acc = point[0] as u64 | 1;
+        for _ in 0..self.spins {
+            acc = acc.wrapping_mul(acc | 1).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        std::hint::black_box(acc);
+        afex_core::Evaluation::from_impact(ridge(point))
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    const TESTS: usize = 512;
+    // Fewer, costlier tests for the fan-out rows: the evaluator must
+    // dominate candidate generation for pool scaling to be observable,
+    // as it does against real targets.
+    const CELL_TESTS: usize = 192;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(TESTS as u64));
+
+    // 1. Driver overhead: direct stepping vs the sequential engine.
+    g.bench_function("fitness_direct_steps", |b| {
+        b.iter(|| {
+            let mut ex = afex_core::FitnessExplorer::new(space(), ExplorerConfig::default(), 1);
+            ex.run(&FnEvaluator::new(ridge), TESTS)
+        })
+    });
+    g.bench_function("fitness_sequential_engine", |b| {
+        b.iter(|| {
+            let strategy = SearchStrategy::Fitness(ExplorerConfig::default());
+            let mut ex = strategy.build(space(), 1, TraceStore::new());
+            Engine::sequential().run(
+                ex.as_mut(),
+                &FnEvaluator::new(ridge),
+                StopCondition::Iterations(TESTS),
+            )
+        })
+    });
+
+    // 2. Intra-cell fan-out: the same cell on 1/2/4 managers with a
+    //    busy evaluator (~the cost of a simulated target suite).
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("busy_cell_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let strategy = SearchStrategy::Fitness(ExplorerConfig::default());
+                    let mut ex = strategy.build(space(), 1, TraceStore::new());
+                    afex_cluster::ParallelSession::new(workers).run_with_stop(
+                        ex.as_mut(),
+                        |_| BusyEvaluator { spins: 50_000 },
+                        StopCondition::Iterations(CELL_TESTS),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,19 +1,56 @@
 //! The parallel session driver.
 //!
-//! Pumps any [`Explore`] strategy through a pool of node managers: the
-//! explorer keeps one outstanding candidate per manager and completes them
-//! in issue order (buffering out-of-order arrivals), which makes a run
-//! reproducible for a fixed worker count. "Given that the explorer's
-//! workload (selecting the
-//! next test) is significantly less than that of the managers (actually
-//! executing and evaluating the test), the system has no problematic
-//! bottleneck for clusters of dozens of nodes" (§6.1).
+//! Pumps any [`Explore`] strategy through a pool of node managers by
+//! binding the strategy-agnostic [`Engine`] to a channel-backed
+//! [`Executor`]: the engine keeps one candidate in flight per manager
+//! and completes them in issue order (buffering out-of-order arrivals),
+//! which makes a run reproducible for a fixed worker count. "Given that
+//! the explorer's workload (selecting the next test) is significantly
+//! less than that of the managers (actually executing and evaluating the
+//! test), the system has no problematic bottleneck for clusters of
+//! dozens of nodes" (§6.1).
+//!
+//! Because the engine owns the stop logic, the parallel path honors
+//! every [`StopCondition`] — `failures:N` / `crashes:N` searches stop at
+//! the first satisfying head-of-line completion, with the in-flight
+//! window draining deterministically (see [`ParallelSession::run_with_stop`]).
 
 use crate::manager::NodeManager;
 use crate::messages::{ManagerMsg, Task};
+use afex_core::engine::{Engine, Executor};
 use afex_core::queues::PendingTest;
-use afex_core::{Evaluator, Explore, SessionResult};
-use crossbeam::channel;
+use afex_core::{Evaluation, Evaluator, Explore, SessionResult, StopCondition};
+use crossbeam::channel::{Receiver, Sender};
+
+/// The engine-side view of a manager pool: submissions go out on the
+/// task channel, completions come back (in arbitrary order) on the
+/// result channel.
+struct PoolExecutor {
+    task_tx: Sender<Task>,
+    res_rx: Receiver<ManagerMsg>,
+}
+
+impl Executor for PoolExecutor {
+    fn submit(&mut self, id: u64, test: &PendingTest) -> bool {
+        self.task_tx
+            .send(Task {
+                id,
+                point: test.point.clone(),
+                mutated_axis: test.mutated_axis,
+            })
+            .is_ok()
+    }
+
+    fn recv(&mut self) -> Option<(u64, Evaluation)> {
+        loop {
+            match self.res_rx.recv() {
+                Ok(ManagerMsg::Done(r)) => return Some((r.id, r.evaluation)),
+                Ok(ManagerMsg::Bye { .. }) => continue,
+                Err(_) => return None, // Pool died (manager panic).
+            }
+        }
+    }
+}
 
 /// A parallel exploration session over a manager pool.
 pub struct ParallelSession {
@@ -36,19 +73,8 @@ impl ParallelSession {
         self.workers
     }
 
-    /// Runs `iterations` tests of `explorer`, executing them on the
-    /// manager pool. `make_evaluator` builds one evaluator per manager
-    /// (each manager owns its copy of the system under test).
-    ///
-    /// The search is *batch-parallel*: up to `workers` candidates are
-    /// generated before their fitness is known — exactly the trade-off
-    /// the real cluster makes. Results are completed strictly in **issue
-    /// order** (out-of-order arrivals are buffered), so the sequence of
-    /// explorer generate/complete calls — and therefore the whole session
-    /// — is deterministic for a fixed worker count and seed, no matter
-    /// how the managers' timings interleave. Different worker counts
-    /// still legitimately diverge: the window of candidates in flight
-    /// (the fitness-feedback lag) is the worker count itself.
+    /// Runs `iterations` tests of `explorer` on the manager pool —
+    /// [`Self::run_with_stop`] under a plain iteration budget.
     pub fn run<X, E, F>(
         &self,
         explorer: &mut X,
@@ -56,13 +82,43 @@ impl ParallelSession {
         iterations: usize,
     ) -> SessionResult
     where
-        X: Explore,
+        X: Explore + ?Sized,
         E: Evaluator,
         F: Fn(usize) -> E + Sync,
     {
-        let (task_tx, task_rx) = channel::bounded::<Task>(self.workers * 2);
-        let (res_tx, res_rx) = channel::unbounded::<ManagerMsg>();
-        let mut executed = Vec::with_capacity(iterations);
+        self.run_with_stop(explorer, make_evaluator, StopCondition::Iterations(iterations))
+    }
+
+    /// Runs `explorer` on the manager pool until `stop` is met.
+    /// `make_evaluator` builds one evaluator per manager (each manager
+    /// owns its copy of the system under test).
+    ///
+    /// The search is *batch-parallel*: up to `workers` candidates are
+    /// generated before their fitness is known — exactly the trade-off
+    /// the real cluster makes. The [`Engine`] completes results strictly
+    /// in **issue order** (out-of-order arrivals are buffered) and
+    /// checks the stop condition at every head-of-line completion: once
+    /// it trips, no further candidates are issued, and the in-flight
+    /// window drains and is recorded. The whole session is therefore
+    /// deterministic for a fixed worker count and seed, no matter how
+    /// the managers' timings interleave — `failures:N` / `crashes:N`
+    /// searches included. Different worker counts still legitimately
+    /// diverge: the window of candidates in flight (the fitness-feedback
+    /// lag, and the drain length after a stop) is the worker count
+    /// itself.
+    pub fn run_with_stop<X, E, F>(
+        &self,
+        explorer: &mut X,
+        make_evaluator: F,
+        stop: StopCondition,
+    ) -> SessionResult
+    where
+        X: Explore + ?Sized,
+        E: Evaluator,
+        F: Fn(usize) -> E + Sync,
+    {
+        let (task_tx, task_rx) = crossbeam::channel::bounded::<Task>(self.workers * 2);
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<ManagerMsg>();
         std::thread::scope(|scope| {
             // Spawn the manager pool.
             for m in 0..self.workers {
@@ -76,65 +132,11 @@ impl ParallelSession {
             }
             drop(task_rx);
             drop(res_tx);
-
-            let mut outstanding: std::collections::HashMap<u64, PendingTest> =
-                std::collections::HashMap::new();
-            let mut ready: std::collections::BTreeMap<u64, crate::messages::TaskResult> =
-                std::collections::BTreeMap::new();
-            let mut next_id = 0u64;
-            let mut next_complete = 0u64;
-            let mut exhausted = false;
-            // The deterministic schedule: keep exactly `workers` tests in
-            // flight, and after each head-of-line completion refill the
-            // freed slot — the explorer call sequence is
-            // [G0..G(w-1), C0, Gw, C1, G(w+1), ...] regardless of timing.
-            let issue = |explorer: &mut X,
-                             outstanding: &mut std::collections::HashMap<u64, PendingTest>,
-                             exhausted: &mut bool,
-                             next_id: &mut u64| {
-                while !*exhausted
-                    && (*next_id as usize) < iterations
-                    && outstanding.len() < self.workers
-                {
-                    match explorer.next_candidate() {
-                        Some(test) => {
-                            let task = Task {
-                                id: *next_id,
-                                point: test.point.clone(),
-                                mutated_axis: test.mutated_axis,
-                            };
-                            outstanding.insert(*next_id, test);
-                            *next_id += 1;
-                            if task_tx.send(task).is_err() {
-                                *exhausted = true;
-                            }
-                        }
-                        None => *exhausted = true,
-                    }
-                }
-            };
-            issue(explorer, &mut outstanding, &mut exhausted, &mut next_id);
-            'drive: while !outstanding.is_empty() {
-                // Wait specifically for the head-of-line result; buffer
-                // whatever else arrives meanwhile.
-                while !ready.contains_key(&next_complete) {
-                    match res_rx.recv() {
-                        Ok(ManagerMsg::Done(r)) => {
-                            ready.insert(r.id, r);
-                        }
-                        Ok(ManagerMsg::Bye { .. }) => {}
-                        Err(_) => break 'drive, // Pool died (manager panic).
-                    }
-                }
-                let r = ready.remove(&next_complete).expect("head result buffered");
-                let test = outstanding.remove(&r.id).expect("result matches a task");
-                executed.push(explorer.complete(test, r.evaluation));
-                next_complete += 1;
-                issue(explorer, &mut outstanding, &mut exhausted, &mut next_id);
-            }
-            drop(task_tx); // Managers drain and exit.
-        });
-        SessionResult::new(executed)
+            let mut pool = PoolExecutor { task_tx, res_rx };
+            let result = Engine::new(self.workers).drive(explorer, stop, &mut pool);
+            drop(pool); // Closes the task channel: managers drain and exit.
+            result
+        })
     }
 }
 
@@ -193,6 +195,55 @@ mod tests {
         let session = ParallelSession::new(3);
         let r = session.run(&mut ex, |_| FnEvaluator::new(|_| 0.0), 100);
         assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn stop_condition_halts_the_pool_early() {
+        // failures:3 with a 1000-test cap: the run must stop at the
+        // third failing head-of-line completion plus at most the
+        // in-flight window, not run the cap out.
+        let mut ex = RandomExplorer::new(space(), 8);
+        let session = ParallelSession::new(4);
+        let r = session.run_with_stop(
+            &mut ex,
+            |_| FnEvaluator::new(ridge),
+            StopCondition::Failures {
+                count: 3,
+                max_iterations: 1000,
+            },
+        );
+        assert!(r.failures() >= 3);
+        let third_failure = r
+            .executed
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.evaluation.failed)
+            .nth(2)
+            .map(|(i, _)| i)
+            .expect("three failures recorded");
+        assert!(
+            r.len() <= third_failure + 1 + 4,
+            "only the in-flight window may drain after the stop: len {} vs stop at {}",
+            r.len(),
+            third_failure
+        );
+    }
+
+    #[test]
+    fn stop_aware_runs_are_deterministic_for_fixed_worker_count() {
+        let run = |workers| {
+            let mut ex = FitnessExplorer::new(space(), ExplorerConfig::default(), 13);
+            ParallelSession::new(workers).run_with_stop(
+                &mut ex,
+                |_| FnEvaluator::new(ridge),
+                StopCondition::Failures {
+                    count: 5,
+                    max_iterations: 500,
+                },
+            )
+        };
+        assert_eq!(run(3), run(3), "3-worker stop-aware runs must be bit-identical");
+        assert_eq!(run(1), run(1), "1-worker stop-aware runs must be bit-identical");
     }
 
     #[test]

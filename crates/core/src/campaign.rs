@@ -166,6 +166,56 @@ impl Deserialize for StopPolicy {
     }
 }
 
+/// How many candidates a cell keeps in flight: the engine window every
+/// cell's session runs under.
+///
+/// `1` (the default) is the classic sequential cell. Larger values run
+/// the cell batch-parallel on a manager pool — the intra-cell fan-out
+/// that lets a 1-target × N-seed chained matrix scale with the pool
+/// instead of serializing. The value is part of the spec — and therefore
+/// of the snapshot — because the window *is* the fitness-feedback lag: a
+/// cell's outcome is a deterministic function of `(spec, cell)` only for
+/// a fixed window, so `--resume` must replay with the original value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellWorkers(pub usize);
+
+impl Default for CellWorkers {
+    fn default() -> Self {
+        CellWorkers(1)
+    }
+}
+
+impl From<usize> for CellWorkers {
+    fn from(n: usize) -> Self {
+        CellWorkers(n)
+    }
+}
+
+impl fmt::Display for CellWorkers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Serialize for CellWorkers {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for CellWorkers {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        usize::from_value(v).map(CellWorkers)
+    }
+
+    /// Snapshots written before intra-cell fan-out existed ran every
+    /// cell sequentially; they keep resuming with one worker instead of
+    /// failing to parse.
+    fn from_missing(_field: &str) -> Result<Self, serde::Error> {
+        Ok(CellWorkers(1))
+    }
+}
+
 /// The `{target} × {strategy} × {seed}` matrix a campaign runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
@@ -181,6 +231,8 @@ pub struct CampaignSpec {
     pub iterations: usize,
     /// When each cell stops, beyond the iteration budget.
     pub stop: StopPolicy,
+    /// In-flight candidates per cell (intra-cell fan-out width).
+    pub cell_workers: CellWorkers,
     /// Impact-metric name (see [`metric_from_name`]) applied to every
     /// cell; `None` means each target's own default.
     pub metric: Option<String>,
@@ -215,6 +267,9 @@ impl CampaignSpec {
         }
         if let StopPolicy::Failures(0) | StopPolicy::Crashes(0) = self.stop {
             return Err("stop policy needs a positive target count".into());
+        }
+        if self.cell_workers.0 == 0 {
+            return Err("campaign needs at least one cell worker".into());
         }
         for (i, t) in self.targets.iter().enumerate() {
             if !known_target(t) {
@@ -786,6 +841,7 @@ mod tests {
             base_seed: 40,
             iterations: 10,
             stop: StopPolicy::Iterations,
+            cell_workers: CellWorkers::default(),
             metric: None,
         }
     }
@@ -875,6 +931,36 @@ mod tests {
         assert!(bad.validate(|_| true).unwrap_err().contains("positive"));
         bad.stop = StopPolicy::Crashes(1);
         assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_zero_cell_workers() {
+        // `ParallelSession::new` / `Engine::new` assert on a zero window;
+        // a bad spec must be rejected up front instead.
+        let mut bad = spec();
+        bad.cell_workers = CellWorkers(0);
+        assert!(bad.validate(|_| true).unwrap_err().contains("cell worker"));
+        bad.cell_workers = CellWorkers(4);
+        assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn pre_cell_worker_snapshots_still_parse() {
+        // Snapshots written before intra-cell fan-out existed have no
+        // `cell_workers` field; they must keep resuming sequentially.
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(1, outcome(&[3], 1));
+        let json = snap.to_json();
+        assert!(json.contains("\"cell_workers\": 1"));
+        let old_style: String = json
+            .lines()
+            .filter(|l| !l.contains("\"cell_workers\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back =
+            CampaignSnapshot::from_json(&old_style).expect("pre-cell-worker snapshot parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.spec.cell_workers, CellWorkers(1));
     }
 
     #[test]

@@ -8,14 +8,30 @@
 //! here is a conventional generational GA — fitness-proportional
 //! selection, single-point crossover, per-gene mutation — kept as an
 //! ablation baseline so the comparison is reproducible.
+//!
+//! The GA speaks the same decoupled [`Explore`] interface as every other
+//! strategy: `next_candidate` hands out the individuals of the current
+//! generation one by one, `complete` feeds their measured fitness back.
+//! Generation boundaries are internal — when a generation's individuals
+//! are all issued but not yet completed, `next_candidate` answers `None`
+//! and the engine retries after the next completion; once every fitness
+//! is in, the next generation is bred in one deterministic batch. That
+//! batch is what lets a window of individuals from one generation
+//! execute in parallel while the selection pressure stays identical to
+//! the sequential algorithm. (The original self-driving generational
+//! loop is retained verbatim as [`crate::legacy::LegacyGeneticExplorer`],
+//! the property-test oracle this implementation is checked against
+//! bit-for-bit.)
 
-use crate::evaluator::{Evaluator, ExecutedTest};
-use crate::queues::History;
+use crate::evaluator::{Evaluation, Evaluator, ExecutedTest};
+use crate::explore::Explore;
+use crate::queues::{History, PendingTest};
 use crate::session::SessionResult;
 use afex_space::{FaultSpace, Point, UniformSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Genetic-algorithm tunables.
@@ -42,6 +58,36 @@ impl Default for GeneticConfig {
     }
 }
 
+/// The fitness of one individual of the generation being built.
+enum SlotFitness {
+    /// Known at breeding time: an elite carried over, or a duplicate of
+    /// an already-executed point (its recorded impact is reused for
+    /// free, as in the sequential algorithm).
+    Known(f64),
+    /// A new individual whose execution is pending.
+    AwaitExec,
+    /// A duplicate of slot `i` of this same generation (bred again
+    /// before its first copy finished executing); resolves to slot i's
+    /// fitness once known.
+    MirrorOf(usize),
+}
+
+/// Generations the GA keeps breeding without producing a single new
+/// executable individual before it declares the space exhausted. (The
+/// self-driving legacy loop would spin forever here.) A converged-but-
+/// not-exhausted population recovers from a barren generation with
+/// probability ≈ 1 − P(all offspring duplicate) per generation, so this
+/// bound is hit only when mutation genuinely cannot escape — e.g. every
+/// non-hole point is executed (the exact full-history check catches the
+/// hole-free case immediately; this backstop covers hole-riddled
+/// spaces).
+const MAX_BARREN_GENERATIONS: usize = 64;
+
+/// Per-generation bound on breeding attempts (selection + crossover +
+/// mutation draws), so a hole-riddled space cannot trap breeding in an
+/// endless invalid-offspring loop.
+const MAX_BREED_ATTEMPTS_PER_SLOT: usize = 64;
+
 /// The GA explorer. Fitness of an individual is the measured impact;
 /// previously executed points are looked up rather than re-run, so the
 /// test budget counts *executions*, as in the other explorers.
@@ -53,6 +99,22 @@ pub struct GeneticExplorer {
     population: Vec<(Point, f64)>,
     iteration: usize,
     executed: Vec<ExecutedTest>,
+    /// Whether the initial random batch has been sampled.
+    seeded: bool,
+    /// Whether the explorer is past the seeding phase (the initial batch
+    /// completed and generations are being bred).
+    evolving: bool,
+    /// Individuals generated but not yet issued.
+    pending: VecDeque<PendingTest>,
+    /// Individuals issued via `next_candidate` whose results have not
+    /// come back yet.
+    outstanding: usize,
+    /// The generation being built: individuals in breeding order with
+    /// their (possibly still pending) fitness.
+    gen_points: Vec<Point>,
+    gen_fitness: Vec<SlotFitness>,
+    /// Consecutive generations bred without any new executable child.
+    barren_generations: usize,
 }
 
 impl GeneticExplorer {
@@ -68,52 +130,88 @@ impl GeneticExplorer {
             population: Vec::new(),
             iteration: 0,
             executed: Vec::new(),
+            seeded: false,
+            evolving: false,
+            pending: VecDeque::new(),
+            outstanding: 0,
+            gen_points: Vec::new(),
+            gen_fitness: Vec::new(),
+            barren_generations: 0,
         }
     }
 
-    /// Runs until `budget` test executions have been spent.
+    /// Runs until `budget` test executions have been spent (sequential
+    /// convenience over the incremental [`Explore`] interface).
     pub fn run(&mut self, eval: &dyn Evaluator, budget: usize) -> SessionResult {
-        self.init_population(eval, budget);
-        while self.iteration < budget {
-            self.next_generation(eval, budget);
+        for _ in 0..budget {
+            if self.step(eval).is_none() {
+                break;
+            }
         }
         SessionResult::new(std::mem::take(&mut self.executed))
     }
 
-    fn execute(&mut self, eval: &dyn Evaluator, p: &Point) -> f64 {
-        let evaluation = eval.evaluate(p);
-        let impact = evaluation.impact;
-        self.executed.push(ExecutedTest {
-            point: p.clone(),
-            evaluation,
-            iteration: self.iteration,
-        });
-        self.iteration += 1;
-        impact
-    }
-
-    fn init_population(&mut self, eval: &dyn Evaluator, budget: usize) {
+    /// Samples the initial random batch into the pending queue.
+    fn seed_initial_batch(&mut self) {
+        self.seeded = true;
         let sampler = UniformSampler::new(&self.space);
-        let seeds = sampler.sample_distinct(&mut self.rng, self.cfg.population);
-        let mut pop = Vec::with_capacity(seeds.len());
-        for p in seeds {
-            if self.iteration >= budget {
-                break;
-            }
+        for p in sampler.sample_distinct(&mut self.rng, self.cfg.population) {
             self.history.record(p.clone());
-            let f = self.execute(eval, &p);
-            pop.push((p, f));
+            self.pending.push_back(PendingTest {
+                point: p,
+                mutated_axis: None,
+            });
         }
-        self.population = pop;
     }
 
-    fn next_generation(&mut self, eval: &dyn Evaluator, budget: usize) {
-        let mut next: Vec<(Point, f64)> = Vec::with_capacity(self.cfg.population);
+    /// Whether the generation under construction is fully resolved (no
+    /// pending issues, no outstanding executions, every slot's fitness
+    /// known or mirrorable).
+    fn generation_complete(&self) -> bool {
+        self.pending.is_empty()
+            && self.outstanding == 0
+            && self
+                .gen_fitness
+                .iter()
+                .all(|s| !matches!(s, SlotFitness::AwaitExec))
+    }
+
+    /// Commits the finished generation: resolves mirror slots in
+    /// breeding order and replaces the population.
+    fn commit_generation(&mut self) {
+        let mut fitness: Vec<f64> = Vec::with_capacity(self.gen_fitness.len());
+        for slot in &self.gen_fitness {
+            let f = match *slot {
+                SlotFitness::Known(f) => f,
+                SlotFitness::MirrorOf(i) => fitness[i],
+                SlotFitness::AwaitExec => unreachable!("generation committed while pending"),
+            };
+            fitness.push(f);
+        }
+        let points = std::mem::take(&mut self.gen_points);
+        self.gen_fitness.clear();
+        if !points.is_empty() {
+            self.population = points.into_iter().zip(fitness).collect();
+        }
+    }
+
+    /// Breeds the next generation into the pending queue. Elites and
+    /// duplicate offspring resolve their fitness immediately (or mirror
+    /// a sibling slot); new offspring are queued for execution. Returns
+    /// whether any new executable individual was produced.
+    fn breed_generation(&mut self) -> bool {
+        debug_assert!(self.gen_points.is_empty());
         // Elitism: keep the best as-is (no re-execution).
         let mut by_fitness = self.population.clone();
         by_fitness.sort_by(|a, b| b.1.total_cmp(&a.1));
-        next.extend(by_fitness.iter().take(self.cfg.elitism).cloned());
-        while next.len() < self.cfg.population && self.iteration < budget {
+        for (p, f) in by_fitness.iter().take(self.cfg.elitism) {
+            self.gen_points.push(p.clone());
+            self.gen_fitness.push(SlotFitness::Known(*f));
+        }
+        let mut new_any = false;
+        let mut attempts = self.cfg.population.saturating_mul(MAX_BREED_ATTEMPTS_PER_SLOT);
+        while self.gen_points.len() < self.cfg.population && attempts > 0 {
+            attempts -= 1;
             let a = self.select();
             let b = self.select();
             let mut child = if self.rng.gen_bool(self.cfg.crossover_rate) {
@@ -125,22 +223,36 @@ impl GeneticExplorer {
             if !self.space.is_valid(&child) {
                 continue;
             }
-            let fitness = if self.history.record(child.clone()) {
-                self.execute(eval, &child)
+            if self.history.record(child.clone()) {
+                // New individual: execute it for its fitness.
+                self.pending.push_back(PendingTest {
+                    point: child.clone(),
+                    mutated_axis: None,
+                });
+                self.gen_points.push(child);
+                self.gen_fitness.push(SlotFitness::AwaitExec);
+                new_any = true;
+            } else if let Some(i) = self.gen_points.iter().position(|p| *p == child) {
+                // Duplicate of a sibling bred earlier this generation
+                // whose execution may still be pending: share its
+                // fitness once known.
+                self.gen_points.push(child);
+                self.gen_fitness.push(SlotFitness::MirrorOf(i));
             } else {
-                // Already executed: reuse the recorded impact for free.
-                self.executed
+                // Already executed in an earlier generation: reuse the
+                // recorded impact for free.
+                let f = self
+                    .executed
                     .iter()
                     .rev()
                     .find(|t| t.point == child)
                     .map(|t| t.evaluation.impact)
-                    .unwrap_or(0.0)
-            };
-            next.push((child, fitness));
+                    .unwrap_or(0.0);
+                self.gen_points.push(child);
+                self.gen_fitness.push(SlotFitness::Known(f));
+            }
         }
-        if !next.is_empty() {
-            self.population = next;
-        }
+        new_any
     }
 
     /// Roulette-wheel selection.
@@ -180,6 +292,77 @@ impl GeneticExplorer {
                 p.set_attr(axis, v);
             }
         }
+    }
+}
+
+impl Explore for GeneticExplorer {
+    fn next_candidate(&mut self) -> Option<PendingTest> {
+        loop {
+            if let Some(test) = self.pending.pop_front() {
+                self.outstanding += 1;
+                return Some(test);
+            }
+            if !self.seeded {
+                self.seed_initial_batch();
+                if self.pending.is_empty() {
+                    return None; // Degenerate space or zero population.
+                }
+                continue;
+            }
+            if self.outstanding > 0 {
+                // Generation boundary: breeding needs every fitness of
+                // the current generation. The engine retries after the
+                // next completion.
+                return None;
+            }
+            if self.evolving {
+                if !self.generation_complete() {
+                    return None;
+                }
+                self.commit_generation();
+            } else {
+                // The initial batch just finished: its completions are
+                // the first population.
+                self.evolving = true;
+            }
+            if self.population.is_empty()
+                || self.history.len() as u64 >= self.space.len()
+                || self.barren_generations >= MAX_BARREN_GENERATIONS
+            {
+                return None; // Space exhausted (or nothing to breed from).
+            }
+            if self.breed_generation() {
+                self.barren_generations = 0;
+            } else {
+                self.barren_generations += 1;
+            }
+        }
+    }
+
+    fn complete(&mut self, test: PendingTest, evaluation: Evaluation) -> ExecutedTest {
+        self.outstanding -= 1;
+        let impact = evaluation.impact;
+        if self.evolving {
+            let slot = self
+                .gen_points
+                .iter()
+                .zip(&self.gen_fitness)
+                .position(|(p, s)| matches!(s, SlotFitness::AwaitExec) && *p == test.point)
+                .expect("completed individual belongs to the current generation");
+            self.gen_fitness[slot] = SlotFitness::Known(impact);
+        } else {
+            // Seeding phase: completions build the initial population in
+            // issue order.
+            self.population.push((test.point.clone(), impact));
+        }
+        let record = ExecutedTest {
+            point: test.point,
+            evaluation,
+            iteration: self.iteration,
+        };
+        self.iteration += 1;
+        self.executed.push(record.clone());
+        record
     }
 }
 
@@ -246,5 +429,31 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn matches_the_legacy_generational_loop() {
+        // The incremental generate/complete state machine must reproduce
+        // the retained self-driving generational loop bit-for-bit.
+        let eval = FnEvaluator::new(|p: &Point| if p[0] == 7 { 10.0 } else { 0.0 });
+        for seed in [0u64, 3, 9] {
+            let mut new = GeneticExplorer::new(space(), GeneticConfig::default(), seed);
+            let mut old =
+                crate::legacy::LegacyGeneticExplorer::new(space(), GeneticConfig::default(), seed);
+            assert_eq!(new.run(&eval, 150), old.run(&eval, 150), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exhausts_tiny_spaces_instead_of_spinning() {
+        // 3×3 = 9 points with a 24-individual population: once the space
+        // is fully executed, breeding can only produce duplicates and
+        // the explorer must report exhaustion (the legacy loop spins).
+        let tiny =
+            FaultSpace::new(vec![Axis::int_range("x", 0, 2), Axis::int_range("y", 0, 2)]).unwrap();
+        let eval = FnEvaluator::new(|_| 1.0);
+        let mut ga = GeneticExplorer::new(tiny, GeneticConfig::default(), 5);
+        let r = ga.run(&eval, 10_000);
+        assert_eq!(r.executed.len(), 9, "every point executed exactly once");
     }
 }

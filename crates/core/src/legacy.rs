@@ -1,0 +1,243 @@
+//! Test-only oracles: the per-strategy sequential drivers that predate
+//! the strategy-agnostic [`Engine`](crate::engine::Engine).
+//!
+//! Before the engine unified the drive paths, `Session::run` hand-rolled
+//! a per-strategy `match` (a `run_stepper` loop for fitness / random /
+//! exhaustive, a generation-sized chunk loop for the GA), and the GA was
+//! a self-driving generational loop rather than an incremental
+//! [`Explore`](crate::explore::Explore) implementation. Those drivers are
+//! preserved here **verbatim** as equivalence oracles: the property
+//! suite asserts the engine reproduces them bit-for-bit (and, for the
+//! GA's stop-condition overshoot, documents precisely where the engine
+//! intentionally behaves better).
+//!
+//! Nothing in the production paths calls this module.
+
+use crate::algorithm::FitnessExplorer;
+use crate::evaluator::{Evaluator, ExecutedTest};
+use crate::exhaustive::ExhaustiveExplorer;
+use crate::explore::Explore;
+use crate::genetic::GeneticConfig;
+use crate::quality::store::TraceStore;
+use crate::queues::History;
+use crate::random::RandomExplorer;
+use crate::session::{SearchStrategy, SessionResult, StopCondition};
+use afex_space::{FaultSpace, Point, UniformSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The original self-driving generational GA, kept bit-for-bit as the
+/// oracle for [`GeneticExplorer`](crate::genetic::GeneticExplorer)'s
+/// incremental implementation.
+pub struct LegacyGeneticExplorer {
+    space: Arc<FaultSpace>,
+    cfg: GeneticConfig,
+    rng: StdRng,
+    history: History,
+    population: Vec<(Point, f64)>,
+    iteration: usize,
+    executed: Vec<ExecutedTest>,
+}
+
+impl LegacyGeneticExplorer {
+    /// Creates the oracle GA with a deterministic seed.
+    pub fn new(space: impl Into<Arc<FaultSpace>>, cfg: GeneticConfig, seed: u64) -> Self {
+        let space = space.into();
+        LegacyGeneticExplorer {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            history: History::for_space(&space),
+            space,
+            population: Vec::new(),
+            iteration: 0,
+            executed: Vec::new(),
+        }
+    }
+
+    /// Runs until `budget` test executions have been spent.
+    pub fn run(&mut self, eval: &dyn Evaluator, budget: usize) -> SessionResult {
+        self.init_population(eval, budget);
+        while self.iteration < budget {
+            self.next_generation(eval, budget);
+        }
+        SessionResult::new(std::mem::take(&mut self.executed))
+    }
+
+    fn execute(&mut self, eval: &dyn Evaluator, p: &Point) -> f64 {
+        let evaluation = eval.evaluate(p);
+        let impact = evaluation.impact;
+        self.executed.push(ExecutedTest {
+            point: p.clone(),
+            evaluation,
+            iteration: self.iteration,
+        });
+        self.iteration += 1;
+        impact
+    }
+
+    fn init_population(&mut self, eval: &dyn Evaluator, budget: usize) {
+        let sampler = UniformSampler::new(&self.space);
+        let seeds = sampler.sample_distinct(&mut self.rng, self.cfg.population);
+        let mut pop = Vec::with_capacity(seeds.len());
+        for p in seeds {
+            if self.iteration >= budget {
+                break;
+            }
+            self.history.record(p.clone());
+            let f = self.execute(eval, &p);
+            pop.push((p, f));
+        }
+        self.population = pop;
+    }
+
+    fn next_generation(&mut self, eval: &dyn Evaluator, budget: usize) {
+        let mut next: Vec<(Point, f64)> = Vec::with_capacity(self.cfg.population);
+        // Elitism: keep the best as-is (no re-execution).
+        let mut by_fitness = self.population.clone();
+        by_fitness.sort_by(|a, b| b.1.total_cmp(&a.1));
+        next.extend(by_fitness.iter().take(self.cfg.elitism).cloned());
+        while next.len() < self.cfg.population && self.iteration < budget {
+            let a = self.select();
+            let b = self.select();
+            let mut child = if self.rng.gen_bool(self.cfg.crossover_rate) {
+                self.crossover(&a, &b)
+            } else {
+                a.clone()
+            };
+            self.mutate(&mut child);
+            if !self.space.is_valid(&child) {
+                continue;
+            }
+            let fitness = if self.history.record(child.clone()) {
+                self.execute(eval, &child)
+            } else {
+                // Already executed: reuse the recorded impact for free.
+                self.executed
+                    .iter()
+                    .rev()
+                    .find(|t| t.point == child)
+                    .map(|t| t.evaluation.impact)
+                    .unwrap_or(0.0)
+            };
+            next.push((child, fitness));
+        }
+        if !next.is_empty() {
+            self.population = next;
+        }
+    }
+
+    /// Roulette-wheel selection.
+    fn select(&mut self) -> Point {
+        let total: f64 = self.population.iter().map(|(_, f)| f.max(0.0)).sum();
+        if total <= 0.0 {
+            let i = self.rng.gen_range(0..self.population.len());
+            return self.population[i].0.clone();
+        }
+        let mut ticket = self.rng.gen_range(0.0..total);
+        for (p, f) in &self.population {
+            let w = f.max(0.0);
+            if ticket < w {
+                return p.clone();
+            }
+            ticket -= w;
+        }
+        self.population
+            .last()
+            .expect("non-empty population")
+            .0
+            .clone()
+    }
+
+    /// Single-point crossover on the attribute vector.
+    fn crossover(&mut self, a: &Point, b: &Point) -> Point {
+        let n = a.arity();
+        let cut = self.rng.gen_range(0..n);
+        (0..n).map(|i| if i < cut { a[i] } else { b[i] }).collect()
+    }
+
+    /// Uniform per-gene mutation.
+    fn mutate(&mut self, p: &mut Point) {
+        for axis in 0..p.arity() {
+            if self.rng.gen_bool(self.cfg.mutation_rate) {
+                let v = self.rng.gen_range(0..self.space.axis(axis).len());
+                p.set_attr(axis, v);
+            }
+        }
+    }
+}
+
+/// The original `Session::run`: a per-strategy `match` driving each
+/// explorer with `run_stepper`, and the GA with a generation-sized chunk
+/// loop that checked the stop condition only **between** chunks — the
+/// overshoot the engine's per-completion stop check fixes.
+pub fn legacy_session_run(
+    space: Arc<FaultSpace>,
+    strategy: &SearchStrategy,
+    seed: u64,
+    feedback_seeds: TraceStore,
+    eval: &dyn Evaluator,
+    stop: StopCondition,
+) -> SessionResult {
+    let cap = stop.max_iterations();
+    match strategy {
+        SearchStrategy::Fitness(cfg) => {
+            let mut ex = FitnessExplorer::new(space, cfg.clone(), seed);
+            ex.seed_feedback_store(feedback_seeds);
+            run_stepper(cap, stop, |_| ex.step(eval))
+        }
+        SearchStrategy::Random => {
+            let mut ex = RandomExplorer::new(space, seed);
+            run_stepper(cap, stop, |_| ex.step(eval))
+        }
+        SearchStrategy::Exhaustive => {
+            let mut ex = ExhaustiveExplorer::new(space);
+            run_stepper(cap, stop, |_| ex.step(eval))
+        }
+        SearchStrategy::Genetic(cfg) => {
+            // The GA runs generation-sized chunks between stop checks.
+            let mut ex = LegacyGeneticExplorer::new(space, *cfg, seed);
+            let mut all = Vec::new();
+            let (mut failures, mut crashes) = (0usize, 0usize);
+            while all.len() < cap && !stop.satisfied(failures, crashes) {
+                let budget = (all.len() + cfg.population.max(1)).min(cap);
+                let chunk = ex.run(eval, budget - all.len());
+                if chunk.is_empty() {
+                    break;
+                }
+                for t in &chunk.executed {
+                    if t.evaluation.failed {
+                        failures += 1;
+                    }
+                    if t.evaluation.crashed {
+                        crashes += 1;
+                    }
+                }
+                all.extend(chunk.executed);
+            }
+            SessionResult::new(all)
+        }
+    }
+}
+
+fn run_stepper<F>(cap: usize, stop: StopCondition, mut step: F) -> SessionResult
+where
+    F: FnMut(usize) -> Option<ExecutedTest>,
+{
+    let mut executed = Vec::new();
+    let (mut failures, mut crashes) = (0usize, 0usize);
+    for i in 0..cap {
+        if stop.satisfied(failures, crashes) {
+            break;
+        }
+        let Some(t) = step(i) else { break };
+        if t.evaluation.failed {
+            failures += 1;
+        }
+        if t.evaluation.crashed {
+            crashes += 1;
+        }
+        executed.push(t);
+    }
+    SessionResult::new(executed)
+}

@@ -53,6 +53,7 @@
 pub mod aging;
 pub mod algorithm;
 pub mod campaign;
+pub mod engine;
 pub mod evaluator;
 pub mod exhaustive;
 pub mod explore;
@@ -60,6 +61,7 @@ pub mod feedback;
 pub mod gaussian;
 pub mod genetic;
 pub mod impact;
+pub mod legacy;
 pub mod quality;
 pub mod queues;
 pub mod random;
@@ -71,8 +73,10 @@ pub use aging::AgingPolicy;
 pub use algorithm::{ExplorerConfig, FitnessExplorer};
 pub use campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignReport, CampaignSnapshot,
-    CampaignSpec, CellOutcome, CellState, ExportRecord, FailureRecord, ResultStore, StopPolicy,
+    CampaignSpec, CellOutcome, CellState, CellWorkers, ExportRecord, FailureRecord, ResultStore,
+    StopPolicy,
 };
+pub use engine::{Engine, Executor, SyncExecutor};
 pub use evaluator::{Evaluation, Evaluator, ExecutedTest, FnEvaluator, OutcomeEvaluator};
 pub use exhaustive::ExhaustiveExplorer;
 pub use explore::Explore;

@@ -6,8 +6,16 @@
 //! budget, or a coverage threshold. The explorer "can navigate the fault
 //! space in three ways: using the fitness-guided Algorithm 1, exhaustive
 //! search, or random search" (plus the abandoned GA, kept for ablation).
+//!
+//! Every strategy is driven by the same [`Engine`]:
+//! [`SearchStrategy::build`] is the one explorer factory, and
+//! [`Session::run`] is a thin wrapper binding a built explorer to a
+//! sequential engine. The parallel cluster driver binds the identical
+//! explorer to a windowed engine — strategy and drive path are fully
+//! decoupled (§6.1).
 
 use crate::algorithm::{ExplorerConfig, FitnessExplorer};
+use crate::engine::Engine;
 use crate::evaluator::{Evaluator, ExecutedTest};
 use crate::exhaustive::ExhaustiveExplorer;
 use crate::explore::Explore;
@@ -30,6 +38,35 @@ pub enum SearchStrategy {
     Exhaustive,
     /// The abandoned genetic-algorithm baseline.
     Genetic(GeneticConfig),
+}
+
+impl SearchStrategy {
+    /// Builds the explorer this strategy denotes — the **only** explorer
+    /// factory: sequential sessions, the parallel cluster driver, and
+    /// campaign cells all construct their search state here and differ
+    /// only in the engine that drives it.
+    ///
+    /// `feedback_seeds` pre-loads the §7.4 redundancy-feedback store
+    /// (campaign chaining); only the fitness strategy consults it (and
+    /// only with [`ExplorerConfig::redundancy_feedback`] on) — the other
+    /// strategies ignore the seeds.
+    pub fn build(
+        &self,
+        space: impl Into<Arc<FaultSpace>>,
+        seed: u64,
+        feedback_seeds: TraceStore,
+    ) -> Box<dyn Explore> {
+        match self {
+            SearchStrategy::Fitness(cfg) => {
+                let mut ex = FitnessExplorer::new(space, cfg.clone(), seed);
+                ex.seed_feedback_store(feedback_seeds);
+                Box::new(ex)
+            }
+            SearchStrategy::Random => Box::new(RandomExplorer::new(space, seed)),
+            SearchStrategy::Exhaustive => Box::new(ExhaustiveExplorer::new(space)),
+            SearchStrategy::Genetic(cfg) => Box::new(GeneticExplorer::new(space, *cfg, seed)),
+        }
+    }
 }
 
 /// When a session stops.
@@ -55,7 +92,9 @@ pub enum StopCondition {
 }
 
 impl StopCondition {
-    fn max_iterations(&self) -> usize {
+    /// The hard iteration cap: the budget for `Iterations`, the backstop
+    /// for the count-based conditions.
+    pub fn max_iterations(&self) -> usize {
         match *self {
             StopCondition::Iterations(n) => n,
             StopCondition::Failures { max_iterations, .. }
@@ -63,7 +102,9 @@ impl StopCondition {
         }
     }
 
-    fn satisfied(&self, failures: usize, crashes: usize) -> bool {
+    /// Whether the observed counts satisfy the condition (the iteration
+    /// cap is enforced separately, via [`Self::max_iterations`]).
+    pub fn satisfied(&self, failures: usize, crashes: usize) -> bool {
         match *self {
             StopCondition::Iterations(_) => false, // Only the cap stops it.
             StopCondition::Failures { count, .. } => failures >= count,
@@ -228,71 +269,21 @@ impl Session {
         self
     }
 
-    /// Runs the session until the stop condition is met.
-    pub fn run(&self, eval: &dyn Evaluator, stop: StopCondition) -> SessionResult {
-        let cap = stop.max_iterations();
-        match &self.strategy {
-            SearchStrategy::Fitness(cfg) => {
-                let mut ex =
-                    FitnessExplorer::new(Arc::clone(&self.space), cfg.clone(), self.seed);
-                ex.seed_feedback_store(self.feedback_seeds.clone());
-                run_stepper(cap, stop, |_| ex.step(eval))
-            }
-            SearchStrategy::Random => {
-                let mut ex = RandomExplorer::new(Arc::clone(&self.space), self.seed);
-                run_stepper(cap, stop, |_| ex.step(eval))
-            }
-            SearchStrategy::Exhaustive => {
-                let mut ex = ExhaustiveExplorer::new(Arc::clone(&self.space));
-                run_stepper(cap, stop, |_| ex.step(eval))
-            }
-            SearchStrategy::Genetic(cfg) => {
-                // The GA runs generation-sized chunks between stop checks.
-                let mut ex = GeneticExplorer::new(Arc::clone(&self.space), *cfg, self.seed);
-                let mut all = Vec::new();
-                let (mut failures, mut crashes) = (0usize, 0usize);
-                while all.len() < cap && !stop.satisfied(failures, crashes) {
-                    let budget = (all.len() + cfg.population.max(1)).min(cap);
-                    let chunk = ex.run(eval, budget - all.len());
-                    if chunk.is_empty() {
-                        break;
-                    }
-                    for t in &chunk.executed {
-                        if t.evaluation.failed {
-                            failures += 1;
-                        }
-                        if t.evaluation.crashed {
-                            crashes += 1;
-                        }
-                    }
-                    all.extend(chunk.executed);
-                }
-                SessionResult::new(all)
-            }
-        }
+    /// Builds this session's explorer ([`SearchStrategy::build`] with
+    /// the session's space, seed, and feedback seeds) — the hook the
+    /// parallel drivers use to run the *same* search state under a
+    /// windowed engine.
+    pub fn build_explorer(&self) -> Box<dyn Explore> {
+        self.strategy
+            .build(Arc::clone(&self.space), self.seed, self.feedback_seeds.clone())
     }
-}
 
-fn run_stepper<F>(cap: usize, stop: StopCondition, mut step: F) -> SessionResult
-where
-    F: FnMut(usize) -> Option<ExecutedTest>,
-{
-    let mut executed = Vec::new();
-    let (mut failures, mut crashes) = (0usize, 0usize);
-    for i in 0..cap {
-        if stop.satisfied(failures, crashes) {
-            break;
-        }
-        let Some(t) = step(i) else { break };
-        if t.evaluation.failed {
-            failures += 1;
-        }
-        if t.evaluation.crashed {
-            crashes += 1;
-        }
-        executed.push(t);
+    /// Runs the session until the stop condition is met: one sequential
+    /// [`Engine`] over the built explorer, whatever the strategy.
+    pub fn run(&self, eval: &dyn Evaluator, stop: StopCondition) -> SessionResult {
+        let mut explorer = self.build_explorer();
+        Engine::sequential().run(explorer.as_mut(), eval, stop)
     }
-    SessionResult::new(executed)
 }
 
 #[cfg(test)]

@@ -6,10 +6,13 @@
 //!                   [--iterations N] [--seed S] [--metric default|paper|crash]
 //!                   [--feedback] [--json]
 //! afex-cli render   --target <name> --point i,j,k
+//! afex-cli hunt     --target <name> [--crashes N | --failures N]
+//!                   [--iterations cap] [--seed S] [--workers W]
+//!                   [--metric default|paper|crash] [--feedback] [--json]
 //! afex-cli campaign --targets a,b,c --out dir/
 //!                   [--strategies fitness,random] [--seeds N] [--seed S]
-//!                   [--iterations M] [--workers W] [--metric ...]
-//!                   [--stop iterations|failures:N|crashes:N]
+//!                   [--iterations M] [--workers W] [--cell-workers C]
+//!                   [--metric ...] [--stop iterations|failures:N|crashes:N]
 //!                   [--export corpus.jsonl] [--resume] [--json]
 //! ```
 //!
@@ -19,8 +22,8 @@
 use afex::campaign::{known_target, run_pending, CorpusExporter};
 use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec, StopPolicy};
 use afex::core::{
-    ExplorerConfig, FaultReport, GeneticConfig, ImpactMetric, OutcomeEvaluator, SearchStrategy,
-    Session, StopCondition,
+    ExplorerConfig, FaultReport, ImpactMetric, OutcomeEvaluator, SearchStrategy, Session,
+    StopCondition,
 };
 use afex::space::Point;
 use afex::targets::spaces::TargetSpace;
@@ -29,15 +32,19 @@ use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: afex-cli <describe|explore|render|campaign> [options]\n\
+        "usage: afex-cli <describe|explore|render|hunt|campaign> [options]\n\
          targets: coreutils | minidb (mysql) | httpd (apache) | docstore-0.8 | docstore-2.0\n\
          explore options:  --target <name> --strategy fitness|random|exhaustive|genetic\n\
                            --iterations N --seed S --metric default|paper|crash\n\
                            --feedback --json\n\
          render options:   --target <name> --point i,j,k\n\
+         hunt options:     --target <name> --crashes N | --failures N\n\
+                           --iterations cap --seed S --workers W\n\
+                           --metric default|paper|crash --feedback --json\n\
          campaign options: --targets a,b,c --out dir/\n\
                            --strategies fitness,random --seeds N --seed S\n\
-                           --iterations M --workers W --metric default|paper|crash\n\
+                           --iterations M --workers W --cell-workers C\n\
+                           --metric default|paper|crash\n\
                            --stop iterations|failures:N|crashes:N\n\
                            --export corpus.jsonl --resume --json"
     );
@@ -137,27 +144,27 @@ fn cmd_explore(opts: &HashMap<String, String>) {
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(42);
     let m = metric(opts.get("metric").map(String::as_str).unwrap_or("default"));
-    let strategy = match opts
+    let raw_strategy = opts
         .get("strategy")
         .map(String::as_str)
-        .unwrap_or("fitness")
+        .unwrap_or("fitness");
+    let strategy = match afex::campaign::canonical_strategy(raw_strategy)
+        .and_then(afex::core::strategy_from_name)
     {
-        "fitness" => SearchStrategy::Fitness(ExplorerConfig {
+        Some(SearchStrategy::Fitness(cfg)) => SearchStrategy::Fitness(ExplorerConfig {
             redundancy_feedback: opts.contains_key("feedback"),
-            ..ExplorerConfig::default()
+            ..cfg
         }),
-        "random" => SearchStrategy::Random,
-        "exhaustive" => SearchStrategy::Exhaustive,
-        "genetic" => SearchStrategy::Genetic(GeneticConfig::default()),
-        other => {
-            eprintln!("unknown strategy `{other}`");
+        Some(other) => other,
+        None => {
+            eprintln!("unknown strategy `{raw_strategy}`");
             usage()
         }
     };
     let exec = target_space(name);
     let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
-    let session = Session::new(ts.space_arc(), strategy, seed);
-    let result = session.run(&eval, StopCondition::Iterations(iterations));
+    let result = Session::new(ts.space_arc(), strategy, seed)
+        .run(&eval, StopCondition::Iterations(iterations));
     let report = FaultReport::from_session(&result, 4);
     if opts.contains_key("json") {
         println!("{}", report.to_json());
@@ -171,6 +178,81 @@ fn cmd_explore(opts: &HashMap<String, String>) {
             result.unique_crashes(4)
         );
         println!("{}", report.summary());
+    }
+}
+
+/// `afex-cli hunt` — the §6.2 "find N crash scenarios" search target as
+/// a first-class command, run stop-aware on a node-manager pool: the
+/// engine checks the stop condition at every head-of-line completion,
+/// so the pool halts at the Nth crash (plus the in-flight window
+/// draining) instead of running the iteration cap out. Deterministic
+/// for a fixed `--workers` count.
+fn cmd_hunt(opts: &HashMap<String, String>) {
+    let name = opts
+        .get("target")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let ts = target_space(name);
+    let iterations: usize = parse_num(opts, "iterations", 4_000);
+    let seed: u64 = parse_num(opts, "seed", 7);
+    let workers: usize = parse_num(opts, "workers", 4);
+    if workers == 0 {
+        eprintln!("--workers must be positive");
+        std::process::exit(2);
+    }
+    // A hunt is a count-based search target: crashes by default (the
+    // paper's "find faults that crash the DBMS"), failures on request —
+    // one or the other, never both. A zero target count is rejected
+    // like the campaign's zero-count stop policies.
+    if opts.contains_key("failures") && opts.contains_key("crashes") {
+        eprintln!("cannot combine --failures with --crashes: a hunt has one target count");
+        std::process::exit(2);
+    }
+    let count_of = |n: &str| {
+        let count: usize = n.parse().unwrap_or_else(|_| usage());
+        if count == 0 {
+            eprintln!("the hunt target count must be positive");
+            std::process::exit(2);
+        }
+        count
+    };
+    let stop = if let Some(n) = opts.get("failures") {
+        StopCondition::Failures {
+            count: count_of(n),
+            max_iterations: iterations,
+        }
+    } else {
+        StopCondition::Crashes {
+            count: count_of(opts.get("crashes").map(String::as_str).unwrap_or("25")),
+            max_iterations: iterations,
+        }
+    };
+    let m = metric(opts.get("metric").map(String::as_str).unwrap_or("crash"));
+    let strategy = SearchStrategy::Fitness(ExplorerConfig {
+        redundancy_feedback: opts.contains_key("feedback"),
+        ..ExplorerConfig::default()
+    });
+    let mut explorer = strategy.build(ts.space_arc(), seed, afex::core::TraceStore::new());
+    let result = afex::campaign::run_windowed(&ts, m, explorer.as_mut(), stop, workers);
+    if opts.contains_key("json") {
+        println!("{}", FaultReport::from_session(&result, 4).to_json());
+        return;
+    }
+    println!(
+        "{} tests on {workers} workers: {} failures, {} crashes",
+        result.len(),
+        result.failures(),
+        result.crashes()
+    );
+    let signatures: std::collections::BTreeSet<&str> = result
+        .executed
+        .iter()
+        .filter(|t| t.evaluation.crashed)
+        .filter_map(|t| t.evaluation.trace.as_deref())
+        .collect();
+    println!("distinct crash signatures ({}):", signatures.len());
+    for s in &signatures {
+        println!("  {s}");
     }
 }
 
@@ -190,9 +272,10 @@ fn comma_list(s: &str) -> Vec<String> {
 
 /// Builds and validates the campaign spec from CLI flags; exits with the
 /// usual code 2 on an unknown target/strategy/metric, a duplicated
-/// target, or a missing `--targets`. Target aliases are canonicalized
-/// (`mysql`→`minidb`, `apache`→`httpd`) so the same target can never be
-/// scheduled twice under two spellings.
+/// target or strategy, or a missing `--targets`. Target and strategy
+/// aliases are canonicalized (`mysql`→`minidb`, `apache`→`httpd`,
+/// `fitness-guided`→`fitness`, `ga`→`genetic`) so the same target or
+/// strategy can never be scheduled twice under two spellings.
 fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
     let raw_targets =
         comma_list(opts.get("targets").map(String::as_str).unwrap_or_else(|| usage()));
@@ -200,11 +283,16 @@ fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let strategies = comma_list(
+    let raw_strategies = comma_list(
         opts.get("strategies")
             .map(String::as_str)
             .unwrap_or("fitness,random"),
     );
+    let strategies =
+        afex::campaign::canonicalize_strategies(&raw_strategies).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     let stop = opts
         .get("stop")
         .map(|s| {
@@ -221,6 +309,7 @@ fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
         base_seed: parse_num(opts, "seed", 42),
         iterations: parse_num(opts, "iterations", 200),
         stop,
+        cell_workers: parse_num::<usize>(opts, "cell-workers", 1).into(),
         metric: opts.get("metric").cloned(),
     };
     if let Err(e) = spec.validate(known_target) {
@@ -288,6 +377,7 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
             "iterations",
             "metric",
             "stop",
+            "cell-workers",
         ] {
             if opts.contains_key(flag) {
                 eprintln!(
@@ -318,6 +408,13 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
                 Ok(_) => Err("snapshot targets are not in canonical form".to_owned()),
                 Err(e) => Err(e),
             })
+            .and_then(
+                |()| match afex::campaign::canonicalize_strategies(&snap.spec.strategies) {
+                    Ok(canon) if canon == snap.spec.strategies => Ok(()),
+                    Ok(_) => Err("snapshot strategies are not in canonical form".to_owned()),
+                    Err(e) => Err(e),
+                },
+            )
             .and_then(|()| snap.check_consistent())
             .and_then(|()| snap.check_chain_consistent())
         {
@@ -384,6 +481,7 @@ fn main() {
         "describe" => cmd_describe(&opts),
         "render" => cmd_render(&opts),
         "explore" => cmd_explore(&opts),
+        "hunt" => cmd_hunt(&opts),
         "campaign" => cmd_campaign(&opts),
         _ => usage(),
     }

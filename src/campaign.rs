@@ -22,10 +22,13 @@ use crate::core::campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CampaignSpec,
     CellOutcome, ExportRecord,
 };
-use crate::core::{ImpactMetric, OutcomeEvaluator, SearchStrategy, Session, TraceStore};
+use crate::core::{
+    Engine, Explore, ImpactMetric, OutcomeEvaluator, SearchStrategy, SessionResult,
+    StopCondition, TraceStore,
+};
 use crate::targets::docstore::Version;
 use crate::targets::spaces::TargetSpace;
-use afex_cluster::{CampaignScheduler, CellChain};
+use afex_cluster::{CampaignScheduler, CellChain, ParallelSession};
 use afex_space::PointCodec;
 use std::collections::HashSet;
 use std::io::Write as _;
@@ -68,6 +71,44 @@ pub fn canonicalize_targets(names: &[String]) -> Result<Vec<String>, String> {
         let canon = canonical_target(name).ok_or_else(|| format!("unknown target `{name}`"))?;
         if out.iter().any(|c| c == canon) {
             return Err(format!("duplicate target `{canon}` (from `{name}`)"));
+        }
+        out.push(canon.to_owned());
+    }
+    Ok(out)
+}
+
+/// The canonical strategy names, in the order `strategy_from_name`
+/// recognizes them.
+pub const STRATEGIES: [&str; 4] = ["fitness", "random", "exhaustive", "genetic"];
+
+/// The canonical spelling of a strategy name, if known. `fitness-guided`
+/// (the paper's name for Algorithm 1) and `ga` (the genetic baseline)
+/// are aliases, mirroring how target aliases work.
+pub fn canonical_strategy(name: &str) -> Option<&'static str> {
+    match name {
+        "fitness" | "fitness-guided" => Some("fitness"),
+        "random" => Some("random"),
+        "exhaustive" => Some("exhaustive"),
+        "genetic" | "ga" => Some("genetic"),
+        _ => None,
+    }
+}
+
+/// Canonicalizes a strategy list for a campaign spec, exactly like
+/// [`canonicalize_targets`]: aliases collapse to their canonical names,
+/// and duplicates — including a strategy listed under two spellings,
+/// which would double-run every cell of it — are rejected.
+///
+/// # Errors
+///
+/// Returns a description of the first unknown or duplicated strategy.
+pub fn canonicalize_strategies(names: &[String]) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::with_capacity(names.len());
+    for name in names {
+        let canon =
+            canonical_strategy(name).ok_or_else(|| format!("unknown strategy `{name}`"))?;
+        if out.iter().any(|c| c == canon) {
+            return Err(format!("duplicate strategy `{canon}` (from `{name}`)"));
         }
         out.push(canon.to_owned());
     }
@@ -170,12 +211,23 @@ pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
     seeds
 }
 
-/// Runs one cell to completion: a sequential session over the cell's
-/// target with the cell's strategy and seed, stopping on the spec's
+/// Runs one cell to completion: one session over the cell's target with
+/// the cell's strategy and seed, stopping on the spec's
 /// [`StopPolicy`](crate::core::campaign::StopPolicy) (iteration budget
 /// as the backstop), distilled into a [`CellOutcome`] keyed by packed
 /// point codes. The spec also supplies the campaign-wide metric override
-/// (see [`metric_from_name`]; `None` uses the target's default).
+/// (see [`metric_from_name`]; `None` uses the target's default) and the
+/// intra-cell fan-out width (`cell_workers`).
+///
+/// Every strategy runs through the same [`Engine`]: with
+/// `cell_workers == 1` the cell is the classic sequential session; with
+/// a wider window the cell's candidates execute batch-parallel on a
+/// [`ParallelSession`] manager pool, each manager owning its own copy of
+/// the target. Either way the engine completes results in issue order
+/// and checks the stop policy at every head-of-line completion, so a
+/// cell's outcome is a deterministic function of `(spec, cell)` for the
+/// spec's fixed window — which is why `cell_workers` lives in the spec
+/// (and the snapshot) rather than on the command line of the moment.
 ///
 /// `seeds` are the deduped failure traces of earlier same-target cells
 /// ([`chain_seeds`]); fitness cells run with the §5 redundancy-feedback
@@ -190,13 +242,11 @@ pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
 /// spec with [`CampaignSpec::validate`] first.
 pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) -> CellOutcome {
     let ts = target_space(&cell.target).expect("validated target");
-    let exec = ts.clone();
     let m = spec
         .metric
         .as_deref()
         .map(|n| metric_from_name(n).expect("validated metric"))
         .unwrap_or_else(|| default_metric(&cell.target));
-    let eval = OutcomeEvaluator::new(move |p| exec.execute(p), m);
     // Campaign fitness cells always run the redundancy-feedback loop:
     // chained seeds need the loop on to bite, and a uniform setting
     // keeps every cell's outcome a function of the spec alone.
@@ -207,12 +257,46 @@ pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) ->
         }),
         other => other,
     };
-    let session = Session::new(ts.space_arc(), strategy, cell.seed)
-        .with_feedback_seeds(seeds.store().clone());
-    let result = session.run(&eval, spec.stop.to_condition(spec.iterations));
+    let mut explorer = strategy.build(ts.space_arc(), cell.seed, seeds.store().clone());
+    let stop = spec.stop.to_condition(spec.iterations);
+    let result = run_windowed(&ts, m, explorer.as_mut(), stop, spec.cell_workers.0);
     let codec = PointCodec::for_space(ts.space())
         .expect("all campaign target spaces fit u64 point codes");
     CellOutcome::from_session(cell.index, &result, &codec)
+}
+
+/// Runs a built explorer against a target under `stop` with a
+/// `workers`-wide engine window: batch-parallel on a manager pool (one
+/// copy of the target and the metric per manager) when `workers > 1`,
+/// the sequential engine otherwise. The one dispatch behind campaign
+/// cells and `afex-cli hunt` — deterministic in the window either way.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn run_windowed(
+    ts: &TargetSpace,
+    metric: ImpactMetric,
+    explorer: &mut dyn Explore,
+    stop: StopCondition,
+    workers: usize,
+) -> SessionResult {
+    if workers > 1 {
+        ParallelSession::new(workers).run_with_stop(
+            explorer,
+            |_manager| {
+                let exec = ts.clone();
+                let metric = metric.clone();
+                OutcomeEvaluator::new(move |p| exec.execute(p), metric)
+            },
+            stop,
+        )
+    } else {
+        assert!(workers > 0, "need at least one worker");
+        let exec = ts.clone();
+        let eval = OutcomeEvaluator::new(move |p| exec.execute(p), metric);
+        Engine::sequential().run(explorer, &eval, stop)
+    }
 }
 
 /// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
@@ -419,6 +503,7 @@ mod tests {
             base_seed: 3,
             iterations: 25,
             stop: StopPolicy::Iterations,
+            cell_workers: 1.into(),
             metric: None,
         }
     }
@@ -449,6 +534,49 @@ mod tests {
     fn minidb_defaults_to_the_hunt_metric() {
         assert_eq!(default_metric("minidb"), ImpactMetric::crash_hunter());
         assert_eq!(default_metric("coreutils"), ImpactMetric::default());
+    }
+
+    #[test]
+    fn strategy_aliases_canonicalize_and_duplicates_are_rejected() {
+        for s in STRATEGIES {
+            assert_eq!(canonical_strategy(s), Some(s));
+        }
+        let ok = canonicalize_strategies(&["fitness-guided".into(), "ga".into()]).unwrap();
+        assert_eq!(ok, vec!["fitness", "genetic"]);
+        // The same strategy under two spellings would double-run every
+        // cell of it.
+        let dup = canonicalize_strategies(&["genetic".into(), "ga".into()]).unwrap_err();
+        assert!(dup.contains("duplicate strategy `genetic`"), "{dup}");
+        let unknown = canonicalize_strategies(&["quantum".into()]).unwrap_err();
+        assert!(unknown.contains("unknown strategy `quantum`"), "{unknown}");
+    }
+
+    #[test]
+    fn parallel_cells_are_deterministic_and_drive_all_strategies() {
+        // cell_workers in the spec: every strategy runs batch-parallel
+        // through the engine, and a rerun with the same spec is
+        // bit-identical.
+        let spec = CampaignSpec {
+            targets: vec!["coreutils".into()],
+            strategies: vec![
+                "fitness".into(),
+                "random".into(),
+                "exhaustive".into(),
+                "genetic".into(),
+            ],
+            seeds: 1,
+            base_seed: 3,
+            iterations: 30,
+            stop: StopPolicy::Iterations,
+            cell_workers: 2.into(),
+            metric: None,
+        };
+        for cell in spec.cells() {
+            let a = run_cell(&cell, &spec, &TraceSeeds::new());
+            let b = run_cell(&cell, &spec, &TraceSeeds::new());
+            assert_eq!(a, b, "{} cell must be deterministic", cell.strategy);
+            assert_eq!(a.tests, 30, "{} cell must spend its budget", cell.strategy);
+        }
     }
 
     #[test]
@@ -541,6 +669,7 @@ mod tests {
             base_seed: 11,
             iterations: 120,
             stop: StopPolicy::Iterations,
+            cell_workers: 1.into(),
             metric: None,
         };
         let cells = spec.cells();

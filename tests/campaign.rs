@@ -16,6 +16,7 @@ fn matrix_spec() -> CampaignSpec {
         base_seed: 7,
         iterations: 60,
         stop: StopPolicy::Iterations,
+        cell_workers: 1.into(),
         metric: None,
     }
 }
@@ -29,6 +30,7 @@ fn chain_spec() -> CampaignSpec {
         base_seed: 11,
         iterations: 80,
         stop: StopPolicy::Iterations,
+        cell_workers: 1.into(),
         metric: None,
     }
 }
@@ -140,6 +142,7 @@ fn stop_policy_campaign_resumes_byte_identically() {
         base_seed: 5,
         iterations: 300,
         stop: StopPolicy::Crashes(1),
+        cell_workers: 1.into(),
         metric: None,
     };
     let mut full = CampaignSnapshot::new(spec.clone());
@@ -213,6 +216,7 @@ fn chained_campaign_snapshot_and_export_are_byte_identical_on_resume() {
         base_seed: 11,
         iterations: 80,
         stop: StopPolicy::Iterations,
+        cell_workers: 1.into(),
         metric: None,
     };
     let dir = std::env::temp_dir().join(format!("afex-chain3-test-{}", std::process::id()));
@@ -257,6 +261,85 @@ fn chained_campaign_snapshot_and_export_are_byte_identical_on_resume() {
 }
 
 #[test]
+fn parallel_cells_resume_to_identical_corpus() {
+    // Intra-cell fan-out: a 1-target × 3-seed chained matrix with
+    // cell_workers = 2 runs every cell batch-parallel on a manager
+    // pool. The window is part of the spec, so an interrupted campaign
+    // resumed mid-chain must still converge to byte-identical
+    // snapshots — the parallel path is exactly as replayable as the
+    // sequential one.
+    let spec = CampaignSpec {
+        targets: vec!["docstore-0.8".into()],
+        strategies: vec!["fitness".into()],
+        seeds: 3,
+        base_seed: 11,
+        iterations: 80,
+        stop: StopPolicy::Iterations,
+        cell_workers: 2.into(),
+        metric: None,
+    };
+    let mut full = CampaignSnapshot::new(spec.clone());
+    run_pending(&mut full, 2, |_| {});
+    assert!(full.is_complete());
+    assert!(!full.store.is_empty());
+
+    // Rerun: bit-deterministic for the fixed window.
+    let mut again = CampaignSnapshot::new(spec.clone());
+    run_pending(&mut again, 4, |_| {});
+    assert_eq!(
+        again.to_json(),
+        full.to_json(),
+        "parallel cells must be deterministic in the spec's window, not the pool width"
+    );
+
+    // Kill after the first chain cell, resume on a different pool.
+    let mut interrupted = CampaignSnapshot::from_json(&full.to_json()).unwrap();
+    for index in [1usize, 2] {
+        interrupted.cells[index].outcome = None;
+    }
+    interrupted.rebuild_store();
+    let mut resumed = CampaignSnapshot::from_json(&interrupted.to_json()).unwrap();
+    run_pending(&mut resumed, 3, |_| {});
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "parallel-cell resume must be byte-identical"
+    );
+}
+
+#[test]
+fn parallel_cells_may_diverge_from_sequential_but_stay_stop_correct() {
+    // The in-flight window is the fitness-feedback lag: a fitness cell
+    // run with cell_workers = 2 legitimately explores differently than
+    // the same cell sequentially. What must hold either way: the stop
+    // policy halts the cell at its first satisfying completion plus at
+    // most the window.
+    let mk = |cell_workers: usize| CampaignSpec {
+        targets: vec!["httpd".into()],
+        strategies: vec!["fitness".into()],
+        seeds: 1,
+        base_seed: 5,
+        iterations: 300,
+        stop: StopPolicy::Crashes(1),
+        cell_workers: cell_workers.into(),
+        metric: None,
+    };
+    let run = |cell_workers: usize| {
+        let spec = mk(cell_workers);
+        let cell = spec.cells().remove(0);
+        run_cell(&cell, &spec, &TraceSeeds::new())
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq.crashes, 1, "sequential cell stops at its first crash");
+    assert!(par.crashes >= 1, "parallel cell honors the stop policy");
+    assert!(
+        par.tests < 300,
+        "parallel cell must stop early, not run the budget out"
+    );
+}
+
+#[test]
 fn store_dedups_across_strategies_and_seeds() {
     // Two seeds of two strategies over one small target rediscover many
     // of the same faults; the corpus must count each fault once, credited
@@ -268,6 +351,7 @@ fn store_dedups_across_strategies_and_seeds() {
         base_seed: 11,
         iterations: 120,
         stop: StopPolicy::Iterations,
+        cell_workers: 1.into(),
         metric: None,
     };
     let mut snap = CampaignSnapshot::new(spec);
@@ -315,6 +399,7 @@ fn minidb_cells_run_the_hunt_path() {
         base_seed: 5,
         iterations: 30,
         stop: StopPolicy::Iterations,
+        cell_workers: 1.into(),
         metric: None,
     };
     let cell = spec.cells().remove(0);

@@ -339,6 +339,225 @@ fn campaign_resume_rejects_chain_inconsistent_snapshots() {
 }
 
 #[test]
+fn campaign_rejects_unknown_strategy_with_exit_2() {
+    // Mirrors the bad-target test: `--strategies` entries are validated
+    // and canonicalized exactly like `--targets`.
+    let out = scratch("campaign-bad-strategy");
+    let run = cli()
+        .args([
+            "campaign",
+            "--targets",
+            "coreutils",
+            "--strategies",
+            "fitness,quantum",
+            "--iterations",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("unknown strategy `quantum`"), "{err}");
+}
+
+#[test]
+fn campaign_rejects_aliased_duplicate_strategies() {
+    // `ga` and `genetic` are the same strategy under two spellings;
+    // scheduling both would double-run every cell of it.
+    let out = scratch("campaign-dup-strategy");
+    let run = cli()
+        .args([
+            "campaign",
+            "--targets",
+            "coreutils",
+            "--strategies",
+            "genetic,ga",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("duplicate strategy `genetic`"), "{err}");
+}
+
+#[test]
+fn campaign_cell_workers_is_persisted_and_rejected_on_resume() {
+    // --cell-workers is part of the spec (the window is the
+    // fitness-feedback lag), so it persists in the snapshot and cannot
+    // be changed on resume.
+    let out = scratch("campaign-cell-workers");
+    let mut args = campaign_args(&out);
+    args.push("--cell-workers".into());
+    args.push("2".into());
+    let run = cli().args(args).output().unwrap();
+    assert!(run.status.success(), "{run:?}");
+    let snap: afex::core::CampaignSnapshot = serde_json::from_str(
+        &std::fs::read_to_string(out.join("campaign.json")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(snap.spec.cell_workers, afex::core::CellWorkers(2));
+
+    let resumed = cli()
+        .args([
+            "campaign",
+            "--resume",
+            "--cell-workers",
+            "4",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(resumed.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        err.contains("cannot combine --resume with --cell-workers"),
+        "{err}"
+    );
+}
+
+#[test]
+fn campaign_rejects_zero_cell_workers_with_exit_2() {
+    let out = scratch("campaign-zero-cell-workers");
+    let mut args = campaign_args(&out);
+    args.push("--cell-workers".into());
+    args.push("0".into());
+    let run = cli().args(args).output().unwrap();
+    assert_eq!(run.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("cell worker"), "{err}");
+}
+
+#[test]
+fn parallel_cell_campaign_resumes_byte_identically() {
+    // A chained 1-target × 2-seed matrix with --cell-workers 2: killed
+    // after the first chain cell and resumed, the snapshot must be
+    // byte-identical to the uninterrupted run — batch-parallel cells
+    // replay exactly because the window lives in the spec.
+    let args = |out: &std::path::Path| {
+        [
+            "campaign",
+            "--targets",
+            "docstore-0.8",
+            "--strategies",
+            "fitness",
+            "--seeds",
+            "2",
+            "--seed",
+            "11",
+            "--iterations",
+            "60",
+            "--workers",
+            "2",
+            "--cell-workers",
+            "2",
+            "--out",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .chain([out.to_str().unwrap().to_owned()])
+        .collect::<Vec<String>>()
+    };
+    let full = scratch("campaign-cw-full");
+    assert!(cli().args(args(&full)).output().unwrap().status.success());
+    let full_bytes = std::fs::read(full.join("campaign.json")).unwrap();
+
+    let cut = scratch("campaign-cw-cut");
+    let mut snap: afex::core::CampaignSnapshot =
+        serde_json::from_str(std::str::from_utf8(&full_bytes).unwrap()).unwrap();
+    snap.cells[1].outcome = None;
+    snap.rebuild_store();
+    std::fs::write(cut.join("campaign.json"), snap.to_json() + "\n").unwrap();
+    let resumed = cli()
+        .args(["campaign", "--resume", "--out", cut.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(
+        std::fs::read(cut.join("campaign.json")).unwrap(),
+        full_bytes,
+        "parallel-cell resume must converge to identical snapshot bytes"
+    );
+}
+
+#[test]
+fn hunt_stops_at_the_crash_target_and_is_deterministic() {
+    // The stop-aware parallel path as a command: find 2 crashes on a
+    // 4-worker pool, far below the iteration cap.
+    let run = || {
+        cli()
+            .args([
+                "hunt",
+                "--target",
+                "minidb",
+                "--crashes",
+                "2",
+                "--iterations",
+                "2000",
+                "--seed",
+                "7",
+                "--workers",
+                "4",
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    assert!(a.status.success(), "{a:?}");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("crashes"), "{text}");
+    assert!(text.contains("distinct crash signatures"), "{text}");
+    let b = run();
+    assert_eq!(
+        a.stdout, b.stdout,
+        "hunts must be deterministic for a fixed worker count"
+    );
+}
+
+#[test]
+fn hunt_rejects_unknown_targets_with_exit_2() {
+    let out = cli().args(["hunt", "--target", "nosuch"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+}
+
+#[test]
+fn hunt_rejects_conflicting_target_counts_with_exit_2() {
+    // A hunt has one target count; silently preferring --failures over
+    // --crashes would misreport what was hunted.
+    let out = cli()
+        .args(["hunt", "--target", "minidb", "--crashes", "5", "--failures", "3"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot combine --failures with --crashes"),
+    );
+}
+
+#[test]
+fn hunt_rejects_zero_target_counts_with_exit_2() {
+    // "Find zero crashes" would still execute a window of tests before
+    // the first stop check; rejected like the campaign's zero-count
+    // stop policies.
+    for flag in ["--crashes", "--failures"] {
+        let out = cli()
+            .args(["hunt", "--target", "minidb", flag, "0"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} 0");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("must be positive"),
+            "{flag} 0"
+        );
+    }
+}
+
+#[test]
 fn campaign_rejects_unknown_target_with_exit_2() {
     let out = scratch("campaign-bad-target");
     let run = cli()

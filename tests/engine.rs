@@ -1,0 +1,153 @@
+//! Integration tests for the strategy-agnostic session engine: one
+//! driver behind every strategy, stop conditions honored on the
+//! parallel path, and the genetic overshoot of the old chunked driver
+//! fixed.
+
+use afex::cluster::ParallelSession;
+use afex::core::{
+    Engine, ExplorerConfig, FnEvaluator, GeneticConfig, SearchStrategy, Session, StopCondition,
+    TraceStore,
+};
+use afex::space::{Axis, FaultSpace, Point};
+use std::sync::Arc;
+
+fn space(n: i64) -> FaultSpace {
+    FaultSpace::new(vec![
+        Axis::int_range("x", 0, n - 1),
+        Axis::int_range("y", 0, n - 1),
+    ])
+    .unwrap()
+}
+
+/// Impact 10 along the column x == 7.
+fn ridge(p: &Point) -> f64 {
+    if p[0] == 7 {
+        10.0
+    } else {
+        0.0
+    }
+}
+
+fn all_strategies() -> [SearchStrategy; 4] {
+    [
+        SearchStrategy::Fitness(ExplorerConfig::default()),
+        SearchStrategy::Random,
+        SearchStrategy::Exhaustive,
+        SearchStrategy::Genetic(GeneticConfig::default()),
+    ]
+}
+
+/// The regression the unified engine fixes: under `failures:1` the old
+/// driver ran a genetic cell to the end of its generation chunk before
+/// checking the stop condition. The engine checks at every head-of-line
+/// completion, so the session ends exactly at the first satisfying test.
+#[test]
+fn genetic_stops_at_first_satisfying_completion() {
+    let stop = StopCondition::Failures {
+        count: 1,
+        max_iterations: 400,
+    };
+    let strategy = SearchStrategy::Genetic(GeneticConfig::default());
+    let session = Session::new(space(20), strategy.clone(), 3);
+    let r = session.run(&FnEvaluator::new(ridge), stop);
+    assert_eq!(r.failures(), 1, "stopped on the failure target");
+    assert!(
+        r.executed.last().unwrap().evaluation.failed,
+        "the satisfying completion must be the last record"
+    );
+    for t in &r.executed[..r.len() - 1] {
+        assert!(!t.evaluation.failed, "no failure before the stopping one");
+    }
+
+    // The legacy chunked driver overshoots: it only checked the stop
+    // between generation-sized chunks, so it runs past the first failure
+    // to its chunk boundary.
+    let legacy = afex::core::legacy::legacy_session_run(
+        Arc::new(space(20)),
+        &strategy,
+        3,
+        TraceStore::new(),
+        &FnEvaluator::new(ridge),
+        stop,
+    );
+    assert!(
+        legacy.len() > r.len(),
+        "legacy chunk loop should overshoot: legacy {} vs engine {}",
+        legacy.len(),
+        r.len()
+    );
+    // Same search, same seed: the engine's log is the legacy log cut at
+    // the first satisfying completion.
+    assert_eq!(r.executed[..], legacy.executed[..r.len()]);
+}
+
+/// The parallel path honors stop conditions for the first time: the
+/// pool stops issuing at the satisfying head-of-line completion and
+/// only the in-flight window drains.
+#[test]
+fn parallel_sessions_honor_stop_conditions_for_all_strategies() {
+    for strategy in all_strategies() {
+        for workers in [1usize, 4] {
+            let stop = StopCondition::Failures {
+                count: 2,
+                max_iterations: 300,
+            };
+            let mut explorer = strategy.build(space(10), 11, TraceStore::new());
+            let r = ParallelSession::new(workers).run_with_stop(
+                explorer.as_mut(),
+                |_| FnEvaluator::new(ridge),
+                stop,
+            );
+            assert!(r.failures() >= 2, "{strategy:?} w={workers}");
+            let second = r
+                .executed
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.evaluation.failed)
+                .nth(1)
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                r.len() <= second + 1 + workers,
+                "{strategy:?} w={workers}: drained {} past stop at {}",
+                r.len(),
+                second
+            );
+        }
+    }
+}
+
+/// For every strategy, the windowed engine is deterministic in the
+/// window: reruns are bit-identical, whatever the executor timing.
+#[test]
+fn windowed_engine_is_deterministic_for_every_strategy() {
+    for strategy in all_strategies() {
+        let run = |workers: usize| {
+            let mut explorer = strategy.build(space(12), 5, TraceStore::new());
+            ParallelSession::new(workers).run_with_stop(
+                explorer.as_mut(),
+                |_| FnEvaluator::new(ridge),
+                StopCondition::Iterations(80),
+            )
+        };
+        assert_eq!(run(3), run(3), "{strategy:?} must be deterministic");
+    }
+}
+
+/// The genetic explorer's generation barrier cooperates with wide
+/// windows: individuals of one generation execute in parallel, the
+/// budget is still spent exactly, and nothing re-executes.
+#[test]
+fn genetic_generations_fan_out_across_the_window() {
+    let mut explorer =
+        SearchStrategy::Genetic(GeneticConfig::default()).build(space(20), 9, TraceStore::new());
+    let r = Engine::new(6).run(
+        explorer.as_mut(),
+        &FnEvaluator::new(ridge),
+        StopCondition::Iterations(100),
+    );
+    assert_eq!(r.len(), 100);
+    let distinct: std::collections::HashSet<_> =
+        r.executed.iter().map(|t| t.point.clone()).collect();
+    assert_eq!(distinct.len(), 100, "no test executed twice");
+}

@@ -396,6 +396,125 @@ fn shuffle_is_a_bijection() {
     });
 }
 
+/// A random synthetic impact surface: a ridge along a random column plus
+/// a sprinkling of isolated spikes — enough structure for the fitness
+/// search to engage, deterministic in the case's parameters.
+fn rand_surface(rng: &mut StdRng) -> impl Fn(&Point) -> f64 + Clone + Send + Sync {
+    let ridge_axis = rng.gen_range(0..2usize);
+    let ridge_val = rng.gen_range(0..6usize);
+    let spike = rng.gen_range(0..36usize);
+    move |p: &Point| {
+        if p[ridge_axis] == ridge_val {
+            10.0
+        } else if (p[0] * 7 + p[1]) % 36 == spike {
+            3.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[test]
+fn engine_matches_the_legacy_sequential_drivers() {
+    // The unified engine must be bit-identical to the retained
+    // per-strategy sequential drivers, for all four strategies, across
+    // randomized spaces, seeds, and budgets. (The legacy GA driver is
+    // the self-driving generational loop; the other three step their
+    // explorers directly.)
+    use afex::core::legacy::LegacyGeneticExplorer;
+    use afex::core::{
+        ExhaustiveExplorer, ExplorerConfig, FitnessExplorer, FnEvaluator, GeneticConfig,
+        RandomExplorer, SearchStrategy, Session, StopCondition,
+    };
+    check(24, 27, |rng, _| {
+        let w = rng.gen_range(6..12usize);
+        let h = rng.gen_range(6..12usize);
+        // Strictly below the space size: the legacy GA driver spins
+        // forever on an exhausted space (one of the reasons it is an
+        // oracle, not the production path).
+        let budget = rng.gen_range(1..w * h * 2 / 3);
+        let seed = rng.gen_range(0..1000u64);
+        let space = FaultSpace::new(vec![
+            Axis::int_range("x", 0, w as i64 - 1),
+            Axis::int_range("y", 0, h as i64 - 1),
+        ])
+        .unwrap();
+        let surface = rand_surface(rng);
+        let eval = FnEvaluator::new(surface);
+        let engine_run = |strategy: SearchStrategy| {
+            Session::new(space.clone(), strategy, seed)
+                .run(&eval, StopCondition::Iterations(budget))
+        };
+        let fit = FitnessExplorer::new(space.clone(), ExplorerConfig::default(), seed)
+            .run(&eval, budget);
+        assert_eq!(
+            engine_run(SearchStrategy::Fitness(ExplorerConfig::default())),
+            fit,
+            "fitness diverged (w={w} h={h} seed={seed} budget={budget})"
+        );
+        assert_eq!(
+            engine_run(SearchStrategy::Random),
+            RandomExplorer::new(space.clone(), seed).run(&eval, budget),
+            "random diverged (w={w} h={h} seed={seed} budget={budget})"
+        );
+        assert_eq!(
+            engine_run(SearchStrategy::Exhaustive),
+            ExhaustiveExplorer::new(space.clone()).run(&eval, budget),
+            "exhaustive diverged (w={w} h={h} seed={seed} budget={budget})"
+        );
+        assert_eq!(
+            engine_run(SearchStrategy::Genetic(GeneticConfig::default())),
+            LegacyGeneticExplorer::new(space.clone(), GeneticConfig::default(), seed)
+                .run(&eval, budget),
+            "genetic diverged (w={w} h={h} seed={seed} budget={budget})"
+        );
+    });
+}
+
+#[test]
+fn parallel_engine_with_one_worker_equals_sequential_byte_for_byte() {
+    // A 1-worker pool has a 1-wide in-flight window: the generate /
+    // complete call sequence is exactly the sequential engine's, so the
+    // session logs must serialize to identical bytes — whichever
+    // strategy is driven.
+    use afex::cluster::ParallelSession;
+    use afex::core::{
+        ExplorerConfig, FnEvaluator, GeneticConfig, SearchStrategy, Session, StopCondition,
+        TraceStore,
+    };
+    check(12, 29, |rng, case| {
+        let n = rng.gen_range(6..12i64);
+        let budget = rng.gen_range(1..50usize);
+        let seed = rng.gen_range(0..1000u64);
+        let space = FaultSpace::new(vec![
+            Axis::int_range("x", 0, n - 1),
+            Axis::int_range("y", 0, n - 1),
+        ])
+        .unwrap();
+        let strategy = match case % 4 {
+            0 => SearchStrategy::Fitness(ExplorerConfig::default()),
+            1 => SearchStrategy::Random,
+            2 => SearchStrategy::Exhaustive,
+            _ => SearchStrategy::Genetic(GeneticConfig::default()),
+        };
+        let surface = rand_surface(rng);
+        let sequential = Session::new(space.clone(), strategy.clone(), seed)
+            .run(&FnEvaluator::new(surface.clone()), StopCondition::Iterations(budget));
+        let mut explorer = strategy.build(space, seed, TraceStore::new());
+        let surface2 = surface.clone();
+        let parallel = ParallelSession::new(1).run_with_stop(
+            explorer.as_mut(),
+            move |_| FnEvaluator::new(surface2.clone()),
+            StopCondition::Iterations(budget),
+        );
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&sequential).unwrap(),
+            "workers=1 must equal sequential byte-for-byte ({strategy:?} seed={seed})"
+        );
+    });
+}
+
 #[test]
 fn explorers_never_repeat_and_respect_budget() {
     use afex::core::{ExplorerConfig, FitnessExplorer, FnEvaluator};
@@ -441,6 +560,7 @@ fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
             1 => StopPolicy::Failures(rng.gen_range(1..9usize)),
             _ => StopPolicy::Crashes(rng.gen_range(1..9usize)),
         },
+        cell_workers: rng.gen_range(1..5usize).into(),
         metric: if rng.gen_bool(0.5) {
             Some(["default", "paper", "crash"][rng.gen_range(0..3usize)].to_owned())
         } else {
@@ -597,6 +717,9 @@ fn chained_campaigns_are_pool_width_independent() {
                 1 => StopPolicy::Failures(rng.gen_range(1..4usize)),
                 _ => StopPolicy::Crashes(1),
             },
+            // Pool-width independence must hold for parallel cells too:
+            // the window is part of the spec, the pool width is not.
+            cell_workers: rng.gen_range(1..3usize).into(),
             metric: None,
         };
         let run = |workers: usize| {
