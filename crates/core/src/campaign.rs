@@ -216,6 +216,87 @@ impl Deserialize for CellWorkers {
     }
 }
 
+/// Wall-clock budget per test for targets that execute real processes.
+///
+/// Simulated targets evaluate in-process and never consult this; the
+/// real-process executor arms its watchdog with it, so the value decides
+/// when a live child is declared hung. It is part of the spec — and
+/// therefore of the snapshot — because hang classification is part of a
+/// cell's outcome: `--resume` must watch with the original budget or the
+/// replay diverges.
+///
+/// Spelled `10s` / `1500ms` in specs, snapshots, and on the CLI; bare
+/// digits mean seconds. The canonical rendering uses whole seconds when
+/// exact and milliseconds otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestTimeout(pub std::time::Duration);
+
+impl Default for TestTimeout {
+    fn default() -> Self {
+        TestTimeout(std::time::Duration::from_secs(10))
+    }
+}
+
+impl TestTimeout {
+    /// Parses the spec/CLI spelling: `Nms`, `Ns`, or bare `N` (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of why `text` is not a
+    /// positive timeout.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let err = || format!("bad timeout `{text}`: expected a duration like 10s, 1500ms, or 10");
+        let (digits, unit_ms) = if let Some(d) = text.strip_suffix("ms") {
+            (d, 1u64)
+        } else if let Some(d) = text.strip_suffix('s') {
+            (d, 1000)
+        } else {
+            (text, 1000)
+        };
+        let n: u64 = digits.parse().map_err(|_| err())?;
+        if n == 0 {
+            return Err(format!(
+                "bad timeout `{text}`: the watchdog budget must be positive"
+            ));
+        }
+        let ms = n.checked_mul(unit_ms).ok_or_else(err)?;
+        Ok(TestTimeout(std::time::Duration::from_millis(ms)))
+    }
+}
+
+impl fmt::Display for TestTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0.as_millis();
+        if ms.is_multiple_of(1000) {
+            write!(f, "{}s", ms / 1000)
+        } else {
+            write!(f, "{ms}ms")
+        }
+    }
+}
+
+impl Serialize for TestTimeout {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for TestTimeout {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::msg("expected timeout string"))?;
+        TestTimeout::parse(s).map_err(serde::Error::msg)
+    }
+
+    /// Snapshots written before real-process targets existed never timed
+    /// a test; they keep resuming under the default watchdog budget
+    /// instead of failing to parse.
+    fn from_missing(_field: &str) -> Result<Self, serde::Error> {
+        Ok(TestTimeout::default())
+    }
+}
+
 /// The `{target} × {strategy} × {seed}` matrix a campaign runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
@@ -233,6 +314,8 @@ pub struct CampaignSpec {
     pub stop: StopPolicy,
     /// In-flight candidates per cell (intra-cell fan-out width).
     pub cell_workers: CellWorkers,
+    /// Wall-clock watchdog budget per test (real-process targets only).
+    pub timeout: TestTimeout,
     /// Impact-metric name (see [`metric_from_name`]) applied to every
     /// cell; `None` means each target's own default.
     pub metric: Option<String>,
@@ -270,6 +353,9 @@ impl CampaignSpec {
         }
         if self.cell_workers.0 == 0 {
             return Err("campaign needs at least one cell worker".into());
+        }
+        if self.timeout.0.is_zero() {
+            return Err("campaign needs a positive test timeout".into());
         }
         for (i, t) in self.targets.iter().enumerate() {
             if !known_target(t) {
@@ -842,6 +928,7 @@ mod tests {
             iterations: 10,
             stop: StopPolicy::Iterations,
             cell_workers: CellWorkers::default(),
+            timeout: TestTimeout::default(),
             metric: None,
         }
     }
@@ -961,6 +1048,52 @@ mod tests {
             CampaignSnapshot::from_json(&old_style).expect("pre-cell-worker snapshot parses");
         assert_eq!(back, snap);
         assert_eq!(back.spec.cell_workers, CellWorkers(1));
+    }
+
+    #[test]
+    fn validate_catches_zero_timeout() {
+        // The watchdog arms with this budget; zero would kill every test
+        // instantly, so a bad spec is rejected up front.
+        let mut bad = spec();
+        bad.timeout = TestTimeout(std::time::Duration::ZERO);
+        assert!(bad.validate(|_| true).unwrap_err().contains("timeout"));
+        bad.timeout = TestTimeout::parse("5s").unwrap();
+        assert!(bad.validate(|_| true).is_ok());
+    }
+
+    #[test]
+    fn timeout_parses_and_displays_roundtrip() {
+        for (text, ms) in [("10s", 10_000), ("1500ms", 1500), ("3", 3000), ("1000ms", 1000)] {
+            let t = TestTimeout::parse(text).unwrap();
+            assert_eq!(t.0, std::time::Duration::from_millis(ms), "{text}");
+        }
+        // Canonical rendering: whole seconds as `Ns`, otherwise `Nms`.
+        assert_eq!(TestTimeout::parse("10s").unwrap().to_string(), "10s");
+        assert_eq!(TestTimeout::parse("1500ms").unwrap().to_string(), "1500ms");
+        assert_eq!(TestTimeout::parse("2000ms").unwrap().to_string(), "2s");
+        assert_eq!(TestTimeout::parse("7").unwrap().to_string(), "7s");
+        for bad in ["", "0", "0s", "0ms", "-1", "1.5s", "fast", "s", "ms"] {
+            assert!(TestTimeout::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pre_timeout_snapshots_still_parse() {
+        // Snapshots written before real-process targets existed have no
+        // `timeout` field; they must keep resuming under the default
+        // watchdog budget.
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(1, outcome(&[3], 1));
+        let json = snap.to_json();
+        assert!(json.contains("\"timeout\": \"10s\""));
+        let old_style: String = json
+            .lines()
+            .filter(|l| !l.contains("\"timeout\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = CampaignSnapshot::from_json(&old_style).expect("pre-timeout snapshot parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.spec.timeout, TestTimeout::default());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod gaussian;
 pub mod genetic;
 pub mod impact;
 pub mod legacy;
+pub mod process;
 pub mod quality;
 pub mod queues;
 pub mod random;
@@ -74,7 +75,7 @@ pub use algorithm::{ExplorerConfig, FitnessExplorer};
 pub use campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignReport, CampaignSnapshot,
     CampaignSpec, CellOutcome, CellState, CellWorkers, ExportRecord, FailureRecord, ResultStore,
-    StopPolicy,
+    StopPolicy, TestTimeout,
 };
 pub use engine::{Engine, Executor, SyncExecutor};
 pub use evaluator::{Evaluation, Evaluator, ExecutedTest, FnEvaluator, OutcomeEvaluator};
@@ -84,6 +85,7 @@ pub use feedback::RedundancyFeedback;
 pub use gaussian::DiscreteGaussian;
 pub use genetic::{GeneticConfig, GeneticExplorer};
 pub use impact::ImpactMetric;
+pub use process::{ProcessEvaluator, ProcessExecutor, ProcessRunner};
 pub use quality::cluster::{cluster_traces, cluster_traces_naive, Cluster, ClusterIndex};
 pub use quality::levenshtein::{
     levenshtein, levenshtein_bounded, levenshtein_bounded_chars, levenshtein_chars,

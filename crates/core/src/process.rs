@@ -1,0 +1,645 @@
+//! Real-process execution: sandboxed, timeout-guarded injection runs.
+//!
+//! The simulated targets in `afex-targets` evaluate a fault in-process;
+//! this module executes one on a *live binary*, the way AFEX's node
+//! managers drive real systems under test (§6.2): spawn the target under
+//! the `LD_PRELOAD` shim with the `AFEX_*` protocol derived from the
+//! fault point, watch it, classify how it died, and read the injection
+//! stack trace the shim logged. Each test runs inside its own sandbox:
+//!
+//! - a fresh temporary directory as working directory, torn down when
+//!   the run finishes — success, failure, or panic;
+//! - resource limits set between `fork` and `exec` (no core dumps, a CPU
+//!   backstop above the watchdog budget, bounded address space and
+//!   process count), so a misbehaving child cannot take the host down;
+//! - `PR_SET_PDEATHSIG`: the kernel SIGKILLs the child if its spawning
+//!   thread dies, so even a `kill -9` of the whole campaign leaves no
+//!   orphans;
+//! - a wall-clock watchdog that escalates SIGTERM → SIGKILL and always
+//!   reaps the child, classifying the run as [`TestStatus::Hung`].
+//!
+//! Sandbox directories are named after the creating process; a sweep at
+//! runner construction removes directories whose creator is dead, so the
+//! one teardown path `Drop` cannot cover (the campaign itself SIGKILLed
+//! mid-test) is healed by the next run.
+//!
+//! [`ProcessExecutor`] adapts all of this to the session engine's
+//! [`Executor`](crate::engine::Executor) contract: one worker thread per
+//! in-flight candidate, transient spawn errors retried with bounded
+//! backoff, and a permanent failure surfaced as `recv() -> None` so the
+//! engine returns what completed instead of wedging.
+
+use crate::engine::Executor;
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::impact::ImpactMetric;
+use crate::queues::PendingTest;
+use afex_inject::{AtomicFault, Coverage, Errno, Func, InjectionRecord, TestOutcome, TestStatus};
+use afex_preload::config::ProcessPlan;
+use afex_preload::log::parse_log;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use std::{fs, io, thread};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn prctl(option: i32, arg2: u64, arg3: u64, arg4: u64, arg5: u64) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// `struct rlimit` on Linux x86-64: soft and hard limit, both `u64`.
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_CPU: i32 = 0;
+const RLIMIT_CORE: i32 = 4;
+const RLIMIT_NPROC: i32 = 6;
+const RLIMIT_AS: i32 = 9;
+const PR_SET_PDEATHSIG: i32 = 1;
+const SIGKILL: i32 = 9;
+const SIGTERM: i32 = 15;
+
+/// Address-space cap for sandboxed children: far above any victim's
+/// needs, far below what would distress the host.
+const SANDBOX_AS_BYTES: u64 = 1 << 30;
+/// Process-count cap: the victim may help itself to a few children, not
+/// to a fork bomb.
+const SANDBOX_NPROC: u64 = 256;
+/// How often the watchdog polls the child.
+const WATCH_POLL: Duration = Duration::from_millis(5);
+/// Spawn attempts before a transient error becomes an executor failure.
+const SPAWN_ATTEMPTS: u32 = 4;
+/// Backoff before the first spawn retry; doubles per attempt.
+const SPAWN_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Whether a spawn error is worth retrying: the kernel ran out of a
+/// resource that load, not the request, exhausted (EAGAIN = 11,
+/// ENOMEM = 12 on Linux).
+fn transient_spawn_error(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(11) | Some(12))
+}
+
+/// Where sandbox directories live: one fixed root, so the stale sweep
+/// can heal after a killed campaign no matter which run created the
+/// leftovers.
+pub fn default_sandbox_root() -> PathBuf {
+    std::env::temp_dir().join("afex-sandboxes")
+}
+
+/// Removes sandbox directories whose creating process is dead.
+///
+/// Directory names embed the creator's pid (`afex-sbx-{pid}-{seq}`);
+/// liveness is checked against `/proc`. Directories of the current
+/// process are never touched (its own runs may be in flight). Returns
+/// how many directories were reclaimed.
+pub fn sweep_stale_sandboxes(root: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(root) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_string_lossy().strip_prefix("afex-sbx-").map(str::to_owned)
+        else {
+            continue;
+        };
+        let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid == std::process::id() {
+            continue;
+        }
+        let creator_alive =
+            !cfg!(target_os = "linux") || Path::new(&format!("/proc/{pid}")).exists();
+        if !creator_alive && fs::remove_dir_all(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// One test's private working directory, removed on drop (any exit path
+/// of the run — including a panic in the worker thread).
+struct Sandbox {
+    dir: PathBuf,
+}
+
+impl Sandbox {
+    fn create(root: &Path, seq: u64) -> Result<Self, String> {
+        let dir = root.join(format!("afex-sbx-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create sandbox {}: {e}", dir.display()))?;
+        Ok(Sandbox { dir })
+    }
+
+    fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Sandbox {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Runs [`ProcessPlan`]s under the full sandbox regime.
+pub struct ProcessRunner {
+    timeout: Duration,
+    grace: Duration,
+    root: PathBuf,
+    seq: AtomicU64,
+}
+
+impl ProcessRunner {
+    /// A runner whose watchdog allows each test `timeout` of wall clock,
+    /// sandboxing under [`default_sandbox_root`]. Sweeps sandboxes left
+    /// by dead processes before the first test runs.
+    pub fn new(timeout: Duration) -> Self {
+        Self::with_root(timeout, default_sandbox_root())
+    }
+
+    /// A runner sandboxing under a caller-chosen root.
+    pub fn with_root(timeout: Duration, root: PathBuf) -> Self {
+        let _ = fs::create_dir_all(&root);
+        sweep_stale_sandboxes(&root);
+        ProcessRunner {
+            timeout,
+            grace: Duration::from_millis(200),
+            root,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The sandbox root this runner creates test directories under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Executes one plan to completion and classifies the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of an *executor* failure (sandbox setup or
+    /// a spawn error that persisted through retries) — never of a test
+    /// failure, which is an `Ok` outcome with a non-passed status.
+    pub fn run(&self, test_id: usize, plan: &ProcessPlan) -> Result<TestOutcome, String> {
+        let sandbox = Sandbox::create(&self.root, self.seq.fetch_add(1, Ordering::Relaxed))?;
+        let log_path = sandbox.path().join("shim.log");
+        let mut cmd = Command::new(&plan.program);
+        cmd.args(&plan.args)
+            .current_dir(sandbox.path())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        // Never leak this process's own protocol variables into the
+        // child: the plan alone decides what gets injected.
+        for var in ["AFEX_FUNC", "AFEX_CALL", "AFEX_ERRNO", "AFEX_SIZE", "AFEX_LOG", "LD_PRELOAD"]
+        {
+            cmd.env_remove(var);
+        }
+        if let Some(shim) = &plan.preload {
+            cmd.env("LD_PRELOAD", shim);
+        }
+        if let Some(injection) = &plan.injection {
+            for (k, v) in injection.clone().with_log(&log_path).vars() {
+                cmd.env(k, v);
+            }
+        }
+        apply_sandbox_limits(&mut cmd, self.timeout);
+        let mut child = spawn_with_retry(&mut cmd, &plan.program)?;
+        let status = match self.watch(&mut child)? {
+            Some(wait) => classify_wait(&wait),
+            None => TestStatus::Hung,
+        };
+        Ok(TestOutcome {
+            test_id,
+            status,
+            coverage: Coverage::new(),
+            injections: read_injections(&log_path),
+        })
+    }
+
+    /// Waits for the child within the watchdog budget. `None` means the
+    /// budget expired: the child was terminated (SIGTERM, then SIGKILL
+    /// after a grace period) and *reaped* — no zombie survives this
+    /// function, whichever path it takes.
+    fn watch(&self, child: &mut Child) -> Result<Option<ExitStatus>, String> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => return Ok(Some(status)),
+                Ok(None) => {}
+                Err(e) => return Err(format!("cannot wait for child: {e}")),
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(WATCH_POLL);
+        }
+        // Hung. Ask nicely first — SIGTERM lets the victim run its own
+        // teardown — then force the issue: SIGKILL cannot be caught, so
+        // the final blocking wait always reaps.
+        // SAFETY: plain signal send to a child we still own.
+        unsafe { kill(child.id() as i32, SIGTERM) };
+        let grace_deadline = Instant::now() + self.grace;
+        while Instant::now() < grace_deadline {
+            if matches!(child.try_wait(), Ok(Some(_))) {
+                return Ok(None);
+            }
+            thread::sleep(WATCH_POLL);
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        Ok(None)
+    }
+}
+
+/// Classifies a reaped wait status (Unix decomposition of exit code vs
+/// terminating signal).
+fn classify_wait(status: &ExitStatus) -> TestStatus {
+    #[cfg(unix)]
+    let signal = std::os::unix::process::ExitStatusExt::signal(status);
+    #[cfg(not(unix))]
+    let signal = None;
+    TestStatus::from_wait(status.code(), signal)
+}
+
+/// Installs the between-fork-and-exec sandbox setup on `cmd`.
+fn apply_sandbox_limits(cmd: &mut Command, timeout: Duration) {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::CommandExt;
+        // CPU backstop above the wall-clock budget: the watchdog owns
+        // hang detection; the kernel only steps in if the watchdog's own
+        // thread is gone.
+        let cpu_secs = timeout.as_secs().saturating_mul(2).saturating_add(2);
+        // SAFETY: the closure runs post-fork pre-exec and only performs
+        // async-signal-safe syscalls (prctl, setrlimit).
+        unsafe {
+            cmd.pre_exec(move || {
+                // Orphan prevention is a correctness guarantee: if it
+                // cannot be armed, don't run the test.
+                if prctl(PR_SET_PDEATHSIG, SIGKILL as u64, 0, 0, 0) != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                // The limits are hardening; a refusal (exotic kernel
+                // config) must not veto the test itself.
+                let set = |resource: i32, value: u64| {
+                    let lim = RLimit {
+                        cur: value,
+                        max: value,
+                    };
+                    setrlimit(resource, &lim);
+                };
+                set(RLIMIT_CORE, 0);
+                set(RLIMIT_CPU, cpu_secs);
+                set(RLIMIT_AS, SANDBOX_AS_BYTES);
+                set(RLIMIT_NPROC, SANDBOX_NPROC);
+                Ok(())
+            });
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = (cmd, timeout);
+}
+
+/// Spawns, retrying transient kernel-resource errors with bounded
+/// exponential backoff so one loaded moment doesn't abort a campaign.
+fn spawn_with_retry(cmd: &mut Command, program: &Path) -> Result<Child, String> {
+    let mut backoff = SPAWN_BACKOFF;
+    let mut attempt = 0;
+    loop {
+        match cmd.spawn() {
+            Ok(child) => return Ok(child),
+            Err(e) if transient_spawn_error(&e) && attempt + 1 < SPAWN_ATTEMPTS => {
+                thread::sleep(backoff);
+                backoff *= 2;
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(format!("cannot spawn {}: {e}", program.display()));
+            }
+        }
+    }
+}
+
+/// Reads the shim's injection log into records. A missing file means the
+/// plan never triggered (an empty record list); a torn tail — the child
+/// died mid-write, though the atomic rename makes that a crash-timing
+/// corner — is healed by the parser, which keeps complete lines only.
+fn read_injections(log_path: &Path) -> Vec<InjectionRecord> {
+    let Ok(text) = fs::read_to_string(log_path) else {
+        return Vec::new();
+    };
+    parse_log(&text)
+        .into_iter()
+        .filter_map(|entry| {
+            let func = Func::from_name(&entry.func)?;
+            let errno = Errno::from_code(entry.errno)?;
+            Some(InjectionRecord {
+                fault: AtomicFault::new(func, entry.call, errno),
+                stack: entry.stack,
+            })
+        })
+        .collect()
+}
+
+/// Maps a fault point to the process test it denotes: the workload id
+/// (the `testID` axis) and the plan to execute.
+pub type PlanFn = dyn Fn(&afex_space::Point) -> (usize, ProcessPlan) + Send + Sync;
+
+/// The [`Evaluator`] over real processes: plans the point, runs it
+/// sandboxed, scores the outcome.
+pub struct ProcessEvaluator {
+    plan: Arc<PlanFn>,
+    runner: Arc<ProcessRunner>,
+    metric: ImpactMetric,
+}
+
+impl ProcessEvaluator {
+    /// Wraps a point→plan mapping with a runner and an impact metric.
+    pub fn new(
+        plan: impl Fn(&afex_space::Point) -> (usize, ProcessPlan) + Send + Sync + 'static,
+        runner: ProcessRunner,
+        metric: ImpactMetric,
+    ) -> Self {
+        ProcessEvaluator {
+            plan: Arc::new(plan),
+            runner: Arc::new(runner),
+            metric,
+        }
+    }
+
+    /// Evaluates one point, distinguishing executor failure from test
+    /// failure (the [`Evaluator`] impl cannot; the executor must).
+    ///
+    /// # Errors
+    ///
+    /// Returns the runner's description of an executor-level failure.
+    pub fn try_evaluate(&self, point: &afex_space::Point) -> Result<Evaluation, String> {
+        let (test_id, plan) = (self.plan)(point);
+        let outcome = self.runner.run(test_id, &plan)?;
+        Ok(Evaluation::from_outcome(&outcome, &self.metric))
+    }
+}
+
+impl Evaluator for ProcessEvaluator {
+    fn evaluate(&self, point: &afex_space::Point) -> Evaluation {
+        // Degraded mode for the synchronous path: an executor failure
+        // scores zero instead of tearing the session down.
+        self.try_evaluate(point).unwrap_or_else(|_| Evaluation::zero())
+    }
+}
+
+/// The session engine's [`Executor`] over real processes: one worker
+/// thread per in-flight candidate (the engine's window bounds them),
+/// completions delivered over a channel in whatever order children
+/// finish — the engine reorders.
+pub struct ProcessExecutor {
+    eval: Arc<ProcessEvaluator>,
+    tx: mpsc::Sender<(u64, Result<Evaluation, String>)>,
+    rx: mpsc::Receiver<(u64, Result<Evaluation, String>)>,
+    workers: Vec<thread::JoinHandle<()>>,
+    error: Option<String>,
+}
+
+impl ProcessExecutor {
+    /// Wraps an evaluator.
+    pub fn new(eval: ProcessEvaluator) -> Self {
+        let (tx, rx) = mpsc::channel();
+        ProcessExecutor {
+            eval: Arc::new(eval),
+            tx,
+            rx,
+            workers: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Why the executor stopped, if it did: the first executor-level
+    /// failure (spawn retries exhausted, sandbox setup refused).
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Joins worker threads that already finished, keeping the handle
+    /// list proportional to the in-flight window rather than the session
+    /// length.
+    fn reap_workers(&mut self) {
+        let mut live = Vec::with_capacity(self.workers.len());
+        for handle in self.workers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        self.workers = live;
+    }
+}
+
+impl Executor for ProcessExecutor {
+    fn submit(&mut self, id: u64, test: &PendingTest) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        self.reap_workers();
+        let eval = Arc::clone(&self.eval);
+        let tx = self.tx.clone();
+        let point = test.point.clone();
+        self.workers.push(thread::spawn(move || {
+            let result = eval.try_evaluate(&point);
+            let _ = tx.send((id, result));
+        }));
+        true
+    }
+
+    fn recv(&mut self) -> Option<(u64, Evaluation)> {
+        match self.rx.recv() {
+            Ok((id, Ok(evaluation))) => Some((id, evaluation)),
+            Ok((_, Err(e))) => {
+                // Executor-level failure: report it once, stop issuing,
+                // let the engine return what completed.
+                self.error = Some(e);
+                None
+            }
+            // Unreachable while `self.tx` lives, but a `None` here is
+            // the contractually correct "no further results".
+            Err(_) => None,
+        }
+    }
+}
+
+impl Drop for ProcessExecutor {
+    fn drop(&mut self) {
+        // Wait for in-flight tests: each worker owns a watchdog that
+        // bounds its lifetime, and joining guarantees every child is
+        // reaped and every sandbox removed before the executor is gone.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afex_space::Point;
+
+    fn sh(script: &str) -> ProcessPlan {
+        ProcessPlan::bare("/bin/sh", vec!["-c".into(), script.into()])
+    }
+
+    fn runner(timeout_ms: u64) -> ProcessRunner {
+        ProcessRunner::with_root(
+            Duration::from_millis(timeout_ms),
+            std::env::temp_dir().join(format!(
+                "afex-proc-tests-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            )),
+        )
+    }
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    #[test]
+    fn exit_codes_classify() {
+        let r = runner(5000);
+        assert_eq!(r.run(0, &sh("exit 0")).unwrap().status, TestStatus::Passed);
+        assert_eq!(r.run(0, &sh("exit 3")).unwrap().status, TestStatus::Failed);
+    }
+
+    #[test]
+    fn fatal_signals_classify_as_crashes() {
+        let r = runner(5000);
+        let status = r.run(0, &sh("kill -SEGV $$")).unwrap().status;
+        assert_eq!(status, TestStatus::Crashed("SIGSEGV".into()));
+    }
+
+    #[test]
+    fn watchdog_classifies_hangs_within_budget() {
+        let r = runner(200);
+        let start = Instant::now();
+        let outcome = r.run(7, &sh("sleep 30")).unwrap();
+        assert_eq!(outcome.status, TestStatus::Hung);
+        assert_eq!(outcome.test_id, 7);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "watchdog must not wait out the sleep: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn sigterm_resistant_hangs_still_die() {
+        let r = runner(200);
+        let start = Instant::now();
+        let outcome = r.run(0, &sh("trap '' TERM; sleep 30")).unwrap();
+        assert_eq!(outcome.status, TestStatus::Hung);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sandboxes_are_removed_after_each_run() {
+        let r = runner(5000);
+        // The child writes into its cwd — the sandbox — and teardown
+        // removes it all.
+        r.run(0, &sh("echo data > file.txt")).unwrap();
+        r.run(0, &sh("exit 1")).unwrap();
+        let entries: Vec<_> = fs::read_dir(r.root()).unwrap().flatten().collect();
+        assert!(entries.is_empty(), "{entries:?}");
+    }
+
+    #[test]
+    fn stale_sweep_reclaims_dead_creators_only() {
+        let root = std::env::temp_dir().join(format!("afex-sweep-test-{}", std::process::id()));
+        fs::create_dir_all(&root).unwrap();
+        // Pid 4291000000 is far outside any real pid range: dead.
+        let dead = root.join("afex-sbx-4291000000-0");
+        let ours = root.join(format!("afex-sbx-{}-3", std::process::id()));
+        let unrelated = root.join("somebody-elses-dir");
+        for d in [&dead, &ours, &unrelated] {
+            fs::create_dir_all(d).unwrap();
+        }
+        assert_eq!(sweep_stale_sandboxes(&root), 1);
+        assert!(!dead.exists(), "dead creator's sandbox must be swept");
+        assert!(ours.exists(), "live creator's sandbox must survive");
+        assert!(unrelated.exists(), "non-sandbox dirs are never touched");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn transient_errors_are_the_retryable_set() {
+        assert!(transient_spawn_error(&io::Error::from_raw_os_error(11)));
+        assert!(transient_spawn_error(&io::Error::from_raw_os_error(12)));
+        assert!(!transient_spawn_error(&io::Error::from_raw_os_error(2)));
+        assert!(!transient_spawn_error(&io::Error::other("boom")));
+    }
+
+    #[test]
+    fn missing_binary_is_an_executor_error() {
+        let r = runner(5000);
+        let plan = ProcessPlan::bare("/no/such/binary", vec![]);
+        let err = r.run(0, &plan).unwrap_err();
+        assert!(err.contains("/no/such/binary"), "{err}");
+    }
+
+    #[test]
+    fn executor_runs_candidates_and_reports_completions() {
+        let eval = ProcessEvaluator::new(
+            |p: &Point| (p[0], sh(if p[0] == 0 { "exit 0" } else { "exit 1" })),
+            runner(5000),
+            ImpactMetric::default(),
+        );
+        let mut exec = ProcessExecutor::new(eval);
+        for id in 0..2 {
+            let test = PendingTest {
+                point: Point::new(vec![id as usize]),
+                mutated_axis: None,
+            };
+            assert!(exec.submit(id, &test));
+        }
+        let mut seen = std::collections::BTreeMap::new();
+        for _ in 0..2 {
+            let (id, ev) = exec.recv().expect("both candidates complete");
+            seen.insert(id, ev.failed);
+        }
+        assert_eq!(seen.get(&0), Some(&false));
+        assert_eq!(seen.get(&1), Some(&true));
+    }
+
+    #[test]
+    fn executor_failure_surfaces_as_none() {
+        let eval = ProcessEvaluator::new(
+            |_: &Point| (0, ProcessPlan::bare("/no/such/binary", vec![])),
+            runner(5000),
+            ImpactMetric::default(),
+        );
+        let mut exec = ProcessExecutor::new(eval);
+        let test = PendingTest {
+            point: Point::new(vec![0]),
+            mutated_axis: None,
+        };
+        assert!(exec.submit(0, &test));
+        assert!(exec.recv().is_none(), "spawn failure must end the stream");
+        assert!(exec.error().unwrap().contains("/no/such/binary"));
+        assert!(!exec.submit(1, &test), "a dead executor refuses work");
+    }
+
+    #[test]
+    fn degraded_evaluator_scores_zero_on_executor_failure() {
+        let eval = ProcessEvaluator::new(
+            |_: &Point| (0, ProcessPlan::bare("/no/such/binary", vec![])),
+            runner(5000),
+            ImpactMetric::default(),
+        );
+        assert_eq!(eval.evaluate(&Point::new(vec![0])), Evaluation::zero());
+    }
+}

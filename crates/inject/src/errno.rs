@@ -158,6 +158,13 @@ impl Errno {
     pub fn from_name(s: &str) -> Option<Errno> {
         Errno::ALL.iter().copied().find(|e| e.name() == s)
     }
+
+    /// Looks up an errno by its Linux x86-64 numeric value — the inverse
+    /// of [`Errno::code`], used when decoding the shim's injection log
+    /// (which records the raw value it wrote into the child's errno).
+    pub fn from_code(code: i32) -> Option<Errno> {
+        Errno::ALL.iter().copied().find(|e| e.code() == code)
+    }
 }
 
 impl fmt::Display for Errno {
@@ -198,5 +205,14 @@ mod tests {
     #[test]
     fn display_is_symbolic() {
         assert_eq!(Errno::EIO.to_string(), "EIO");
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for e in Errno::ALL {
+            assert_eq!(Errno::from_code(e.code()), Some(e));
+        }
+        assert_eq!(Errno::from_code(0), None);
+        assert_eq!(Errno::from_code(-1), None);
     }
 }

@@ -45,6 +45,32 @@ pub enum TestStatus {
 }
 
 impl TestStatus {
+    /// Classifies the wait status of a reaped child process, as decomposed
+    /// into its exit code (normal termination) or terminating signal.
+    ///
+    /// - exit 0 → [`TestStatus::Passed`]: the workload completed and its
+    ///   own checks held (graceful recovery from the injected fault, or a
+    ///   plan that never triggered).
+    /// - nonzero exit → [`TestStatus::Failed`]: the workload detected the
+    ///   fault and bailed out deliberately.
+    /// - fatal signal → [`TestStatus::Crashed`] named after the signal
+    ///   (`SIGSEGV`, `SIGABRT`, …): the recovery code itself broke.
+    ///
+    /// Watchdog timeouts never reach this function — the executor reports
+    /// [`TestStatus::Hung`] directly, since after a SIGKILL the wait
+    /// status says "killed" without saying *why*.
+    pub fn from_wait(exit_code: Option<i32>, signal: Option<i32>) -> TestStatus {
+        match (exit_code, signal) {
+            (Some(0), _) => TestStatus::Passed,
+            (Some(_), _) => TestStatus::Failed,
+            (None, Some(sig)) => TestStatus::Crashed(signal_name(sig)),
+            // No exit code and no signal: the platform reported something
+            // unclassifiable (e.g. stopped). Treat it as a crash so it is
+            // never mistaken for recovery.
+            (None, None) => TestStatus::Crashed("unknown wait status".to_owned()),
+        }
+    }
+
     /// Whether the run ended in a crash.
     pub fn is_crash(&self) -> bool {
         matches!(self, TestStatus::Crashed(_))
@@ -65,6 +91,34 @@ impl fmt::Display for TestStatus {
             TestStatus::Hung => f.write_str("hung"),
         }
     }
+}
+
+/// Symbolic name of a Linux fatal signal, `"signal {n}"` for the rest.
+///
+/// Covers the signals a fault-injected child realistically dies from:
+/// memory errors (SIGSEGV/SIGBUS), aborts, arithmetic faults, rlimit
+/// kills (SIGXCPU/SIGXFSZ), and the watchdog's own SIGTERM/SIGKILL.
+pub fn signal_name(sig: i32) -> String {
+    let name = match sig {
+        1 => "SIGHUP",
+        2 => "SIGINT",
+        3 => "SIGQUIT",
+        4 => "SIGILL",
+        5 => "SIGTRAP",
+        6 => "SIGABRT",
+        7 => "SIGBUS",
+        8 => "SIGFPE",
+        9 => "SIGKILL",
+        11 => "SIGSEGV",
+        13 => "SIGPIPE",
+        14 => "SIGALRM",
+        15 => "SIGTERM",
+        24 => "SIGXCPU",
+        25 => "SIGXFSZ",
+        31 => "SIGSYS",
+        _ => return format!("signal {sig}"),
+    };
+    name.to_owned()
 }
 
 /// Everything observed while executing one fault-injection test.
@@ -147,6 +201,30 @@ mod tests {
         };
         assert!(!none.triggered());
         assert_eq!(none.injection_trace(), None);
+    }
+
+    #[test]
+    fn wait_status_classification() {
+        assert_eq!(TestStatus::from_wait(Some(0), None), TestStatus::Passed);
+        assert_eq!(TestStatus::from_wait(Some(1), None), TestStatus::Failed);
+        assert_eq!(TestStatus::from_wait(Some(2), None), TestStatus::Failed);
+        assert_eq!(
+            TestStatus::from_wait(None, Some(11)),
+            TestStatus::Crashed("SIGSEGV".into())
+        );
+        assert_eq!(
+            TestStatus::from_wait(None, Some(6)),
+            TestStatus::Crashed("SIGABRT".into())
+        );
+        assert!(TestStatus::from_wait(None, None).is_crash());
+    }
+
+    #[test]
+    fn signal_names() {
+        assert_eq!(signal_name(11), "SIGSEGV");
+        assert_eq!(signal_name(9), "SIGKILL");
+        assert_eq!(signal_name(24), "SIGXCPU");
+        assert_eq!(signal_name(64), "signal 64");
     }
 
     #[test]

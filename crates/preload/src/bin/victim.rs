@@ -9,6 +9,11 @@
 //! - `alloc-unchecked <n>` — same but writes through the pointer without
 //!   a NULL check: under an injected malloc failure this segfaults, the
 //!   miniature of the Apache Fig. 7 bug on a real process.
+//! - `spin` — one checked `malloc`, then sleeps forever: the
+//!   stops-making-progress case a wall-clock watchdog must classify as
+//!   hung. Sleeps (rather than busy-loops) so a CPU rlimit cannot kill
+//!   it first — the hang must be caught by the watchdog, not by the
+//!   kernel.
 
 use std::ffi::{c_char, c_int, c_void};
 
@@ -65,8 +70,13 @@ const VICTIM_ALLOC_SIZE: usize = 4242;
 
 fn run_alloc(n: usize, checked: bool) -> i32 {
     for i in 1..=n {
+        // black_box + write_volatile: LLVM treats `malloc` as a known
+        // allocator and at -O3 deletes a malloc/dead-store/free triple
+        // outright — which would leave the optimized victim with no
+        // malloc calls to inject into. Opaque pointer + volatile store
+        // keep the calls (and the unchecked segfault) in every profile.
         // SAFETY: plain allocation request.
-        let p = unsafe { malloc(VICTIM_ALLOC_SIZE) };
+        let p = std::hint::black_box(unsafe { malloc(VICTIM_ALLOC_SIZE) });
         if checked && p.is_null() {
             eprintln!("victim: malloc #{i} failed: errno {}", errno());
             return 1;
@@ -75,12 +85,33 @@ fn run_alloc(n: usize, checked: bool) -> i32 {
         // which is the point of the `alloc-unchecked` mode.
         // SAFETY (checked mode): `p` is non-null and at least 64 bytes.
         unsafe {
-            *(p as *mut u8) = 0xAA;
+            std::ptr::write_volatile(p as *mut u8, 0xAA);
             free(p);
         }
     }
     println!("victim: {n} allocations ok");
     0
+}
+
+/// One checked allocation (injectable, exits 1 gracefully if it fails),
+/// then no further progress, ever. The recovery property under test is
+/// the *driver's*: its watchdog must kill this process and classify the
+/// outcome as hung.
+fn run_spin() -> i32 {
+    // black_box for the same reason as `run_alloc`: the injectable
+    // malloc must survive -O3.
+    // SAFETY: plain allocation request.
+    let p = std::hint::black_box(unsafe { malloc(VICTIM_ALLOC_SIZE) });
+    if p.is_null() {
+        eprintln!("victim: malloc failed before spin: errno {}", errno());
+        return 1;
+    }
+    // SAFETY: `p` is non-null.
+    unsafe { free(p) };
+    println!("victim: spinning forever");
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
 }
 
 fn main() {
@@ -93,8 +124,9 @@ fn main() {
         Some("alloc-unchecked") => {
             run_alloc(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4), false)
         }
+        Some("spin") => run_spin(),
         _ => {
-            eprintln!("usage: victim <read-file|alloc|alloc-unchecked> [arg]");
+            eprintln!("usage: victim <read-file|alloc|alloc-unchecked|spin> [arg]");
             2
         }
     };

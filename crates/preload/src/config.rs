@@ -1,11 +1,15 @@
 //! Driver-side construction of the shim's environment protocol.
 
+use std::path::PathBuf;
+
 /// One injection request, rendered as environment variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionEnv {
     func: String,
     call: u32,
     errno: i32,
+    size: Option<usize>,
+    log: Option<PathBuf>,
 }
 
 impl InjectionEnv {
@@ -15,16 +19,86 @@ impl InjectionEnv {
             func: func.into(),
             call,
             errno,
+            size: None,
+            log: None,
         }
+    }
+
+    /// Adds an allocation-size predicate: only calls with exactly this
+    /// size argument count toward the call number (LFI-style injection
+    /// point argument filter — pins application allocations amid the
+    /// runtime's own).
+    #[must_use]
+    pub fn with_size(mut self, size: usize) -> Self {
+        self.size = Some(size);
+        self
+    }
+
+    /// Asks the shim to record every performed injection (function, call,
+    /// errno, captured stack) in this file — see [`crate::log`].
+    #[must_use]
+    pub fn with_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.log = Some(path.into());
+        self
+    }
+
+    /// The targeted function name.
+    pub fn func(&self) -> &str {
+        &self.func
     }
 
     /// The `(name, value)` pairs to set on the child process.
     pub fn vars(&self) -> Vec<(String, String)> {
-        vec![
+        let mut vars = vec![
             ("AFEX_FUNC".to_owned(), self.func.clone()),
             ("AFEX_CALL".to_owned(), self.call.to_string()),
             ("AFEX_ERRNO".to_owned(), self.errno.to_string()),
-        ]
+        ];
+        if let Some(size) = self.size {
+            vars.push(("AFEX_SIZE".to_owned(), size.to_string()));
+        }
+        if let Some(log) = &self.log {
+            vars.push(("AFEX_LOG".to_owned(), log.display().to_string()));
+        }
+        vars
+    }
+}
+
+/// Everything needed to run one real-process fault-injection test: the
+/// target binary, its arguments, and the interposition setup. The
+/// executor (in `afex-core`) supplies the sandbox, the timeout, and the
+/// log path; this is the pure description the space/targets layer
+/// produces per fault point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessPlan {
+    /// The binary to execute.
+    pub program: PathBuf,
+    /// Its command-line arguments.
+    pub args: Vec<String>,
+    /// The injection to perform, if any (`None` runs the bare workload —
+    /// the "no injection" fault points).
+    pub injection: Option<InjectionEnv>,
+    /// The interposition cdylib to `LD_PRELOAD`, if the plan injects.
+    pub preload: Option<PathBuf>,
+}
+
+impl ProcessPlan {
+    /// A bare run of `program` with `args`: no shim, no injection.
+    pub fn bare(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        ProcessPlan {
+            program: program.into(),
+            args,
+            injection: None,
+            preload: None,
+        }
+    }
+
+    /// Adds an injection performed through the given preload shim.
+    #[must_use]
+    pub fn with_injection(mut self, shim: impl Into<PathBuf>, env: InjectionEnv) -> Self {
+        self.preload = Some(shim.into());
+        self.injection = Some(env);
+        self
     }
 }
 
@@ -39,5 +113,25 @@ mod tests {
         assert!(vars.contains(&("AFEX_FUNC".into(), "malloc".into())));
         assert!(vars.contains(&("AFEX_CALL".into(), "3".into())));
         assert!(vars.contains(&("AFEX_ERRNO".into(), "12".into())));
+        assert!(!vars.iter().any(|(k, _)| k == "AFEX_SIZE" || k == "AFEX_LOG"));
+    }
+
+    #[test]
+    fn size_and_log_render_when_set() {
+        let e = InjectionEnv::new("malloc", 1, 12)
+            .with_size(4242)
+            .with_log("/tmp/shim.log");
+        let vars = e.vars();
+        assert!(vars.contains(&("AFEX_SIZE".into(), "4242".into())));
+        assert!(vars.contains(&("AFEX_LOG".into(), "/tmp/shim.log".into())));
+    }
+
+    #[test]
+    fn plans_carry_the_preload_setup() {
+        let bare = ProcessPlan::bare("/bin/victim", vec!["alloc".into()]);
+        assert!(bare.injection.is_none() && bare.preload.is_none());
+        let injected = bare.with_injection("/lib/shim.so", InjectionEnv::new("read", 2, 5));
+        assert_eq!(injected.preload.as_deref(), Some(std::path::Path::new("/lib/shim.so")));
+        assert_eq!(injected.injection.unwrap().func(), "read");
     }
 }

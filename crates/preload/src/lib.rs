@@ -15,6 +15,8 @@
 //! | `AFEX_FUNC` | function to fail: `malloc`, `read`, `fopen`, `close` |
 //! | `AFEX_CALL` | 1-based call number to fail (default 1) |
 //! | `AFEX_ERRNO` | errno value to set (default: function-appropriate) |
+//! | `AFEX_SIZE` | only `malloc` calls of exactly this size count |
+//! | `AFEX_LOG` | file the shim logs performed injections to ([`log`]) |
 //!
 //! # Examples
 //!
@@ -32,4 +34,6 @@
 //! ```
 
 pub mod config;
+pub mod locate;
+pub mod log;
 pub mod shim;

@@ -1,0 +1,130 @@
+//! The machine-readable shim log: how an injection performed inside a
+//! real process reaches the driver.
+//!
+//! When the `AFEX_LOG` protocol variable names a file, the shim records
+//! every injection it performs there — the intercepted function, the call
+//! number, the errno it set, and the stack captured at the injection
+//! point (glibc `backtrace` resolved through `dladdr`). The driver reads
+//! the file after reaping the child and turns each entry into an
+//! injection record, which is where a real process's clustering trace
+//! comes from.
+//!
+//! The format is deliberately trivial — one tab-separated line per
+//! injection, stack frames joined with `>`:
+//!
+//! ```text
+//! malloc\t1\t12\tvictim+0x1a2b>libafex_preload.so+0x3c4d>malloc
+//! ```
+//!
+//! The shim writes the whole log atomically (temp file + rename in the
+//! same directory), so the driver normally sees either no file or a
+//! complete one. The parser still heals a torn tail the way the corpus
+//! exporter does — a final line without its newline, the mark of a
+//! process dying mid-write on a filesystem where the rename discipline
+//! broke down, is dropped rather than corrupting the whole read.
+
+/// One injection the shim performed, as parsed back from the log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShimLogEntry {
+    /// Name of the intercepted libc function.
+    pub func: String,
+    /// 1-based call number that was failed.
+    pub call: u32,
+    /// The errno value the shim set.
+    pub errno: i32,
+    /// Stack frames at the injection point, outermost first. The
+    /// innermost frame is the interposed function itself.
+    pub stack: Vec<String>,
+}
+
+impl ShimLogEntry {
+    /// Renders the entry as one log line (no trailing newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.func,
+            self.call,
+            self.errno,
+            self.stack.join(">")
+        )
+    }
+
+    /// Parses one complete log line.
+    pub fn parse(line: &str) -> Option<ShimLogEntry> {
+        let mut parts = line.splitn(4, '\t');
+        let func = parts.next()?.to_owned();
+        let call = parts.next()?.parse().ok()?;
+        let errno = parts.next()?.parse().ok()?;
+        let stack = match parts.next() {
+            None | Some("") => Vec::new(),
+            Some(s) => s.split('>').map(str::to_owned).collect(),
+        };
+        if func.is_empty() {
+            return None;
+        }
+        Some(ShimLogEntry {
+            func,
+            call,
+            errno,
+            stack,
+        })
+    }
+}
+
+/// Parses a shim log's text into its entries. Only lines terminated by a
+/// newline count — a torn trailing line is dropped (torn-tail healing),
+/// and malformed complete lines are skipped rather than failing the whole
+/// read (the log is advisory sensor data, not the source of truth for
+/// pass/fail).
+pub fn parse_log(text: &str) -> Vec<ShimLogEntry> {
+    let complete = text.rfind('\n').map_or(0, |i| i + 1);
+    text[..complete]
+        .lines()
+        .filter_map(ShimLogEntry::parse)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> ShimLogEntry {
+        ShimLogEntry {
+            func: "malloc".into(),
+            call: 3,
+            errno: 12,
+            stack: vec!["victim+0x10".into(), "malloc".into()],
+        }
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let e = entry();
+        assert_eq!(ShimLogEntry::parse(&e.render()), Some(e.clone()));
+        let bare = ShimLogEntry {
+            stack: vec![],
+            ..entry()
+        };
+        assert_eq!(ShimLogEntry::parse(&bare.render()), Some(bare));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let full = format!("{}\n", entry().render());
+        assert_eq!(parse_log(&full).len(), 1);
+        // The same bytes without the final newline: a torn write.
+        let torn = entry().render();
+        assert!(parse_log(&torn).is_empty());
+        // A complete line followed by a torn one keeps the complete one.
+        let mixed = format!("{}\nmalloc\t1", entry().render());
+        assert_eq!(parse_log(&mixed).len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let text = "not a log line\nmalloc\tx\t12\t\n";
+        assert!(parse_log(text).is_empty());
+        let ok = format!("garbage\n{}\n", entry().render());
+        assert_eq!(parse_log(&ok).len(), 1);
+    }
+}

@@ -11,16 +11,29 @@
 //! variables allocates). A thread-local re-entrancy flag makes any
 //! allocation performed *during* configuration pass straight through.
 
+use crate::log::ShimLogEntry;
 use std::cell::Cell;
-use std::ffi::{c_char, c_int, c_void};
+use std::ffi::{c_char, c_int, c_void, CStr};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 /// `RTLD_NEXT` on glibc: resolve the next occurrence of the symbol.
 const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
 
+/// `Dl_info` for `dladdr`: where an address lives and what symbol (if
+/// any, dynamic symbols only) it resolves to.
+#[repr(C)]
+struct DlInfo {
+    dli_fname: *const c_char,
+    dli_fbase: *mut c_void,
+    dli_sname: *const c_char,
+    dli_saddr: *mut c_void,
+}
+
 extern "C" {
     fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dladdr(addr: *const c_void, info: *mut DlInfo) -> c_int;
+    fn backtrace(buffer: *mut *mut c_void, size: c_int) -> c_int;
     fn __errno_location() -> *mut c_int;
 }
 
@@ -46,12 +59,17 @@ struct Config {
 
 static CONFIG: OnceLock<Option<Config>> = OnceLock::new();
 
+/// Path of the machine-readable injection log (`AFEX_LOG`), if asked
+/// for. Kept outside [`Config`] so the config stays `Copy`.
+static LOG_PATH: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+
 thread_local! {
     /// Set while parsing configuration: wrapped functions pass through.
     static REENTRANT: Cell<bool> = const { Cell::new(false) };
 }
 
 fn parse_config() -> Option<Config> {
+    let _ = LOG_PATH.set(std::env::var("AFEX_LOG").ok().map(Into::into));
     let func = std::env::var("AFEX_FUNC").ok()?;
     let target = match func.as_str() {
         "malloc" => Target::Malloc,
@@ -111,12 +129,120 @@ fn should_fail(target: Target, counter: &AtomicU32, arg_size: Option<usize>) -> 
     if count != cfg.call {
         return false;
     }
+    // Record the injection before touching errno: the log write performs
+    // its own syscalls, which would clobber the value we are about to
+    // plant for the application.
+    log_injection(target, cfg);
     // SAFETY: `__errno_location` returns the calling thread's valid errno
     // slot for the thread's lifetime; writing a plain `c_int` is sound.
     unsafe {
         *__errno_location() = cfg.errno;
     }
     true
+}
+
+fn target_name(target: Target) -> &'static str {
+    match target {
+        Target::Malloc => "malloc",
+        Target::Read => "read",
+        Target::Fopen => "fopen",
+        Target::Close => "close",
+    }
+}
+
+/// Captures the stack at the injection point, outermost frame first,
+/// with the shim's own frames dropped — the driver renders the trace as
+/// `a>b>c>libcfn`, appending the intercepted function itself.
+///
+/// Frames are resolved with `dladdr`: dynamic symbols get their name,
+/// everything else (the victim's internal functions are not exported)
+/// gets `object+0xoffset` with the offset relative to the object's load
+/// base, so the rendering is stable under ASLR.
+fn capture_stack() -> Vec<String> {
+    const MAX_FRAMES: usize = 64;
+    let mut addrs = [std::ptr::null_mut(); MAX_FRAMES];
+    // SAFETY: `addrs` is a valid writable buffer of MAX_FRAMES pointers.
+    let depth = unsafe { backtrace(addrs.as_mut_ptr(), MAX_FRAMES as c_int) } as usize;
+    let own_base = object_base(capture_stack as *const c_void);
+    let mut frames = Vec::new();
+    // backtrace reports innermost-first; the log wants outermost-first.
+    for &addr in addrs[..depth.min(MAX_FRAMES)].iter().rev() {
+        let mut info = DlInfo {
+            dli_fname: std::ptr::null(),
+            dli_fbase: std::ptr::null_mut(),
+            dli_sname: std::ptr::null(),
+            dli_saddr: std::ptr::null_mut(),
+        };
+        // SAFETY: `info` is a valid out-parameter; dladdr tolerates any
+        // address and reports failure via its return value.
+        if unsafe { dladdr(addr, &mut info) } == 0 {
+            frames.push("?".to_owned());
+            continue;
+        }
+        if !info.dli_fbase.is_null() && info.dli_fbase == own_base {
+            continue; // The shim's own machinery is not the victim's stack.
+        }
+        if !info.dli_sname.is_null() {
+            // SAFETY: dladdr returned a valid NUL-terminated symbol name.
+            let name = unsafe { CStr::from_ptr(info.dli_sname) };
+            frames.push(name.to_string_lossy().into_owned());
+        } else if !info.dli_fname.is_null() && !info.dli_fbase.is_null() {
+            // SAFETY: dladdr returned a valid NUL-terminated object path.
+            let fname = unsafe { CStr::from_ptr(info.dli_fname) };
+            let object = fname.to_string_lossy();
+            let object = object.rsplit('/').next().unwrap_or("?").to_owned();
+            frames.push(format!("{object}+{:#x}", addr as usize - info.dli_fbase as usize));
+        } else {
+            frames.push("?".to_owned());
+        }
+    }
+    frames
+}
+
+/// The load base of the object containing `addr` (null if unknown).
+fn object_base(addr: *const c_void) -> *mut c_void {
+    let mut info = DlInfo {
+        dli_fname: std::ptr::null(),
+        dli_fbase: std::ptr::null_mut(),
+        dli_sname: std::ptr::null(),
+        dli_saddr: std::ptr::null_mut(),
+    };
+    // SAFETY: `info` is a valid out-parameter.
+    if unsafe { dladdr(addr, &mut info) } == 0 {
+        return std::ptr::null_mut();
+    }
+    info.dli_fbase
+}
+
+/// Writes the injection record to the `AFEX_LOG` file, atomically (temp
+/// file in the same directory + rename): the driver either sees no log
+/// or a complete one, never a torn line — and its parser drops torn
+/// tails anyway should the rename discipline break down.
+///
+/// Runs with the re-entrancy flag set: the write's own allocations and
+/// `close` calls pass straight through the wrappers instead of being
+/// counted (or failed) as the application's.
+fn log_injection(target: Target, cfg: Config) {
+    let Some(Some(path)) = LOG_PATH.get().map(Option::as_ref) else {
+        return;
+    };
+    REENTRANT.with(|r| r.set(true));
+    let entry = ShimLogEntry {
+        func: target_name(target).to_owned(),
+        call: cfg.call,
+        errno: cfg.errno,
+        stack: capture_stack(),
+    };
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(format!(".{}.tmp", std::process::id()));
+        std::path::PathBuf::from(os)
+    };
+    let line = entry.render() + "\n";
+    if std::fs::write(&tmp, line).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+    REENTRANT.with(|r| r.set(false));
 }
 
 /// Resolves (and caches) the real `name` via `dlsym(RTLD_NEXT, ...)`.

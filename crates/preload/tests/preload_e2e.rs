@@ -5,20 +5,17 @@
 //! `AFEX_*` protocol variables directly so that this test binary does not
 //! link the shim's interposed symbols itself.
 
+use afex_preload::locate;
+use afex_preload::log::parse_log;
 use std::path::PathBuf;
 use std::process::Command;
 
-/// Path of the built cdylib (same target dir as this test binary).
+/// Path of the built cdylib — the shared runtime resolver (honoring
+/// `AFEX_SHIM_PATH`, then searching next to the running executable), the
+/// same one the real-process executor uses, instead of the old hardcoded
+/// `target/{debug,release}` guess that broke under custom target dirs.
 fn shim_path() -> PathBuf {
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop(); // crates/
-    p.pop(); // repo root.
-    let profile = if cfg!(debug_assertions) {
-        "debug"
-    } else {
-        "release"
-    };
-    p.join("target").join(profile).join("libafex_preload.so")
+    locate::shim_path().expect("shim cdylib must be built alongside this test binary")
 }
 
 fn victim() -> Command {
@@ -121,6 +118,65 @@ fn call_number_targets_the_exact_call() {
         .output()
         .unwrap();
     assert!(miss.status.success(), "{miss:?}");
+}
+
+#[test]
+fn shim_writes_the_injection_log() {
+    let dir = std::env::temp_dir().join(format!("afex-shimlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("shim.log");
+    let out = preloaded("malloc", 1, 12)
+        .env("AFEX_LOG", &log)
+        .args(["alloc", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = std::fs::read_to_string(&log).expect("shim must write the log");
+    let entries = parse_log(&text);
+    assert_eq!(entries.len(), 1, "{text}");
+    assert_eq!(entries[0].func, "malloc");
+    assert_eq!(entries[0].call, 1);
+    assert_eq!(entries[0].errno, 12);
+    // The captured stack excludes the shim's own frames; whatever else
+    // symbolizes, the victim object itself must appear on it.
+    assert!(
+        entries[0].stack.iter().any(|f| f.contains("victim")),
+        "stack lacks the victim: {:?}",
+        entries[0].stack
+    );
+    // No temp file may survive the atomic write.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missed_injection_writes_no_log() {
+    let dir = std::env::temp_dir().join(format!("afex-shimlog-miss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("shim.log");
+    let out = preloaded("malloc", 999, 12)
+        .env("AFEX_LOG", &log)
+        .args(["alloc", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(!log.exists(), "untriggered plan must leave no log");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spin_victim_fails_gracefully_on_injected_malloc() {
+    // The spin mode's one allocation is checked: injecting it exercises
+    // the graceful-exit path rather than the hang.
+    let out = preloaded("malloc", 1, 12).args(["spin"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("malloc failed before spin"), "{err}");
 }
 
 #[test]

@@ -37,6 +37,7 @@ pub mod docstore;
 pub mod harness;
 pub mod httpd;
 pub mod minidb;
+pub mod proc;
 pub mod spaces;
 pub mod spaces_multi;
 pub mod vfs;

@@ -8,22 +8,27 @@
 //! afex-cli render   --target <name> --point i,j,k
 //! afex-cli hunt     --target <name> [--crashes N | --failures N]
 //!                   [--iterations cap] [--seed S] [--workers W]
-//!                   [--metric default|paper|crash] [--feedback] [--json]
+//!                   [--timeout 10s] [--metric default|paper|crash]
+//!                   [--feedback] [--json]
 //! afex-cli campaign --targets a,b,c --out dir/
 //!                   [--strategies fitness,random] [--seeds N] [--seed S]
 //!                   [--iterations M] [--workers W] [--cell-workers C]
-//!                   [--metric ...] [--stop iterations|failures:N|crashes:N]
+//!                   [--timeout 10s] [--metric ...]
+//!                   [--stop iterations|failures:N|crashes:N]
 //!                   [--export corpus.jsonl] [--resume] [--json]
 //! ```
 //!
-//! Targets: `coreutils`, `minidb` (alias `mysql`), `httpd` (alias
-//! `apache`), `docstore-0.8`, `docstore-2.0`.
+//! Simulated targets: `coreutils`, `minidb` (alias `mysql`), `httpd`
+//! (alias `apache`), `docstore-0.8`, `docstore-2.0`. Real-process
+//! targets (live binaries under the `LD_PRELOAD` shim, sandboxed with a
+//! `--timeout` watchdog): `proc:victim-read-file`, `proc:victim-alloc`,
+//! `proc:victim-alloc-unchecked`, `proc:victim-spin`.
 
 use afex::campaign::{known_target, run_pending, CorpusExporter};
 use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec, StopPolicy};
 use afex::core::{
     ExplorerConfig, FaultReport, ImpactMetric, OutcomeEvaluator, SearchStrategy, Session,
-    StopCondition,
+    StopCondition, TestTimeout,
 };
 use afex::space::Point;
 use afex::targets::spaces::TargetSpace;
@@ -34,17 +39,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: afex-cli <describe|explore|render|hunt|campaign> [options]\n\
          targets: coreutils | minidb (mysql) | httpd (apache) | docstore-0.8 | docstore-2.0\n\
+         proc targets (real binaries, hunt/campaign only):\n\
+                           proc:victim-read-file | proc:victim-alloc\n\
+                           proc:victim-alloc-unchecked | proc:victim-spin\n\
          explore options:  --target <name> --strategy fitness|random|exhaustive|genetic\n\
                            --iterations N --seed S --metric default|paper|crash\n\
                            --feedback --json\n\
          render options:   --target <name> --point i,j,k\n\
          hunt options:     --target <name> --crashes N | --failures N\n\
-                           --iterations cap --seed S --workers W\n\
+                           --iterations cap --seed S --workers W --timeout 10s\n\
                            --metric default|paper|crash --feedback --json\n\
          campaign options: --targets a,b,c --out dir/\n\
                            --strategies fitness,random --seeds N --seed S\n\
                            --iterations M --workers W --cell-workers C\n\
-                           --metric default|paper|crash\n\
+                           --timeout 10s --metric default|paper|crash\n\
                            --stop iterations|failures:N|crashes:N\n\
                            --export corpus.jsonl --resume --json"
     );
@@ -70,11 +78,36 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
     out
 }
 
+/// Resolves a *simulated* target for the commands that need one
+/// (`describe`, `render`, `explore`): a proc target gets an instructive
+/// exit 2 pointing at the commands that can actually run a live binary,
+/// instead of the generic unknown-target message.
 fn target_space(name: &str) -> TargetSpace {
     afex::campaign::target_space(name).unwrap_or_else(|| {
+        if afex::campaign::is_proc_target(name) {
+            eprintln!(
+                "`{name}` is a real-process target: it has no simulated plan to describe or \
+                 replay, only a live binary to run. Use `hunt --target {name}` or \
+                 `campaign --targets {name}`."
+            );
+            std::process::exit(2);
+        }
         eprintln!("unknown target `{name}`");
         usage()
     })
+}
+
+/// Parses `--timeout` (the per-test watchdog budget for real-process
+/// targets), exiting 2 on a malformed or zero duration.
+fn parse_timeout(opts: &HashMap<String, String>) -> TestTimeout {
+    opts.get("timeout")
+        .map(|s| {
+            TestTimeout::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default()
 }
 
 fn metric(name: &str) -> ImpactMetric {
@@ -192,7 +225,10 @@ fn cmd_hunt(opts: &HashMap<String, String>) {
         .get("target")
         .map(String::as_str)
         .unwrap_or_else(|| usage());
-    let ts = target_space(name);
+    if !known_target(name) {
+        eprintln!("unknown target `{name}`");
+        usage()
+    }
     let iterations: usize = parse_num(opts, "iterations", 4_000);
     let seed: u64 = parse_num(opts, "seed", 7);
     let workers: usize = parse_num(opts, "workers", 4);
@@ -232,8 +268,21 @@ fn cmd_hunt(opts: &HashMap<String, String>) {
         redundancy_feedback: opts.contains_key("feedback"),
         ..ExplorerConfig::default()
     });
-    let mut explorer = strategy.build(ts.space_arc(), seed, afex::core::TraceStore::new());
-    let result = afex::campaign::run_windowed(&ts, m, explorer.as_mut(), stop, workers);
+    let timeout = parse_timeout(opts);
+    let result = if afex::campaign::is_proc_target(name) {
+        // A missing victim or shim artifact is a usage error (how to
+        // build it is in the message), caught before anything spawns.
+        let ps = afex::campaign::proc_target_space(name).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let mut explorer = strategy.build(ps.space_arc(), seed, afex::core::TraceStore::new());
+        afex::campaign::run_proc_windowed(&ps, m, explorer.as_mut(), stop, workers, timeout.0)
+    } else {
+        let ts = target_space(name);
+        let mut explorer = strategy.build(ts.space_arc(), seed, afex::core::TraceStore::new());
+        afex::campaign::run_windowed(&ts, m, explorer.as_mut(), stop, workers)
+    };
     if opts.contains_key("json") {
         println!("{}", FaultReport::from_session(&result, 4).to_json());
         return;
@@ -310,9 +359,17 @@ fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
         iterations: parse_num(opts, "iterations", 200),
         stop,
         cell_workers: parse_num::<usize>(opts, "cell-workers", 1).into(),
+        timeout: parse_timeout(opts),
         metric: opts.get("metric").cloned(),
     };
     if let Err(e) = spec.validate(known_target) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    // Proc targets need their on-disk artifacts before any cell runs:
+    // a missing victim or shim must be a clear usage error up front,
+    // not a panic deep inside the scheduler.
+    if let Err(e) = afex::campaign::check_target_artifacts(&spec.targets) {
         eprintln!("{e}");
         std::process::exit(2);
     }
@@ -378,6 +435,7 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
             "metric",
             "stop",
             "cell-workers",
+            "timeout",
         ] {
             if opts.contains_key(flag) {
                 eprintln!(
@@ -418,6 +476,12 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
             .and_then(|()| snap.check_consistent())
             .and_then(|()| snap.check_chain_consistent())
         {
+            eprintln!("cannot resume from {}: {e}", snap_path.display());
+            std::process::exit(2);
+        }
+        // A resumed campaign with proc cells still pending needs the
+        // artifacts present *now*, whatever was true when it started.
+        if let Err(e) = afex::campaign::check_target_artifacts(&snap.spec.targets) {
             eprintln!("cannot resume from {}: {e}", snap_path.display());
             std::process::exit(2);
         }

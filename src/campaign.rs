@@ -23,10 +23,12 @@ use crate::core::campaign::{
     CellOutcome, ExportRecord,
 };
 use crate::core::{
-    Engine, Explore, ImpactMetric, OutcomeEvaluator, SearchStrategy, SessionResult,
-    StopCondition, TraceStore,
+    Engine, Explore, ImpactMetric, OutcomeEvaluator, ProcessEvaluator, ProcessExecutor,
+    ProcessRunner, SearchStrategy, SessionResult, StopCondition, TraceStore,
 };
+use crate::preload::locate;
 use crate::targets::docstore::Version;
+use crate::targets::proc::{ProcTargetSpace, VictimMode};
 use crate::targets::spaces::TargetSpace;
 use afex_cluster::{CampaignScheduler, CellChain, ParallelSession};
 use afex_space::PointCodec;
@@ -43,9 +45,20 @@ pub const TARGETS: [&str; 5] = [
     "docstore-2.0",
 ];
 
+/// The real-process target family: the bundled victim binary in each of
+/// its workload modes, executed live under the `LD_PRELOAD` shim by the
+/// sandboxed process executor.
+pub const PROC_TARGETS: [&str; 4] = [
+    "proc:victim-read-file",
+    "proc:victim-alloc",
+    "proc:victim-alloc-unchecked",
+    "proc:victim-spin",
+];
+
 /// The canonical spelling of a target name, if known. `mysql` and
 /// `apache` (the paper's names) are aliases of `minidb` and `httpd`
-/// (the stand-ins), matching `explore`.
+/// (the stand-ins), matching `explore`. `proc:*` names are already
+/// canonical.
 pub fn canonical_target(name: &str) -> Option<&'static str> {
     match name {
         "coreutils" => Some("coreutils"),
@@ -53,8 +66,48 @@ pub fn canonical_target(name: &str) -> Option<&'static str> {
         "apache" | "httpd" => Some("httpd"),
         "docstore-0.8" => Some("docstore-0.8"),
         "docstore-2.0" => Some("docstore-2.0"),
-        _ => None,
+        _ => PROC_TARGETS.iter().copied().find(|t| *t == name),
     }
+}
+
+/// Whether a name denotes a real-process target (the `proc:*` family).
+pub fn is_proc_target(name: &str) -> bool {
+    PROC_TARGETS.contains(&name)
+}
+
+/// Builds the fault space + process-plan adapter for a `proc:*` target,
+/// resolving the victim binary and the interposition cdylib at runtime.
+///
+/// # Errors
+///
+/// Returns an instructive message when the name is not a proc target or
+/// when an artifact is missing (how to build it, which variable
+/// overrides the search).
+pub fn proc_target_space(name: &str) -> Result<ProcTargetSpace, String> {
+    let mode = name
+        .strip_prefix("proc:victim-")
+        .and_then(VictimMode::from_name)
+        .ok_or_else(|| format!("unknown proc target `{name}`"))?;
+    let victim = locate::victim_path()?;
+    let shim = locate::shim_path()?;
+    Ok(ProcTargetSpace::victim(mode, victim, shim))
+}
+
+/// Checks that every `proc:*` target in the list can actually run: its
+/// victim binary and the shim cdylib must resolve. Campaign and hunt
+/// entry points call this up front so a missing artifact is a clear
+/// usage error instead of a panic deep inside a cell.
+///
+/// # Errors
+///
+/// Returns the first proc target's resolution error.
+pub fn check_target_artifacts(targets: &[String]) -> Result<(), String> {
+    for target in targets {
+        if is_proc_target(target) {
+            proc_target_space(target).map(|_| ())?;
+        }
+    }
+    Ok(())
 }
 
 /// Canonicalizes a target list for a campaign spec: aliases collapse to
@@ -115,7 +168,9 @@ pub fn canonicalize_strategies(names: &[String]) -> Result<Vec<String>, String> 
     Ok(out)
 }
 
-/// Builds the fault space + execution adapter for a target name, if known.
+/// Builds the fault space + execution adapter for a *simulated* target
+/// name, if known. Real-process (`proc:*`) targets resolve through
+/// [`proc_target_space`] instead, since they need on-disk artifacts.
 pub fn target_space(name: &str) -> Option<TargetSpace> {
     match canonical_target(name)? {
         "coreutils" => Some(TargetSpace::coreutils()),
@@ -123,7 +178,10 @@ pub fn target_space(name: &str) -> Option<TargetSpace> {
         "httpd" => Some(TargetSpace::apache()),
         "docstore-0.8" => Some(TargetSpace::docstore(Version::V0_8)),
         "docstore-2.0" => Some(TargetSpace::docstore(Version::V2_0)),
-        _ => unreachable!("canonical names are exhaustive"),
+        name => {
+            debug_assert!(is_proc_target(name), "canonical names are exhaustive");
+            None
+        }
     }
 }
 
@@ -134,11 +192,13 @@ pub fn known_target(name: &str) -> bool {
 
 /// The default impact metric for a target. The database stand-in runs
 /// the crash-hunt path (the §7.1 "find faults that crash the DBMS"
-/// scenario, as in `examples/hunt_minidb.rs`); everything else uses the
-/// coverage-and-failure default.
+/// scenario, as in `examples/hunt_minidb.rs`); real-process targets hunt
+/// crashes too, since a live binary has no simulated coverage signal;
+/// everything else uses the coverage-and-failure default.
 pub fn default_metric(target: &str) -> ImpactMetric {
     match target {
         "mysql" | "minidb" => ImpactMetric::crash_hunter(),
+        t if is_proc_target(t) => ImpactMetric::crash_hunter(),
         _ => ImpactMetric::default(),
     }
 }
@@ -241,7 +301,6 @@ pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
 /// Panics on an unknown target, strategy, or metric name — validate the
 /// spec with [`CampaignSpec::validate`] first.
 pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) -> CellOutcome {
-    let ts = target_space(&cell.target).expect("validated target");
     let m = spec
         .metric
         .as_deref()
@@ -257,8 +316,28 @@ pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) ->
         }),
         other => other,
     };
-    let mut explorer = strategy.build(ts.space_arc(), cell.seed, seeds.store().clone());
     let stop = spec.stop.to_condition(spec.iterations);
+    if is_proc_target(&cell.target) {
+        // The CLI validates proc artifacts before any cell runs
+        // (`check_target_artifacts`), so resolution failure here is a
+        // caller bug, not a user error.
+        let ps = proc_target_space(&cell.target)
+            .expect("proc artifacts are checked before cells run");
+        let mut explorer = strategy.build(ps.space_arc(), cell.seed, seeds.store().clone());
+        let result = run_proc_windowed(
+            &ps,
+            m,
+            explorer.as_mut(),
+            stop,
+            spec.cell_workers.0,
+            spec.timeout.0,
+        );
+        let codec = PointCodec::for_space(ps.space())
+            .expect("all campaign target spaces fit u64 point codes");
+        return CellOutcome::from_session(cell.index, &result, &codec);
+    }
+    let ts = target_space(&cell.target).expect("validated target");
+    let mut explorer = strategy.build(ts.space_arc(), cell.seed, seeds.store().clone());
     let result = run_windowed(&ts, m, explorer.as_mut(), stop, spec.cell_workers.0);
     let codec = PointCodec::for_space(ts.space())
         .expect("all campaign target spaces fit u64 point codes");
@@ -297,6 +376,37 @@ pub fn run_windowed(
         let eval = OutcomeEvaluator::new(move |p| exec.execute(p), metric);
         Engine::sequential().run(explorer, &eval, stop)
     }
+}
+
+/// [`run_windowed`]'s real-process sibling: runs a built explorer
+/// against a live binary through the sandboxed [`ProcessExecutor`], with
+/// `workers` candidates in flight (each spawning its own watched child)
+/// and `timeout` as the per-test watchdog budget. If the executor dies —
+/// e.g. persistent spawn failure after the runner's transient-error
+/// retries — the engine returns the partial session gathered so far
+/// instead of panicking, the same graceful degradation contract the
+/// engine gives every executor.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn run_proc_windowed(
+    ps: &ProcTargetSpace,
+    metric: ImpactMetric,
+    explorer: &mut dyn Explore,
+    stop: StopCondition,
+    workers: usize,
+    timeout: std::time::Duration,
+) -> SessionResult {
+    assert!(workers > 0, "need at least one worker");
+    let plan_space = ps.clone();
+    let eval = ProcessEvaluator::new(
+        move |p| plan_space.plan_for(p),
+        ProcessRunner::new(timeout),
+        metric,
+    );
+    let mut exec = ProcessExecutor::new(eval);
+    Engine::new(workers).drive(explorer, stop, &mut exec)
 }
 
 /// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
@@ -504,6 +614,7 @@ mod tests {
             iterations: 25,
             stop: StopPolicy::Iterations,
             cell_workers: 1.into(),
+            timeout: Default::default(),
             metric: None,
         }
     }
@@ -534,6 +645,43 @@ mod tests {
     fn minidb_defaults_to_the_hunt_metric() {
         assert_eq!(default_metric("minidb"), ImpactMetric::crash_hunter());
         assert_eq!(default_metric("coreutils"), ImpactMetric::default());
+    }
+
+    #[test]
+    fn proc_targets_are_known_but_not_simulated() {
+        for t in PROC_TARGETS {
+            assert!(known_target(t), "{t}");
+            assert!(is_proc_target(t), "{t}");
+            assert_eq!(canonical_target(t), Some(t));
+            // Proc targets never resolve to a simulated space; they go
+            // through `proc_target_space`, which needs the on-disk
+            // victim and shim artifacts.
+            assert!(target_space(t).is_none(), "{t}");
+            assert_eq!(default_metric(t), ImpactMetric::crash_hunter());
+        }
+        assert!(!is_proc_target("coreutils"));
+        assert!(!is_proc_target("proc:victim-nosuch"));
+        assert!(canonical_target("proc:victim-nosuch").is_none());
+        let err = proc_target_space("proc:nosuch").unwrap_err();
+        assert!(err.contains("unknown proc target"), "{err}");
+    }
+
+    #[test]
+    fn proc_targets_canonicalize_alongside_simulated_ones() {
+        let ok = canonicalize_targets(&[
+            "mysql".into(),
+            "proc:victim-alloc-unchecked".into(),
+        ])
+        .unwrap();
+        assert_eq!(ok, vec!["minidb", "proc:victim-alloc-unchecked"]);
+        let dup = canonicalize_targets(&[
+            "proc:victim-spin".into(),
+            "proc:victim-spin".into(),
+        ])
+        .unwrap_err();
+        assert!(dup.contains("duplicate target"), "{dup}");
+        // Artifact checks skip simulated targets entirely.
+        check_target_artifacts(&["coreutils".into(), "minidb".into()]).unwrap();
     }
 
     #[test]
@@ -569,6 +717,7 @@ mod tests {
             iterations: 30,
             stop: StopPolicy::Iterations,
             cell_workers: 2.into(),
+            timeout: Default::default(),
             metric: None,
         };
         for cell in spec.cells() {
@@ -670,6 +819,7 @@ mod tests {
             iterations: 120,
             stop: StopPolicy::Iterations,
             cell_workers: 1.into(),
+            timeout: Default::default(),
             metric: None,
         };
         let cells = spec.cells();

@@ -48,5 +48,6 @@ pub mod campaign;
 pub use afex_cluster as cluster;
 pub use afex_core as core;
 pub use afex_inject as inject;
+pub use afex_preload as preload;
 pub use afex_space as space;
 pub use afex_targets as targets;

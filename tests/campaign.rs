@@ -17,6 +17,7 @@ fn matrix_spec() -> CampaignSpec {
         iterations: 60,
         stop: StopPolicy::Iterations,
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     }
 }
@@ -31,6 +32,7 @@ fn chain_spec() -> CampaignSpec {
         iterations: 80,
         stop: StopPolicy::Iterations,
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     }
 }
@@ -143,6 +145,7 @@ fn stop_policy_campaign_resumes_byte_identically() {
         iterations: 300,
         stop: StopPolicy::Crashes(1),
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let mut full = CampaignSnapshot::new(spec.clone());
@@ -217,6 +220,7 @@ fn chained_campaign_snapshot_and_export_are_byte_identical_on_resume() {
         iterations: 80,
         stop: StopPolicy::Iterations,
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let dir = std::env::temp_dir().join(format!("afex-chain3-test-{}", std::process::id()));
@@ -276,6 +280,7 @@ fn parallel_cells_resume_to_identical_corpus() {
         iterations: 80,
         stop: StopPolicy::Iterations,
         cell_workers: 2.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let mut full = CampaignSnapshot::new(spec.clone());
@@ -322,6 +327,7 @@ fn parallel_cells_may_diverge_from_sequential_but_stay_stop_correct() {
         iterations: 300,
         stop: StopPolicy::Crashes(1),
         cell_workers: cell_workers.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let run = |cell_workers: usize| {
@@ -352,6 +358,7 @@ fn store_dedups_across_strategies_and_seeds() {
         iterations: 120,
         stop: StopPolicy::Iterations,
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let mut snap = CampaignSnapshot::new(spec);
@@ -400,6 +407,7 @@ fn minidb_cells_run_the_hunt_path() {
         iterations: 30,
         stop: StopPolicy::Iterations,
         cell_workers: 1.into(),
+        timeout: Default::default(),
         metric: None,
     };
     let cell = spec.cells().remove(0);

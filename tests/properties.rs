@@ -561,6 +561,9 @@ fn rand_snapshot(rng: &mut StdRng) -> afex::core::CampaignSnapshot {
             _ => StopPolicy::Crashes(rng.gen_range(1..9usize)),
         },
         cell_workers: rng.gen_range(1..5usize).into(),
+        timeout: afex::core::TestTimeout(std::time::Duration::from_millis(
+            rng.gen_range(1..30_000u64),
+        )),
         metric: if rng.gen_bool(0.5) {
             Some(["default", "paper", "crash"][rng.gen_range(0..3usize)].to_owned())
         } else {
@@ -720,6 +723,7 @@ fn chained_campaigns_are_pool_width_independent() {
             // Pool-width independence must hold for parallel cells too:
             // the window is part of the spec, the pool width is not.
             cell_workers: rng.gen_range(1..3usize).into(),
+            timeout: Default::default(),
             metric: None,
         };
         let run = |workers: usize| {
