@@ -113,6 +113,17 @@ impl LibcEnv {
         }
     }
 
+    /// Records an injection decided outside the plan machinery (e.g. the
+    /// VFS fault layer's rule firings), capturing the current stack trace
+    /// so rule-driven faults cluster with the same signature machinery as
+    /// plan faults.
+    pub fn record_injection(&self, fault: crate::plan::AtomicFault) {
+        self.injections.borrow_mut().push(InjectionRecord {
+            fault,
+            stack: self.stack.snapshot(),
+        });
+    }
+
     /// Pushes a stack frame for trace capture; pops when the guard drops.
     pub fn frame(&self, name: &str) -> FrameGuard<'_> {
         self.stack.push(name)
@@ -241,6 +252,21 @@ mod tests {
         }
         assert_eq!(burned, super::DEFAULT_FUEL);
         assert!(!env.burn_fuel());
+    }
+
+    #[test]
+    fn record_injection_captures_stack() {
+        use crate::plan::AtomicFault;
+        let env = LibcEnv::fault_free();
+        let _m = env.frame("main");
+        {
+            let _f = env.frame("vfs_write");
+            env.record_injection(AtomicFault::new(Func::Write, 4, Errno::EIO));
+        }
+        let recs = env.injections();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].stack, vec!["main", "vfs_write"]);
+        assert_eq!(recs[0].fault.call_number, 4);
     }
 
     #[test]

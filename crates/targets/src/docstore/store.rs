@@ -59,14 +59,18 @@ impl DocStore {
                     return Err(RunError::Fault(e));
                 }
             }
-            // Journal replay.
+            // Journal replay. A torn tail (a final entry missing its
+            // newline — a crash landed mid-append) is dropped; every
+            // complete entry is recovered.
             if vfs.file_exists(JOURNAL_PATH) {
                 env.block(MODULE, 6);
                 let data = vfs.read_all(env, JOURNAL_PATH).map_err(|e| {
                     env.block(MODULE, 7); // Recovery: journal diagnostic.
                     RunError::Fault(e.errno())
                 })?;
-                for line in String::from_utf8_lossy(&data).lines() {
+                let text = String::from_utf8_lossy(&data);
+                let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+                for line in complete.lines() {
                     if let Some((k, v)) = line.split_once('=') {
                         if let Ok(k) = k.parse() {
                             store.docs.borrow_mut().insert(k, v.to_owned());
@@ -109,16 +113,37 @@ impl DocStore {
         Ok(())
     }
 
+    /// Appends one entry to the journal. Append-only: the journal is
+    /// opened with `O_APPEND` and only the new entry is written (honoring
+    /// short write counts), so neither a fault here nor a crash can touch
+    /// entries journaled by earlier inserts.
     fn journal_append(&self, env: &LibcEnv, vfs: &Vfs, id: u64, doc: &str) -> RunResult {
         let _f = env.frame("journal_append");
         env.block(MODULE, 13);
-        let mut contents = vfs.contents(JOURNAL_PATH).unwrap_or_default();
-        contents.extend_from_slice(format!("{id}={doc}\n").as_bytes());
-        let fd = vfs.create(env, JOURNAL_PATH).map_err(|e| {
+        let entry = format!("{id}={doc}\n");
+        let fd = vfs.open_append(env, JOURNAL_PATH).map_err(|e| {
             env.block(MODULE, 14); // Recovery: journal open diagnostic.
             RunError::Fault(e.errno())
         })?;
-        let write = vfs.write(env, fd, &contents);
+        let write = {
+            let bytes = entry.as_bytes();
+            let mut written = 0usize;
+            let mut result = Ok(());
+            while written < bytes.len() {
+                if !env.burn_fuel() {
+                    let _ = vfs.close(env, fd);
+                    return Err(RunError::Hang);
+                }
+                match vfs.write(env, fd, &bytes[written..]) {
+                    Ok(n) => written += n,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            result
+        };
         let sync = if write.is_ok() {
             vfs.fsync(env, fd).map_err(Into::into)
         } else {
@@ -186,6 +211,12 @@ impl DocStore {
         Ok(self.docs.borrow().values().map(String::len).sum())
     }
 
+    /// All documents (assertion helper for the recovery oracle; no libc
+    /// calls).
+    pub fn dump(&self) -> BTreeMap<u64, String> {
+        self.docs.borrow().clone()
+    }
+
     /// Number of stored documents.
     pub fn len(&self) -> usize {
         self.docs.borrow().len()
@@ -250,6 +281,48 @@ mod tests {
         s2.insert(&env2, &vfs2, 1, "x").unwrap();
         let calls_v20: u32 = env2.call_counts().values().sum();
         assert!(calls_v20 > calls_v08 * 2, "{calls_v20} vs {calls_v08}");
+    }
+
+    #[test]
+    fn v20_journal_survives_faulty_later_insert() {
+        // Append-only journaling: a write fault during insert #2 must not
+        // touch insert #1's journaled entry (the old rewrite truncated
+        // the whole journal first, losing it even on a graceful failure).
+        let (env, vfs, s) = boot(Version::V2_0);
+        s.insert(&env, &vfs, 1, "precious").unwrap();
+        let env2 = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::ENOSPC));
+        assert!(s.insert(&env2, &vfs, 2, "doomed").is_err());
+        vfs.crash();
+        let env3 = LibcEnv::fault_free();
+        let s2 = DocStore::start(&env3, &vfs, Version::V2_0).unwrap();
+        assert_eq!(s2.find(&env3, 1).as_deref(), Some("precious"));
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn v20_replay_drops_torn_journal_tail() {
+        let env = LibcEnv::fault_free();
+        let vfs = Vfs::new();
+        DocStore::install(&vfs);
+        vfs.seed_file(JOURNAL_PATH, b"1=a\n2=b\n3=to");
+        let s = DocStore::start(&env, &vfs, Version::V2_0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.find(&env, 3), None);
+    }
+
+    #[test]
+    fn v20_journal_append_completes_short_writes() {
+        use crate::vfs_fault::{FaultKind, FaultRule, PathMatch, VfsOp};
+        let (env, vfs, s) = boot(Version::V2_0);
+        vfs.arm_rules(vec![FaultRule {
+            op: VfsOp::Write,
+            path: PathMatch::Contains("journal".into()),
+            nth: 1,
+            kind: FaultKind::ShortWrite,
+        }]);
+        s.insert(&env, &vfs, 1, "payload").unwrap();
+        let j = vfs.contents(JOURNAL_PATH).unwrap();
+        assert_eq!(String::from_utf8_lossy(&j), "1=payload\n");
     }
 
     #[test]

@@ -99,16 +99,13 @@ fn install_quiet_hook() {
 /// ));
 /// ```
 pub fn run_test(target: &dyn Target, test_id: usize, plan: &FaultPlan) -> TestOutcome {
-    install_quiet_hook();
     let env = LibcEnv::new(plan.clone());
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
-    let result = panic::catch_unwind(AssertUnwindSafe(|| target.run(test_id, &env)));
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    let result = catch_crash(|| target.run(test_id, &env));
     let status = match result {
         Ok(Ok(())) => TestStatus::Passed,
         Ok(Err(RunError::Fault(_) | RunError::Check(_))) => TestStatus::Failed,
         Ok(Err(RunError::Hang)) => TestStatus::Hung,
-        Err(payload) => TestStatus::Crashed(panic_message(payload.as_ref())),
+        Err(msg) => TestStatus::Crashed(msg),
     };
     TestOutcome {
         test_id,
@@ -116,6 +113,19 @@ pub fn run_test(target: &dyn Target, test_id: usize, plan: &FaultPlan) -> TestOu
         coverage: env.coverage(),
         injections: env.injections(),
     }
+}
+
+/// Runs `f` with panic output suppressed, converting a panic into its
+/// rendered message. The crate-internal building block for harnesses that
+/// must observe crashes mid-workload — the per-test runner above and the
+/// recovery oracle's per-statement bracketing — without spamming stderr.
+/// Suppression nests: an inner catch restores the outer state.
+pub(crate) fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    let prev = SUPPRESS_PANIC_OUTPUT.with(|s| s.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(prev));
+    result.map_err(|payload| panic_message(payload.as_ref()))
 }
 
 /// Extracts a printable message from a panic payload.

@@ -19,7 +19,14 @@
 //! Modules:
 //!
 //! - [`vfs`] — an in-memory filesystem whose every operation announces the
-//!   corresponding libc call to the injection environment.
+//!   corresponding libc call to the injection environment, with a
+//!   visible/durable namespace split and a [`Vfs::crash`] operation.
+//! - [`vfs_fault`] — the rule-driven fault layer armed on the VFS: rules
+//!   keyed by (op × path match × timing) injecting errors, short writes,
+//!   dropped fsyncs and torn renames, with a deterministic replay log.
+//! - [`recovery`] — the crash-recovery oracle and the `vfs:*` target
+//!   family: run a workload under an injection rule, crash, reopen with a
+//!   fresh engine, and verify recovery invariants.
 //! - [`harness`] — the [`harness::Target`] trait plus the runner
 //!   that executes one test under a fault plan, catching crashes.
 //! - [`coreutils`] — ten UNIX utilities with a 29-test suite (§7.2's
@@ -38,9 +45,12 @@ pub mod harness;
 pub mod httpd;
 pub mod minidb;
 pub mod proc;
+pub mod recovery;
 pub mod spaces;
 pub mod spaces_multi;
 pub mod vfs;
+pub mod vfs_fault;
 
 pub use harness::{baseline_pass_count, run_test, Target};
 pub use vfs::{Vfs, VfsError};
+pub use vfs_fault::{FaultKind, FaultRule, PathMatch, VfsOp};

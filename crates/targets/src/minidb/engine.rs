@@ -3,7 +3,7 @@
 use super::errmsg::ErrMsg;
 use super::lock::ThrLock;
 use super::table::{mi_create, Table};
-use super::wal::Wal;
+use super::wal::{Wal, WalMode};
 use super::MODULE;
 use crate::harness::{RunError, RunResult};
 use crate::vfs::Vfs;
@@ -42,6 +42,12 @@ impl MiniDb {
     /// Panics when the errmsg catalog read failed (bug #25097 fires at the
     /// greeting) — the crash AFEX rediscovers in §7.1.
     pub fn start(env: &LibcEnv, vfs: &Vfs) -> Result<Self, RunError> {
+        Self::start_with(env, vfs, WalMode::Append)
+    }
+
+    /// Boots the server with an explicit WAL commit mode (the `Rewrite`
+    /// specimen exists for the crash-recovery oracle).
+    pub fn start_with(env: &LibcEnv, vfs: &Vfs, mode: WalMode) -> Result<Self, RunError> {
         let _f = env.frame("mysqld_main");
         env.block(MODULE, 30);
         // Configuration: unreadable config is survivable (defaults).
@@ -59,7 +65,7 @@ impl MiniDb {
         let db = MiniDb {
             lock: ThrLock::new(),
             errmsg: ErrMsg::new(),
-            wal: Wal::new(),
+            wal: Wal::with_mode(mode),
             tables: RefCell::new(BTreeMap::new()),
         };
         // Load the message catalog (the bug is inside `load`).
@@ -67,12 +73,45 @@ impl MiniDb {
         // The greeting formats a catalog message: first catalog use.
         env.block(MODULE, 34);
         let _greeting = db.errmsg.message(env, 0);
-        // WAL replay.
+        // WAL replay: rebuild table state from the recovered records.
         let recovered = db.wal.recover(env, vfs)?;
         if !recovered.is_empty() {
             env.block(MODULE, 35);
+            db.apply_wal(env, &recovered);
         }
         Ok(db)
+    }
+
+    /// Applies recovered WAL records in order, reconstructing tables and
+    /// rows. Records the parser does not understand are skipped (a real
+    /// engine logs and continues), which keeps replay idempotent over
+    /// partially-recovered logs.
+    fn apply_wal(&self, env: &LibcEnv, records: &[String]) {
+        let mut tables = self.tables.borrow_mut();
+        for rec in records {
+            if let Some(rest) = rec.strip_prefix("insert ") {
+                let mut parts = rest.splitn(3, ' ');
+                let (Some(name), Some(key), Some(value)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                let Ok(key) = key.parse::<u64>() else { continue };
+                tables
+                    .entry(name.to_owned())
+                    .or_insert_with(|| Table::recovered(name))
+                    .insert(env, key, value);
+            } else if let Some(rest) = rec.strip_prefix("delete ") {
+                let mut parts = rest.splitn(2, ' ');
+                let (Some(name), Some(key)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let Ok(key) = key.parse::<u64>() else { continue };
+                if let Some(t) = tables.get(name) {
+                    t.delete(env, key);
+                }
+            }
+        }
     }
 
     /// Creates a table (the `mi_create` path with the Fig. 6 bug).
@@ -161,6 +200,16 @@ impl MiniDb {
     pub fn row_count(&self, table: &str) -> Option<usize> {
         self.tables.borrow().get(table).map(Table::len)
     }
+
+    /// Full contents of every table (assertion helper for the recovery
+    /// oracle; no libc calls).
+    pub fn dump(&self) -> BTreeMap<String, BTreeMap<u64, String>> {
+        self.tables
+            .borrow()
+            .iter()
+            .map(|(name, t)| (name.clone(), t.snapshot()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +279,34 @@ mod tests {
         db.insert(&env, &vfs, "t", 5, "five").unwrap();
         let wal = vfs.contents(super::super::wal::WAL_PATH).unwrap();
         assert!(String::from_utf8_lossy(&wal).contains("insert t 5 five"));
+    }
+
+    #[test]
+    fn restart_replays_committed_rows() {
+        let (env, vfs, db) = booted();
+        db.create_table(&env, &vfs, "t").unwrap();
+        db.insert(&env, &vfs, "t", 1, "one").unwrap();
+        db.insert(&env, &vfs, "t", 2, "two").unwrap();
+        db.delete(&env, &vfs, "t", 1).unwrap();
+        drop(db);
+        vfs.crash();
+        let db2 = MiniDb::start(&env, &vfs).unwrap();
+        assert_eq!(db2.select(&env, &vfs, "t", 2).unwrap().as_deref(), Some("two"));
+        assert_eq!(db2.select(&env, &vfs, "t", 1).unwrap(), None);
+        assert_eq!(db2.row_count("t"), Some(1));
+    }
+
+    #[test]
+    fn replay_is_idempotent_across_repeated_crashes() {
+        let (env, vfs, db) = booted();
+        db.create_table(&env, &vfs, "t").unwrap();
+        db.insert(&env, &vfs, "t", 7, "seven").unwrap();
+        drop(db);
+        vfs.crash();
+        let first = MiniDb::start(&env, &vfs).unwrap().dump();
+        vfs.crash();
+        let second = MiniDb::start(&env, &vfs).unwrap().dump();
+        assert_eq!(first, second);
+        assert_eq!(first["t"][&7], "seven");
     }
 }

@@ -107,9 +107,25 @@ pub fn mi_create(env: &LibcEnv, vfs: &Vfs, lock: &ThrLock, name: &str) -> Result
 }
 
 impl Table {
+    /// Reconstructs a table handle during WAL replay: no on-disk files
+    /// are touched (they either already exist or will be recreated by the
+    /// next checkpoint); the recovered rows arrive through ordinary
+    /// inserts.
+    pub fn recovered(name: &str) -> Table {
+        Table {
+            rows: RefCell::new(BTreeMap::new()),
+            name: name.to_owned(),
+        }
+    }
+
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Snapshot of all rows (assertion helper; no libc calls).
+    pub fn snapshot(&self) -> BTreeMap<u64, String> {
+        self.rows.borrow().clone()
     }
 
     /// Inserts a row (in-memory; durability comes from the WAL).
@@ -140,7 +156,10 @@ impl Table {
         self.len() == 0
     }
 
-    /// Flushes rows to the MYD file (checkpoint).
+    /// Flushes rows to the MYD file (checkpoint), atomically: write a
+    /// temporary file, fsync it, then rename it over the MYD — so a crash
+    /// mid-checkpoint leaves either the old checkpoint or the new one,
+    /// never a torn mix (and a torn *rename* leaves the old durable copy).
     pub fn flush(&self, env: &LibcEnv, vfs: &Vfs) -> RunResult {
         let _f = env.frame("mi_flush");
         env.block(MODULE, 27);
@@ -150,12 +169,22 @@ impl Table {
             .iter()
             .map(|(k, v)| format!("{k}={v}\n"))
             .collect();
-        vfs.write_all(
-            env,
-            &format!("/data/{}.MYD", self.name),
-            rendered.as_bytes(),
-        )
-        .map_err(|e| {
+        let myd = format!("/data/{}.MYD", self.name);
+        let tmp = format!("{myd}.tmp");
+        let result = (|| {
+            let fd = vfs.create(env, &tmp)?;
+            if let Err(e) = vfs.write(env, fd, rendered.as_bytes()) {
+                let _ = vfs.close(env, fd);
+                return Err(e);
+            }
+            if let Err(e) = vfs.fsync(env, fd) {
+                let _ = vfs.close(env, fd);
+                return Err(e);
+            }
+            vfs.close(env, fd)?;
+            vfs.rename(env, &tmp, &myd)
+        })();
+        result.map_err(|e| {
             env.block(MODULE, 28); // Recovery: flush diagnostic.
             RunError::Fault(e.errno())
         })
@@ -253,5 +282,34 @@ mod tests {
         t.flush(&env, &vfs).unwrap();
         let myd = vfs.contents("/data/kv.MYD").unwrap();
         assert_eq!(String::from_utf8_lossy(&myd), "7=seven\n");
+        assert!(!vfs.file_exists("/data/kv.MYD.tmp"), "tmp renamed away");
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_old_checkpoint() {
+        // The atomic tmp+fsync+rename flush: a write fault while writing
+        // the new checkpoint must leave the previous MYD intact.
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let lock = ThrLock::new();
+        let t = mi_create(&env, &vfs, &lock, "kv").unwrap();
+        t.insert(&env, 1, "one");
+        t.flush(&env, &vfs).unwrap();
+        t.insert(&env, 2, "two");
+        // Writes so far: 3 headers in mi_create + 1 flush = 4; fail #5.
+        let env2 = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::ENOSPC));
+        assert!(t.flush(&env2, &vfs).is_err());
+        let myd = vfs.contents("/data/kv.MYD").unwrap();
+        assert_eq!(String::from_utf8_lossy(&myd), "1=one\n");
+    }
+
+    #[test]
+    fn snapshot_and_recovered() {
+        let env = LibcEnv::fault_free();
+        let t = Table::recovered("r");
+        assert_eq!(t.name(), "r");
+        assert!(t.is_empty());
+        t.insert(&env, 3, "three");
+        assert_eq!(t.snapshot()[&3], "three");
     }
 }

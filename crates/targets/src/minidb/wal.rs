@@ -15,16 +15,46 @@ use std::cell::RefCell;
 /// Path of the log file.
 pub const WAL_PATH: &str = "/data/wal.log";
 
-/// A minimal append-only write-ahead log.
+/// How [`Wal::commit`] puts records on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalMode {
+    /// Fixed commit: open the log in append mode and write only the new
+    /// records, honoring short write counts. Previously committed records
+    /// are never touched, so no mid-commit crash can lose them.
+    #[default]
+    Append,
+    /// The historical bug, retained as a specimen for the recovery
+    /// oracle: read the whole log (swallowing read faults as an empty
+    /// log), re-create (truncate!) the file, and rewrite old + new
+    /// records in one buffer. A crash between the truncating create and
+    /// a durable rewrite loses *previously committed* records.
+    Rewrite,
+}
+
+/// A minimal write-ahead log.
 #[derive(Debug, Default)]
 pub struct Wal {
     pending: RefCell<Vec<String>>,
+    mode: WalMode,
 }
 
 impl Wal {
-    /// Creates an empty log handle.
+    /// Creates an empty log handle with the fixed (append-only) commit.
     pub fn new() -> Self {
         Wal::default()
+    }
+
+    /// Creates an empty log handle with an explicit commit mode.
+    pub fn with_mode(mode: WalMode) -> Self {
+        Wal {
+            pending: RefCell::new(Vec::new()),
+            mode,
+        }
+    }
+
+    /// The commit mode.
+    pub fn mode(&self) -> WalMode {
+        self.mode
     }
 
     /// Buffers one record for the next commit.
@@ -53,8 +83,15 @@ impl Wal {
         if records.is_empty() {
             return Ok(());
         }
-        let mut existing = vfs.contents(WAL_PATH).unwrap_or_default();
-        let fd = match vfs.create(env, WAL_PATH) {
+        match self.mode {
+            WalMode::Append => self.commit_append(env, vfs, &records),
+            WalMode::Rewrite => self.commit_rewrite(env, vfs, &records),
+        }
+    }
+
+    /// The fixed commit: append-only, short-write-safe.
+    fn commit_append(&self, env: &LibcEnv, vfs: &Vfs, records: &[String]) -> RunResult {
+        let fd = match vfs.open_append(env, WAL_PATH) {
             Ok(fd) => fd,
             Err(e) => {
                 // Recovery: rollback, statement fails gracefully.
@@ -62,13 +99,25 @@ impl Wal {
                 return Err(RunError::Fault(e.errno()));
             }
         };
-        for r in &records {
-            existing.extend_from_slice(r.as_bytes());
-            existing.push(b'\n');
+        let mut buf = Vec::new();
+        for r in records {
+            buf.extend_from_slice(r.as_bytes());
+            buf.push(b'\n');
         }
-        if vfs.write(env, fd, &existing).is_err() {
-            env.block(MODULE, 12);
-            panic!("abort: WAL write failed mid-commit, cannot guarantee durability");
+        let mut written = 0usize;
+        while written < buf.len() {
+            if !env.burn_fuel() {
+                let _ = vfs.close(env, fd);
+                return Err(RunError::Hang);
+            }
+            match vfs.write(env, fd, &buf[written..]) {
+                // Short counts are honored: the loop completes the record.
+                Ok(n) => written += n,
+                Err(_) => {
+                    env.block(MODULE, 12);
+                    panic!("abort: WAL write failed mid-commit, cannot guarantee durability");
+                }
+            }
         }
         if vfs.fsync(env, fd).is_err() {
             env.block(MODULE, 13);
@@ -83,7 +132,40 @@ impl Wal {
         Ok(())
     }
 
+    /// The bug specimen, verbatim: whole-log rewrite through a truncating
+    /// create, ignoring the write count.
+    fn commit_rewrite(&self, env: &LibcEnv, vfs: &Vfs, records: &[String]) -> RunResult {
+        let mut existing = vfs.contents(WAL_PATH).unwrap_or_default();
+        let fd = match vfs.create(env, WAL_PATH) {
+            Ok(fd) => fd,
+            Err(e) => {
+                env.block(MODULE, 11);
+                return Err(RunError::Fault(e.errno()));
+            }
+        };
+        for r in records {
+            existing.extend_from_slice(r.as_bytes());
+            existing.push(b'\n');
+        }
+        if vfs.write(env, fd, &existing).is_err() {
+            env.block(MODULE, 12);
+            panic!("abort: WAL write failed mid-commit, cannot guarantee durability");
+        }
+        if vfs.fsync(env, fd).is_err() {
+            env.block(MODULE, 13);
+            panic!("abort: WAL fsync failed, log may be torn");
+        }
+        if let Err(e) = vfs.close(env, fd) {
+            env.block(MODULE, 14);
+            return Err(RunError::Fault(e.errno()));
+        }
+        env.block(MODULE, 15);
+        Ok(())
+    }
+
     /// Replays the log after a restart, returning the recovered records.
+    /// A torn tail (a final record without its newline — a crash landed
+    /// mid-append) is dropped; every complete record is recovered.
     pub fn recover(&self, env: &LibcEnv, vfs: &Vfs) -> Result<Vec<String>, RunError> {
         let _f = env.frame("wal_recover");
         env.block(MODULE, 16);
@@ -94,10 +176,9 @@ impl Wal {
             env.block(MODULE, 17); // Recovery: unreadable log diagnostic.
             RunError::Fault(e.errno())
         })?;
-        Ok(String::from_utf8_lossy(&data)
-            .lines()
-            .map(str::to_owned)
-            .collect())
+        let text = String::from_utf8_lossy(&data);
+        let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+        Ok(complete.lines().map(str::to_owned).collect())
     }
 }
 
@@ -173,5 +254,93 @@ mod tests {
         let env = LibcEnv::new(FaultPlan::single(Func::Read, 1, Errno::EIO));
         let wal = Wal::new();
         assert!(wal.recover(&env, &vfs).is_err());
+    }
+
+    #[test]
+    fn recover_drops_torn_tail() {
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        vfs.seed_file(WAL_PATH, b"insert t 1 a\ninsert t 2 b\ninsert t 3");
+        let wal = Wal::new();
+        let rec = wal.recover(&env, &vfs).unwrap();
+        assert_eq!(rec, vec!["insert t 1 a", "insert t 2 b"]);
+    }
+
+    #[test]
+    fn append_commit_preserves_call_counts() {
+        // The fix must not shift libc call numbering: one open, one
+        // write, one fsync, one close per commit — same as the rewrite.
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let wal = Wal::new();
+        wal.append("r");
+        wal.commit(&env, &vfs).unwrap();
+        assert_eq!(env.call_count(Func::Open), 1);
+        assert_eq!(env.call_count(Func::Write), 1);
+        assert_eq!(env.call_count(Func::Fsync), 1);
+        assert_eq!(env.call_count(Func::Close), 1);
+    }
+
+    #[test]
+    fn append_commit_completes_short_writes() {
+        use crate::vfs_fault::{FaultKind, FaultRule, PathMatch, VfsOp};
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        vfs.arm_rules(vec![FaultRule {
+            op: VfsOp::Write,
+            path: PathMatch::Any,
+            nth: 1,
+            kind: FaultKind::ShortWrite,
+        }]);
+        let wal = Wal::new();
+        wal.append("insert t 1 payload");
+        wal.commit(&env, &vfs).unwrap();
+        assert_eq!(
+            wal.recover(&env, &vfs).unwrap(),
+            vec!["insert t 1 payload"],
+            "the commit loop must complete a short write"
+        );
+        // The retry cost one extra write call.
+        assert_eq!(env.call_count(Func::Write), 2);
+    }
+
+    #[test]
+    fn append_commit_survives_crash_mid_later_commit() {
+        // The fixed commit never touches earlier records: a write fault
+        // in commit #2 aborts the engine, and after a crash commit #1's
+        // record is still recoverable.
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let wal = Wal::new();
+        wal.append("insert t 1 first");
+        wal.commit(&env, &vfs).unwrap();
+        let env2 = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::EIO));
+        wal.append("insert t 2 second");
+        let aborted = crate::harness::catch_crash(|| wal.commit(&env2, &vfs));
+        assert!(aborted.is_err(), "write fault must abort commit #2");
+        vfs.crash();
+        let env3 = LibcEnv::fault_free();
+        let rec = Wal::new().recover(&env3, &vfs).unwrap();
+        assert_eq!(rec, vec!["insert t 1 first"]);
+    }
+
+    #[test]
+    fn rewrite_commit_loses_prior_records_on_crash() {
+        // The bug specimen: commit #2 truncates the log (journaled
+        // metadata — durable immediately), then the rewrite fails before
+        // any fsync. After a crash, commit #1's record is gone.
+        let env = LibcEnv::fault_free();
+        let vfs = fixture();
+        let wal = Wal::with_mode(WalMode::Rewrite);
+        wal.append("insert t 1 first");
+        wal.commit(&env, &vfs).unwrap();
+        let env2 = LibcEnv::new(FaultPlan::single(Func::Write, 1, Errno::EIO));
+        wal.append("insert t 2 second");
+        let aborted = crate::harness::catch_crash(|| wal.commit(&env2, &vfs));
+        assert!(aborted.is_err());
+        vfs.crash();
+        let env3 = LibcEnv::fault_free();
+        let rec = Wal::new().recover(&env3, &vfs).unwrap();
+        assert!(rec.is_empty(), "the rewrite bug loses committed records: {rec:?}");
     }
 }

@@ -22,7 +22,10 @@
 //! (alias `apache`), `docstore-0.8`, `docstore-2.0`. Real-process
 //! targets (live binaries under the `LD_PRELOAD` shim, sandboxed with a
 //! `--timeout` watchdog): `proc:victim-read-file`, `proc:victim-alloc`,
-//! `proc:victim-alloc-unchecked`, `proc:victim-spin`.
+//! `proc:victim-alloc-unchecked`, `proc:victim-spin`. Crash-recovery
+//! targets (rule-driven VFS faults + crash + fault-free reopen, checked
+//! by the durability oracle): `vfs:minidb-recovery`, `vfs:minidb-rewrite`
+//! (the retained whole-log-rewrite bug specimen), `vfs:docstore-recovery`.
 
 use afex::campaign::{known_target, run_pending, CorpusExporter};
 use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec, StopPolicy};
@@ -42,6 +45,9 @@ fn usage() -> ! {
          proc targets (real binaries, hunt/campaign only):\n\
                            proc:victim-read-file | proc:victim-alloc\n\
                            proc:victim-alloc-unchecked | proc:victim-spin\n\
+         vfs targets (crash-recovery oracle; describe/render/hunt/campaign):\n\
+                           vfs:minidb-recovery | vfs:minidb-rewrite\n\
+                           vfs:docstore-recovery\n\
          explore options:  --target <name> --strategy fitness|random|exhaustive|genetic\n\
                            --iterations N --seed S --metric default|paper|crash\n\
                            --feedback --json\n\
@@ -92,6 +98,15 @@ fn target_space(name: &str) -> TargetSpace {
             );
             std::process::exit(2);
         }
+        if afex::campaign::is_vfs_target(name) {
+            eprintln!(
+                "`{name}` is a crash-recovery target: each test is a whole \
+                 workload + crash + reopen cycle through the durability oracle, not a \
+                 single-test fault plan. Use `hunt --target {name}`, \
+                 `campaign --targets {name}`, or `describe`/`render` for its fault space."
+            );
+            std::process::exit(2);
+        }
         eprintln!("unknown target `{name}`");
         usage()
     })
@@ -122,6 +137,16 @@ fn cmd_describe(opts: &HashMap<String, String>) {
         .get("target")
         .map(String::as_str)
         .unwrap_or_else(|| usage());
+    if let Some(rs) = afex::campaign::vfs_target_space(name) {
+        println!("target: {}", rs.name());
+        println!("workloads: {}", afex::targets::recovery::NUM_WORKLOADS);
+        println!("oracle: workload under one fault rule -> crash -> fault-free reopen");
+        println!("fault space: {} points", rs.space().len());
+        for (i, axis) in rs.space().axes().iter().enumerate() {
+            println!("  axis {i}: {} ({} values)", axis.name(), axis.len());
+        }
+        return;
+    }
     let ts = target_space(name);
     println!("target: {}", ts.target().name());
     println!("tests in suite: {}", ts.target().num_tests());
@@ -137,7 +162,6 @@ fn cmd_render(opts: &HashMap<String, String>) {
         .get("target")
         .map(String::as_str)
         .unwrap_or_else(|| usage());
-    let ts = target_space(name);
     let point_str = opts
         .get("point")
         .map(String::as_str)
@@ -148,6 +172,25 @@ fn cmd_render(opts: &HashMap<String, String>) {
         std::process::exit(2);
     };
     let p = Point::new(attrs);
+    if let Some(rs) = afex::campaign::vfs_target_space(name) {
+        match rs.space().check(&p) {
+            Ok(()) => {
+                let (test, rule) = rs.rule_for(&p);
+                println!("workload: {test}");
+                match rule {
+                    Some(r) => println!("rule:     {r}"),
+                    None => println!("rule:     none (bare workload)"),
+                }
+                println!("fig5:     {}", rs.space().render(&p));
+            }
+            Err(e) => {
+                eprintln!("point does not address the space: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let ts = target_space(name);
     match ts.space().check(&p) {
         Ok(()) => {
             let (test, plan) = ts.plan_for(&p);
@@ -278,6 +321,9 @@ fn cmd_hunt(opts: &HashMap<String, String>) {
         });
         let mut explorer = strategy.build(ps.space_arc(), seed, afex::core::TraceStore::new());
         afex::campaign::run_proc_windowed(&ps, m, explorer.as_mut(), stop, workers, timeout.0)
+    } else if let Some(rs) = afex::campaign::vfs_target_space(name) {
+        let mut explorer = strategy.build(rs.space_arc(), seed, afex::core::TraceStore::new());
+        afex::campaign::run_vfs_windowed(&rs, m, explorer.as_mut(), stop, workers)
     } else {
         let ts = target_space(name);
         let mut explorer = strategy.build(ts.space_arc(), seed, afex::core::TraceStore::new());

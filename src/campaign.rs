@@ -29,6 +29,7 @@ use crate::core::{
 use crate::preload::locate;
 use crate::targets::docstore::Version;
 use crate::targets::proc::{ProcTargetSpace, VictimMode};
+use crate::targets::recovery::{EngineKind, RecoverySpace};
 use crate::targets::spaces::TargetSpace;
 use afex_cluster::{CampaignScheduler, CellChain, ParallelSession};
 use afex_space::PointCodec;
@@ -55,6 +56,19 @@ pub const PROC_TARGETS: [&str; 4] = [
     "proc:victim-spin",
 ];
 
+/// The crash-recovery target family: rule-driven VFS fault injection
+/// (error returns, short writes, dropped fsyncs, torn renames) against a
+/// storage-engine workload, followed by a simulated power cut and a
+/// fault-free reopen whose recovered state is checked against the
+/// acknowledged history. `minidb-rewrite` keeps the historical
+/// whole-log-rewrite WAL commit as a bug specimen the oracle catches;
+/// the other two run the fixed engines.
+pub const VFS_TARGETS: [&str; 3] = [
+    "vfs:minidb-recovery",
+    "vfs:minidb-rewrite",
+    "vfs:docstore-recovery",
+];
+
 /// The canonical spelling of a target name, if known. `mysql` and
 /// `apache` (the paper's names) are aliases of `minidb` and `httpd`
 /// (the stand-ins), matching `explore`. `proc:*` names are already
@@ -66,13 +80,31 @@ pub fn canonical_target(name: &str) -> Option<&'static str> {
         "apache" | "httpd" => Some("httpd"),
         "docstore-0.8" => Some("docstore-0.8"),
         "docstore-2.0" => Some("docstore-2.0"),
-        _ => PROC_TARGETS.iter().copied().find(|t| *t == name),
+        _ => PROC_TARGETS
+            .iter()
+            .chain(VFS_TARGETS.iter())
+            .copied()
+            .find(|t| *t == name),
     }
 }
 
 /// Whether a name denotes a real-process target (the `proc:*` family).
 pub fn is_proc_target(name: &str) -> bool {
     PROC_TARGETS.contains(&name)
+}
+
+/// Whether a name denotes a crash-recovery target (the `vfs:*` family).
+pub fn is_vfs_target(name: &str) -> bool {
+    VFS_TARGETS.contains(&name)
+}
+
+/// Builds the fault space + oracle adapter for a `vfs:*` target. Unlike
+/// `proc:*` targets these need no on-disk artifacts — the faulty VFS and
+/// the engines are in-process.
+pub fn vfs_target_space(name: &str) -> Option<RecoverySpace> {
+    name.strip_prefix("vfs:")
+        .and_then(EngineKind::from_name)
+        .map(RecoverySpace::new)
 }
 
 /// Builds the fault space + process-plan adapter for a `proc:*` target,
@@ -179,7 +211,10 @@ pub fn target_space(name: &str) -> Option<TargetSpace> {
         "docstore-0.8" => Some(TargetSpace::docstore(Version::V0_8)),
         "docstore-2.0" => Some(TargetSpace::docstore(Version::V2_0)),
         name => {
-            debug_assert!(is_proc_target(name), "canonical names are exhaustive");
+            debug_assert!(
+                is_proc_target(name) || is_vfs_target(name),
+                "canonical names are exhaustive"
+            );
             None
         }
     }
@@ -199,6 +234,9 @@ pub fn default_metric(target: &str) -> ImpactMetric {
     match target {
         "mysql" | "minidb" => ImpactMetric::crash_hunter(),
         t if is_proc_target(t) => ImpactMetric::crash_hunter(),
+        // Recovery targets hunt durability violations, which the oracle
+        // reports as crashes.
+        t if is_vfs_target(t) => ImpactMetric::crash_hunter(),
         _ => ImpactMetric::default(),
     }
 }
@@ -336,6 +374,13 @@ pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) ->
             .expect("all campaign target spaces fit u64 point codes");
         return CellOutcome::from_session(cell.index, &result, &codec);
     }
+    if let Some(rs) = vfs_target_space(&cell.target) {
+        let mut explorer = strategy.build(rs.space_arc(), cell.seed, seeds.store().clone());
+        let result = run_vfs_windowed(&rs, m, explorer.as_mut(), stop, spec.cell_workers.0);
+        let codec = PointCodec::for_space(rs.space())
+            .expect("all campaign target spaces fit u64 point codes");
+        return CellOutcome::from_session(cell.index, &result, &codec);
+    }
     let ts = target_space(&cell.target).expect("validated target");
     let mut explorer = strategy.build(ts.space_arc(), cell.seed, seeds.store().clone());
     let result = run_windowed(&ts, m, explorer.as_mut(), stop, spec.cell_workers.0);
@@ -373,6 +418,39 @@ pub fn run_windowed(
     } else {
         assert!(workers > 0, "need at least one worker");
         let exec = ts.clone();
+        let eval = OutcomeEvaluator::new(move |p| exec.execute(p), metric);
+        Engine::sequential().run(explorer, &eval, stop)
+    }
+}
+
+/// [`run_windowed`]'s crash-recovery sibling: runs a built explorer
+/// against a `vfs:*` target — each candidate point is one full
+/// workload + crash + fault-free reopen cycle through the recovery
+/// oracle. Same engine, same determinism contract.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn run_vfs_windowed(
+    rs: &RecoverySpace,
+    metric: ImpactMetric,
+    explorer: &mut dyn Explore,
+    stop: StopCondition,
+    workers: usize,
+) -> SessionResult {
+    if workers > 1 {
+        ParallelSession::new(workers).run_with_stop(
+            explorer,
+            |_manager| {
+                let exec = rs.clone();
+                let metric = metric.clone();
+                OutcomeEvaluator::new(move |p| exec.execute(p), metric)
+            },
+            stop,
+        )
+    } else {
+        assert!(workers > 0, "need at least one worker");
+        let exec = rs.clone();
         let eval = OutcomeEvaluator::new(move |p| exec.execute(p), metric);
         Engine::sequential().run(explorer, &eval, stop)
     }
@@ -664,6 +742,45 @@ mod tests {
         assert!(canonical_target("proc:victim-nosuch").is_none());
         let err = proc_target_space("proc:nosuch").unwrap_err();
         assert!(err.contains("unknown proc target"), "{err}");
+    }
+
+    #[test]
+    fn vfs_targets_are_known_and_hunt_crashes() {
+        for t in VFS_TARGETS {
+            assert!(known_target(t), "{t}");
+            assert!(is_vfs_target(t), "{t}");
+            assert_eq!(canonical_target(t), Some(t));
+            // Recovery targets are neither simulated-suite nor proc
+            // targets; they resolve through `vfs_target_space` and need
+            // no on-disk artifacts.
+            assert!(target_space(t).is_none(), "{t}");
+            assert!(!is_proc_target(t), "{t}");
+            assert!(vfs_target_space(t).is_some(), "{t}");
+            assert_eq!(default_metric(t), ImpactMetric::crash_hunter());
+        }
+        assert!(vfs_target_space("vfs:nosuch").is_none());
+        assert!(canonical_target("vfs:nosuch").is_none());
+        check_target_artifacts(&["vfs:minidb-recovery".into()]).unwrap();
+    }
+
+    #[test]
+    fn vfs_cells_run_and_are_deterministic() {
+        let spec = CampaignSpec {
+            targets: vec!["vfs:minidb-rewrite".into()],
+            strategies: vec!["random".into()],
+            seeds: 1,
+            base_seed: 9,
+            iterations: 40,
+            stop: StopPolicy::Iterations,
+            cell_workers: 2.into(),
+            timeout: Default::default(),
+            metric: None,
+        };
+        let cell = spec.cells().remove(0);
+        let a = run_cell(&cell, &spec, &TraceSeeds::new());
+        let b = run_cell(&cell, &spec, &TraceSeeds::new());
+        assert_eq!(a, b, "vfs cells must be deterministic");
+        assert_eq!(a.tests, 40);
     }
 
     #[test]
