@@ -22,15 +22,19 @@
 //!   [`Explore`](afex_core::Explore) strategy through a manager pool.
 //! - [`campaign`] — the sharded scheduler fanning a campaign's matrix of
 //!   cells (whole sessions) across the pool with work stealing.
+//! - [`multiplex`] — the long-running pool multiplexing many campaigns'
+//!   chains with round-robin fairness, for the campaign service.
 
 pub mod campaign;
 pub mod manager;
 pub mod messages;
+pub mod multiplex;
 pub mod parallel;
 pub mod plugin;
 pub mod scripts;
 
 pub use campaign::{CampaignScheduler, CellChain};
+pub use multiplex::{MultiplexPool, StreamId};
 pub use manager::NodeManager;
 pub use messages::{ManagerMsg, Task, TaskResult};
 pub use parallel::ParallelSession;

@@ -16,7 +16,22 @@
 //!                   [--timeout 10s] [--metric ...]
 //!                   [--stop iterations|failures:N|crashes:N]
 //!                   [--export corpus.jsonl] [--resume] [--json]
+//! afex-cli serve    --socket PATH --root dir/ [--workers W]
+//! afex-cli submit   --socket PATH --targets a,b,c [campaign spec flags]
+//! afex-cli status   --socket PATH [--id N] [--json]
+//! afex-cli inspect  --socket PATH --id N [--json]
+//! afex-cli top-failures --socket PATH --id N [--limit K]
+//! afex-cli shutdown --socket PATH
 //! ```
+//!
+//! `serve` runs the campaign service: one daemon multiplexing many
+//! campaigns on a shared worker pool (fair round-robin per cell), with
+//! cross-campaign trace preseeding per target and crash-safe durable
+//! state under `--root` — `kill -9` it, restart it on the same root,
+//! and every in-flight campaign resumes byte-identically. The other
+//! five subcommands are thin protocol clients. SIGINT/SIGTERM (or a
+//! `shutdown` request) drain gracefully: in-flight cells finish and
+//! checkpoint, queued cells stay pending in their snapshots, exit 0.
 //!
 //! Simulated targets: `coreutils`, `minidb` (alias `mysql`), `httpd`
 //! (alias `apache`), `docstore-0.8`, `docstore-2.0`. Real-process
@@ -27,20 +42,26 @@
 //! by the durability oracle): `vfs:minidb-recovery`, `vfs:minidb-rewrite`
 //! (the retained whole-log-rewrite bug specimen), `vfs:docstore-recovery`.
 
-use afex::campaign::{known_target, run_pending, CorpusExporter};
-use afex::core::campaign::{CampaignReport, CampaignSnapshot, CampaignSpec, StopPolicy};
+use afex::campaign::{
+    build_spec, known_target, load_resume_snapshot, run_campaign, run_hunt, HuntSpec, SpecOptions,
+    RESUME_LOCKED_FLAGS,
+};
+use afex::core::campaign::{CampaignSnapshot, CampaignSpec};
 use afex::core::{
     ExplorerConfig, FaultReport, ImpactMetric, OutcomeEvaluator, SearchStrategy, Session,
     StopCondition, TestTimeout,
 };
+use afex::protocol::{self, Request, Response};
+use afex::service::{CampaignRow, CampaignService};
 use afex::space::Point;
 use afex::targets::spaces::TargetSpace;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: afex-cli <describe|explore|render|hunt|campaign> [options]\n\
+        "usage: afex-cli <describe|explore|render|hunt|campaign|serve|submit|status|inspect|top-failures|shutdown> [options]\n\
          targets: coreutils | minidb (mysql) | httpd (apache) | docstore-0.8 | docstore-2.0\n\
          proc targets (real binaries, hunt/campaign only):\n\
                            proc:victim-read-file | proc:victim-alloc\n\
@@ -60,7 +81,13 @@ fn usage() -> ! {
                            --iterations M --workers W --cell-workers C\n\
                            --timeout 10s --metric default|paper|crash\n\
                            --stop iterations|failures:N|crashes:N\n\
-                           --export corpus.jsonl --resume --json"
+                           --export corpus.jsonl --resume --json\n\
+         serve options:    --socket PATH --root dir/ --workers W\n\
+         submit options:   --socket PATH + the campaign spec flags (no --out/--workers)\n\
+         status options:   --socket PATH [--id N] [--json]\n\
+         inspect options:  --socket PATH --id N [--json]\n\
+         top-failures:     --socket PATH --id N [--limit K]\n\
+         shutdown:         --socket PATH"
     );
     std::process::exit(2);
 }
@@ -306,29 +333,21 @@ fn cmd_hunt(opts: &HashMap<String, String>) {
             max_iterations: iterations,
         }
     };
-    let m = metric(opts.get("metric").map(String::as_str).unwrap_or("crash"));
-    let strategy = SearchStrategy::Fitness(ExplorerConfig {
-        redundancy_feedback: opts.contains_key("feedback"),
-        ..ExplorerConfig::default()
-    });
-    let timeout = parse_timeout(opts);
-    let result = if afex::campaign::is_proc_target(name) {
-        // A missing victim or shim artifact is a usage error (how to
-        // build it is in the message), caught before anything spawns.
-        let ps = afex::campaign::proc_target_space(name).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-        let mut explorer = strategy.build(ps.space_arc(), seed, afex::core::TraceStore::new());
-        afex::campaign::run_proc_windowed(&ps, m, explorer.as_mut(), stop, workers, timeout.0)
-    } else if let Some(rs) = afex::campaign::vfs_target_space(name) {
-        let mut explorer = strategy.build(rs.space_arc(), seed, afex::core::TraceStore::new());
-        afex::campaign::run_vfs_windowed(&rs, m, explorer.as_mut(), stop, workers)
-    } else {
-        let ts = target_space(name);
-        let mut explorer = strategy.build(ts.space_arc(), seed, afex::core::TraceStore::new());
-        afex::campaign::run_windowed(&ts, m, explorer.as_mut(), stop, workers)
+    let hunt = HuntSpec {
+        target: name.to_owned(),
+        stop,
+        seed,
+        workers,
+        metric: metric(opts.get("metric").map(String::as_str).unwrap_or("crash")),
+        feedback: opts.contains_key("feedback"),
+        timeout: parse_timeout(opts),
     };
+    // A missing victim or shim artifact is a usage error (how to build
+    // it is in the message), caught before anything spawns.
+    let result = run_hunt(&hunt).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     if opts.contains_key("json") {
         println!("{}", FaultReport::from_session(&result, 4).to_json());
         return;
@@ -365,95 +384,37 @@ fn comma_list(s: &str) -> Vec<String> {
         .collect()
 }
 
-/// Builds and validates the campaign spec from CLI flags; exits with the
-/// usual code 2 on an unknown target/strategy/metric, a duplicated
-/// target or strategy, or a missing `--targets`. Target and strategy
-/// aliases are canonicalized (`mysql`→`minidb`, `apache`→`httpd`,
-/// `fitness-guided`→`fitness`, `ga`→`genetic`) so the same target or
-/// strategy can never be scheduled twice under two spellings.
-fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
-    let raw_targets =
-        comma_list(opts.get("targets").map(String::as_str).unwrap_or_else(|| usage()));
-    let targets = afex::campaign::canonicalize_targets(&raw_targets).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let raw_strategies = comma_list(
-        opts.get("strategies")
-            .map(String::as_str)
-            .unwrap_or("fitness,random"),
-    );
-    let strategies =
-        afex::campaign::canonicalize_strategies(&raw_strategies).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let stop = opts
-        .get("stop")
-        .map(|s| {
-            StopPolicy::parse(s).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or_default();
-    let spec = CampaignSpec {
-        targets,
-        strategies,
-        seeds: parse_num(opts, "seeds", 1),
-        base_seed: parse_num(opts, "seed", 42),
-        iterations: parse_num(opts, "iterations", 200),
-        stop,
-        cell_workers: parse_num::<usize>(opts, "cell-workers", 1).into(),
-        timeout: parse_timeout(opts),
+/// Collects the campaign spec options from CLI flags; exits 2 on a
+/// malformed numeric flag or a missing `--targets`. All semantic
+/// validation (aliases, duplicates, stop/timeout spellings, proc
+/// artifacts) lives in the library's [`build_spec`].
+fn spec_options(opts: &HashMap<String, String>) -> SpecOptions {
+    let defaults = SpecOptions::default();
+    SpecOptions {
+        targets: comma_list(opts.get("targets").map(String::as_str).unwrap_or_else(|| usage())),
+        strategies: opts
+            .get("strategies")
+            .map(|s| comma_list(s))
+            .unwrap_or(defaults.strategies),
+        seeds: parse_num(opts, "seeds", defaults.seeds),
+        base_seed: parse_num(opts, "seed", defaults.base_seed),
+        iterations: parse_num(opts, "iterations", defaults.iterations),
+        stop: opts.get("stop").cloned(),
+        cell_workers: parse_num(opts, "cell-workers", defaults.cell_workers),
+        timeout: opts.get("timeout").cloned(),
         metric: opts.get("metric").cloned(),
-    };
-    if let Err(e) = spec.validate(known_target) {
-        eprintln!("{e}");
-        std::process::exit(2);
     }
-    // Proc targets need their on-disk artifacts before any cell runs:
-    // a missing victim or shim must be a clear usage error up front,
-    // not a panic deep inside the scheduler.
-    if let Err(e) = afex::campaign::check_target_artifacts(&spec.targets) {
-        eprintln!("{e}");
-        std::process::exit(2);
-    }
-    spec
 }
 
-/// Writes the snapshot atomically (temp file + rename) so an interrupt
-/// mid-write never corrupts the resumable state. The temp file is the
-/// snapshot path plus a `.tmp` *suffix* — `with_extension` would make
-/// outputs differing only in extension collide on one temp file.
-///
-/// # Errors
-///
-/// Returns the I/O error of the write or rename; the campaign driver
-/// turns it into a nonzero exit (a run whose checkpoint failed is not
-/// resumable, and exiting 0 would hide that).
-fn write_snapshot(snap: &CampaignSnapshot, path: &Path) -> std::io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let body = snap.to_json() + "\n";
-    std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path))
-}
-
-/// Checkpoints the snapshot (and the streaming export, if any), exiting
-/// nonzero on the first failure — the run is not resumable past a
-/// checkpoint that did not land on disk.
-fn checkpoint(snap: &CampaignSnapshot, path: &Path, exporter: &mut Option<CorpusExporter>) {
-    if let Err(e) = write_snapshot(snap, path) {
-        eprintln!("cannot write snapshot {}: {e}", path.display());
-        std::process::exit(1);
-    }
-    if let Some(ex) = exporter.as_mut() {
-        if let Err(e) = ex.sync(snap) {
-            eprintln!("cannot append corpus export: {e}");
-            std::process::exit(1);
-        }
-    }
+/// Builds and validates the campaign spec from CLI flags via the shared
+/// library path; exits with the usual code 2 on an unknown
+/// target/strategy/metric, a duplicated target or strategy, a malformed
+/// stop policy or timeout, or missing proc artifacts.
+fn spec_from_opts(opts: &HashMap<String, String>) -> CampaignSpec {
+    build_spec(&spec_options(opts)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn cmd_campaign(opts: &HashMap<String, String>) {
@@ -467,22 +428,13 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
         std::process::exit(2);
     }
     let snap_path = Path::new(out_dir).join("campaign.json");
-    let mut snap = if opts.contains_key("resume") {
+    let resume = opts.contains_key("resume");
+    let mut snap = if resume {
         // The snapshot's spec is the single source of truth on resume —
         // a changed matrix (or metric) would be a different campaign, so
         // matrix flags are rejected outright rather than silently
         // ignored or compared against unrelated defaults.
-        for flag in [
-            "targets",
-            "strategies",
-            "seeds",
-            "seed",
-            "iterations",
-            "metric",
-            "stop",
-            "cell-workers",
-            "timeout",
-        ] {
+        for flag in RESUME_LOCKED_FLAGS {
             if opts.contains_key(flag) {
                 eprintln!(
                     "cannot combine --resume with --{flag}: the snapshot's spec is used as-is"
@@ -490,84 +442,23 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
                 std::process::exit(2);
             }
         }
-        let text = std::fs::read_to_string(&snap_path).unwrap_or_else(|e| {
-            eprintln!("cannot resume from {}: {e}", snap_path.display());
-            std::process::exit(2);
-        });
-        let snap = CampaignSnapshot::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("cannot resume from {}: {e}", snap_path.display());
-            std::process::exit(2);
-        });
         // A hand-edited or foreign snapshot must fail here with exit 2,
-        // not deep inside a cell run. Targets must also be in canonical,
-        // alias-free form — a spec listing `mysql` and `minidb` would
-        // double-run one target and double-count its corpus — and the
-        // completed cells must form per-target prefixes, or the chained
-        // redundancy feedback cannot be replayed identically.
-        if let Err(e) = snap
-            .spec
-            .validate(known_target)
-            .and_then(|()| match afex::campaign::canonicalize_targets(&snap.spec.targets) {
-                Ok(canon) if canon == snap.spec.targets => Ok(()),
-                Ok(_) => Err("snapshot targets are not in canonical form".to_owned()),
-                Err(e) => Err(e),
-            })
-            .and_then(
-                |()| match afex::campaign::canonicalize_strategies(&snap.spec.strategies) {
-                    Ok(canon) if canon == snap.spec.strategies => Ok(()),
-                    Ok(_) => Err("snapshot strategies are not in canonical form".to_owned()),
-                    Err(e) => Err(e),
-                },
-            )
-            .and_then(|()| snap.check_consistent())
-            .and_then(|()| snap.check_chain_consistent())
-        {
-            eprintln!("cannot resume from {}: {e}", snap_path.display());
+        // not deep inside a cell run.
+        load_resume_snapshot(&snap_path).unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
-        }
-        // A resumed campaign with proc cells still pending needs the
-        // artifacts present *now*, whatever was true when it started.
-        if let Err(e) = afex::campaign::check_target_artifacts(&snap.spec.targets) {
-            eprintln!("cannot resume from {}: {e}", snap_path.display());
-            std::process::exit(2);
-        }
-        snap
+        })
     } else {
         CampaignSnapshot::new(spec_from_opts(opts))
     };
-    if let Err(e) = std::fs::create_dir_all(out_dir) {
-        eprintln!("cannot create {out_dir}: {e}");
-        std::process::exit(1);
-    }
-    // A resumed campaign appends to (and reconciles) its existing export;
-    // a fresh campaign truncates the path — inheriting records from an
-    // unrelated earlier run would both pollute the file and suppress this
-    // campaign's colliding records.
-    let mut exporter = opts.get("export").map(|p| {
-        let path = Path::new(p);
-        let opened = if opts.contains_key("resume") {
-            CorpusExporter::open(path)
-        } else {
-            CorpusExporter::create(path)
-        };
-        opened.unwrap_or_else(|e| {
-            eprintln!("cannot open corpus export {p}: {e}");
-            std::process::exit(1);
-        })
-    });
     let resumed_from = snap.done_count();
-    run_pending(&mut snap, workers, |s| {
-        checkpoint(s, &snap_path, &mut exporter);
-    });
-    // Also covers the nothing-pending case, and reconciles a resumed
-    // export file with the resumed snapshot's store.
-    checkpoint(&snap, &snap_path, &mut exporter);
-    let report = CampaignReport::from_snapshot(&snap);
+    let export = opts.get("export").map(Path::new);
+    let report = run_campaign(&mut snap, workers, Path::new(out_dir), export, resume)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
     let summary_path = Path::new(out_dir).join("summary.json");
-    if let Err(e) = std::fs::write(&summary_path, report.to_json() + "\n") {
-        eprintln!("cannot write summary {}: {e}", summary_path.display());
-        std::process::exit(1);
-    }
     if opts.contains_key("json") {
         println!("{}", report.to_json());
     } else {
@@ -583,6 +474,196 @@ fn cmd_campaign(opts: &HashMap<String, String>) {
     }
 }
 
+/// Set by the SIGINT/SIGTERM handler; the serve loop polls it between
+/// accepts and drains gracefully when it flips.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> i64;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// `afex-cli serve` — the campaign service daemon: bind the Unix
+/// socket, serve one request per connection, and on shutdown (protocol
+/// request or SIGINT/SIGTERM) drain the pool — in-flight cells finish
+/// and checkpoint, queued cells stay pending in their snapshots — and
+/// exit 0. Restarting on the same `--root` resumes every incomplete
+/// campaign byte-identically.
+fn cmd_serve(opts: &HashMap<String, String>) {
+    let socket = opts
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let root = opts.get("root").map(String::as_str).unwrap_or_else(|| usage());
+    let workers: usize = parse_num(opts, "workers", 4);
+    if workers == 0 {
+        eprintln!("--workers must be positive");
+        std::process::exit(2);
+    }
+    let service = CampaignService::open(Path::new(root), workers).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    // The daemon owns its socket path: a leftover file from a killed
+    // daemon would make bind fail forever, so clear it first.
+    let _ = std::fs::remove_file(socket);
+    let listener = std::os::unix::net::UnixListener::bind(socket).unwrap_or_else(|e| {
+        eprintln!("cannot bind {socket}: {e}");
+        std::process::exit(1);
+    });
+    listener
+        .set_nonblocking(true)
+        .expect("socket supports nonblocking accept");
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    println!("afex service: root {root}, {workers} workers, listening on {socket}");
+    while !STOP.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .expect("accepted stream supports blocking io");
+                match protocol::serve_connection(&service, &mut stream) {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    // A broken client connection is its problem, not
+                    // the daemon's.
+                    Err(e) => eprintln!("connection error: {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+    }
+    println!("afex service: draining");
+    service.shutdown();
+    let _ = std::fs::remove_file(socket);
+    println!("afex service: stopped");
+}
+
+/// Sends one request to the daemon, mapping replies onto the CLI's
+/// exit-code convention: protocol `Error` replies are usage-class
+/// failures (exit 2, same messages the `campaign` subcommand prints),
+/// transport failures are exit 1.
+fn rpc(opts: &HashMap<String, String>, req: &Request) -> Response {
+    let socket = opts
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    match protocol::request(Path::new(socket), req) {
+        Ok(Response::Error(e)) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn unexpected_reply(resp: &Response) -> ! {
+    eprintln!("unexpected daemon reply: {resp:?}");
+    std::process::exit(1);
+}
+
+fn parse_id(opts: &HashMap<String, String>) -> u64 {
+    let Some(raw) = opts.get("id") else { usage() };
+    raw.parse().unwrap_or_else(|_| usage())
+}
+
+fn print_row(row: &CampaignRow) {
+    let s = &row.status;
+    let state = if s.complete { "complete" } else { "running" };
+    println!(
+        "campaign {}: {state}, {}/{} cells, {} tests, {} unique failures ({} crashes)",
+        row.id, s.cells_done, s.cells_total, s.tests_executed, s.unique_failures,
+        s.unique_crashes
+    );
+    if let Some(e) = &row.error {
+        println!("  checkpoint error: {e}");
+    }
+}
+
+fn cmd_submit(opts: &HashMap<String, String>) {
+    match rpc(opts, &Request::Submit(spec_options(opts))) {
+        Response::Submitted { id } => println!("submitted: campaign {id}"),
+        other => unexpected_reply(&other),
+    }
+}
+
+fn cmd_status(opts: &HashMap<String, String>) {
+    let rows = if opts.contains_key("id") {
+        match rpc(opts, &Request::Status { id: parse_id(opts) }) {
+            Response::Status(row) => vec![row],
+            other => unexpected_reply(&other),
+        }
+    } else {
+        match rpc(opts, &Request::List) {
+            Response::List(rows) => rows,
+            other => unexpected_reply(&other),
+        }
+    };
+    if opts.contains_key("json") {
+        println!("{}", afex::protocol::encode(&rows).trim_end());
+        return;
+    }
+    if rows.is_empty() {
+        println!("no campaigns");
+    }
+    for row in &rows {
+        print_row(row);
+    }
+}
+
+fn cmd_inspect(opts: &HashMap<String, String>) {
+    match rpc(opts, &Request::Inspect { id: parse_id(opts) }) {
+        Response::Inspect(report) => {
+            if opts.contains_key("json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.summary());
+            }
+        }
+        other => unexpected_reply(&other),
+    }
+}
+
+fn cmd_top_failures(opts: &HashMap<String, String>) {
+    let limit: usize = parse_num(opts, "limit", 10);
+    match rpc(opts, &Request::TopFailures { id: parse_id(opts), limit }) {
+        // JSONL, one record per line — the same shape as the campaign's
+        // corpus export, so the output pipes into the same tooling.
+        Response::TopFailures(records) => {
+            for rec in &records {
+                println!("{}", rec.to_jsonl());
+            }
+        }
+        other => unexpected_reply(&other),
+    }
+}
+
+fn cmd_shutdown(opts: &HashMap<String, String>) {
+    match rpc(opts, &Request::Shutdown) {
+        Response::ShuttingDown => println!("daemon draining"),
+        other => unexpected_reply(&other),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -593,6 +674,12 @@ fn main() {
         "explore" => cmd_explore(&opts),
         "hunt" => cmd_hunt(&opts),
         "campaign" => cmd_campaign(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "status" => cmd_status(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "top-failures" => cmd_top_failures(&opts),
+        "shutdown" => cmd_shutdown(&opts),
         _ => usage(),
     }
 }

@@ -5,8 +5,23 @@
 //! across the manager pool. This module supplies the missing pieces —
 //! how one [`CampaignCell`] actually runs against a named target, how
 //! same-target cells chain their redundancy feedback, and the driver
-//! loop the CLI and the integration tests share — plus the streaming
-//! corpus exporter behind `afex-cli campaign --export`.
+//! loop the CLI, the daemon, and the integration tests share — plus the
+//! streaming corpus exporter behind `afex-cli campaign --export`.
+//!
+//! The module is the **library layer** of the library/CLI/service split:
+//! everything here returns typed errors and never prints or exits, so
+//! the `afex-cli` binary and the [`CampaignService`](crate::service)
+//! daemon drive one shared code path.
+//!
+//! - [`mod@self`] — the target/strategy registry and per-cell execution
+//!   ([`run_cell`], the `run_*_windowed` dispatchers, [`chain_seeds`]).
+//! - [`submit`] — building and validating campaign specs from untyped
+//!   options, and loading/validating resumable snapshots.
+//! - [`run`] — driving pending cells to completion with durable
+//!   checkpoints: atomic snapshot writes, the streaming corpus exporter,
+//!   and the stop-aware hunt entry point.
+//! - [`query`] — read-only views over snapshots: status rows, reports,
+//!   and top-failure rankings.
 //!
 //! Determinism contract: a cell's outcome depends only on its `(target,
 //! strategy, seed)` tuple, the spec's budget/stop policy/metric, and the
@@ -18,9 +33,23 @@
 //! snapshot whether the campaign runs in one go, is interrupted and
 //! resumed, or runs on pools of different sizes.
 
+pub mod query;
+pub mod run;
+pub mod submit;
+
+pub use query::{report_of, status_of, top_failures, CampaignStatus};
+pub use run::{
+    checkpoint, read_export, run_campaign, run_hunt, run_pending, sweep_stale_tmp, write_snapshot,
+    CorpusExporter, HuntSpec, RunError,
+};
+pub use submit::{
+    build_spec, load_resume_snapshot, validate_snapshot, validate_spec, ResumeError, SpecOptions,
+    SubmitError, RESUME_LOCKED_FLAGS,
+};
+
 use crate::core::campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignSnapshot, CampaignSpec,
-    CellOutcome, ExportRecord,
+    CellOutcome,
 };
 use crate::core::{
     Engine, Explore, ImpactMetric, OutcomeEvaluator, ProcessEvaluator, ProcessExecutor,
@@ -31,11 +60,8 @@ use crate::targets::docstore::Version;
 use crate::targets::proc::{ProcTargetSpace, VictimMode};
 use crate::targets::recovery::{EngineKind, RecoverySpace};
 use crate::targets::spaces::TargetSpace;
-use afex_cluster::{CampaignScheduler, CellChain, ParallelSession};
+use afex_cluster::ParallelSession;
 use afex_space::PointCodec;
-use std::collections::HashSet;
-use std::io::Write as _;
-use std::path::Path;
 
 /// The canonical campaign-runnable target names.
 pub const TARGETS: [&str; 5] = [
@@ -288,6 +314,13 @@ impl TraceSeeds {
             }
         }
     }
+
+    /// Adds one already-known trace — the cross-campaign preseeding path:
+    /// the campaign service seeds a fresh campaign's chains with every
+    /// trace prior campaigns found on the same target.
+    pub fn seed_text(&mut self, trace: &str) {
+        self.store.intern(trace);
+    }
 }
 
 /// The redundancy-feedback seeds for a target's next pending cell: the
@@ -299,7 +332,18 @@ impl TraceSeeds {
 /// out-of-order outcomes are ignored, since a cell's predecessors could
 /// never have produced them.
 pub fn chain_seeds(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
-    let mut seeds = TraceSeeds::new();
+    chain_seeds_into(TraceSeeds::new(), snap, target)
+}
+
+/// [`chain_seeds`] over a pre-populated seed set: the campaign service
+/// starts each chain from the cross-campaign preseed (traces every prior
+/// campaign found on the target) and extends it with the snapshot's own
+/// completed prefix.
+pub fn chain_seeds_into(
+    mut seeds: TraceSeeds,
+    snap: &CampaignSnapshot,
+    target: &str,
+) -> TraceSeeds {
     for state in snap.cells.iter().filter(|s| s.cell.target == target) {
         match &state.outcome {
             Some(outcome) => seeds.absorb(outcome),
@@ -487,201 +531,11 @@ pub fn run_proc_windowed(
     Engine::new(workers).drive(explorer, stop, &mut exec)
 }
 
-/// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
-/// recording each outcome into the snapshot as it completes. Pending
-/// cells are grouped into one [`CellChain`] per target — same-target
-/// cells run serialized in cell order, seeding each cell's redundancy
-/// feedback from its predecessors' deduped traces ([`chain_seeds`]
-/// covers the cells already completed in the snapshot), while different
-/// targets fan out across the pool. The stop policy and metric come from
-/// the snapshot's own spec, so a resumed campaign scores and stops
-/// exactly like the original run. `on_cell` runs on the calling thread
-/// after every recorded cell (wall-clock completion order) — the CLI
-/// checkpoints the snapshot file and the corpus export there.
-pub fn run_pending<G>(snap: &mut CampaignSnapshot, workers: usize, mut on_cell: G)
-where
-    G: FnMut(&CampaignSnapshot),
-{
-    let spec = snap.spec.clone();
-    let pending = snap.pending();
-    if pending.is_empty() {
-        return;
-    }
-    let chains: Vec<CellChain<TraceSeeds, CampaignCell>> = spec
-        .targets
-        .iter()
-        .filter_map(|target| {
-            let cells: Vec<CampaignCell> = pending
-                .iter()
-                .filter(|c| &c.target == target)
-                .cloned()
-                .collect();
-            if cells.is_empty() {
-                return None;
-            }
-            Some(CellChain {
-                state: chain_seeds(snap, target),
-                cells,
-            })
-        })
-        .collect();
-    let scheduler = CampaignScheduler::new(workers);
-    scheduler.run_chains(
-        chains,
-        |cell, seeds: &TraceSeeds| (cell.index, run_cell(cell, &spec, seeds)),
-        |seeds, _cell, (_, outcome)| seeds.absorb(outcome),
-        |(index, outcome)| {
-            snap.record(index, outcome);
-            on_cell(snap);
-        },
-    );
-}
-
-/// Streaming corpus export: an append-only JSONL file mirroring the
-/// campaign's deduplicated failure corpus, one [`ExportRecord`] per
-/// line, so very long campaigns can be tailed without loading the
-/// snapshot.
-///
-/// [`CorpusExporter::sync`] appends every store record whose
-/// `(target, code)` key is not yet in the file; the driver calls it at
-/// each checkpoint, keeping the file's record set equal to the snapshot
-/// store's. Appended records are final: same-target cells complete in
-/// cell order (the chain contract), so a record's earliest-cell credit
-/// never changes after it is written. Re-opening the file reconciles it
-/// against the snapshot — a kill between the snapshot write and the
-/// export append, or a torn final line, heals on the next `sync`.
-pub struct CorpusExporter {
-    file: std::fs::File,
-    /// `(target, code)` keys already in the file, target-keyed so `sync`
-    /// probes with a borrowed `&str` instead of cloning per record.
-    seen: std::collections::HashMap<String, HashSet<u64>>,
-}
-
-impl CorpusExporter {
-    /// Creates a fresh export file, truncating whatever was there: a new
-    /// campaign must not inherit records from an unrelated earlier run
-    /// (which would both pollute the file and suppress this campaign's
-    /// colliding records). Resumed campaigns use [`Self::open`].
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error of the create.
-    pub fn create(path: &Path) -> std::io::Result<Self> {
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(CorpusExporter {
-            file,
-            seen: std::collections::HashMap::new(),
-        })
-    }
-
-    /// Opens (or creates) an export file for appending — the resume
-    /// path. Existing complete lines are indexed so `sync` never
-    /// duplicates a record; a torn trailing line without a newline (the
-    /// mark of a kill mid-append) is truncated away and re-appended by
-    /// the next `sync`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error, or an `InvalidData` error if an existing
-    /// complete line is not a valid export record.
-    pub fn open(path: &Path) -> std::io::Result<Self> {
-        let existing = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
-            Err(e) => return Err(e),
-        };
-        let complete = existing.rfind('\n').map_or(0, |i| i + 1);
-        let mut seen: std::collections::HashMap<String, HashSet<u64>> =
-            std::collections::HashMap::new();
-        for line in existing[..complete].lines() {
-            let record = ExportRecord::from_jsonl(line).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("corrupt export line in {}: {e}", path.display()),
-                )
-            })?;
-            seen.entry(record.target).or_default().insert(record.record.code);
-        }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        file.set_len(complete as u64)?;
-        Ok(CorpusExporter { file, seen })
-    }
-
-    /// Number of records in the file.
-    pub fn len(&self) -> usize {
-        self.seen.values().map(HashSet::len).sum()
-    }
-
-    /// Whether the file holds no records.
-    pub fn is_empty(&self) -> bool {
-        self.seen.values().all(HashSet::is_empty)
-    }
-
-    /// Appends every store record not yet in the file, leaving the
-    /// file's record set equal to the snapshot store's.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O error of the append.
-    pub fn sync(&mut self, snap: &CampaignSnapshot) -> std::io::Result<()> {
-        let mut batch = String::new();
-        for ((target, code), record) in snap.store.iter() {
-            if self
-                .seen
-                .get(target.as_str())
-                .is_some_and(|codes| codes.contains(code))
-            {
-                continue;
-            }
-            let line = ExportRecord {
-                target: target.clone(),
-                record: record.clone(),
-            }
-            .to_jsonl();
-            batch.push_str(&line);
-            batch.push('\n');
-            self.seen.entry(target.clone()).or_default().insert(*code);
-        }
-        if !batch.is_empty() {
-            self.file.write_all(batch.as_bytes())?;
-            self.file.flush()?;
-        }
-        Ok(())
-    }
-}
-
-/// Reads an export file back into its records (test and tooling
-/// support; the write path is [`CorpusExporter`]).
-///
-/// # Errors
-///
-/// Returns the I/O error, or an `InvalidData` error for a malformed
-/// line.
-pub fn read_export(path: &Path) -> std::io::Result<Vec<ExportRecord>> {
-    let text = std::fs::read_to_string(path)?;
-    text.lines()
-        .map(|line| {
-            ExportRecord::from_jsonl(line).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("corrupt export line in {}: {e}", path.display()),
-                )
-            })
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::core::campaign::{CampaignSpec, StopPolicy};
+    use std::collections::HashSet;
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {

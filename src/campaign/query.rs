@@ -1,0 +1,144 @@
+//! Read-only views over campaign snapshots.
+//!
+//! The query half of the library layer: everything a client asks a
+//! running (or finished) campaign — how far along is it, what has it
+//! found, which failures matter most — computed from the snapshot
+//! alone, so the CLI, the daemon's `status`/`inspect`/`top-failures`
+//! protocol replies, and the tests all read one code path. The full
+//! per-cell breakdown remains [`CampaignReport`]; [`CampaignStatus`] is
+//! the compact polling row.
+
+use crate::core::campaign::{CampaignReport, CampaignSnapshot, ExportRecord};
+use serde::{Deserialize, Serialize};
+
+/// The compact progress row a client polls: corpus-level counters plus
+/// completion. Serializable because the daemon sends it verbatim as the
+/// `status` reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStatus {
+    /// Cells completed so far.
+    pub cells_done: usize,
+    /// Total cells in the matrix.
+    pub cells_total: usize,
+    /// Tests executed across completed cells.
+    pub tests_executed: usize,
+    /// Unique failing faults in the deduped corpus.
+    pub unique_failures: usize,
+    /// Unique crashing faults in the deduped corpus.
+    pub unique_crashes: usize,
+    /// Whether every cell has completed.
+    pub complete: bool,
+}
+
+/// Computes the progress row for a snapshot.
+pub fn status_of(snap: &CampaignSnapshot) -> CampaignStatus {
+    CampaignStatus {
+        cells_done: snap.done_count(),
+        cells_total: snap.cells.len(),
+        tests_executed: snap
+            .cells
+            .iter()
+            .filter_map(|s| s.outcome.as_ref())
+            .map(|o| o.tests)
+            .sum(),
+        unique_failures: snap.store.len(),
+        unique_crashes: snap.store.crash_count(),
+        complete: snap.is_complete(),
+    }
+}
+
+/// The `limit` highest-impact records of the deduped corpus, as export
+/// records (target + failure). Sorted by impact descending; ties keep
+/// the store's sorted `(target, code)` key order, so the ranking is
+/// deterministic and stable across resumes.
+pub fn top_failures(snap: &CampaignSnapshot, limit: usize) -> Vec<ExportRecord> {
+    let mut records: Vec<ExportRecord> = snap
+        .store
+        .iter()
+        .map(|((target, _), record)| ExportRecord {
+            target: target.clone(),
+            record: record.clone(),
+        })
+        .collect();
+    records.sort_by(|a, b| b.record.impact.total_cmp(&a.record.impact));
+    records.truncate(limit);
+    records
+}
+
+/// Builds the full per-cell report for a snapshot — the `inspect`
+/// reply. Thin alias over [`CampaignReport::from_snapshot`] so the
+/// query layer covers every read shape the protocol offers.
+pub fn report_of(snap: &CampaignSnapshot) -> CampaignReport {
+    CampaignReport::from_snapshot(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_pending;
+    use crate::core::campaign::{CampaignSpec, StopPolicy};
+
+    fn explored_snapshot() -> CampaignSnapshot {
+        let spec = CampaignSpec {
+            targets: vec!["docstore-0.8".into()],
+            strategies: vec!["fitness".into(), "random".into()],
+            seeds: 1,
+            base_seed: 11,
+            iterations: 60,
+            stop: StopPolicy::Iterations,
+            cell_workers: 1.into(),
+            timeout: Default::default(),
+            metric: None,
+        };
+        let mut snap = CampaignSnapshot::new(spec);
+        run_pending(&mut snap, 2, |_| {});
+        snap
+    }
+
+    #[test]
+    fn status_tracks_progress_and_roundtrips() {
+        let snap = explored_snapshot();
+        let status = status_of(&snap);
+        assert!(status.complete);
+        assert_eq!(status.cells_done, 2);
+        assert_eq!(status.cells_total, 2);
+        assert_eq!(status.tests_executed, 120);
+        assert_eq!(status.unique_failures, snap.store.len());
+        assert_eq!(status.unique_crashes, snap.store.crash_count());
+        let json = serde_json::to_string(&status).unwrap();
+        let back: CampaignStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
+        // A fresh snapshot reports zero everywhere and not complete.
+        let fresh = status_of(&CampaignSnapshot::new(snap.spec.clone()));
+        assert_eq!(fresh.cells_done, 0);
+        assert!(!fresh.complete);
+    }
+
+    #[test]
+    fn top_failures_rank_by_impact_deterministically() {
+        let snap = explored_snapshot();
+        assert!(snap.store.len() >= 3, "need a corpus to rank");
+        let top = top_failures(&snap, 3);
+        assert_eq!(top.len(), 3);
+        for pair in top.windows(2) {
+            assert!(
+                pair[0].record.impact >= pair[1].record.impact,
+                "impact must be non-increasing"
+            );
+        }
+        // The full ranking is the corpus itself, and ranking twice is
+        // identical (stable tie-break on the store's key order).
+        assert_eq!(top_failures(&snap, usize::MAX).len(), snap.store.len());
+        assert_eq!(top_failures(&snap, 3), top);
+        // Every ranked record is a verbatim corpus record.
+        for rec in &top {
+            assert_eq!(snap.store.get(&rec.target, rec.record.code), Some(&rec.record));
+        }
+    }
+
+    #[test]
+    fn report_of_matches_the_report_type() {
+        let snap = explored_snapshot();
+        assert_eq!(report_of(&snap), CampaignReport::from_snapshot(&snap));
+    }
+}

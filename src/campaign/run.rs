@@ -1,0 +1,624 @@
+//! Driving campaigns to completion with durable checkpoints.
+//!
+//! The execution half of the library layer: [`run_pending`] fans a
+//! snapshot's pending cells across a scheduler pool, [`write_snapshot`]
+//! checkpoints atomically, [`CorpusExporter`] mirrors the deduped corpus
+//! to an append-only JSONL file, and [`run_campaign`] ties the three
+//! together — create the output directory, sweep stale temp files, run,
+//! checkpoint every cell, write the summary. [`run_hunt`] is the
+//! stop-aware single-session sibling behind `afex-cli hunt`. Everything
+//! returns typed errors ([`RunError`]) whose `Display` renderings are
+//! the messages the CLI has always printed; nothing here prints or
+//! exits.
+
+use super::{
+    chain_seeds, is_proc_target, known_target, proc_target_space, run_cell, run_proc_windowed,
+    run_vfs_windowed, run_windowed, target_space, vfs_target_space, TraceSeeds,
+};
+use crate::core::campaign::{
+    CampaignCell, CampaignReport, CampaignSnapshot, ExportRecord, TestTimeout,
+};
+use crate::core::{
+    ExplorerConfig, ImpactMetric, SearchStrategy, SessionResult, StopCondition, TraceStore,
+};
+use afex_cluster::{CampaignScheduler, CellChain};
+use std::collections::HashSet;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Runs every pending cell of `snap` on a `workers`-wide scheduler pool,
+/// recording each outcome into the snapshot as it completes. Pending
+/// cells are grouped into one [`CellChain`] per target — same-target
+/// cells run serialized in cell order, seeding each cell's redundancy
+/// feedback from its predecessors' deduped traces ([`chain_seeds`]
+/// covers the cells already completed in the snapshot), while different
+/// targets fan out across the pool. The stop policy and metric come from
+/// the snapshot's own spec, so a resumed campaign scores and stops
+/// exactly like the original run. `on_cell` runs on the calling thread
+/// after every recorded cell (wall-clock completion order) — the CLI
+/// checkpoints the snapshot file and the corpus export there.
+pub fn run_pending<G>(snap: &mut CampaignSnapshot, workers: usize, mut on_cell: G)
+where
+    G: FnMut(&CampaignSnapshot),
+{
+    let spec = snap.spec.clone();
+    let pending = snap.pending();
+    if pending.is_empty() {
+        return;
+    }
+    let chains: Vec<CellChain<TraceSeeds, CampaignCell>> = spec
+        .targets
+        .iter()
+        .filter_map(|target| {
+            let cells: Vec<CampaignCell> = pending
+                .iter()
+                .filter(|c| &c.target == target)
+                .cloned()
+                .collect();
+            if cells.is_empty() {
+                return None;
+            }
+            Some(CellChain {
+                state: chain_seeds(snap, target),
+                cells,
+            })
+        })
+        .collect();
+    let scheduler = CampaignScheduler::new(workers);
+    scheduler.run_chains(
+        chains,
+        |cell, seeds: &TraceSeeds| (cell.index, run_cell(cell, &spec, seeds)),
+        |seeds, _cell, (_, outcome)| seeds.absorb(outcome),
+        |(index, outcome)| {
+            snap.record(index, outcome);
+            on_cell(snap);
+        },
+    );
+}
+
+/// Writes the snapshot atomically (temp file + rename) so an interrupt
+/// mid-write never corrupts the resumable state. The temp file is the
+/// snapshot path plus a `.tmp` *suffix* — `with_extension` would make
+/// outputs differing only in extension collide on one temp file. On
+/// failure the temp file is removed again: a write that did not land
+/// must not leave a stale `.tmp` behind to confuse the next resume
+/// (crashes mid-write still can, which is what [`sweep_stale_tmp`]
+/// handles on open).
+///
+/// # Errors
+///
+/// Returns the I/O error of the write or rename; the campaign driver
+/// turns it into a nonzero exit (a run whose checkpoint failed is not
+/// resumable, and exiting 0 would hide that).
+pub fn write_snapshot(snap: &CampaignSnapshot, path: &Path) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let body = snap.to_json() + "\n";
+    let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Removes orphaned `.tmp` files from a campaign directory — the debris
+/// of a crash between a temp-file write and its rename. Called when a
+/// campaign directory is opened or resumed (CLI and daemon alike); the
+/// snapshot itself is never touched, since the atomic rename guarantees
+/// it is either the old or the new complete state. Returns how many
+/// files were swept; a missing directory sweeps nothing.
+///
+/// # Errors
+///
+/// Returns the I/O error of the directory listing or a removal.
+pub fn sweep_stale_tmp(dir: &Path) -> std::io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut swept = 0;
+    for entry in entries {
+        let entry = entry?;
+        let is_tmp = entry
+            .file_name()
+            .to_str()
+            .is_some_and(|name| name.ends_with(".tmp"));
+        if is_tmp && entry.file_type()?.is_file() {
+            std::fs::remove_file(entry.path())?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// Why a campaign run failed around the cells (the cells themselves are
+/// infallible-by-construction: a validated spec either runs or panics on
+/// a caller bug). The `Display` renderings are the CLI's long-standing
+/// messages; every variant is an exit-1 class failure — the campaign
+/// state on disk is whatever the last successful checkpoint left.
+#[derive(Debug)]
+pub enum RunError {
+    /// The output directory could not be created.
+    CreateDir {
+        /// The directory as the caller spelled it.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The corpus-export file could not be opened (or its existing
+    /// contents failed to parse).
+    OpenExport {
+        /// The export path as the caller spelled it.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A snapshot checkpoint did not land on disk.
+    Snapshot {
+        /// The snapshot path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A corpus-export append failed.
+    Export(std::io::Error),
+    /// The final summary file could not be written.
+    Summary {
+        /// The summary path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::CreateDir { path, source } => {
+                write!(f, "cannot create {}: {source}", path.display())
+            }
+            RunError::OpenExport { path, source } => {
+                write!(f, "cannot open corpus export {}: {source}", path.display())
+            }
+            RunError::Snapshot { path, source } => {
+                write!(f, "cannot write snapshot {}: {source}", path.display())
+            }
+            RunError::Export(source) => write!(f, "cannot append corpus export: {source}"),
+            RunError::Summary { path, source } => {
+                write!(f, "cannot write summary {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::CreateDir { source, .. }
+            | RunError::OpenExport { source, .. }
+            | RunError::Snapshot { source, .. }
+            | RunError::Export(source)
+            | RunError::Summary { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Runs a campaign to completion in `out_dir`, checkpointing after every
+/// cell: the one driver behind `afex-cli campaign`, the daemon's
+/// single-campaign fallback, and the integration tests.
+///
+/// Creates the directory, sweeps stale `.tmp` debris, opens the corpus
+/// export (`resume` appends-and-reconciles, fresh truncates — inheriting
+/// records from an unrelated earlier run would both pollute the file and
+/// suppress this campaign's colliding records), drives the pending cells
+/// with a checkpoint per completion, writes a final checkpoint (which
+/// also covers the nothing-pending case and reconciles a resumed export
+/// with the resumed snapshot's store), and lands `summary.json`. The
+/// snapshot lives at `out_dir/campaign.json`.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`]. A checkpoint failure does not abort
+/// in-flight cells (the scheduler has no preemption), but no further
+/// checkpoints are attempted and the error is returned once the pool
+/// drains — the on-disk state remains the last successful checkpoint.
+pub fn run_campaign(
+    snap: &mut CampaignSnapshot,
+    workers: usize,
+    out_dir: &Path,
+    export: Option<&Path>,
+    resume: bool,
+) -> Result<CampaignReport, RunError> {
+    std::fs::create_dir_all(out_dir).map_err(|source| RunError::CreateDir {
+        path: out_dir.to_owned(),
+        source,
+    })?;
+    sweep_stale_tmp(out_dir).map_err(|source| RunError::CreateDir {
+        path: out_dir.to_owned(),
+        source,
+    })?;
+    let mut exporter = match export {
+        Some(path) => {
+            let opened = if resume {
+                CorpusExporter::open(path)
+            } else {
+                CorpusExporter::create(path)
+            };
+            Some(opened.map_err(|source| RunError::OpenExport {
+                path: path.to_owned(),
+                source,
+            })?)
+        }
+        None => None,
+    };
+    let snap_path = out_dir.join("campaign.json");
+    let mut first_err: Option<RunError> = None;
+    run_pending(snap, workers, |s| {
+        if first_err.is_none() {
+            first_err = checkpoint(s, &snap_path, exporter.as_mut()).err();
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    checkpoint(snap, &snap_path, exporter.as_mut())?;
+    let report = CampaignReport::from_snapshot(snap);
+    let summary_path = out_dir.join("summary.json");
+    std::fs::write(&summary_path, report.to_json() + "\n").map_err(|source| {
+        RunError::Summary {
+            path: summary_path.clone(),
+            source,
+        }
+    })?;
+    Ok(report)
+}
+
+/// Checkpoints the snapshot (and the streaming export, if any): the
+/// per-cell durability step shared by [`run_campaign`] and the daemon.
+///
+/// # Errors
+///
+/// Returns the first failed write as a [`RunError`] — the run is not
+/// resumable past a checkpoint that did not land on disk.
+pub fn checkpoint(
+    snap: &CampaignSnapshot,
+    snap_path: &Path,
+    exporter: Option<&mut CorpusExporter>,
+) -> Result<(), RunError> {
+    write_snapshot(snap, snap_path).map_err(|source| RunError::Snapshot {
+        path: snap_path.to_owned(),
+        source,
+    })?;
+    if let Some(ex) = exporter {
+        ex.sync(snap).map_err(RunError::Export)?;
+    }
+    Ok(())
+}
+
+/// One hunt: the §6.2 "find N crash scenarios" search target as a
+/// single stop-aware session, fully specified so the CLI and the daemon
+/// build it the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HuntSpec {
+    /// Target name (any family: simulated, `proc:*`, `vfs:*`).
+    pub target: String,
+    /// When to stop (count target plus iteration cap).
+    pub stop: StopCondition,
+    /// Session seed.
+    pub seed: u64,
+    /// In-flight candidate window (pool width).
+    pub workers: usize,
+    /// Impact metric scoring every test.
+    pub metric: ImpactMetric,
+    /// Whether the fitness explorer runs the §5 redundancy-feedback loop.
+    pub feedback: bool,
+    /// Per-test watchdog budget (real-process targets only).
+    pub timeout: TestTimeout,
+}
+
+/// Runs a hunt: one fitness-guided session against the named target,
+/// stop-aware on a node-manager pool — the engine checks the stop
+/// condition at every head-of-line completion, so the pool halts at the
+/// Nth crash (plus the in-flight window draining) instead of running
+/// the iteration cap out. Deterministic for a fixed `workers` count.
+/// Dispatches on the target family: live binaries run through the
+/// sandboxed process executor, `vfs:*` targets through the
+/// crash-recovery oracle, simulated suites in-process.
+///
+/// # Errors
+///
+/// Returns `unknown target` for a name outside the registry, or the
+/// artifact-resolution message for a `proc:*` target whose victim
+/// binary or shim cdylib is missing.
+///
+/// # Panics
+///
+/// Panics if `hunt.workers` is zero.
+pub fn run_hunt(hunt: &HuntSpec) -> Result<SessionResult, String> {
+    let name = hunt.target.as_str();
+    if !known_target(name) {
+        return Err(format!("unknown target `{name}`"));
+    }
+    let strategy = SearchStrategy::Fitness(ExplorerConfig {
+        redundancy_feedback: hunt.feedback,
+        ..ExplorerConfig::default()
+    });
+    let m = hunt.metric.clone();
+    if is_proc_target(name) {
+        // A missing victim or shim artifact is a usage error (how to
+        // build it is in the message), caught before anything spawns.
+        let ps = proc_target_space(name)?;
+        let mut explorer = strategy.build(ps.space_arc(), hunt.seed, TraceStore::new());
+        return Ok(run_proc_windowed(
+            &ps,
+            m,
+            explorer.as_mut(),
+            hunt.stop,
+            hunt.workers,
+            hunt.timeout.0,
+        ));
+    }
+    if let Some(rs) = vfs_target_space(name) {
+        let mut explorer = strategy.build(rs.space_arc(), hunt.seed, TraceStore::new());
+        return Ok(run_vfs_windowed(&rs, m, explorer.as_mut(), hunt.stop, hunt.workers));
+    }
+    let ts = target_space(name).expect("known non-proc non-vfs targets are simulated");
+    let mut explorer = strategy.build(ts.space_arc(), hunt.seed, TraceStore::new());
+    Ok(run_windowed(&ts, m, explorer.as_mut(), hunt.stop, hunt.workers))
+}
+
+/// Streaming corpus export: an append-only JSONL file mirroring the
+/// campaign's deduplicated failure corpus, one [`ExportRecord`] per
+/// line, so very long campaigns can be tailed without loading the
+/// snapshot.
+///
+/// [`CorpusExporter::sync`] appends every store record whose
+/// `(target, code)` key is not yet in the file; the driver calls it at
+/// each checkpoint, keeping the file's record set equal to the snapshot
+/// store's. Appended records are final: same-target cells complete in
+/// cell order (the chain contract), so a record's earliest-cell credit
+/// never changes after it is written. Re-opening the file reconciles it
+/// against the snapshot — a kill between the snapshot write and the
+/// export append, or a torn final line, heals on the next `sync`.
+pub struct CorpusExporter {
+    file: std::fs::File,
+    /// `(target, code)` keys already in the file, target-keyed so `sync`
+    /// probes with a borrowed `&str` instead of cloning per record.
+    seen: std::collections::HashMap<String, HashSet<u64>>,
+}
+
+impl CorpusExporter {
+    /// Creates a fresh export file, truncating whatever was there: a new
+    /// campaign must not inherit records from an unrelated earlier run
+    /// (which would both pollute the file and suppress this campaign's
+    /// colliding records). Resumed campaigns use [`Self::open`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of the create.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(CorpusExporter {
+            file,
+            seen: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Opens (or creates) an export file for appending — the resume
+    /// path. Existing complete lines are indexed so `sync` never
+    /// duplicates a record; a torn trailing line without a newline (the
+    /// mark of a kill mid-append) is truncated away and re-appended by
+    /// the next `sync`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or an `InvalidData` error if an existing
+    /// complete line is not a valid export record.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let complete = existing.rfind('\n').map_or(0, |i| i + 1);
+        let mut seen: std::collections::HashMap<String, HashSet<u64>> =
+            std::collections::HashMap::new();
+        for line in existing[..complete].lines() {
+            let record = ExportRecord::from_jsonl(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt export line in {}: {e}", path.display()),
+                )
+            })?;
+            seen.entry(record.target).or_default().insert(record.record.code);
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.set_len(complete as u64)?;
+        Ok(CorpusExporter { file, seen })
+    }
+
+    /// Number of records in the file.
+    pub fn len(&self) -> usize {
+        self.seen.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.seen.values().all(HashSet::is_empty)
+    }
+
+    /// Appends every store record not yet in the file, leaving the
+    /// file's record set equal to the snapshot store's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of the append.
+    pub fn sync(&mut self, snap: &CampaignSnapshot) -> std::io::Result<()> {
+        let mut batch = String::new();
+        for ((target, code), record) in snap.store.iter() {
+            if self
+                .seen
+                .get(target.as_str())
+                .is_some_and(|codes| codes.contains(code))
+            {
+                continue;
+            }
+            let line = ExportRecord {
+                target: target.clone(),
+                record: record.clone(),
+            }
+            .to_jsonl();
+            batch.push_str(&line);
+            batch.push('\n');
+            self.seen.entry(target.clone()).or_default().insert(*code);
+        }
+        if !batch.is_empty() {
+            self.file.write_all(batch.as_bytes())?;
+            self.file.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads an export file back into its records (test and tooling
+/// support; the write path is [`CorpusExporter`]).
+///
+/// # Errors
+///
+/// Returns the I/O error, or an `InvalidData` error for a malformed
+/// line.
+pub fn read_export(path: &Path) -> std::io::Result<Vec<ExportRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .map(|line| {
+            ExportRecord::from_jsonl(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt export line in {}: {e}", path.display()),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::campaign::{CampaignSpec, StopPolicy};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("afex-run-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            targets: vec!["coreutils".into()],
+            strategies: vec!["random".into()],
+            seeds: 1,
+            base_seed: 3,
+            iterations: 25,
+            stop: StopPolicy::Iterations,
+            cell_workers: 1.into(),
+            timeout: Default::default(),
+            metric: None,
+        }
+    }
+
+    #[test]
+    fn write_snapshot_cleans_its_tmp_on_failure() {
+        let dir = tmp_dir("tmpclean");
+        // Renaming onto an existing non-empty *directory* fails, so the
+        // write lands in the temp file and the rename errors out.
+        let blocked = dir.join("campaign.json");
+        std::fs::create_dir_all(blocked.join("occupied")).unwrap();
+        let snap = CampaignSnapshot::new(tiny_spec());
+        let err = write_snapshot(&snap, &blocked);
+        assert!(err.is_err(), "rename onto a non-empty dir must fail");
+        assert!(
+            !dir.join("campaign.json.tmp").exists(),
+            "failed write must not leave a stale .tmp behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_clears_orphaned_tmp_files_only() {
+        let dir = tmp_dir("sweep");
+        std::fs::write(dir.join("campaign.json.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("other.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("campaign.json"), b"{}").unwrap();
+        std::fs::create_dir_all(dir.join("sub.tmp")).unwrap(); // dirs survive
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 2);
+        assert!(dir.join("campaign.json").exists());
+        assert!(dir.join("sub.tmp").exists());
+        assert!(!dir.join("campaign.json.tmp").exists());
+        // Idempotent, and a missing directory sweeps nothing.
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 0);
+        assert_eq!(sweep_stale_tmp(&dir.join("nosuch")).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_campaign_lands_snapshot_summary_and_export() {
+        let dir = tmp_dir("drive");
+        let out = dir.join("out");
+        let export = dir.join("corpus.jsonl");
+        // Stale debris from a simulated earlier crash is swept on open.
+        std::fs::create_dir_all(&out).unwrap();
+        std::fs::write(out.join("campaign.json.tmp"), b"torn").unwrap();
+        let mut snap = CampaignSnapshot::new(tiny_spec());
+        let report = run_campaign(&mut snap, 2, &out, Some(export.as_path()), false).unwrap();
+        assert!(snap.is_complete());
+        assert_eq!(report.cells_done, 1);
+        assert!(!out.join("campaign.json.tmp").exists(), "stale tmp swept");
+        let on_disk = std::fs::read_to_string(out.join("campaign.json")).unwrap();
+        assert_eq!(on_disk, snap.to_json() + "\n");
+        assert!(out.join("summary.json").exists());
+        assert_eq!(read_export(&export).unwrap().len(), snap.store.len());
+        // Resuming a complete campaign is a no-op that reconciles.
+        let before = std::fs::read(out.join("campaign.json")).unwrap();
+        let mut resumed = CampaignSnapshot::from_json(&on_disk).unwrap();
+        run_campaign(&mut resumed, 2, &out, Some(export.as_path()), true).unwrap();
+        assert_eq!(std::fs::read(out.join("campaign.json")).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_hunt_rejects_unknown_targets_and_finds_crashes() {
+        let base = HuntSpec {
+            target: "nosuch".into(),
+            stop: StopCondition::Crashes {
+                count: 1,
+                max_iterations: 2000,
+            },
+            seed: 7,
+            workers: 4,
+            metric: ImpactMetric::crash_hunter(),
+            feedback: false,
+            timeout: TestTimeout::default(),
+        };
+        let e = run_hunt(&base).unwrap_err();
+        assert_eq!(e, "unknown target `nosuch`");
+        let hunt = HuntSpec {
+            target: "minidb".into(),
+            ..base
+        };
+        let a = run_hunt(&hunt).unwrap();
+        assert!(a.crashes() >= 1, "minidb hunt must find its crash");
+        let b = run_hunt(&hunt).unwrap();
+        assert_eq!(a, b, "hunts are deterministic for a fixed worker count");
+    }
+}

@@ -20,6 +20,13 @@
 //! - [`campaign`] — campaign execution: fans a `{target} × {strategy} ×
 //!   {seed}` matrix of sessions across the manager pool with durable
 //!   snapshot/resume (the `afex-cli campaign` engine).
+//! - [`service`] — the campaign service: one daemon multiplexing many
+//!   campaigns on a shared pool, with cross-campaign trace preseeding
+//!   and crash-safe resume (the `afex-cli serve` engine).
+//! - [`protocol`] — the line-delimited JSON request/response protocol
+//!   the daemon speaks over its Unix socket, plus the client helpers
+//!   behind `afex-cli submit`/`status`/`inspect`/`top-failures`/
+//!   `shutdown`.
 //!
 //! # Quickstart
 //!
@@ -44,6 +51,8 @@
 //! ```
 
 pub mod campaign;
+pub mod protocol;
+pub mod service;
 
 pub use afex_cluster as cluster;
 pub use afex_core as core;

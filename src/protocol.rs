@@ -1,0 +1,257 @@
+//! The daemon's wire protocol: line-delimited JSON over a Unix socket.
+//!
+//! One request per connection: the client connects, writes one
+//! [`Request`] as a single JSON line, and reads back one [`Response`]
+//! line. JSON string escaping keeps embedded newlines out of the wire
+//! format, so "one line" is a safe framing; the vendored serializer's
+//! compact mode never emits a raw newline.
+//!
+//! The split of responsibilities mirrors the library/CLI/service
+//! layering: [`handle`] maps a request onto a [`CampaignService`] and
+//! is pure request→response (unit-testable without sockets); the
+//! socket accept loop lives in `afex-cli serve`; [`request`] is the
+//! client helper behind `afex-cli submit`/`status`/`inspect`/
+//! `top-failures`/`shutdown`.
+
+use crate::campaign::SpecOptions;
+use crate::core::campaign::{CampaignReport, ExportRecord};
+use crate::service::{CampaignRow, CampaignService};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A client request, one JSON line on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a new campaign; the daemon validates the options exactly
+    /// like `afex-cli campaign` validates its flags.
+    Submit(SpecOptions),
+    /// Progress row for one campaign.
+    Status {
+        /// The campaign id a `Submitted` reply returned.
+        id: u64,
+    },
+    /// Progress rows for every campaign the daemon knows, in id order.
+    List,
+    /// The full per-cell report for one campaign.
+    Inspect {
+        /// The campaign id.
+        id: u64,
+    },
+    /// The highest-impact corpus records of one campaign.
+    TopFailures {
+        /// The campaign id.
+        id: u64,
+        /// How many records to return.
+        limit: usize,
+    },
+    /// Graceful shutdown: drain in-flight cells, checkpoint everything,
+    /// exit 0.
+    Shutdown,
+}
+
+/// The daemon's reply, one JSON line on the wire. Every error — invalid
+/// submission, unknown id, I/O — arrives as [`Response::Error`] with
+/// the same message the CLI would print.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The campaign was accepted and its directory is durable.
+    Submitted {
+        /// The id to poll with.
+        id: u64,
+    },
+    /// One campaign's progress row.
+    Status(CampaignRow),
+    /// Every campaign's progress row, in id order.
+    List(Vec<CampaignRow>),
+    /// The full per-cell report.
+    Inspect(CampaignReport),
+    /// The impact-ranked corpus records.
+    TopFailures(Vec<ExportRecord>),
+    /// The daemon acknowledged the shutdown and is draining.
+    ShuttingDown,
+    /// The request failed; the message is the CLI-identical rendering.
+    Error(String),
+}
+
+/// Encodes a message as one JSON line (newline-terminated).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol messages serialize") + "\n"
+}
+
+/// Decodes one received line.
+///
+/// # Errors
+///
+/// Returns the parse/shape error's rendering.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim_end_matches('\n')).map_err(|e| e.to_string())
+}
+
+/// Maps one request onto the service. Returns the response plus whether
+/// the daemon should shut down after sending it — `Shutdown` must be
+/// acknowledged *before* the drain, or the client would block on a
+/// daemon that is busy finishing cells.
+pub fn handle(service: &CampaignService, req: &Request) -> (Response, bool) {
+    let response = match req {
+        Request::Submit(opts) => match service.submit(opts) {
+            Ok(id) => Response::Submitted { id },
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Status { id } => match service.status(*id) {
+            Ok(row) => Response::Status(row),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::List => Response::List(service.list()),
+        Request::Inspect { id } => match service.inspect(*id) {
+            Ok(report) => Response::Inspect(report),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::TopFailures { id, limit } => match service.top_failures(*id, *limit) {
+            Ok(records) => Response::TopFailures(records),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    };
+    (response, matches!(req, Request::Shutdown))
+}
+
+/// Serves one accepted connection: read one request line, dispatch,
+/// write one response line. Returns whether the daemon should shut
+/// down. I/O errors on a single connection are returned for logging,
+/// never fatal to the daemon.
+///
+/// # Errors
+///
+/// Returns the connection's I/O or parse error.
+pub fn serve_connection(
+    service: &CampaignService,
+    stream: &mut UnixStream,
+) -> Result<bool, String> {
+    let mut line = String::new();
+    BufReader::new(&mut *stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read request: {e}"))?;
+    // A connect-then-close with no bytes is a liveness probe ("is the
+    // daemon up yet?"), not a request — answer nothing.
+    if line.is_empty() {
+        return Ok(false);
+    }
+    let (response, shutdown) = match decode::<Request>(&line) {
+        Ok(req) => handle(service, &req),
+        Err(e) => (Response::Error(format!("bad request: {e}")), false),
+    };
+    stream
+        .write_all(encode(&response).as_bytes())
+        .map_err(|e| format!("cannot write response: {e}"))?;
+    stream
+        .flush()
+        .map_err(|e| format!("cannot flush response: {e}"))?;
+    Ok(shutdown)
+}
+
+/// The client side: connect to the daemon's socket, send one request,
+/// read the reply.
+///
+/// # Errors
+///
+/// Returns a message naming the socket for connect failures (the
+/// "is the daemon running?" case), or the I/O/parse error otherwise.
+pub fn request(socket: &Path, req: &Request) -> Result<Response, String> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    stream
+        .write_all(encode(req).as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    stream
+        .flush()
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&mut stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection without replying".to_owned());
+    }
+    decode(&line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignStatus;
+    use crate::core::campaign::FailureRecord;
+
+    fn roundtrip_request(req: &Request) {
+        let line = encode(req);
+        assert!(!line.trim_end_matches('\n').contains('\n'), "one line");
+        let back: Request = decode(&line).unwrap();
+        assert_eq!(&back, req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let line = encode(resp);
+        assert!(!line.trim_end_matches('\n').contains('\n'), "one line");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(&back, resp);
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(&Request::Submit(SpecOptions {
+            targets: vec!["minidb".into(), "vfs:docstore-recovery".into()],
+            stop: Some("crashes:2".into()),
+            timeout: Some("1500ms".into()),
+            metric: Some("crash".into()),
+            ..SpecOptions::default()
+        }));
+        roundtrip_request(&Request::Status { id: 7 });
+        roundtrip_request(&Request::List);
+        roundtrip_request(&Request::Inspect { id: 1 });
+        roundtrip_request(&Request::TopFailures { id: 3, limit: 10 });
+        roundtrip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        roundtrip_response(&Response::Submitted { id: 42 });
+        let row = CampaignRow {
+            id: 1,
+            status: CampaignStatus {
+                cells_done: 2,
+                cells_total: 4,
+                tests_executed: 120,
+                unique_failures: 9,
+                unique_crashes: 3,
+                complete: false,
+            },
+            error: Some("cannot write snapshot /x: disk full".into()),
+        };
+        roundtrip_response(&Response::Status(row.clone()));
+        roundtrip_response(&Response::List(vec![row]));
+        // A trace with newlines and quotes must survive the line
+        // framing — the JSON escaping is what makes "one line" safe.
+        roundtrip_response(&Response::TopFailures(vec![ExportRecord {
+            target: "minidb".into(),
+            record: FailureRecord {
+                code: 5,
+                point: crate::space::Point::new(vec![1, 2]),
+                impact: 3.5,
+                crashed: true,
+                hung: false,
+                trace: Some("frame \"a\"\nframe b\tend".into()),
+                cell: 0,
+            },
+        }]));
+        roundtrip_response(&Response::ShuttingDown);
+        roundtrip_response(&Response::Error("unknown campaign 9".into()));
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_errors() {
+        assert!(decode::<Request>("not json").is_err());
+        assert!(decode::<Request>("{\"Nope\": 1}").is_err());
+        assert!(decode::<Request>("").is_err());
+    }
+}

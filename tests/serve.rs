@@ -1,0 +1,214 @@
+//! Integration tests for the campaign service daemon: a real
+//! `afex-cli serve` process on a real Unix socket, driven only through
+//! the client subcommands, including the crash-safety contract — the
+//! daemon is killed with SIGKILL mid-campaign and its successor must
+//! resume to a byte-identical snapshot.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_afex-cli"))
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afex-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a daemon and waits until its socket accepts connections.
+fn start_daemon(socket: &Path, root: &Path, workers: &str) -> Child {
+    let child = cli()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--root",
+            root.to_str().unwrap(),
+            "--workers",
+            workers,
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while std::os::unix::net::UnixStream::connect(socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+/// Runs one client subcommand against the daemon, asserting success.
+fn client(socket: &Path, args: &[&str]) -> String {
+    let out = cli()
+        .arg(args[0])
+        .args(["--socket", socket.to_str().unwrap()])
+        .args(&args[1..])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Parses "X/Y cells" out of a status row for one campaign.
+fn cells_done(socket: &Path, id: &str) -> (usize, bool) {
+    let row = client(socket, &["status", "--id", id]);
+    let done = row
+        .split(", ")
+        .find_map(|part| part.strip_suffix(" cells"))
+        .and_then(|cells| cells.split('/').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status row: {row}"));
+    (done, row.contains("complete"))
+}
+
+/// Polls until the campaign's status row reports completion.
+fn wait_complete(socket: &Path, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if cells_done(socket, id).1 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} never completed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_runs_two_campaigns_end_to_end() {
+    let dir = scratch("e2e");
+    let socket = dir.join("afex.sock");
+    let root = dir.join("svc");
+    let mut daemon = start_daemon(&socket, &root, "2");
+
+    let first = client(
+        &socket,
+        &["submit", "--targets", "coreutils", "--strategies", "fitness", "--iterations", "60"],
+    );
+    assert_eq!(first.trim(), "submitted: campaign 1", "{first}");
+    let second = client(
+        &socket,
+        &["submit", "--targets", "httpd", "--strategies", "random", "--iterations", "60"],
+    );
+    assert_eq!(second.trim(), "submitted: campaign 2", "{second}");
+
+    wait_complete(&socket, "1");
+    wait_complete(&socket, "2");
+
+    // The list view carries both campaigns, and --json stays parseable.
+    let listing = client(&socket, &["status"]);
+    assert!(listing.contains("campaign 1: complete"), "{listing}");
+    assert!(listing.contains("campaign 2: complete"), "{listing}");
+    let json = client(&socket, &["status", "--json"]);
+    let rows: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(rows.as_array().unwrap().len(), 2);
+
+    // Inspect renders the per-cell report; top-failures emits JSONL
+    // records in the corpus-export shape.
+    let report = client(&socket, &["inspect", "--id", "1"]);
+    assert!(report.contains("coreutils"), "{report}");
+    let failures = client(&socket, &["top-failures", "--id", "1", "--limit", "3"]);
+    for line in failures.lines() {
+        let rec: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(rec["target"], "coreutils");
+    }
+
+    // Errors come back with exit 2 and the CLI-identical message.
+    let unknown = cli()
+        .args(["status", "--socket", socket.to_str().unwrap(), "--id", "99"])
+        .output()
+        .unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&unknown.stderr).contains("unknown campaign 99"),
+        "{unknown:?}"
+    );
+
+    // Graceful shutdown: drain, exit 0, socket removed, artifacts durable.
+    let ack = client(&socket, &["shutdown"]);
+    assert_eq!(ack.trim(), "daemon draining", "{ack}");
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon must exit 0, got {status:?}");
+    assert!(!socket.exists(), "daemon must remove its socket");
+    for artifact in ["campaign.json", "corpus.jsonl", "preseed.json", "summary.json"] {
+        let path = root.join("campaigns").join("1").join(artifact);
+        assert!(path.is_file(), "missing {path:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_dash_nine_then_restart_resumes_byte_identical() {
+    let dir = scratch("kill9");
+    let socket = dir.join("afex.sock");
+    let root = dir.join("svc");
+    let spec: &[&str] = &[
+        "--targets",
+        "coreutils,httpd",
+        "--strategies",
+        "fitness,random",
+        "--seeds",
+        "1",
+        "--seed",
+        "9",
+        "--iterations",
+        "40",
+    ];
+
+    // Reference: the plain single-campaign driver on the same spec.
+    let ref_out = dir.join("plain");
+    let plain = cli()
+        .args(["campaign", "--workers", "1", "--out", ref_out.to_str().unwrap()])
+        .args(spec)
+        .output()
+        .unwrap();
+    assert!(plain.status.success(), "{plain:?}");
+    let reference = std::fs::read_to_string(ref_out.join("campaign.json")).unwrap();
+
+    // Life one: submit, wait for at least one checkpoint, then SIGKILL —
+    // no drain, no final checkpoint, exactly the crash the snapshot
+    // contract exists for.
+    let mut daemon = start_daemon(&socket, &root, "1");
+    let submitted = client(&socket, &[&["submit"], spec].concat());
+    assert_eq!(submitted.trim(), "submitted: campaign 1", "{submitted}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cells_done(&socket, "1").0 < 1 {
+        assert!(Instant::now() < deadline, "no cell ever checkpointed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // Life two: the replay path must pick the campaign up (whether or
+    // not the kill landed mid-run) and finish it byte-identically.
+    let mut daemon = start_daemon(&socket, &root, "1");
+    wait_complete(&socket, "1");
+    client(&socket, &["shutdown"]);
+    assert!(daemon.wait().unwrap().success());
+
+    let campaign_dir = root.join("campaigns").join("1");
+    let resumed = std::fs::read_to_string(campaign_dir.join("campaign.json")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "kill -9 + restart must land the same snapshot bytes as an uninterrupted run"
+    );
+
+    // The streaming export mirrors the snapshot's deduped store.
+    let corpus = std::fs::read_to_string(campaign_dir.join("corpus.jsonl")).unwrap();
+    let resumed_snap: serde_json::Value = serde_json::from_str(&resumed).unwrap();
+    assert_eq!(
+        corpus.lines().count(),
+        resumed_snap["store"]["entries"].as_array().unwrap().len(),
+        "corpus.jsonl must mirror the trace store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
