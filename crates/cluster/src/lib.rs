@@ -34,7 +34,7 @@ pub mod plugin;
 pub mod scripts;
 
 pub use campaign::{CampaignScheduler, CellChain};
-pub use multiplex::{MultiplexPool, StreamId};
+pub use multiplex::{CellResult, MultiplexPool, StreamId};
 pub use manager::NodeManager;
 pub use messages::{ManagerMsg, Task, TaskResult};
 pub use parallel::ParallelSession;

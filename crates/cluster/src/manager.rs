@@ -28,6 +28,11 @@ impl NodeManager {
     /// Runs the manager loop until the task channel closes: receive a
     /// task, execute it, report the result. Returns the number of tests
     /// executed; also announces it with a final [`ManagerMsg::Bye`].
+    ///
+    /// An evaluator panic does not kill the manager: the test is
+    /// reported as [`ManagerMsg::Failed`] with the panic payload and the
+    /// loop keeps serving — a node that crashes one test must stay
+    /// available for the rest of the campaign.
     pub fn serve<E: Evaluator>(
         &self,
         evaluator: &E,
@@ -36,15 +41,24 @@ impl NodeManager {
     ) -> usize {
         let mut executed = 0usize;
         while let Ok(task) = tasks.recv() {
-            let evaluation = evaluator.evaluate(&task.point);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                evaluator.evaluate(&task.point)
+            }));
             executed += 1;
-            let msg = ManagerMsg::Done(TaskResult {
-                id: task.id,
-                point: task.point,
-                mutated_axis: task.mutated_axis,
-                evaluation,
-                manager: self.id,
-            });
+            let msg = match caught {
+                Ok(evaluation) => ManagerMsg::Done(TaskResult {
+                    id: task.id,
+                    point: task.point,
+                    mutated_axis: task.mutated_axis,
+                    evaluation,
+                    manager: self.id,
+                }),
+                Err(payload) => ManagerMsg::Failed {
+                    id: task.id,
+                    reason: panic_text(payload.as_ref()),
+                    manager: self.id,
+                },
+            };
             if results.send(msg).is_err() {
                 break; // The explorer went away.
             }
@@ -54,6 +68,17 @@ impl NodeManager {
             executed,
         });
         executed
+    }
+}
+
+/// Renders a panic payload as text for a [`ManagerMsg::Failed`] report.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -83,14 +108,12 @@ mod tests {
         assert_eq!(executed, 5);
         let msgs: Vec<ManagerMsg> = res_rx.try_iter().collect();
         assert_eq!(msgs.len(), 6); // 5 results + Bye.
-        match &msgs[4] {
-            ManagerMsg::Done(r) => {
-                assert_eq!(r.id, 4);
-                assert_eq!(r.evaluation.impact, 4.0);
-                assert_eq!(r.manager, 3);
-            }
-            other => panic!("unexpected message {other:?}"),
-        }
+        let ManagerMsg::Done(r) = &msgs[4] else {
+            unreachable!("fifth message must be a Done result, got {:?}", msgs[4])
+        };
+        assert_eq!(r.id, 4);
+        assert_eq!(r.evaluation.impact, 4.0);
+        assert_eq!(r.manager, 3);
         assert_eq!(
             msgs[5],
             ManagerMsg::Bye {
@@ -113,10 +136,59 @@ mod tests {
             .unwrap();
         drop(task_tx);
         NodeManager::new(0).serve(&FnEvaluator::new(|_| 0.0), &task_rx, &res_tx);
-        if let ManagerMsg::Done(r) = res_rx.recv().unwrap() {
-            assert_eq!(r.mutated_axis, Some(0));
-        } else {
-            panic!("expected Done");
+        let msg = res_rx.recv().unwrap();
+        let ManagerMsg::Done(r) = msg else {
+            unreachable!("first message must be a Done result, got {msg:?}")
+        };
+        assert_eq!(r.mutated_axis, Some(0));
+    }
+
+    #[test]
+    fn evaluator_panic_is_reported_not_fatal() {
+        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        let (res_tx, res_rx) = channel::unbounded::<ManagerMsg>();
+        for i in 0..3 {
+            task_tx
+                .send(Task {
+                    id: i,
+                    point: Point::new(vec![i as usize]),
+                    mutated_axis: None,
+                })
+                .unwrap();
         }
+        drop(task_tx);
+        // Task 1 panics; tasks 0 and 2 must still be served by the same
+        // manager, and the Bye must still report all three as executed.
+        let eval = FnEvaluator::new(|p: &Point| {
+            assert!(p[0] != 1, "evaluator blew up on point 1");
+            p[0] as f64
+        });
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // Silence the expected panic trace.
+        let executed = NodeManager::new(7).serve(&eval, &task_rx, &res_tx);
+        std::panic::set_hook(prev);
+        assert_eq!(executed, 3);
+        let msgs: Vec<ManagerMsg> = res_rx.try_iter().collect();
+        assert_eq!(msgs.len(), 4); // 2 Done + 1 Failed + Bye.
+        let ManagerMsg::Done(r0) = &msgs[0] else {
+            unreachable!("task 0 must succeed, got {:?}", msgs[0])
+        };
+        assert_eq!((r0.id, r0.evaluation.impact), (0, 0.0));
+        let ManagerMsg::Failed { id, reason, manager } = &msgs[1] else {
+            unreachable!("task 1 must fail, got {:?}", msgs[1])
+        };
+        assert_eq!((*id, *manager), (1, 7));
+        assert!(reason.contains("blew up on point 1"), "reason = {reason}");
+        let ManagerMsg::Done(r2) = &msgs[2] else {
+            unreachable!("task 2 must succeed after the panic, got {:?}", msgs[2])
+        };
+        assert_eq!((r2.id, r2.evaluation.impact), (2, 2.0));
+        assert_eq!(
+            msgs[3],
+            ManagerMsg::Bye {
+                manager: 7,
+                executed: 3
+            }
+        );
     }
 }

@@ -39,6 +39,17 @@ pub struct TaskResult {
 pub enum ManagerMsg {
     /// A finished test.
     Done(TaskResult),
+    /// A test whose evaluator panicked. The manager survives and keeps
+    /// serving; the explorer decides how to account for the task (the
+    /// pool driver records it as a crashed test carrying the reason).
+    Failed {
+        /// The task id this failure answers.
+        id: u64,
+        /// The panic payload, rendered as text.
+        reason: String,
+        /// Which manager hit the failure.
+        manager: usize,
+    },
     /// The manager exited (channel closed / shutdown acknowledged).
     Bye {
         /// The manager's id.

@@ -25,24 +25,61 @@
 //! shutdown: stop picking new cells, let in-flight cells finish (and
 //! checkpoint), join the workers — the un-run cells stay durable in
 //! whatever snapshots the callbacks maintain.
+//!
+//! ## Panic quarantine
+//!
+//! A cell that panics (or whose state-fold panics) must not take the
+//! pool down with it: the worker catches the unwind, marks the owning
+//! chain **dead** — its threaded state is lost mid-fold, so none of its
+//! remaining cells may run — and delivers
+//! [`CellResult::Quarantined`] to the stream's callback so the owner
+//! can record the failure durably. Every other chain and stream keeps
+//! running; the worker survives to pick the next cell. Only a panic in
+//! the *callback itself* still kills a worker (the owner's accounting
+//! is broken at that point), and that is re-raised at [`drain`].
+//!
+//! [`drain`]: MultiplexPool::drain
 
 use crate::campaign::CellChain;
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound::{Excluded, Unbounded};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Identifies one submitted stream (campaign) within a pool.
 pub type StreamId = u64;
 
+/// How one picked cell ended, as delivered to its stream's callback.
+#[derive(Debug)]
+pub enum CellResult<C, O> {
+    /// The cell ran to completion; here is its outcome.
+    Done(O),
+    /// The cell (or the fold of its outcome into the chain state)
+    /// panicked. The owning chain is quarantined: its state is lost,
+    /// none of its remaining cells will run, and the pool keeps serving
+    /// every other chain and stream.
+    Quarantined {
+        /// The cell that panicked.
+        cell: C,
+        /// The panic payload, rendered as text.
+        reason: String,
+        /// How many queued cells of the chain were abandoned.
+        abandoned: usize,
+    },
+}
+
 type RunFn<S, C, O> = dyn Fn(&C, &S) -> O + Send + Sync;
 type UpdateFn<S, C, O> = dyn Fn(&mut S, &C, &O) + Send + Sync;
-type CompleteFn<O> = dyn FnMut(O) + Send;
+type CompleteFn<C, O> = dyn FnMut(CellResult<C, O>) + Send;
 
 /// One chain of a stream: its threaded state (absent while a cell of
-/// the chain is in flight on a worker) and the cells still to run.
+/// the chain is in flight on a worker) and the cells still to run. A
+/// `dead` chain was quarantined by a panic: its state is gone for good
+/// and its remaining cells were dropped.
 struct ChainSlot<S, C> {
     state: Option<S>,
     cells: VecDeque<C>,
+    dead: bool,
 }
 
 /// One submitted campaign: its chains plus the per-stream completion
@@ -52,16 +89,17 @@ struct ChainSlot<S, C> {
 /// the pool or other streams' callbacks.
 struct Stream<S, C, O> {
     chains: Vec<ChainSlot<S, C>>,
-    on_complete: Arc<Mutex<Box<CompleteFn<O>>>>,
+    on_complete: Arc<Mutex<Box<CompleteFn<C, O>>>>,
 }
 
 impl<S, C, O> Stream<S, C, O> {
-    /// Whether nothing of this stream remains: no queued cells and no
-    /// state checked out to a worker.
+    /// Whether nothing of this stream remains: every chain is either
+    /// quarantined or has no queued cells and no state checked out to a
+    /// worker.
     fn exhausted(&self) -> bool {
         self.chains
             .iter()
-            .all(|c| c.cells.is_empty() && c.state.is_some())
+            .all(|c| c.dead || (c.cells.is_empty() && c.state.is_some()))
     }
 }
 
@@ -147,9 +185,10 @@ where
     }
 
     /// Submits one stream (campaign): its chains, plus the callback that
-    /// receives each completed cell's outcome. The callback runs on a
-    /// worker thread with no pool lock held; callbacks of one stream
-    /// never overlap each other. Returns the stream's id.
+    /// receives each cell's [`CellResult`] — the outcome on completion,
+    /// or the quarantine notice if the cell panicked. The callback runs
+    /// on a worker thread with no pool lock held; callbacks of one
+    /// stream never overlap each other. Returns the stream's id.
     ///
     /// Submitting to a draining pool is accepted but the cells will not
     /// run — the caller's durable state (snapshots) is the source of
@@ -157,7 +196,7 @@ where
     /// shutdown.
     pub fn submit<G>(&self, chains: Vec<CellChain<S, C>>, on_complete: G) -> StreamId
     where
-        G: FnMut(O) + Send + 'static,
+        G: FnMut(CellResult<C, O>) + Send + 'static,
     {
         let mut st = self.inner.state.lock().expect("pool poisoned");
         let id = st.next_id;
@@ -168,6 +207,7 @@ where
                 .map(|chain| ChainSlot {
                     state: Some(chain.state),
                     cells: chain.cells.into(),
+                    dead: false,
                 })
                 .collect(),
             on_complete: Arc::new(Mutex::new(Box::new(on_complete))),
@@ -206,7 +246,10 @@ where
     ///
     /// # Panics
     ///
-    /// Propagates a worker panic at join.
+    /// Cell panics never reach here — they quarantine their chain (see
+    /// the module docs). What does propagate at join is a panic in a
+    /// stream's *callback*, which is an owner bug the pool must not
+    /// swallow.
     pub fn drain(&self) {
         {
             let mut st = self.inner.state.lock().expect("pool poisoned");
@@ -254,7 +297,7 @@ impl<S, C, O> Drop for MultiplexPool<S, C, O> {
 /// stream the first chain with its state home and cells queued wins —
 /// fairness matters *between* campaigns; a campaign's own chains
 /// already fan out as far as their serialization allows.
-type Picked<S, C, O> = (StreamId, usize, S, C, Arc<Mutex<Box<CompleteFn<O>>>>);
+type Picked<S, C, O> = (StreamId, usize, S, C, Arc<Mutex<Box<CompleteFn<C, O>>>>);
 
 fn pick<S, C, O>(st: &mut PoolState<S, C, O>) -> Option<Picked<S, C, O>> {
     let cursor = st.cursor;
@@ -267,14 +310,14 @@ fn pick<S, C, O>(st: &mut PoolState<S, C, O>) -> Option<Picked<S, C, O>> {
         st.streams[id]
             .chains
             .iter()
-            .any(|c| c.state.is_some() && !c.cells.is_empty())
+            .any(|c| !c.dead && c.state.is_some() && !c.cells.is_empty())
     })?;
     let stream = st.streams.get_mut(&candidate).expect("candidate exists");
     let (chain_idx, slot) = stream
         .chains
         .iter_mut()
         .enumerate()
-        .find(|(_, c)| c.state.is_some() && !c.cells.is_empty())
+        .find(|(_, c)| !c.dead && c.state.is_some() && !c.cells.is_empty())
         .expect("candidate had a runnable chain");
     let state = slot.state.take().expect("checked runnable");
     let cell = slot.cells.pop_front().expect("checked non-empty");
@@ -282,6 +325,18 @@ fn pick<S, C, O>(st: &mut PoolState<S, C, O>) -> Option<Picked<S, C, O>> {
     st.cursor = candidate;
     st.in_flight += 1;
     Some((candidate, chain_idx, state, cell, callback))
+}
+
+/// Renders a caught panic payload as text (the common `&str`/`String`
+/// payloads of `panic!`; anything else gets a placeholder).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 fn worker_loop<S, C, O>(inner: &Inner<S, C, O>) {
@@ -296,28 +351,75 @@ fn worker_loop<S, C, O>(inner: &Inner<S, C, O>) {
         };
         drop(st);
 
-        let outcome = (inner.run_cell)(&cell, &state);
-        (inner.update)(&mut state, &cell, &outcome);
+        // The cell run and the state fold are both caller code — either
+        // can panic, and either panic leaves the chain's threaded state
+        // unusable. Catch the unwind so one poisoned cell quarantines
+        // its chain instead of killing the worker (and, at join, the
+        // whole pool).
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let outcome = (inner.run_cell)(&cell, &state);
+            (inner.update)(&mut state, &cell, &outcome);
+            outcome
+        }));
+        match run {
+            Ok(outcome) => {
+                // The stream's callback runs with no pool lock held; one
+                // stream's completions serialize on the callback's own
+                // mutex. It runs *before* the state goes home, so the
+                // chain's next cell cannot start (let alone complete)
+                // until this cell's callback has finished — a stream
+                // observes its chain's outcomes strictly in cell order,
+                // which is what lets a service checkpoint after every
+                // callback and still resume cleanly.
+                (callback.lock().expect("callback poisoned"))(CellResult::Done(outcome));
 
-        // The stream's callback runs with no pool lock held; one
-        // stream's completions serialize on the callback's own mutex.
-        // It runs *before* the state goes home, so the chain's next
-        // cell cannot start (let alone complete) until this cell's
-        // callback has finished — a stream observes its chain's
-        // outcomes strictly in cell order, which is what lets a service
-        // checkpoint after every callback and still resume cleanly.
-        (callback.lock().expect("callback poisoned"))(outcome);
+                st = inner.state.lock().expect("pool poisoned");
+                if let Some(stream) = st.streams.get_mut(&stream_id) {
+                    stream.chains[chain_idx].state = Some(state);
+                    // More than one chain of the stream can be in
+                    // flight; only the owning worker returning the
+                    // *last* checked-out state can observe exhaustion.
+                    if stream.exhausted() {
+                        st.streams.remove(&stream_id);
+                    }
+                }
+            }
+            Err(payload) => {
+                // Quarantine the chain: mark it dead and drop its
+                // queued cells under the lock, then notify the stream
+                // with no lock held. The half-updated state is
+                // discarded — it must never thread into another cell.
+                drop(state);
+                let abandoned = {
+                    let mut st = inner.state.lock().expect("pool poisoned");
+                    match st.streams.get_mut(&stream_id) {
+                        Some(stream) => {
+                            let slot = &mut stream.chains[chain_idx];
+                            slot.dead = true;
+                            let n = slot.cells.len();
+                            slot.cells.clear();
+                            n
+                        }
+                        None => 0,
+                    }
+                };
+                (callback.lock().expect("callback poisoned"))(CellResult::Quarantined {
+                    cell,
+                    reason: panic_reason(payload.as_ref()),
+                    abandoned,
+                });
 
-        st = inner.state.lock().expect("pool poisoned");
-        if let Some(stream) = st.streams.get_mut(&stream_id) {
-            stream.chains[chain_idx].state = Some(state);
-            // More than one chain of the stream can be in flight; only
-            // the owning worker returning the *last* checked-out state
-            // can observe exhaustion.
-            if stream.exhausted() {
-                st.streams.remove(&stream_id);
+                st = inner.state.lock().expect("pool poisoned");
+                if let Some(stream) = st.streams.get_mut(&stream_id) {
+                    if stream.exhausted() {
+                        st.streams.remove(&stream_id);
+                    }
+                }
             }
         }
+        // `in_flight` is only decremented after the callback has run,
+        // so `wait_idle` returning means every delivered result — Done
+        // or Quarantined — has been fully processed by its owner.
         st.in_flight -= 1;
         // A returned state can make the chain's next cell runnable, and
         // an exhausted pool must wake `wait_idle`.
@@ -331,6 +433,16 @@ mod tests {
     use super::*;
 
     type Traced = (u32, Vec<u32>);
+
+    /// Unwraps a completed cell's outcome; quarantines fail the test.
+    fn done_of<C: std::fmt::Debug, O>(res: CellResult<C, O>) -> O {
+        match res {
+            CellResult::Done(out) => out,
+            CellResult::Quarantined { cell, reason, .. } => {
+                panic!("unexpected quarantine of {cell:?}: {reason}")
+            }
+        }
+    }
 
     /// A pool whose cells append themselves to the chain state and
     /// return `(cell, state-before)`.
@@ -360,8 +472,8 @@ mod tests {
         let done: Arc<Mutex<Vec<Traced>>> = Arc::new(Mutex::new(Vec::new()));
         for k in 0..3u32 {
             let done = Arc::clone(&done);
-            pool.submit(vec![chain(&[k * 10, k * 10 + 1, k * 10 + 2])], move |out| {
-                done.lock().unwrap().push(out);
+            pool.submit(vec![chain(&[k * 10, k * 10 + 1, k * 10 + 2])], move |res| {
+                done.lock().unwrap().push(done_of(res));
             });
         }
         pool.wait_idle();
@@ -404,7 +516,7 @@ mod tests {
                 (0..3)
                     .map(|i| CellChain { state: (), cells: vec![k * 100 + i] })
                     .collect(),
-                move |cell| order.lock().unwrap().push(cell / 100),
+                move |res| order.lock().unwrap().push(done_of(res) / 100),
             );
         }
         both_in.store(true, Ordering::SeqCst);
@@ -456,7 +568,7 @@ mod tests {
         let d = Arc::clone(&done);
         pool.submit(
             vec![CellChain { state: (), cells: vec![7, 8, 9] }],
-            move |cell| d.lock().unwrap().push(cell),
+            move |res| d.lock().unwrap().push(done_of(res)),
         );
         started_rx
             .recv_timeout(std::time::Duration::from_secs(10))
@@ -523,11 +635,84 @@ mod tests {
                 CellChain { state: (), cells: vec![0, 1] },
                 CellChain { state: (), cells: vec![10, 11] },
             ],
-            move |cell| d.lock().unwrap().push(cell),
+            move |res| d.lock().unwrap().push(done_of(res)),
         );
         pool.wait_idle();
         let mut done = done.lock().unwrap().clone();
         done.sort_unstable();
         assert_eq!(done, vec![0, 1, 10, 11]);
+    }
+
+    /// A pool whose cells panic on value 13 and otherwise echo
+    /// themselves.
+    fn poisonable_pool(workers: usize) -> MultiplexPool<(), u32, u32> {
+        MultiplexPool::new(
+            workers,
+            |&cell: &u32, ()| {
+                assert!(cell != 13, "cell 13 is poisoned");
+                cell
+            },
+            |(), _, _| {},
+        )
+    }
+
+    #[test]
+    fn panicking_cell_quarantines_its_chain_only() {
+        let pool = poisonable_pool(2);
+        let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let e = Arc::clone(&events);
+        // Chain A hits the poison cell mid-chain; chain B is healthy.
+        pool.submit(
+            vec![
+                CellChain { state: (), cells: vec![1, 13, 2, 3] },
+                CellChain { state: (), cells: vec![20, 21] },
+            ],
+            move |res| {
+                let mut ev = e.lock().unwrap();
+                match res {
+                    CellResult::Done(cell) => ev.push(format!("done:{cell}")),
+                    CellResult::Quarantined { cell, reason, abandoned } => {
+                        assert!(reason.contains("cell 13 is poisoned"), "{reason}");
+                        ev.push(format!("quarantined:{cell}:{abandoned}"))
+                    }
+                }
+            },
+        );
+        pool.wait_idle();
+        let mut events = events.lock().unwrap().clone();
+        events.sort();
+        // Cell 1 lands, 13 quarantines with 2 and 3 abandoned, chain B
+        // runs to completion untouched.
+        assert_eq!(
+            events,
+            vec!["done:1", "done:20", "done:21", "quarantined:13:2"]
+        );
+        assert_eq!(pool.active_streams(), 0, "quarantined stream is gone");
+    }
+
+    #[test]
+    fn pool_survives_a_panic_and_serves_later_streams() {
+        // One worker: the panic and the follow-up stream share the one
+        // thread, so the follow-up completing proves the worker
+        // survived the unwind.
+        let pool = poisonable_pool(1);
+        let quarantined = Arc::new(Mutex::new(false));
+        let q = Arc::clone(&quarantined);
+        pool.submit(vec![CellChain { state: (), cells: vec![13] }], move |res| {
+            if matches!(res, CellResult::Quarantined { .. }) {
+                *q.lock().unwrap() = true;
+            }
+        });
+        pool.wait_idle();
+        assert!(*quarantined.lock().unwrap());
+        let done: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let d = Arc::clone(&done);
+        pool.submit(
+            vec![CellChain { state: (), cells: vec![5, 6] }],
+            move |res| d.lock().unwrap().push(done_of(res)),
+        );
+        pool.wait_idle();
+        assert_eq!(done.lock().unwrap().clone(), vec![5, 6]);
+        pool.drain();
     }
 }

@@ -45,8 +45,19 @@ impl Executor for PoolExecutor {
         loop {
             match self.res_rx.recv() {
                 Ok(ManagerMsg::Done(r)) => return Some((r.id, r.evaluation)),
+                // An evaluator panic is accounted as a crashed test: the
+                // session keeps its exact-completion bookkeeping (every
+                // issued id gets an answer) and stays deterministic,
+                // since a panic for a given point is itself repeatable.
+                Ok(ManagerMsg::Failed { id, reason, .. }) => {
+                    let mut eval = Evaluation::zero();
+                    eval.crashed = true;
+                    eval.failed = true;
+                    eval.trace = Some(std::sync::Arc::from(reason.as_str()));
+                    return Some((id, eval));
+                }
                 Ok(ManagerMsg::Bye { .. }) => continue,
-                Err(_) => return None, // Pool died (manager panic).
+                Err(_) => return None, // Pool died (manager thread loss).
             }
         }
     }

@@ -21,6 +21,7 @@
 //! afex-cli status   --socket PATH [--id N] [--json]
 //! afex-cli inspect  --socket PATH --id N [--json]
 //! afex-cli top-failures --socket PATH --id N [--limit K]
+//! afex-cli health   --socket PATH [--json]
 //! afex-cli shutdown --socket PATH
 //! ```
 //!
@@ -61,7 +62,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: afex-cli <describe|explore|render|hunt|campaign|serve|submit|status|inspect|top-failures|shutdown> [options]\n\
+        "usage: afex-cli <describe|explore|render|hunt|campaign|serve|submit|status|inspect|top-failures|health|shutdown> [options]\n\
          targets: coreutils | minidb (mysql) | httpd (apache) | docstore-0.8 | docstore-2.0\n\
          proc targets (real binaries, hunt/campaign only):\n\
                            proc:victim-read-file | proc:victim-alloc\n\
@@ -87,6 +88,7 @@ fn usage() -> ! {
          status options:   --socket PATH [--id N] [--json]\n\
          inspect options:  --socket PATH --id N [--json]\n\
          top-failures:     --socket PATH --id N [--limit K]\n\
+         health options:   --socket PATH [--json]\n\
          shutdown:         --socket PATH"
     );
     std::process::exit(2);
@@ -588,12 +590,21 @@ fn parse_id(opts: &HashMap<String, String>) -> u64 {
 
 fn print_row(row: &CampaignRow) {
     let s = &row.status;
-    let state = if s.complete { "complete" } else { "running" };
+    let state = if row.failed.is_some() {
+        "failed"
+    } else if s.complete {
+        "complete"
+    } else {
+        "running"
+    };
     println!(
         "campaign {}: {state}, {}/{} cells, {} tests, {} unique failures ({} crashes)",
         row.id, s.cells_done, s.cells_total, s.tests_executed, s.unique_failures,
         s.unique_crashes
     );
+    if let Some(reason) = &row.failed {
+        println!("  failed: {reason}");
+    }
     if let Some(e) = &row.error {
         println!("  checkpoint error: {e}");
     }
@@ -657,6 +668,38 @@ fn cmd_top_failures(opts: &HashMap<String, String>) {
     }
 }
 
+fn cmd_health(opts: &HashMap<String, String>) {
+    match rpc(opts, &Request::Health) {
+        Response::Health(h) => {
+            if opts.contains_key("json") {
+                println!("{}", afex::protocol::encode(&h).trim_end());
+                return;
+            }
+            println!(
+                "{} campaigns: {} running, {} complete, {} failed",
+                h.campaigns,
+                h.running,
+                h.complete,
+                h.failed.len()
+            );
+            for f in &h.failed {
+                println!("  failed campaign {}: {}", f.id, f.reason);
+            }
+            for d in &h.degraded {
+                println!("  degraded campaign {} (state in memory only): {}", d.id, d.error);
+            }
+            for q in &h.quarantined {
+                println!("  quarantined: {} ({})", q.dir, q.reason);
+            }
+            println!(
+                "counters: {} io retries, {} flush recoveries, {} cell panics",
+                h.io_retries, h.flush_recoveries, h.cell_panics
+            );
+        }
+        other => unexpected_reply(&other),
+    }
+}
+
 fn cmd_shutdown(opts: &HashMap<String, String>) {
     match rpc(opts, &Request::Shutdown) {
         Response::ShuttingDown => println!("daemon draining"),
@@ -679,6 +722,7 @@ fn main() {
         "status" => cmd_status(&opts),
         "inspect" => cmd_inspect(&opts),
         "top-failures" => cmd_top_failures(&opts),
+        "health" => cmd_health(&opts),
         "shutdown" => cmd_shutdown(&opts),
         _ => usage(),
     }

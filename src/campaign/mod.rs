@@ -39,8 +39,9 @@ pub mod submit;
 
 pub use query::{report_of, status_of, top_failures, CampaignStatus};
 pub use run::{
-    checkpoint, read_export, run_campaign, run_hunt, run_pending, sweep_stale_tmp, write_snapshot,
-    CorpusExporter, HuntSpec, RunError,
+    checkpoint, is_transient_io, read_export, retry_io, run_campaign, run_hunt, run_pending,
+    sweep_stale_tmp, write_snapshot, write_snapshot_with_backup, CorpusExporter, HuntSpec,
+    RunError,
 };
 pub use submit::{
     build_spec, load_resume_snapshot, validate_snapshot, validate_spec, ResumeError, SpecOptions,
@@ -95,6 +96,12 @@ pub const VFS_TARGETS: [&str; 3] = [
     "vfs:docstore-recovery",
 ];
 
+/// A test-only target whose cells panic mid-run — the chaos probe behind
+/// the panic-quarantine tests and the CI chaos smoke. Only recognized
+/// when `AFEX_TEST_POISON` is set in the environment, so production
+/// daemons can never be handed a deliberately panicking campaign.
+pub const POISON_TARGET: &str = "test:poison";
+
 /// The canonical spelling of a target name, if known. `mysql` and
 /// `apache` (the paper's names) are aliases of `minidb` and `httpd`
 /// (the stand-ins), matching `explore`. `proc:*` names are already
@@ -106,6 +113,9 @@ pub fn canonical_target(name: &str) -> Option<&'static str> {
         "apache" | "httpd" => Some("httpd"),
         "docstore-0.8" => Some("docstore-0.8"),
         "docstore-2.0" => Some("docstore-2.0"),
+        _ if name == POISON_TARGET && std::env::var_os("AFEX_TEST_POISON").is_some() => {
+            Some(POISON_TARGET)
+        }
         _ => PROC_TARGETS
             .iter()
             .chain(VFS_TARGETS.iter())
@@ -236,6 +246,9 @@ pub fn target_space(name: &str) -> Option<TargetSpace> {
         "httpd" => Some(TargetSpace::apache()),
         "docstore-0.8" => Some(TargetSpace::docstore(Version::V0_8)),
         "docstore-2.0" => Some(TargetSpace::docstore(Version::V2_0)),
+        // The poison probe never resolves a space: its cells panic in
+        // `run_cell` before any space is needed.
+        "test:poison" => None,
         name => {
             debug_assert!(
                 is_proc_target(name) || is_vfs_target(name),
@@ -383,6 +396,9 @@ pub fn chain_seeds_into(
 /// Panics on an unknown target, strategy, or metric name — validate the
 /// spec with [`CampaignSpec::validate`] first.
 pub fn run_cell(cell: &CampaignCell, spec: &CampaignSpec, seeds: &TraceSeeds) -> CellOutcome {
+    if cell.target == POISON_TARGET {
+        panic!("poison target panicked mid-cell (AFEX_TEST_POISON)");
+    }
     let m = spec
         .metric
         .as_deref()

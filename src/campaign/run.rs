@@ -103,6 +103,90 @@ pub fn write_snapshot(snap: &CampaignSnapshot, path: &Path) -> std::io::Result<(
     result
 }
 
+/// Writes the snapshot atomically like [`write_snapshot`], additionally
+/// preserving the previous on-disk snapshot as `<path>.bak` before the
+/// rename lands. The daemon checkpoints through this so that a snapshot
+/// corrupted *after* it landed (disk fault, operator accident) still
+/// leaves the previous good checkpoint to fall back to on restart —
+/// resuming from an older checkpoint is safe because cell replay is
+/// deterministic and converges to byte-identical final state.
+///
+/// Crash windows: a crash between the backup rename and the final rename
+/// leaves `<path>` missing but `<path>.bak` complete (replay restores
+/// it); a crash before the backup rename leaves both untouched. The
+/// `.bak` file is never swept by [`sweep_stale_tmp`] (it only removes
+/// `*.tmp`).
+///
+/// # Errors
+///
+/// Returns the I/O error of the write or either rename.
+pub fn write_snapshot_with_backup(snap: &CampaignSnapshot, path: &Path) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut bak = path.as_os_str().to_owned();
+    bak.push(".bak");
+    let bak = PathBuf::from(bak);
+    let body = snap.to_json() + "\n";
+    let result = std::fs::write(&tmp, body)
+        .and_then(|()| {
+            if path.exists() {
+                std::fs::rename(path, &bak)
+            } else {
+                Ok(())
+            }
+        })
+        .and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Whether an I/O error is worth retrying: the transient errno classes
+/// (EINTR, EAGAIN) plus ENOSPC — disk-full commonly clears when a
+/// co-located log rotates or a neighbor frees space, and a checkpoint
+/// that rides out the window beats one that gives up.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+    ) || matches!(e.raw_os_error(), Some(4 | 11 | 28)) // EINTR, EAGAIN, ENOSPC
+}
+
+/// Runs `op` up to `attempts` times, sleeping with exponential backoff
+/// (2 ms, 4 ms, 8 ms, …) between tries, retrying only transient errors
+/// ([`is_transient_io`]). `on_retry` observes each error that triggers a
+/// retry — the service counts them for its health surface. Non-transient
+/// errors and the final attempt's error return immediately.
+///
+/// # Errors
+///
+/// Returns the last error once attempts are exhausted, or the first
+/// non-transient error.
+pub fn retry_io<T>(
+    attempts: u32,
+    mut on_retry: impl FnMut(&std::io::Error),
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut delay = std::time::Duration::from_millis(2);
+    let mut tries = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                tries += 1;
+                if tries >= attempts.max(1) || !is_transient_io(&e) {
+                    return Err(e);
+                }
+                on_retry(&e);
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+        }
+    }
+}
+
 /// Removes orphaned `.tmp` files from a campaign directory — the debris
 /// of a crash between a temp-file write and its rename. Called when a
 /// campaign directory is opened or resumed (CLI and daemon alike); the
@@ -552,6 +636,60 @@ mod tests {
             "failed write must not leave a stale .tmp behind"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backup_write_preserves_previous_snapshot() {
+        let dir = tmp_dir("bak");
+        let path = dir.join("campaign.json");
+        let snap = CampaignSnapshot::new(tiny_spec());
+        // First write: no previous snapshot, so no .bak appears.
+        write_snapshot_with_backup(&snap, &path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        assert!(!dir.join("campaign.json.bak").exists());
+        // Second write: the first landing becomes the backup.
+        write_snapshot_with_backup(&snap, &path).unwrap();
+        assert_eq!(std::fs::read(dir.join("campaign.json.bak")).unwrap(), first);
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        // The backup is not .tmp debris: the sweep leaves it alone.
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 0);
+        assert!(dir.join("campaign.json.bak").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_io_rides_out_transient_errors_only() {
+        // Two EINTRs then success: three attempts, two retries observed.
+        let mut fails = 2;
+        let mut seen = 0;
+        let v = retry_io(
+            4,
+            |_| seen += 1,
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(std::io::Error::from_raw_os_error(4)) // EINTR
+                } else {
+                    Ok(42)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!((v, seen), (42, 2));
+        // A non-transient error returns immediately, no retries.
+        let mut seen = 0;
+        let e = retry_io(4, |_| seen += 1, || {
+            Err::<(), _>(std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"))
+        })
+        .unwrap_err();
+        assert_eq!((e.kind(), seen), (std::io::ErrorKind::PermissionDenied, 0));
+        // Exhausted attempts return the last transient error.
+        let mut seen = 0;
+        let e = retry_io(3, |_| seen += 1, || {
+            Err::<(), _>(std::io::Error::from_raw_os_error(28)) // ENOSPC
+        })
+        .unwrap_err();
+        assert_eq!((e.raw_os_error(), seen), (Some(28), 2));
     }
 
     #[test]

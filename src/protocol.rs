@@ -15,11 +15,21 @@
 
 use crate::campaign::SpecOptions;
 use crate::core::campaign::{CampaignReport, ExportRecord};
-use crate::service::{CampaignRow, CampaignService};
+use crate::service::{CampaignRow, CampaignService, ServiceHealth};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+/// Upper bound on one request line. Far beyond any legitimate request
+/// (a `Submit` with every option set is well under 1 KiB), but small
+/// enough that a misdirected upload cannot balloon the daemon's memory.
+pub const MAX_REQUEST_BYTES: u64 = 256 * 1024;
+
+/// Per-request read/write deadline on an accepted connection: a client
+/// that connects and then stalls must not wedge the accept loop.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A client request, one JSON line on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +56,9 @@ pub enum Request {
         /// How many records to return.
         limit: usize,
     },
+    /// The fault-tolerance health surface: quarantined campaigns,
+    /// degraded-mode state, retry counters.
+    Health,
     /// Graceful shutdown: drain in-flight cells, checkpoint everything,
     /// exit 0.
     Shutdown,
@@ -69,6 +82,8 @@ pub enum Response {
     Inspect(CampaignReport),
     /// The impact-ranked corpus records.
     TopFailures(Vec<ExportRecord>),
+    /// The fault-tolerance health report.
+    Health(ServiceHealth),
     /// The daemon acknowledged the shutdown and is draining.
     ShuttingDown,
     /// The request failed; the message is the CLI-identical rendering.
@@ -112,6 +127,7 @@ pub fn handle(service: &CampaignService, req: &Request) -> (Response, bool) {
             Ok(records) => Response::TopFailures(records),
             Err(e) => Response::Error(e.to_string()),
         },
+        Request::Health => Response::Health(service.health()),
         Request::Shutdown => Response::ShuttingDown,
     };
     (response, matches!(req, Request::Shutdown))
@@ -122,6 +138,14 @@ pub fn handle(service: &CampaignService, req: &Request) -> (Response, bool) {
 /// down. I/O errors on a single connection are returned for logging,
 /// never fatal to the daemon.
 ///
+/// Two per-connection bounds protect the accept loop. A read/write
+/// deadline ([`REQUEST_DEADLINE`]) turns a stalled client into a
+/// "request timed out" error instead of a wedged daemon. A request-size
+/// cap ([`MAX_REQUEST_BYTES`]) turns a runaway line into a
+/// [`Response::Error`] instead of unbounded buffering — the reader
+/// stops at the cap plus one byte, which is enough to distinguish
+/// "exactly at the limit" from "over it".
+///
 /// # Errors
 ///
 /// Returns the connection's I/O or parse error.
@@ -129,18 +153,44 @@ pub fn serve_connection(
     service: &CampaignService,
     stream: &mut UnixStream,
 ) -> Result<bool, String> {
+    stream
+        .set_read_timeout(Some(REQUEST_DEADLINE))
+        .map_err(|e| format!("cannot arm read deadline: {e}"))?;
+    stream
+        .set_write_timeout(Some(REQUEST_DEADLINE))
+        .map_err(|e| format!("cannot arm write deadline: {e}"))?;
     let mut line = String::new();
-    BufReader::new(&mut *stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("cannot read request: {e}"))?;
+    let read = BufReader::new((&mut *stream).take(MAX_REQUEST_BYTES + 1)).read_line(&mut line);
+    if let Err(e) = read {
+        // On a Unix socket a timed-out read surfaces as WouldBlock (the
+        // deadline is a socket timeout, not an O_NONBLOCK flag).
+        let timed_out = matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        );
+        return Err(if timed_out {
+            "request timed out".to_owned()
+        } else {
+            format!("cannot read request: {e}")
+        });
+    }
     // A connect-then-close with no bytes is a liveness probe ("is the
     // daemon up yet?"), not a request — answer nothing.
     if line.is_empty() {
         return Ok(false);
     }
-    let (response, shutdown) = match decode::<Request>(&line) {
-        Ok(req) => handle(service, &req),
-        Err(e) => (Response::Error(format!("bad request: {e}")), false),
+    let (response, shutdown) = if line.len() as u64 > MAX_REQUEST_BYTES {
+        (
+            Response::Error(format!(
+                "request too large (over {MAX_REQUEST_BYTES} bytes)"
+            )),
+            false,
+        )
+    } else {
+        match decode::<Request>(&line) {
+            Ok(req) => handle(service, &req),
+            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+        }
     };
     stream
         .write_all(encode(&response).as_bytes())
@@ -151,15 +201,41 @@ pub fn serve_connection(
     Ok(shutdown)
 }
 
-/// The client side: connect to the daemon's socket, send one request,
-/// read the reply.
+/// Connects with a short retry/backoff ladder (10/20/40 ms) on the
+/// errors a daemon mid-(re)start produces: the socket file not there
+/// yet (`NotFound`) or bound but not yet listening/accepting
+/// (`ConnectionRefused`). Everything else — permissions, a genuinely
+/// absent daemon after the ladder — fails fast with the original error.
+fn connect_with_retry(socket: &Path) -> std::io::Result<UnixStream> {
+    let mut delay = Duration::from_millis(10);
+    for _ in 0..3 {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::ConnectionRefused
+                ) =>
+            {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    UnixStream::connect(socket)
+}
+
+/// The client side: connect to the daemon's socket (with a brief
+/// connect retry, riding out a daemon that is just starting up), send
+/// one request, read the reply.
 ///
 /// # Errors
 ///
 /// Returns a message naming the socket for connect failures (the
 /// "is the daemon running?" case), or the I/O/parse error otherwise.
 pub fn request(socket: &Path, req: &Request) -> Result<Response, String> {
-    let mut stream = UnixStream::connect(socket)
+    let mut stream = connect_with_retry(socket)
         .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
     stream
         .write_all(encode(req).as_bytes())
@@ -210,6 +286,7 @@ mod tests {
         roundtrip_request(&Request::List);
         roundtrip_request(&Request::Inspect { id: 1 });
         roundtrip_request(&Request::TopFailures { id: 3, limit: 10 });
+        roundtrip_request(&Request::Health);
         roundtrip_request(&Request::Shutdown);
     }
 
@@ -227,9 +304,30 @@ mod tests {
                 complete: false,
             },
             error: Some("cannot write snapshot /x: disk full".into()),
+            failed: Some("cell 0 (test:poison/fitness seed 11) panicked: boom".into()),
         };
         roundtrip_response(&Response::Status(row.clone()));
         roundtrip_response(&Response::List(vec![row]));
+        roundtrip_response(&Response::Health(crate::service::ServiceHealth {
+            campaigns: 3,
+            running: 1,
+            complete: 1,
+            failed: vec![crate::service::FailedCampaign {
+                id: 2,
+                reason: "cell 0 panicked: boom".into(),
+            }],
+            degraded: vec![crate::service::DegradedCampaign {
+                id: 3,
+                error: "cannot write snapshot /x: disk full".into(),
+            }],
+            quarantined: vec![crate::service::QuarantinedDir {
+                dir: "/root/campaigns/.quarantine/1".into(),
+                reason: "corrupt campaign state: expected value".into(),
+            }],
+            io_retries: 4,
+            flush_recoveries: 1,
+            cell_panics: 1,
+        }));
         // A trace with newlines and quotes must survive the line
         // framing — the JSON escaping is what makes "one line" safe.
         roundtrip_response(&Response::TopFailures(vec![ExportRecord {

@@ -42,18 +42,24 @@
 //! daemon never died.
 
 use crate::campaign::{
-    build_spec, chain_seeds_into, checkpoint, run_cell, status_of, sweep_stale_tmp, top_failures,
-    write_snapshot, CampaignStatus, CorpusExporter, SpecOptions, SubmitError, TraceSeeds,
+    build_spec, chain_seeds_into, retry_io, run_cell, status_of, sweep_stale_tmp, top_failures,
+    write_snapshot, write_snapshot_with_backup, CampaignStatus, CorpusExporter, SpecOptions,
+    SubmitError, TraceSeeds,
 };
 use crate::core::campaign::{
     CampaignCell, CampaignReport, CampaignSnapshot, CampaignSpec, CellOutcome, ExportRecord,
 };
-use afex_cluster::{CellChain, MultiplexPool};
+use afex_cluster::{CellChain, CellResult, MultiplexPool};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How many attempts every durability write gets before the service
+/// declares the job degraded (≈14 ms of backoff end to end).
+const IO_ATTEMPTS: u32 = 4;
 
 /// A cell as the pool runs it: the owning campaign's spec rides along
 /// because the pool's run function is shared by every campaign.
@@ -112,18 +118,89 @@ impl std::error::Error for ServiceError {
     }
 }
 
-/// One campaign's row in a `list` reply: id, progress, and the first
-/// checkpoint error if its durability ever failed.
+/// One campaign's row in a `list` reply: id, progress, the current
+/// degraded-mode error (if its durability is failing), and the terminal
+/// failure reason (if one of its cells panicked).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignRow {
     /// The campaign's service-assigned id.
     pub id: u64,
     /// Its progress counters.
     pub status: CampaignStatus,
-    /// The first checkpoint/summary error, if any — a campaign whose
-    /// durability failed keeps running but is flagged, since its
-    /// on-disk state is stuck at the last successful checkpoint.
+    /// The latest checkpoint/summary error, if the job is currently
+    /// degraded — the in-memory state keeps advancing and keeps
+    /// answering queries, while the on-disk state is stuck at the last
+    /// successful checkpoint until the disk recovers.
     pub error: Option<String>,
+    /// The quarantine reason if a cell of this campaign panicked: the
+    /// campaign is terminally failed (its remaining cells abandoned),
+    /// but the daemon and every other campaign keep running.
+    pub failed: Option<String>,
+}
+
+/// Monotonic fault-tolerance counters, shared by the jobs' durability
+/// paths and the health surface.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Transient I/O errors ridden out by a retry (EINTR/EAGAIN/ENOSPC).
+    io_retries: AtomicU64,
+    /// Times a degraded job's durability came back (a later checkpoint
+    /// flushed after earlier ones failed).
+    flush_recoveries: AtomicU64,
+    /// Cells whose execution panicked (each fails its campaign).
+    cell_panics: AtomicU64,
+}
+
+/// A campaign directory moved aside at replay because its state could
+/// not be loaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedDir {
+    /// Where the directory now lives (under `campaigns/.quarantine/`).
+    pub dir: String,
+    /// Why it was quarantined (also in its `reason.txt`).
+    pub reason: String,
+}
+
+/// The `health` reply: what the fault-tolerance layer has absorbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceHealth {
+    /// Total campaigns the service is tracking.
+    pub campaigns: usize,
+    /// Campaigns still running.
+    pub running: usize,
+    /// Campaigns complete.
+    pub complete: usize,
+    /// Terminally failed campaigns (a cell panicked), with reasons.
+    pub failed: Vec<FailedCampaign>,
+    /// Campaigns currently in degraded mode (durability failing, state
+    /// in memory only), with their latest errors.
+    pub degraded: Vec<DegradedCampaign>,
+    /// Directories quarantined at the last replay.
+    pub quarantined: Vec<QuarantinedDir>,
+    /// Transient I/O errors ridden out by retries.
+    pub io_retries: u64,
+    /// Degraded jobs whose durability later recovered.
+    pub flush_recoveries: u64,
+    /// Cells whose execution panicked.
+    pub cell_panics: u64,
+}
+
+/// One terminally failed campaign in a health reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedCampaign {
+    /// The campaign id.
+    pub id: u64,
+    /// The quarantine reason.
+    pub reason: String,
+}
+
+/// One degraded campaign in a health reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedCampaign {
+    /// The campaign id.
+    pub id: u64,
+    /// Its latest durability error.
+    pub error: String,
 }
 
 /// The per-target preseed frozen into a campaign's `preseed.json` at
@@ -153,40 +230,95 @@ impl PreseedFile {
 }
 
 /// One campaign's mutable state: its snapshot, its streaming export,
-/// and the first durability error. The pool's completion callback and
-/// the query methods share it behind one mutex.
+/// the current durability error (degraded mode), and the terminal
+/// failure reason if a cell panicked. The pool's completion callback
+/// and the query methods share it behind one mutex.
 struct Job {
     dir: PathBuf,
     snap: CampaignSnapshot,
     exporter: CorpusExporter,
     error: Option<String>,
+    failed: Option<String>,
 }
 
 impl Job {
-    /// Checkpoints snapshot + export, records the first failure. After
-    /// a durability failure no further checkpoints are attempted — the
-    /// on-disk state stays at the last successful one, matching
-    /// `run_campaign`'s contract.
-    fn checkpoint(&mut self) {
-        if self.error.is_some() {
-            return;
-        }
+    /// Checkpoints snapshot + export with bounded retry on transient
+    /// errors. A persistent failure puts the job in *degraded mode*:
+    /// the in-memory snapshot keeps advancing (status/list/inspect all
+    /// keep answering from it), the error is surfaced, and **every
+    /// subsequent checkpoint tries the disk again** — when a write
+    /// finally lands, the whole accumulated state flushes at once (the
+    /// snapshot write is the full state, and the exporter syncs every
+    /// missing record), the error clears, and the recovery is counted.
+    /// Checkpoints go through [`write_snapshot_with_backup`] so the
+    /// previous good snapshot survives as `campaign.json.bak`.
+    fn checkpoint(&mut self, stats: &ServiceStats) {
         let snap_path = self.dir.join("campaign.json");
-        if let Err(e) = checkpoint(&self.snap, &snap_path, Some(&mut self.exporter)) {
-            self.error = Some(e.to_string());
+        let snap = &self.snap;
+        let exporter = &mut self.exporter;
+        let on_retry = |_: &std::io::Error| {
+            stats.io_retries.fetch_add(1, Ordering::Relaxed);
+        };
+        let result = retry_io(IO_ATTEMPTS, on_retry, || {
+            write_snapshot_with_backup(snap, &snap_path)
+        })
+        .map_err(|e| format!("cannot write snapshot {}: {e}", snap_path.display()))
+        .and_then(|()| {
+            retry_io(IO_ATTEMPTS, on_retry, || exporter.sync(snap))
+                .map_err(|e| format!("cannot append corpus export: {e}"))
+        });
+        match result {
+            Ok(()) => {
+                if self.error.take().is_some() {
+                    stats.flush_recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(msg) => self.error = Some(msg),
         }
     }
 
-    /// Writes `summary.json` once the campaign is complete.
-    fn finish(&mut self) {
-        if self.error.is_some() || !self.snap.is_complete() {
+    /// Writes `summary.json` once the campaign is complete (and its
+    /// checkpoint is not degraded — the summary must not outrun the
+    /// snapshot it summarizes).
+    fn finish(&mut self, stats: &ServiceStats) {
+        if self.error.is_some() || self.failed.is_some() || !self.snap.is_complete() {
             return;
         }
         let report = CampaignReport::from_snapshot(&self.snap);
         let path = self.dir.join("summary.json");
-        if let Err(e) = std::fs::write(&path, report.to_json() + "\n") {
+        let body = report.to_json() + "\n";
+        let landed = retry_io(
+            IO_ATTEMPTS,
+            |_| {
+                stats.io_retries.fetch_add(1, Ordering::Relaxed);
+            },
+            || std::fs::write(&path, &body),
+        );
+        if let Err(e) = landed {
             self.error = Some(format!("cannot write summary {}: {e}", path.display()));
         }
+    }
+
+    /// Marks the campaign terminally failed (a cell panicked): records
+    /// the reason in memory and durably in `failed.txt`, so a restarted
+    /// daemon shows the failure instead of re-running the panicking
+    /// cell. Best-effort on disk — a write failure leaves the job
+    /// degraded but the in-memory verdict stands.
+    fn fail(&mut self, reason: String, stats: &ServiceStats) {
+        stats.cell_panics.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join("failed.txt");
+        let body = reason.clone() + "\n";
+        let landed = retry_io(
+            IO_ATTEMPTS,
+            |_| {
+                stats.io_retries.fetch_add(1, Ordering::Relaxed);
+            },
+            || std::fs::write(&path, &body),
+        );
+        if let Err(e) = landed {
+            self.error = Some(format!("cannot write {}: {e}", path.display()));
+        }
+        self.failed = Some(reason);
     }
 }
 
@@ -207,6 +339,11 @@ pub struct CampaignService {
     /// The cross-campaign corpus: per canonical target, every deduped
     /// trace any campaign's cells have produced, in first-seen order.
     global: Arc<Mutex<HashMap<String, TraceSeeds>>>,
+    /// Fault-tolerance counters, shared with the pool callbacks.
+    stats: Arc<ServiceStats>,
+    /// Directories moved aside at replay because their state could not
+    /// be loaded.
+    quarantined: Mutex<Vec<QuarantinedDir>>,
 }
 
 impl CampaignService {
@@ -246,6 +383,8 @@ impl CampaignService {
                 next_id: 1,
             }),
             global: Arc::new(Mutex::new(HashMap::new())),
+            stats: Arc::new(ServiceStats::default()),
+            quarantined: Mutex::new(Vec::new()),
         };
         service.replay(&campaigns)?;
         Ok(service)
@@ -253,7 +392,13 @@ impl CampaignService {
 
     /// Scans existing campaign directories in id order and rebuilds the
     /// in-memory state the dead daemon had: jobs, the global corpus,
-    /// and the pool's pending chains.
+    /// and the pool's pending chains. A directory whose state cannot be
+    /// *parsed* (corrupt snapshot with no usable backup, corrupt
+    /// preseed or export) does not abort the replay: it is moved to
+    /// `campaigns/.quarantine/<id>/` with a `reason.txt` and every
+    /// other campaign loads normally. I/O errors (permissions, a dying
+    /// disk) still abort — they would corrupt the replay's view, not
+    /// one campaign's.
     fn replay(&self, campaigns: &Path) -> Result<(), ServiceError> {
         let mut ids: Vec<u64> = std::fs::read_dir(campaigns)
             .map_err(|source| ServiceError::Io {
@@ -265,67 +410,169 @@ impl CampaignService {
             .collect();
         ids.sort_unstable();
         for id in ids {
+            // The id burns no matter how the directory loads: ids are
+            // never reused, quarantined or not.
+            {
+                let mut reg = self.registry.lock().expect("registry poisoned");
+                reg.next_id = reg.next_id.max(id + 1);
+            }
             let dir = campaigns.join(id.to_string());
-            // A directory without a snapshot is the debris of a
-            // submission that died before its first checkpoint: nothing
-            // ran, nothing durable was promised, skip it. (The id stays
-            // burned — `next_id` advances past every directory.)
-            let snap_path = dir.join("campaign.json");
-            if !snap_path.exists() {
-                let mut reg = self.registry.lock().expect("registry poisoned");
-                reg.next_id = reg.next_id.max(id + 1);
-                continue;
-            }
-            sweep_stale_tmp(&dir).map_err(|source| ServiceError::Io {
-                path: dir.clone(),
-                source,
-            })?;
-            let text =
-                std::fs::read_to_string(&snap_path).map_err(|source| ServiceError::Io {
-                    path: snap_path.clone(),
-                    source,
-                })?;
-            let snap = CampaignSnapshot::from_json(&text).map_err(|e| ServiceError::Corrupt {
-                path: snap_path.clone(),
-                detail: e.to_string(),
-            })?;
-            let preseed = read_preseed(&dir)?;
-            {
-                let mut global = self.global.lock().expect("global poisoned");
-                absorb_into_global(&mut global, &preseed, &snap);
-            }
-            let export_path = dir.join("corpus.jsonl");
-            let mut exporter =
-                CorpusExporter::open(&export_path).map_err(|source| ServiceError::Io {
-                    path: export_path.clone(),
-                    source,
-                })?;
-            // Heal a kill between the snapshot write and the export
-            // append right away, instead of waiting for the next cell.
-            exporter.sync(&snap).map_err(|source| ServiceError::Io {
-                path: export_path,
-                source,
-            })?;
-            let mut job = Job {
-                dir,
-                snap,
-                exporter,
-                error: None,
-            };
-            // A kill between the last checkpoint and the summary write
-            // leaves a complete snapshot without its summary; land it.
-            job.finish();
-            let complete = job.snap.is_complete();
-            let job = Arc::new(Mutex::new(job));
-            {
-                let mut reg = self.registry.lock().expect("registry poisoned");
-                reg.jobs.insert(id, Arc::clone(&job));
-                reg.next_id = reg.next_id.max(id + 1);
-            }
-            if !complete {
-                self.enqueue(&job, &preseed);
+            match self.replay_dir(id, &dir) {
+                Ok(()) => {}
+                Err(ServiceError::Corrupt { path, detail }) => {
+                    let reason = format!("corrupt campaign state {}: {detail}", path.display());
+                    self.quarantine(campaigns, id, &dir, &reason)?;
+                }
+                Err(e) => return Err(e),
             }
         }
+        Ok(())
+    }
+
+    /// Loads one campaign directory into a job (and the pool, if it is
+    /// still runnable). A `Corrupt` return means the directory's state
+    /// is unusable and the caller should quarantine it.
+    fn replay_dir(&self, id: u64, dir: &Path) -> Result<(), ServiceError> {
+        let snap_path = dir.join("campaign.json");
+        let bak_path = dir.join("campaign.json.bak");
+        // A directory with neither a snapshot nor a backup is the
+        // debris of a submission that died before its first checkpoint:
+        // nothing ran, nothing durable was promised, skip it.
+        if !snap_path.exists() && !bak_path.exists() {
+            return Ok(());
+        }
+        sweep_stale_tmp(dir).map_err(|source| ServiceError::Io {
+            path: dir.to_owned(),
+            source,
+        })?;
+        let snap = match load_snapshot(&snap_path) {
+            Ok(snap) => snap,
+            Err(primary @ ServiceError::Corrupt { .. }) => {
+                // The primary snapshot is torn or missing. If the
+                // frozen preseed is intact and the previous checkpoint
+                // (`campaign.json.bak`) parses, resume from it: cell
+                // replay is deterministic, so restarting from an older
+                // checkpoint converges to the same final bytes. The
+                // recovered snapshot is promoted to the primary path
+                // immediately, so a second crash cannot regress.
+                match (read_preseed(dir), load_snapshot(&bak_path)) {
+                    (Ok(_), Ok(bak_snap)) => {
+                        write_snapshot(&bak_snap, &snap_path).map_err(|source| {
+                            ServiceError::Io {
+                                path: snap_path.clone(),
+                                source,
+                            }
+                        })?;
+                        bak_snap
+                    }
+                    _ => return Err(primary),
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        let preseed = read_preseed(dir)?;
+        {
+            let mut global = self.global.lock().expect("global poisoned");
+            absorb_into_global(&mut global, &preseed, &snap);
+        }
+        let export_path = dir.join("corpus.jsonl");
+        let mut exporter = match CorpusExporter::open(&export_path) {
+            Ok(exporter) => exporter,
+            // A corrupt export line is campaign-local damage: it
+            // quarantines this directory, not the whole replay.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(ServiceError::Corrupt {
+                    path: export_path,
+                    detail: e.to_string(),
+                })
+            }
+            Err(source) => {
+                return Err(ServiceError::Io {
+                    path: export_path,
+                    source,
+                })
+            }
+        };
+        // Heal a kill between the snapshot write and the export
+        // append right away, instead of waiting for the next cell.
+        exporter.sync(&snap).map_err(|source| ServiceError::Io {
+            path: export_path,
+            source,
+        })?;
+        // A durable failure marker means a cell of this campaign
+        // panicked in a previous life: show the failure, never re-run
+        // the panicking cell.
+        let failed = match std::fs::read_to_string(dir.join("failed.txt")) {
+            Ok(text) => Some(text.trim_end().to_owned()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(source) => {
+                return Err(ServiceError::Io {
+                    path: dir.join("failed.txt"),
+                    source,
+                })
+            }
+        };
+        let mut job = Job {
+            dir: dir.to_owned(),
+            snap,
+            exporter,
+            error: None,
+            failed,
+        };
+        // A kill between the last checkpoint and the summary write
+        // leaves a complete snapshot without its summary; land it.
+        job.finish(&self.stats);
+        let runnable = !job.snap.is_complete() && job.failed.is_none();
+        let job = Arc::new(Mutex::new(job));
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .insert(id, Arc::clone(&job));
+        if runnable {
+            self.enqueue(&job, &preseed);
+        }
+        Ok(())
+    }
+
+    /// Moves an unloadable campaign directory to
+    /// `campaigns/.quarantine/<id>/` (suffixing `.1`, `.2`, … if a
+    /// previous quarantine of the same id exists), writes the reason
+    /// into its `reason.txt`, and records it for the health surface.
+    /// The `.quarantine` directory name is not a campaign id, so the
+    /// replay scan never picks quarantined state back up.
+    fn quarantine(
+        &self,
+        campaigns: &Path,
+        id: u64,
+        dir: &Path,
+        reason: &str,
+    ) -> Result<(), ServiceError> {
+        let qroot = campaigns.join(".quarantine");
+        std::fs::create_dir_all(&qroot).map_err(|source| ServiceError::Io {
+            path: qroot.clone(),
+            source,
+        })?;
+        let mut dest = qroot.join(id.to_string());
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = qroot.join(format!("{id}.{n}"));
+        }
+        std::fs::rename(dir, &dest).map_err(|source| ServiceError::Io {
+            path: dir.to_owned(),
+            source,
+        })?;
+        // Best-effort: the quarantine itself must not fail because the
+        // explanation could not be written.
+        let _ = std::fs::write(dest.join("reason.txt"), reason.to_owned() + "\n");
+        self.quarantined
+            .lock()
+            .expect("quarantine list poisoned")
+            .push(QuarantinedDir {
+                dir: dest.display().to_string(),
+                reason: reason.to_owned(),
+            });
         Ok(())
     }
 
@@ -357,22 +604,39 @@ impl CampaignService {
         };
         let job = Arc::clone(job);
         let global = Arc::clone(&self.global);
-        self.pool.submit(chains, move |(index, outcome): CellDone| {
-            let target = {
-                let mut j = job.lock().expect("job poisoned");
-                let target = j.snap.cells[index].cell.target.clone();
-                j.snap.record(index, outcome.clone());
-                j.checkpoint();
-                j.finish();
-                target
-            };
-            global
-                .lock()
-                .expect("global poisoned")
-                .entry(target)
-                .or_default()
-                .absorb(&outcome);
-        });
+        let stats = Arc::clone(&self.stats);
+        self.pool
+            .submit(chains, move |res: CellResult<ServiceCell, CellDone>| match res {
+                CellResult::Done((index, outcome)) => {
+                    let target = {
+                        let mut j = job.lock().expect("job poisoned");
+                        let target = j.snap.cells[index].cell.target.clone();
+                        j.snap.record(index, outcome.clone());
+                        j.checkpoint(&stats);
+                        j.finish(&stats);
+                        target
+                    };
+                    global
+                        .lock()
+                        .expect("global poisoned")
+                        .entry(target)
+                        .or_default()
+                        .absorb(&outcome);
+                }
+                CellResult::Quarantined {
+                    cell: (_, cell),
+                    reason,
+                    abandoned,
+                } => {
+                    let detail = format!(
+                        "cell {} ({}/{} seed {}) panicked: {reason} \
+                         ({abandoned} queued cells abandoned)",
+                        cell.index, cell.target, cell.strategy, cell.seed
+                    );
+                    let mut j = job.lock().expect("job poisoned");
+                    j.fail(detail, &stats);
+                }
+            });
     }
 
     /// Submits a new campaign: validates the options, freezes the
@@ -442,6 +706,7 @@ impl CampaignService {
             snap,
             exporter,
             error: None,
+            failed: None,
         }));
         self.registry
             .lock()
@@ -475,6 +740,7 @@ impl CampaignService {
             id,
             status: status_of(&j.snap),
             error: j.error.clone(),
+            failed: j.failed.clone(),
         })
     }
 
@@ -491,9 +757,54 @@ impl CampaignService {
                     id,
                     status: status_of(&j.snap),
                     error: j.error.clone(),
+                    failed: j.failed.clone(),
                 }
             })
             .collect()
+    }
+
+    /// The health surface: per-campaign failure/degradation verdicts,
+    /// the replay's quarantined directories, and the fault-tolerance
+    /// counters.
+    pub fn health(&self) -> ServiceHealth {
+        let rows = self.list();
+        let mut failed = Vec::new();
+        let mut degraded = Vec::new();
+        let mut running = 0;
+        let mut complete = 0;
+        for row in &rows {
+            if let Some(reason) = &row.failed {
+                failed.push(FailedCampaign {
+                    id: row.id,
+                    reason: reason.clone(),
+                });
+            } else if row.status.complete {
+                complete += 1;
+            } else {
+                running += 1;
+            }
+            if let Some(error) = &row.error {
+                degraded.push(DegradedCampaign {
+                    id: row.id,
+                    error: error.clone(),
+                });
+            }
+        }
+        ServiceHealth {
+            campaigns: rows.len(),
+            running,
+            complete,
+            failed,
+            degraded,
+            quarantined: self
+                .quarantined
+                .lock()
+                .expect("quarantine list poisoned")
+                .clone(),
+            io_retries: self.stats.io_retries.load(Ordering::Relaxed),
+            flush_recoveries: self.stats.flush_recoveries.load(Ordering::Relaxed),
+            cell_panics: self.stats.cell_panics.load(Ordering::Relaxed),
+        }
     }
 
     /// The full per-cell report for one campaign (complete or not).
@@ -541,7 +852,11 @@ impl CampaignService {
         };
         for job in jobs {
             let mut j = job.lock().expect("job poisoned");
-            j.checkpoint();
+            j.checkpoint(&self.stats);
+            // A campaign that completed while its disk was degraded
+            // gets its summary landed here, now that the final
+            // checkpoint has flushed.
+            j.finish(&self.stats);
         }
     }
 }
@@ -569,6 +884,32 @@ fn absorb_into_global(
                 .absorb(outcome);
         }
     }
+}
+
+/// Loads and parses one snapshot file. A missing file maps to
+/// `Corrupt` rather than `Io`: at the call sites (primary and backup
+/// snapshot paths) "not there" means the campaign's durable state is
+/// unusable, which is the quarantine class, not the abort class.
+fn load_snapshot(path: &Path) -> Result<CampaignSnapshot, ServiceError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(ServiceError::Corrupt {
+                path: path.to_owned(),
+                detail: "missing snapshot".to_owned(),
+            })
+        }
+        Err(source) => {
+            return Err(ServiceError::Io {
+                path: path.to_owned(),
+                source,
+            })
+        }
+    };
+    CampaignSnapshot::from_json(&text).map_err(|e| ServiceError::Corrupt {
+        path: path.to_owned(),
+        detail: e.to_string(),
+    })
 }
 
 /// Loads a campaign's frozen preseed; a missing file is an empty
@@ -709,11 +1050,15 @@ mod tests {
 
     #[test]
     fn reopening_a_root_resumes_incomplete_campaigns_identically() {
+        // Six same-target cells serialize on one chain, so when the
+        // poll below first sees >= 1 done, at most one more can be in
+        // flight — the shutdown reliably interrupts mid-campaign even
+        // on a loaded test machine.
         let root = tmp_root("resume");
         // Run a reference campaign to completion in one service life.
         {
             let service = CampaignService::open(&root, 2).unwrap();
-            service.submit(&docstore_opts(3)).unwrap();
+            service.submit(&docstore_opts(6)).unwrap();
             service.wait_idle();
             service.shutdown();
         }
@@ -727,7 +1072,7 @@ mod tests {
         // with the integration test covering the real kill -9.
         {
             let service = CampaignService::open(&root, 2).unwrap();
-            let id = service.submit(&docstore_opts(3)).unwrap();
+            let id = service.submit(&docstore_opts(6)).unwrap();
             let snap_path = service.campaign_dir(id).join("campaign.json");
             loop {
                 if let Ok(text) = std::fs::read_to_string(&snap_path) {
@@ -762,6 +1107,153 @@ mod tests {
             std::fs::read_to_string(root.join("campaigns").join("1").join("campaign.json"))
                 .unwrap();
         assert_eq!(resumed, reference, "resume must be byte-identical");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_backup_checkpoint() {
+        let root = tmp_root("bakfall");
+        // Reference: the same submission run to completion undisturbed.
+        {
+            let service = CampaignService::open(&root, 2).unwrap();
+            service.submit(&docstore_opts(2)).unwrap();
+            service.wait_idle();
+            service.shutdown();
+        }
+        let dir = root.join("campaigns").join("1");
+        let reference = std::fs::read_to_string(dir.join("campaign.json")).unwrap();
+        // Corrupt the primary snapshot; leave an *older* checkpoint as
+        // the backup (the initial, zero-cells-done snapshot). Recovery
+        // must replay forward from it to the identical final bytes.
+        let initial = CampaignSnapshot::new(build_spec(&docstore_opts(2)).unwrap());
+        std::fs::write(dir.join("campaign.json"), "{torn mid-write").unwrap();
+        std::fs::write(dir.join("campaign.json.bak"), initial.to_json() + "\n").unwrap();
+        {
+            let service = CampaignService::open(&root, 2).unwrap();
+            assert!(
+                service.health().quarantined.is_empty(),
+                "a usable backup must prevent quarantine"
+            );
+            service.wait_idle();
+            assert!(service.status(1).unwrap().status.complete);
+            service.shutdown();
+        }
+        let recovered = std::fs::read_to_string(dir.join("campaign.json")).unwrap();
+        assert_eq!(recovered, reference, "backup resume must be byte-identical");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unloadable_campaign_is_quarantined_not_fatal() {
+        let root = tmp_root("quarantine");
+        {
+            let service = CampaignService::open(&root, 2).unwrap();
+            service.submit(&docstore_opts(1)).unwrap();
+            service.submit(&docstore_opts(1)).unwrap();
+            service.wait_idle();
+            service.shutdown();
+        }
+        let sibling = std::fs::read_to_string(
+            root.join("campaigns").join("2").join("campaign.json"),
+        )
+        .unwrap();
+        // Garble campaign 1 beyond recovery: primary torn, backup gone.
+        let dir1 = root.join("campaigns").join("1");
+        std::fs::write(dir1.join("campaign.json"), "not json at all").unwrap();
+        let _ = std::fs::remove_file(dir1.join("campaign.json.bak"));
+        let service = CampaignService::open(&root, 2).unwrap();
+        // The broken campaign was moved aside with its reason...
+        let health = service.health();
+        assert_eq!(health.quarantined.len(), 1, "{health:?}");
+        assert!(health.quarantined[0].reason.contains("corrupt campaign state"));
+        let qdir = root.join("campaigns").join(".quarantine").join("1");
+        assert!(qdir.join("campaign.json").exists(), "state moved, not deleted");
+        let reason = std::fs::read_to_string(qdir.join("reason.txt")).unwrap();
+        assert!(reason.contains("corrupt campaign state"), "{reason}");
+        assert!(matches!(
+            service.status(1).unwrap_err(),
+            ServiceError::UnknownCampaign(1)
+        ));
+        // ...while the sibling loaded untouched and ids stay burned.
+        assert!(service.status(2).unwrap().status.complete);
+        let on_disk = std::fs::read_to_string(
+            root.join("campaigns").join("2").join("campaign.json"),
+        )
+        .unwrap();
+        assert_eq!(on_disk, sibling);
+        let next = service.submit(&docstore_opts(1)).unwrap();
+        assert_eq!(next, 3, "quarantined ids must never be reused");
+        service.wait_idle();
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degraded_checkpoint_recovers_when_disk_does() {
+        let dir = tmp_root("degraded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = CampaignSnapshot::new(build_spec(&docstore_opts(1)).unwrap());
+        let exporter = CorpusExporter::create(&dir.join("corpus.jsonl")).unwrap();
+        let mut job = Job {
+            dir: dir.clone(),
+            snap,
+            exporter,
+            error: None,
+            failed: None,
+        };
+        let stats = ServiceStats::default();
+        // Block the snapshot path with non-empty directories: the
+        // backup rename cannot land, the checkpoint fails, the job
+        // degrades — but its in-memory state still answers queries.
+        std::fs::create_dir_all(dir.join("campaign.json").join("occupied")).unwrap();
+        std::fs::create_dir_all(dir.join("campaign.json.bak").join("occupied")).unwrap();
+        job.checkpoint(&stats);
+        let degraded = job.error.clone().expect("blocked checkpoint must degrade");
+        assert!(degraded.contains("cannot write snapshot"), "{degraded}");
+        assert!(!status_of(&job.snap).complete, "status still answers");
+        // The disk "recovers": the next checkpoint flushes the full
+        // state, clears the error, and counts the recovery.
+        std::fs::remove_dir_all(dir.join("campaign.json")).unwrap();
+        std::fs::remove_dir_all(dir.join("campaign.json.bak")).unwrap();
+        job.checkpoint(&stats);
+        assert_eq!(job.error, None);
+        assert_eq!(stats.flush_recoveries.load(Ordering::Relaxed), 1);
+        assert!(dir.join("campaign.json").is_file(), "flushed on recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_cell_marks_campaign_failed_but_daemon_survives() {
+        std::env::set_var("AFEX_TEST_POISON", "1");
+        let root = tmp_root("poison");
+        let service = CampaignService::open(&root, 2).unwrap();
+        let mut opts = docstore_opts(1);
+        opts.targets = vec!["test:poison".into()];
+        let id = service.submit(&opts).unwrap();
+        service.wait_idle();
+        let row = service.status(id).unwrap();
+        let reason = row.failed.expect("poison campaign must be failed");
+        assert!(reason.contains("panicked"), "{reason}");
+        assert!(!row.status.complete);
+        // The failure is durable.
+        let marker =
+            std::fs::read_to_string(service.campaign_dir(id).join("failed.txt")).unwrap();
+        assert!(marker.contains("poison target panicked"), "{marker}");
+        // The daemon survives: a healthy follow-up completes.
+        let ok = service.submit(&docstore_opts(1)).unwrap();
+        service.wait_idle();
+        assert!(service.status(ok).unwrap().status.complete);
+        let health = service.health();
+        assert_eq!(health.failed.len(), 1);
+        assert_eq!(health.failed[0].id, id);
+        assert!(health.cell_panics >= 1);
+        service.shutdown();
+        // A restart shows the failure and does not re-run the cell.
+        let service = CampaignService::open(&root, 2).unwrap();
+        service.wait_idle();
+        assert!(service.status(id).unwrap().failed.is_some());
+        assert!(service.status(ok).unwrap().status.complete);
+        service.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }
 

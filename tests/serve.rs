@@ -22,16 +22,26 @@ fn scratch(name: &str) -> PathBuf {
 
 /// Starts a daemon and waits until its socket accepts connections.
 fn start_daemon(socket: &Path, root: &Path, workers: &str) -> Child {
-    let child = cli()
-        .args([
-            "serve",
-            "--socket",
-            socket.to_str().unwrap(),
-            "--root",
-            root.to_str().unwrap(),
-            "--workers",
-            workers,
-        ])
+    start_daemon_env(socket, root, workers, &[])
+}
+
+/// [`start_daemon`] with extra environment variables (the poison-target
+/// gate is env-controlled on the daemon side).
+fn start_daemon_env(socket: &Path, root: &Path, workers: &str, envs: &[(&str, &str)]) -> Child {
+    let mut cmd = cli();
+    cmd.args([
+        "serve",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--root",
+        root.to_str().unwrap(),
+        "--workers",
+        workers,
+    ]);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let child = cmd
         .stdout(std::process::Stdio::null())
         .spawn()
         .unwrap();
@@ -210,5 +220,168 @@ fn kill_dash_nine_then_restart_resumes_byte_identical() {
         resumed_snap["store"]["entries"].as_array().unwrap().len(),
         "corpus.jsonl must mirror the trace store"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_campaign_is_quarantined_while_sibling_resumes_byte_identical() {
+    let dir = scratch("quarantine");
+    let socket = dir.join("afex.sock");
+    let root = dir.join("svc");
+    let spec: &[&str] = &[
+        "--targets",
+        "httpd",
+        "--strategies",
+        "fitness,random",
+        "--seeds",
+        "1",
+        "--seed",
+        "7",
+        "--iterations",
+        "40",
+    ];
+
+    // Reference: the plain driver on the sibling's spec. Both campaigns
+    // start from empty preseeds (different targets), so the sibling's
+    // final bytes must match an uninterrupted run exactly.
+    let ref_out = dir.join("plain");
+    let plain = cli()
+        .args(["campaign", "--workers", "1", "--out", ref_out.to_str().unwrap()])
+        .args(spec)
+        .output()
+        .unwrap();
+    assert!(plain.status.success(), "{plain:?}");
+    let reference = std::fs::read_to_string(ref_out.join("campaign.json")).unwrap();
+
+    // Life one: a victim campaign (1) and the sibling (2); SIGKILL once
+    // the sibling has checkpointed at least one of its two cells.
+    let mut daemon = start_daemon(&socket, &root, "1");
+    client(
+        &socket,
+        &["submit", "--targets", "coreutils", "--strategies", "fitness", "--iterations", "40"],
+    );
+    let second = client(&socket, &[&["submit"], spec].concat());
+    assert_eq!(second.trim(), "submitted: campaign 2", "{second}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cells_done(&socket, "2").0 < 1 {
+        assert!(Instant::now() < deadline, "sibling never checkpointed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // Corrupt the victim beyond repair: garble the snapshot and remove
+    // the backup checkpoint so the fallback path cannot save it.
+    let victim = root.join("campaigns").join("1");
+    let snap = victim.join("campaign.json");
+    assert!(snap.is_file(), "victim snapshot missing before corruption");
+    std::fs::write(&snap, "{torn mid-write").unwrap();
+    let _ = std::fs::remove_file(victim.join("campaign.json.bak"));
+
+    // Life two: replay must quarantine the victim, keep serving, and
+    // finish the sibling byte-identically.
+    let mut daemon = start_daemon(&socket, &root, "1");
+    wait_complete(&socket, "2");
+
+    let health = client(&socket, &["health"]);
+    assert!(health.contains("quarantined:"), "{health}");
+    assert!(health.contains("corrupt campaign state"), "{health}");
+    let quarantine_dir = root.join("campaigns").join(".quarantine").join("1");
+    assert!(quarantine_dir.join("campaign.json").is_file(), "moved snapshot missing");
+    let reason = std::fs::read_to_string(quarantine_dir.join("reason.txt")).unwrap();
+    assert!(reason.contains("corrupt campaign state"), "{reason}");
+
+    // The victim's id is gone from the registry...
+    let unknown = cli()
+        .args(["status", "--socket", socket.to_str().unwrap(), "--id", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&unknown.stderr).contains("unknown campaign 1"),
+        "{unknown:?}"
+    );
+    // ...and stays burned: the next submission gets a fresh id.
+    let next = client(
+        &socket,
+        &["submit", "--targets", "coreutils", "--strategies", "random", "--iterations", "40"],
+    );
+    assert_eq!(next.trim(), "submitted: campaign 3", "{next}");
+    wait_complete(&socket, "3");
+
+    client(&socket, &["shutdown"]);
+    assert!(daemon.wait().unwrap().success());
+    let resumed =
+        std::fs::read_to_string(root.join("campaigns").join("2").join("campaign.json")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "sibling of a quarantined campaign must still resume byte-identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poison_campaign_fails_but_daemon_keeps_serving() {
+    let dir = scratch("poison");
+    let socket = dir.join("afex.sock");
+    let root = dir.join("svc");
+    let poison_env: &[(&str, &str)] = &[("AFEX_TEST_POISON", "1")];
+    let mut daemon = start_daemon_env(&socket, &root, "2", poison_env);
+
+    // The poisoned campaign panics mid-cell inside the pool; the daemon
+    // must mark it failed instead of dying with it.
+    let poisoned = client(
+        &socket,
+        &["submit", "--targets", "test:poison", "--strategies", "fitness", "--iterations", "40"],
+    );
+    assert_eq!(poisoned.trim(), "submitted: campaign 1", "{poisoned}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let row = client(&socket, &["status", "--id", "1"]);
+        if row.contains("failed") {
+            assert!(row.contains("panicked"), "{row}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "poisoned campaign never marked failed: {row}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let failed_marker = root.join("campaigns").join("1").join("failed.txt");
+    assert!(failed_marker.is_file(), "durable failure marker missing");
+    assert!(
+        std::fs::read_to_string(&failed_marker).unwrap().contains("poison target panicked"),
+        "failed.txt must carry the panic reason"
+    );
+
+    // A healthy follow-up campaign runs to completion on the same daemon.
+    let healthy = client(
+        &socket,
+        &["submit", "--targets", "coreutils", "--strategies", "fitness", "--iterations", "40"],
+    );
+    assert_eq!(healthy.trim(), "submitted: campaign 2", "{healthy}");
+    wait_complete(&socket, "2");
+
+    let health = client(&socket, &["health"]);
+    assert!(health.contains("1 failed"), "{health}");
+    assert!(health.contains("failed campaign 1:"), "{health}");
+    let panics: u64 = health
+        .lines()
+        .find_map(|l| l.strip_prefix("counters: "))
+        .and_then(|l| l.split(", ").find_map(|part| part.strip_suffix(" cell panics")))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no cell-panic counter in: {health}"));
+    assert!(panics >= 1, "expected at least one recorded cell panic: {health}");
+
+    client(&socket, &["shutdown"]);
+    assert!(daemon.wait().unwrap().success(), "daemon must still drain cleanly");
+
+    // The failure is durable: a restarted daemon reports it without
+    // re-running the campaign.
+    let mut daemon = start_daemon_env(&socket, &root, "2", poison_env);
+    let row = client(&socket, &["status", "--id", "1"]);
+    assert!(row.contains("failed"), "{row}");
+    let health = client(&socket, &["health"]);
+    assert!(health.contains("failed campaign 1:"), "{health}");
+    client(&socket, &["shutdown"]);
+    assert!(daemon.wait().unwrap().success());
     let _ = std::fs::remove_dir_all(&dir);
 }
