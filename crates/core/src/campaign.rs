@@ -32,9 +32,10 @@
 use crate::algorithm::ExplorerConfig;
 use crate::genetic::GeneticConfig;
 use crate::impact::ImpactMetric;
+use crate::quality::store::TraceStore;
 use crate::session::{SearchStrategy, SessionResult, StopCondition};
 use afex_space::{Point, PointCodec};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -623,6 +624,162 @@ impl CellState {
     }
 }
 
+/// The campaign's per-target interned trace corpus, persisted in the
+/// snapshot so a resumed campaign reloads its chains' trace stores —
+/// texts, measured lengths, content signatures — instead of re-decoding
+/// and re-splitting the whole prefix corpus (O(load), not O(re-split)).
+///
+/// Content is canonical: for each target, the deduped failure traces of
+/// the target's *completed prefix* of cells (the cells
+/// `chain_seeds`-style walks would absorb), interned in cell order.
+/// [`CampaignSnapshot::record`] keeps it current incrementally;
+/// [`CampaignSnapshot::ensure_trace_index`] converges any snapshot
+/// (including pre-index ones, where the field deserializes to empty) to
+/// the same canonical content, which is why the incremental and
+/// load-then-heal paths stay byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct TraceIndex {
+    /// Target → interned store of the target's completed-prefix traces.
+    stores: BTreeMap<String, TraceStore>,
+    /// Target → number of leading chain cells already absorbed.
+    /// In-memory bookkeeping only: never persisted, never compared. A
+    /// freshly deserialized index re-walks the prefix once (pure dedup
+    /// hash hits for an intact index) and is current again.
+    absorbed: BTreeMap<String, usize>,
+}
+
+impl TraceIndex {
+    /// The interned trace store for one target, if any of its chain
+    /// prefix has completed.
+    pub fn store_for(&self, target: &str) -> Option<&TraceStore> {
+        self.stores.get(target)
+    }
+
+    /// Iterates `(target, store)` in sorted target order.
+    pub fn stores(&self) -> impl Iterator<Item = (&String, &TraceStore)> {
+        self.stores.iter()
+    }
+
+    /// Total decode passes across all per-target stores (see
+    /// [`TraceStore::decodes`]) — the observable the resume tests pin to
+    /// zero.
+    pub fn decodes(&self) -> usize {
+        self.stores.values().map(TraceStore::decodes).sum()
+    }
+
+    /// Absorbs the not-yet-absorbed completed prefix cells of `target`,
+    /// interning their records' traces in cell order. Stops at the first
+    /// pending cell, mirroring the chain-seed walk: out-of-order
+    /// completions (tampered snapshots) are not absorbed, since a cell's
+    /// predecessors could never have produced them.
+    fn absorb_prefix(&mut self, cells: &[CellState], target: &str) {
+        let mut done = self.absorbed.get(target).copied().unwrap_or(0);
+        let mut fresh: Vec<&CellOutcome> = Vec::new();
+        for state in cells.iter().filter(|s| s.cell.target == target).skip(done) {
+            let Some(outcome) = &state.outcome else { break };
+            fresh.push(outcome);
+            done += 1;
+        }
+        if !fresh.is_empty() {
+            let store = self.stores.entry(target.to_owned()).or_default();
+            for outcome in fresh {
+                for record in &outcome.records {
+                    if let Some(trace) = &record.trace {
+                        store.intern_arc(trace);
+                    }
+                }
+            }
+        }
+        self.absorbed.insert(target.to_owned(), done);
+    }
+
+    /// Converges the target's store to exactly its completed-prefix
+    /// content, whatever state the index starts in. The prefix walk is
+    /// replayed as a *validation* pass first — an intact store confirms
+    /// with hash lookups alone (no decoding, no allocation). Any
+    /// divergence — stale traces left by cells hollowed out after the
+    /// index was persisted, reordered entries, a pre-index snapshot with
+    /// no store at all — triggers a rebuild that copies matching entries
+    /// wholesale from the old store ([`TraceStore::intern_from`], zero
+    /// re-decode) and measures only genuinely new traces.
+    fn sync_prefix(&mut self, cells: &[CellState], target: &str) {
+        let mut done = 0usize;
+        let mut traces: Vec<&Arc<str>> = Vec::new();
+        for state in cells.iter().filter(|s| s.cell.target == target) {
+            let Some(outcome) = &state.outcome else { break };
+            for record in &outcome.records {
+                if let Some(trace) = &record.trace {
+                    traces.push(trace);
+                }
+            }
+            done += 1;
+        }
+        self.absorbed.insert(target.to_owned(), done);
+        let old = self.stores.remove(target);
+        // Simulate insertion order: each trace must either re-hit an
+        // already-validated id (a dup) or claim the next fresh id.
+        let mut next = 0usize;
+        let intact = traces.iter().all(|t| match old.as_ref().and_then(|s| s.get(t)) {
+            Some(id) if id < next => true,
+            Some(id) if id == next => {
+                next += 1;
+                true
+            }
+            _ => false,
+        }) && next == old.as_ref().map_or(0, TraceStore::len);
+        // Mirror the incremental path's shape: a store entry exists
+        // exactly when the target has a completed cell.
+        if intact {
+            if done > 0 {
+                self.stores.insert(target.to_owned(), old.unwrap_or_default());
+            }
+            return;
+        }
+        let mut store = TraceStore::new();
+        for trace in traces {
+            match &old {
+                Some(donor) => store.intern_from(donor, trace),
+                None => store.intern_arc(trace),
+            };
+        }
+        if done > 0 {
+            self.stores.insert(target.to_owned(), store);
+        }
+    }
+}
+
+/// Equality is over canonical content (the per-target stores); the
+/// absorption watermark is in-memory bookkeeping.
+impl PartialEq for TraceIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.stores == other.stores
+    }
+}
+
+/// The index serializes as its per-target stores (sorted target order;
+/// each store as its persisted entry list).
+impl Serialize for TraceIndex {
+    fn to_value(&self) -> Value {
+        self.stores.to_value()
+    }
+}
+
+impl Deserialize for TraceIndex {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(TraceIndex {
+            stores: BTreeMap::from_value(v)?,
+            absorbed: BTreeMap::new(),
+        })
+    }
+
+    /// Snapshots written before the trace index existed simply have no
+    /// field; they deserialize to an empty index and
+    /// [`CampaignSnapshot::ensure_trace_index`] rebuilds it on resume.
+    fn from_missing(_field: &str) -> Result<Self, serde::Error> {
+        Ok(TraceIndex::default())
+    }
+}
+
 /// The durable state of a campaign.
 ///
 /// Serialization is canonical: `to_json` of a deserialized snapshot
@@ -638,6 +795,11 @@ pub struct CampaignSnapshot {
     /// The deduplicated corpus over all completed cells, rebuilt in cell
     /// order on every [`CampaignSnapshot::record`].
     pub store: ResultStore,
+    /// The per-target interned trace corpus (texts + lengths +
+    /// signatures), kept current on every [`CampaignSnapshot::record`]
+    /// and persisted so resume never re-splits. Last field: absent in
+    /// older snapshots, which deserialize to an empty index.
+    trace_index: TraceIndex,
 }
 
 impl CampaignSnapshot {
@@ -655,13 +817,16 @@ impl CampaignSnapshot {
             spec,
             cells,
             store: ResultStore::new(),
+            trace_index: TraceIndex::default(),
         }
     }
 
-    /// Records a finished cell and merges its records into the store.
-    /// The merge is incremental — earliest-cell-wins collisions make the
-    /// result independent of recording order, so this equals a full
-    /// [`Self::rebuild_store`] at a fraction of the cost.
+    /// Records a finished cell, merges its records into the store, and
+    /// absorbs any newly-unblocked chain prefix into the trace index.
+    /// Both merges are incremental — earliest-cell-wins collisions and
+    /// the per-target prefix watermark make the result independent of
+    /// recording order, so this equals a full [`Self::rebuild_store`] at
+    /// a fraction of the cost.
     ///
     /// # Panics
     ///
@@ -672,12 +837,35 @@ impl CampaignSnapshot {
         let state = &self.cells[index];
         self.store
             .merge_cell(&state.cell.target, state.outcome.as_ref().expect("just set"));
+        let target = state.cell.target.clone();
+        self.trace_index.absorb_prefix(&self.cells, &target);
     }
 
-    /// Rebuilds the store from scratch over all completed cells. The
-    /// incremental merges in [`Self::record`] keep the store correct on
-    /// their own; this exists for callers that mutate cell states
-    /// directly (tests rolling a snapshot back to "interrupted").
+    /// The per-target interned trace corpus. Call
+    /// [`Self::ensure_trace_index`] first on a freshly loaded snapshot.
+    pub fn trace_index(&self) -> &TraceIndex {
+        &self.trace_index
+    }
+
+    /// Converges the trace index to its canonical content: for every
+    /// target, the completed-prefix traces interned in cell order. On a
+    /// snapshot whose persisted index is intact this is a pure hash-hit
+    /// validation pass — zero decode passes; on divergent snapshots
+    /// (pre-index, hand-rolled-back with stale index entries, damaged)
+    /// it rebuilds the target's store, copying every entry the old
+    /// store can donate without re-decoding. Campaign runners call this
+    /// once after loading, before deriving chain seeds.
+    pub fn ensure_trace_index(&mut self) {
+        for target in &self.spec.targets {
+            self.trace_index.sync_prefix(&self.cells, target);
+        }
+    }
+
+    /// Rebuilds the store and trace index from scratch over all
+    /// completed cells. The incremental merges in [`Self::record`] keep
+    /// both correct on their own; this exists for callers that mutate
+    /// cell states directly (tests rolling a snapshot back to
+    /// "interrupted").
     pub fn rebuild_store(&mut self) {
         let mut store = ResultStore::new();
         for state in &self.cells {
@@ -686,6 +874,8 @@ impl CampaignSnapshot {
             }
         }
         self.store = store;
+        self.trace_index = TraceIndex::default();
+        self.ensure_trace_index();
     }
 
     /// Checks a deserialized snapshot is internally consistent: its cell
@@ -1232,6 +1422,82 @@ mod tests {
         // fitness × seed 41; fault 9 on beta is distinct from alpha's.
         assert_eq!(early.store.get("alpha", 9).unwrap().cell, 0);
         assert_eq!(early.store.get("beta", 9).unwrap().cell, 5);
+    }
+
+    #[test]
+    fn trace_index_absorbs_completed_prefixes_in_cell_order() {
+        // Alpha cells are 0-3, beta 4-7. Completing beta cell 6 while 5
+        // is pending must not absorb 6's traces (chain-seed semantics).
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(0, outcome(&[1, 2], 0));
+        snap.record(4, outcome(&[7], 4));
+        snap.record(6, outcome(&[8], 6));
+        let alpha = snap.trace_index().store_for("alpha").expect("absorbed");
+        let texts: Vec<&str> = alpha.texts().map(|t| t.as_ref()).collect();
+        assert_eq!(texts, vec!["t1", "t2"]);
+        let beta = snap.trace_index().store_for("beta").expect("absorbed");
+        assert_eq!(beta.len(), 1, "cell 6 is out of order, only cell 4 absorbs");
+        // Completing the gap absorbs both pending cells, in cell order.
+        snap.record(5, outcome(&[9], 5));
+        let beta = snap.trace_index().store_for("beta").unwrap();
+        let texts: Vec<&str> = beta.texts().map(|t| t.as_ref()).collect();
+        assert_eq!(texts, vec!["t7", "t9", "t8"]);
+        // The incremental index equals a from-scratch rebuild.
+        let incremental = snap.trace_index().clone();
+        snap.rebuild_store();
+        assert_eq!(*snap.trace_index(), incremental);
+    }
+
+    #[test]
+    fn trace_index_reloads_decode_free_and_heals_pre_index_snapshots() {
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(0, outcome(&[1, 2, 3], 0));
+        snap.record(4, outcome(&[5], 4));
+        let json = snap.to_json();
+        assert!(json.contains("\"trace_index\""));
+
+        // Reload: the persisted index parses back byte-identically and
+        // converging it is pure dedup — zero decode passes.
+        let mut back = CampaignSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        back.ensure_trace_index();
+        assert_eq!(back.trace_index().decodes(), 0, "intact index must not decode");
+        assert_eq!(*back.trace_index(), *snap.trace_index());
+        assert_eq!(back.to_json(), json);
+
+        // A pre-index snapshot (the field stripped) still parses, and
+        // `ensure_trace_index` heals it to the same canonical content.
+        let cut = json.find(",\n  \"trace_index\"").expect("last field");
+        let old_style = format!("{}\n}}", &json[..cut]);
+        let mut healed = CampaignSnapshot::from_json(&old_style).expect("pre-index parses");
+        assert!(healed.trace_index().stores().next().is_none());
+        healed.ensure_trace_index();
+        assert_eq!(healed, snap);
+        assert_eq!(healed.to_json(), json);
+    }
+
+    #[test]
+    fn trace_index_rebuilds_when_cells_are_hollowed_under_it() {
+        // A kill-rollback script (CI, or a user hand-editing the JSON)
+        // hollows completed cells but leaves the persisted index at its
+        // full-run state — a stale superset. `ensure_trace_index` must
+        // detect the divergence and converge to the shortened prefix,
+        // donating surviving entries from the stale store (no decode).
+        let mut snap = CampaignSnapshot::new(spec());
+        snap.record(0, outcome(&[1, 2], 0));
+        snap.record(1, outcome(&[3], 1));
+        snap.record(4, outcome(&[7], 4));
+        let mut rolled = CampaignSnapshot::from_json(&snap.to_json()).unwrap();
+        rolled.cells[1].outcome = None;
+        rolled.ensure_trace_index();
+        assert_eq!(rolled.trace_index().decodes(), 0, "rebuild donates, never decodes");
+        let alpha = rolled.trace_index().store_for("alpha").expect("prefix kept");
+        let texts: Vec<&str> = alpha.texts().map(|t| t.as_ref()).collect();
+        assert_eq!(texts, vec!["t1", "t2"], "stale t3 must be dropped");
+        let mut fresh = CampaignSnapshot::new(spec());
+        fresh.record(0, outcome(&[1, 2], 0));
+        fresh.record(4, outcome(&[7], 4));
+        assert_eq!(*rolled.trace_index(), *fresh.trace_index());
     }
 
     #[test]

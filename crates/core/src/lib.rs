@@ -75,7 +75,7 @@ pub use algorithm::{ExplorerConfig, FitnessExplorer};
 pub use campaign::{
     metric_from_name, strategy_from_name, CampaignCell, CampaignReport, CampaignSnapshot,
     CampaignSpec, CellOutcome, CellState, CellWorkers, ExportRecord, FailureRecord, ResultStore,
-    StopPolicy, TestTimeout,
+    StopPolicy, TestTimeout, TraceIndex,
 };
 pub use engine::{Engine, Executor, SyncExecutor};
 pub use evaluator::{Evaluation, Evaluator, ExecutedTest, FnEvaluator, OutcomeEvaluator};
@@ -93,7 +93,8 @@ pub use quality::levenshtein::{
 };
 pub use quality::precision::impact_precision;
 pub use quality::relevance::RelevanceModel;
-pub use quality::store::TraceStore;
+pub use quality::signature::TraceSig;
+pub use quality::store::{PersistedTrace, TraceStore};
 pub use queues::{History, PendingQueue, PointSet, PriorityQueue};
 pub use random::RandomExplorer;
 pub use report::{FaultReport, ReportEntry};

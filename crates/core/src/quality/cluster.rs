@@ -175,7 +175,7 @@ impl ClusterIndex {
         // be within the threshold at all (|len(a)-len(b)| <= distance).
         // The store's bands hold distinct texts only, so duplicate
         // insertions never cost a second distance computation.
-        let len = self.store.chars(entry).len();
+        let len = self.store.scalar_len(entry);
         let band_lo = len.saturating_sub(self.threshold - 1);
         let band_hi = len + self.threshold - 1;
         // Group band entries by their current cluster root.
@@ -190,11 +190,19 @@ impl ClusterIndex {
             }
         }
         let k = self.threshold - 1; // Merge iff distance <= threshold - 1.
+        let entry_sig = *self.store.sig(entry);
         for (_, mut members) in groups {
             // Representative first: the earliest member is the likeliest
             // hit (clusters grow around it), and one hit skips the rest.
             members.sort_unstable_by_key(|&e| self.first_insert[e]);
             for other in members {
+                // Signature prefilter: when the provable edit-distance
+                // lower bound already exceeds `k`, the banded scan below
+                // would return `None` anyway — skip it (and the member's
+                // split materialization) without changing any merge.
+                if entry_sig.min_edit_distance(self.store.sig(other)) > k {
+                    continue;
+                }
                 if levenshtein_bounded_chars(self.store.chars(entry), self.store.chars(other), k)
                     .is_some()
                 {

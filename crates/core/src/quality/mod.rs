@@ -9,4 +9,5 @@ pub mod cluster;
 pub mod levenshtein;
 pub mod precision;
 pub mod relevance;
+pub mod signature;
 pub mod store;

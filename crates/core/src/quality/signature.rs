@@ -1,0 +1,227 @@
+//! Content signatures: a provable edit-distance lower bound per trace.
+//!
+//! The length bands of [`TraceStore`](super::store::TraceStore) prune
+//! nothing on length-uniform corpora — banding cannot separate what
+//! length cannot. [`TraceSig`] is the content-based prefilter inside a
+//! band: a 64-bucket *q-gram count profile* (q = 2, saturating `u8`
+//! counts over Unicode-scalar bigrams) computed once at intern time, 64
+//! bytes per trace.
+//!
+//! **The bound.** By the q-gram lemma, one edit (insert, delete or
+//! substitute of a single scalar) destroys at most `q` grams and creates
+//! at most `q` grams, so it moves the bigram-multiset L1 distance by at
+//! most `2q = 4`. Hence for any two traces
+//!
+//! ```text
+//! lev(a, b) >= ceil(L1(grams(a), grams(b)) / 4)
+//! ```
+//!
+//! Bucketing the gram universe down to 64 counters and saturating each
+//! at 255 can only *merge* differences that a full profile would keep
+//! apart — both are contractions of the L1 metric — so the computed L1
+//! never exceeds the true gram distance and the derived bound only ever
+//! *weakens*. A false skip (pruning a candidate whose true distance
+//! could still matter) is therefore impossible by construction, which is
+//! what lets the prefiltered search paths stay bit-for-bit identical to
+//! their naive oracles.
+//!
+//! Comparing two signatures is a branch-free 64-byte L1 loop (~10 ns,
+//! auto-vectorized) versus hundreds of nanoseconds for even the banded
+//! Levenshtein — cheap enough to run on every candidate.
+
+/// Number of count buckets in a signature. 64 keeps the signature in one
+/// cache line while leaving bigram collisions rare enough to prune
+/// length-uniform corpora (see PERF.md Layer 10).
+pub const SIG_BUCKETS: usize = 64;
+
+/// Per-edit L1 movement bound for q = 2 grams: `2q`.
+const L1_PER_EDIT: u32 = 4;
+
+/// A 64-bucket saturating bigram count profile of one trace.
+///
+/// Computed in the same single decode pass that measures a trace's
+/// scalar length; persisted alongside the interned text (as 128 hex
+/// digits) so resume never recomputes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSig([u8; SIG_BUCKETS]);
+
+/// The all-zero profile (`Default` is not derivable for 64-byte arrays).
+impl Default for TraceSig {
+    fn default() -> Self {
+        TraceSig([0; SIG_BUCKETS])
+    }
+}
+
+/// SplitMix64 finalizer over the bigram, masked to a bucket index. The
+/// mix is deterministic and platform-independent, so persisted
+/// signatures reload byte-identical everywhere.
+#[inline]
+fn bucket(a: char, b: char) -> usize {
+    let mut x = ((a as u64) << 32) ^ (b as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as usize) & (SIG_BUCKETS - 1)
+}
+
+impl TraceSig {
+    /// Builds the signature and scalar length of a trace in one pass
+    /// over its scalars — the only decode the store ever pays per
+    /// distinct trace at intern time.
+    pub fn of_text(text: &str) -> (TraceSig, usize) {
+        let mut sig = TraceSig::default();
+        let mut len = 0usize;
+        let mut prev: Option<char> = None;
+        for c in text.chars() {
+            len += 1;
+            if let Some(p) = prev {
+                let cell = &mut sig.0[bucket(p, c)];
+                *cell = cell.saturating_add(1);
+            }
+            prev = Some(c);
+        }
+        (sig, len)
+    }
+
+    /// Builds the signature of an already-split trace.
+    pub fn of_chars(chars: &[char]) -> TraceSig {
+        let mut sig = TraceSig::default();
+        for w in chars.windows(2) {
+            let cell = &mut sig.0[bucket(w[0], w[1])];
+            *cell = cell.saturating_add(1);
+        }
+        sig
+    }
+
+    /// L1 distance between two profiles. Never exceeds the true bigram
+    /// multiset distance (bucketing and saturation are contractions).
+    #[inline]
+    pub fn l1(&self, other: &TraceSig) -> u32 {
+        let mut sum = 0u32;
+        for i in 0..SIG_BUCKETS {
+            sum += self.0[i].abs_diff(other.0[i]) as u32;
+        }
+        sum
+    }
+
+    /// A provable lower bound on the edit distance between the two
+    /// traces behind these signatures: `ceil(L1 / 4)` by the q-gram
+    /// lemma (see the [module docs](self)).
+    #[inline]
+    pub fn min_edit_distance(&self, other: &TraceSig) -> usize {
+        Self::min_edit_from_l1(self.l1(other))
+    }
+
+    /// [`Self::min_edit_distance`] for a precomputed L1, for callers
+    /// that rank candidates by raw L1 first.
+    #[inline]
+    pub fn min_edit_from_l1(l1: u32) -> usize {
+        l1.div_ceil(L1_PER_EDIT) as usize
+    }
+
+    /// The signature as 128 lowercase hex digits — the persisted form.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(SIG_BUCKETS * 2);
+        for b in self.0 {
+            use std::fmt::Write;
+            let _ = write!(out, "{b:02x}");
+        }
+        out
+    }
+
+    /// Parses the persisted hex form; `None` unless exactly 128 hex
+    /// digits.
+    pub fn from_hex(hex: &str) -> Option<TraceSig> {
+        if hex.len() != SIG_BUCKETS * 2 || !hex.is_ascii() {
+            return None;
+        }
+        let bytes = hex.as_bytes();
+        let mut sig = TraceSig::default();
+        for i in 0..SIG_BUCKETS {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            sig.0[i] = (hi * 16 + lo) as u8;
+        }
+        Some(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::levenshtein::levenshtein;
+
+    #[test]
+    fn one_pass_matches_split_signature() {
+        for t in ["", "a", "main>f>g", "日本語>trace", "x".repeat(300).as_str()] {
+            let (sig, len) = TraceSig::of_text(t);
+            let chars: Vec<char> = t.chars().collect();
+            assert_eq!(sig, TraceSig::of_chars(&chars), "{t:?}");
+            assert_eq!(len, chars.len(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_zero_bound() {
+        let (a, _) = TraceSig::of_text("main>parse>handle");
+        assert_eq!(a.l1(&a), 0);
+        assert_eq!(a.min_edit_distance(&a), 0);
+    }
+
+    #[test]
+    fn bound_never_exceeds_true_distance() {
+        // The soundness property the prefilter rests on, over a mix of
+        // near-duplicates, disjoint texts, multibyte and empty traces.
+        let texts = [
+            String::new(),
+            "a".to_owned(),
+            "ab".to_owned(),
+            "main>parse>handle_get".to_owned(),
+            "main>parse>handle_put".to_owned(),
+            "main>net>accept".to_owned(),
+            "x".repeat(200),
+            format!("{}!", "x".repeat(200)),
+            "日本語>trace".to_owned(),
+            "日本語>tracé".to_owned(),
+        ];
+        for a in &texts {
+            for b in &texts {
+                let (sa, _) = TraceSig::of_text(a);
+                let (sb, _) = TraceSig::of_text(b);
+                let bound = sa.min_edit_distance(&sb);
+                let d = levenshtein(a, b);
+                assert!(bound <= d, "bound {bound} > lev {d} for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_only_weakens_the_bound() {
+        // 300 repeats of the same bigram saturate its bucket at 255; the
+        // computed L1 against the empty profile is 255, not 299 — a
+        // weaker (still sound) bound.
+        let (long, _) = TraceSig::of_text(&"ab".repeat(300));
+        let (empty, _) = TraceSig::of_text("");
+        assert!(long.l1(&empty) <= 255 * SIG_BUCKETS as u32);
+        assert!(long.min_edit_distance(&empty) <= levenshtein(&"ab".repeat(300), ""));
+    }
+
+    #[test]
+    fn distinct_content_separates() {
+        let (a, _) = TraceSig::of_text("main>mod_03>fn_0100>xxxxxxx");
+        let (b, _) = TraceSig::of_text("main>mod_11>fn_0907>xxxxxxx");
+        assert!(a.min_edit_distance(&b) >= 1, "distinct content must separate");
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let (sig, _) = TraceSig::of_text("main>parse>handle_get");
+        let hex = sig.to_hex();
+        assert_eq!(hex.len(), 128);
+        assert_eq!(TraceSig::from_hex(&hex), Some(sig));
+        assert_eq!(TraceSig::from_hex("zz"), None);
+        assert_eq!(TraceSig::from_hex(&"g".repeat(128)), None);
+        let (empty, _) = TraceSig::of_text("");
+        assert_eq!(TraceSig::from_hex(&"0".repeat(128)), Some(empty));
+    }
+}

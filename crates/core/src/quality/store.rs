@@ -1,4 +1,5 @@
-//! The shared trace store: an interning, length-banded metric index.
+//! The shared trace store: an interning, length-banded, signature-
+//! prefiltered metric index.
 //!
 //! Every §5 consumer of injection-point stack traces — the redundancy
 //! feedback loop on the explorer's completion path, the clusterer, the
@@ -9,35 +10,96 @@
 //! there, re-split at every layer boundary); [`TraceStore`] owns them
 //! once:
 //!
-//! - **Interning.** Each distinct trace is one [`Arc<str>`] plus one
-//!   cached scalar split. Re-inserting a known trace is a hash hit; the
-//!   campaign layers pass records' `Arc<str>` handles around instead of
-//!   cloning byte buffers, so a trace's bytes are allocated once per
-//!   campaign.
+//! - **Interning.** Each distinct trace is one [`Arc<str>`] plus its
+//!   scalar length and content signature, measured in a single decode
+//!   pass. Re-inserting a known trace is a hash hit; the campaign layers
+//!   pass records' `Arc<str>` handles around instead of cloning byte
+//!   buffers, so a trace's bytes are allocated once per campaign.
+//! - **Lazy splits.** The scalar split ([`TraceStore::chars`]) is
+//!   materialized on first comparison, not at intern time: at 10⁶ traces
+//!   most entries are only ever touched through their length and
+//!   signature, and a store loaded from a snapshot
+//!   ([`TraceStore::from_persisted`]) does *zero* decoding until a
+//!   similarity query actually needs a split. [`TraceStore::decodes`]
+//!   counts decode passes, which is how the resume tests prove O(load).
 //! - **Length bands.** A `BTreeMap<usize, Vec<EntryId>>` keyed by scalar
 //!   length. Since `lev(a, b) >= |len(a) − len(b)|`, a band's length gap
 //!   to a probe upper-bounds the similarity of everything in it — the
 //!   index the clusterer already used, now shared.
+//! - **Signature prefilter.** Inside a band, length separates nothing;
+//!   each entry's [`TraceSig`] yields a provable *lower bound* on its
+//!   edit distance to the probe (`ceil(L1/4)`, the q-gram lemma — see
+//!   [`signature`](super::signature)), checked before any
+//!   [`levenshtein_bounded_chars`] call. Candidates that provably cannot
+//!   beat the running best are skipped without ever materializing their
+//!   split.
 //! - **Best-first similarity.** [`TraceStore::max_similarity`] visits
-//!   bands in decreasing order of that upper bound and stops the moment
-//!   the next band cannot beat the best similarity found, running the
-//!   banded [`levenshtein_bounded_chars`] capped at the smallest
+//!   bands in decreasing order of the length upper bound and stops the
+//!   moment the next band cannot beat the best similarity found, running
+//!   the banded [`levenshtein_bounded_chars`] capped at the smallest
 //!   distance that could still improve the maximum. The weights are
 //!   bit-for-bit those of the retained linear scan
-//!   ([`TraceStore::max_similarity_naive`], the property-test oracle).
+//!   ([`TraceStore::max_similarity_naive`], the property-test oracle):
+//!   the bounds only ever skip candidates whose similarity provably
+//!   cannot exceed the running best.
 //!
 //! The store is cheap to clone — texts and splits are shared through
 //! `Arc`, only the index structures are copied — which is what lets a
 //! campaign chain extend one store across its cells and hand each
 //! session a snapshot by reference-counting instead of re-splitting the
-//! whole prefix corpus.
+//! whole prefix corpus. [`TraceStore::persist`] /
+//! [`TraceStore::from_persisted`] round-trip the entries (text, length,
+//! signature) through the campaign snapshot, and
+//! [`TraceStore::intern_from`] copies entries wholesale from a donor
+//! store — both decode-free, making resume O(load) instead of
+//! O(re-split).
 
 use super::levenshtein::{levenshtein, levenshtein_bounded_chars};
+use super::signature::TraceSig;
+use serde::{field, Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Interned store of distinct stack traces with a length-banded
-/// similarity index. See the [module docs](self) for the design.
+/// One interned entry in its durable form: the text plus the scalar
+/// length and content signature measured at intern time, so a reloaded
+/// store never re-decodes what a previous run already measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedTrace {
+    /// The trace text.
+    pub text: Arc<str>,
+    /// Scalar (Unicode code point) length of `text`.
+    pub len: usize,
+    /// The content signature, as 128 hex digits ([`TraceSig::to_hex`]).
+    pub sig: String,
+}
+
+impl Serialize for PersistedTrace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("text".to_owned(), self.text.to_value()),
+            ("len".to_owned(), self.len.to_value()),
+            ("sig".to_owned(), self.sig.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PersistedTrace {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected persisted trace object"))?;
+        Ok(PersistedTrace {
+            text: field(obj, "text")?,
+            len: field(obj, "len")?,
+            sig: field(obj, "sig")?,
+        })
+    }
+}
+
+/// Interned store of distinct stack traces with a length-banded,
+/// signature-prefiltered similarity index. See the [module docs](self)
+/// for the design.
 ///
 /// # Examples
 ///
@@ -55,12 +117,29 @@ use std::sync::Arc;
 pub struct TraceStore {
     /// Distinct trace texts, in first-insertion order.
     texts: Vec<Arc<str>>,
-    /// Cached Unicode-scalar split of each entry (same index as `texts`).
-    chars: Vec<Arc<[char]>>,
+    /// Scalar length of each entry (same index as `texts`).
+    lens: Vec<usize>,
+    /// Content signature of each entry (same index as `texts`).
+    sigs: Vec<TraceSig>,
+    /// Lazily-materialized Unicode-scalar split of each entry.
+    chars: Vec<OnceLock<Arc<[char]>>>,
     /// Exact text → entry id, the O(1) identical-trace path.
     by_text: HashMap<Arc<str>, usize>,
     /// Scalar length → entry ids in insertion order (the length bands).
     by_len: BTreeMap<usize, Vec<usize>>,
+    /// Decode passes over trace bytes (intern measurements plus lazy
+    /// split materializations). Shared across clones, so a chain of
+    /// stores cloned from one resume-loaded ancestor reports the total.
+    decodes: Arc<AtomicUsize>,
+}
+
+/// Two stores are equal when they intern the same texts in the same
+/// order with the same measured lengths and signatures. Lazy split state
+/// and the decode counter are caches, not identity.
+impl PartialEq for TraceStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.texts == other.texts && self.lens == other.lens && self.sigs == other.sigs
+    }
 }
 
 impl TraceStore {
@@ -98,13 +177,43 @@ impl TraceStore {
         &self.texts[id]
     }
 
-    /// The cached scalar split of an entry.
+    /// The scalar split of an entry, materialized on first use.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     pub fn chars(&self, id: usize) -> &[char] {
-        &self.chars[id]
+        self.chars[id].get_or_init(|| {
+            self.decodes.fetch_add(1, Ordering::Relaxed);
+            self.texts[id].chars().collect()
+        })
+    }
+
+    /// The scalar length of an entry, without materializing its split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn scalar_len(&self, id: usize) -> usize {
+        self.lens[id]
+    }
+
+    /// The content signature of an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn sig(&self, id: usize) -> &TraceSig {
+        &self.sigs[id]
+    }
+
+    /// Decode passes this store (and every store sharing its lineage
+    /// through [`Clone`]) has performed: one per intern measurement, one
+    /// per lazy split materialization. Entries copied through
+    /// [`TraceStore::from_persisted`] or [`TraceStore::intern_from`]
+    /// cost zero — the counter is how the resume tests prove it.
+    pub fn decodes(&self) -> usize {
+        self.decodes.load(Ordering::Relaxed)
     }
 
     /// All interned texts, in first-insertion order.
@@ -135,14 +244,106 @@ impl TraceStore {
         self.insert_new(Arc::clone(trace))
     }
 
+    /// Interns a trace by copying the donor store's entry wholesale —
+    /// text handle, measured length, signature, and any already-
+    /// materialized split — with zero decoding. Falls back to a regular
+    /// intern when the donor does not hold the text. This is the chained
+    /// resume path: a restarted campaign re-derives each cell's seed
+    /// store from the persisted trace index instead of re-splitting the
+    /// whole prefix corpus.
+    pub fn intern_from(&mut self, donor: &TraceStore, trace: &Arc<str>) -> (usize, bool) {
+        if let Some(&id) = self.by_text.get(trace.as_ref()) {
+            return (id, false);
+        }
+        match donor.by_text.get(trace.as_ref()) {
+            Some(&donor_id) => self.insert_entry(
+                Arc::clone(&donor.texts[donor_id]),
+                donor.lens[donor_id],
+                donor.sigs[donor_id],
+                donor.chars[donor_id].clone(),
+            ),
+            None => self.insert_new(Arc::clone(trace)),
+        }
+    }
+
     fn insert_new(&mut self, text: Arc<str>) -> (usize, bool) {
+        let (sig, len) = TraceSig::of_text(&text);
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.insert_entry(text, len, sig, OnceLock::new())
+    }
+
+    fn insert_entry(
+        &mut self,
+        text: Arc<str>,
+        len: usize,
+        sig: TraceSig,
+        chars: OnceLock<Arc<[char]>>,
+    ) -> (usize, bool) {
         let id = self.texts.len();
-        let chars: Arc<[char]> = text.chars().collect();
-        self.by_len.entry(chars.len()).or_default().push(id);
+        self.by_len.entry(len).or_default().push(id);
         self.by_text.insert(Arc::clone(&text), id);
         self.texts.push(text);
+        self.lens.push(len);
+        self.sigs.push(sig);
         self.chars.push(chars);
         (id, true)
+    }
+
+    /// The entries in their durable form, in insertion order: text plus
+    /// the length and signature measured at intern time.
+    pub fn persist(&self) -> Vec<PersistedTrace> {
+        (0..self.len())
+            .map(|id| PersistedTrace {
+                text: Arc::clone(&self.texts[id]),
+                len: self.lens[id],
+                sig: self.sigs[id].to_hex(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a store from persisted entries with zero decoding: the
+    /// lengths and signatures are taken on trust from the entries (they
+    /// are part of the snapshot's integrity domain, like the corpus
+    /// itself), after a cheap shape check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry: an
+    /// unparseable signature, a length that cannot belong to the text
+    /// (`scalars <= bytes <= 4 * scalars` for any UTF-8 string), or a
+    /// duplicate text.
+    pub fn from_persisted(entries: &[PersistedTrace]) -> Result<TraceStore, String> {
+        let mut store = TraceStore::new();
+        // This is the resume hot path at corpus scale: preallocate every
+        // column and let the id-map insert double as the duplicate
+        // check, so each entry costs one hash insert and no rehash-and-
+        // grow cycles.
+        store.texts.reserve(entries.len());
+        store.lens.reserve(entries.len());
+        store.sigs.reserve(entries.len());
+        store.chars.reserve(entries.len());
+        store.by_text.reserve(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let sig = TraceSig::from_hex(&e.sig)
+                .ok_or_else(|| format!("persisted trace {i}: malformed signature"))?;
+            if e.len > e.text.len() || e.text.len() > 4 * e.len {
+                return Err(format!(
+                    "persisted trace {i}: length {} impossible for a {}-byte text",
+                    e.len,
+                    e.text.len()
+                ));
+            }
+            let id = store.texts.len();
+            if store.by_text.insert(Arc::clone(&e.text), id).is_some() {
+                return Err(format!("persisted trace {i}: duplicate text"));
+            }
+            store.by_len.entry(e.len).or_default().push(id);
+            store.texts.push(Arc::clone(&e.text));
+            store.lens.push(e.len);
+            store.sigs.push(sig);
+            store.chars.push(OnceLock::new());
+        }
+        Ok(store)
     }
 
     /// Similarity upper bound for a probe of length `len` against any
@@ -161,24 +362,34 @@ impl TraceStore {
     /// the store is empty), where similarity is
     /// `1 − lev(a, b) / max(|a|, |b|)` over Unicode scalars.
     ///
-    /// Best-first band traversal: after the O(1) exact-duplicate check,
-    /// bands are visited in decreasing order of their similarity upper
-    /// bound (merging the two `BTreeMap` cursors walking away from the
-    /// probe's length), each candidate runs the banded
+    /// Best-first band traversal with a signature prefilter: after the
+    /// O(1) exact-duplicate check, bands are visited in decreasing order
+    /// of their similarity upper bound (merging the two `BTreeMap`
+    /// cursors walking away from the probe's length). Inside a band,
+    /// one pass computes each candidate's signature L1 to the probe,
+    /// which lower-bounds its edit distance (`d >= ceil(L1/4)`, see
+    /// [`TraceSig::min_edit_distance`]); the closest-profile candidate
+    /// is distanced first so the running best tightens immediately, and
+    /// every candidate whose bound caps its similarity at or below that
+    /// best is skipped without a distance computation or a split
+    /// materialization. Survivors run the banded
     /// [`levenshtein_bounded_chars`] capped at the smallest distance
     /// that could still improve the running best, and the traversal
     /// terminates the moment the next band's bound cannot beat that
     /// best. The result is bit-for-bit
-    /// [`TraceStore::max_similarity_naive`]: every candidate's
-    /// similarity is the same pure function of its exact distance, the
+    /// [`TraceStore::max_similarity_naive`]: every surviving candidate's
+    /// similarity is the same pure function of its exact distance, both
     /// bounds only skip candidates that provably cannot raise the
-    /// maximum, and `f64::max` is order-independent.
+    /// maximum (monotone IEEE division and subtraction keep
+    /// `1 − d/max_len <= 1 − d_min/max_len <= best` exact), and
+    /// `f64::max` against a smaller-or-equal value is the identity.
     pub fn max_similarity(&self, trace: &str) -> f64 {
         // Identical-trace fast path: redundancy is usually literal.
         if self.by_text.contains_key(trace) {
             return 1.0;
         }
         let probe: Vec<char> = trace.chars().collect();
+        let probe_sig = TraceSig::of_chars(&probe);
         let len = probe.len();
         let mut best = 0.0f64;
         // Two cursors walking outward from the probe's length: bounds
@@ -189,28 +400,59 @@ impl TraceStore {
         loop {
             let lo = below.peek().map(|&(&l, _)| Self::band_bound(len, l));
             let hi = above.peek().map(|&(&l, _)| Self::band_bound(len, l));
-            let (bound, ids) = match (lo, hi) {
+            let (bound, band_len, ids) = match (lo, hi) {
                 (None, None) => break,
-                (Some(bl), Some(bh)) if bl >= bh => (bl, below.next().expect("peeked").1),
-                (Some(bl), None) => (bl, below.next().expect("peeked").1),
-                (_, Some(bh)) => (bh, above.next().expect("peeked").1),
+                (Some(bl), Some(bh)) if bl >= bh => {
+                    let (l, ids) = below.next().expect("peeked");
+                    (bl, *l, ids)
+                }
+                (Some(bl), None) => {
+                    let (l, ids) = below.next().expect("peeked");
+                    (bl, *l, ids)
+                }
+                (_, Some(bh)) => {
+                    let (l, ids) = above.next().expect("peeked");
+                    (bh, *l, ids)
+                }
             };
             if bound <= best {
                 break; // No remaining band can beat the running best.
             }
-            for &id in ids {
-                let other = &self.chars[id];
-                let max_len = len.max(other.len());
-                if max_len == 0 {
-                    return 1.0; // Both empty: identical.
-                }
+            let max_len = len.max(band_len);
+            if max_len == 0 {
+                return 1.0; // Probe and band both empty: identical.
+            }
+            // Signature prefilter, two-phase: one cache-friendly pass
+            // computes every candidate's signature L1 to the probe,
+            // then the closest-profile candidate is levenshteined
+            // first — on redundancy-heavy corpora that is the near-
+            // duplicate itself, so `best` tightens before the band scan
+            // starts and the precomputed bounds clear the rest with one
+            // compare each, no distance computation and no split
+            // materialization.
+            let l1s: Vec<u32> = ids.iter().map(|&id| probe_sig.l1(&self.sigs[id])).collect();
+            let closest = (0..ids.len()).min_by_key(|&i| l1s[i]);
+            let order = closest
+                .into_iter()
+                .chain((0..ids.len()).filter(|&i| Some(i) != closest));
+            for i in order {
                 if bound <= best {
                     break; // Best improved mid-band; the band's bound is shared.
+                }
+                let id = ids[i];
+                // The candidate's distance is at least `d_min =
+                // ceil(L1/4)` (q-gram lemma), so its similarity cannot
+                // exceed `1 - d_min/max_len`; skip if that cannot beat
+                // `best`.
+                let d_min = TraceSig::min_edit_from_l1(l1s[i]);
+                if 1.0 - d_min as f64 / max_len as f64 <= best {
+                    continue;
                 }
                 // To beat `best`, the distance must be < (1 - best) * max_len;
                 // cap the banded scan there and let it bail out early.
                 let k = ((1.0 - best) * max_len as f64).ceil() as usize;
-                if let Some(d) = levenshtein_bounded_chars(&probe, other, k.min(max_len)) {
+                if let Some(d) = levenshtein_bounded_chars(&probe, self.chars(id), k.min(max_len))
+                {
                     best = best.max(1.0 - d as f64 / max_len as f64);
                     if best >= 1.0 {
                         return 1.0;
@@ -231,20 +473,21 @@ impl TraceStore {
         let probe: Vec<char> = trace.chars().collect();
         let len = probe.len();
         let mut best = 0.0f64;
-        for other in &self.chars {
-            let max_len = len.max(other.len());
+        for id in 0..self.texts.len() {
+            let other_len = self.lens[id];
+            let max_len = len.max(other_len);
             if max_len == 0 {
                 return 1.0; // Both empty: identical.
             }
             // Length bound: distance >= |len difference|, so similarity
             // cannot exceed 1 - diff/max_len. Skip hopeless candidates.
-            let diff = len.abs_diff(other.len());
+            let diff = len.abs_diff(other_len);
             let bound = 1.0 - diff as f64 / max_len as f64;
             if bound <= best {
                 continue;
             }
             let k = ((1.0 - best) * max_len as f64).ceil() as usize;
-            if let Some(d) = levenshtein_bounded_chars(&probe, other, k.min(max_len)) {
+            if let Some(d) = levenshtein_bounded_chars(&probe, self.chars(id), k.min(max_len)) {
                 best = best.max(1.0 - d as f64 / max_len as f64);
                 if best >= 1.0 {
                     return 1.0;
@@ -261,6 +504,21 @@ impl TraceStore {
             return 1.0;
         }
         1.0 - levenshtein(a, b) as f64 / max_len as f64
+    }
+}
+
+/// Stores serialize as their persisted entry list — the snapshot /
+/// preseed form that makes reloading O(load).
+impl Serialize for TraceStore {
+    fn to_value(&self) -> Value {
+        self.persist().to_value()
+    }
+}
+
+impl Deserialize for TraceStore {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = Vec::<PersistedTrace>::from_value(v)?;
+        TraceStore::from_persisted(&entries).map_err(serde::Error::msg)
     }
 }
 
@@ -322,6 +580,7 @@ mod tests {
         assert_eq!(s.bands().get(&3), Some(&vec![2]));
         // "café" is 4 scalars, not 5 bytes.
         assert_eq!(s.bands().get(&4), Some(&vec![3]));
+        assert_eq!(s.scalar_len(3), 4);
     }
 
     #[test]
@@ -389,6 +648,23 @@ mod tests {
     }
 
     #[test]
+    fn prefilter_agrees_with_naive_inside_one_band() {
+        // Length-uniform corpus: every trace in one band, so only the
+        // signature prefilter can prune — and it must not change bits.
+        let texts: Vec<String> = (0..64)
+            .map(|i| format!("main>mod_{:02}>fn_{:03}", i % 7, i))
+            .collect();
+        let s: TraceStore = texts.iter().map(String::as_str).collect();
+        for probe in ["main>mod_03>fn_007", "main>mod_9x>fn_0q1", "main>zzz_zz>zz_zzz"] {
+            assert_eq!(
+                s.max_similarity(probe).to_bits(),
+                s.max_similarity_naive(probe).to_bits(),
+                "probe {probe:?}"
+            );
+        }
+    }
+
+    #[test]
     fn clone_shares_text_allocations() {
         let mut s = TraceStore::new();
         s.intern("main>f");
@@ -400,5 +676,84 @@ mod tests {
     fn from_vec_of_strings_dedupes() {
         let s = TraceStore::from(vec!["a".to_owned(), "b".to_owned(), "a".to_owned()]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn intern_counts_one_decode_per_distinct_trace() {
+        let mut s = TraceStore::new();
+        s.intern("main>f");
+        s.intern("main>g");
+        s.intern("main>f"); // Dedup hit: no decode.
+        assert_eq!(s.decodes(), 2);
+        s.chars(0); // First materialization decodes...
+        assert_eq!(s.decodes(), 3);
+        s.chars(0); // ...and is cached after.
+        assert_eq!(s.decodes(), 3);
+    }
+
+    #[test]
+    fn persisted_roundtrip_is_decode_free_and_identical() {
+        let s = store_of(&["main>parse>handle_get", "boot", "日本語>trace", ""]);
+        let entries = s.persist();
+        let back = TraceStore::from_persisted(&entries).expect("well-formed");
+        assert_eq!(back, s);
+        assert_eq!(back.decodes(), 0, "loading must not decode");
+        // The reloaded lengths and signatures are byte-identical to
+        // recomputation: reloaded queries match the original's bits.
+        for probe in ["main>parse>handle_put", "日本語>tracer", "x"] {
+            assert_eq!(
+                back.max_similarity(probe).to_bits(),
+                s.max_similarity(probe).to_bits()
+            );
+        }
+        assert_eq!(back.persist(), entries);
+    }
+
+    #[test]
+    fn from_persisted_rejects_malformed_entries() {
+        let good = store_of(&["main>f"]).persist();
+        let mut bad_sig = good.clone();
+        bad_sig[0].sig = "xyz".into();
+        assert!(TraceStore::from_persisted(&bad_sig)
+            .unwrap_err()
+            .contains("signature"));
+        let mut bad_len = good.clone();
+        bad_len[0].len = 99;
+        assert!(TraceStore::from_persisted(&bad_len)
+            .unwrap_err()
+            .contains("impossible"));
+        let mut dup = good.clone();
+        dup.extend(good.clone());
+        assert!(TraceStore::from_persisted(&dup)
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn intern_from_copies_donor_entries_without_decoding() {
+        let donor = store_of(&["main>f", "main>g"]);
+        let reloaded = TraceStore::from_persisted(&donor.persist()).unwrap();
+        let mut s = TraceStore::new();
+        let t: Arc<str> = Arc::clone(donor.text(0));
+        let (id, new) = s.intern_from(&reloaded, &t);
+        assert!(new);
+        assert_eq!(id, 0);
+        assert_eq!(s.intern_from(&reloaded, &t), (0, false));
+        assert_eq!(s.decodes(), 0, "donor copies must not decode");
+        // Unknown text falls back to a measured intern.
+        let novel: Arc<str> = Arc::from("brand>new");
+        assert_eq!(s.intern_from(&reloaded, &novel), (1, true));
+        assert_eq!(s.decodes(), 1);
+        assert_eq!(s.scalar_len(0), donor.scalar_len(0));
+        assert_eq!(s.sig(0), donor.sig(0));
+    }
+
+    #[test]
+    fn store_serde_roundtrips_through_json() {
+        let s = store_of(&["main>f", "café", ""]);
+        let json = serde_json::to_string(&s).expect("serializes");
+        let back: TraceStore = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

@@ -44,8 +44,8 @@
 //! (the retained whole-log-rewrite bug specimen), `vfs:docstore-recovery`.
 
 use afex::campaign::{
-    build_spec, known_target, load_resume_snapshot, run_campaign, run_hunt, HuntSpec, SpecOptions,
-    RESUME_LOCKED_FLAGS,
+    build_spec, known_target, load_resume_snapshot, run_campaign, run_hunt, CorpusReader, HuntSpec,
+    SpecOptions, RESUME_LOCKED_FLAGS,
 };
 use afex::core::campaign::{CampaignSnapshot, CampaignSpec};
 use afex::core::{
@@ -87,7 +87,9 @@ fn usage() -> ! {
          submit options:   --socket PATH + the campaign spec flags (no --out/--workers)\n\
          status options:   --socket PATH [--id N] [--json]\n\
          inspect options:  --socket PATH --id N [--json]\n\
+                           offline: --export corpus.jsonl --record N (seek one record)\n\
          top-failures:     --socket PATH --id N [--limit K]\n\
+                           offline: --export corpus.jsonl [--limit K]\n\
          health options:   --socket PATH [--json]\n\
          shutdown:         --socket PATH"
     );
@@ -641,7 +643,29 @@ fn cmd_status(opts: &HashMap<String, String>) {
     }
 }
 
+/// Offline record seek: fetches record N of an export file through the
+/// sidecar offset index — one seek, one line read, no daemon and no
+/// full-file parse.
+fn cmd_inspect_record(opts: &HashMap<String, String>, export: &str) {
+    let index: usize = parse_num(opts, "record", 0);
+    let mut reader = CorpusReader::open(Path::new(export)).unwrap_or_else(|e| {
+        eprintln!("cannot open export {export}: {e}");
+        std::process::exit(1);
+    });
+    match reader.get(index) {
+        Ok(record) => println!("{}", record.to_jsonl()),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_inspect(opts: &HashMap<String, String>) {
+    if let Some(export) = opts.get("export") {
+        cmd_inspect_record(opts, export);
+        return;
+    }
     match rpc(opts, &Request::Inspect { id: parse_id(opts) }) {
         Response::Inspect(report) => {
             if opts.contains_key("json") {
@@ -654,8 +678,38 @@ fn cmd_inspect(opts: &HashMap<String, String>) {
     }
 }
 
+/// Offline ranking straight off an export file: reads the records
+/// through the seekable reader (so a torn tail from a killed daemon is
+/// skipped, not a parse error) and ranks by impact like the daemon
+/// does.
+fn cmd_top_failures_offline(export: &str, limit: usize) {
+    let mut reader = CorpusReader::open(Path::new(export)).unwrap_or_else(|e| {
+        eprintln!("cannot open export {export}: {e}");
+        std::process::exit(1);
+    });
+    let mut records = Vec::with_capacity(reader.len());
+    for i in 0..reader.len() {
+        match reader.get(i) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    records.sort_by(|a, b| b.record.impact.total_cmp(&a.record.impact));
+    records.truncate(limit);
+    for rec in &records {
+        println!("{}", rec.to_jsonl());
+    }
+}
+
 fn cmd_top_failures(opts: &HashMap<String, String>) {
     let limit: usize = parse_num(opts, "limit", 10);
+    if let Some(export) = opts.get("export") {
+        cmd_top_failures_offline(export, limit);
+        return;
+    }
     match rpc(opts, &Request::TopFailures { id: parse_id(opts), limit }) {
         // JSONL, one record per line — the same shape as the campaign's
         // corpus export, so the output pipes into the same tooling.

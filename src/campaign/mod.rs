@@ -40,7 +40,8 @@ pub mod submit;
 pub use query::{report_of, status_of, top_failures, CampaignStatus};
 pub use run::{
     checkpoint, is_transient_io, read_export, retry_io, run_campaign, run_hunt, run_pending,
-    sweep_stale_tmp, write_snapshot, write_snapshot_with_backup, CorpusExporter, HuntSpec,
+    sweep_stale_tmp, write_snapshot, write_snapshot_with_backup, CorpusExporter, CorpusReader,
+    HuntSpec,
     RunError,
 };
 pub use submit::{
@@ -298,6 +299,22 @@ impl TraceSeeds {
         TraceSeeds::default()
     }
 
+    /// Wraps an already-interned store — the service's preseed reload
+    /// path, where the store (texts, lengths, signatures) comes straight
+    /// out of `preseed.json` with zero decode passes.
+    pub fn from_store(store: TraceStore) -> Self {
+        TraceSeeds { store }
+    }
+
+    /// Extends this seed set with every trace of `donor`, copying
+    /// interned entries (text handle, scalar length, signature) instead
+    /// of re-measuring them ([`TraceStore::intern_from`]).
+    pub fn seed_from(&mut self, donor: &TraceStore) {
+        for text in donor.texts() {
+            self.store.intern_from(donor, text);
+        }
+    }
+
     /// The underlying interned, length-banded trace store.
     pub fn store(&self) -> &TraceStore {
         &self.store
@@ -362,6 +379,49 @@ pub fn chain_seeds_into(
             Some(outcome) => seeds.absorb(outcome),
             None => break,
         }
+    }
+    seeds
+}
+
+/// [`chain_seeds`] served from the snapshot's persisted trace index:
+/// the index's per-target store *is* the completed-prefix corpus (same
+/// prefix walk, maintained incrementally and reloaded with lengths and
+/// signatures intact), so deriving a chain's seed store is one
+/// `Arc`-sharing clone — zero decode passes, zero re-splits. Callers
+/// must [`CampaignSnapshot::ensure_trace_index`] after loading a
+/// snapshot; a target absent from the index has no completed prefix and
+/// seeds empty.
+pub fn chain_seeds_cached(snap: &CampaignSnapshot, target: &str) -> TraceSeeds {
+    TraceSeeds {
+        store: snap
+            .trace_index()
+            .store_for(target)
+            .cloned()
+            .unwrap_or_default(),
+    }
+}
+
+/// [`chain_seeds_cached`] over a pre-populated seed set (the service's
+/// cross-campaign preseed): extends `seeds` with the snapshot's
+/// completed prefix by copying entries out of the trace index
+/// ([`TraceStore::intern_from`]) — decode-free for every trace the
+/// index already measured. An empty preseed short-circuits to a clone
+/// of the index store.
+pub fn chain_seeds_cached_into(
+    mut seeds: TraceSeeds,
+    snap: &CampaignSnapshot,
+    target: &str,
+) -> TraceSeeds {
+    let Some(donor) = snap.trace_index().store_for(target) else {
+        return seeds; // No completed prefix: the preseed alone.
+    };
+    if seeds.is_empty() {
+        return TraceSeeds {
+            store: donor.clone(),
+        };
+    }
+    for text in donor.texts() {
+        seeds.store.intern_from(donor, text);
     }
     seeds
 }
@@ -875,6 +935,61 @@ mod tests {
         for rec in &records {
             assert_eq!(other.store.get(&rec.target, rec.record.code), Some(&rec.record));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_reader_seeks_records_through_the_sidecar_index() {
+        let dir = std::env::temp_dir().join(format!("afex-seek-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.jsonl");
+        let idx_path = dir.join("corpus.jsonl.idx");
+
+        let mut spec = tiny_spec();
+        spec.strategies = vec!["fitness".into(), "random".into()];
+        spec.iterations = 60;
+        let mut snap = CampaignSnapshot::new(spec);
+        let mut exporter = CorpusExporter::create(&path).unwrap();
+        run_pending(&mut snap, 2, |s| exporter.sync(s).unwrap());
+        assert!(exporter.len() >= 3, "need a few records to seek");
+        drop(exporter);
+
+        // The sidecar is fixed-width: 17 bytes per record.
+        let idx_bytes = std::fs::read(&idx_path).unwrap();
+        assert_eq!(idx_bytes.len(), 17 * snap.store.len());
+
+        // Every record seeks to exactly what a full parse reads.
+        let all = read_export(&path).unwrap();
+        let mut reader = CorpusReader::open(&path).unwrap();
+        assert_eq!(reader.len(), all.len());
+        for (i, want) in all.iter().enumerate() {
+            assert_eq!(&reader.get(i).unwrap(), want, "record {i}");
+        }
+        // Random access, not just sequential.
+        assert_eq!(&reader.get(all.len() - 1).unwrap(), all.last().unwrap());
+        assert_eq!(&reader.get(0).unwrap(), &all[0]);
+        assert!(reader.get(all.len()).is_err(), "out of range must error");
+
+        // A deleted sidecar falls back to a scan with identical results...
+        std::fs::remove_file(&idx_path).unwrap();
+        let mut scanned = CorpusReader::open(&path).unwrap();
+        assert_eq!(scanned.len(), all.len());
+        assert_eq!(&scanned.get(1).unwrap(), &all[1]);
+
+        // ...and re-opening the exporter deterministically rebuilds the
+        // sidecar from the record file alone.
+        let _reopened = CorpusExporter::open(&path).unwrap();
+        assert_eq!(std::fs::read(&idx_path).unwrap(), idx_bytes);
+
+        // A torn record tail: the reader serves every complete record
+        // and drops the torn one, even with the stale (now too-long)
+        // sidecar still in place.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let mut torn = CorpusReader::open(&path).unwrap();
+        assert_eq!(torn.len(), all.len() - 1);
+        assert_eq!(&torn.get(all.len() - 2).unwrap(), &all[all.len() - 2]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

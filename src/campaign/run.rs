@@ -12,8 +12,8 @@
 //! exits.
 
 use super::{
-    chain_seeds, is_proc_target, known_target, proc_target_space, run_cell, run_proc_windowed,
-    run_vfs_windowed, run_windowed, target_space, vfs_target_space, TraceSeeds,
+    chain_seeds_cached, is_proc_target, known_target, proc_target_space, run_cell,
+    run_proc_windowed, run_vfs_windowed, run_windowed, target_space, vfs_target_space, TraceSeeds,
 };
 use crate::core::campaign::{
     CampaignCell, CampaignReport, CampaignSnapshot, ExportRecord, TestTimeout,
@@ -31,8 +31,9 @@ use std::path::{Path, PathBuf};
 /// recording each outcome into the snapshot as it completes. Pending
 /// cells are grouped into one [`CellChain`] per target — same-target
 /// cells run serialized in cell order, seeding each cell's redundancy
-/// feedback from its predecessors' deduped traces ([`chain_seeds`]
-/// covers the cells already completed in the snapshot), while different
+/// feedback from its predecessors' deduped traces ([`chain_seeds_cached`]
+/// serves the cells already completed in the snapshot straight from the
+/// persisted trace index), while different
 /// targets fan out across the pool. The stop policy and metric come from
 /// the snapshot's own spec, so a resumed campaign scores and stops
 /// exactly like the original run. `on_cell` runs on the calling thread
@@ -47,6 +48,11 @@ where
     if pending.is_empty() {
         return;
     }
+    // Converge the persisted trace index first (pure dedup on an intact
+    // snapshot, a one-time heal on pre-index ones), then serve every
+    // chain's seed store from it by clone — resume is O(load), never
+    // O(re-split).
+    snap.ensure_trace_index();
     let chains: Vec<CellChain<TraceSeeds, CampaignCell>> = spec
         .targets
         .iter()
@@ -60,7 +66,7 @@ where
                 return None;
             }
             Some(CellChain {
-                state: chain_seeds(snap, target),
+                state: chain_seeds_cached(snap, target),
                 cells,
             })
         })
@@ -454,10 +460,30 @@ pub fn run_hunt(hunt: &HuntSpec) -> Result<SessionResult, String> {
     Ok(run_windowed(&ts, m, explorer.as_mut(), hunt.stop, hunt.workers))
 }
 
-/// Streaming corpus export: an append-only JSONL file mirroring the
-/// campaign's deduplicated failure corpus, one [`ExportRecord`] per
-/// line, so very long campaigns can be tailed without loading the
-/// snapshot.
+/// The sidecar offset-index path for an export file: `<file>.idx`.
+fn export_idx_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".idx");
+    PathBuf::from(s)
+}
+
+/// One fixed-width sidecar index line: the record's byte offset in the
+/// export file as 16 lowercase hex digits plus newline, so record `i`'s
+/// offset lives at byte `17 * i` of the sidecar and seeking by record
+/// number is one subtraction.
+const IDX_LINE_BYTES: usize = 17;
+
+/// Renders one sidecar index line.
+fn idx_line(offset: u64) -> String {
+    format!("{offset:016x}\n")
+}
+
+/// Streaming corpus export: an append-only JSONL record file mirroring
+/// the campaign's deduplicated failure corpus (one [`ExportRecord`] per
+/// line) plus a sidecar offset index (`corpus.jsonl.idx`, one
+/// fixed-width hex offset per record), so very long campaigns can be
+/// tailed without loading the snapshot and individual records fetched
+/// by number without re-parsing the file ([`CorpusReader`]).
 ///
 /// [`CorpusExporter::sync`] appends every store record whose
 /// `(target, code)` key is not yet in the file; the driver calls it at
@@ -466,19 +492,27 @@ pub fn run_hunt(hunt: &HuntSpec) -> Result<SessionResult, String> {
 /// cell order (the chain contract), so a record's earliest-cell credit
 /// never changes after it is written. Re-opening the file reconciles it
 /// against the snapshot — a kill between the snapshot write and the
-/// export append, or a torn final line, heals on the next `sync`.
+/// export append, or a torn final line, heals on the next `sync` — and
+/// deterministically rewrites the sidecar from the healed record file,
+/// so the index is always a pure function of the export bytes (a
+/// missing or torn sidecar is never trusted, only rebuilt).
 pub struct CorpusExporter {
     file: std::fs::File,
+    idx: std::fs::File,
+    /// Byte length of the complete (newline-terminated) prefix of the
+    /// record file — the offset the next appended record lands at.
+    end: u64,
     /// `(target, code)` keys already in the file, target-keyed so `sync`
     /// probes with a borrowed `&str` instead of cloning per record.
     seen: std::collections::HashMap<String, HashSet<u64>>,
 }
 
 impl CorpusExporter {
-    /// Creates a fresh export file, truncating whatever was there: a new
-    /// campaign must not inherit records from an unrelated earlier run
-    /// (which would both pollute the file and suppress this campaign's
-    /// colliding records). Resumed campaigns use [`Self::open`].
+    /// Creates a fresh export file and sidecar index, truncating
+    /// whatever was there: a new campaign must not inherit records from
+    /// an unrelated earlier run (which would both pollute the file and
+    /// suppress this campaign's colliding records). Resumed campaigns
+    /// use [`Self::open`].
     ///
     /// # Errors
     ///
@@ -489,8 +523,15 @@ impl CorpusExporter {
             .write(true)
             .truncate(true)
             .open(path)?;
+        let idx = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(export_idx_path(path))?;
         Ok(CorpusExporter {
             file,
+            idx,
+            end: 0,
             seen: std::collections::HashMap::new(),
         })
     }
@@ -499,7 +540,10 @@ impl CorpusExporter {
     /// path. Existing complete lines are indexed so `sync` never
     /// duplicates a record; a torn trailing line without a newline (the
     /// mark of a kill mid-append) is truncated away and re-appended by
-    /// the next `sync`.
+    /// the next `sync`. The sidecar offset index is rewritten from the
+    /// healed record file, which both heals its own tears (a kill lands
+    /// between the record append and the index append) and builds it
+    /// for exports written before the index existed.
     ///
     /// # Errors
     ///
@@ -514,6 +558,8 @@ impl CorpusExporter {
         let complete = existing.rfind('\n').map_or(0, |i| i + 1);
         let mut seen: std::collections::HashMap<String, HashSet<u64>> =
             std::collections::HashMap::new();
+        let mut offsets = String::new();
+        let mut offset = 0u64;
         for line in existing[..complete].lines() {
             let record = ExportRecord::from_jsonl(line).map_err(|e| {
                 std::io::Error::new(
@@ -522,13 +568,27 @@ impl CorpusExporter {
                 )
             })?;
             seen.entry(record.target).or_default().insert(record.record.code);
+            offsets.push_str(&idx_line(offset));
+            offset += line.len() as u64 + 1;
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
         file.set_len(complete as u64)?;
-        Ok(CorpusExporter { file, seen })
+        let mut idx = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(export_idx_path(path))?;
+        idx.write_all(offsets.as_bytes())?;
+        idx.flush()?;
+        Ok(CorpusExporter {
+            file,
+            idx,
+            end: complete as u64,
+            seen,
+        })
     }
 
     /// Number of records in the file.
@@ -541,14 +601,19 @@ impl CorpusExporter {
         self.seen.values().all(HashSet::is_empty)
     }
 
-    /// Appends every store record not yet in the file, leaving the
-    /// file's record set equal to the snapshot store's.
+    /// Appends every store record not yet in the file (and its offset
+    /// to the sidecar index), leaving the file's record set equal to
+    /// the snapshot store's. The record batch lands and flushes before
+    /// the index batch, so a kill in between leaves the sidecar merely
+    /// stale — [`Self::open`] rebuilds it from the record file.
     ///
     /// # Errors
     ///
     /// Returns the I/O error of the append.
     pub fn sync(&mut self, snap: &CampaignSnapshot) -> std::io::Result<()> {
         let mut batch = String::new();
+        let mut offsets = String::new();
+        let mut offset = self.end;
         for ((target, code), record) in snap.store.iter() {
             if self
                 .seen
@@ -562,6 +627,8 @@ impl CorpusExporter {
                 record: record.clone(),
             }
             .to_jsonl();
+            offsets.push_str(&idx_line(offset));
+            offset += line.len() as u64 + 1;
             batch.push_str(&line);
             batch.push('\n');
             self.seen.entry(target.clone()).or_default().insert(*code);
@@ -569,8 +636,144 @@ impl CorpusExporter {
         if !batch.is_empty() {
             self.file.write_all(batch.as_bytes())?;
             self.file.flush()?;
+            self.end = offset;
+            self.idx.write_all(offsets.as_bytes())?;
+            self.idx.flush()?;
         }
         Ok(())
+    }
+}
+
+/// Seekable read access to an export file: record `i` is fetched with
+/// one seek and one line read, using the sidecar offset index instead
+/// of re-parsing the whole file. Falls back to a one-time scan of the
+/// record file when the sidecar is missing or inconsistent (exports
+/// written by older versions, or a kill before the index flushed), so
+/// every export that [`CorpusExporter`] can heal is also readable here.
+pub struct CorpusReader {
+    file: std::fs::File,
+    offsets: Vec<u64>,
+    /// Byte length of the record file at open time.
+    file_len: u64,
+}
+
+impl CorpusReader {
+    /// Opens an export file for record-seek access.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of opening or reading either file.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let offsets = match Self::sidecar_offsets(&export_idx_path(path), file_len) {
+            Some(offsets) => offsets,
+            None => Self::scanned_offsets(path)?,
+        };
+        let mut reader = CorpusReader {
+            file,
+            offsets,
+            file_len,
+        };
+        // A sidecar can be one record ahead of a torn tail only if the
+        // filesystem reordered the two appends across a crash; drop
+        // trailing offsets whose line never fully landed.
+        while let Some(&last) = reader.offsets.last() {
+            if reader.read_line_at(last, reader.file_len).is_some() {
+                break;
+            }
+            reader.offsets.pop();
+        }
+        Ok(reader)
+    }
+
+    /// Parses the sidecar: fixed-width hex offsets, strictly
+    /// increasing, all inside the record file. `None` (fall back to a
+    /// scan) on any deviation.
+    fn sidecar_offsets(idx_path: &Path, file_len: u64) -> Option<Vec<u64>> {
+        let text = std::fs::read_to_string(idx_path).ok()?;
+        // A torn final sidecar line (kill mid-append) is not damage —
+        // the offsets before it are still good.
+        let complete = text.rfind('\n').map_or(0, |i| i + 1);
+        let mut offsets = Vec::with_capacity(complete / IDX_LINE_BYTES);
+        for line in text[..complete].lines() {
+            if line.len() != IDX_LINE_BYTES - 1 {
+                return None;
+            }
+            let offset = u64::from_str_radix(line, 16).ok()?;
+            if offset >= file_len {
+                return None;
+            }
+            if offsets.is_empty() && offset != 0 {
+                return None;
+            }
+            if offsets.last().is_some_and(|&prev| offset <= prev) {
+                return None;
+            }
+            offsets.push(offset);
+        }
+        Some(offsets)
+    }
+
+    /// Builds the offsets by scanning the record file once — the
+    /// legacy/no-sidecar path. Only complete (newline-terminated)
+    /// lines are indexed.
+    fn scanned_offsets(path: &Path) -> std::io::Result<Vec<u64>> {
+        let text = std::fs::read_to_string(path)?;
+        let complete = text.rfind('\n').map_or(0, |i| i + 1);
+        let mut offsets = Vec::new();
+        let mut offset = 0u64;
+        for line in text[..complete].lines() {
+            offsets.push(offset);
+            offset += line.len() as u64 + 1;
+        }
+        Ok(offsets)
+    }
+
+    /// Number of records reachable by [`Self::get`].
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the export holds no complete records.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Reads the newline-terminated line starting at `start` (bounded
+    /// by `end`); `None` if the bytes do not parse as UTF-8 or the
+    /// line never terminates (torn tail).
+    fn read_line_at(&self, start: u64, end: u64) -> Option<String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(start)).ok()?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        file.read_exact(&mut buf).ok()?;
+        let text = String::from_utf8(buf).ok()?;
+        let line = text.split_inclusive('\n').next()?;
+        line.ends_with('\n').then(|| line.trim_end().to_owned())
+    }
+
+    /// Fetches record `i` with one seek — no other line of the file is
+    /// read or parsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `InvalidData` error for an out-of-range index or a
+    /// record line that fails to parse, or the underlying I/O error.
+    pub fn get(&mut self, i: usize) -> std::io::Result<ExportRecord> {
+        let invalid = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
+        let Some(&start) = self.offsets.get(i) else {
+            return Err(invalid(format!(
+                "record {i} out of range (export holds {})",
+                self.offsets.len()
+            )));
+        };
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.file_len);
+        let line = self
+            .read_line_at(start, end)
+            .ok_or_else(|| invalid(format!("record {i}: torn or non-UTF-8 line")))?;
+        ExportRecord::from_jsonl(&line).map_err(|e| invalid(format!("corrupt record {i}: {e}")))
     }
 }
 

@@ -42,15 +42,16 @@
 //! daemon never died.
 
 use crate::campaign::{
-    build_spec, chain_seeds_into, retry_io, run_cell, status_of, sweep_stale_tmp, top_failures,
-    write_snapshot, write_snapshot_with_backup, CampaignStatus, CorpusExporter, SpecOptions,
-    SubmitError, TraceSeeds,
+    build_spec, chain_seeds_cached_into, retry_io, run_cell, status_of, sweep_stale_tmp,
+    top_failures, write_snapshot, write_snapshot_with_backup, CampaignStatus, CorpusExporter,
+    SpecOptions, SubmitError, TraceSeeds,
 };
 use crate::core::campaign::{
     CampaignCell, CampaignReport, CampaignSnapshot, CampaignSpec, CellOutcome, ExportRecord,
 };
+use crate::core::TraceStore;
 use afex_cluster::{CellChain, CellResult, MultiplexPool};
-use serde::{Deserialize, Serialize};
+use serde::{field, Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -211,21 +212,55 @@ struct PreseedFile {
     targets: Vec<PreseedTarget>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One target's frozen preseed: the interned [`TraceStore`] itself, so
+/// a restarted daemon reloads texts, scalar lengths and signatures
+/// verbatim instead of re-splitting and re-hashing the corpus. The
+/// persisted form is `{target, entries}`; the legacy form — a bare
+/// `traces` string array written by pre-index daemons — still parses,
+/// paying the one-time re-measurement the new form avoids.
+#[derive(Debug, Clone, Default, PartialEq)]
 struct PreseedTarget {
     target: String,
-    traces: Vec<String>,
+    store: TraceStore,
+}
+
+impl Serialize for PreseedTarget {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("target".to_owned(), self.target.to_value()),
+            ("entries".to_owned(), self.store.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PreseedTarget {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected preseed target object"))?;
+        let target: String = field(obj, "target")?;
+        let store = if obj.iter().any(|(k, _)| k == "entries") {
+            field(obj, "entries")?
+        } else {
+            let traces: Vec<String> = field(obj, "traces")?;
+            let mut store = TraceStore::default();
+            for trace in &traces {
+                store.intern(trace);
+            }
+            store
+        };
+        Ok(PreseedTarget { target, store })
+    }
 }
 
 impl PreseedFile {
+    /// The frozen seed corpus for one target: an `Arc`-sharing clone of
+    /// the persisted store — no decode, no re-interning.
     fn seeds_for(&self, target: &str) -> TraceSeeds {
-        let mut seeds = TraceSeeds::new();
-        if let Some(t) = self.targets.iter().find(|t| t.target == target) {
-            for trace in &t.traces {
-                seeds.seed_text(trace);
-            }
+        match self.targets.iter().find(|t| t.target == target) {
+            Some(t) => TraceSeeds::from_store(t.store.clone()),
+            None => TraceSeeds::new(),
         }
-        seeds
     }
 }
 
@@ -239,9 +274,22 @@ struct Job {
     exporter: CorpusExporter,
     error: Option<String>,
     failed: Option<String>,
+    /// Memoized progress row, dropped whenever `snap` records a new
+    /// outcome. `status`/`list` answer from this clone instead of
+    /// recounting every cell per call (PERF.md Layer 10): a 200-campaign
+    /// `list` goes from O(total cells) to 200 clones.
+    row: Option<CampaignStatus>,
 }
 
 impl Job {
+    /// The campaign's progress row, recomputed only when the snapshot
+    /// changed since the last call.
+    fn status_row(&mut self) -> CampaignStatus {
+        self.row
+            .get_or_insert_with(|| status_of(&self.snap))
+            .clone()
+    }
+
     /// Checkpoints snapshot + export with bounded retry on transient
     /// errors. A persistent failure puts the job in *degraded mode*:
     /// the in-memory snapshot keeps advancing (status/list/inspect all
@@ -470,6 +518,11 @@ impl CampaignService {
             }
             Err(e) => return Err(e),
         };
+        // Converge the reloaded snapshot's trace index before anything
+        // reads it: a no-op on index-carrying snapshots, a one-time
+        // heal (persisted at the next checkpoint) on pre-index ones.
+        let mut snap = snap;
+        snap.ensure_trace_index();
         let preseed = read_preseed(dir)?;
         {
             let mut global = self.global.lock().expect("global poisoned");
@@ -518,6 +571,7 @@ impl CampaignService {
             exporter,
             error: None,
             failed,
+            row: None,
         };
         // A kill between the last checkpoint and the summary write
         // leaves a complete snapshot without its summary; land it.
@@ -581,7 +635,12 @@ impl CampaignService {
     /// and hands them to the pool with the checkpointing callback.
     fn enqueue(&self, job: &Arc<Mutex<Job>>, preseed: &PreseedFile) {
         let chains: Vec<CellChain<TraceSeeds, ServiceCell>> = {
-            let j = job.lock().expect("job poisoned");
+            let mut j = job.lock().expect("job poisoned");
+            // Converge the snapshot's persisted trace index first: pure
+            // dedup hash-hits on an intact snapshot, a one-time heal on
+            // pre-index ones. Chains then seed from index stores —
+            // entry copies, never a re-split of the prefix corpus.
+            j.snap.ensure_trace_index();
             let spec = Arc::new(j.snap.spec.clone());
             let pending = j.snap.pending();
             spec.targets
@@ -596,7 +655,7 @@ impl CampaignService {
                         return None;
                     }
                     Some(CellChain {
-                        state: chain_seeds_into(preseed.seeds_for(target), &j.snap, target),
+                        state: chain_seeds_cached_into(preseed.seeds_for(target), &j.snap, target),
                         cells,
                     })
                 })
@@ -612,6 +671,7 @@ impl CampaignService {
                         let mut j = job.lock().expect("job poisoned");
                         let target = j.snap.cells[index].cell.target.clone();
                         j.snap.record(index, outcome.clone());
+                        j.row = None;
                         j.checkpoint(&stats);
                         j.finish(&stats);
                         target
@@ -677,7 +737,7 @@ impl CampaignService {
                         }
                         Some(PreseedTarget {
                             target: target.clone(),
-                            traces: seeds.traces().map(str::to_owned).collect(),
+                            store: seeds.store().clone(),
                         })
                     })
                     .collect(),
@@ -707,6 +767,7 @@ impl CampaignService {
             exporter,
             error: None,
             failed: None,
+            row: None,
         }));
         self.registry
             .lock()
@@ -735,10 +796,10 @@ impl CampaignService {
     /// has never assigned.
     pub fn status(&self, id: u64) -> Result<CampaignRow, ServiceError> {
         let job = self.job(id)?;
-        let j = job.lock().expect("job poisoned");
+        let mut j = job.lock().expect("job poisoned");
         Ok(CampaignRow {
             id,
-            status: status_of(&j.snap),
+            status: j.status_row(),
             error: j.error.clone(),
             failed: j.failed.clone(),
         })
@@ -752,10 +813,10 @@ impl CampaignService {
         };
         jobs.into_iter()
             .map(|(id, job)| {
-                let j = job.lock().expect("job poisoned");
+                let mut j = job.lock().expect("job poisoned");
                 CampaignRow {
                     id,
-                    status: status_of(&j.snap),
+                    status: j.status_row(),
                     error: j.error.clone(),
                     failed: j.failed.clone(),
                 }
@@ -871,11 +932,21 @@ fn absorb_into_global(
     snap: &CampaignSnapshot,
 ) {
     for t in &preseed.targets {
-        let seeds = global.entry(t.target.clone()).or_default();
-        for trace in &t.traces {
-            seeds.seed_text(trace);
-        }
+        global
+            .entry(t.target.clone())
+            .or_default()
+            .seed_from(&t.store);
     }
+    // The snapshot's trace index *is* its completed-prefix corpus, with
+    // splits and signatures already interned — copy entries instead of
+    // re-measuring them. Callers converge the index first.
+    for (target, donor) in snap.trace_index().stores() {
+        global.entry(target.clone()).or_default().seed_from(donor);
+    }
+    // Chains complete same-target cells in order, so the index prefix
+    // normally covers every completed cell; a tampered snapshot with a
+    // completed cell past a pending gap still contributes here (pure
+    // dedup hash-hits otherwise).
     for state in &snap.cells {
         if let Some(outcome) = &state.outcome {
             global
@@ -1008,7 +1079,7 @@ mod tests {
         assert_eq!(preseed.targets.len(), 1);
         assert_eq!(preseed.targets[0].target, "docstore-0.8");
         assert!(
-            !preseed.targets[0].traces.is_empty(),
+            !preseed.targets[0].store.is_empty(),
             "second campaign must be preseeded from the first's corpus"
         );
         // The preseed steers the search: the same spec explores
@@ -1024,6 +1095,35 @@ mod tests {
         );
         service.shutdown();
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn preseed_persists_interned_entries_and_reads_legacy_form() {
+        // The new on-disk form carries the interned store — text, scalar
+        // length and signature per trace — and round-trips exactly.
+        let mut store = TraceStore::default();
+        store.intern("main>parse>handle");
+        store.intern("main>net>accept");
+        let file = PreseedFile {
+            targets: vec![PreseedTarget {
+                target: "docstore-0.8".into(),
+                store,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&file).expect("preseed serializes");
+        let back: PreseedFile = serde_json::from_str(&json).expect("new form parses");
+        assert_eq!(back, file);
+        assert_eq!(
+            back.seeds_for("docstore-0.8").store().decodes(),
+            0,
+            "reloaded preseed must seed without re-measuring a single trace"
+        );
+        // A preseed.json written by a pre-index daemon — bare trace
+        // strings — still parses, re-measured once at load.
+        let legacy = r#"{"targets": [{"target": "docstore-0.8",
+            "traces": ["main>parse>handle", "main>net>accept"]}]}"#;
+        let parsed: PreseedFile = serde_json::from_str(legacy).expect("legacy form parses");
+        assert_eq!(parsed, file, "legacy traces must intern to the same store");
     }
 
     #[test]
@@ -1200,6 +1300,7 @@ mod tests {
             exporter,
             error: None,
             failed: None,
+            row: None,
         };
         let stats = ServiceStats::default();
         // Block the snapshot path with non-empty directories: the
@@ -1290,7 +1391,7 @@ mod tests {
         let traces_of = |p: &PreseedFile| {
             p.targets
                 .first()
-                .map(|t| t.traces.clone())
+                .map(|t| t.store.texts().map(|t| t.to_string()).collect::<Vec<_>>())
                 .unwrap_or_default()
         };
         for trace in traces_of(&b_preseed) {

@@ -4,7 +4,7 @@
 //! interrupted campaign resumed from a snapshot converges to the same
 //! corpus as an uninterrupted one.
 
-use afex::campaign::{chain_seeds, run_cell, run_pending, TraceSeeds};
+use afex::campaign::{chain_seeds, chain_seeds_cached, run_cell, run_pending, TraceSeeds};
 use afex::core::campaign::{CampaignSnapshot, CampaignSpec, StopPolicy};
 
 /// The acceptance matrix: 3 targets × 2 strategies on the manager pool.
@@ -129,6 +129,43 @@ fn interrupted_chain_resumes_to_identical_corpus() {
         resumed.to_json(),
         full.to_json(),
         "chained resume must be byte-identical"
+    );
+}
+
+#[test]
+fn chained_resume_derives_seeds_without_redecoding_the_prefix() {
+    // A resumed chain used to re-intern (re-split, re-hash) the whole
+    // prefix corpus before its first pending cell could start. With the
+    // persisted trace index, seed derivation is an `Arc`-sharing clone:
+    // the index store's decode counter stays at zero through reload,
+    // index convergence, and chain-seed construction.
+    let mut interrupted = CampaignSnapshot::new(chain_spec());
+    run_pending(&mut interrupted, 1, |_| {});
+    for index in [2usize, 3] {
+        interrupted.cells[index].outcome = None;
+    }
+    interrupted.rebuild_store();
+    let mut resumed =
+        CampaignSnapshot::from_json(&interrupted.to_json()).expect("snapshot parses");
+    resumed.ensure_trace_index();
+    assert_eq!(
+        resumed.trace_index().decodes(),
+        0,
+        "an intact persisted index must reload without a single decode pass"
+    );
+    let target = resumed.spec.targets[0].clone();
+    let cached = chain_seeds_cached(&resumed, &target);
+    let oracle = chain_seeds(&resumed, &target);
+    assert!(!cached.is_empty(), "two completed cells must leave traces");
+    assert_eq!(
+        cached.store(),
+        oracle.store(),
+        "cached seeds must equal the naive prefix walk"
+    );
+    assert_eq!(
+        resumed.trace_index().decodes(),
+        0,
+        "seed derivation must be an Arc clone, not a re-split of the prefix"
     );
 }
 

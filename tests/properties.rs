@@ -249,6 +249,131 @@ fn indexed_max_similarity_matches_naive_on_large_seeded_stores() {
     );
 }
 
+/// A length-uniform corpus: every trace has exactly `len` scalars, so
+/// the store's length bands prune nothing and only the signature
+/// prefilter separates candidates — the adversarial regime for the
+/// skip bound. Includes near-threshold pairs (a base trace with 1–3
+/// substitutions) in both ASCII and multibyte alphabets.
+fn length_uniform_corpus(rng: &mut StdRng, alphabet: &[char], len: usize, n: usize) -> Vec<String> {
+    let fresh = |rng: &mut StdRng| -> Vec<char> {
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    };
+    let mut corpus: Vec<Vec<char>> = vec![fresh(rng)];
+    while corpus.len() < n {
+        let mut t = if rng.gen_bool(0.6) {
+            // Substitution-mutant of an existing trace: its true edit
+            // distance to the base sits right at the skip threshold.
+            corpus[rng.gen_range(0..corpus.len())].clone()
+        } else {
+            fresh(rng)
+        };
+        for _ in 0..rng.gen_range(1..4usize) {
+            if len > 0 {
+                t[rng.gen_range(0..len)] = alphabet[rng.gen_range(0..alphabet.len())];
+            }
+        }
+        corpus.push(t);
+    }
+    corpus.into_iter().map(|t| t.into_iter().collect()).collect()
+}
+
+#[test]
+fn prefiltered_similarity_matches_naive_on_length_uniform_corpora() {
+    // Banding cannot separate a length-uniform corpus, so every skip in
+    // this test is the signature bound's doing — weights must still be
+    // bit-for-bit identical to the linear scan, for stored, mutated,
+    // novel, and empty probes.
+    use afex::core::RedundancyFeedback;
+    check(120, 31, |rng, case| {
+        let alphabet = if case % 2 == 0 { ASCII } else { UNICODE };
+        let len = rng.gen_range(0..24usize);
+        let n = rng.gen_range(2..40usize);
+        let corpus = length_uniform_corpus(rng, alphabet, len, n);
+        let mut fb = RedundancyFeedback::new();
+        for t in &corpus {
+            fb.record(t);
+        }
+        let mut probes: Vec<String> = Vec::new();
+        probes.push(corpus[0].clone()); // Exact duplicate.
+        probes.push(String::new()); // Empty probe vs uniform band.
+        for _ in 0..6 {
+            // Same-length mutants and novel strings, the near-threshold
+            // cases where an unsound bound would skip the true best.
+            let mut t: Vec<char> = corpus[rng.gen_range(0..corpus.len())].chars().collect();
+            if !t.is_empty() {
+                let at = rng.gen_range(0..t.len());
+                t[at] = alphabet[rng.gen_range(0..alphabet.len())];
+            }
+            probes.push(t.into_iter().collect());
+            probes.push(rand_string(rng, alphabet, len.max(1)));
+        }
+        for probe in &probes {
+            assert_eq!(
+                fb.max_similarity(probe).to_bits(),
+                fb.max_similarity_naive(probe).to_bits(),
+                "probe={probe:?} corpus={corpus:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn prefiltered_clustering_matches_naive_on_length_uniform_corpora() {
+    // Same adversarial regime for the cluster index's band probe: the
+    // signature skip may only drop candidates the bounded Levenshtein
+    // would reject anyway, so cluster assignments never move.
+    check(120, 32, |rng, case| {
+        let alphabet = if case % 2 == 0 { ASCII } else { UNICODE };
+        let len = rng.gen_range(0..16usize);
+        let n = rng.gen_range(2..30usize);
+        let traces = length_uniform_corpus(rng, alphabet, len, n);
+        // Thresholds straddling the 1–3 substitutions the corpus plants.
+        let threshold = rng.gen_range(0..6usize);
+        assert_eq!(
+            cluster_traces(&traces, threshold),
+            cluster_traces_naive(&traces, threshold),
+            "traces={traces:?} threshold={threshold}"
+        );
+        let mut idx = ClusterIndex::new(threshold);
+        for t in &traces {
+            idx.insert(t);
+        }
+        assert_eq!(
+            idx.clusters(),
+            cluster_traces_naive(&traces, threshold),
+            "online insertion, traces={traces:?} threshold={threshold}"
+        );
+    });
+}
+
+#[test]
+fn snapshot_reload_preserves_signatures_byte_identically() {
+    // The persisted trace index must reload with signatures equal to
+    // recomputing them from the texts — and without recomputing them
+    // (zero decode passes on an intact index).
+    use afex::core::{CampaignSnapshot, TraceSig};
+    check(60, 33, |rng, _| {
+        let snap = rand_snapshot(rng);
+        let mut back = CampaignSnapshot::from_json(&snap.to_json()).expect("snapshot parses");
+        back.ensure_trace_index();
+        assert_eq!(back.trace_index().decodes(), 0, "reload must be decode-free");
+        for (target, store) in back.trace_index().stores() {
+            for (id, text) in store.texts().enumerate() {
+                let (expect, expect_len) = TraceSig::of_text(text);
+                assert_eq!(
+                    store.sig(id).to_hex(),
+                    expect.to_hex(),
+                    "target={target} trace={text:?}"
+                );
+                assert_eq!(store.scalar_len(id), expect_len);
+            }
+        }
+        assert_eq!(back.to_json(), snap.to_json());
+    });
+}
+
 #[test]
 fn chain_store_extension_is_incremental() {
     // A chain's TraceSeeds store extended outcome-by-outcome must equal
